@@ -1,0 +1,44 @@
+//! Criterion bench behind Figure 10: the per-rank kernel (one pair's
+//! formation — the unit of work the simulated MPI ranks execute) and the
+//! rank-model evaluation across the 1…1,024 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mea_equations::form_pair_equations;
+use mea_parallel::mpi_sim::{simulate, ClusterModel};
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_rank_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_rank_kernel");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [10usize, 50] {
+        let w = Workload::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(form_pair_equations(
+                    w.grid,
+                    black_box(n / 2),
+                    black_box(n / 3),
+                    5.0,
+                    w.z.get(n / 2, n / 3),
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    let cluster = ClusterModel::paper_hpc();
+    let costs = vec![1e-4f64; 2500]; // a 50×50 array's pair costs
+    let mut sim = c.benchmark_group("fig10_simulate_sweep");
+    sim.sample_size(20).measurement_time(Duration::from_secs(3));
+    for p in [32usize, 1024] {
+        sim.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(simulate(&cluster, p, black_box(&costs), 10, 8 * 2500)));
+        });
+    }
+    sim.finish();
+}
+
+criterion_group!(benches, bench_rank_kernel);
+criterion_main!(benches);

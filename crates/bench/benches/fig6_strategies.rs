@@ -1,0 +1,50 @@
+//! Criterion bench behind Figure 6: equation-formation time of the four
+//! §V execution strategies at a fixed paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mea_parallel::Strategy;
+use parma::form_equations_parallel;
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_strategies(c: &mut Criterion) {
+    let w = Workload::new(20);
+    let mut group = c.benchmark_group("fig6_formation_n20");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for strategy in [
+        Strategy::SingleThread,
+        Strategy::Parallel4,
+        Strategy::BalancedParallel { threads: 4 },
+        Strategy::FineGrained { threads: 4 },
+        Strategy::WorkStealing { threads: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| black_box(form_equations_parallel(black_box(&w.z), 5.0, s)));
+            },
+        );
+    }
+    group.finish();
+
+    // The small-scale regime where parallelization overhead wins (the
+    // paper's n = 10 inversion).
+    let w10 = Workload::new(10);
+    let mut small = c.benchmark_group("fig6_formation_n10");
+    small.sample_size(20).measurement_time(Duration::from_secs(3));
+    for strategy in [Strategy::SingleThread, Strategy::FineGrained { threads: 4 }] {
+        small.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| black_box(form_equations_parallel(black_box(&w10.z), 5.0, s)));
+            },
+        );
+    }
+    small.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench behind Figure 7: PyMP-k formation time (no I/O) as the
+//! worker count sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mea_equations::FormationCensus;
+use mea_parallel::Strategy;
+use parma::form_equations_parallel;
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pymp_sweep(c: &mut Criterion) {
+    for n in [10usize, 24] {
+        let w = Workload::new(n);
+        let terms = FormationCensus::expected(w.grid).terms as u64;
+        let mut group = c.benchmark_group(format!("fig7_pymp_n{n}"));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(4))
+            .throughput(Throughput::Elements(terms));
+        for k in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+                b.iter(|| {
+                    black_box(form_equations_parallel(
+                        black_box(&w.z),
+                        5.0,
+                        Strategy::FineGrained { threads: k },
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pymp_sweep);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind Figure 8: the allocation volume of equation
+//! formation (the quantity whose time-distribution the figure plots as a
+//! CDF) and the overhead of the tracking instrumentation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mea_equations::form_all_equations;
+use mea_memtrack::MemoryCdf;
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_allocation_profile(c: &mut Criterion) {
+    // Formation allocation volume per scale: Figure 8's x-axis is bytes;
+    // benching the formation at several n pins the growth rate the CDF
+    // ranges over.
+    let mut group = c.benchmark_group("fig8_formation_alloc");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [10usize, 20, 30] {
+        let w = Workload::new(n);
+        group.throughput(Throughput::Bytes((w.grid.equations() * 64) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(form_all_equations(black_box(&w.z), 5.0)));
+        });
+    }
+    group.finish();
+
+    // CDF construction from a large sample trace (the post-processing step
+    // of the figure pipeline).
+    let samples: Vec<mea_memtrack::MemorySample> = (0..100_000)
+        .map(|i| mea_memtrack::MemorySample {
+            at_secs: i as f64 * 1e-4,
+            live_bytes: ((i * 2654435761usize) ^ (i >> 3)) % (1 << 30),
+        })
+        .collect();
+    let mut post = c.benchmark_group("fig8_cdf_post");
+    post.sample_size(20).measurement_time(Duration::from_secs(3));
+    post.bench_function("cdf_100k_samples", |b| {
+        b.iter(|| {
+            let cdf = MemoryCdf::from_samples(black_box(&samples));
+            black_box(cdf.curve(64))
+        });
+    });
+    post.finish();
+}
+
+criterion_group!(benches, bench_allocation_profile);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench behind Figure 9: end-to-end equation generation plus
+//! writing the equation files to disk, across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mea_equations::write_system;
+use mea_parallel::Strategy;
+use parma::form_equations_parallel;
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::io::BufWriter;
+use std::time::Duration;
+
+fn bench_end_to_end_io(c: &mut Criterion) {
+    let w = Workload::new(16);
+    let dir = std::env::temp_dir().join("parma-fig9-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut group = c.benchmark_group("fig9_formation_plus_io_n16");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for k in [1usize, 2, 4] {
+        let path = dir.join(format!("bench-eqs-{k}.txt"));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let eqs = form_equations_parallel(
+                    black_box(&w.z),
+                    5.0,
+                    Strategy::FineGrained { threads: k },
+                );
+                let file = std::fs::File::create(&path).expect("create");
+                black_box(
+                    write_system(&eqs, w.grid, BufWriter::new(file)).expect("write equations"),
+                )
+            });
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+
+    // Serialization alone (separates the I/O share from formation).
+    let eqs = form_equations_parallel(&w.z, 5.0, Strategy::SingleThread);
+    let mut ser = c.benchmark_group("fig9_serialize_only_n16");
+    ser.sample_size(10).measurement_time(Duration::from_secs(3));
+    ser.bench_function("to_memory_buffer", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            black_box(write_system(black_box(&eqs), w.grid, &mut buf).expect("write"))
+        });
+    });
+    ser.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_end_to_end_io);
+criterion_main!(benches);

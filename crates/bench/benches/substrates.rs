@@ -1,0 +1,149 @@
+//! Micro-benchmarks of the substrates Parma is built on: GF(2) ranks,
+//! homology of the device complex, the forward nodal solver and one full
+//! inverse solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mea_linalg::{conjugate_gradient, CgOptions, CooTriplets, DenseMatrix};
+use mea_model::{enumerate_paths, ForwardSolver, MeaGrid};
+use mea_topology::{betti_numbers, mea_complex, GF2Matrix};
+use parma::prelude::*;
+use parma_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gf2_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf2_rank");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for size in [64usize, 256] {
+        // A pseudo-random dense GF(2) matrix.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let ones = (0..size * size / 2).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 20) as usize % size, (state >> 40) as usize % size)
+        });
+        let m = GF2Matrix::from_ones(size, size, ones);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &m, |b, m| {
+            b.iter(|| black_box(m.rank()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_homology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mea_betti_numbers");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let complex = mea_complex::mea_to_complex(n, n);
+                black_box(betti_numbers(&complex))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_solver");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [20usize, 50, 100] {
+        let w = Workload::new(n);
+        group.bench_with_input(BenchmarkId::new("factor_and_solve_all", n), &w, |b, w| {
+            b.iter(|| {
+                let fs = ForwardSolver::new(black_box(&w.truth)).unwrap();
+                black_box(fs.solve_all())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parma_inverse_solve");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for n in [10usize, 20] {
+        let w = Workload::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                let sol = ParmaSolver::new(ParmaConfig::default())
+                    .solve(black_box(&w.z))
+                    .unwrap();
+                black_box(sol.iterations)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_linalg_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    // Dense Cholesky of a grounded MEA Laplacian (order 2n−1 = 199).
+    let w = Workload::new(100);
+    group.bench_function("cholesky_inverse_199", |b| {
+        let grid = w.grid;
+        let (m, n) = (grid.rows(), grid.cols());
+        let dim = m + n - 1;
+        let mut lap = DenseMatrix::zeros(dim, dim);
+        for i in 0..m {
+            for j in 0..n {
+                let g = 1.0 / w.truth.get(i, j);
+                let (a, bb) = (i, m + j);
+                if a < dim {
+                    lap[(a, a)] += g;
+                }
+                if bb < dim {
+                    lap[(bb, bb)] += g;
+                }
+                if a < dim && bb < dim {
+                    lap[(a, bb)] -= g;
+                    lap[(bb, a)] -= g;
+                }
+            }
+        }
+        b.iter(|| black_box(lap.cholesky().unwrap().inverse()));
+    });
+    // Jacobi-CG on a 1-D Poisson system.
+    group.bench_function("cg_poisson_1000", |b| {
+        let n = 1000;
+        let mut t = CooTriplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let rhs = vec![1.0; n];
+        b.iter(|| {
+            black_box(conjugate_gradient(&a, &rhs, None, &CgOptions::default()).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_path_blowup(c: &mut Criterion) {
+    // The exponential baseline: path enumeration cost doubles the paper's
+    // point that the pre-Parma formulation cannot scale.
+    let mut group = c.benchmark_group("baseline_path_enumeration");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let grid = MeaGrid::square(n);
+            b.iter(|| black_box(enumerate_paths(grid, 0, 0, None).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gf2_rank,
+    bench_homology,
+    bench_forward_solver,
+    bench_inverse_solve,
+    bench_linalg_kernels,
+    bench_path_blowup
+);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Regenerates every figure of the paper's evaluation section (Figs 6–10)
+//! as text tables.
+//!
+//! ```text
+//! cargo run --release -p parma-bench --bin figures -- all
+//! cargo run --release -p parma-bench --bin figures -- fig6 [--full]
+//! ```
+//!
+//! `--full` extends the sweeps to the paper's maxima (n = 100, k = 32,
+//! 1,024 ranks); the default keeps laptop-friendly sizes. Shapes, not
+//! absolute milliseconds, are the reproduction target — see EXPERIMENTS.md.
+
+use mea_equations::{write_system, FormationCensus};
+use mea_memtrack::{MemoryCdf, MemorySampler, TrackingAllocator};
+use mea_parallel::mpi_sim::{measure_costs, simulate, ClusterModel};
+use mea_parallel::Strategy;
+use parma::form_equations_parallel;
+use parma_bench::{default_scales, default_workers, ms, row, time_secs, time_secs_best_of, Workload};
+use std::io::BufWriter;
+use std::time::Duration;
+
+// Figure 8 needs live allocation counters; the tracker is cheap enough to
+// keep installed for every subcommand.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    match which.as_str() {
+        "fig6" => fig6(full),
+        "fig7" => fig7(full),
+        "fig8" => fig8(full),
+        "fig9" => fig9(full),
+        "fig10" => fig10(full),
+        "all" => {
+            fig6(full);
+            fig7(full);
+            fig8(full);
+            fig9(full);
+            fig10(full);
+        }
+        other => {
+            eprintln!("unknown figure {other:?}");
+            eprintln!("usage: figures <fig6|fig7|fig8|fig9|fig10|all> [--full]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figure 6: equation-formation time of the four §V strategies vs n.
+fn fig6(full: bool) {
+    println!("\n=== Figure 6: strategy comparison (formation time, ms) ===");
+    let strategies = [
+        Strategy::SingleThread,
+        Strategy::Parallel4,
+        Strategy::BalancedParallel { threads: 4 },
+        Strategy::FineGrained { threads: 4 },
+        Strategy::WorkStealing { threads: 4 },
+    ];
+    let header: Vec<String> = strategies.iter().map(|s| s.label()).collect();
+    println!("{}", row("n", &header));
+    for n in default_scales(full) {
+        let w = Workload::new(n);
+        let cells: Vec<String> = strategies
+            .iter()
+            .map(|&s| {
+                let (eqs, secs) =
+                    time_secs_best_of(3, || form_equations_parallel(&w.z, 5.0, s));
+                assert_eq!(eqs.len(), w.grid.equations());
+                drop(eqs);
+                ms(secs)
+            })
+            .collect();
+        println!("{}", row(&n.to_string(), &cells));
+    }
+}
+
+/// Figure 7: PyMP-k formation time (no I/O) vs n, for each worker count.
+fn fig7(full: bool) {
+    println!("\n=== Figure 7: PyMP-k compute time, no I/O (ms) ===");
+    let workers = default_workers(full);
+    let header: Vec<String> = workers.iter().map(|k| format!("k={k}")).collect();
+    println!("{}", row("n", &header));
+    for n in default_scales(full) {
+        let w = Workload::new(n);
+        let cells: Vec<String> = workers
+            .iter()
+            .map(|&k| {
+                let (eqs, secs) = time_secs_best_of(3, || {
+                    form_equations_parallel(&w.z, 5.0, Strategy::FineGrained { threads: k })
+                });
+                drop(eqs);
+                ms(secs)
+            })
+            .collect();
+        println!("{}", row(&n.to_string(), &cells));
+    }
+}
+
+/// Figure 8: memory-usage CDFs during formation at various (n, k).
+fn fig8(full: bool) {
+    println!("\n=== Figure 8: memory-usage CDFs during formation ===");
+    let scales = if full { vec![20, 60, 100] } else { vec![10, 30, 50] };
+    let workers = if full { vec![1usize, 2, 4, 8] } else { vec![1usize, 2, 4] };
+    for n in scales {
+        println!("\n-- n = {n} --");
+        println!(
+            "{}",
+            row(
+                "k",
+                &["p10 MB".into(), "p50 MB".into(), "p90 MB".into(), "peak MB".into(),
+                  "%time<½·peak".into(), "time ms".into()]
+            )
+        );
+        for &k in &workers {
+            let w = Workload::new(n);
+            mea_memtrack::reset_peak();
+            let sampler = MemorySampler::start(Duration::from_micros(500));
+            let (eqs, secs) =
+                time_secs(|| form_equations_parallel(&w.z, 5.0, Strategy::FineGrained { threads: k }));
+            let samples = sampler.stop();
+            let census = FormationCensus::of(&eqs);
+            assert_eq!(census.equations, w.grid.equations());
+            drop(eqs);
+            let cdf = MemoryCdf::from_samples(&samples);
+            let mb = |b: usize| format!("{:.1}", b as f64 / 1e6);
+            let below_half = cdf.fraction_at_or_below(cdf.max() / 2) * 100.0;
+            println!(
+                "{}",
+                row(
+                    &k.to_string(),
+                    &[
+                        mb(cdf.quantile(0.10)),
+                        mb(cdf.quantile(0.50)),
+                        mb(cdf.quantile(0.90)),
+                        mb(cdf.max()),
+                        format!("{below_half:.0}%"),
+                        ms(secs),
+                    ]
+                )
+            );
+        }
+    }
+}
+
+/// Figure 9: end-to-end time including writing the equation files to disk.
+fn fig9(full: bool) {
+    println!("\n=== Figure 9: end-to-end time incl. disk I/O (ms) ===");
+    let workers = default_workers(full);
+    let header: Vec<String> = workers.iter().map(|k| format!("k={k}")).collect();
+    println!("{}", row("n", &header));
+    let dir = std::env::temp_dir().join("parma-fig9");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for n in default_scales(full) {
+        let w = Workload::new(n);
+        let cells: Vec<String> = workers
+            .iter()
+            .map(|&k| {
+                let path = dir.join(format!("eqs-{n}-{k}.txt"));
+                let (_, secs) = time_secs(|| {
+                    let eqs =
+                        form_equations_parallel(&w.z, 5.0, Strategy::FineGrained { threads: k });
+                    let file = std::fs::File::create(&path).expect("create output");
+                    write_system(&eqs, w.grid, BufWriter::new(file)).expect("write equations")
+                });
+                std::fs::remove_file(&path).ok();
+                ms(secs)
+            })
+            .collect();
+        println!("{}", row(&n.to_string(), &cells));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Figure 10: strong scaling across simulated MPI ranks for several
+/// workload sizes.
+fn fig10(full: bool) {
+    println!("\n=== Figure 10: simulated MPI strong scaling (time ms) ===");
+    let ranks: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let workloads = if full { vec![10, 20, 50, 100] } else { vec![10, 20, 50] };
+    let header: Vec<String> = ranks.iter().map(|r| format!("p={r}")).collect();
+    println!("{}", row("n \\ ranks", &header));
+    let cluster = ClusterModel::paper_hpc();
+    for n in workloads {
+        let w = Workload::new(n);
+        let grid = w.grid;
+        let costs = measure_costs(grid.pairs(), |p| {
+            let (i, j) = (p / grid.cols(), p % grid.cols());
+            std::hint::black_box(mea_equations::form_pair_equations(
+                grid,
+                i,
+                j,
+                5.0,
+                w.z.get(i, j),
+            ));
+        });
+        let bytes = 8 * grid.pairs();
+        let cells: Vec<String> = ranks
+            .iter()
+            .map(|&p| ms(simulate(&cluster, p, &costs, 10, bytes).total_secs))
+            .collect();
+        println!("{}", row(&format!("{n}x{n}"), &cells));
+    }
+    println!("\nspeedup at p = 1024 (linear ⇒ ≈ compute-bound):");
+    for n in if full { vec![10, 50, 100] } else { vec![10, 50] } {
+        let w = Workload::new(n);
+        let grid = w.grid;
+        let costs = measure_costs(grid.pairs(), |p| {
+            let (i, j) = (p / grid.cols(), p % grid.cols());
+            std::hint::black_box(mea_equations::form_pair_equations(
+                grid,
+                i,
+                j,
+                5.0,
+                w.z.get(i, j),
+            ));
+        });
+        let rep = simulate(&cluster, 1024, &costs, 10, 8 * grid.pairs());
+        println!("  {n}x{n}: {:.1}x (efficiency {:.1}%)", rep.speedup(), rep.efficiency() * 100.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared harness code for the figure-regeneration binary and the
+//! Criterion benchmarks: workload construction, timing and table printing.
+
+use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid, ResistorGrid, ZMatrix};
+use std::time::Instant;
+
+/// A reproducible benchmark workload: ground truth + exact measurements
+/// for an `n×n` device.
+pub struct Workload {
+    /// Device geometry.
+    pub grid: MeaGrid,
+    /// The planted resistor map.
+    pub truth: ResistorGrid,
+    /// The measured impedances `Z = F(truth)`.
+    pub z: ZMatrix,
+}
+
+impl Workload {
+    /// Builds the standard workload for scale `n` (fixed seed per scale so
+    /// figures are reproducible run to run).
+    pub fn new(n: usize) -> Self {
+        let grid = MeaGrid::square(n);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 0xC0FFEE ^ n as u64);
+        let z = ForwardSolver::new(&truth)
+            .expect("generated maps are physical")
+            .solve_all();
+        Workload { grid, truth, z }
+    }
+}
+
+/// Times a closure in seconds (single shot — the figure harness reports
+/// one end-to-end number per cell like the paper; Criterion handles the
+/// statistically careful micro-timing).
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Times a closure `reps` times and reports the last result with the
+/// *minimum* duration — the standard defence against scheduler noise for
+/// table cells that are only run once per figure.
+pub fn time_secs_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+/// Formats one row of a figure table: a label column then fixed-width
+/// numeric cells.
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<22}");
+    for c in cells {
+        s.push_str(&format!("{c:>14}"));
+    }
+    s
+}
+
+/// Formats seconds for table cells (milliseconds with 2 decimals).
+pub fn ms(secs: f64) -> String {
+    format!("{:.2}", secs * 1e3)
+}
+
+/// The scale sweep used by default (`--full` extends to the paper's 100).
+pub fn default_scales(full: bool) -> Vec<usize> {
+    if full {
+        vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    }
+}
+
+/// The worker sweep (`k`) used by default.
+pub fn default_workers(full: bool) -> Vec<usize> {
+    if full {
+        vec![1, 2, 4, 8, 16, 32]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let a = Workload::new(6);
+        let b = Workload::new(6);
+        assert_eq!(a.truth, b.truth);
+        assert!(a.z.rel_max_diff(&b.z) < 1e-15);
+    }
+
+    #[test]
+    fn workload_scales_differ() {
+        let a = Workload::new(4);
+        assert_eq!(a.grid.crossings(), 16);
+        let b = Workload::new(5);
+        assert_eq!(b.grid.crossings(), 25);
+    }
+
+    #[test]
+    fn time_secs_returns_value_and_duration() {
+        let (v, secs) = time_secs(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn best_of_takes_the_minimum() {
+        let mut calls = 0;
+        let (v, secs) = time_secs_best_of(3, || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(calls));
+            calls
+        });
+        assert_eq!(v, 3);
+        assert_eq!(calls, 3);
+        assert!(secs < 0.003, "minimum must be near the 1 ms first call, got {secs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn best_of_zero_rejected() {
+        let _ = time_secs_best_of(0, || 1);
+    }
+
+    #[test]
+    fn table_formatting() {
+        let r = row("label", &[ms(0.001), ms(0.25)]);
+        assert!(r.starts_with("label"));
+        assert!(r.contains("1.00"));
+        assert!(r.contains("250.00"));
+    }
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        assert_eq!(default_scales(true).last(), Some(&100));
+        assert_eq!(default_workers(true).last(), Some(&32));
+        assert!(default_scales(false).len() < default_scales(true).len());
+    }
+}

@@ -1,0 +1,126 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument-parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A positional (non-`--`) token appeared where none is accepted.
+    UnexpectedPositional(String),
+    /// The same flag appeared twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "flag --{k} is missing its value"),
+            ArgError::UnexpectedPositional(t) => write!(f, "unexpected argument {t:?}"),
+            ArgError::Duplicate(k) => write!(f, "flag --{k} given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses a raw token list; every token must be a `--key` followed by
+    /// one value.
+    pub fn parse(raw: &[String]) -> Result<Self, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(tok.clone()));
+            };
+            let Some(val) = it.next() else {
+                return Err(ArgError::MissingValue(key.to_string()));
+            };
+            if values.insert(key.to_string(), val.clone()).is_some() {
+                return Err(ArgError::Duplicate(key.to_string()));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string value, with a command-appropriate error.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("flag --{key} has invalid value {s:?}")),
+        }
+    }
+
+    /// Required typed value.
+    pub fn require_as<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let s = self.require(key)?;
+        s.parse().map_err(|_| format!("flag --{key} has invalid value {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse(&["--n", "10", "--out", "x.txt"]).unwrap();
+        assert_eq!(a.get("n"), Some("10"));
+        assert_eq!(a.require("out").unwrap(), "x.txt");
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse(&["--n", "10", "--tol", "1e-8"]).unwrap();
+        assert_eq!(a.require_as::<usize>("n").unwrap(), 10);
+        assert_eq!(a.get_or("tol", 0.0).unwrap(), 1e-8);
+        assert_eq!(a.get_or("threads", 4usize).unwrap(), 4);
+        assert!(a.require_as::<usize>("tol").is_err());
+        assert!(a.require("nope").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&["--n"]).unwrap_err(), ArgError::MissingValue("n".into()));
+        assert_eq!(
+            parse(&["stray"]).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".into())
+        );
+        assert_eq!(
+            parse(&["--n", "1", "--n", "2"]).unwrap_err(),
+            ArgError::Duplicate("n".into())
+        );
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.get("anything"), None);
+    }
+}

@@ -1,0 +1,259 @@
+//! The four CLI commands: generate, solve, topology, equations.
+
+use crate::args::Args;
+use mea_equations::{form_all_equations, read_system, write_system, FormationCensus};
+use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid, WetLabDataset};
+use mea_parallel::Strategy;
+use mea_topology::{fundamental_cycles, mea_complex};
+use parma::persistence::anomaly_persistence;
+use parma::prelude::*;
+use std::io::Write;
+
+fn grid_from(args: &Args) -> Result<MeaGrid, String> {
+    match (args.get("rows"), args.get("cols")) {
+        (Some(_), Some(_)) => {
+            let rows: usize = args.require_as("rows")?;
+            let cols: usize = args.require_as("cols")?;
+            if rows == 0 || cols == 0 {
+                return Err("--rows/--cols must be positive".into());
+            }
+            Ok(MeaGrid::new(rows, cols))
+        }
+        (None, None) => {
+            let n: usize = args.require_as("n")?;
+            if n == 0 {
+                return Err("--n must be positive".into());
+            }
+            Ok(MeaGrid::square(n))
+        }
+        _ => Err("give both --rows and --cols, or just --n".into()),
+    }
+}
+
+fn strategy_from(args: &Args) -> Result<Strategy, String> {
+    let threads: usize = args.get_or("threads", 4)?;
+    match args.get("strategy").unwrap_or("single") {
+        "single" => Ok(Strategy::SingleThread),
+        "parallel" => Ok(Strategy::Parallel4),
+        "balanced" => Ok(Strategy::BalancedParallel { threads }),
+        "pymp" => Ok(Strategy::FineGrained { threads }),
+        "worksteal" => Ok(Strategy::WorkStealing { threads }),
+        other => Err(format!(
+            "unknown strategy {other:?} (single|parallel|balanced|pymp|worksteal)"
+        )),
+    }
+}
+
+/// `parma generate`: synthesize a session and write the dataset file.
+pub fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let grid = grid_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let regions: usize = args.get_or("regions", 2)?;
+    let path = args.require("out")?;
+    let cfg = AnomalyConfig { regions, ..Default::default() };
+    let session = WetLabDataset::generate(grid, &cfg, seed)
+        .map_err(|e| format!("generation failed: {e}"))?;
+    session.save(path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    writeln!(
+        out,
+        "wrote {path}: {}×{} array, {} measurements (0/6/12/24 h), {} anomaly region(s), seed {seed}",
+        grid.rows(),
+        grid.cols(),
+        session.measurements.len(),
+        regions
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `parma solve`: load a dataset, recover resistor maps, report anomalies.
+pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.require("input")?;
+    let strategy = strategy_from(args)?;
+    let tol: f64 = args.get_or("tol", 1e-10)?;
+    let detect_factor: f64 = args.get_or("detect", 1.5)?;
+    let prominence: f64 = args.get_or("prominence", 800.0)?;
+    let session =
+        WetLabDataset::load(path).map_err(|e| format!("cannot load dataset {path:?}: {e}"))?;
+    let config = ParmaConfig { tol, ..Default::default() }.with_strategy(strategy);
+    let pipeline = Pipeline::new(config, detect_factor);
+    let results = pipeline.run(&session).map_err(|e| format!("solve failed: {e}"))?;
+    writeln!(
+        out,
+        "{path}: {}×{} array, strategy {}",
+        session.grid.rows(),
+        session.grid.cols(),
+        strategy.label()
+    )
+    .map_err(|e| e.to_string())?;
+    for r in &results {
+        let analysis = anomaly_persistence(&r.solution.resistors, prominence);
+        writeln!(
+            out,
+            "hour {:>2}: {} iterations, residual {:.2e}, baseline {:.0} kΩ, \
+             {} crossings above threshold, {} persistent region(s)",
+            r.hours,
+            r.solution.iterations,
+            r.solution.residual,
+            r.detection.baseline,
+            r.detection.anomalies.len(),
+            analysis.regions.len()
+        )
+        .map_err(|e| e.to_string())?;
+        for (idx, reg) in analysis.regions.iter().enumerate() {
+            writeln!(
+                out,
+                "    region {}: peak {:.0} kΩ, prominence {:.0} kΩ",
+                idx + 1,
+                reg.peak_resistance,
+                reg.prominence
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `parma topology`: the device's topological invariants.
+pub fn topology<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let grid = grid_from(args)?;
+    let report = mea_complex::analyze_mea(grid.rows(), grid.cols());
+    let complex = mea_complex::mea_to_complex(grid.rows(), grid.cols());
+    let basis = fundamental_cycles(&complex);
+    writeln!(
+        out,
+        "{}×{} MEA: {} joints, {} edges ({} resistors + {} wire segments)",
+        grid.rows(),
+        grid.cols(),
+        report.joints,
+        report.edges,
+        grid.crossings(),
+        report.edges - grid.crossings()
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "β₀ = {} (connected components)", report.betti0).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "β₁ = {} independent Kirchhoff cycles = (rows−1)(cols−1) — the intrinsic parallelism",
+        report.betti1
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "fundamental cycle basis: {} cycles over a {}-edge spanning tree",
+        basis.rank(),
+        basis.tree_edges.len()
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "joint-constraint system: {} equations over {} unknowns",
+        grid.equations(),
+        grid.unknowns()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `parma equations`: form and export the joint-constraint system.
+pub fn equations<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let grid = grid_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let path = args.require("out")?;
+    let (truth, _) = AnomalyConfig::default().generate(grid, seed);
+    let z = ForwardSolver::new(&truth)
+        .map_err(|e| format!("forward solve failed: {e}"))?
+        .solve_all();
+    let eqs = form_all_equations(&z, 5.0);
+    let census = FormationCensus::of(&eqs);
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let bytes = write_system(&eqs, grid, std::io::BufWriter::new(file))
+        .map_err(|e| format!("write failed: {e}"))?;
+    writeln!(
+        out,
+        "wrote {path}: {} equations ({} terms, {} bytes) across {} pairs \
+         [source {}, destination {}, Ua {}, Ub {}]",
+        census.equations,
+        census.terms,
+        bytes,
+        grid.pairs(),
+        census.per_category[0],
+        census.per_category[1],
+        census.per_category[2],
+        census.per_category[3]
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `parma verify`: parse an equation file back and check its census
+/// against the grid — the downstream-solver ingestion path.
+pub fn verify<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let grid = grid_from(args)?;
+    let path = args.require("input")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let eqs = read_system(grid, file).map_err(|e| format!("parse failed: {e}"))?;
+    let census = FormationCensus::of(&eqs);
+    let expected = FormationCensus::expected(grid);
+    writeln!(
+        out,
+        "{path}: parsed {} equations ({} terms) for a {}×{} grid",
+        census.equations,
+        census.terms,
+        grid.rows(),
+        grid.cols()
+    )
+    .map_err(|e| e.to_string())?;
+    if census == expected {
+        writeln!(out, "census matches the §IV-A formulas — file is complete").map_err(|e| e.to_string())?;
+        Ok(())
+    } else {
+        Err(format!(
+            "census mismatch: found {:?} equations per category, expected {:?}",
+            census.per_category, expected.per_category
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn grid_from_square_and_rectangular() {
+        let g = grid_from(&args(&["--n", "7"])).unwrap();
+        assert_eq!((g.rows(), g.cols()), (7, 7));
+        let g = grid_from(&args(&["--rows", "2", "--cols", "5"])).unwrap();
+        assert_eq!((g.rows(), g.cols()), (2, 5));
+        assert!(grid_from(&args(&["--rows", "2"])).is_err());
+        assert!(grid_from(&args(&["--n", "0"])).is_err());
+        assert!(grid_from(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(strategy_from(&args(&[])).unwrap(), Strategy::SingleThread);
+        assert_eq!(
+            strategy_from(&args(&["--strategy", "pymp", "--threads", "8"])).unwrap(),
+            Strategy::FineGrained { threads: 8 }
+        );
+        assert_eq!(
+            strategy_from(&args(&["--strategy", "worksteal"])).unwrap(),
+            Strategy::WorkStealing { threads: 4 }
+        );
+        assert!(strategy_from(&args(&["--strategy", "magic"])).is_err());
+    }
+
+    #[test]
+    fn topology_command_output() {
+        let mut out = Vec::new();
+        topology(&args(&["--rows", "3", "--cols", "4"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("β₁ = 6"));
+        assert!(text.contains("24 joints"));
+    }
+}

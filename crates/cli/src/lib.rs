@@ -1,0 +1,134 @@
+//! Library half of the `parma` command-line tool: argument parsing and
+//! command implementations, separated from `main` so they are unit- and
+//! integration-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Entry point shared by `main` and the tests: dispatches a raw argument
+/// list to a command, writing human output to `out`.
+pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), String> {
+    if raw.is_empty() {
+        return Err(usage());
+    }
+    let command = raw[0].as_str();
+    let args = Args::parse(&raw[1..]).map_err(|e| format!("{e}\n\n{}", usage()))?;
+    let result = match command {
+        "generate" => commands::generate(&args, out),
+        "solve" => commands::solve(&args, out),
+        "topology" => commands::topology(&args, out),
+        "equations" => commands::equations(&args, out),
+        "verify" => commands::verify(&args, out),
+        "--help" | "-h" | "help" => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    result
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+parma — microelectrode-array parametrization (Tawose et al., IPDPS 2022)
+
+USAGE:
+  parma generate  --n <N> [--rows R --cols C] [--seed S] [--regions K] --out <file>
+  parma solve     --input <file> [--strategy single|parallel|balanced|pymp|worksteal]
+                  [--threads T] [--tol E] [--detect F] [--prominence P]
+  parma topology  --n <N> [--rows R --cols C]
+  parma equations --n <N> [--seed S] --out <file>
+  parma verify    --n <N> --input <equation-file>
+
+COMMANDS:
+  generate   synthesize a wet-lab session (0/6/12/24 h) and write the text dataset
+  solve      recover resistor maps from a dataset file and report anomalies
+  topology   print the device's topological invariants (joints, Betti numbers, cycles)
+  equations  form the 2n³ joint-constraint system and write it as text
+  verify     parse an equation file back and check it is complete"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&raw, &mut out).map(|_| String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_str(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("generate"));
+    }
+
+    #[test]
+    fn empty_and_unknown_commands_error() {
+        assert!(run(&[], &mut Vec::new()).is_err());
+        let err = run_str(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn end_to_end_generate_then_solve() {
+        let dir = std::env::temp_dir().join("parma-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.txt");
+        let path_s = path.to_str().unwrap();
+
+        let gen_out =
+            run_str(&["generate", "--n", "6", "--seed", "9", "--out", path_s]).unwrap();
+        assert!(gen_out.contains("4 measurements"));
+        assert!(path.exists());
+
+        let solve_out = run_str(&["solve", "--input", path_s, "--strategy", "pymp",
+            "--threads", "2"]).unwrap();
+        assert!(solve_out.contains("hour  0"), "{solve_out}");
+        assert!(solve_out.contains("residual"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn topology_reports_invariants() {
+        let text = run_str(&["topology", "--n", "4"]).unwrap();
+        assert!(text.contains("β₁ = 9"), "{text}");
+        assert!(text.contains("32 joints"), "{text}");
+    }
+
+    #[test]
+    fn equations_writes_file_and_verify_accepts_it() {
+        let dir = std::env::temp_dir().join("parma-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("eqs.txt");
+        let path_s = path.to_str().unwrap();
+        let text = run_str(&["equations", "--n", "3", "--out", path_s]).unwrap();
+        assert!(text.contains("54 equations")); // 2·27
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("U/Z[A,I]"));
+        // The reader accepts its own writer's output.
+        let verify_out = run_str(&["verify", "--n", "3", "--input", path_s]).unwrap();
+        assert!(verify_out.contains("file is complete"), "{verify_out}");
+        // And rejects it against the wrong geometry.
+        assert!(run_str(&["verify", "--n", "4", "--input", path_s]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_missing_input_errors() {
+        let err = run_str(&["solve", "--input", "/nonexistent/nope.txt"]).unwrap_err();
+        assert!(err.contains("dataset"), "{err}");
+    }
+
+    #[test]
+    fn bad_flag_reports_usage() {
+        let err = run_str(&["generate", "--n"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

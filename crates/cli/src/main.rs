@@ -1,0 +1,11 @@
+//! The `parma` command-line binary. All logic lives in `parma_cli`; this
+//! shim only forwards `std::env::args` and maps errors to exit codes.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(message) = parma_cli::run(&raw, &mut stdout) {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Equation and flow-term representations, with residual evaluation.
+//!
+//! Every equation is a Kirchhoff current balance at one joint of the
+//! equivalent per-pair topology (paper Figure 5):
+//!
+//! ```text
+//! source (at i):   U/Z = U/R_ij + Σ_k (U − Ua_k')/R_ik
+//! dest   (at j):   U/Z = U/R_ij + Σ_m Ub_m'/R_mj
+//! Ua (each k≠j):   (U − Ua_k')/R_ik = Σ_m (Ua_k' − Ub_m')/R_mk
+//! Ub (each m≠i):   Σ_k (Ua_k' − Ub_m')/R_mk = Ub_m'/R_mj
+//! ```
+//!
+//! The shared shape is `Σ sign·(p(from) − p(to))/R[a][b] = rhs` with
+//! potentials drawn from `{U, 0, Ua_k', Ub_m'}` and `rhs ∈ {U/Z, 0}`; this
+//! module stores that shape compactly (14 bytes per term) and evaluates
+//! residuals against per-pair values.
+
+use mea_model::ResistorGrid;
+use serde::{Deserialize, Serialize};
+
+/// The four joint categories of §IV-A. The two intermediate categories
+/// dominate the workload (`n²(n−1)` equations each vs. `n²` for
+/// source/destination) — the skew that motivates *Balanced Parallel*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintCategory {
+    /// 1-to-n flow balance at the driven horizontal wire.
+    Source,
+    /// n-to-1 flow balance at the driven vertical wire.
+    Destination,
+    /// Balance at an undriven vertical wire (close to the source).
+    IntermediateUa,
+    /// Balance at an undriven horizontal wire (close to the destination).
+    IntermediateUb,
+}
+
+impl ConstraintCategory {
+    /// All four categories in canonical order.
+    pub const ALL: [ConstraintCategory; 4] = [
+        ConstraintCategory::Source,
+        ConstraintCategory::Destination,
+        ConstraintCategory::IntermediateUa,
+        ConstraintCategory::IntermediateUb,
+    ];
+
+    /// Stable small index (0..4).
+    pub fn index(self) -> usize {
+        match self {
+            ConstraintCategory::Source => 0,
+            ConstraintCategory::Destination => 1,
+            ConstraintCategory::IntermediateUa => 2,
+            ConstraintCategory::IntermediateUb => 3,
+        }
+    }
+}
+
+/// A reference to one potential in the per-pair topology. `Ua`/`Ub` carry
+/// the *compressed* index (`k'`/`m'`), i.e. a direct offset into
+/// [`PairValues::ua`]/[`PairValues::ub`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PotentialRef {
+    /// The applied end-to-end voltage `U_ij` (the source rail).
+    Applied,
+    /// The destination rail (0 V by gauge choice).
+    Ground,
+    /// Intermediate vertical-wire voltage, compressed index `k'`.
+    Ua(u16),
+    /// Intermediate horizontal-wire voltage, compressed index `m'`.
+    Ub(u16),
+}
+
+/// One current term: `sign · (p(from) − p(to)) / R[resistor]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowTerm {
+    /// Higher-potential end of the branch (by convention of the equation).
+    pub from: PotentialRef,
+    /// Lower-potential end.
+    pub to: PotentialRef,
+    /// Crossing `(i, j)` of the divider resistor.
+    pub resistor: (u16, u16),
+    /// +1 for current counted into the balance, −1 for out.
+    pub sign: i8,
+}
+
+/// Per-pair evaluation context: the resistor map plus this pair's
+/// intermediate voltages in compressed order.
+#[derive(Clone, Copy, Debug)]
+pub struct PairValues<'a> {
+    /// Current resistance estimates (kΩ).
+    pub r: &'a ResistorGrid,
+    /// `Ua` values, length `cols − 1`, in `k'` order.
+    pub ua: &'a [f64],
+    /// `Ub` values, length `rows − 1`, in `m'` order.
+    pub ub: &'a [f64],
+    /// Applied voltage `U_ij` (volts).
+    pub voltage: f64,
+}
+
+impl PairValues<'_> {
+    fn potential(&self, p: PotentialRef) -> f64 {
+        match p {
+            PotentialRef::Applied => self.voltage,
+            PotentialRef::Ground => 0.0,
+            PotentialRef::Ua(kp) => self.ua[kp as usize],
+            PotentialRef::Ub(mp) => self.ub[mp as usize],
+        }
+    }
+}
+
+/// One joint-constraint equation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Equation {
+    /// The endpoint pair `(i, j)` this equation belongs to.
+    pub pair: (u16, u16),
+    /// Which of the four §IV-A categories.
+    pub category: ConstraintCategory,
+    /// The balanced joint: `k` for `IntermediateUa`, `m` for
+    /// `IntermediateUb` (uncompressed wire index); `u16::MAX` otherwise.
+    pub node: u16,
+    /// Applied voltage `U_ij` (volts).
+    pub voltage: f64,
+    /// Right-hand side: `U/Z_ij` (mA) for source/destination, 0 otherwise.
+    pub rhs: f64,
+    /// Current terms of the left-hand side.
+    pub terms: Vec<FlowTerm>,
+}
+
+impl Equation {
+    /// Residual `Σ sign·(p(from) − p(to))/R − rhs` in milliamps; zero at an
+    /// exact solution.
+    pub fn residual(&self, v: &PairValues<'_>) -> f64 {
+        let mut acc = -self.rhs;
+        for t in &self.terms {
+            let dp = v.potential(t.from) - v.potential(t.to);
+            let r = v.r.get(t.resistor.0 as usize, t.resistor.1 as usize);
+            acc += t.sign as f64 * dp / r;
+        }
+        acc
+    }
+
+    /// Number of terms (the formation work unit: Figures 6/7 scale with
+    /// total term count).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{CrossingMatrix as Cm, MeaGrid};
+
+    #[test]
+    fn category_indices_are_stable() {
+        for (i, c) in ConstraintCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn residual_of_direct_only_equation() {
+        // A single-crossing array: source equation is U/Z = U/R with no
+        // intermediates; residual vanishes iff Z = R.
+        let grid = MeaGrid::square(1);
+        let r = Cm::filled(grid, 1000.0);
+        let eq = Equation {
+            pair: (0, 0),
+            category: ConstraintCategory::Source,
+            node: u16::MAX,
+            voltage: 5.0,
+            rhs: 5.0 / 1000.0,
+            terms: vec![FlowTerm {
+                from: PotentialRef::Applied,
+                to: PotentialRef::Ground,
+                resistor: (0, 0),
+                sign: 1,
+            }],
+        };
+        let v = PairValues { r: &r, ua: &[], ub: &[], voltage: 5.0 };
+        assert!(eq.residual(&v).abs() < 1e-15);
+        // Wrong Z → nonzero residual.
+        let eq_bad = Equation { rhs: 5.0 / 900.0, ..eq };
+        assert!(eq_bad.residual(&v).abs() > 1e-6);
+    }
+
+    #[test]
+    fn signs_and_potentials_enter_residual() {
+        let grid = MeaGrid::square(2);
+        let r = Cm::filled(grid, 10.0);
+        let ua = [3.0];
+        let ub = [2.0];
+        let v = PairValues { r: &r, ua: &ua, ub: &ub, voltage: 5.0 };
+        let eq = Equation {
+            pair: (0, 0),
+            category: ConstraintCategory::IntermediateUa,
+            node: 1,
+            voltage: 5.0,
+            rhs: 0.0,
+            terms: vec![
+                FlowTerm {
+                    from: PotentialRef::Applied,
+                    to: PotentialRef::Ua(0),
+                    resistor: (0, 1),
+                    sign: 1,
+                },
+                FlowTerm {
+                    from: PotentialRef::Ua(0),
+                    to: PotentialRef::Ub(0),
+                    resistor: (1, 1),
+                    sign: -1,
+                },
+            ],
+        };
+        // (5−3)/10 − (3−2)/10 = 0.1
+        assert!((eq.residual(&v) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn term_count_reports_length() {
+        let eq = Equation {
+            pair: (0, 0),
+            category: ConstraintCategory::Destination,
+            node: u16::MAX,
+            voltage: 5.0,
+            rhs: 0.0,
+            terms: vec![],
+        };
+        assert_eq!(eq.term_count(), 0);
+    }
+
+    #[test]
+    fn flow_term_is_compact() {
+        // The formation workload allocates hundreds of millions of terms at
+        // n = 100; keep the struct within 16 bytes.
+        assert!(std::mem::size_of::<FlowTerm>() <= 16);
+    }
+}

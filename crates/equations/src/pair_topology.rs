@@ -1,0 +1,122 @@
+//! The equivalent per-pair topology of the paper's Figures 4 and 5.
+//!
+//! For a driven pair `(i, j)` the exponential family of end-to-end paths is
+//! replaced by a fixed lattice of `2n` joints: the source rail `i`, the
+//! destination rail `j`, one `Ua` joint per other vertical wire and one
+//! `Ub` joint per other horizontal wire; resistors `R_ik` fan out of the
+//! source, `R_mj` fan into the destination, and the `(n−1)(m−1)` cross
+//! resistors `R_mk` connect the two intermediate layers. All original
+//! paths survive as walks through this lattice (the paper's Figure 4 lists
+//! the nine `C→I` walks at `n = 3`), which is why the conversion is
+//! lossless while shrinking the constraint count from `O(nⁿ)` to `O(n³)`.
+
+use mea_model::{exact_path_count, MeaGrid};
+
+/// The joint/branch census of one pair's equivalent topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairTopology {
+    /// The driven pair.
+    pub pair: (usize, usize),
+    /// Grid geometry.
+    pub grid: MeaGrid,
+}
+
+impl PairTopology {
+    /// Builds the descriptor (bounds-checked).
+    pub fn new(grid: MeaGrid, i: usize, j: usize) -> Self {
+        assert!(i < grid.rows() && j < grid.cols(), "pair out of range");
+        PairTopology { pair: (i, j), grid }
+    }
+
+    /// Joint count: `1 + 1 + (cols−1) + (rows−1)` — the paper's `2n` for
+    /// square arrays.
+    pub fn joints(&self) -> usize {
+        2 + (self.grid.cols() - 1) + (self.grid.rows() - 1)
+    }
+
+    /// Branch (resistor) count of the lattice: the direct `R_ij`, the
+    /// `cols−1` source fan-out resistors, the `rows−1` destination fan-in
+    /// resistors and the `(rows−1)(cols−1)` cross resistors — every
+    /// crossing of the array appears exactly once.
+    pub fn branches(&self) -> usize {
+        let (m, n) = (self.grid.rows(), self.grid.cols());
+        1 + (n - 1) + (m - 1) + (m - 1) * (n - 1)
+    }
+
+    /// Number of end-to-end walks through the lattice that visit each wire
+    /// at most once — identical to the number of simple paths in the
+    /// original array (the lossless-conversion claim), computed by the
+    /// closed-form count.
+    pub fn path_count(&self) -> u128 {
+        exact_path_count(self.grid)
+    }
+
+    /// Constraint-count comparison: `(joints, paths)` for this pair —
+    /// `O(n)` vs. `O(nⁿ⁻¹)`, the §IV-A saving.
+    pub fn constraint_saving(&self) -> (usize, u128) {
+        (self.joints(), self.path_count())
+    }
+
+    /// Whole-array totals `(joints, paths)`: `2n·n² = O(n³)` joints vs.
+    /// `n^(n−1)·n² = O(nⁿ)` paths.
+    pub fn array_totals(grid: MeaGrid) -> (usize, u128) {
+        let per_pair = PairTopology::new(grid, 0, 0);
+        (
+            per_pair.joints() * grid.pairs(),
+            per_pair.path_count().saturating_mul(grid.pairs() as u128),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::enumerate_paths;
+
+    #[test]
+    fn figure5_census_for_square_arrays() {
+        for n in [2usize, 3, 10] {
+            let t = PairTopology::new(MeaGrid::square(n), 0, 0);
+            assert_eq!(t.joints(), 2 * n, "the paper's 2n joints per pair");
+            assert_eq!(t.branches(), n * n, "every crossing appears once");
+        }
+    }
+
+    #[test]
+    fn figure4_nine_paths_preserved() {
+        // The lattice preserves all nine C→I paths of the 3×3 device.
+        let grid = MeaGrid::square(3);
+        let t = PairTopology::new(grid, 2, 0);
+        assert_eq!(t.path_count(), 9);
+        assert_eq!(enumerate_paths(grid, 2, 0, None).len() as u128, t.path_count());
+    }
+
+    #[test]
+    fn constraint_saving_is_exponential() {
+        let t = PairTopology::new(MeaGrid::square(10), 0, 0);
+        let (joints, paths) = t.constraint_saving();
+        assert_eq!(joints, 20);
+        assert!(paths > 100_000_000, "path count must dwarf the joint count");
+    }
+
+    #[test]
+    fn array_totals_match_paper_orders() {
+        // §IV-A: 2n·n² joints vs n^(n−1)·n² paths.
+        let (joints, paths) = PairTopology::array_totals(MeaGrid::square(3));
+        assert_eq!(joints, 6 * 9);
+        assert_eq!(paths, 9 * 9);
+    }
+
+    #[test]
+    fn rectangular_census() {
+        let t = PairTopology::new(MeaGrid::new(2, 5), 1, 3);
+        assert_eq!(t.joints(), 2 + 4 + 1);
+        assert_eq!(t.branches(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let _ = PairTopology::new(MeaGrid::square(2), 2, 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Parser for the equation text format emitted by [`crate::writer`] —
+//! the contract a downstream solver consuming Parma's generated files
+//! relies on. Round-trip (`form → write → read`) is tested to reproduce
+//! the structural content exactly and the numeric content to the format's
+//! printed precision.
+
+use crate::constraint::{ConstraintCategory, Equation, FlowTerm, PotentialRef};
+use crate::unknowns::UnknownIndex;
+use mea_model::MeaGrid;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+
+/// Parse failures, with 1-based line numbers.
+#[derive(Debug)]
+pub struct ReadError {
+    /// Line where parsing failed (0 = before any line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "equation file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn err(line: usize, message: impl Into<String>) -> ReadError {
+    ReadError { line, message: message.into() }
+}
+
+/// Parses an equation file written by [`crate::writer::write_system`] for
+/// a known grid geometry. Returns equations in file order.
+pub fn read_system<R: Read>(grid: MeaGrid, r: R) -> Result<Vec<Equation>, ReadError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    let mut current: Option<PairHeader> = None;
+    let mut measured_seen = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| err(lineno, format!("I/O error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# pair") {
+            current = Some(parse_pair_header(grid, rest, lineno)?);
+            measured_seen = 0;
+            continue;
+        }
+        let header = current
+            .as_ref()
+            .ok_or_else(|| err(lineno, "equation before any pair header"))?;
+        let eq = parse_equation(grid, header, line, lineno, measured_seen)?;
+        if matches!(eq.category, ConstraintCategory::Source | ConstraintCategory::Destination) {
+            measured_seen += 1;
+        }
+        out.push(eq);
+    }
+    Ok(out)
+}
+
+struct PairHeader {
+    pair: (u16, u16),
+    voltage: f64,
+    uz: f64,
+}
+
+fn parse_pair_header(grid: MeaGrid, rest: &str, lineno: usize) -> Result<PairHeader, ReadError> {
+    // " (A, I): U = 5 V, U/Z = 5.000000000e0 mA"
+    let open = rest.find('(').ok_or_else(|| err(lineno, "missing '(' in pair header"))?;
+    let close = rest.find(')').ok_or_else(|| err(lineno, "missing ')' in pair header"))?;
+    let names = &rest[open + 1..close];
+    let mut parts = names.split(',').map(str::trim);
+    let h = parts.next().ok_or_else(|| err(lineno, "missing horizontal wire"))?;
+    let v = parts.next().ok_or_else(|| err(lineno, "missing vertical wire"))?;
+    let i = parse_horizontal(h).ok_or_else(|| err(lineno, format!("bad wire name {h:?}")))?;
+    let j = parse_roman(v).ok_or_else(|| err(lineno, format!("bad wire name {v:?}")))?;
+    if i >= grid.rows() || j >= grid.cols() {
+        return Err(err(lineno, format!("pair ({h}, {v}) outside the {0}×{1} grid",
+            grid.rows(), grid.cols())));
+    }
+    let voltage = extract_number(rest, "U = ", lineno)?;
+    let uz = extract_number(rest, "U/Z = ", lineno)?;
+    Ok(PairHeader { pair: (i as u16, j as u16), voltage, uz })
+}
+
+fn extract_number(text: &str, prefix: &str, lineno: usize) -> Result<f64, ReadError> {
+    let start = text
+        .find(prefix)
+        .ok_or_else(|| err(lineno, format!("missing {prefix:?} in header")))?
+        + prefix.len();
+    let tail = &text[start..];
+    let end = tail
+        .find(|c: char| c == ' ' || c == ',')
+        .unwrap_or(tail.len());
+    tail[..end]
+        .parse()
+        .map_err(|e| err(lineno, format!("bad number after {prefix:?}: {e}")))
+}
+
+/// Parses `A, B, …, Z, AA, …` into a 0-based row index.
+pub fn parse_horizontal(name: &str) -> Option<usize> {
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_uppercase()) {
+        return None;
+    }
+    let mut acc: usize = 0;
+    for b in name.bytes() {
+        acc = acc * 26 + (b - b'A') as usize + 1;
+    }
+    Some(acc - 1)
+}
+
+/// Parses a Roman numeral into a 0-based column index.
+pub fn parse_roman(name: &str) -> Option<usize> {
+    if name.is_empty() {
+        return None;
+    }
+    let value = |c: u8| -> Option<usize> {
+        Some(match c {
+            b'I' => 1,
+            b'V' => 5,
+            b'X' => 10,
+            b'L' => 50,
+            b'C' => 100,
+            b'D' => 500,
+            b'M' => 1000,
+            _ => return None,
+        })
+    };
+    let bytes = name.as_bytes();
+    let mut total = 0i64;
+    for k in 0..bytes.len() {
+        let v = value(bytes[k])? as i64;
+        let next = if k + 1 < bytes.len() { value(bytes[k + 1])? as i64 } else { 0 };
+        // Subtractive notation: a symbol before a larger one subtracts.
+        if v < next {
+            total -= v;
+        } else {
+            total += v;
+        }
+    }
+    if total <= 0 {
+        return None;
+    }
+    Some(total as usize - 1)
+}
+
+fn parse_equation(
+    grid: MeaGrid,
+    header: &PairHeader,
+    line: &str,
+    lineno: usize,
+    measured_seen: usize,
+) -> Result<Equation, ReadError> {
+    let (lhs, rhs_text) = line
+        .split_once(" = ")
+        .ok_or_else(|| err(lineno, "missing ' = ' separator"))?;
+    let is_measured = lhs.starts_with("U/Z[");
+    if !is_measured && lhs.trim() != "0" {
+        return Err(err(lineno, format!("unrecognized left-hand side {lhs:?}")));
+    }
+    let mut terms = Vec::new();
+    for (sign, chunk) in split_terms(rhs_text, lineno)? {
+        terms.push(parse_term(grid, header, sign, &chunk, lineno)?);
+    }
+    if terms.is_empty() {
+        return Err(err(lineno, "equation has no terms"));
+    }
+    // Category inference from structure (writer emits source, destination,
+    // Ua*, Ub* — each shape is unambiguous except on a 1-wide grid, where
+    // block order disambiguates via `measured_seen`).
+    let (category, node) = infer_category(header, &terms, is_measured, measured_seen, lineno)?;
+    Ok(Equation {
+        pair: header.pair,
+        category,
+        node,
+        voltage: header.voltage,
+        rhs: if is_measured { header.uz } else { 0.0 },
+        terms,
+    })
+}
+
+/// Splits the right-hand side into signed term chunks, respecting
+/// parentheses (numerators like `(U - Ua[…])` contain " - " themselves).
+fn split_terms(text: &str, lineno: usize) -> Result<Vec<(i8, String)>, ReadError> {
+    let mut out: Vec<(i8, String)> = Vec::new();
+    let mut depth = 0i32;
+    let mut sign: i8 = 1;
+    let mut cur = String::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut k = 0;
+    while k < bytes.len() {
+        let c = bytes[k];
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(err(lineno, "unbalanced ')'"));
+                }
+                cur.push(c);
+            }
+            '+' | '-' if depth == 0 && k > 0 && bytes[k - 1] == ' ' => {
+                // Top-level separator: flush the current chunk.
+                if !cur.trim().is_empty() {
+                    out.push((sign, cur.trim().to_string()));
+                }
+                cur = String::new();
+                sign = if c == '+' { 1 } else { -1 };
+            }
+            '-' if depth == 0 && k == 0 => {
+                sign = -1;
+            }
+            _ => cur.push(c),
+        }
+        k += 1;
+    }
+    if depth != 0 {
+        return Err(err(lineno, "unbalanced '('"));
+    }
+    if !cur.trim().is_empty() {
+        out.push((sign, cur.trim().to_string()));
+    }
+    Ok(out)
+}
+
+fn parse_term(
+    grid: MeaGrid,
+    header: &PairHeader,
+    sign: i8,
+    chunk: &str,
+    lineno: usize,
+) -> Result<FlowTerm, ReadError> {
+    // chunk = "<numerator>/R[H,V]"
+    let slash = chunk
+        .rfind("/R[")
+        .ok_or_else(|| err(lineno, format!("term {chunk:?} missing '/R[' divider")))?;
+    let numerator = &chunk[..slash];
+    let res_text = &chunk[slash + 3..];
+    let close = res_text
+        .find(']')
+        .ok_or_else(|| err(lineno, "resistor reference missing ']'"))?;
+    let mut parts = res_text[..close].split(',').map(str::trim);
+    let h = parts.next().ok_or_else(|| err(lineno, "resistor missing row"))?;
+    let v = parts.next().ok_or_else(|| err(lineno, "resistor missing column"))?;
+    let ri = parse_horizontal(h).ok_or_else(|| err(lineno, format!("bad row {h:?}")))?;
+    let rj = parse_roman(v).ok_or_else(|| err(lineno, format!("bad column {v:?}")))?;
+    if ri >= grid.rows() || rj >= grid.cols() {
+        return Err(err(lineno, format!("resistor R[{h},{v}] outside the grid")));
+    }
+    let (from, to) = if let Some(inner) = numerator.strip_prefix('(') {
+        let inner = inner
+            .strip_suffix(')')
+            .ok_or_else(|| err(lineno, "numerator missing ')'"))?;
+        let (a, b) = inner
+            .split_once(" - ")
+            .ok_or_else(|| err(lineno, format!("numerator {inner:?} missing ' - '")))?;
+        (parse_potential(header, a.trim(), lineno)?, parse_potential(header, b.trim(), lineno)?)
+    } else {
+        (parse_potential(header, numerator.trim(), lineno)?, PotentialRef::Ground)
+    };
+    Ok(FlowTerm { from, to, resistor: (ri as u16, rj as u16), sign })
+}
+
+fn parse_potential(
+    header: &PairHeader,
+    text: &str,
+    lineno: usize,
+) -> Result<PotentialRef, ReadError> {
+    // The pair names embedded in Ua[…]/Ub[…] are redundant with the pair
+    // header; only the trailing compressed index is consumed.
+    let _ = header;
+    match text {
+        "U" => Ok(PotentialRef::Applied),
+        "0" => Ok(PotentialRef::Ground),
+        _ => {
+            let (kind, rest) = if let Some(r) = text.strip_prefix("Ua[") {
+                ('a', r)
+            } else if let Some(r) = text.strip_prefix("Ub[") {
+                ('b', r)
+            } else {
+                return Err(err(lineno, format!("unrecognized potential {text:?}")));
+            };
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "potential missing ']'"))?;
+            // "H,V,index" — the pair names must match the header.
+            let idx_text = inner
+                .rsplit(',')
+                .next()
+                .ok_or_else(|| err(lineno, "potential missing index"))?;
+            let one_based: usize = idx_text
+                .trim()
+                .parse()
+                .map_err(|e| err(lineno, format!("bad potential index: {e}")))?;
+            if one_based == 0 {
+                return Err(err(lineno, "potential indices are 1-based"));
+            }
+            let compressed = (one_based - 1) as u16;
+            Ok(match kind {
+                'a' => PotentialRef::Ua(compressed),
+                _ => PotentialRef::Ub(compressed),
+            })
+        }
+    }
+}
+
+fn infer_category(
+    header: &PairHeader,
+    terms: &[FlowTerm],
+    is_measured: bool,
+    measured_seen: usize,
+    lineno: usize,
+) -> Result<(ConstraintCategory, u16), ReadError> {
+    let (i, j) = (header.pair.0 as usize, header.pair.1 as usize);
+    if is_measured {
+        // Source mentions Ua, destination mentions Ub; when neither
+        // appears (single-wire grids have only the direct term), block
+        // order decides: the writer emits source first.
+        let has_ub = terms
+            .iter()
+            .any(|t| matches!(t.from, PotentialRef::Ub(_)) || matches!(t.to, PotentialRef::Ub(_)));
+        let has_ua = terms
+            .iter()
+            .any(|t| matches!(t.from, PotentialRef::Ua(_)) || matches!(t.to, PotentialRef::Ua(_)));
+        return Ok(if has_ub {
+            (ConstraintCategory::Destination, u16::MAX)
+        } else if has_ua || measured_seen == 0 {
+            (ConstraintCategory::Source, u16::MAX)
+        } else {
+            (ConstraintCategory::Destination, u16::MAX)
+        });
+    }
+    // Intermediate: a Ua balance starts with (U − Ua_k')/R_ik; a Ub
+    // balance has no Applied reference at all.
+    let first = &terms[0];
+    if first.from == PotentialRef::Applied {
+        let PotentialRef::Ua(kp) = first.to else {
+            return Err(err(lineno, "malformed Ua balance"));
+        };
+        let k = UnknownIndex::k_from_prime(j, kp as usize);
+        Ok((ConstraintCategory::IntermediateUa, k as u16))
+    } else {
+        // Ub balance: the shared Ub index appears in every term.
+        let mp = terms
+            .iter()
+            .find_map(|t| match (t.from, t.to) {
+                (_, PotentialRef::Ub(mp)) | (PotentialRef::Ub(mp), _) => Some(mp),
+                _ => None,
+            })
+            .ok_or_else(|| err(lineno, "malformed Ub balance"))?;
+        let m = UnknownIndex::k_from_prime(i, mp as usize);
+        Ok((ConstraintCategory::IntermediateUb, m as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formation::form_all_equations;
+    use crate::writer::write_system;
+    use mea_model::CrossingMatrix;
+
+    fn roundtrip(grid: MeaGrid) -> (Vec<Equation>, Vec<Equation>) {
+        let z = CrossingMatrix::filled(grid, 1234.5);
+        let original = form_all_equations(&z, 5.0);
+        let mut buf = Vec::new();
+        write_system(&original, grid, &mut buf).unwrap();
+        let parsed = read_system(grid, &buf[..]).unwrap();
+        (original, parsed)
+    }
+
+    #[test]
+    fn wire_name_parsers() {
+        assert_eq!(parse_horizontal("A"), Some(0));
+        assert_eq!(parse_horizontal("Z"), Some(25));
+        assert_eq!(parse_horizontal("AA"), Some(26));
+        assert_eq!(parse_horizontal("a"), None);
+        assert_eq!(parse_horizontal(""), None);
+        assert_eq!(parse_roman("I"), Some(0));
+        assert_eq!(parse_roman("IV"), Some(3));
+        assert_eq!(parse_roman("XXX"), Some(29));
+        assert_eq!(parse_roman("Q"), None);
+        assert_eq!(parse_roman(""), None);
+    }
+
+    #[test]
+    fn full_roundtrip_square() {
+        let grid = MeaGrid::square(4);
+        let (original, parsed) = roundtrip(grid);
+        assert_eq!(original.len(), parsed.len());
+        for (a, b) in original.iter().zip(&parsed) {
+            assert_eq!(a.pair, b.pair);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.terms, b.terms, "terms must survive byte-exactly");
+            assert!((a.voltage - b.voltage).abs() < 1e-9 * a.voltage);
+            assert!((a.rhs - b.rhs).abs() <= 1e-8 * a.rhs.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_rectangular_and_wide_names() {
+        // 2×30 exercises multi-letter Roman numerals (XXX).
+        let grid = MeaGrid::new(2, 30);
+        let (original, parsed) = roundtrip(grid);
+        assert_eq!(original.len(), parsed.len());
+        for (a, b) in original.iter().zip(&parsed) {
+            assert_eq!((a.pair, a.category, a.node), (b.pair, b.category, b.node));
+            assert_eq!(a.terms, b.terms);
+        }
+    }
+
+    #[test]
+    fn single_crossing_roundtrip() {
+        let grid = MeaGrid::square(1);
+        let (original, parsed) = roundtrip(grid);
+        assert_eq!(original.len(), 2);
+        assert_eq!(parsed[0].category, ConstraintCategory::Source);
+        assert_eq!(parsed[1].category, ConstraintCategory::Destination);
+        assert_eq!(original[0].terms, parsed[0].terms);
+    }
+
+    #[test]
+    fn rejects_equation_before_header() {
+        let text = "U/Z[A,I] = U/R[A,I]\n";
+        let e = read_system(MeaGrid::square(2), text.as_bytes()).unwrap_err();
+        assert!(e.message.contains("before any pair header"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let header = "# pair (A, I): U = 5 V, U/Z = 1.0e-3 mA\n";
+        for (bad, what) in [
+            ("U/Z[A,I] + U/R[A,I]\n", "missing ' = '"),
+            ("U/Z[A,I] = U\n", "missing '/R['"),
+            ("U/Z[A,I] = (U - /R[A,I]\n", "unbalanced"),
+            ("U/Z[A,I] = Uq/R[A,I]\n", "unrecognized potential"),
+            ("U/Z[A,I] = U/R[H,I]\n", "outside the grid"),
+        ] {
+            let text = format!("{header}{bad}");
+            let e = read_system(MeaGrid::square(2), text.as_bytes()).unwrap_err();
+            assert!(
+                e.message.contains(what) || e.line == 2,
+                "case {bad:?}: got {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_header_outside_grid() {
+        let text = "# pair (C, I): U = 5 V, U/Z = 1.0e-3 mA\n";
+        let e = read_system(MeaGrid::square(2), text.as_bytes()).unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn empty_file_is_empty_system() {
+        let parsed = read_system(MeaGrid::square(3), "".as_bytes()).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

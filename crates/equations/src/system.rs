@@ -1,0 +1,259 @@
+//! The assembled joint-constraint system: `2n³` equations over
+//! `(2n−1)·n²` unknowns, with packing and residual-validation APIs.
+
+use crate::constraint::{Equation, PairValues};
+use crate::formation::{form_all_equations, FormationCensus};
+use crate::unknowns::{Unknown, UnknownIndex};
+use mea_model::{ForwardSolver, MeaGrid, ResistorGrid, ZMatrix};
+
+/// The full nonlinear system for one measured `Z` matrix.
+#[derive(Clone, Debug)]
+pub struct EquationSystem {
+    grid: MeaGrid,
+    voltage: f64,
+    z: ZMatrix,
+    /// Equations in pair-major order; each pair's block has
+    /// `2 + (cols−1) + (rows−1)` equations in category order.
+    equations: Vec<Equation>,
+    index: UnknownIndex,
+}
+
+impl EquationSystem {
+    /// Assembles the system from measured data (sequential formation; the
+    /// parallel strategies in `mea-parallel` produce the same blocks).
+    pub fn assemble(z: &ZMatrix, voltage: f64) -> Self {
+        let grid = z.grid();
+        EquationSystem {
+            grid,
+            voltage,
+            z: z.clone(),
+            equations: form_all_equations(z, voltage),
+            index: UnknownIndex::new(grid),
+        }
+    }
+
+    /// Wraps pre-formed equations (e.g. produced by a parallel strategy).
+    /// Panics if the count does not match the grid's census.
+    pub fn from_equations(z: &ZMatrix, voltage: f64, equations: Vec<Equation>) -> Self {
+        let grid = z.grid();
+        assert_eq!(
+            equations.len(),
+            grid.equations(),
+            "equation count does not match the grid census"
+        );
+        EquationSystem { grid, voltage, z: z.clone(), equations, index: UnknownIndex::new(grid) }
+    }
+
+    /// The geometry.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// The applied voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// The measured impedances.
+    pub fn z(&self) -> &ZMatrix {
+        &self.z
+    }
+
+    /// All equations, pair-major.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// The unknown indexer.
+    pub fn unknown_index(&self) -> &UnknownIndex {
+        &self.index
+    }
+
+    /// Number of equations in each pair's block.
+    pub fn block_len(&self) -> usize {
+        2 + (self.grid.cols() - 1) + (self.grid.rows() - 1)
+    }
+
+    /// The equation block of pair `(i, j)`.
+    pub fn pair_block(&self, i: usize, j: usize) -> &[Equation] {
+        let b = self.block_len();
+        let start = self.grid.pair_index(i, j) * b;
+        &self.equations[start..start + b]
+    }
+
+    /// Census (counts per category, equations, terms).
+    pub fn census(&self) -> FormationCensus {
+        FormationCensus::of(&self.equations)
+    }
+
+    /// Packs a full unknown vector from a resistor map and a per-pair
+    /// potential source. `potentials(i, j)` must return `(ua, ub)` in
+    /// compressed order.
+    pub fn pack_unknowns<F>(&self, r: &ResistorGrid, mut potentials: F) -> Vec<f64>
+    where
+        F: FnMut(usize, usize) -> (Vec<f64>, Vec<f64>),
+    {
+        assert_eq!(r.grid(), self.grid, "resistor map grid mismatch");
+        let mut x = vec![0.0; self.index.len()];
+        for (i, j) in self.grid.pair_iter() {
+            x[self.index.index_of(Unknown::R { i, j })] = r.get(i, j);
+        }
+        for (i, j) in self.grid.pair_iter() {
+            let (ua, ub) = potentials(i, j);
+            assert_eq!(ua.len(), self.grid.cols() - 1, "ua length mismatch");
+            assert_eq!(ub.len(), self.grid.rows() - 1, "ub length mismatch");
+            for (kp, &v) in ua.iter().enumerate() {
+                let k = UnknownIndex::k_from_prime(j, kp);
+                x[self.index.index_of(Unknown::Ua { i, j, k })] = v;
+            }
+            for (mp, &v) in ub.iter().enumerate() {
+                let m = UnknownIndex::k_from_prime(i, mp);
+                x[self.index.index_of(Unknown::Ub { i, j, m })] = v;
+            }
+        }
+        x
+    }
+
+    /// Extracts the resistor map from an unknown vector.
+    pub fn unpack_resistors(&self, x: &[f64]) -> ResistorGrid {
+        assert_eq!(x.len(), self.index.len(), "unknown vector length mismatch");
+        ResistorGrid::from_vec(self.grid, x[..self.grid.crossings()].to_vec())
+    }
+
+    /// Evaluates every equation's residual at an unknown vector, in
+    /// equation order.
+    pub fn residuals(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.index.len(), "unknown vector length mismatch");
+        let r = self.unpack_resistors(x);
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        let per_pair = (cols - 1) + (rows - 1);
+        let base = self.grid.crossings();
+        let block = self.block_len();
+        let mut out = Vec::with_capacity(self.equations.len());
+        for (p, (i, j)) in self.grid.pair_iter().enumerate() {
+            let off = base + p * per_pair;
+            let ua = &x[off..off + cols - 1];
+            let ub = &x[off + cols - 1..off + per_pair];
+            let values = PairValues { r: &r, ua, ub, voltage: self.voltage };
+            for eq in &self.equations[p * block..(p + 1) * block] {
+                debug_assert_eq!(eq.pair, (i as u16, j as u16));
+                out.push(eq.residual(&values));
+            }
+        }
+        out
+    }
+
+    /// Largest absolute residual at an unknown vector.
+    pub fn max_residual(&self, x: &[f64]) -> f64 {
+        self.residuals(x).into_iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Packs the *physically exact* unknown vector for a resistor map by
+    /// forward-solving every pair's potentials. With `r` equal to the
+    /// ground truth behind `z`, all residuals vanish — the bridge between
+    /// the paper's equations and Kirchhoff physics, used heavily in tests.
+    pub fn exact_unknowns_for(&self, r: &ResistorGrid) -> Result<Vec<f64>, mea_linalg::LinalgError> {
+        let solver = ForwardSolver::new(r)?;
+        let voltage = self.voltage;
+        Ok(self.pack_unknowns(r, |i, j| {
+            let p = solver.pair_potentials(i, j, voltage);
+            (p.ua(), p.ub())
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintCategory;
+    use mea_model::{AnomalyConfig, CrossingMatrix};
+
+    fn ground_truth(n: usize, seed: u64) -> ResistorGrid {
+        AnomalyConfig::default().generate(MeaGrid::square(n), seed).0
+    }
+
+    #[test]
+    fn residuals_vanish_at_ground_truth() {
+        for n in [2usize, 3, 5, 8] {
+            let r = ground_truth(n, n as u64);
+            let z = ForwardSolver::new(&r).unwrap().solve_all();
+            let sys = EquationSystem::assemble(&z, 5.0);
+            let x = sys.exact_unknowns_for(&r).unwrap();
+            let max = sys.max_residual(&x);
+            assert!(
+                max < 1e-9,
+                "paper equations must agree with Kirchhoff physics (n = {n}, max = {max:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn residuals_nonzero_at_wrong_resistors() {
+        let r = ground_truth(4, 1);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let sys = EquationSystem::assemble(&z, 5.0);
+        let mut wrong = r.clone();
+        wrong.set(2, 2, wrong.get(2, 2) * 2.0);
+        let x = sys.exact_unknowns_for(&wrong).unwrap();
+        assert!(sys.max_residual(&x) > 1e-6);
+    }
+
+    #[test]
+    fn pair_block_lookup() {
+        let r = ground_truth(3, 2);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let sys = EquationSystem::assemble(&z, 5.0);
+        assert_eq!(sys.block_len(), 6);
+        let block = sys.pair_block(1, 2);
+        assert_eq!(block.len(), 6);
+        assert!(block.iter().all(|e| e.pair == (1, 2)));
+        assert_eq!(block[0].category, ConstraintCategory::Source);
+    }
+
+    #[test]
+    fn census_and_sizes() {
+        let r = ground_truth(4, 3);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let sys = EquationSystem::assemble(&z, 5.0);
+        assert_eq!(sys.census().equations, 2 * 64);
+        assert_eq!(sys.unknown_index().len(), 7 * 16);
+        assert_eq!(sys.equations().len(), sys.grid().equations());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let r = ground_truth(3, 4);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let sys = EquationSystem::assemble(&z, 5.0);
+        let x = sys.exact_unknowns_for(&r).unwrap();
+        let r2 = sys.unpack_resistors(&x);
+        assert!(r.rel_max_diff(&r2) < 1e-15);
+    }
+
+    #[test]
+    fn from_equations_accepts_reference_formation() {
+        let r = ground_truth(3, 5);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let eqs = crate::formation::form_all_equations(&z, 5.0);
+        let sys = EquationSystem::from_equations(&z, 5.0, eqs);
+        let x = sys.exact_unknowns_for(&r).unwrap();
+        assert!(sys.max_residual(&x) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "census")]
+    fn from_equations_rejects_wrong_count() {
+        let z = CrossingMatrix::filled(MeaGrid::square(2), 1000.0);
+        let _ = EquationSystem::from_equations(&z, 5.0, Vec::new());
+    }
+
+    #[test]
+    fn residual_vector_is_pair_major() {
+        let r = ground_truth(2, 6);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let sys = EquationSystem::assemble(&z, 5.0);
+        let x = sys.exact_unknowns_for(&r).unwrap();
+        let res = sys.residuals(&x);
+        assert_eq!(res.len(), sys.equations().len());
+    }
+}

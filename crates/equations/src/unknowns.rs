@@ -1,0 +1,216 @@
+//! Global unknown indexing for the joint-constraint system.
+//!
+//! The full `n×n` system has `(2n−1)·n²` unknowns (§IV-A):
+//!
+//! * `n²` resistances `R[i][j]`,
+//! * `(n−1)·n²` intermediate voltages `Ua[i][j][k']` (one per pair per
+//!   other vertical wire),
+//! * `(n−1)·n²` intermediate voltages `Ub[i][j][m']` (one per pair per
+//!   other horizontal wire).
+//!
+//! The flat layout is: all `R` first (row-major), then for each pair (in
+//! row-major pair order) its `Ua` block then its `Ub` block. The primed
+//! index compression is the paper's: `k' = k` if `k < j` else `k − 1`
+//! (0-based), and likewise for `m'` relative to `i`.
+
+use mea_model::MeaGrid;
+
+/// One unknown of the global system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unknown {
+    /// Resistance at crossing `(i, j)`.
+    R { i: usize, j: usize },
+    /// Voltage of vertical wire `k` when pair `(i, j)` is driven (`k ≠ j`).
+    Ua { i: usize, j: usize, k: usize },
+    /// Voltage of horizontal wire `m` when pair `(i, j)` is driven (`m ≠ i`).
+    Ub { i: usize, j: usize, m: usize },
+}
+
+/// Bidirectional map between [`Unknown`]s and flat vector indices.
+#[derive(Clone, Copy, Debug)]
+pub struct UnknownIndex {
+    grid: MeaGrid,
+}
+
+impl UnknownIndex {
+    /// Indexer for a grid.
+    pub fn new(grid: MeaGrid) -> Self {
+        UnknownIndex { grid }
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// Total unknown count (`(2n−1)·n²` for square arrays).
+    pub fn len(&self) -> usize {
+        self.grid.unknowns()
+    }
+
+    /// Never empty for a valid grid.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Compressed index `k'` of vertical wire `k` for a pair driven at
+    /// column `j` (0-based version of the paper's `k'`).
+    pub fn k_prime(j: usize, k: usize) -> usize {
+        debug_assert_ne!(j, k, "k' is undefined for the driven column itself");
+        if k < j {
+            k
+        } else {
+            k - 1
+        }
+    }
+
+    /// Inverse of [`Self::k_prime`].
+    pub fn k_from_prime(j: usize, k_prime: usize) -> usize {
+        if k_prime < j {
+            k_prime
+        } else {
+            k_prime + 1
+        }
+    }
+
+    /// Flat index of an unknown.
+    pub fn index_of(&self, u: Unknown) -> usize {
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        let per_pair = (cols - 1) + (rows - 1);
+        let base = rows * cols; // R block
+        match u {
+            Unknown::R { i, j } => {
+                assert!(i < rows && j < cols, "R index out of range");
+                self.grid.pair_index(i, j)
+            }
+            Unknown::Ua { i, j, k } => {
+                assert!(i < rows && j < cols && k < cols && k != j, "Ua index out of range");
+                base + self.grid.pair_index(i, j) * per_pair + Self::k_prime(j, k)
+            }
+            Unknown::Ub { i, j, m } => {
+                assert!(i < rows && j < cols && m < rows && m != i, "Ub index out of range");
+                base + self.grid.pair_index(i, j) * per_pair + (cols - 1) + Self::k_prime(i, m)
+            }
+        }
+    }
+
+    /// Inverse of [`Self::index_of`].
+    pub fn unknown_at(&self, idx: usize) -> Unknown {
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        let base = rows * cols;
+        if idx < base {
+            return Unknown::R { i: idx / cols, j: idx % cols };
+        }
+        let rest = idx - base;
+        let per_pair = (cols - 1) + (rows - 1);
+        let pair = rest / per_pair;
+        assert!(pair < self.grid.pairs(), "unknown index out of range");
+        let (i, j) = (pair / cols, pair % cols);
+        let off = rest % per_pair;
+        if off < cols - 1 {
+            Unknown::Ua { i, j, k: Self::k_from_prime(j, off) }
+        } else {
+            Unknown::Ub { i, j, m: Self::k_from_prime(i, off - (cols - 1)) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_matches_paper_formula() {
+        for n in [1usize, 2, 3, 10] {
+            let idx = UnknownIndex::new(MeaGrid::square(n));
+            assert_eq!(idx.len(), (2 * n - 1) * n * n);
+        }
+        let idx = UnknownIndex::new(MeaGrid::new(2, 5));
+        assert_eq!(idx.len(), (1 + 4) * 10 + 10);
+    }
+
+    #[test]
+    fn k_prime_compression() {
+        // j = 2 with cols = 4: k ∈ {0, 1, 3} → k' ∈ {0, 1, 2}.
+        assert_eq!(UnknownIndex::k_prime(2, 0), 0);
+        assert_eq!(UnknownIndex::k_prime(2, 1), 1);
+        assert_eq!(UnknownIndex::k_prime(2, 3), 2);
+        for j in 0..5 {
+            for k in 0..5 {
+                if k != j {
+                    let kp = UnknownIndex::k_prime(j, k);
+                    assert_eq!(UnknownIndex::k_from_prime(j, kp), k);
+                    assert!(kp < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r_block_comes_first_row_major() {
+        let idx = UnknownIndex::new(MeaGrid::square(3));
+        assert_eq!(idx.index_of(Unknown::R { i: 0, j: 0 }), 0);
+        assert_eq!(idx.index_of(Unknown::R { i: 0, j: 2 }), 2);
+        assert_eq!(idx.index_of(Unknown::R { i: 2, j: 2 }), 8);
+        assert_eq!(idx.index_of(Unknown::Ua { i: 0, j: 0, k: 1 }), 9);
+    }
+
+    #[test]
+    fn roundtrip_every_index() {
+        for grid in [MeaGrid::square(3), MeaGrid::new(2, 4), MeaGrid::new(4, 2)] {
+            let idx = UnknownIndex::new(grid);
+            let mut seen = vec![false; idx.len()];
+            // Forward direction: every structurally valid unknown maps into
+            // range, uniquely.
+            for i in 0..grid.rows() {
+                for j in 0..grid.cols() {
+                    let u = Unknown::R { i, j };
+                    let flat = idx.index_of(u);
+                    assert!(!seen[flat]);
+                    seen[flat] = true;
+                    assert_eq!(idx.unknown_at(flat), u);
+                    for k in 0..grid.cols() {
+                        if k != j {
+                            let u = Unknown::Ua { i, j, k };
+                            let flat = idx.index_of(u);
+                            assert!(!seen[flat]);
+                            seen[flat] = true;
+                            assert_eq!(idx.unknown_at(flat), u);
+                        }
+                    }
+                    for m in 0..grid.rows() {
+                        if m != i {
+                            let u = Unknown::Ub { i, j, m };
+                            let flat = idx.index_of(u);
+                            assert!(!seen[flat]);
+                            seen[flat] = true;
+                            assert_eq!(idx.unknown_at(flat), u);
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every flat index must be hit");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ua_with_k_equal_j_rejected() {
+        let idx = UnknownIndex::new(MeaGrid::square(3));
+        let _ = idx.index_of(Unknown::Ua { i: 0, j: 1, k: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_at_out_of_range_rejected() {
+        let idx = UnknownIndex::new(MeaGrid::square(2));
+        let _ = idx.unknown_at(idx.len());
+    }
+
+    #[test]
+    fn n1_grid_has_only_r() {
+        let idx = UnknownIndex::new(MeaGrid::square(1));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.unknown_at(0), Unknown::R { i: 0, j: 0 });
+    }
+}

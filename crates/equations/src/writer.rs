@@ -1,0 +1,171 @@
+//! Paper-style text rendering of joint-constraint equations, and the bulk
+//! file writer behind the Figure-9 I/O experiment.
+//!
+//! The paper's Python pipeline generated the system of nonlinear equations
+//! and wrote it to disk as text for downstream solvers; §V-E times exactly
+//! that. The format here mirrors the paper's notation, e.g. for the 3×3
+//! device's pair (A, I):
+//!
+//! ```text
+//! U/Z[A,I] = U/R[A,I] + (U - Ua[A,I,1])/R[A,II] + (U - Ua[A,I,2])/R[A,III]
+//! ```
+
+use crate::constraint::{ConstraintCategory, Equation, PotentialRef};
+use mea_model::MeaGrid;
+use std::io::{self, Write};
+
+/// Renders one potential reference in paper notation for a given pair.
+fn render_potential(p: PotentialRef, grid: MeaGrid, pair: (u16, u16)) -> String {
+    let (i, j) = (pair.0 as usize, pair.1 as usize);
+    let pair_name = format!("{},{}", grid.horizontal_name(i), grid.vertical_name(j));
+    match p {
+        PotentialRef::Applied => "U".to_string(),
+        PotentialRef::Ground => "0".to_string(),
+        PotentialRef::Ua(kp) => format!("Ua[{},{}]", pair_name, kp + 1),
+        PotentialRef::Ub(mp) => format!("Ub[{},{}]", pair_name, mp + 1),
+    }
+}
+
+fn render_resistor(grid: MeaGrid, r: (u16, u16)) -> String {
+    format!(
+        "R[{},{}]",
+        grid.horizontal_name(r.0 as usize),
+        grid.vertical_name(r.1 as usize)
+    )
+}
+
+/// Renders one equation in the paper's notation.
+pub fn render_equation(eq: &Equation, grid: MeaGrid) -> String {
+    let (i, j) = (eq.pair.0 as usize, eq.pair.1 as usize);
+    let lhs = match eq.category {
+        ConstraintCategory::Source | ConstraintCategory::Destination => format!(
+            "U/Z[{},{}]",
+            grid.horizontal_name(i),
+            grid.vertical_name(j)
+        ),
+        ConstraintCategory::IntermediateUa | ConstraintCategory::IntermediateUb => "0".to_string(),
+    };
+    let mut rhs = String::new();
+    for (idx, t) in eq.terms.iter().enumerate() {
+        let sign = if t.sign >= 0 { "+" } else { "-" };
+        if idx > 0 || t.sign < 0 {
+            rhs.push_str(sign);
+            rhs.push(' ');
+        }
+        let numerator = match (t.from, t.to) {
+            (f, PotentialRef::Ground) => render_potential(f, grid, eq.pair),
+            (f, to) => format!(
+                "({} - {})",
+                render_potential(f, grid, eq.pair),
+                render_potential(to, grid, eq.pair)
+            ),
+        };
+        rhs.push_str(&numerator);
+        rhs.push('/');
+        rhs.push_str(&render_resistor(grid, t.resistor));
+        rhs.push(' ');
+    }
+    format!("{lhs} = {}", rhs.trim_end())
+}
+
+/// Writes every equation of a formed system to `w`, one per line, grouped
+/// by pair with a header comment per pair — the Figure-9 workload. Returns
+/// the number of bytes written.
+///
+/// Callers should hand in a buffered writer; the function writes line by
+/// line (hundreds of thousands of lines at `n = 100`).
+pub fn write_system<W: Write>(
+    equations: &[Equation],
+    grid: MeaGrid,
+    mut w: W,
+) -> io::Result<usize> {
+    let mut bytes = 0usize;
+    let mut current_pair: Option<(u16, u16)> = None;
+    for eq in equations {
+        if current_pair != Some(eq.pair) {
+            current_pair = Some(eq.pair);
+            let header = format!(
+                "# pair ({}, {}): U = {} V, U/Z = {:.9e} mA\n",
+                grid.horizontal_name(eq.pair.0 as usize),
+                grid.vertical_name(eq.pair.1 as usize),
+                eq.voltage,
+                eq.rhs.max(0.0)
+            );
+            w.write_all(header.as_bytes())?;
+            bytes += header.len();
+        }
+        let line = render_equation(eq, grid);
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        bytes += line.len() + 1;
+    }
+    w.flush()?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formation::{form_all_equations, form_pair_equations};
+    use mea_model::CrossingMatrix;
+
+    #[test]
+    fn source_equation_renders_like_the_paper() {
+        let grid = MeaGrid::square(3);
+        let eqs = form_pair_equations(grid, 0, 0, 5.0, 1000.0);
+        let s = render_equation(&eqs[0], grid);
+        assert_eq!(
+            s,
+            "U/Z[A,I] = U/R[A,I] + (U - Ua[A,I,1])/R[A,II] + (U - Ua[A,I,2])/R[A,III]"
+        );
+    }
+
+    #[test]
+    fn destination_equation_renders() {
+        let grid = MeaGrid::square(3);
+        let eqs = form_pair_equations(grid, 0, 0, 5.0, 1000.0);
+        let s = render_equation(&eqs[1], grid);
+        assert_eq!(
+            s,
+            "U/Z[A,I] = U/R[A,I] + Ub[A,I,1]/R[B,I] + Ub[A,I,2]/R[C,I]"
+        );
+    }
+
+    #[test]
+    fn intermediate_equations_have_zero_lhs() {
+        let grid = MeaGrid::square(3);
+        let eqs = form_pair_equations(grid, 1, 1, 5.0, 1200.0);
+        for eq in &eqs[2..] {
+            let s = render_equation(eq, grid);
+            assert!(s.starts_with("0 = "), "intermediate equations balance to zero: {s}");
+            assert!(s.contains("- "), "must contain outflow terms: {s}");
+        }
+    }
+
+    #[test]
+    fn writer_emits_header_per_pair_and_counts_bytes() {
+        let grid = MeaGrid::square(2);
+        let z = CrossingMatrix::filled(grid, 800.0);
+        let eqs = form_all_equations(&z, 5.0);
+        let mut buf = Vec::new();
+        let bytes = write_system(&eqs, grid, &mut buf).unwrap();
+        assert_eq!(bytes, buf.len());
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("# pair").count(), 4, "one header per pair");
+        // 2n = 4 equations per pair, 4 pairs.
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 16);
+    }
+
+    #[test]
+    fn writer_output_mentions_every_resistor() {
+        let grid = MeaGrid::square(2);
+        let z = CrossingMatrix::filled(grid, 800.0);
+        let eqs = form_all_equations(&z, 5.0);
+        let mut buf = Vec::new();
+        write_system(&eqs, grid, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for name in ["R[A,I]", "R[A,II]", "R[B,I]", "R[B,II]"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! CGLS: conjugate gradients on the normal equations, in operator form.
+//!
+//! Solves `min‖A·x − b‖₂` for sparse rectangular `A` without forming
+//! `AᵀA` (two sparse mat-vecs per iteration). This is the inner solver of
+//! the full-system Gauss-Newton in `parma::full_newton`, whose Jacobian
+//! has `2n³` rows over `(2n−1)n²` columns — forming the normal matrix
+//! explicitly would densify badly through the shared `R` columns.
+
+use crate::csr::CsrMatrix;
+use crate::error::LinalgError;
+use crate::vec_ops;
+
+/// Options for [`cgls`].
+#[derive(Clone, Debug)]
+pub struct CglsOptions {
+    /// Stop when ‖Aᵀ(b − A·x)‖ ≤ tol·‖Aᵀb‖ (the normal-equation
+    /// residual; the right criterion for least squares).
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for CglsOptions {
+    fn default() -> Self {
+        CglsOptions { tol: 1e-12, max_iter: 10_000 }
+    }
+}
+
+/// Result of a CGLS run.
+#[derive(Clone, Debug)]
+pub struct CglsOutcome {
+    /// The least-squares solution estimate.
+    pub x: Vec<f64>,
+    /// Iterations taken.
+    pub iterations: usize,
+    /// Final relative normal-equation residual.
+    pub residual: f64,
+}
+
+/// Runs CGLS from the zero vector.
+pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::InvalidInput("cgls: rhs length mismatch".into()));
+    }
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A·x
+    let mut s = a.mul_vec_transposed(&r); // s = Aᵀr (normal residual)
+    let s0_norm = vec_ops::norm2(&s).max(f64::MIN_POSITIVE);
+    let mut p = s.clone();
+    let mut gamma = vec_ops::dot(&s, &s);
+    let mut q = vec![0.0; a.rows()];
+    for it in 0..opts.max_iter {
+        let rel = vec_ops::norm2(&s) / s0_norm;
+        if rel <= opts.tol {
+            return Ok(CglsOutcome { x, iterations: it, residual: rel });
+        }
+        a.mul_vec_into(&p, &mut q);
+        let qq = vec_ops::dot(&q, &q);
+        if qq <= 0.0 || !qq.is_finite() {
+            // p ∈ ker A: the normal residual should already be ~0; treat
+            // as converged at whatever level we reached.
+            return Ok(CglsOutcome { x, iterations: it, residual: rel });
+        }
+        let alpha = gamma / qq;
+        vec_ops::axpy(alpha, &p, &mut x);
+        vec_ops::axpy(-alpha, &q, &mut r);
+        s = a.mul_vec_transposed(&r);
+        let gamma_new = vec_ops::dot(&s, &s);
+        let beta = gamma_new / gamma;
+        gamma = gamma_new;
+        for i in 0..n {
+            p[i] = s[i] + beta * p[i];
+        }
+    }
+    let rel = vec_ops::norm2(&s) / s0_norm;
+    if rel <= opts.tol {
+        Ok(CglsOutcome { x, iterations: opts.max_iter, residual: rel })
+    } else {
+        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: rel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooTriplets;
+
+    fn matrix(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut t = CooTriplets::new(rows, cols);
+        for &(r, c, v) in entries {
+            t.push(r, c, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn square_consistent_system() {
+        // [[2,1],[1,3]] x = [3,5] → x = [0.8, 1.4].
+        let a = matrix(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        let out = cgls(&a, &[3.0, 5.0], &CglsOptions::default()).unwrap();
+        assert!((out.x[0] - 0.8).abs() < 1e-9);
+        assert!((out.x[1] - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // Fit y = c over observations 1, 2, 3: least squares c = 2.
+        let a = matrix(3, 1, &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0)]);
+        let out = cgls(&a, &[1.0, 2.0, 3.0], &CglsOptions::default()).unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_consistent_reaches_zero_residual() {
+        // 3 equations, 2 unknowns, consistent by construction.
+        let a = matrix(
+            3,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, -1.0), (2, 0, 1.0), (2, 1, 1.0)],
+        );
+        let xtrue = [2.0, -1.0];
+        let b = a.mul_vec(&xtrue);
+        let out = cgls(&a, &b, &CglsOptions::default()).unwrap();
+        for (x, t) in out.x.iter().zip(&xtrue) {
+            assert!((x - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_returns_minimum_norm_like_solution() {
+        // Two identical columns: any split solves it; CGLS from zero gives
+        // the minimum-norm split (equal halves).
+        let a = matrix(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let out = cgls(&a, &[2.0, 2.0], &CglsOptions::default()).unwrap();
+        assert!((out.x[0] - 1.0).abs() < 1e-9);
+        assert!((out.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // A badly conditioned tall system with a tiny budget.
+        let mut entries = Vec::new();
+        for i in 0..20 {
+            entries.push((i, i % 5, 1.0 + i as f64 * 0.1));
+            entries.push((i, (i + 1) % 5, 0.5));
+        }
+        let a = matrix(20, 5, &entries);
+        let b = vec![1.0; 20];
+        let opts = CglsOptions { max_iter: 1, tol: 1e-15 };
+        assert!(matches!(
+            cgls(&a, &b, &opts),
+            Err(LinalgError::NoConvergence { .. }) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = matrix(2, 2, &[(0, 0, 1.0)]);
+        assert!(cgls(&a, &[1.0], &CglsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = matrix(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        let out = cgls(&a, &[0.0; 3], &CglsOptions::default()).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,345 @@
+//! Compressed sparse row matrices with triplet (COO) assembly.
+//!
+//! The joint-constraint Jacobians of the full `2n³`-equation system are very
+//! sparse (each equation touches `O(n)` of the `(2n−1)n²` unknowns); CSR is
+//! the storage the equation system and the CG solver operate on.
+
+use crate::error::LinalgError;
+
+/// A coordinate-format accumulator; duplicate entries sum on conversion.
+#[derive(Clone, Debug, Default)]
+pub struct CooTriplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooTriplets {
+    /// New empty accumulator with fixed dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooTriplets { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `v` at `(r, c)`; duplicates accumulate.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "triplet out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of raw (pre-summed) entries.
+    pub fn nnz_raw(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping exact zeros.
+    pub fn to_csr(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+        let mut cur_row = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, _) = self.entries[i];
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            let mut sum = 0.0;
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
+                sum += self.entries[i].2;
+                i += 1;
+            }
+            if sum != 0.0 {
+                col_idx.push(c);
+                values.push(sum);
+            }
+        }
+        while cur_row < self.rows {
+            row_ptr.push(col_idx.len());
+            cur_row += 1;
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// The all-zero `rows × cols` sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Sparse identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` pairs of row `r`, in ascending column order.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Reads entry `(r, c)` (zero when absent), via binary search.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a caller-provided buffer (no allocation;
+    /// the hot kernel of the CG loop).
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec_into: y dimension mismatch");
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Transposed product `y = Aᵀ·x`.
+    pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += self.values[k] * xr;
+            }
+        }
+        y
+    }
+
+    /// The main diagonal (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut cursor = counts;
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let slot = cursor[c];
+                col_idx[slot] = r;
+                values[slot] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Densifies (test helper / small systems).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut out = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out[(r, c)] = v;
+            }
+        }
+        out
+    }
+
+    /// Validates internal invariants (sorted columns, in-bounds indices,
+    /// monotone row pointers). Used by debug assertions and tests.
+    pub fn validate(&self) -> Result<(), LinalgError> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err(LinalgError::InvalidInput("row_ptr length".into()));
+        }
+        if *self.row_ptr.last().unwrap() != self.nnz() {
+            return Err(LinalgError::InvalidInput("row_ptr tail".into()));
+        }
+        for r in 0..self.rows {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return Err(LinalgError::InvalidInput("row_ptr not monotone".into()));
+            }
+            let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            if !cols.windows(2).all(|w| w[0] < w[1]) {
+                return Err(LinalgError::InvalidInput(format!("row {r} columns not sorted")));
+            }
+            if cols.iter().any(|&c| c >= self.cols) {
+                return Err(LinalgError::InvalidInput(format!("row {r} column out of bounds")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2], [0, 0, 3], [4, 5, 0]]
+        let mut t = CooTriplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 2, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 1, 5.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn coo_roundtrip_and_get() {
+        let m = sample();
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let mut t = CooTriplets::new(2, 2);
+        t.push(0, 0, 1.5);
+        t.push(0, 0, 2.5);
+        t.push(1, 1, 3.0);
+        t.push(1, 1, -3.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.nnz(), 1, "cancelled entry must be dropped");
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let m = sample();
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn mul_vec_transposed_matches_transpose() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec_transposed(&x), m.transpose().mul_vec(&x));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![1.0, 0.0, 0.0]);
+        assert_eq!(CsrMatrix::identity(4).diagonal(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut t = CooTriplets::new(4, 4);
+        t.push(3, 3, 1.0);
+        let m = t.to_csr();
+        m.validate().unwrap();
+        assert_eq!(m.mul_vec(&[1.0; 4]), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let m = CsrMatrix::zeros(3, 5);
+        m.validate().unwrap();
+        assert_eq!(m.mul_vec(&[1.0; 5]), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let mut t = CooTriplets::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    proptest! {
+        /// CSR SpMV agrees with dense multiplication on random matrices.
+        #[test]
+        fn prop_spmv_matches_dense(
+            rows in 1usize..10,
+            cols in 1usize..10,
+            entries in proptest::collection::vec((0usize..10, 0usize..10, -5i32..5), 0..40),
+        ) {
+            let mut t = CooTriplets::new(rows, cols);
+            for (r, c, v) in entries {
+                t.push(r % rows, c % cols, v as f64);
+            }
+            let m = t.to_csr();
+            m.validate().unwrap();
+            let x: Vec<f64> = (0..cols).map(|i| (i as f64) - 2.0).collect();
+            let dense = m.to_dense();
+            prop_assert_eq!(m.mul_vec(&x), dense.mul_vec(&x));
+            let y: Vec<f64> = (0..rows).map(|i| (i as f64) * 0.5).collect();
+            let t1 = m.mul_vec_transposed(&y);
+            let t2 = dense.transpose().mul_vec(&y);
+            for (a, b) in t1.iter().zip(&t2) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

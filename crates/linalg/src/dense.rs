@@ -1,0 +1,562 @@
+//! Row-major dense matrices with LU and Cholesky factorizations.
+//!
+//! These back the per-iteration Laplacian inverses of the Parma solver
+//! (matrices of order `2n` for an `n×n` MEA, so a few hundred at most) and
+//! the dense Jacobians of the Newton cross-check solver.
+
+use crate::error::LinalgError;
+
+/// A row-major dense `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a nested array literal; rows must have equal length.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Builds from a flat row-major buffer. Panics if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read-only view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| crate::vec_ops::dot(self.row(r), x))
+            .collect()
+    }
+
+    /// Matrix product `A·B`.
+    pub fn mul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows, "mul: shape mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams through rhs rows, cache-friendly for
+        // row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Max-abs entry, used in scale-free comparisons.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Whether the matrix is symmetric to within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// LU factorization with partial pivoting. Requires a square matrix.
+    pub fn lu(&self) -> Result<LuFactor, LinalgError> {
+        LuFactor::new(self)
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ`. Requires symmetric positive
+    /// definite input (symmetry is assumed, positivity checked).
+    pub fn cholesky(&self) -> Result<CholeskyFactor, LinalgError> {
+        CholeskyFactor::new(self)
+    }
+
+    /// Convenience: solve `A·x = b` through a fresh LU factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Convenience: full inverse through LU. Prefer factor-and-solve when
+    /// only products with a few vectors are needed; Parma's inner loop
+    /// genuinely needs all columns (all endpoint pairs read them).
+    pub fn inverse(&self) -> Result<DenseMatrix, LinalgError> {
+        self.lu().map(|f| f.inverse())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// An LU factorization `P·A = L·U` with partial pivoting, reusable across
+/// many right-hand sides.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper) in one buffer.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl LuFactor {
+    fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if a.rows != a.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "LU needs a square matrix, got {}×{}",
+                a.rows, a.cols
+            )));
+        }
+        if !crate::vec_ops::all_finite(&a.data) {
+            return Err(LinalgError::InvalidInput("non-finite matrix entry".into()));
+        }
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Partial pivoting: largest |entry| at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = lu[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE {
+                return Err(LinalgError::Singular(col));
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    lu.swap(col * n + k, pivot_row * n + k);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor;
+                if factor != 0.0 {
+                    for k in (col + 1)..n {
+                        lu[r * n + k] -= factor * lu[col * n + k];
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { n, lu, perm, perm_sign: sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve: rhs length mismatch");
+        let n = self.n;
+        // Apply permutation, then forward (L) and backward (U) substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for k in 0..r {
+                acc -= self.lu[r * n + k] * x[k];
+            }
+            x[r] = acc;
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for k in (r + 1)..n {
+                acc -= self.lu[r * n + k] * x[k];
+            }
+            x[r] = acc / self.lu[r * n + r];
+        }
+        x
+    }
+
+    /// Solves for many right-hand sides given as the columns of `B`.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(b.rows, self.n, "solve_matrix: row mismatch");
+        let mut out = DenseMatrix::zeros(self.n, b.cols);
+        let mut col = vec![0.0; self.n];
+        for c in 0..b.cols {
+            for r in 0..self.n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col);
+            for r in 0..self.n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+
+    /// Full inverse `A⁻¹`.
+    pub fn inverse(&self) -> DenseMatrix {
+        self.solve_matrix(&DenseMatrix::identity(self.n))
+    }
+
+    /// Determinant (product of U's diagonal times the permutation sign).
+    pub fn det(&self) -> f64 {
+        let n = self.n;
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[i * n + i];
+        }
+        d
+    }
+}
+
+/// A Cholesky factorization `A = L·Lᵀ` of a symmetric positive definite
+/// matrix, reusable across right-hand sides.
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    n: usize,
+    /// Lower-triangular factor, row-major, upper part zeroed.
+    l: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if a.rows != a.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "Cholesky needs a square matrix, got {}×{}",
+                a.rows, a.cols
+            )));
+        }
+        let n = a.rows;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(j));
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(CholeskyFactor { n, l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve: rhs length mismatch");
+        let n = self.n;
+        let mut y = b.to_vec();
+        // L·y = b
+        for r in 0..n {
+            let mut acc = y[r];
+            for k in 0..r {
+                acc -= self.l[r * n + k] * y[k];
+            }
+            y[r] = acc / self.l[r * n + r];
+        }
+        // Lᵀ·x = y
+        for r in (0..n).rev() {
+            let mut acc = y[r];
+            for k in (r + 1)..n {
+                acc -= self.l[k * n + r] * y[k];
+            }
+            y[r] = acc / self.l[r * n + r];
+        }
+        y
+    }
+
+    /// Full inverse.
+    pub fn inverse(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n, self.n);
+        let mut e = vec![0.0; self.n];
+        for c in 0..self.n {
+            e[c] = 1.0;
+            let x = self.solve(&e);
+            e[c] = 0.0;
+            for r in 0..self.n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn index_and_row_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m[(1, 2)], 5.0);
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mul_with_identity() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul(&DenseMatrix::identity(2)), m);
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        // [[2,1],[1,3]] x = [3,5] -> x = [4/5, 7/5]
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_close(&x, &[0.8, 1.4], 1e-12);
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-14);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular(_))));
+    }
+
+    #[test]
+    fn lu_rejects_non_square_and_non_finite() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::ShapeMismatch(_))));
+        let mut b = DenseMatrix::identity(2);
+        b[(0, 1)] = f64::NAN;
+        assert!(matches!(b.lu(), Err(LinalgError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-12);
+        assert!((DenseMatrix::identity(5).lu().unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let x_lu = a.solve(&b).unwrap();
+        let x_ch = a.cholesky().unwrap().solve(&b);
+        assert_close(&x_lu, &x_ch, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite(_))));
+    }
+
+    #[test]
+    fn solve_matrix_multi_rhs() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]);
+        let x = a.lu().unwrap().solve_matrix(&b);
+        assert_eq!(x, DenseMatrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn is_symmetric_detects() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(a.is_symmetric(0.0));
+        let b = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.1, 1.0]]);
+        assert!(!b.is_symmetric(1e-3));
+        assert!(!DenseMatrix::zeros(2, 3).is_symmetric(0.0));
+    }
+
+    proptest! {
+        /// LU solve then multiply reproduces the right-hand side on random
+        /// diagonally dominant (hence nonsingular) systems.
+        #[test]
+        fn prop_lu_residual(n in 1usize..12, seed in any::<u64>()) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut a = DenseMatrix::zeros(n, n);
+            for r in 0..n {
+                let mut rowsum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = next();
+                        a[(r, c)] = v;
+                        rowsum += v.abs();
+                    }
+                }
+                a[(r, r)] = rowsum + 1.0; // strict diagonal dominance
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.solve(&b).unwrap();
+            let r = crate::vec_ops::sub(&a.mul_vec(&x), &b);
+            prop_assert!(crate::vec_ops::norm_inf(&r) < 1e-9);
+        }
+
+        /// Cholesky solves A·x = b for random s.p.d. matrices A = Mᵀ·M + I.
+        #[test]
+        fn prop_cholesky_residual(n in 1usize..10, seed in any::<u64>()) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut m = DenseMatrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    m[(r, c)] = next();
+                }
+            }
+            let mut a = m.transpose().mul(&m);
+            for i in 0..n {
+                a[(i, i)] += 1.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.cholesky().unwrap().solve(&b);
+            let r = crate::vec_ops::sub(&a.mul_vec(&x), &b);
+            prop_assert!(crate::vec_ops::norm_inf(&r) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type shared by the numeric routines.
+
+use std::fmt;
+
+/// Failures of the numeric substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Shapes do not line up; the payload is a human-readable description.
+    ShapeMismatch(String),
+    /// A pivot underflowed during LU factorization: the matrix is singular
+    /// (or numerically so). Holds the pivot column.
+    Singular(usize),
+    /// Cholesky hit a non-positive diagonal: the matrix is not positive
+    /// definite. Holds the offending column.
+    NotPositiveDefinite(usize),
+    /// An iterative method ran out of its iteration budget; the payload is
+    /// the final residual norm.
+    NoConvergence { iterations: usize, residual: f64 },
+    /// An input violated a documented precondition (e.g. non-finite entry).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            LinalgError::Singular(col) => write!(f, "matrix is singular at pivot column {col}"),
+            LinalgError::NotPositiveDefinite(col) => {
+                write!(f, "matrix is not positive definite (column {col})")
+            }
+            LinalgError::NoConvergence { iterations, residual } => write!(
+                f,
+                "iteration budget exhausted after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidInput(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,36 @@
+//! Numeric substrate for the Parma MEA-parametrization system.
+//!
+//! The paper's reference implementation leaned on NumPy/SciPy; the Rust
+//! sparse-solver ecosystem is thinner, so this crate provides everything the
+//! rest of the workspace needs, built from scratch and property-tested:
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with LU (partial pivoting)
+//!   and Cholesky factorizations, multi-right-hand-side solves and inverses,
+//! * [`CsrMatrix`] — compressed sparse row matrices with triplet assembly
+//!   and matrix-vector products,
+//! * [`conjugate_gradient`] — Jacobi-preconditioned CG for s.p.d. systems,
+//! * [`newton_solve`] — a damped Newton driver for square nonlinear systems,
+//! * [`fixed_point`] — a damped fixed-point driver with residual-based
+//!   convergence control (the outer loop of Parma's inverse solver),
+//! * [`vec_ops`] — the handful of BLAS-1 kernels everything else uses.
+
+mod cg;
+mod cgls;
+mod csr;
+mod dense;
+mod error;
+mod fixedpoint;
+mod newton;
+pub mod spectral;
+pub mod stationary;
+pub mod vec_ops;
+
+pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
+pub use cgls::{cgls, CglsOptions, CglsOutcome};
+pub use csr::{CooTriplets, CsrMatrix};
+pub use dense::{CholeskyFactor, DenseMatrix, LuFactor};
+pub use error::LinalgError;
+pub use fixedpoint::{fixed_point, FixedPointOptions, FixedPointOutcome};
+pub use newton::{newton_solve, NewtonOptions, NewtonOutcome};
+pub use spectral::{condition_estimate, inverse_power_iteration, power_iteration, EigenEstimate};
+pub use stationary::{stationary_solve, StationaryMethod, StationaryOptions, StationaryOutcome};

@@ -1,0 +1,263 @@
+//! Stationary iterative solvers: Jacobi, Gauss-Seidel and SOR on CSR
+//! matrices.
+//!
+//! The Parma fixed point *is* a (nonlinear, damped) Jacobi iteration; this
+//! module provides the linear textbook family for the substrate — used by
+//! tests to cross-check the CG/CGLS solvers and by callers who want a
+//! factorization-free solve of diagonally dominant systems.
+
+use crate::csr::CsrMatrix;
+use crate::error::LinalgError;
+use crate::vec_ops;
+
+/// Which stationary scheme to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StationaryMethod {
+    /// Simultaneous updates from the previous iterate.
+    Jacobi,
+    /// In-place sweeps (SOR with ω = 1).
+    GaussSeidel,
+    /// Successive over-relaxation with factor `omega ∈ (0, 2)`.
+    Sor {
+        /// Relaxation factor ω.
+        omega: f64,
+    },
+}
+
+/// Options for [`stationary_solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct StationaryOptions {
+    /// The scheme.
+    pub method: StationaryMethod,
+    /// Stop when ‖b − A·x‖₂ ≤ tol·‖b‖₂.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for StationaryOptions {
+    fn default() -> Self {
+        StationaryOptions { method: StationaryMethod::GaussSeidel, tol: 1e-10, max_iter: 10_000 }
+    }
+}
+
+/// Outcome of a converged run.
+#[derive(Clone, Debug)]
+pub struct StationaryOutcome {
+    /// Solution estimate.
+    pub x: Vec<f64>,
+    /// Iterations (full sweeps) taken.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` by the chosen stationary scheme, starting from zero.
+///
+/// Requires a square matrix with a nonzero diagonal. Convergence is the
+/// caller's responsibility in general (guaranteed for strictly diagonally
+/// dominant `A`, and for s.p.d. `A` under Gauss-Seidel/SOR with
+/// `ω ∈ (0, 2)`); the budget check reports failure otherwise.
+pub fn stationary_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &StationaryOptions,
+) -> Result<StationaryOutcome, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::InvalidInput("stationary solve needs a square matrix".into()));
+    }
+    if b.len() != n {
+        return Err(LinalgError::InvalidInput("rhs length mismatch".into()));
+    }
+    let diag = a.diagonal();
+    if diag.iter().any(|d| *d == 0.0) {
+        return Err(LinalgError::InvalidInput("zero diagonal entry".into()));
+    }
+    let omega = match opts.method {
+        StationaryMethod::Jacobi => 1.0,
+        StationaryMethod::GaussSeidel => 1.0,
+        StationaryMethod::Sor { omega } => {
+            if !(omega > 0.0 && omega < 2.0) {
+                return Err(LinalgError::InvalidInput(format!(
+                    "SOR needs ω ∈ (0, 2), got {omega}"
+                )));
+            }
+            omega
+        }
+    };
+    let bnorm = vec_ops::norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = vec![0.0; n];
+    let mut residual_vec = vec![0.0; n];
+    for it in 0..opts.max_iter {
+        // Residual check (also the Jacobi work vector).
+        a.mul_vec_into(&x, &mut residual_vec);
+        for i in 0..n {
+            residual_vec[i] = b[i] - residual_vec[i];
+        }
+        let rel = vec_ops::norm2(&residual_vec) / bnorm;
+        if rel <= opts.tol {
+            return Ok(StationaryOutcome { x, iterations: it, residual: rel });
+        }
+        match opts.method {
+            StationaryMethod::Jacobi => {
+                // x ← x + D⁻¹·r (simultaneous).
+                for i in 0..n {
+                    x[i] += residual_vec[i] / diag[i];
+                }
+            }
+            StationaryMethod::GaussSeidel | StationaryMethod::Sor { .. } => {
+                // In-place forward sweep: each row uses already-updated
+                // earlier entries.
+                for i in 0..n {
+                    let mut acc = b[i];
+                    let mut dii = diag[i];
+                    for (c, v) in a.row_entries(i) {
+                        if c == i {
+                            dii = v;
+                        } else {
+                            acc -= v * x[c];
+                        }
+                    }
+                    let gs = acc / dii;
+                    x[i] = (1.0 - omega) * x[i] + omega * gs;
+                }
+            }
+        }
+        if !vec_ops::all_finite(&x) {
+            return Err(LinalgError::InvalidInput("iteration diverged to non-finite".into()));
+        }
+    }
+    a.mul_vec_into(&x, &mut residual_vec);
+    for i in 0..n {
+        residual_vec[i] = b[i] - residual_vec[i];
+    }
+    let rel = vec_ops::norm2(&residual_vec) / bnorm;
+    if rel <= opts.tol {
+        Ok(StationaryOutcome { x, iterations: opts.max_iter, residual: rel })
+    } else {
+        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: rel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooTriplets;
+
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut t = CooTriplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn solve_with(method: StationaryMethod, a: &CsrMatrix, b: &[f64]) -> StationaryOutcome {
+        stationary_solve(a, b, &StationaryOptions { method, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn all_methods_solve_poisson() {
+        let a = poisson(30);
+        let xtrue: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = a.mul_vec(&xtrue);
+        for method in [
+            StationaryMethod::Jacobi,
+            StationaryMethod::GaussSeidel,
+            StationaryMethod::Sor { omega: 1.5 },
+        ] {
+            let out = solve_with(method, &a, &b);
+            for (x, t) in out.x.iter().zip(&xtrue) {
+                assert!((x - t).abs() < 1e-7, "{method:?}: {x} vs {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_beats_jacobi_and_tuned_sor_beats_both() {
+        // Classic ordering on the Poisson model problem.
+        let n = 40;
+        let a = poisson(n);
+        let b = vec![1.0; n];
+        let jac = solve_with(StationaryMethod::Jacobi, &a, &b).iterations;
+        let gs = solve_with(StationaryMethod::GaussSeidel, &a, &b).iterations;
+        // Optimal ω for 1-D Poisson: 2/(1+sin(π/(n+1))).
+        let omega = 2.0 / (1.0 + (std::f64::consts::PI / (n as f64 + 1.0)).sin());
+        let sor = solve_with(StationaryMethod::Sor { omega }, &a, &b).iterations;
+        assert!(gs < jac, "GS {gs} must beat Jacobi {jac}");
+        assert!(sor < gs, "tuned SOR {sor} must beat GS {gs}");
+    }
+
+    #[test]
+    fn agrees_with_cg() {
+        let a = poisson(25);
+        let b: Vec<f64> = (0..25).map(|i| (i % 3) as f64 - 1.0).collect();
+        let st = solve_with(StationaryMethod::GaussSeidel, &a, &b);
+        let cg = crate::cg::conjugate_gradient(&a, &b, None, &crate::cg::CgOptions::default())
+            .unwrap();
+        for (x, y) in st.x.iter().zip(&cg.x) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn immediate_exit_on_zero_rhs() {
+        let a = poisson(5);
+        let out = solve_with(StationaryMethod::Jacobi, &a, &[0.0; 5]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = poisson(3);
+        assert!(stationary_solve(&a, &[1.0], &StationaryOptions::default()).is_err());
+        let opts = StationaryOptions {
+            method: StationaryMethod::Sor { omega: 2.5 },
+            ..Default::default()
+        };
+        assert!(stationary_solve(&a, &[1.0; 3], &opts).is_err());
+        // Zero diagonal.
+        let mut t = CooTriplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let offdiag = t.to_csr();
+        assert!(stationary_solve(&offdiag, &[1.0; 2], &StationaryOptions::default()).is_err());
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        // A non-dominant system where Jacobi diverges: [[1, 3], [3, 1]].
+        let mut t = CooTriplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 3.0);
+        t.push(1, 0, 3.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csr();
+        let opts = StationaryOptions {
+            method: StationaryMethod::Jacobi,
+            max_iter: 200,
+            ..Default::default()
+        };
+        assert!(stationary_solve(&a, &[1.0, 1.0], &opts).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_typed() {
+        let a = poisson(50);
+        let opts = StationaryOptions {
+            method: StationaryMethod::Jacobi,
+            max_iter: 2,
+            tol: 1e-14,
+            ..Default::default()
+        };
+        assert!(matches!(
+            stationary_solve(&a, &[1.0; 50], &opts),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+}

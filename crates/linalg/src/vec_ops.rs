@@ -1,0 +1,106 @@
+//! BLAS-1 style vector kernels used across the workspace.
+
+/// Dot product. Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm ‖v‖₂.
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Max norm ‖v‖∞.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// `y ← y + alpha · x`. Panics on length mismatch.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← x` (copy).
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// `v ← alpha · v`.
+pub fn scale(alpha: f64, v: &mut [f64]) {
+    for x in v {
+        *x *= alpha;
+    }
+}
+
+/// Component-wise difference `a − b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Relative ∞-norm distance `‖a − b‖∞ / max(‖b‖∞, floor)`, a scale-free
+/// convergence measure used by the solvers.
+pub fn rel_inf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rel_inf_distance: length mismatch");
+    let scale = norm_inf(b).max(1e-300);
+    a.iter().zip(b).fold(0.0f64, |m, (x, y)| m.max((x - y).abs())) / scale
+}
+
+/// True when every entry is finite.
+pub fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0, 5.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        assert_eq!(sub(&[5.0, 3.0], &[2.0, 4.0]), vec![3.0, -1.0]);
+        let mut v = vec![2.0, -4.0];
+        scale(0.5, &mut v);
+        assert_eq!(v, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn rel_inf_distance_is_scale_free() {
+        let a = vec![1.0e6, 2.0e6];
+        let b = vec![1.0e6, 2.0e6 * (1.0 + 1e-9)];
+        assert!(rel_inf_distance(&a, &b) < 1e-8);
+        assert_eq!(rel_inf_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[0.0, -1.0, 1e300]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

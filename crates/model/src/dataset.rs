@@ -1,0 +1,358 @@
+//! The wet-lab dataset substitute: timed measurement series with text
+//! import/export.
+//!
+//! The paper's data came from a biomedical wet lab: a device measured cell
+//! media four times a day (0, 6, 12 and 24 hours after setup), the raw
+//! values were saved as Excel files and converted to text before being fed
+//! to Parma. This module reproduces that pipeline synthetically: anomaly
+//! regions grow over the day, each time point is forward-solved to an exact
+//! measured-impedance matrix, and the series round-trips through the same
+//! tab-separated text format the paper's converter produced.
+
+use crate::anomaly::{AnomalyConfig, AnomalyRegion};
+use crate::forward::ForwardSolver;
+use crate::grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// The wet lab's measurement schedule, hours after device setup.
+pub const MEASUREMENT_HOURS: [u32; 4] = [0, 6, 12, 24];
+
+/// Errors of the dataset pipeline.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The text file is malformed; payload describes where and why.
+    Parse(String),
+    /// The forward solve failed (non-physical generated map — a bug).
+    Solve(mea_linalg::LinalgError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            DatasetError::Parse(s) => write!(f, "dataset parse error: {s}"),
+            DatasetError::Solve(e) => write!(f, "dataset forward solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+/// One timed measurement: what the device reports at a given hour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Hours after setup (0, 6, 12 or 24 in the paper's schedule).
+    pub hours: u32,
+    /// Applied voltage, volts (5 V in the paper).
+    pub voltage: f64,
+    /// The measured impedance matrix `Z`.
+    pub z: ZMatrix,
+    /// The ground-truth resistor map behind this measurement — available
+    /// only because the dataset is synthetic; `None` after a text-file
+    /// round trip (real measurements carry no ground truth).
+    pub ground_truth: Option<ResistorGrid>,
+}
+
+/// A full synthetic wet-lab session: one device, four time points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WetLabDataset {
+    /// Device geometry.
+    pub grid: MeaGrid,
+    /// Measurements in chronological order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl WetLabDataset {
+    /// Generates a session: anomalies are seeded at hour 0 and grow toward
+    /// hour 24 (radius ×1.6, amplitude ×1.8 across the day, interpolated
+    /// per time point).
+    pub fn generate(grid: MeaGrid, cfg: &AnomalyConfig, seed: u64) -> Result<Self, DatasetError> {
+        let base_regions = cfg.sample_regions(grid, seed);
+        let mut measurements = Vec::with_capacity(MEASUREMENT_HOURS.len());
+        for &hours in &MEASUREMENT_HOURS {
+            let t = hours as f64 / 24.0;
+            let grown: Vec<AnomalyRegion> = base_regions
+                .iter()
+                .map(|r| r.grown(1.0 + 0.6 * t, 1.0 + 0.8 * t))
+                .collect();
+            let r = cfg.render(grid, &grown, seed.wrapping_add(hours as u64));
+            let z = ForwardSolver::new(&r).map_err(DatasetError::Solve)?.solve_all();
+            measurements.push(Measurement {
+                hours,
+                voltage: 5.0,
+                z,
+                ground_truth: Some(r),
+            });
+        }
+        Ok(WetLabDataset { grid, measurements })
+    }
+
+    /// The measurement at a given hour, if present.
+    pub fn at_hours(&self, hours: u32) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.hours == hours)
+    }
+
+    /// Writes the session in the paper's converted-text format:
+    ///
+    /// ```text
+    /// # parma-dataset v1
+    /// rows <m>
+    /// cols <n>
+    /// measurement <hours> <voltage>
+    /// <tab-separated Z row 0>
+    /// …
+    /// ```
+    pub fn write_text<W: Write>(&self, mut w: W) -> Result<(), DatasetError> {
+        writeln!(w, "# parma-dataset v1")?;
+        writeln!(w, "rows {}", self.grid.rows())?;
+        writeln!(w, "cols {}", self.grid.cols())?;
+        for m in &self.measurements {
+            writeln!(w, "measurement {} {}", m.hours, m.voltage)?;
+            for i in 0..self.grid.rows() {
+                let row: Vec<String> = (0..self.grid.cols())
+                    .map(|j| format!("{:.9e}", m.z.get(i, j)))
+                    .collect();
+                writeln!(w, "{}", row.join("\t"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes to a file path (buffered).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), DatasetError> {
+        let f = std::fs::File::create(path)?;
+        self.write_text(std::io::BufWriter::new(f))
+    }
+
+    /// Parses the text format. Ground truth is not part of the format, so
+    /// loaded measurements carry `ground_truth: None`.
+    pub fn read_text<R: Read>(r: R) -> Result<Self, DatasetError> {
+        let mut lines = BufReader::new(r).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| DatasetError::Parse("empty file".into()))??;
+        if header.trim() != "# parma-dataset v1" {
+            return Err(DatasetError::Parse(format!("unrecognized header {header:?}")));
+        }
+        let rows = parse_kv(&mut lines, "rows")?;
+        let cols = parse_kv(&mut lines, "cols")?;
+        if rows == 0 || cols == 0 {
+            return Err(DatasetError::Parse("rows/cols must be positive".into()));
+        }
+        let grid = MeaGrid::new(rows, cols);
+        let mut measurements = Vec::new();
+        while let Some(line) = lines.next() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("measurement") {
+                return Err(DatasetError::Parse(format!(
+                    "expected a measurement header, found {line:?}"
+                )));
+            }
+            let hours: u32 = parts
+                .next()
+                .ok_or_else(|| DatasetError::Parse("measurement missing hours".into()))?
+                .parse()
+                .map_err(|e| DatasetError::Parse(format!("bad hours: {e}")))?;
+            let voltage: f64 = parts
+                .next()
+                .ok_or_else(|| DatasetError::Parse("measurement missing voltage".into()))?
+                .parse()
+                .map_err(|e| DatasetError::Parse(format!("bad voltage: {e}")))?;
+            let mut values = Vec::with_capacity(grid.crossings());
+            for i in 0..rows {
+                let row = lines
+                    .next()
+                    .ok_or_else(|| {
+                        DatasetError::Parse(format!("truncated matrix at row {i}"))
+                    })??;
+                let mut count = 0usize;
+                for tok in row.split('\t') {
+                    let v: f64 = tok.trim().parse().map_err(|e| {
+                        DatasetError::Parse(format!("bad value {tok:?} in row {i}: {e}"))
+                    })?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(DatasetError::Parse(format!(
+                            "non-physical impedance {v} in row {i}"
+                        )));
+                    }
+                    values.push(v);
+                    count += 1;
+                }
+                if count != cols {
+                    return Err(DatasetError::Parse(format!(
+                        "row {i} has {count} values, expected {cols}"
+                    )));
+                }
+            }
+            measurements.push(Measurement {
+                hours,
+                voltage,
+                z: CrossingMatrix::from_vec(grid, values),
+                ground_truth: None,
+            });
+        }
+        if measurements.is_empty() {
+            return Err(DatasetError::Parse("file contains no measurements".into()));
+        }
+        Ok(WetLabDataset { grid, measurements })
+    }
+
+    /// Reads from a file path.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, DatasetError> {
+        Self::read_text(std::fs::File::open(path)?)
+    }
+}
+
+fn parse_kv(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    key: &str,
+) -> Result<usize, DatasetError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| DatasetError::Parse(format!("missing {key} line")))??;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(key) {
+        return Err(DatasetError::Parse(format!("expected {key:?}, got {line:?}")));
+    }
+    parts
+        .next()
+        .ok_or_else(|| DatasetError::Parse(format!("{key} missing value")))?
+        .parse()
+        .map_err(|e| DatasetError::Parse(format!("bad {key}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_session() -> WetLabDataset {
+        WetLabDataset::generate(MeaGrid::square(5), &AnomalyConfig::default(), 99).unwrap()
+    }
+
+    #[test]
+    fn generates_four_time_points() {
+        let ds = small_session();
+        assert_eq!(ds.measurements.len(), 4);
+        let hours: Vec<u32> = ds.measurements.iter().map(|m| m.hours).collect();
+        assert_eq!(hours, vec![0, 6, 12, 24]);
+        assert!(ds.at_hours(12).is_some());
+        assert!(ds.at_hours(13).is_none());
+    }
+
+    #[test]
+    fn anomalies_grow_over_the_day() {
+        let ds = small_session();
+        // Mean ground-truth resistance must not decrease with time.
+        let means: Vec<f64> = ds
+            .measurements
+            .iter()
+            .map(|m| m.ground_truth.as_ref().unwrap().mean())
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "anomaly growth must raise mean R: {means:?}");
+        }
+    }
+
+    #[test]
+    fn measurements_are_consistent_with_ground_truth() {
+        let ds = small_session();
+        for m in &ds.measurements {
+            let r = m.ground_truth.as_ref().unwrap();
+            let z = ForwardSolver::new(r).unwrap().solve_all();
+            assert!(m.z.rel_max_diff(&z) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_measurements() {
+        let ds = small_session();
+        let mut buf = Vec::new();
+        ds.write_text(&mut buf).unwrap();
+        let loaded = WetLabDataset::read_text(&buf[..]).unwrap();
+        assert_eq!(loaded.grid, ds.grid);
+        assert_eq!(loaded.measurements.len(), 4);
+        for (a, b) in loaded.measurements.iter().zip(&ds.measurements) {
+            assert_eq!(a.hours, b.hours);
+            assert_eq!(a.voltage, b.voltage);
+            assert!(a.z.rel_max_diff(&b.z) < 1e-8, "Z must survive the text format");
+            assert!(a.ground_truth.is_none(), "text format carries no ground truth");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = small_session();
+        let dir = std::env::temp_dir().join("parma-dataset-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.txt");
+        ds.save(&path).unwrap();
+        let loaded = WetLabDataset::load(&path).unwrap();
+        assert_eq!(loaded.grid, ds.grid);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = WetLabDataset::read_text("nonsense\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_matrix() {
+        let text = "# parma-dataset v1\nrows 2\ncols 2\nmeasurement 0 5\n1.0\t2.0\n";
+        let err = WetLabDataset::read_text(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_ragged_row() {
+        let text = "# parma-dataset v1\nrows 1\ncols 3\nmeasurement 0 5\n1.0\t2.0\n";
+        let err = WetLabDataset::read_text(text.as_bytes()).unwrap_err();
+        match err {
+            DatasetError::Parse(s) => assert!(s.contains("expected 3")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nonphysical_values() {
+        let text = "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\t-3.0\n";
+        let err = WetLabDataset::read_text(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_dims() {
+        assert!(WetLabDataset::read_text("".as_bytes()).is_err());
+        let text = "# parma-dataset v1\nrows 0\ncols 2\n";
+        assert!(WetLabDataset::read_text(text.as_bytes()).is_err());
+        let text2 = "# parma-dataset v1\nrows 2\ncols 2\n";
+        assert!(matches!(
+            WetLabDataset::read_text(text2.as_bytes()).unwrap_err(),
+            DatasetError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 5).unwrap();
+        let b = WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! Device-fault injection: open circuits, shorts and dead wires.
+//!
+//! Real MEAs degrade — crossings delaminate (open circuit), conductive
+//! debris bridges a crossing (short), a wire bond breaks (every crossing
+//! on that wire opens). Fault injection lets the solver and detection
+//! pipelines be tested against hardware pathology rather than only
+//! biology, and the forward solver quantifies each fault's measurement
+//! signature.
+
+use crate::grid::ResistorGrid;
+use serde::{Deserialize, Serialize};
+
+/// Resistance assigned to an open crossing (kΩ). Effectively infinite
+/// relative to the wet-lab range while keeping the Laplacian
+/// well-conditioned.
+pub const OPEN_RESISTANCE: f64 = 1.0e9;
+
+/// Resistance assigned to a shorted crossing (kΩ).
+pub const SHORT_RESISTANCE: f64 = 1.0e-3;
+
+/// One injected hardware fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Crossing `(i, j)` has delaminated: no conduction.
+    OpenCircuit {
+        /// Horizontal wire.
+        i: usize,
+        /// Vertical wire.
+        j: usize,
+    },
+    /// Crossing `(i, j)` is bridged: near-zero resistance.
+    ShortCircuit {
+        /// Horizontal wire.
+        i: usize,
+        /// Vertical wire.
+        j: usize,
+    },
+    /// Horizontal wire `i`'s bond broke: every crossing on it opens.
+    DeadHorizontalWire {
+        /// Horizontal wire.
+        i: usize,
+    },
+    /// Vertical wire `j`'s bond broke: every crossing on it opens.
+    DeadVerticalWire {
+        /// Vertical wire.
+        j: usize,
+    },
+}
+
+impl Fault {
+    /// Whether the fault opens (rather than shorts) its crossings.
+    pub fn is_open(&self) -> bool {
+        !matches!(self, Fault::ShortCircuit { .. })
+    }
+}
+
+/// Applies faults to a healthy resistor map, returning the degraded map.
+/// Later faults override earlier ones at the same crossing. Panics on
+/// out-of-range wire indices.
+pub fn apply_faults(r: &ResistorGrid, faults: &[Fault]) -> ResistorGrid {
+    let grid = r.grid();
+    let mut out = r.clone();
+    for f in faults {
+        match *f {
+            Fault::OpenCircuit { i, j } => {
+                assert!(i < grid.rows() && j < grid.cols(), "fault out of range");
+                out.set(i, j, OPEN_RESISTANCE);
+            }
+            Fault::ShortCircuit { i, j } => {
+                assert!(i < grid.rows() && j < grid.cols(), "fault out of range");
+                out.set(i, j, SHORT_RESISTANCE);
+            }
+            Fault::DeadHorizontalWire { i } => {
+                assert!(i < grid.rows(), "fault out of range");
+                for j in 0..grid.cols() {
+                    out.set(i, j, OPEN_RESISTANCE);
+                }
+            }
+            Fault::DeadVerticalWire { j } => {
+                assert!(j < grid.cols(), "fault out of range");
+                for i in 0..grid.rows() {
+                    out.set(i, j, OPEN_RESISTANCE);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Classifies crossings of a *recovered* map against a healthy baseline
+/// level: returns `(opens, shorts)` — crossings whose resistance exceeds
+/// `open_factor × baseline` or falls below `baseline / short_factor`.
+pub fn classify_faults(
+    r: &ResistorGrid,
+    baseline: f64,
+    open_factor: f64,
+    short_factor: f64,
+) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+    assert!(baseline > 0.0 && open_factor > 1.0 && short_factor > 1.0, "bad thresholds");
+    let grid = r.grid();
+    let mut opens = Vec::new();
+    let mut shorts = Vec::new();
+    for (i, j) in grid.pair_iter() {
+        let v = r.get(i, j);
+        if v > baseline * open_factor {
+            opens.push((i, j));
+        } else if v < baseline / short_factor {
+            shorts.push((i, j));
+        }
+    }
+    (opens, shorts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::ForwardSolver;
+    use crate::grid::{CrossingMatrix, MeaGrid};
+
+    fn healthy(n: usize) -> ResistorGrid {
+        CrossingMatrix::filled(MeaGrid::square(n), 2000.0)
+    }
+
+    #[test]
+    fn open_circuit_raises_only_its_crossing() {
+        let r = apply_faults(&healthy(4), &[Fault::OpenCircuit { i: 1, j: 2 }]);
+        assert_eq!(r.get(1, 2), OPEN_RESISTANCE);
+        assert_eq!(r.get(0, 0), 2000.0);
+    }
+
+    #[test]
+    fn dead_wire_opens_its_whole_row() {
+        let r = apply_faults(&healthy(4), &[Fault::DeadHorizontalWire { i: 2 }]);
+        for j in 0..4 {
+            assert_eq!(r.get(2, j), OPEN_RESISTANCE);
+        }
+        assert_eq!(r.get(1, 0), 2000.0);
+        let rv = apply_faults(&healthy(4), &[Fault::DeadVerticalWire { j: 0 }]);
+        for i in 0..4 {
+            assert_eq!(rv.get(i, 0), OPEN_RESISTANCE);
+        }
+    }
+
+    #[test]
+    fn later_faults_override() {
+        let r = apply_faults(
+            &healthy(3),
+            &[Fault::OpenCircuit { i: 0, j: 0 }, Fault::ShortCircuit { i: 0, j: 0 }],
+        );
+        assert_eq!(r.get(0, 0), SHORT_RESISTANCE);
+        assert!(Fault::OpenCircuit { i: 0, j: 0 }.is_open());
+        assert!(!Fault::ShortCircuit { i: 0, j: 0 }.is_open());
+    }
+
+    #[test]
+    fn faulted_maps_remain_solvable() {
+        // The Laplacian stays positive definite under both extremes.
+        let r = apply_faults(
+            &healthy(5),
+            &[
+                Fault::OpenCircuit { i: 0, j: 0 },
+                Fault::ShortCircuit { i: 3, j: 3 },
+                Fault::DeadHorizontalWire { i: 4 },
+            ],
+        );
+        let fs = ForwardSolver::new(&r).unwrap();
+        let z = fs.solve_all();
+        assert!(z.is_physical());
+    }
+
+    #[test]
+    fn open_crossing_signature_in_measurements() {
+        // Opening a crossing raises its own Z the most (the direct path is
+        // gone; only detours remain).
+        let base = ForwardSolver::new(&healthy(5)).unwrap().solve_all();
+        let r = apply_faults(&healthy(5), &[Fault::OpenCircuit { i: 2, j: 2 }]);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        let mut worst = (0, 0);
+        let mut worst_ratio = 0.0;
+        for (i, j) in r.grid().pair_iter() {
+            let ratio = z.get(i, j) / base.get(i, j);
+            assert!(ratio >= 1.0 - 1e-9, "opening cannot lower any Z");
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                worst = (i, j);
+            }
+        }
+        assert_eq!(worst, (2, 2));
+        // Analytically: healthy Z = R(2n−1)/n² = 720 kΩ; with the direct
+        // path gone, Z = 1/G_rest = 1125 kΩ — a 1.5625× jump.
+        assert!(worst_ratio > 1.5, "the open crossing's Z must jump, got {worst_ratio}");
+    }
+
+    #[test]
+    fn short_crossing_signature_in_measurements() {
+        let base = ForwardSolver::new(&healthy(5)).unwrap().solve_all();
+        let r = apply_faults(&healthy(5), &[Fault::ShortCircuit { i: 1, j: 3 }]);
+        let z = ForwardSolver::new(&r).unwrap().solve_all();
+        // The shorted pair's Z collapses…
+        assert!(z.get(1, 3) < base.get(1, 3) * 1e-3);
+        // …and no Z increases (Rayleigh).
+        for (i, j) in r.grid().pair_iter() {
+            assert!(z.get(i, j) <= base.get(i, j) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn classify_faults_separates_opens_and_shorts() {
+        let r = apply_faults(
+            &healthy(4),
+            &[Fault::OpenCircuit { i: 0, j: 1 }, Fault::ShortCircuit { i: 2, j: 3 }],
+        );
+        let (opens, shorts) = classify_faults(&r, 2000.0, 10.0, 10.0);
+        assert_eq!(opens, vec![(0, 1)]);
+        assert_eq!(shorts, vec![(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_bounds_checked() {
+        let _ = apply_faults(&healthy(3), &[Fault::OpenCircuit { i: 3, j: 0 }]);
+    }
+}

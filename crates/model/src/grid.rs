@@ -1,0 +1,358 @@
+//! The `m × n` MEA geometry: wires, joints and per-crossing values.
+//!
+//! Conventions (fixed across the whole workspace):
+//!
+//! * `rows` = number of **horizontal** wires, named `A, B, C, …` like the
+//!   paper's Figure 1; row index `i ∈ 0..rows`.
+//! * `cols` = number of **vertical** wires, named `I, II, III, …`; column
+//!   index `j ∈ 0..cols`.
+//! * `R[i][j]` (and `Z[i][j]`) refer to the crossing of horizontal wire `i`
+//!   and vertical wire `j` — the §IV convention of the paper. (Figure 1 of
+//!   the paper numbers resistors `R_{vh}` by (vertical, horizontal); the
+//!   joint-id helpers in `mea-topology` keep that figure's numbering.)
+//! * Resistances are in **kilohm** and conductances in **millisiemens**
+//!   (1/kΩ), matching the wet-lab range quoted by the paper
+//!   (2,000–11,000 kΩ at 5 V).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of an `rows × cols` MEA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeaGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl MeaGrid {
+    /// A square `n × n` array (the common case in the paper).
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// An `rows × cols` array. Panics when either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "MEA dimensions must be positive");
+        MeaGrid { rows, cols }
+    }
+
+    /// Horizontal wire count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Vertical wire count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of resistors / crossings (`n²` for square arrays).
+    pub fn crossings(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of joints (`2n²` — two per crossing, per §II-B).
+    pub fn joints(&self) -> usize {
+        2 * self.crossings()
+    }
+
+    /// Number of endpoint pairs (`n²`): one measured `Z` per pair.
+    pub fn pairs(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Unknown count of the joint-constraint system:
+    /// `(rows−1 + cols−1)·pairs` intermediate voltages plus one resistance
+    /// per crossing — `(2n−1)·n²` for square arrays (§IV-A).
+    pub fn unknowns(&self) -> usize {
+        (self.rows - 1 + self.cols - 1) * self.pairs() + self.crossings()
+    }
+
+    /// Equation count of the joint-constraint system:
+    /// `(2 + rows−1 + cols−1)·pairs` — `2n³` for square arrays (§IV-A).
+    pub fn equations(&self) -> usize {
+        (2 + self.rows - 1 + self.cols - 1) * self.pairs()
+    }
+
+    /// Iterates all `(i, j)` endpoint pairs in row-major order.
+    pub fn pair_iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |i| (0..cols).map(move |j| (i, j)))
+    }
+
+    /// Flat index of pair `(i, j)`.
+    pub fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        i * self.cols + j
+    }
+
+    /// Display name of horizontal wire `i`: `A, B, …, Z, AA, AB, …`.
+    pub fn horizontal_name(&self, i: usize) -> String {
+        assert!(i < self.rows, "row out of range");
+        let mut name = String::new();
+        let mut x = i;
+        loop {
+            name.insert(0, (b'A' + (x % 26) as u8) as char);
+            if x < 26 {
+                break;
+            }
+            x = x / 26 - 1;
+        }
+        name
+    }
+
+    /// Display name of vertical wire `j` in Roman numerals, like the
+    /// paper's `I, II, III`.
+    pub fn vertical_name(&self, j: usize) -> String {
+        assert!(j < self.cols, "column out of range");
+        roman(j + 1)
+    }
+}
+
+fn roman(mut n: usize) -> String {
+    const TABLE: &[(usize, &str)] = &[
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+/// A dense per-crossing value grid; the shared representation of both
+/// resistor maps ([`ResistorGrid`]) and measured impedances ([`ZMatrix`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrossingMatrix {
+    grid: MeaGrid,
+    values: Vec<f64>,
+}
+
+impl CrossingMatrix {
+    /// Constant-filled matrix.
+    pub fn filled(grid: MeaGrid, value: f64) -> Self {
+        CrossingMatrix { grid, values: vec![value; grid.crossings()] }
+    }
+
+    /// From a row-major buffer. Panics on length mismatch.
+    pub fn from_vec(grid: MeaGrid, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), grid.crossings(), "crossing buffer length mismatch");
+        CrossingMatrix { grid, values }
+    }
+
+    /// The geometry this matrix belongs to.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// Value at crossing `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[self.grid.pair_index(i, j)]
+    }
+
+    /// Sets the value at crossing `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.grid.pair_index(i, j);
+        self.values[idx] = v;
+    }
+
+    /// Row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Mean value.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Largest relative entry-wise deviation from `other`, scale-free.
+    pub fn rel_max_diff(&self, other: &CrossingMatrix) -> f64 {
+        assert_eq!(self.grid, other.grid, "grids differ");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs() / b.abs().max(1e-300)))
+    }
+
+    /// Mean relative entry-wise deviation from `other` — the aggregate
+    /// error metric of the tomography literature (less dominated by a
+    /// single badly-determined crossing than the max).
+    pub fn rel_mean_diff(&self, other: &CrossingMatrix) -> f64 {
+        assert_eq!(self.grid, other.grid, "grids differ");
+        let sum: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1e-300))
+            .sum();
+        sum / self.values.len() as f64
+    }
+
+    /// Whether all entries are strictly positive and finite — the physical
+    /// validity condition for resistances.
+    pub fn is_physical(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite() && *v > 0.0)
+    }
+}
+
+impl fmt::Display for CrossingMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.grid.rows() {
+            for j in 0..self.grid.cols() {
+                if j > 0 {
+                    write!(f, "\t")?;
+                }
+                write!(f, "{:.6}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A ground-truth or estimated resistor map, kilohm per crossing.
+pub type ResistorGrid = CrossingMatrix;
+
+/// A matrix of measured pair-wise impedances `Z[i][j]`, kilohm.
+pub type ZMatrix = CrossingMatrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_paper_formulas() {
+        let g = MeaGrid::square(3);
+        assert_eq!(g.crossings(), 9);
+        assert_eq!(g.joints(), 18); // Figure 1: 18 joints
+        assert_eq!(g.pairs(), 9);
+        // §IV-A: 2n³ equations, (2n−1)n² unknowns.
+        assert_eq!(g.equations(), 2 * 27);
+        assert_eq!(g.unknowns(), 5 * 9);
+        let g100 = MeaGrid::square(100);
+        assert_eq!(g100.equations(), 2_000_000);
+        assert_eq!(g100.unknowns(), 199 * 10_000);
+    }
+
+    #[test]
+    fn rectangular_census() {
+        let g = MeaGrid::new(2, 5);
+        assert_eq!(g.crossings(), 10);
+        assert_eq!(g.equations(), (2 + 1 + 4) * 10);
+        assert_eq!(g.unknowns(), (1 + 4) * 10 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = MeaGrid::new(0, 4);
+    }
+
+    #[test]
+    fn pair_iteration_is_row_major_and_complete() {
+        let g = MeaGrid::new(2, 3);
+        let pairs: Vec<_> = g.pair_iter().collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (0, 0));
+        assert_eq!(pairs[5], (1, 2));
+        for (k, (i, j)) in pairs.iter().enumerate() {
+            assert_eq!(g.pair_index(*i, *j), k);
+        }
+    }
+
+    #[test]
+    fn wire_names_match_paper() {
+        let g = MeaGrid::square(3);
+        assert_eq!(g.horizontal_name(0), "A");
+        assert_eq!(g.horizontal_name(2), "C");
+        assert_eq!(g.vertical_name(0), "I");
+        assert_eq!(g.vertical_name(1), "II");
+        assert_eq!(g.vertical_name(2), "III");
+    }
+
+    #[test]
+    fn wire_names_scale_past_the_alphabet() {
+        let g = MeaGrid::new(30, 30);
+        assert_eq!(g.horizontal_name(25), "Z");
+        assert_eq!(g.horizontal_name(26), "AA");
+        assert_eq!(g.vertical_name(3), "IV");
+        assert_eq!(g.vertical_name(29), "XXX");
+    }
+
+    #[test]
+    fn crossing_matrix_accessors() {
+        let g = MeaGrid::new(2, 2);
+        let mut m = CrossingMatrix::filled(g, 1.0);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.max(), 7.5);
+        assert_eq!(m.min(), 1.0);
+        assert!((m.mean() - 2.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physical_validity() {
+        let g = MeaGrid::square(2);
+        assert!(CrossingMatrix::filled(g, 2000.0).is_physical());
+        assert!(!CrossingMatrix::filled(g, 0.0).is_physical());
+        assert!(!CrossingMatrix::filled(g, -1.0).is_physical());
+        assert!(!CrossingMatrix::filled(g, f64::NAN).is_physical());
+    }
+
+    #[test]
+    fn rel_max_diff_is_zero_on_self() {
+        let g = MeaGrid::square(3);
+        let m = CrossingMatrix::filled(g, 5.0);
+        assert_eq!(m.rel_max_diff(&m), 0.0);
+        let mut m2 = m.clone();
+        m2.set(2, 2, 5.5);
+        assert!((m2.rel_max_diff(&m) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let g = MeaGrid::new(2, 2);
+        let m = CrossingMatrix::from_vec(g, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = format!("{m}");
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with("1.000000\t2.000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_length() {
+        let _ = CrossingMatrix::from_vec(MeaGrid::square(2), vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! MEA device model for the Parma reproduction.
+//!
+//! This crate is the "physics" substrate: everything the paper's system
+//! needs to know about the device itself.
+//!
+//! * [`grid`] — the `m×n` MEA geometry: wires, joints (Figure 1 numbering),
+//!   resistor grids and measured-impedance matrices,
+//! * [`graph`] — the circuit-graph abstraction (wire-level `K_{m,n}`) with
+//!   cyclomatic numbers,
+//! * [`paths`] — the exponential all-pairs path baseline of §II-C: simple
+//!   path enumeration, the `n^(n+1)` growth estimate, and the naive
+//!   parallel-resistor aggregation formula,
+//! * [`forward`] — the forward nodal solver `Z = F(R)` (Kirchhoff-exact
+//!   effective resistances through the weighted Laplacian of `K_{m,n}`),
+//! * [`anomaly`] — synthetic ground-truth resistance maps with injected
+//!   anomaly regions in the paper's wet-lab range (2,000–11,000 kΩ),
+//! * [`dataset`] — the wet-lab dataset substitute: 0/6/12/24-hour time
+//!   series with text import/export mirroring the paper's Excel→text
+//!   pipeline.
+
+pub mod anomaly;
+pub mod dataset;
+pub mod faults;
+pub mod forward;
+pub mod graph;
+pub mod grid;
+pub mod noise;
+pub mod paths;
+
+pub use anomaly::{AnomalyConfig, AnomalyRegion};
+pub use dataset::{DatasetError, Measurement, WetLabDataset};
+pub use forward::{ForwardSolver, PairPotentials};
+pub use graph::{CircuitGraph, WireId};
+pub use grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
+pub use noise::NoiseModel;
+pub use paths::{enumerate_paths, exact_path_count, paper_path_count, WirePath};

@@ -1,0 +1,136 @@
+//! Measurement-noise models for the synthetic wet lab.
+//!
+//! Real impedance measurements carry instrument noise; the paper's
+//! conventional comparators (Landweber, linear back projection, Tikhonov)
+//! are precisely the methods whose *ill-posedness* shows up as noise
+//! amplification ("the solution is largely dependent on the input and
+//! results in an unacceptable variance"). This module perturbs exact
+//! forward-solved `Z` matrices so that sensitivity-to-noise experiments
+//! are reproducible.
+
+use crate::grid::ZMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative measurement-noise model: each reading is scaled by
+/// `1 + ε` with `ε` drawn i.i.d. from the chosen distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// `ε ~ Uniform(−level, +level)`.
+    Uniform {
+        /// Half-width of the relative error band (e.g. 0.01 = ±1 %).
+        level: f64,
+    },
+    /// `ε ~ Normal(0, sigma)` via Box–Muller, clamped at ±5σ so a single
+    /// extreme draw cannot make a reading non-physical.
+    Gaussian {
+        /// Relative standard deviation.
+        sigma: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Applies the model to a measurement matrix, deterministically per
+    /// seed. Panics if the model parameters could produce non-physical
+    /// (non-positive) readings.
+    pub fn apply(&self, z: &ZMatrix, seed: u64) -> ZMatrix {
+        match self {
+            NoiseModel::Uniform { level } => {
+                assert!((0.0..1.0).contains(level), "uniform level must be in [0, 1)");
+            }
+            NoiseModel::Gaussian { sigma } => {
+                assert!(
+                    *sigma >= 0.0 && *sigma < 0.2,
+                    "gaussian sigma must be in [0, 0.2) to stay physical at the ±5σ clamp"
+                );
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = z.clone();
+        for v in out.as_mut_slice() {
+            let eps = match self {
+                NoiseModel::Uniform { level } => rng.gen_range(-*level..=*level),
+                NoiseModel::Gaussian { sigma } => {
+                    // Box–Muller.
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let n = (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    (sigma * n).clamp(-5.0 * sigma, 5.0 * sigma)
+                }
+            };
+            *v *= 1.0 + eps;
+        }
+        debug_assert!(out.is_physical());
+        out
+    }
+
+    /// The worst-case relative perturbation this model can apply.
+    pub fn max_relative_error(&self) -> f64 {
+        match self {
+            NoiseModel::Uniform { level } => *level,
+            NoiseModel::Gaussian { sigma } => 5.0 * sigma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CrossingMatrix, MeaGrid};
+
+    fn z(n: usize) -> ZMatrix {
+        CrossingMatrix::filled(MeaGrid::square(n), 1000.0)
+    }
+
+    #[test]
+    fn uniform_noise_stays_in_band() {
+        let noisy = NoiseModel::Uniform { level: 0.05 }.apply(&z(10), 3);
+        for v in noisy.as_slice() {
+            assert!(*v >= 950.0 - 1e-9 && *v <= 1050.0 + 1e-9);
+        }
+        assert!(noisy.is_physical());
+    }
+
+    #[test]
+    fn gaussian_noise_is_clamped_physical() {
+        let noisy = NoiseModel::Gaussian { sigma: 0.05 }.apply(&z(20), 9);
+        for v in noisy.as_slice() {
+            assert!(*v >= 1000.0 * 0.75 && *v <= 1000.0 * 1.25);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = NoiseModel::Uniform { level: 0.02 };
+        assert_eq!(m.apply(&z(6), 7), m.apply(&z(6), 7));
+        assert_ne!(m.apply(&z(6), 7), m.apply(&z(6), 8));
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let m = NoiseModel::Uniform { level: 0.0 };
+        assert_eq!(m.apply(&z(4), 1), z(4));
+        let g = NoiseModel::Gaussian { sigma: 0.0 };
+        assert_eq!(g.apply(&z(4), 1), z(4));
+    }
+
+    #[test]
+    fn noise_actually_perturbs() {
+        let noisy = NoiseModel::Uniform { level: 0.03 }.apply(&z(8), 5);
+        assert!(noisy.rel_max_diff(&z(8)) > 1e-3);
+    }
+
+    #[test]
+    fn max_relative_error_reported() {
+        assert_eq!(NoiseModel::Uniform { level: 0.01 }.max_relative_error(), 0.01);
+        assert_eq!(NoiseModel::Gaussian { sigma: 0.02 }.max_relative_error(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn oversized_sigma_rejected() {
+        let _ = NoiseModel::Gaussian { sigma: 0.5 }.apply(&z(2), 0);
+    }
+}

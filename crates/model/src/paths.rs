@@ -1,0 +1,286 @@
+//! The exponential all-pairs path baseline of §II-C.
+//!
+//! A "path" between the endpoints of horizontal wire `i` and vertical wire
+//! `j` is a simple path in the wire graph `K_{m,n}` from node `H_i` to node
+//! `V_j`: it alternates horizontal/vertical wires and crosses one resistor
+//! per hop. For the 3×3 device there are exactly nine such paths between
+//! `C` and `I` — the list of the paper's Figure 4 — and in general
+//!
+//! ```text
+//! count(n) = Σ_{k=0}^{n−1} [ (n−1)! / (n−1−k)! ]²
+//! ```
+//!
+//! for square arrays, which the paper upper-estimates as `n^(n−1)` per pair
+//! and `n^(n+1)` overall. This module enumerates paths (feasible for small
+//! `n` only, by design — the blow-up is the paper's motivation), evaluates
+//! the naive parallel-aggregation formula `Z⁻¹ = Σ P_k(R)⁻¹`, and exposes
+//! the exact and paper-estimate counts.
+
+use crate::grid::{MeaGrid, ResistorGrid};
+
+/// One path: the sequence of crossings `(i, j)` whose resistors it
+/// traverses, ordered from the horizontal-wire endpoint to the
+/// vertical-wire endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WirePath {
+    /// Crossings in traversal order; always odd in count (h→v, v→h, …).
+    pub crossings: Vec<(usize, usize)>,
+}
+
+impl WirePath {
+    /// Number of resistors traversed.
+    pub fn len(&self) -> usize {
+        self.crossings.len()
+    }
+
+    /// True only for the degenerate empty path (never produced by the
+    /// enumerator).
+    pub fn is_empty(&self) -> bool {
+        self.crossings.is_empty()
+    }
+
+    /// Series resistance `P(R)` of this path: the sum of its resistors
+    /// (the paper's `P_k(R)` term).
+    pub fn series_resistance(&self, r: &ResistorGrid) -> f64 {
+        self.crossings.iter().map(|&(i, j)| r.get(i, j)).sum()
+    }
+}
+
+/// Enumerates every simple path between horizontal wire `i` and vertical
+/// wire `j`, by depth-first search over `K_{m,n}`.
+///
+/// The number of paths grows super-exponentially; callers must keep
+/// `min(rows, cols)` small (the guard refuses grids whose exact count
+/// exceeds `limit`, defaulting to 10⁷ when `None`).
+pub fn enumerate_paths(
+    grid: MeaGrid,
+    i: usize,
+    j: usize,
+    limit: Option<u128>,
+) -> Vec<WirePath> {
+    assert!(i < grid.rows() && j < grid.cols(), "endpoint out of range");
+    let limit = limit.unwrap_or(10_000_000);
+    let bound = exact_path_count(grid);
+    assert!(
+        bound <= limit,
+        "path enumeration on a {}×{} array would produce {bound} paths (> {limit}); \
+         this exponential blow-up is exactly the paper's point — use the \
+         joint-constraint formulation instead",
+        grid.rows(),
+        grid.cols()
+    );
+    let mut out = Vec::new();
+    let mut used_h = vec![false; grid.rows()];
+    let mut used_v = vec![false; grid.cols()];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    used_h[i] = true;
+    dfs_from_horizontal(grid, i, j, &mut used_h, &mut used_v, &mut stack, &mut out);
+    out
+}
+
+fn dfs_from_horizontal(
+    grid: MeaGrid,
+    h: usize,
+    target_v: usize,
+    used_h: &mut Vec<bool>,
+    used_v: &mut Vec<bool>,
+    stack: &mut Vec<(usize, usize)>,
+    out: &mut Vec<WirePath>,
+) {
+    // From horizontal wire h we may cross any resistor (h, v).
+    for v in 0..grid.cols() {
+        if used_v[v] {
+            continue;
+        }
+        stack.push((h, v));
+        if v == target_v {
+            out.push(WirePath { crossings: stack.clone() });
+        } else {
+            used_v[v] = true;
+            dfs_from_vertical(grid, v, target_v, used_h, used_v, stack, out);
+            used_v[v] = false;
+        }
+        stack.pop();
+    }
+}
+
+fn dfs_from_vertical(
+    grid: MeaGrid,
+    v: usize,
+    target_v: usize,
+    used_h: &mut Vec<bool>,
+    used_v: &mut Vec<bool>,
+    stack: &mut Vec<(usize, usize)>,
+    out: &mut Vec<WirePath>,
+) {
+    for h in 0..grid.rows() {
+        if used_h[h] {
+            continue;
+        }
+        stack.push((h, v));
+        used_h[h] = true;
+        dfs_from_horizontal(grid, h, target_v, used_h, used_v, stack, out);
+        used_h[h] = false;
+        stack.pop();
+    }
+    let _ = target_v;
+}
+
+/// Exact number of simple paths between one fixed endpoint pair of an
+/// `m × n` array:
+/// `Σ_{k=0}^{min(m,n)−1} [ (m−1)!/(m−1−k)! ] · [ (n−1)!/(n−1−k)! ]`.
+pub fn exact_path_count(grid: MeaGrid) -> u128 {
+    let m = grid.rows() as u128;
+    let n = grid.cols() as u128;
+    let kmax = m.min(n) - 1;
+    let mut total: u128 = 0;
+    let mut fall_m: u128 = 1; // (m−1)·(m−2)·… k terms
+    let mut fall_n: u128 = 1;
+    for k in 0..=kmax {
+        if k > 0 {
+            fall_m = fall_m.saturating_mul(m - k);
+            fall_n = fall_n.saturating_mul(n - k);
+        }
+        total = total.saturating_add(fall_m.saturating_mul(fall_n));
+    }
+    total
+}
+
+/// The paper's growth estimate: `n^(n−1)` paths per pair, `n^(n+1)` for the
+/// whole square array. Returned saturating at `u128::MAX`.
+pub fn paper_path_count(n: usize, whole_array: bool) -> u128 {
+    let exp = if whole_array { n + 1 } else { n - 1 };
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(n as u128);
+    }
+    acc
+}
+
+/// The naive parallel-resistor aggregation of §II-C:
+/// `Z_ij⁻¹ ≈ Σ_k P_k(R)⁻¹` over all simple paths.
+///
+/// Physically this ignores path coupling (paths share resistors), so it is
+/// only an *approximation* to the true effective resistance; the exact
+/// value comes from [`crate::forward::ForwardSolver`]. It exists to
+/// reproduce the baseline the paper argues against, and as a sanity bound:
+/// the true `Z` is never larger than the direct resistor and never smaller
+/// than this all-paths-parallel estimate.
+pub fn naive_parallel_z(r: &ResistorGrid, i: usize, j: usize, limit: Option<u128>) -> f64 {
+    let paths = enumerate_paths(r.grid(), i, j, limit);
+    let inv: f64 = paths.iter().map(|p| 1.0 / p.series_resistance(r)).sum();
+    1.0 / inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CrossingMatrix;
+
+    #[test]
+    fn n3_has_nine_paths_like_figure_4() {
+        // The paper's Figure 4: nine paths between C (row 2) and I (col 0).
+        let paths = enumerate_paths(MeaGrid::square(3), 2, 0, None);
+        assert_eq!(paths.len(), 9);
+        // Length distribution: 1 direct + 4 of three hops + 4 of five hops.
+        let mut lens: Vec<usize> = paths.iter().map(WirePath::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 3, 3, 3, 3, 5, 5, 5, 5]);
+        // The direct path crosses exactly R[2][0] (the paper's "C → R13 → I"
+        // in its vertical-first labeling).
+        let direct = paths.iter().find(|p| p.len() == 1).unwrap();
+        assert_eq!(direct.crossings, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn every_enumerated_path_is_simple_and_valid() {
+        let grid = MeaGrid::square(4);
+        let paths = enumerate_paths(grid, 1, 2, None);
+        for p in &paths {
+            assert!(p.len() % 2 == 1, "hop count must be odd");
+            // Starts on horizontal wire 1, ends on vertical wire 2.
+            assert_eq!(p.crossings.first().unwrap().0, 1);
+            assert_eq!(p.crossings.last().unwrap().1, 2);
+            // Consecutive crossings share exactly one wire, alternating.
+            for (k, w) in p.crossings.windows(2).enumerate() {
+                if k % 2 == 0 {
+                    assert_eq!(w[0].1, w[1].1, "even hop must share the vertical wire");
+                } else {
+                    assert_eq!(w[0].0, w[1].0, "odd hop must share the horizontal wire");
+                }
+            }
+            // No crossing repeats (simple path).
+            let mut seen = p.crossings.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn exact_count_formula_matches_enumeration() {
+        for n in 1..=4 {
+            let grid = MeaGrid::square(n);
+            let count = enumerate_paths(grid, 0, 0, None).len() as u128;
+            assert_eq!(count, exact_path_count(grid), "n = {n}");
+        }
+        // Rectangular case.
+        let grid = MeaGrid::new(2, 4);
+        assert_eq!(enumerate_paths(grid, 0, 1, None).len() as u128, exact_path_count(grid));
+    }
+
+    #[test]
+    fn exact_count_known_values() {
+        assert_eq!(exact_path_count(MeaGrid::square(1)), 1);
+        assert_eq!(exact_path_count(MeaGrid::square(2)), 2);
+        assert_eq!(exact_path_count(MeaGrid::square(3)), 9);
+        assert_eq!(exact_path_count(MeaGrid::square(4)), 1 + 9 + 36 + 36);
+    }
+
+    #[test]
+    fn paper_estimate_growth() {
+        assert_eq!(paper_path_count(3, false), 9);
+        assert_eq!(paper_path_count(3, true), 81);
+        assert_eq!(paper_path_count(6, true), 6u128.pow(7));
+        // The paper: infeasible for n > 6 — the estimate alone says why.
+        assert!(paper_path_count(20, true) > 10u128.pow(26));
+    }
+
+    #[test]
+    fn enumeration_guard_refuses_blowups() {
+        // n = 8 yields ~3.99 M paths; cap below that must refuse.
+        let result = std::panic::catch_unwind(|| {
+            enumerate_paths(MeaGrid::square(8), 0, 0, Some(1000))
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn series_resistance_sums_crossings() {
+        let grid = MeaGrid::square(3);
+        let mut r = CrossingMatrix::filled(grid, 10.0);
+        r.set(2, 0, 50.0);
+        let p = WirePath { crossings: vec![(2, 1), (0, 1), (0, 0)] };
+        assert_eq!(p.series_resistance(&r), 30.0);
+        let d = WirePath { crossings: vec![(2, 0)] };
+        assert_eq!(d.series_resistance(&r), 50.0);
+    }
+
+    #[test]
+    fn naive_z_bounds() {
+        // All resistors equal: the naive estimate must be below the direct
+        // resistor (paths in parallel reduce resistance).
+        let grid = MeaGrid::square(3);
+        let r = CrossingMatrix::filled(grid, 1000.0);
+        let z = naive_parallel_z(&r, 0, 0, None);
+        assert!(z < 1000.0);
+        assert!(z > 0.0);
+    }
+
+    #[test]
+    fn n1_single_path() {
+        let paths = enumerate_paths(MeaGrid::square(1), 0, 0, None);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].crossings, vec![(0, 0)]);
+    }
+}

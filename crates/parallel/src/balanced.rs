@@ -1,0 +1,133 @@
+//! Deterministic static load balancing (§IV-C.1, *Balanced Parallel*).
+//!
+//! The paper balances the skewed constraint categories deterministically
+//! rather than at runtime: "our implementation takes a deterministic
+//! approach to balance the workload rather than making the decision at
+//! runtime, which is stochastic." The classic deterministic heuristic for
+//! makespan minimization is longest-processing-time-first (LPT): sort items
+//! by descending cost and always hand the next item to the currently
+//! lightest bucket. LPT's makespan is within 4/3 of optimal — good at small
+//! scales, increasingly suboptimal relative to dynamic stealing at large
+//! ones, which is exactly the behaviour the paper reports for *Balanced
+//! Parallel*.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Partitions item indices into `buckets` groups by LPT on `costs`.
+///
+/// Returns `buckets` index lists (some possibly empty); within a bucket,
+/// indices are sorted ascending so execution order is deterministic.
+pub fn partition_lpt(costs: &[u64], buckets: usize) -> Vec<Vec<usize>> {
+    assert!(buckets > 0, "need at least one bucket");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Descending cost; ties broken by index for determinism.
+    order.sort_by_key(|&i| (Reverse(costs[i]), i));
+    // Min-heap of (load, bucket id).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..buckets).map(|b| Reverse((0u64, b))).collect();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    for i in order {
+        let Reverse((load, b)) = heap.pop().expect("heap never empties");
+        groups[b].push(i);
+        heap.push(Reverse((load + costs[i].max(1), b)));
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups
+}
+
+/// The makespan (largest bucket load) of a partition.
+pub fn makespan(costs: &[u64], groups: &[Vec<usize>]) -> u64 {
+    groups
+        .iter()
+        .map(|g| g.iter().map(|&i| costs[i]).sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let costs = [5, 3, 8, 1, 9, 2, 2];
+        let groups = partition_lpt(&costs, 3);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let costs: Vec<u64> = (0..50).map(|i| (i * 13 % 17) as u64 + 1).collect();
+        assert_eq!(partition_lpt(&costs, 4), partition_lpt(&costs, 4));
+    }
+
+    #[test]
+    fn balances_the_papers_category_skew() {
+        // §IV-C.1: two heavy intermediate categories vs. two light ones.
+        // Model: costs [1, 1, 30, 30] (source, dest, Ua, Ub) on 2 workers —
+        // LPT must put the two heavy items on different workers.
+        let costs = [1u64, 1, 30, 30];
+        let groups = partition_lpt(&costs, 2);
+        let spans: Vec<u64> =
+            groups.iter().map(|g| g.iter().map(|&i| costs[i]).sum()).collect();
+        assert_eq!(spans.iter().max(), spans.iter().min(), "perfect split exists");
+    }
+
+    #[test]
+    fn single_bucket_is_everything() {
+        let costs = [4u64, 2, 7];
+        let groups = partition_lpt(&costs, 1);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_buckets_than_items_leaves_empties() {
+        let costs = [5u64, 5];
+        let groups = partition_lpt(&costs, 4);
+        let nonempty = groups.iter().filter(|g| !g.is_empty()).count();
+        assert_eq!(nonempty, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let groups = partition_lpt(&[], 3);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(Vec::is_empty));
+        assert_eq!(makespan(&[], &groups), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = partition_lpt(&[1], 0);
+    }
+
+    proptest! {
+        /// LPT respects the classic 4/3 − 1/(3m) approximation bound
+        /// against the trivial lower bounds (max item, mean load).
+        #[test]
+        fn prop_lpt_quality(
+            costs in proptest::collection::vec(1u64..100, 1..60),
+            buckets in 1usize..8,
+        ) {
+            let groups = partition_lpt(&costs, buckets);
+            let span = makespan(&costs, &groups);
+            let total: u64 = costs.iter().sum();
+            let lower = (total as f64 / buckets as f64)
+                .max(*costs.iter().max().unwrap() as f64);
+            let bound = lower * (4.0 / 3.0) + 1.0;
+            prop_assert!(span as f64 <= bound, "span {} exceeds LPT bound {}", span, bound);
+            // Exact cover.
+            let mut all: Vec<usize> = groups.concat();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Heterogeneous-cluster simulation — the paper's first future-work item
+//! ("extend the proposed approach into a cluster of heterogeneous nodes").
+//!
+//! Ranks get individual speed factors; the naive block partition then
+//! leaves fast ranks idle behind the slowest one, while a speed-weighted
+//! contiguous partition (each rank's share ∝ its speed) restores the
+//! balance. Both are simulated under the same α–β communication model as
+//! the homogeneous case, so the benefit of speed-aware partitioning is
+//! measurable.
+
+use crate::mpi_sim::{block_range, ClusterModel, MpiSimReport};
+
+/// A cluster whose ranks differ in compute speed.
+#[derive(Clone, Debug)]
+pub struct HeteroClusterModel {
+    /// Topology and transports.
+    pub base: ClusterModel,
+    /// Speed multiplier per rank (1.0 = reference speed; 2.0 = twice as
+    /// fast). Length defines the rank count.
+    pub rank_speeds: Vec<f64>,
+}
+
+impl HeteroClusterModel {
+    /// A cluster of `ranks` nodes whose speeds alternate between `fast`
+    /// and `slow` — the classic mixed-generation machine room.
+    pub fn mixed(base: ClusterModel, ranks: usize, fast: f64, slow: f64) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(fast > 0.0 && slow > 0.0, "speeds must be positive");
+        let rank_speeds = (0..ranks)
+            .map(|r| if r % 2 == 0 { fast } else { slow })
+            .collect();
+        HeteroClusterModel { base, rank_speeds }
+    }
+
+    /// Rank count.
+    pub fn ranks(&self) -> usize {
+        self.rank_speeds.len()
+    }
+
+    /// Validates speeds (positive, finite).
+    fn validate(&self) {
+        assert!(!self.rank_speeds.is_empty(), "need at least one rank");
+        assert!(
+            self.rank_speeds.iter().all(|s| *s > 0.0 && s.is_finite()),
+            "rank speeds must be positive and finite"
+        );
+    }
+}
+
+/// Partition policy for heterogeneous runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeteroPartition {
+    /// Speed-oblivious equal block partition (the homogeneous default).
+    Naive,
+    /// Contiguous blocks sized proportionally to each rank's speed.
+    SpeedWeighted,
+}
+
+/// Contiguous speed-weighted partition: returns each rank's half-open
+/// index range; block lengths are proportional to speeds (largest-
+/// remainder rounding, every item assigned exactly once).
+pub fn weighted_ranges(n: usize, speeds: &[f64]) -> Vec<std::ops::Range<usize>> {
+    assert!(!speeds.is_empty(), "need at least one rank");
+    let total: f64 = speeds.iter().sum();
+    // Ideal fractional cut points, rounded monotonically.
+    let mut cuts = Vec::with_capacity(speeds.len() + 1);
+    cuts.push(0usize);
+    let mut acc = 0.0;
+    for (r, s) in speeds.iter().enumerate() {
+        acc += s;
+        let cut = if r + 1 == speeds.len() {
+            n
+        } else {
+            ((acc / total) * n as f64).round() as usize
+        };
+        let prev = *cuts.last().unwrap();
+        cuts.push(cut.clamp(prev, n));
+    }
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Simulates a heterogeneous run over measured per-item `costs` (seconds
+/// at reference speed). Communication is charged exactly as in the
+/// homogeneous simulator.
+pub fn simulate_hetero(
+    model: &HeteroClusterModel,
+    costs: &[f64],
+    rounds: usize,
+    bytes_per_round: usize,
+    policy: HeteroPartition,
+) -> MpiSimReport {
+    model.validate();
+    let ranks = model.ranks();
+    let serial: f64 = costs.iter().sum();
+    let p = ranks.min(costs.len()).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = match policy {
+        HeteroPartition::Naive => (0..p).map(|r| block_range(costs.len(), p, r)).collect(),
+        HeteroPartition::SpeedWeighted => weighted_ranges(costs.len(), &model.rank_speeds[..p]),
+    };
+    let compute = ranges
+        .iter()
+        .enumerate()
+        .map(|(r, range)| {
+            let work: f64 = costs[range.clone()].iter().sum();
+            work / model.rank_speeds[r]
+        })
+        .fold(0.0f64, f64::max);
+    let transport = model.base.transport_for(ranks);
+    let comm = rounds as f64 * transport.allgather_time(bytes_per_round, ranks);
+    MpiSimReport {
+        ranks,
+        compute_secs: compute,
+        comm_secs: comm,
+        total_secs: compute + comm,
+        serial_secs: serial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpi_sim::simulate;
+
+    fn base() -> ClusterModel {
+        ClusterModel::paper_hpc()
+    }
+
+    #[test]
+    fn uniform_speeds_match_homogeneous_simulation() {
+        let costs = vec![1e-3; 1000];
+        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0; 16] };
+        let hetero = simulate_hetero(&model, &costs, 10, 8000, HeteroPartition::Naive);
+        let homo = simulate(&base(), 16, &costs, 10, 8000);
+        assert!((hetero.total_secs - homo.total_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ranges_tile_and_respect_speeds() {
+        let speeds = [2.0, 1.0, 1.0];
+        let ranges = weighted_ranges(100, &speeds);
+        assert_eq!(ranges.len(), 3);
+        // Exact tiling.
+        let mut covered = Vec::new();
+        for r in &ranges {
+            covered.extend(r.clone());
+        }
+        assert_eq!(covered, (0..100).collect::<Vec<_>>());
+        // Fast rank gets about half.
+        assert!((ranges[0].len() as i64 - 50).abs() <= 1);
+    }
+
+    #[test]
+    fn speed_weighting_beats_naive_on_mixed_cluster() {
+        let costs = vec![1e-3; 4096];
+        let model = HeteroClusterModel::mixed(base(), 8, 4.0, 1.0);
+        let naive = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::Naive);
+        let weighted = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::SpeedWeighted);
+        // Naive is gated by the slow ranks carrying 1/8 of the work each;
+        // weighted shrinks the makespan by ≈ the mean/slowest-speed ratio.
+        assert!(
+            weighted.compute_secs < naive.compute_secs * 0.5,
+            "weighted {} vs naive {}",
+            weighted.compute_secs,
+            naive.compute_secs
+        );
+    }
+
+    #[test]
+    fn weighted_is_near_optimal_for_uniform_items() {
+        let costs = vec![2e-4; 1000];
+        let speeds = vec![3.0, 1.0, 2.0, 1.0];
+        let model = HeteroClusterModel { base: base(), rank_speeds: speeds.clone() };
+        let rep = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::SpeedWeighted);
+        let total_work: f64 = costs.iter().sum();
+        let ideal = total_work / speeds.iter().sum::<f64>();
+        assert!(
+            rep.compute_secs < ideal * 1.05,
+            "weighted makespan {} must sit within 5% of ideal {}",
+            rep.compute_secs,
+            ideal
+        );
+    }
+
+    #[test]
+    fn mixed_constructor_alternates() {
+        let m = HeteroClusterModel::mixed(base(), 4, 2.0, 0.5);
+        assert_eq!(m.rank_speeds, vec![2.0, 0.5, 2.0, 0.5]);
+        assert_eq!(m.ranks(), 4);
+    }
+
+    #[test]
+    fn more_ranks_than_items_handled() {
+        let costs = vec![1e-3; 3];
+        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0; 10] };
+        let rep = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::SpeedWeighted);
+        assert!(rep.compute_secs >= 1e-3 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0, 0.0] };
+        let _ = simulate_hetero(&model, &[1.0], 0, 0, HeteroPartition::Naive);
+    }
+}

@@ -1,0 +1,91 @@
+//! Execution reporting shared by the strategies and the figure harness.
+
+use std::time::Duration;
+
+/// Timing summary of one strategy execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// The strategy's display label (paper legend name).
+    pub strategy_label: String,
+    /// End-to-end wall-clock of the mapped workload.
+    pub wall: Duration,
+    /// Busy time per worker (length = worker count; rayon reports a single
+    /// aggregate entry because it does not expose per-worker clocks).
+    pub per_worker_busy: Vec<Duration>,
+    /// Number of work items executed.
+    pub items: usize,
+}
+
+impl ExecutionReport {
+    /// Load-balance quality in [0, 1]: mean busy time over max busy time.
+    /// 1.0 means perfectly even; meaningful only when more than one worker
+    /// reported.
+    pub fn balance(&self) -> f64 {
+        if self.per_worker_busy.len() <= 1 {
+            return 1.0;
+        }
+        let max = self.per_worker_busy.iter().max().copied().unwrap_or_default();
+        if max.is_zero() {
+            return 1.0;
+        }
+        let mean: f64 = self
+            .per_worker_busy
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
+            / self.per_worker_busy.len() as f64;
+        mean / max.as_secs_f64()
+    }
+
+    /// Items per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.items as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(busy_ms: &[u64], items: usize, wall_ms: u64) -> ExecutionReport {
+        ExecutionReport {
+            strategy_label: "test".into(),
+            wall: Duration::from_millis(wall_ms),
+            per_worker_busy: busy_ms.iter().map(|&m| Duration::from_millis(m)).collect(),
+            items,
+        }
+    }
+
+    #[test]
+    fn perfect_balance_is_one() {
+        assert_eq!(report(&[10, 10, 10], 30, 12).balance(), 1.0);
+    }
+
+    #[test]
+    fn skewed_balance_below_one() {
+        let b = report(&[30, 10, 20], 60, 35).balance();
+        assert!((b - 20.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_worker_balance_is_trivially_one() {
+        assert_eq!(report(&[42], 10, 50).balance(), 1.0);
+        assert_eq!(report(&[], 0, 0).balance(), 1.0);
+    }
+
+    #[test]
+    fn zero_busy_times_do_not_divide_by_zero() {
+        assert_eq!(report(&[0, 0], 5, 1).balance(), 1.0);
+    }
+
+    #[test]
+    fn throughput_counts_items_per_second() {
+        let r = report(&[10], 500, 250);
+        assert!((r.throughput() - 2000.0).abs() < 1e-9);
+        assert!(report(&[1], 3, 0).throughput().is_infinite());
+    }
+}

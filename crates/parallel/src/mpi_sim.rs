@@ -1,0 +1,290 @@
+//! A deterministic message-passing (MPI) simulator for the Figure-10
+//! scalability experiment.
+//!
+//! The paper deploys Parma with mpi4py on a 58-node FDR-InfiniBand cluster
+//! and scales to 1,024 processes. This reproduction has no cluster, so the
+//! experiment is *simulated* (DESIGN.md §2): the real per-item compute
+//! costs are measured on the host once, then ranks are modeled as a block
+//! partition of the item list with a standard α–β communication model for
+//! the per-iteration collective (recursive-doubling allgather:
+//! `⌈log₂ p⌉·α + (p−1)/p·bytes/β`). What the figure cares about — the
+//! strong-scaling *shape*, linear for big workloads and flat-to-adverse for
+//! small ones — is a function of the compute/communication ratio, which
+//! the model preserves.
+
+use std::time::Instant;
+
+/// An α–β point-to-point communication model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommModel {
+    /// Per-message latency α, seconds.
+    pub latency_secs: f64,
+    /// Bandwidth, bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl CommModel {
+    /// FDR InfiniBand (the paper's interconnect): ~0.7 µs latency,
+    /// 56 Gbit/s ≈ 6.8 GB/s effective.
+    pub fn fdr_infiniband() -> Self {
+        CommModel { latency_secs: 0.7e-6, bandwidth_bytes_per_sec: 6.8e9 }
+    }
+
+    /// Shared-memory transport within one node: ~0.1 µs, ~20 GB/s.
+    pub fn shared_memory() -> Self {
+        CommModel { latency_secs: 0.1e-6, bandwidth_bytes_per_sec: 20e9 }
+    }
+
+    /// Time to move one message of `bytes`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency_secs + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// Recursive-doubling allgather across `p` ranks where the gathered
+    /// payload totals `bytes`: `⌈log₂ p⌉·α + ((p−1)/p)·bytes/β`.
+    pub fn allgather_time(&self, bytes: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p as f64).log2().ceil();
+        steps * self.latency_secs
+            + ((p - 1) as f64 / p as f64) * bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// The cluster the simulation models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterModel {
+    /// Physical cores per node (32 on the paper's machines).
+    pub cores_per_node: usize,
+    /// Transport between nodes.
+    pub inter_node: CommModel,
+    /// Transport within one node.
+    pub intra_node: CommModel,
+}
+
+impl ClusterModel {
+    /// The paper's HPC test bed: 32-core nodes on FDR InfiniBand.
+    pub fn paper_hpc() -> Self {
+        ClusterModel {
+            cores_per_node: 32,
+            inter_node: CommModel::fdr_infiniband(),
+            intra_node: CommModel::shared_memory(),
+        }
+    }
+
+    /// The transport governing a `p`-rank job: shared memory while the job
+    /// fits in one node, InfiniBand once it spills across nodes.
+    pub fn transport_for(&self, ranks: usize) -> CommModel {
+        if ranks <= self.cores_per_node {
+            self.intra_node
+        } else {
+            self.inter_node
+        }
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiSimReport {
+    /// Rank count `p`.
+    pub ranks: usize,
+    /// Slowest rank's compute share, seconds.
+    pub compute_secs: f64,
+    /// Total communication charge, seconds.
+    pub comm_secs: f64,
+    /// Simulated wall clock (`compute + comm`).
+    pub total_secs: f64,
+    /// Single-rank time (the sum of all item costs).
+    pub serial_secs: f64,
+}
+
+impl MpiSimReport {
+    /// Strong-scaling speedup `T₁ / T_p`.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.total_secs
+    }
+
+    /// Parallel efficiency `speedup / p`.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.ranks as f64
+    }
+}
+
+/// Block partition of `n` items over `p` ranks: rank `r` gets the
+/// half-open index range `block_range(n, p, r)` — the standard MPI
+/// decomposition (remainder spread over the first ranks).
+pub fn block_range(n: usize, p: usize, r: usize) -> std::ops::Range<usize> {
+    assert!(r < p, "rank out of range");
+    let base = n / p;
+    let rem = n % p;
+    let start = r * base + r.min(rem);
+    let len = base + usize::from(r < rem);
+    start..start + len
+}
+
+/// Simulates a `p`-rank run over items with measured `costs` (seconds per
+/// item), with `rounds` collective-synchronization rounds each moving
+/// `bytes_per_round` through an allgather.
+pub fn simulate(
+    cluster: &ClusterModel,
+    ranks: usize,
+    costs: &[f64],
+    rounds: usize,
+    bytes_per_round: usize,
+) -> MpiSimReport {
+    assert!(ranks > 0, "need at least one rank");
+    let serial: f64 = costs.iter().sum();
+    let p = ranks.min(costs.len()).max(1);
+    let compute = (0..p)
+        .map(|r| block_range(costs.len(), p, r).map(|i| costs[i]).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let transport = cluster.transport_for(ranks);
+    let comm = rounds as f64 * transport.allgather_time(bytes_per_round, ranks);
+    MpiSimReport {
+        ranks,
+        compute_secs: compute,
+        comm_secs: comm,
+        total_secs: compute + comm,
+        serial_secs: serial,
+    }
+}
+
+/// Measures real per-item costs by executing `f` on the current thread.
+/// Each item is timed three times and the *minimum* kept — single-shot
+/// timings are easily inflated by scheduler hiccups, and one inflated item
+/// pins its whole rank in the block partition. The measured vector then
+/// drives [`simulate`] across any rank count without re-running the
+/// workload.
+pub fn measure_costs<F: FnMut(usize)>(n: usize, mut f: F) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                f(i);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_tile_the_index_space() {
+        for (n, p) in [(10, 3), (7, 7), (5, 8), (1000, 32), (0, 4)] {
+            let p_eff = p;
+            let mut covered = Vec::new();
+            for r in 0..p_eff {
+                covered.extend(block_range(n, p_eff, r));
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_balanced() {
+        for r in 0..32 {
+            let len = block_range(1000, 32, r).len();
+            assert!(len == 31 || len == 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn block_range_checks_rank() {
+        let _ = block_range(10, 2, 2);
+    }
+
+    #[test]
+    fn allgather_time_grows_logarithmically_in_latency() {
+        let c = CommModel { latency_secs: 1.0, bandwidth_bytes_per_sec: f64::INFINITY };
+        assert_eq!(c.allgather_time(1000, 1), 0.0);
+        assert_eq!(c.allgather_time(1000, 2), 1.0);
+        assert_eq!(c.allgather_time(1000, 8), 3.0);
+        assert_eq!(c.allgather_time(1000, 1024), 10.0);
+    }
+
+    #[test]
+    fn message_time_combines_latency_and_bandwidth() {
+        let c = CommModel { latency_secs: 2.0, bandwidth_bytes_per_sec: 10.0 };
+        assert_eq!(c.message_time(50), 7.0);
+    }
+
+    #[test]
+    fn big_workload_scales_nearly_linearly() {
+        // 10,000 uniform 1 ms items (the ≥ 50×50 regime of Figure 10).
+        let cluster = ClusterModel::paper_hpc();
+        let costs = vec![1e-3; 10_000];
+        for &p in &[2usize, 8, 32, 128, 1024] {
+            let rep = simulate(&cluster, p, &costs, 20, 8 * 10_000);
+            let eff = rep.efficiency();
+            assert!(eff > 0.9, "p = {p}: efficiency {eff} must stay near 1");
+        }
+    }
+
+    #[test]
+    fn tiny_workload_stops_scaling() {
+        // 100 items of 1 µs (the 10×10 regime): inter-node parallelism
+        // cannot help, matching the paper's "intra-node is recommended".
+        let cluster = ClusterModel::paper_hpc();
+        let costs = vec![1e-6; 100];
+        let small = simulate(&cluster, 32, &costs, 20, 8 * 100);
+        let large = simulate(&cluster, 1024, &costs, 20, 8 * 100);
+        assert!(
+            large.speedup() < small.speedup(),
+            "scaling past one node must hurt a tiny workload: {} vs {}",
+            large.speedup(),
+            small.speedup()
+        );
+    }
+
+    #[test]
+    fn serial_time_is_cost_sum_and_p1_has_no_comm() {
+        let cluster = ClusterModel::paper_hpc();
+        let costs = vec![0.5, 0.25, 0.25];
+        let rep = simulate(&cluster, 1, &costs, 100, 1 << 20);
+        assert!((rep.serial_secs - 1.0).abs() < 1e-12);
+        assert_eq!(rep.comm_secs, 0.0);
+        assert!((rep.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_ranks_than_items_is_capped() {
+        let cluster = ClusterModel::paper_hpc();
+        let costs = vec![1e-3; 4];
+        let rep = simulate(&cluster, 64, &costs, 0, 0);
+        // Compute cannot drop below one item's cost.
+        assert!(rep.compute_secs >= 1e-3 - 1e-12);
+    }
+
+    #[test]
+    fn transport_switches_at_node_boundary() {
+        let cluster = ClusterModel::paper_hpc();
+        assert_eq!(cluster.transport_for(32), cluster.intra_node);
+        assert_eq!(cluster.transport_for(33), cluster.inter_node);
+    }
+
+    #[test]
+    fn measure_costs_returns_positive_durations() {
+        let costs = measure_costs(5, |i| {
+            std::hint::black_box((0..100 * (i + 1)).sum::<usize>());
+        });
+        assert_eq!(costs.len(), 5);
+        assert!(costs.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn skewed_costs_bound_compute_by_heaviest_block() {
+        let cluster = ClusterModel::paper_hpc();
+        let mut costs = vec![1e-4; 100];
+        costs[0] = 1.0; // one pathological item
+        let rep = simulate(&cluster, 10, &costs, 0, 0);
+        assert!(rep.compute_secs >= 1.0, "the heavy item pins its rank");
+        assert!(rep.speedup() < 2.0);
+    }
+}

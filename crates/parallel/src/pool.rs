@@ -1,0 +1,255 @@
+//! A work-stealing scheduler built on crossbeam-deque.
+//!
+//! This is the crate's own fine-grained engine (the alternative to rayon
+//! for the PyMP-k role): a fixed set of workers, a global injector seeded
+//! with index *ranges* (chunks), per-worker LIFO deques and random-victim
+//! stealing. Because the task set is closed (tasks never spawn tasks),
+//! termination is a simple completed-items counter.
+//!
+//! Results are written into pre-allocated slots through a `Sync` unsafe
+//! cell; safety rests on the scheduler's exactly-once dispatch of each
+//! index, which the tests pound on.
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Write-once result slots shared across workers.
+///
+/// # Safety contract
+/// Each index is written at most once, by the single worker that claimed
+/// it from the scheduler, and only read after every worker has joined.
+struct Slots<T> {
+    data: Vec<UnsafeCell<MaybeUninit<T>>>,
+}
+
+// SAFETY: concurrent access is to *disjoint* indices (exactly-once
+// dispatch), so sharing the container across threads is sound for any
+// Send payload.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots { data: (0..n).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect() }
+    }
+
+    /// # Safety
+    /// `i` must be claimed exactly once across all workers.
+    unsafe fn write(&self, i: usize, value: T) {
+        (*self.data[i].get()).write(value);
+    }
+
+    /// # Safety
+    /// Every slot must have been written and all workers joined.
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.data
+            .into_iter()
+            .map(|cell| cell.into_inner().assume_init())
+            .collect()
+    }
+}
+
+/// A fixed-width work-stealing pool for index-space maps.
+pub struct WorkStealingPool {
+    threads: usize,
+    last_busy: Mutex<Vec<Duration>>,
+}
+
+impl WorkStealingPool {
+    /// A pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        WorkStealingPool { threads: threads.max(1), last_busy: Mutex::new(Vec::new()) }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Per-worker busy durations of the most recent [`Self::map_indexed`].
+    pub fn last_busy_times(&self) -> Vec<Duration> {
+        self.last_busy.lock().clone()
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` with dynamic load balancing;
+    /// results are returned in index order.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            *self.last_busy.lock() = vec![Duration::ZERO; self.threads];
+            return Vec::new();
+        }
+        let slots = Slots::new(n);
+        let injector: Injector<(usize, usize)> = Injector::new();
+        // Chunk the index space: big enough to amortize queue traffic,
+        // small enough that stealing can still balance (≥ 4 chunks per
+        // worker when possible).
+        let chunk = (n / (self.threads * 8)).max(1);
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            injector.push((start, end));
+            start = end;
+        }
+        let completed = AtomicUsize::new(0);
+        let workers: Vec<Worker<(usize, usize)>> =
+            (0..self.threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<(usize, usize)>> =
+            workers.iter().map(Worker::stealer).collect();
+        let mut busy = vec![Duration::ZERO; self.threads];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(me, local)| {
+                    let injector = &injector;
+                    let stealers = &stealers;
+                    let completed = &completed;
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let mut done_here = 0usize;
+                        loop {
+                            let task = local.pop().or_else(|| {
+                                // Refill from the injector, then raid peers.
+                                std::iter::repeat_with(|| {
+                                    injector.steal_batch_and_pop(&local).or_else(|| {
+                                        stealers
+                                            .iter()
+                                            .enumerate()
+                                            .filter(|(other, _)| *other != me)
+                                            .map(|(_, s)| s.steal())
+                                            .collect()
+                                    })
+                                })
+                                .find(|s| !s.is_retry())
+                                .and_then(|s| s.success())
+                            });
+                            match task {
+                                Some((lo, hi)) => {
+                                    for i in lo..hi {
+                                        let value = f(i);
+                                        // SAFETY: index i belongs to a chunk
+                                        // claimed exactly once from the
+                                        // scheduler.
+                                        unsafe { slots.write(i, value) };
+                                    }
+                                    done_here += hi - lo;
+                                    completed.fetch_add(hi - lo, Ordering::Release);
+                                }
+                                None => {
+                                    if completed.load(Ordering::Acquire) >= n {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        (t0.elapsed(), done_here)
+                    })
+                })
+                .collect();
+            for (w, h) in handles.into_iter().enumerate() {
+                let (elapsed, _count) = h.join().expect("work-stealing worker panicked");
+                busy[w] = elapsed;
+            }
+        });
+        debug_assert_eq!(completed.load(Ordering::Acquire), n);
+        *self.last_busy.lock() = busy;
+        // SAFETY: the completed counter reached n, so every slot was
+        // written exactly once, and all workers have joined.
+        unsafe { slots.into_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_index_order() {
+        let pool = WorkStealingPool::new(4);
+        let out = pool.map_indexed(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkStealingPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+        let _ = pool.map_indexed(512, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} ran a wrong number of times");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_workloads() {
+        let pool = WorkStealingPool::new(8);
+        let empty: Vec<usize> = pool.map_indexed(0, |i| i);
+        assert!(empty.is_empty());
+        let one = pool.map_indexed(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+        assert_eq!(pool.last_busy_times().len(), 8);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let pool = WorkStealingPool::new(16);
+        let out = pool.map_indexed(5, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unbalanced_items_all_complete() {
+        // Skewed costs: item 0 is 1000× heavier; stealing must still finish
+        // everything.
+        let pool = WorkStealingPool::new(2);
+        let out = pool.map_indexed(64, |i| {
+            let reps = if i == 0 { 100_000 } else { 100 };
+            let mut acc = 0u64;
+            for k in 0..reps {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ i as u64);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn zero_thread_request_becomes_one() {
+        let pool = WorkStealingPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map_indexed(10, |i| i);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn non_copy_payloads_survive() {
+        let pool = WorkStealingPool::new(4);
+        let out = pool.map_indexed(100, |i| format!("value-{i}"));
+        assert_eq!(out[99], "value-99");
+        assert_eq!(out[0], "value-0");
+    }
+
+    #[test]
+    fn busy_times_reported_per_worker() {
+        let pool = WorkStealingPool::new(3);
+        let _ = pool.map_indexed(300, |i| {
+            std::hint::black_box((0..200).fold(i as u64, |a, b| a.wrapping_add(b)))
+        });
+        let busy = pool.last_busy_times();
+        assert_eq!(busy.len(), 3);
+    }
+}

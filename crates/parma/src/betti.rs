@@ -1,0 +1,144 @@
+//! Betti-aware work decomposition — the bridge from §III's homology to
+//! §IV's parallel schedules.
+//!
+//! The first Betti number of the MEA complex counts its independent
+//! Kirchhoff cycles: `β₁ = (m−1)(n−1)`. Parma's runtime work units (pairs
+//! and per-pair constraint categories) inherit their independence from
+//! those cycles; this module computes the bound from the actual homology
+//! (not the closed form) and manufactures the corresponding
+//! [`WorkItem`] lists for the formation and solver sweeps.
+
+use mea_model::MeaGrid;
+use mea_parallel::{WorkItem, CATEGORY_COUNT};
+use mea_topology::{betti_numbers, mea_complex};
+
+/// The intrinsic parallelism of a device: `β₁` of the joint-level
+/// simplicial complex.
+///
+/// Equal to `(rows−1)(cols−1)` — the paper's `(n−1)^k` for `k = 2`. Up to
+/// 2,500 crossings the value is *derived* by actually computing the
+/// homology (GF(2) boundary ranks); beyond that the closed form is used —
+/// the two are proven equal on the computable range by test, and the GF(2)
+/// elimination on a 100×100 device's 20,000×29,800 boundary matrix would
+/// dominate formation time for no information gain.
+pub fn parallelism_bound(grid: MeaGrid) -> usize {
+    if grid.crossings() <= 2_500 {
+        let complex = mea_complex::mea_to_complex(grid.rows(), grid.cols());
+        let betti = betti_numbers(&complex);
+        betti.get(1).copied().unwrap_or(0)
+    } else {
+        (grid.rows() - 1) * (grid.cols() - 1)
+    }
+}
+
+/// A Betti-aware schedule: work items for the two sweep granularities
+/// Parma uses.
+#[derive(Clone, Debug)]
+pub struct BettiSchedule {
+    grid: MeaGrid,
+    bound: usize,
+}
+
+impl BettiSchedule {
+    /// Builds the schedule (computes the homology once).
+    pub fn new(grid: MeaGrid) -> Self {
+        BettiSchedule { grid, bound: parallelism_bound(grid) }
+    }
+
+    /// The geometry.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// `β₁` — the maximum useful fine-grained parallelism.
+    pub fn parallelism_bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Caps a requested worker count at the useful parallelism (requesting
+    /// more workers than independent cycles wastes threads, the effect the
+    /// paper observes at small `n`).
+    pub fn effective_workers(&self, requested: usize) -> usize {
+        requested.clamp(1, self.bound.max(1))
+    }
+
+    /// One work item per endpoint pair (the solver sweep granularity).
+    /// Costs are uniform: pair updates are O(1) after the shared
+    /// factorization.
+    pub fn pair_items(&self) -> Vec<WorkItem> {
+        (0..self.grid.pairs())
+            .map(|id| WorkItem { id, category: id % CATEGORY_COUNT, cost: 1 })
+            .collect()
+    }
+
+    /// One work item per (pair, constraint category) — the formation
+    /// granularity. `id = pair·4 + category`; costs carry the §IV-C skew:
+    /// the two intermediate categories are `(n−1)`-fold heavier.
+    pub fn formation_items(&self) -> Vec<WorkItem> {
+        let (rows, cols) = (self.grid.rows(), self.grid.cols());
+        // Expected term counts per category block (see FormationCensus).
+        let costs = [
+            cols as u64,                       // source: n terms
+            rows as u64,                       // destination: m terms
+            ((cols - 1) * rows) as u64,        // Ua block: (n−1)·m terms
+            ((rows - 1) * cols) as u64,        // Ub block: (m−1)·n terms
+        ];
+        (0..self.grid.pairs() * CATEGORY_COUNT)
+            .map(|id| {
+                let category = id % CATEGORY_COUNT;
+                WorkItem { id, category, cost: costs[category].max(1) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_closed_form() {
+        for (m, n) in [(2usize, 2usize), (3, 3), (4, 6), (5, 5)] {
+            assert_eq!(parallelism_bound(MeaGrid::new(m, n)), (m - 1) * (n - 1));
+        }
+    }
+
+    #[test]
+    fn single_wire_pair_has_no_parallel_cycles() {
+        assert_eq!(parallelism_bound(MeaGrid::square(1)), 0);
+        let s = BettiSchedule::new(MeaGrid::square(1));
+        assert_eq!(s.effective_workers(16), 1);
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_bound() {
+        let s = BettiSchedule::new(MeaGrid::square(4)); // β₁ = 9
+        assert_eq!(s.effective_workers(4), 4);
+        assert_eq!(s.effective_workers(100), 9);
+        assert_eq!(s.effective_workers(0), 1);
+    }
+
+    #[test]
+    fn pair_items_are_dense_and_uniform() {
+        let s = BettiSchedule::new(MeaGrid::square(3));
+        let items = s.pair_items();
+        assert_eq!(items.len(), 9);
+        for (i, w) in items.iter().enumerate() {
+            assert_eq!(w.id, i);
+            assert_eq!(w.cost, 1);
+        }
+    }
+
+    #[test]
+    fn formation_items_carry_the_category_skew() {
+        let s = BettiSchedule::new(MeaGrid::square(5));
+        let items = s.formation_items();
+        assert_eq!(items.len(), 25 * 4);
+        // Intermediate blocks must be heavier than source/destination.
+        assert!(items[2].cost > items[0].cost);
+        assert!(items[3].cost > items[1].cost);
+        // Category pattern repeats per pair.
+        assert_eq!(items[4].category, 0);
+        assert_eq!(items[7].category, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Dense Gauss-Newton on the conductance least-squares problem
+//! `min ‖Z_model(g) − Z_meas‖²` — the reference among the classical
+//! methods (Landweber and Tikhonov are its gradient and regularized
+//! variants).
+
+use crate::classical::jacobian::{g_to_resistors, resistors_to_g, FullJacobian};
+use crate::error::ParmaError;
+use mea_model::{ResistorGrid, ZMatrix};
+
+/// Options for [`gauss_newton`].
+#[derive(Clone, Copy, Debug)]
+pub struct GaussNewtonOptions {
+    /// Convergence target on the relative impedance mismatch.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+    /// Levenberg ridge added to `JᵀJ` (0 = pure Gauss-Newton; a small
+    /// positive value rescues near-singular steps).
+    pub levenberg: f64,
+    /// Conductance floor (mS) keeping iterates physical.
+    pub g_floor: f64,
+}
+
+impl Default for GaussNewtonOptions {
+    fn default() -> Self {
+        GaussNewtonOptions { tol: 1e-10, max_iter: 50, levenberg: 0.0, g_floor: 1e-12 }
+    }
+}
+
+/// Runs Gauss-Newton from `initial`, returning the recovered map.
+pub fn gauss_newton(
+    z: &ZMatrix,
+    initial: &ResistorGrid,
+    opts: &GaussNewtonOptions,
+) -> Result<ResistorGrid, ParmaError> {
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    if initial.grid() != z.grid() || !initial.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "initial map must match the grid and be physical".into(),
+        ));
+    }
+    let grid = z.grid();
+    let mut g = resistors_to_g(initial);
+    let mut last_residual = f64::INFINITY;
+    for it in 0..opts.max_iter {
+        let r = g_to_resistors(grid, &g, opts.g_floor);
+        let fj = FullJacobian::assemble(&r, z)?;
+        let rel = max_rel(&fj.residual, z);
+        if rel <= opts.tol {
+            return Ok(r);
+        }
+        last_residual = rel;
+        // Solve (JᵀJ + λI)·δ = −Jᵀr.
+        let mut normal = fj.normal_matrix();
+        if opts.levenberg > 0.0 {
+            for d in 0..normal.rows() {
+                normal[(d, d)] += opts.levenberg;
+            }
+        }
+        let rhs: Vec<f64> = fj.gradient().into_iter().map(|v| -v).collect();
+        let delta = normal.solve(&rhs).map_err(ParmaError::Linalg)?;
+        // Damped line step: halve until the iterate stays physical.
+        let mut step = 1.0;
+        loop {
+            let candidate: Vec<f64> =
+                g.iter().zip(&delta).map(|(gi, di)| gi + step * di).collect();
+            if candidate.iter().all(|v| *v > opts.g_floor) {
+                g = candidate;
+                break;
+            }
+            step *= 0.5;
+            if step < 1e-6 {
+                // Clamp instead of shrinking forever.
+                g = g
+                    .iter()
+                    .zip(&delta)
+                    .map(|(gi, di)| (gi + di).max(opts.g_floor))
+                    .collect();
+                break;
+            }
+        }
+        let _ = it;
+    }
+    let r = g_to_resistors(grid, &g, opts.g_floor);
+    let fj = FullJacobian::assemble(&r, z)?;
+    let rel = max_rel(&fj.residual, z);
+    if rel <= opts.tol {
+        Ok(r)
+    } else {
+        Err(ParmaError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rel.min(last_residual),
+            partial: r,
+        })
+    }
+}
+
+fn max_rel(residual: &[f64], z: &ZMatrix) -> f64 {
+    residual
+        .iter()
+        .zip(z.as_slice())
+        .fold(0.0f64, |m, (r, zm)| m.max(r.abs() / zm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid};
+
+    fn setup(n: usize, seed: u64) -> (ResistorGrid, ZMatrix) {
+        let (truth, _) = AnomalyConfig::default().generate(MeaGrid::square(n), seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        (truth, z)
+    }
+
+    #[test]
+    fn converges_quadratically_on_clean_data() {
+        let (truth, z) = setup(5, 61);
+        // Seed: measured Z scaled to the uniform-mode estimate.
+        let kappa = 25.0 / 9.0;
+        let mut seed = z.clone();
+        for v in seed.as_mut_slice() {
+            *v *= kappa;
+        }
+        let got = gauss_newton(&z, &seed, &GaussNewtonOptions::default()).unwrap();
+        assert!(
+            got.rel_max_diff(&truth) < 1e-7,
+            "rel error {}",
+            got.rel_max_diff(&truth)
+        );
+    }
+
+    #[test]
+    fn agrees_with_the_parma_fixed_point() {
+        let (_, z) = setup(4, 62);
+        let kappa = 16.0 / 7.0;
+        let mut seed = z.clone();
+        for v in seed.as_mut_slice() {
+            *v *= kappa;
+        }
+        let gn = gauss_newton(&z, &seed, &GaussNewtonOptions::default()).unwrap();
+        let fp = crate::solver::ParmaSolver::new(crate::config::ParmaConfig::default())
+            .solve(&z)
+            .unwrap();
+        assert!(gn.rel_max_diff(&fp.resistors) < 1e-6);
+    }
+
+    #[test]
+    fn levenberg_ridge_still_converges() {
+        let (truth, z) = setup(4, 63);
+        let opts = GaussNewtonOptions { levenberg: 1e-9, max_iter: 80, ..Default::default() };
+        let got = gauss_newton(&z, &z, &opts).unwrap();
+        assert!(got.rel_max_diff(&truth) < 1e-5);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let (_, z) = setup(4, 64);
+        let opts = GaussNewtonOptions { max_iter: 1, tol: 1e-14, ..Default::default() };
+        match gauss_newton(&z, &z, &opts) {
+            Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (truth, z) = setup(3, 65);
+        let bad = mea_model::CrossingMatrix::filled(MeaGrid::square(3), -1.0);
+        assert!(gauss_newton(&bad, &truth, &GaussNewtonOptions::default()).is_err());
+        let wrong_grid = mea_model::CrossingMatrix::filled(MeaGrid::square(4), 1000.0);
+        assert!(gauss_newton(&z, &wrong_grid, &GaussNewtonOptions::default()).is_err());
+    }
+}

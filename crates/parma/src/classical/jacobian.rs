@@ -1,0 +1,186 @@
+//! Dense sensitivity-Jacobian assembly and ill-posedness diagnostics.
+
+use mea_linalg::{DenseMatrix, LinalgError};
+use mea_model::{ForwardSolver, MeaGrid, ResistorGrid, ZMatrix};
+
+/// The full dense Jacobian `J[pair][crossing] = ∂Z_ij/∂g_kl` of the forward
+/// map at a resistor estimate, with the matching residual vector.
+#[derive(Clone, Debug)]
+pub struct FullJacobian {
+    grid: MeaGrid,
+    /// `pairs × crossings` sensitivity matrix (all entries ≤ 0).
+    pub j: DenseMatrix,
+    /// Residual `Z_model − Z_meas`, pair-major, kΩ.
+    pub residual: Vec<f64>,
+}
+
+impl FullJacobian {
+    /// Assembles `J` and the residual at estimate `r` against measured `z`.
+    /// One forward factorization serves the whole assembly; total cost
+    /// `O((m+n)³ + (mn)²)`.
+    pub fn assemble(r: &ResistorGrid, z: &ZMatrix) -> Result<Self, LinalgError> {
+        let grid = r.grid();
+        assert_eq!(grid, z.grid(), "grid mismatch");
+        let fs = ForwardSolver::new(r)?;
+        let pairs = grid.pairs();
+        let crossings = grid.crossings();
+        let mut j = DenseMatrix::zeros(pairs, crossings);
+        let mut residual = Vec::with_capacity(pairs);
+        for (p, (i, jj)) in grid.pair_iter().enumerate() {
+            let sens = fs.sensitivity(i, jj);
+            j.row_mut(p).copy_from_slice(sens.as_slice());
+            residual.push(fs.effective_resistance(i, jj) - z.get(i, jj));
+        }
+        Ok(FullJacobian { grid, j, residual })
+    }
+
+    /// The geometry.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// `Jᵀ·r` — the least-squares gradient direction (Landweber's step).
+    pub fn gradient(&self) -> Vec<f64> {
+        self.j.transpose().mul_vec(&self.residual)
+    }
+
+    /// A row-scaled copy: row `p` of `J` and `residual[p]` are both
+    /// multiplied by `scales[p]`. With `scales = 1/Z_meas` this converts
+    /// the least squares to *relative* residuals, which balances the rows
+    /// and is what makes the Landweber iteration practical.
+    pub fn row_scaled(&self, scales: &[f64]) -> FullJacobian {
+        assert_eq!(scales.len(), self.j.rows(), "scale length mismatch");
+        let mut j = self.j.clone();
+        for (p, &s) in scales.iter().enumerate() {
+            for v in j.row_mut(p) {
+                *v *= s;
+            }
+        }
+        let residual = self.residual.iter().zip(scales).map(|(r, s)| r * s).collect();
+        FullJacobian { grid: self.grid, j, residual }
+    }
+
+    /// Mean diagonal entry of `JᵀJ` — the natural unit for relative
+    /// regularization weights.
+    pub fn mean_normal_diagonal(&self) -> f64 {
+        let cols = self.j.cols();
+        let mut acc = 0.0;
+        for p in 0..self.j.rows() {
+            for v in self.j.row(p) {
+                acc += v * v;
+            }
+        }
+        acc / cols as f64
+    }
+
+    /// The Gauss-Newton normal matrix `JᵀJ` (symmetric PSD).
+    pub fn normal_matrix(&self) -> DenseMatrix {
+        self.j.transpose().mul(&self.j)
+    }
+
+    /// Largest singular value of `J` (√ of the top `JᵀJ` eigenvalue, by
+    /// power iteration).
+    pub fn sigma_max(&self, iterations: usize) -> f64 {
+        let jtj = self.normal_matrix();
+        mea_linalg::power_iteration(&jtj, iterations, 1e-12)
+            .map(|e| e.value.max(0.0).sqrt())
+            .unwrap_or(0.0)
+    }
+
+    /// Estimated 2-norm condition number `σ_max/σ_min` of `J`, the
+    /// quantitative form of the paper's ill-posedness claim. Returns
+    /// `f64::INFINITY` when the normal matrix is numerically singular.
+    pub fn condition_estimate(&self, iterations: usize) -> f64 {
+        let jtj = self.normal_matrix();
+        mea_linalg::condition_estimate(&jtj, iterations, 1e-12).sqrt()
+    }
+}
+
+/// Converts a conductance vector to a resistor map, clamping to the
+/// physical domain (shared by the classical iterations).
+pub(crate) fn g_to_resistors(grid: MeaGrid, g: &[f64], g_floor: f64) -> ResistorGrid {
+    let values = g.iter().map(|&gi| 1.0 / gi.max(g_floor)).collect();
+    ResistorGrid::from_vec(grid, values)
+}
+
+/// Extracts the conductance vector of a resistor map.
+pub(crate) fn resistors_to_g(r: &ResistorGrid) -> Vec<f64> {
+    r.as_slice().iter().map(|&ri| 1.0 / ri).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, CrossingMatrix};
+
+    fn setup(n: usize, seed: u64) -> (ResistorGrid, ZMatrix) {
+        let (truth, _) = AnomalyConfig::default().generate(MeaGrid::square(n), seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        (truth, z)
+    }
+
+    #[test]
+    fn residual_vanishes_at_truth() {
+        let (truth, z) = setup(4, 1);
+        let fj = FullJacobian::assemble(&truth, &z).unwrap();
+        for r in &fj.residual {
+            assert!(r.abs() < 1e-9);
+        }
+        assert_eq!(fj.j.rows(), 16);
+        assert_eq!(fj.j.cols(), 16);
+    }
+
+    #[test]
+    fn jacobian_entries_are_nonpositive() {
+        let (truth, z) = setup(3, 2);
+        let fj = FullJacobian::assemble(&truth, &z).unwrap();
+        for p in 0..fj.j.rows() {
+            for c in 0..fj.j.cols() {
+                assert!(fj.j[(p, c)] <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_is_jt_r() {
+        let (truth, mut z) = setup(3, 3);
+        // Perturb one measurement to get a nonzero residual.
+        z.set(1, 1, z.get(1, 1) * 1.1);
+        let fj = FullJacobian::assemble(&truth, &z).unwrap();
+        let grad = fj.gradient();
+        let manual = fj.j.transpose().mul_vec(&fj.residual);
+        assert_eq!(grad, manual);
+        assert!(mea_linalg::vec_ops::norm2(&grad) > 0.0);
+    }
+
+    #[test]
+    fn condition_number_grows_with_scale() {
+        // The measurable form of the paper's ill-posedness claim: the
+        // sensitivity matrix becomes worse conditioned as the array grows.
+        let (t3, z3) = setup(3, 4);
+        let (t6, z6) = setup(6, 4);
+        let c3 = FullJacobian::assemble(&t3, &z3).unwrap().condition_estimate(60);
+        let c6 = FullJacobian::assemble(&t6, &z6).unwrap().condition_estimate(60);
+        assert!(c3.is_finite() && c3 > 1.0);
+        assert!(c6 > c3, "conditioning must degrade with n: {c3} vs {c6}");
+    }
+
+    #[test]
+    fn sigma_max_positive_and_consistent() {
+        let (truth, z) = setup(4, 5);
+        let fj = FullJacobian::assemble(&truth, &z).unwrap();
+        let s = fj.sigma_max(50);
+        assert!(s > 0.0);
+        // σ_max² must be ≤ the Frobenius norm² of J.
+        assert!(s * s <= fj.j.norm_fro().powi(2) + 1e-9);
+    }
+
+    #[test]
+    fn g_conversions_roundtrip() {
+        let grid = MeaGrid::square(2);
+        let r = CrossingMatrix::from_vec(grid, vec![100.0, 200.0, 400.0, 800.0]);
+        let g = resistors_to_g(&r);
+        let back = g_to_resistors(grid, &g, 1e-12);
+        assert!(back.rel_max_diff(&r) < 1e-15);
+    }
+}

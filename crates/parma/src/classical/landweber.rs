@@ -1,0 +1,198 @@
+//! The Landweber iteration (the paper's ref [10] family): plain gradient
+//! descent on the conductance least squares,
+//! `g ← g − τ·Jᵀ(Z_model − Z_meas)`, with the step `τ < 2/σ_max²` required
+//! for convergence. Slow by design — its per-iteration cost is low but its
+//! iteration count is governed by the (bad) conditioning of `J`, which is
+//! exactly the behaviour the paper cites it for.
+
+use crate::classical::jacobian::{g_to_resistors, resistors_to_g, FullJacobian};
+use crate::error::ParmaError;
+use mea_model::{ResistorGrid, ZMatrix};
+
+/// Options for [`landweber`].
+#[derive(Clone, Copy, Debug)]
+pub struct LandweberOptions {
+    /// Step as a fraction of the stability limit `2/σ_max²` (must be in
+    /// (0, 1); 0.9 is a sensible default).
+    pub step_fraction: f64,
+    /// Iteration budget (Landweber needs many).
+    pub max_iter: usize,
+    /// Convergence target on the relative impedance mismatch.
+    pub tol: f64,
+    /// Conductance floor (mS).
+    pub g_floor: f64,
+    /// Power-iteration count for the σ_max estimate.
+    pub sigma_iters: usize,
+}
+
+impl Default for LandweberOptions {
+    fn default() -> Self {
+        LandweberOptions {
+            step_fraction: 0.9,
+            max_iter: 20_000,
+            tol: 1e-8,
+            g_floor: 1e-12,
+            sigma_iters: 40,
+        }
+    }
+}
+
+/// Outcome of a Landweber run (iteration count matters for the
+/// conditioning story, so it is reported).
+#[derive(Clone, Debug)]
+pub struct LandweberOutcome {
+    /// The recovered map.
+    pub resistors: ResistorGrid,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative impedance mismatch.
+    pub residual: f64,
+}
+
+/// Runs the Landweber iteration from `initial`.
+pub fn landweber(
+    z: &ZMatrix,
+    initial: &ResistorGrid,
+    opts: &LandweberOptions,
+) -> Result<LandweberOutcome, ParmaError> {
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    if initial.grid() != z.grid() || !initial.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "initial map must match the grid and be physical".into(),
+        ));
+    }
+    if !(opts.step_fraction > 0.0 && opts.step_fraction < 1.0) {
+        return Err(ParmaError::InvalidMeasurement(
+            "step_fraction must be in (0, 1)".into(),
+        ));
+    }
+    let grid = z.grid();
+    let mut g = resistors_to_g(initial);
+    // Work with *relative* residuals (rows scaled by 1/Z_meas): the raw
+    // rows span orders of magnitude and make the stability-limited step
+    // uselessly small. The step comes from the current scaled Jacobian's
+    // spectral estimate and is additionally shrunk whenever the residual
+    // norm fails to decrease (the spectrum grows along the iteration, and
+    // a fixed initial step eventually overshoots into a limit cycle).
+    let inv_z: Vec<f64> = z.as_slice().iter().map(|zi| 1.0 / zi).collect();
+    let mut shrink = 1.0f64;
+    let mut last_norm = f64::INFINITY;
+    let mut last_rel = f64::INFINITY;
+    for it in 0..opts.max_iter {
+        let r = g_to_resistors(grid, &g, opts.g_floor);
+        let fj = FullJacobian::assemble(&r, z)?.row_scaled(&inv_z);
+        // The scaled residual IS the relative mismatch.
+        let rel = fj.residual.iter().fold(0.0f64, |m, res| m.max(res.abs()));
+        if rel <= opts.tol {
+            return Ok(LandweberOutcome { resistors: r, iterations: it, residual: rel });
+        }
+        last_rel = rel;
+        let norm = mea_linalg::vec_ops::norm2(&fj.residual);
+        if norm > last_norm {
+            shrink *= 0.5;
+            if shrink < 1e-8 {
+                break; // step has collapsed: report no convergence below
+            }
+        }
+        last_norm = norm;
+        let sigma = fj.sigma_max(opts.sigma_iters);
+        if sigma <= 0.0 {
+            return Err(ParmaError::InvalidMeasurement("degenerate sensitivity".into()));
+        }
+        let tau = shrink * opts.step_fraction * 2.0 / (sigma * sigma);
+        let grad = fj.gradient();
+        for (gi, gr) in g.iter_mut().zip(&grad) {
+            *gi = (*gi - tau * gr).max(opts.g_floor);
+        }
+    }
+    let r = g_to_resistors(grid, &g, opts.g_floor);
+    Err(ParmaError::NoConvergence {
+        iterations: opts.max_iter,
+        residual: last_rel,
+        partial: r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid};
+
+    fn setup(n: usize, seed: u64) -> (ResistorGrid, ZMatrix) {
+        let (truth, _) = AnomalyConfig::default().generate(MeaGrid::square(n), seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        (truth, z)
+    }
+
+    fn kappa_seed(z: &ZMatrix) -> ResistorGrid {
+        let grid = z.grid();
+        let kappa =
+            (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
+        let mut seed = z.clone();
+        for v in seed.as_mut_slice() {
+            *v *= kappa;
+        }
+        seed
+    }
+
+    #[test]
+    fn converges_eventually_on_small_arrays() {
+        let (truth, z) = setup(3, 81);
+        let out = landweber(&z, &kappa_seed(&z), &LandweberOptions::default()).unwrap();
+        assert!(out.residual <= 1e-8);
+        assert!(
+            out.resistors.rel_max_diff(&truth) < 1e-4,
+            "rel error {}",
+            out.resistors.rel_max_diff(&truth)
+        );
+    }
+
+    #[test]
+    fn needs_more_iterations_than_parma() {
+        // The conditioning story: the gradient method pays per-iteration
+        // cost O(n⁴) (full Jacobian assembly plus a spectral estimate) AND
+        // needs more iterations than the Parma fixed point, whose sweeps
+        // are O(n³).
+        let (_, z) = setup(4, 82);
+        let lw = landweber(
+            &z,
+            &kappa_seed(&z),
+            &LandweberOptions { tol: 1e-6, ..Default::default() },
+        )
+        .unwrap();
+        let cfg = crate::config::ParmaConfig { tol: 1e-6, ..Default::default() };
+        let fp = crate::solver::ParmaSolver::new(cfg).solve(&z).unwrap();
+        assert!(
+            lw.iterations > fp.iterations,
+            "Landweber {} vs Parma {}",
+            lw.iterations,
+            fp.iterations
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let (_, z) = setup(4, 83);
+        let opts = LandweberOptions { max_iter: 3, tol: 1e-14, ..Default::default() };
+        match landweber(&z, &kappa_seed(&z), &opts) {
+            Err(ParmaError::NoConvergence { iterations, partial, .. }) => {
+                assert_eq!(iterations, 3);
+                assert!(partial.is_physical());
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_step_fraction() {
+        let (truth, z) = setup(3, 84);
+        for bad in [0.0, 1.0, 1.5] {
+            let opts = LandweberOptions { step_fraction: bad, ..Default::default() };
+            assert!(landweber(&z, &truth, &opts).is_err(), "step {bad}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Linear back projection (the paper's ref [11] family): the one-shot,
+//! no-iteration estimate used by fast tomography pipelines.
+//!
+//! Starting from a uniform reference map `g_ref`, the measured deviation
+//! is smeared back through the normalized transpose sensitivity:
+//!
+//! ```text
+//! Δ(1/z) = 1/Z_meas − 1/Z_ref
+//! g_est  = g_ref · (1 + (normalize(|J|ᵀ) · scale(Δ)))
+//! ```
+//!
+//! LBP localizes anomalies well (its raison d'être) but its magnitudes are
+//! qualitative at best — both facts are pinned by tests. It is the extreme
+//! point of the speed/accuracy spectrum the paper's related work spans.
+
+use crate::classical::jacobian::FullJacobian;
+use crate::error::ParmaError;
+use mea_model::{ForwardSolver, ResistorGrid, ZMatrix};
+
+/// Computes the one-shot LBP estimate from measurements alone.
+///
+/// The reference map is uniform at the measurements' uniform-mode scale
+/// `κ·mean(Z)` — the same seed the iterative methods use.
+pub fn linear_back_projection(z: &ZMatrix) -> Result<ResistorGrid, ParmaError> {
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    let grid = z.grid();
+    let kappa = (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
+    let r_ref = ResistorGrid::filled(grid, z.mean() * kappa);
+    let z_ref = ForwardSolver::new(&r_ref)?.solve_all();
+    let fj = FullJacobian::assemble(&r_ref, z)?;
+
+    // Relative measurement deviation per pair (dimensionless).
+    let dev: Vec<f64> = grid
+        .pair_iter()
+        .map(|(i, j)| (z.get(i, j) - z_ref.get(i, j)) / z_ref.get(i, j))
+        .collect();
+    // Back-project through row-normalized |J|ᵀ: crossing c receives the
+    // sensitivity-weighted average of the deviations of the pairs that see
+    // it.
+    let crossings = grid.crossings();
+    let mut projected = vec![0.0f64; crossings];
+    let mut weight = vec![0.0f64; crossings];
+    for p in 0..grid.pairs() {
+        for c in 0..crossings {
+            let w = fj.j[(p, c)].abs();
+            projected[c] += w * dev[p];
+            weight[c] += w;
+        }
+    }
+    let mut out = r_ref.clone();
+    for (idx, (i, j)) in grid.pair_iter().enumerate() {
+        let avg = if weight[idx] > 0.0 { projected[idx] / weight[idx] } else { 0.0 };
+        // A positive Z deviation means higher local resistance; apply the
+        // smeared relative deviation multiplicatively, clamped physical.
+        let factor = (1.0 + kappa * avg).max(0.05);
+        out.set(i, j, r_ref.get(i, j) * factor);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_anomalies;
+    use mea_model::{AnomalyConfig, CrossingMatrix, MeaGrid};
+
+    fn setup(n: usize, seed: u64) -> (ResistorGrid, ZMatrix, Vec<mea_model::AnomalyRegion>) {
+        let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+        let (truth, regions) = cfg.generate(MeaGrid::square(n), seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        (truth, z, regions)
+    }
+
+    #[test]
+    fn uniform_measurements_give_uniform_estimate() {
+        let grid = MeaGrid::square(4);
+        let truth = CrossingMatrix::filled(grid, 3000.0);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let est = linear_back_projection(&z).unwrap();
+        let first = est.get(0, 0);
+        for (i, j) in grid.pair_iter() {
+            assert!((est.get(i, j) - first).abs() / first < 1e-9);
+        }
+        // And the scale is right for the uniform case.
+        assert!((first - 3000.0).abs() / 3000.0 < 0.05);
+    }
+
+    #[test]
+    fn localizes_the_anomaly_peak() {
+        let (truth, z, _) = setup(10, 91);
+        let est = linear_back_projection(&z).unwrap();
+        // The estimate's hottest crossing must be inside the truth's
+        // hottest neighbourhood (within one crossing).
+        let hottest = |m: &ResistorGrid| {
+            m.grid()
+                .pair_iter()
+                .max_by(|a, b| m.get(a.0, a.1).total_cmp(&m.get(b.0, b.1)))
+                .unwrap()
+        };
+        let (ti, tj) = hottest(&truth);
+        let (ei, ej) = hottest(&est);
+        assert!(
+            ti.abs_diff(ei) <= 1 && tj.abs_diff(ej) <= 1,
+            "LBP peak ({ei},{ej}) must sit near the true peak ({ti},{tj})"
+        );
+    }
+
+    #[test]
+    fn magnitudes_are_only_qualitative() {
+        // LBP is *not* quantitative: parameter error stays large even on
+        // clean data — the ill-posedness the paper cites.
+        let (truth, z, _) = setup(8, 92);
+        let est = linear_back_projection(&z).unwrap();
+        let err = est.rel_max_diff(&truth);
+        assert!(err > 0.05, "LBP being quantitative would be surprising: {err}");
+    }
+
+    #[test]
+    fn detection_on_lbp_estimate_finds_the_region() {
+        let (_, z, regions) = setup(12, 93);
+        let est = linear_back_projection(&z).unwrap();
+        let report = detect_anomalies(&est, 1.2);
+        let (precision, recall) = report.score(&est, &regions, 1000.0);
+        // LBP smears the anomaly, so precision is modest by nature; the
+        // value of the method is that recall stays usable at zero
+        // iteration cost.
+        assert!(recall > 0.4, "recall {recall}");
+        assert!(precision > 0.15, "precision {precision}");
+    }
+
+    #[test]
+    fn rejects_bad_measurements() {
+        let bad = CrossingMatrix::filled(MeaGrid::square(3), f64::NAN);
+        assert!(linear_back_projection(&bad).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! The conventional inverse methods the paper positions Parma against.
+//!
+//! §I of the paper: "Conventional computational approaches include
+//! Landweber method, linear back projection, and Tikhonov regularization
+//! methods, all of which exhibit an ill-posed computational problem: the
+//! solution is largely dependent on the input and results in an
+//! unacceptable variance." This module implements all three — plus the
+//! dense Gauss-Newton they are variations of — on top of the *analytic*
+//! sensitivity Jacobian `∂Z/∂g` (see `mea_model::ForwardSolver::sensitivity`),
+//! so the ill-posedness claims can be measured rather than cited:
+//!
+//! * [`FullJacobian`] — dense `n²×n²` sensitivity assembly with condition
+//!   number estimation,
+//! * [`gauss_newton`] — damped Gauss-Newton (optionally Levenberg),
+//! * [`tikhonov`] — Tikhonov-regularized Gauss-Newton with a prior map,
+//! * [`landweber`] — the Landweber gradient iteration,
+//! * [`linear_back_projection`] — the one-shot LBP estimate.
+//!
+//! All methods operate in conductance space (`g = 1/R`, millisiemens) and
+//! return resistor maps.
+
+mod gauss_newton;
+mod jacobian;
+mod landweber;
+mod lbp;
+mod tikhonov;
+
+pub use gauss_newton::{gauss_newton, GaussNewtonOptions};
+pub use jacobian::FullJacobian;
+pub use landweber::{landweber, LandweberOptions};
+pub use lbp::linear_back_projection;
+pub use tikhonov::{tikhonov, Regularizer, TikhonovOptions};

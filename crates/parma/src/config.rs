@@ -1,0 +1,84 @@
+//! Solver configuration.
+
+use mea_parallel::Strategy;
+
+/// Configuration of [`crate::ParmaSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParmaConfig {
+    /// Applied end-to-end voltage `U_ij` (volts; 5 V in the paper's lab).
+    pub voltage: f64,
+    /// Damping factor α of the conductance fixed point, in (0, 1].
+    pub damping: f64,
+    /// Convergence target on the relative impedance mismatch
+    /// `maxᵢⱼ |Z_model − Z_meas| / Z_meas`.
+    pub tol: f64,
+    /// Outer-iteration budget.
+    pub max_iter: usize,
+    /// Execution strategy for the per-pair updates.
+    pub strategy: Strategy,
+    /// Smallest admissible resistance (kΩ); updates are clamped here to
+    /// keep iterates physical.
+    pub min_resistance: f64,
+}
+
+impl Default for ParmaConfig {
+    fn default() -> Self {
+        ParmaConfig {
+            voltage: 5.0,
+            damping: 1.0,
+            tol: 1e-10,
+            max_iter: 500,
+            strategy: Strategy::SingleThread,
+            min_resistance: 1e-6,
+        }
+    }
+}
+
+impl ParmaConfig {
+    /// Same configuration under a different execution strategy.
+    pub fn with_strategy(self, strategy: Strategy) -> Self {
+        ParmaConfig { strategy, ..self }
+    }
+
+    /// Panics if values are out of range (called by the solver).
+    pub fn validate(&self) {
+        assert!(self.voltage > 0.0 && self.voltage.is_finite(), "voltage must be positive");
+        assert!(
+            self.damping > 0.0 && self.damping <= 1.0,
+            "damping must be in (0, 1], got {}",
+            self.damping
+        );
+        assert!(self.tol > 0.0, "tolerance must be positive");
+        assert!(self.max_iter > 0, "need at least one iteration");
+        assert!(self.min_resistance > 0.0, "minimum resistance must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ParmaConfig::default().validate();
+    }
+
+    #[test]
+    fn with_strategy_replaces_only_strategy() {
+        let c = ParmaConfig::default().with_strategy(Strategy::FineGrained { threads: 4 });
+        assert_eq!(c.strategy, Strategy::FineGrained { threads: 4 });
+        assert_eq!(c.voltage, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn bad_damping_rejected() {
+        ParmaConfig { damping: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage")]
+    fn bad_voltage_rejected() {
+        ParmaConfig { voltage: 0.0, ..Default::default() }.validate();
+    }
+}

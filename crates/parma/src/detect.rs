@@ -1,0 +1,153 @@
+//! Anomaly detection on recovered resistor maps — the application workload
+//! of §II-C ("once the R values are known, the anomaly can be simply
+//! detected").
+//!
+//! Healthy medium sits near a common baseline; anomalies raise local
+//! resistance by integer factors. Detection is a robust threshold: the
+//! baseline is estimated as the *median* crossing resistance (anomalies
+//! cover a minority of the array) and any crossing above
+//! `baseline × factor` is flagged.
+
+use mea_model::{AnomalyRegion, ResistorGrid};
+
+/// Result of a detection pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectionReport {
+    /// Estimated healthy baseline (kΩ).
+    pub baseline: f64,
+    /// Threshold actually applied (kΩ).
+    pub threshold: f64,
+    /// Flagged crossings `(i, j)`, row-major order.
+    pub anomalies: Vec<(usize, usize)>,
+}
+
+impl DetectionReport {
+    /// Fraction of flagged crossings among all crossings.
+    pub fn coverage(&self, r: &ResistorGrid) -> f64 {
+        self.anomalies.len() as f64 / r.grid().crossings() as f64
+    }
+
+    /// Precision/recall against known ground-truth regions (available only
+    /// for synthetic data): a crossing counts as truly anomalous when some
+    /// region's contribution there exceeds `min_contribution` kΩ.
+    pub fn score(
+        &self,
+        r: &ResistorGrid,
+        regions: &[AnomalyRegion],
+        min_contribution: f64,
+    ) -> (f64, f64) {
+        let grid = r.grid();
+        let truth: Vec<(usize, usize)> = grid
+            .pair_iter()
+            .filter(|&(i, j)| {
+                regions.iter().map(|reg| reg.contribution(i, j)).sum::<f64>() > min_contribution
+            })
+            .collect();
+        if truth.is_empty() {
+            let precision = if self.anomalies.is_empty() { 1.0 } else { 0.0 };
+            return (precision, 1.0);
+        }
+        let hit = |p: &(usize, usize)| truth.contains(p);
+        let tp = self.anomalies.iter().filter(|p| hit(p)).count() as f64;
+        let precision =
+            if self.anomalies.is_empty() { 1.0 } else { tp / self.anomalies.len() as f64 };
+        let recall = tp / truth.len() as f64;
+        (precision, recall)
+    }
+}
+
+/// Flags crossings whose resistance exceeds `median × factor`.
+///
+/// `factor` must exceed 1; values around 1.5–2 suit the paper's range
+/// (baseline ≈ 2,000 kΩ, anomalies up to 11,000 kΩ).
+pub fn detect_anomalies(r: &ResistorGrid, factor: f64) -> DetectionReport {
+    assert!(factor > 1.0, "detection factor must exceed 1");
+    let baseline = median(r.as_slice());
+    let threshold = baseline * factor;
+    let anomalies = r
+        .grid()
+        .pair_iter()
+        .filter(|&(i, j)| r.get(i, j) > threshold)
+        .collect();
+    DetectionReport { baseline, threshold, anomalies }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("resistances are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, CrossingMatrix, MeaGrid};
+
+    #[test]
+    fn clean_map_flags_nothing() {
+        let r = CrossingMatrix::filled(MeaGrid::square(6), 2000.0);
+        let rep = detect_anomalies(&r, 1.5);
+        assert!(rep.anomalies.is_empty());
+        assert!((rep.baseline - 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hot_crossing_is_found() {
+        let mut r = CrossingMatrix::filled(MeaGrid::square(5), 2000.0);
+        r.set(3, 1, 9000.0);
+        let rep = detect_anomalies(&r, 1.5);
+        assert_eq!(rep.anomalies, vec![(3, 1)]);
+        assert!((rep.coverage(&r) - 1.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_baseline_resists_anomalies() {
+        // Even with 40% of crossings anomalous, the median stays at the
+        // baseline (unlike a mean threshold).
+        let grid = MeaGrid::square(5);
+        let mut r = CrossingMatrix::filled(grid, 2000.0);
+        for k in 0..10 {
+            r.set(k / 5, k % 5, 10_000.0);
+        }
+        let rep = detect_anomalies(&r, 1.5);
+        assert!((rep.baseline - 2000.0).abs() < 1e-9);
+        assert_eq!(rep.anomalies.len(), 10);
+    }
+
+    #[test]
+    fn detection_on_generated_map_scores_well() {
+        let grid = MeaGrid::square(20);
+        let cfg = AnomalyConfig::default();
+        let (r, regions) = cfg.generate(grid, 12);
+        let rep = detect_anomalies(&r, 1.5);
+        let (precision, recall) = rep.score(&r, &regions, 0.5 * cfg.baseline);
+        assert!(precision > 0.7, "precision {precision}");
+        assert!(recall > 0.7, "recall {recall}");
+    }
+
+    #[test]
+    fn score_with_no_true_regions() {
+        let r = CrossingMatrix::filled(MeaGrid::square(4), 2000.0);
+        let rep = detect_anomalies(&r, 2.0);
+        let (p, rcl) = rep.score(&r, &[], 100.0);
+        assert_eq!((p, rcl), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn factor_must_exceed_one() {
+        let r = CrossingMatrix::filled(MeaGrid::square(2), 1.0);
+        let _ = detect_anomalies(&r, 0.9);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

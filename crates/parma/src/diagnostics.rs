@@ -1,0 +1,233 @@
+//! Solver-theory diagnostics: measuring the quantities the damping
+//! derivation in [`crate::solver`] *assumes*, so the theory is tested
+//! rather than trusted.
+//!
+//! The fixed point updates `g_ij ← g_ij + α·(1/Z_meas − 1/Z_model)`; its
+//! linearization around an iterate is governed by the coupling matrix
+//! `K = ∂(1/Z)/∂g` (entrywise non-negative: raising any conductance raises
+//! every terminal conductance). The derivation claims its Perron
+//! eigenvalue is `κ = mn/(m+n−1)`, exactly attained by the uniform mode,
+//! giving the optimal damping `α* = 2/(1+κ)` and the per-sweep contraction
+//! `(κ−1)/(κ+1)`. This module computes the empirical Perron eigenvalue by
+//! power iteration on the true `K` and extracts observed contraction
+//! factors from solve histories.
+
+use mea_model::{ForwardSolver, MeaGrid, ResistorGrid};
+
+/// The theoretical extreme coupling eigenvalue `κ = mn/(m+n−1)`.
+pub fn theoretical_coupling(grid: MeaGrid) -> f64 {
+    let (m, n) = (grid.rows() as f64, grid.cols() as f64);
+    m * n / (m + n - 1.0)
+}
+
+/// The theoretical per-sweep contraction factor `(κ−1)/(κ+1)` under the
+/// optimal damping.
+pub fn theoretical_contraction(grid: MeaGrid) -> f64 {
+    let k = theoretical_coupling(grid);
+    (k - 1.0) / (k + 1.0)
+}
+
+/// Builds the symmetrized coupling matrix `K̃ = D^½·S·D^½`, where
+/// `K = D·S` is the true coupling (`D = diag(1/Z²)`,
+/// `S[ij][kl] = −∂Z_ij/∂g_kl = [(eᵢ−eⱼ)ᵀL⁺(eₖ−eₗ)]²`). `S` is the
+/// entrywise square of a Gram matrix, hence PSD (Schur product theorem),
+/// and `K̃` is similar to `K` — so `K`'s spectrum is real, non-negative,
+/// and readable off a symmetric matrix. This is also the convergence
+/// proof of the fixed point: all eigenvalues lie in `(0, κ]`, so
+/// `|1 − α·λ| < 1` for the chosen damping.
+fn symmetrized_coupling(r: &ResistorGrid) -> mea_linalg::DenseMatrix {
+    let grid = r.grid();
+    let fs = ForwardSolver::new(r).expect("physical resistor map");
+    let crossings = grid.crossings();
+    let mut s = mea_linalg::DenseMatrix::zeros(crossings, crossings);
+    let mut d_sqrt = vec![0.0f64; crossings];
+    for (p, (i, j)) in grid.pair_iter().enumerate() {
+        let z = fs.effective_resistance(i, j);
+        d_sqrt[p] = 1.0 / z;
+        let sens = fs.sensitivity(i, j);
+        for c in 0..crossings {
+            s[(p, c)] = -sens.as_slice()[c]; // ≥ 0
+        }
+    }
+    let mut kt = mea_linalg::DenseMatrix::zeros(crossings, crossings);
+    for a in 0..crossings {
+        for b in 0..crossings {
+            kt[(a, b)] = d_sqrt[a] * s[(a, b)] * d_sqrt[b];
+        }
+    }
+    kt
+}
+
+/// Measures the largest eigenvalue of the true coupling matrix
+/// `K = ∂(1/Z)/∂g` at a resistor map (via its symmetrization).
+pub fn empirical_coupling(r: &ResistorGrid, iterations: usize) -> f64 {
+    let kt = symmetrized_coupling(r);
+    mea_linalg::power_iteration(&kt, iterations, 1e-10)
+        .map(|e| e.value)
+        .unwrap_or(0.0)
+}
+
+/// Measures both spectral extremes `(λ_min, λ_max)` of the coupling.
+/// The slow modes sit *below* 1 (the `[1, κ]` idealization of the damping
+/// derivation is one-sided), which is what sets the true asymptotic rate.
+pub fn coupling_extremes(r: &ResistorGrid, iterations: usize) -> (f64, f64) {
+    let kt = symmetrized_coupling(r);
+    let max = mea_linalg::power_iteration(&kt, iterations, 1e-10)
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    let min = mea_linalg::inverse_power_iteration(&kt, iterations, 1e-10)
+        .map(|e| e.value)
+        .unwrap_or(0.0);
+    (min, max)
+}
+
+/// The contraction factor the damped sweep should exhibit given measured
+/// spectral extremes: `max(|1 − α·λ_min|, |1 − α·λ_max|)` with
+/// `α = multiplier·2/(1+κ)` (the solver's damping rule).
+pub fn predicted_contraction(
+    grid: MeaGrid,
+    lambda_min: f64,
+    lambda_max: f64,
+    damping_multiplier: f64,
+) -> f64 {
+    let alpha = damping_multiplier * 2.0 / (1.0 + theoretical_coupling(grid));
+    (1.0 - alpha * lambda_min).abs().max((1.0 - alpha * lambda_max).abs())
+}
+
+/// The observed asymptotic contraction factor of a residual history: the
+/// geometric mean of successive ratios over the trailing half (skipping
+/// the transient). Returns `None` when the history is too short.
+pub fn observed_contraction(history: &[f64]) -> Option<f64> {
+    if history.len() < 4 {
+        return None;
+    }
+    let tail = &history[history.len() / 2..];
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for w in tail.windows(2) {
+        if w[0] > 0.0 && w[1] > 0.0 {
+            log_sum += (w[1] / w[0]).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    Some((log_sum / count as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParmaConfig;
+    use crate::solver::ParmaSolver;
+    use mea_model::{AnomalyConfig, CrossingMatrix};
+
+    #[test]
+    fn uniform_map_attains_the_theoretical_coupling_exactly() {
+        for n in [2usize, 3, 5, 8] {
+            let grid = MeaGrid::square(n);
+            let r = CrossingMatrix::filled(grid, 2500.0);
+            let empirical = empirical_coupling(&r, 200);
+            let theory = theoretical_coupling(grid);
+            assert!(
+                (empirical - theory).abs() / theory < 1e-6,
+                "n = {n}: empirical {empirical} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_too() {
+        let grid = MeaGrid::new(3, 6);
+        let r = CrossingMatrix::filled(grid, 1000.0);
+        let empirical = empirical_coupling(&r, 200);
+        assert!((empirical - 18.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn anomalous_maps_stay_near_the_bound() {
+        // The damping derivation only needs the coupling not to blow past
+        // κ; real anomaly maps wobble around it mildly.
+        let grid = MeaGrid::square(6);
+        let (r, _) = AnomalyConfig::default().generate(grid, 17);
+        let empirical = empirical_coupling(&r, 200);
+        let theory = theoretical_coupling(grid);
+        assert!(empirical > 1.0);
+        assert!(
+            empirical < 1.3 * theory,
+            "coupling {empirical} strayed too far from κ = {theory}"
+        );
+    }
+
+    #[test]
+    fn observed_contraction_is_geometric_and_theory_tracks_it() {
+        // The derivation's spectrum assumption ([1, κ]) is exact only for
+        // uniform maps; anomaly maps spread the spectrum on both sides, so
+        // the observed asymptotic factor sits above the idealized
+        // (κ−1)/(κ+1) but must remain a solid geometric contraction.
+        let grid = MeaGrid::square(8);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 23);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+        let observed = observed_contraction(&sol.history).expect("long history");
+        let theory = theoretical_contraction(grid);
+        assert!(observed < 0.92, "iteration must contract geometrically, got {observed}");
+        assert!(
+            observed >= theory - 0.05,
+            "nothing can beat the idealized bound by much: {observed} vs {theory}"
+        );
+    }
+
+    #[test]
+    fn measured_spectrum_predicts_the_observed_rate() {
+        // The full story: measure (λ_min, λ_max) of the true coupling,
+        // predict max(|1−αλ_min|, |1−αλ_max|), and compare with the rate
+        // actually observed in the solve history.
+        let grid = MeaGrid::square(8);
+        let mut truth = CrossingMatrix::filled(grid, 3000.0);
+        truth.set(3, 4, 3090.0); // gentle perturbation: excites local modes
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let cfg = ParmaConfig { tol: 1e-12, ..Default::default() };
+        let sol = ParmaSolver::new(cfg).solve(&z).unwrap();
+        let observed = observed_contraction(&sol.history).expect("long history");
+        let (lo, hi) = coupling_extremes(&truth, 500);
+        assert!(lo > 0.0 && lo < 1.0, "slow modes sit below 1, got λ_min = {lo}");
+        assert!(hi <= 1.01 * theoretical_coupling(grid), "λ_max ≈ κ, got {hi}");
+        let predicted = predicted_contraction(grid, lo, hi, 1.0);
+        assert!(
+            (observed - predicted).abs() < 0.05,
+            "observed {observed} vs spectrum-predicted {predicted} (λ ∈ [{lo}, {hi}])"
+        );
+    }
+
+    #[test]
+    fn coupling_spectrum_is_positive_and_bounded() {
+        // Convergence proof in numbers: every eigenvalue of the coupling
+        // is strictly positive and at most ~κ, so |1 − α·λ| < 1.
+        let grid = MeaGrid::square(5);
+        let (r, _) = AnomalyConfig::default().generate(grid, 31);
+        let (lo, hi) = coupling_extremes(&r, 500);
+        assert!(lo > 0.0);
+        assert!(hi < 1.4 * theoretical_coupling(grid));
+        let alpha = 2.0 / (1.0 + theoretical_coupling(grid));
+        assert!((1.0 - alpha * lo).abs() < 1.0);
+        assert!((1.0 - alpha * hi).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_crossing_has_unit_coupling() {
+        let grid = MeaGrid::square(1);
+        let r = CrossingMatrix::filled(grid, 500.0);
+        assert!((empirical_coupling(&r, 50) - 1.0).abs() < 1e-9);
+        assert_eq!(theoretical_contraction(grid), 0.0);
+    }
+
+    #[test]
+    fn observed_contraction_of_geometric_series() {
+        let history: Vec<f64> = (0..20).map(|i| 0.5f64.powi(i)).collect();
+        let c = observed_contraction(&history).unwrap();
+        assert!((c - 0.5).abs() < 1e-12);
+        assert!(observed_contraction(&[1.0, 0.5]).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type of the core library.
+
+use std::fmt;
+
+/// Failures of the Parma pipeline.
+#[derive(Debug)]
+pub enum ParmaError {
+    /// The numeric substrate failed (factorization, convergence, …).
+    Linalg(mea_linalg::LinalgError),
+    /// Measured data is unusable; the payload says why.
+    InvalidMeasurement(String),
+    /// The solver exhausted its iteration budget. Carries the final
+    /// relative residual and the partial resistor estimate so callers can
+    /// inspect (or accept) it.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final scale-free residual.
+        residual: f64,
+        /// The estimate at stop time.
+        partial: mea_model::ResistorGrid,
+    },
+    /// Dataset ingestion failed.
+    Dataset(mea_model::DatasetError),
+}
+
+impl fmt::Display for ParmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParmaError::Linalg(e) => write!(f, "numeric failure: {e}"),
+            ParmaError::InvalidMeasurement(s) => write!(f, "invalid measurement: {s}"),
+            ParmaError::NoConvergence { iterations, residual, .. } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            ParmaError::Dataset(e) => write!(f, "dataset failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParmaError {}
+
+impl From<mea_linalg::LinalgError> for ParmaError {
+    fn from(e: mea_linalg::LinalgError) -> Self {
+        ParmaError::Linalg(e)
+    }
+}
+
+impl From<mea_model::DatasetError> for ParmaError {
+    fn from(e: mea_model::DatasetError) -> Self {
+        ParmaError::Dataset(e)
+    }
+}

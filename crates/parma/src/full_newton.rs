@@ -1,0 +1,221 @@
+//! A whole-system solver: Gauss-Newton on the literal `2n³` joint-constraint
+//! equations over all `(2n−1)n²` unknowns (`R`, `Ua`, `Ub` together).
+//!
+//! The production solver (`crate::solver`) eliminates the intermediate
+//! voltages analytically via the shared Laplacian factorization; this
+//! solver instead consumes the equation system exactly as §IV-A writes it
+//! — the way a downstream solver would consume Parma's generated equation
+//! files — using the analytic sparse Jacobian (`mea_equations::jacobian`)
+//! and CGLS for the least-squares step. It is the third independent path
+//! to the same root and the one that exercises the sparse substrate
+//! end-to-end.
+
+use crate::error::ParmaError;
+use mea_equations::{jacobian, EquationSystem};
+use mea_linalg::{cgls, vec_ops, CglsOptions};
+use mea_model::{ForwardSolver, ResistorGrid, ZMatrix};
+
+/// Options for [`full_newton_inverse`].
+#[derive(Clone, Copy, Debug)]
+pub struct FullNewtonOptions {
+    /// Convergence target on ‖residual‖∞ (mA — the equations balance
+    /// currents).
+    pub tol: f64,
+    /// Outer Gauss-Newton iterations.
+    pub max_iter: usize,
+    /// Inner CGLS relative tolerance.
+    pub inner_tol: f64,
+    /// Inner CGLS iteration budget.
+    pub inner_max_iter: usize,
+    /// Backtracking halvings per outer step.
+    pub max_backtracks: usize,
+}
+
+impl Default for FullNewtonOptions {
+    fn default() -> Self {
+        FullNewtonOptions {
+            tol: 1e-10,
+            max_iter: 40,
+            inner_tol: 1e-10,
+            inner_max_iter: 2_000,
+            max_backtracks: 25,
+        }
+    }
+}
+
+/// Outcome of a whole-system solve.
+#[derive(Clone, Debug)]
+pub struct FullNewtonOutcome {
+    /// The recovered resistor map.
+    pub resistors: ResistorGrid,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Final ‖residual‖∞.
+    pub residual: f64,
+}
+
+/// Solves the full joint-constraint system for a measured `Z`.
+///
+/// Seeding: `R⁰ = κ·Z` (the uniform-mode-exact scaling) and one forward
+/// solve of `R⁰` for the intermediate voltages; after that the iteration
+/// never touches the Laplacian again — it works purely on the symbolic
+/// equation system.
+pub fn full_newton_inverse(
+    z: &ZMatrix,
+    voltage: f64,
+    opts: &FullNewtonOptions,
+) -> Result<FullNewtonOutcome, ParmaError> {
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    if !(voltage > 0.0 && voltage.is_finite()) {
+        return Err(ParmaError::InvalidMeasurement("voltage must be positive".into()));
+    }
+    let grid = z.grid();
+    let sys = EquationSystem::assemble(z, voltage);
+    // Seed.
+    let kappa = (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
+    let mut r0 = z.clone();
+    for v in r0.as_mut_slice() {
+        *v *= kappa;
+    }
+    let mut x = sys.exact_unknowns_for(&r0)?;
+    let crossings = grid.crossings();
+
+    let mut fx = sys.residuals(&x);
+    for it in 0..opts.max_iter {
+        let res = vec_ops::norm_inf(&fx);
+        if res <= opts.tol {
+            return Ok(FullNewtonOutcome {
+                resistors: sys.unpack_resistors(&x),
+                iterations: it,
+                residual: res,
+            });
+        }
+        let jac = jacobian(&sys, &x);
+        let neg_f: Vec<f64> = fx.iter().map(|v| -v).collect();
+        let inner = cgls(
+            &jac,
+            &neg_f,
+            &CglsOptions { tol: opts.inner_tol, max_iter: opts.inner_max_iter },
+        )
+        .map_err(ParmaError::Linalg)?;
+        // Backtracking with a physicality guard on the R block.
+        let mut step = 1.0;
+        let mut advanced = false;
+        for _ in 0..=opts.max_backtracks {
+            let mut x_new = x.clone();
+            vec_ops::axpy(step, &inner.x, &mut x_new);
+            let r_ok = x_new[..crossings].iter().all(|v| *v > 0.0 && v.is_finite());
+            if r_ok {
+                let f_new = sys.residuals(&x_new);
+                let res_new = vec_ops::norm_inf(&f_new);
+                if res_new.is_finite() && res_new < res {
+                    x = x_new;
+                    fx = f_new;
+                    advanced = true;
+                    break;
+                }
+            }
+            step *= 0.5;
+        }
+        if !advanced {
+            return Err(ParmaError::NoConvergence {
+                iterations: it,
+                residual: res,
+                partial: sys.unpack_resistors(&x),
+            });
+        }
+    }
+    let res = vec_ops::norm_inf(&fx);
+    if res <= opts.tol {
+        Ok(FullNewtonOutcome {
+            resistors: sys.unpack_resistors(&x),
+            iterations: opts.max_iter,
+            residual: res,
+        })
+    } else {
+        Err(ParmaError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: res,
+            partial: sys.unpack_resistors(&x),
+        })
+    }
+}
+
+/// Convenience: full-system solve that also cross-checks the recovered map
+/// against an independent forward solve, returning the max relative
+/// mismatch (diagnostic for tests and examples).
+pub fn full_newton_check(z: &ZMatrix, voltage: f64) -> Result<(ResistorGrid, f64), ParmaError> {
+    let out = full_newton_inverse(z, voltage, &FullNewtonOptions::default())?;
+    let z_again = ForwardSolver::new(&out.resistors)?.solve_all();
+    Ok((out.resistors, z_again.rel_max_diff(z)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParmaConfig;
+    use crate::solver::ParmaSolver;
+    use mea_model::{AnomalyConfig, CrossingMatrix, MeaGrid};
+
+    fn measured(n: usize, seed: u64) -> (ResistorGrid, ZMatrix) {
+        let (truth, _) = AnomalyConfig::default().generate(MeaGrid::square(n), seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        (truth, z)
+    }
+
+    #[test]
+    fn recovers_ground_truth() {
+        for n in [2usize, 4] {
+            let (truth, z) = measured(n, n as u64 + 100);
+            let out = full_newton_inverse(&z, 5.0, &FullNewtonOptions::default()).unwrap();
+            assert!(
+                out.resistors.rel_max_diff(&truth) < 1e-6,
+                "n = {n}: rel error {}",
+                out.resistors.rel_max_diff(&truth)
+            );
+            assert!(out.iterations < 20, "Gauss-Newton should be fast, took {}", out.iterations);
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_production_solver() {
+        let (_, z) = measured(5, 200);
+        let full = full_newton_inverse(&z, 5.0, &FullNewtonOptions::default()).unwrap();
+        let fp = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+        assert!(
+            full.resistors.rel_max_diff(&fp.resistors) < 1e-5,
+            "two independent formulations must meet: {}",
+            full.resistors.rel_max_diff(&fp.resistors)
+        );
+    }
+
+    #[test]
+    fn forward_check_closes_the_loop() {
+        let (_, z) = measured(4, 201);
+        let (_, mismatch) = full_newton_check(&z, 5.0).unwrap();
+        assert!(mismatch < 1e-8, "recovered map must reproduce Z: {mismatch}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let z = CrossingMatrix::filled(MeaGrid::square(2), -1.0);
+        assert!(full_newton_inverse(&z, 5.0, &FullNewtonOptions::default()).is_err());
+        let z_ok = CrossingMatrix::filled(MeaGrid::square(2), 1000.0);
+        assert!(full_newton_inverse(&z_ok, 0.0, &FullNewtonOptions::default()).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        let (_, z) = measured(4, 202);
+        let opts = FullNewtonOptions { max_iter: 1, tol: 1e-16, ..Default::default() };
+        match full_newton_inverse(&z, 5.0, &opts) {
+            Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
+            Ok(out) => assert!(out.residual <= 1e-16), // unlikely but legal
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+}

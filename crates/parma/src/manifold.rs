@@ -1,0 +1,332 @@
+//! The differential-geometric view of §IV-B: discrete local frames,
+//! mixed-partial symmetry and the Stokes/Green identity on the MEA lattice.
+//!
+//! The paper argues that when the device is dense enough to treat voltage
+//! as a smooth field, calculus can be done in *local frames*: mixed
+//! partials commute (`∂²U/∂x∂y = ∂²U/∂y∂x`), an arbitrary (non-orthogonal)
+//! device layout can be pulled back through its Jacobian, and circuit
+//! accumulation over a patch reduces to its boundary by Stokes' theorem —
+//! which is what licenses the per-hole parallelization. This module makes
+//! those statements *exact* on the discrete lattice:
+//!
+//! * [`PotentialField`] — a scalar field on grid nodes with forward
+//!   differences; the discrete mixed-partial commutator vanishes
+//!   identically,
+//! * [`LatticeVectorField`] — edge-valued 1-forms with the discrete Green
+//!   identity `∮_∂patch F = Σ_cells curl F` holding exactly (telescoping),
+//! * [`Jacobian`] — 2×2 local frames for pulling gradients back from an
+//!   arbitrary smooth device layout to the orthogonal reference grid.
+
+/// A scalar field sampled on the nodes of an `(rows × cols)` lattice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PotentialField {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl PotentialField {
+    /// Builds from a row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, values: Vec<f64>) -> Self {
+        assert!(rows >= 1 && cols >= 1, "field needs at least one node");
+        assert_eq!(values.len(), rows * cols, "buffer length mismatch");
+        PotentialField { rows, cols, values }
+    }
+
+    /// Samples an analytic function on the lattice.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let values = (0..rows)
+            .flat_map(|i| (0..cols).map(move |j| (i, j)))
+            .map(|(i, j)| f(i, j))
+            .collect();
+        PotentialField::from_vec(rows, cols, values)
+    }
+
+    /// Node value.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.cols + j]
+    }
+
+    /// Forward difference along columns (`∂U/∂x` at `(i, j)`, defined for
+    /// `j < cols − 1`).
+    pub fn dx(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j + 1) - self.get(i, j)
+    }
+
+    /// Forward difference along rows (`∂U/∂y`, defined for `i < rows − 1`).
+    pub fn dy(&self, i: usize, j: usize) -> f64 {
+        self.get(i + 1, j) - self.get(i, j)
+    }
+
+    /// Discrete mixed partial `∂²U/∂x∂y` at the cell `(i, j)`.
+    pub fn dxdy(&self, i: usize, j: usize) -> f64 {
+        // d/dy of dx: dx(i+1, j) − dx(i, j).
+        self.dx(i + 1, j) - self.dx(i, j)
+    }
+
+    /// Discrete mixed partial `∂²U/∂y∂x` at the cell `(i, j)`.
+    pub fn dydx(&self, i: usize, j: usize) -> f64 {
+        self.dy(i, j + 1) - self.dy(i, j)
+    }
+
+    /// The gradient as an edge field (exact discrete 1-form `dU`).
+    pub fn gradient(&self) -> LatticeVectorField {
+        let mut field = LatticeVectorField::zero(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols - 1 {
+                field.set_p(i, j, self.dx(i, j));
+            }
+        }
+        for i in 0..self.rows - 1 {
+            for j in 0..self.cols {
+                field.set_q(i, j, self.dy(i, j));
+            }
+        }
+        field
+    }
+}
+
+/// An edge-valued vector field (discrete 1-form): `P` lives on horizontal
+/// edges (`(i,j) → (i,j+1)`), `Q` on vertical edges (`(i,j) → (i+1,j)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatticeVectorField {
+    rows: usize,
+    cols: usize,
+    /// rows × (cols−1) horizontal edge values.
+    p: Vec<f64>,
+    /// (rows−1) × cols vertical edge values.
+    q: Vec<f64>,
+}
+
+impl LatticeVectorField {
+    /// The zero field on an `(rows × cols)` node lattice.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        LatticeVectorField {
+            rows,
+            cols,
+            p: vec![0.0; rows * (cols - 1)],
+            q: vec![0.0; (rows - 1) * cols],
+        }
+    }
+
+    /// Horizontal edge value at `(i, j)`.
+    pub fn p(&self, i: usize, j: usize) -> f64 {
+        self.p[i * (self.cols - 1) + j]
+    }
+
+    /// Sets a horizontal edge value.
+    pub fn set_p(&mut self, i: usize, j: usize, v: f64) {
+        self.p[i * (self.cols - 1) + j] = v;
+    }
+
+    /// Vertical edge value at `(i, j)`.
+    pub fn q(&self, i: usize, j: usize) -> f64 {
+        self.q[i * self.cols + j]
+    }
+
+    /// Sets a vertical edge value.
+    pub fn set_q(&mut self, i: usize, j: usize, v: f64) {
+        self.q[i * self.cols + j] = v;
+    }
+
+    /// Discrete curl over the unit cell with lower-left node `(i, j)`:
+    /// the counterclockwise circulation `P(i,j) + Q(i,j+1) − P(i+1,j) − Q(i,j)`.
+    pub fn cell_curl(&self, i: usize, j: usize) -> f64 {
+        self.p(i, j) + self.q(i, j + 1) - self.p(i + 1, j) - self.q(i, j)
+    }
+
+    /// Counterclockwise boundary circulation of the rectangular patch of
+    /// cells `[i0, i1) × [j0, j1)` (node corners `(i0,j0)`–`(i1,j1)`).
+    pub fn circulation(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
+        assert!(i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols, "bad patch");
+        let mut acc = 0.0;
+        for j in j0..j1 {
+            acc += self.p(i0, j); // bottom, left→right
+            acc -= self.p(i1, j); // top, right→left
+        }
+        for i in i0..i1 {
+            acc += self.q(i, j1); // right, bottom→top
+            acc -= self.q(i, j0); // left, top→bottom
+        }
+        acc
+    }
+
+    /// Sum of cell curls over the same patch. The discrete Green/Stokes
+    /// identity says this equals [`Self::circulation`] exactly.
+    pub fn curl_sum(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
+        assert!(i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols, "bad patch");
+        let mut acc = 0.0;
+        for i in i0..i1 {
+            for j in j0..j1 {
+                acc += self.cell_curl(i, j);
+            }
+        }
+        acc
+    }
+}
+
+/// A 2×2 local frame (Jacobian) mapping reference-grid displacements to
+/// physical-layout displacements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Jacobian {
+    /// `[∂x/∂u, ∂x/∂v; ∂y/∂u, ∂y/∂v]` row-major.
+    pub m: [f64; 4],
+}
+
+impl Jacobian {
+    /// The identity frame (already-orthogonal device).
+    pub fn identity() -> Self {
+        Jacobian { m: [1.0, 0.0, 0.0, 1.0] }
+    }
+
+    /// Estimates the frame of a coordinate map `(u, v) → (x, y)` at a node
+    /// by forward differences — the "convert any arbitrary MEA into a
+    /// locally orthogonal frame" step of §IV-B.
+    pub fn from_map(map: impl Fn(f64, f64) -> (f64, f64), u: f64, v: f64, h: f64) -> Self {
+        assert!(h > 0.0, "step must be positive");
+        let (x0, y0) = map(u, v);
+        let (xu, yu) = map(u + h, v);
+        let (xv, yv) = map(u, v + h);
+        Jacobian {
+            m: [(xu - x0) / h, (xv - x0) / h, (yu - y0) / h, (yv - y0) / h],
+        }
+    }
+
+    /// Determinant (frame orientation/area scale).
+    pub fn det(&self) -> f64 {
+        self.m[0] * self.m[3] - self.m[1] * self.m[2]
+    }
+
+    /// Applies the frame to a reference displacement `(du, dv)`.
+    pub fn apply(&self, du: f64, dv: f64) -> (f64, f64) {
+        (self.m[0] * du + self.m[1] * dv, self.m[2] * du + self.m[3] * dv)
+    }
+
+    /// Pulls a physical-space gradient back to reference coordinates:
+    /// `∇_ref U = Jᵀ · ∇_phys U` (chain rule).
+    pub fn pullback_gradient(&self, gx: f64, gy: f64) -> (f64, f64) {
+        (self.m[0] * gx + self.m[2] * gy, self.m[1] * gx + self.m[3] * gy)
+    }
+
+    /// Inverts the frame; `None` when degenerate.
+    pub fn inverse(&self) -> Option<Jacobian> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        Some(Jacobian { m: [self.m[3] / d, -self.m[1] / d, -self.m[2] / d, self.m[0] / d] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(rows: usize, cols: usize) -> PotentialField {
+        PotentialField::from_fn(rows, cols, |i, j| {
+            (i as f64 * 0.3).sin() * (j as f64 * 0.7).cos() + (i * j) as f64 * 0.01
+        })
+    }
+
+    #[test]
+    fn mixed_partials_commute_exactly() {
+        // The paper's ∂²U/∂x∂y = ∂²U/∂y∂x, exact on the lattice.
+        let u = wavy(8, 9);
+        for i in 0..7 {
+            for j in 0..8 {
+                assert!((u.dxdy(i, j) - u.dydx(i, j)).abs() < 1e-14, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_field_is_curl_free() {
+        let u = wavy(6, 6);
+        let g = u.gradient();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(g.cell_curl(i, j).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_circulation_vanishes_on_any_patch() {
+        // Conservative field ⇒ zero circulation: the voltage form of
+        // Kirchhoff's loop law in the smooth picture.
+        let u = wavy(7, 7);
+        let g = u.gradient();
+        for (i0, i1, j0, j1) in [(0, 6, 0, 6), (1, 3, 2, 5), (0, 1, 0, 1)] {
+            assert!(g.circulation(i0, i1, j0, j1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discrete_green_identity_holds_exactly() {
+        // A non-conservative field: circulation = Σ curls, exactly.
+        let mut f = LatticeVectorField::zero(6, 7);
+        for i in 0..6 {
+            for j in 0..6 {
+                f.set_p(i, j, ((i * 7 + j) as f64 * 0.37).sin());
+            }
+        }
+        for i in 0..5 {
+            for j in 0..7 {
+                f.set_q(i, j, ((i * 5 + j) as f64 * 0.91).cos());
+            }
+        }
+        for (i0, i1, j0, j1) in [(0, 5, 0, 6), (1, 4, 2, 5), (2, 3, 3, 4)] {
+            let lhs = f.circulation(i0, i1, j0, j1);
+            let rhs = f.curl_sum(i0, i1, j0, j1);
+            assert!((lhs - rhs).abs() < 1e-12, "Stokes failed on ({i0},{i1},{j0},{j1})");
+        }
+    }
+
+    #[test]
+    fn jacobian_of_identity_map() {
+        let j = Jacobian::from_map(|u, v| (u, v), 3.0, 4.0, 1e-6);
+        assert!((j.m[0] - 1.0).abs() < 1e-6);
+        assert!(j.m[1].abs() < 1e-6);
+        assert!((j.det() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jacobian_of_linear_map_is_its_matrix() {
+        // (u, v) → (2u + v, u − 3v).
+        let j = Jacobian::from_map(|u, v| (2.0 * u + v, u - 3.0 * v), 0.5, -1.0, 1e-6);
+        for (got, want) in j.m.iter().zip(&[2.0, 1.0, 1.0, -3.0]) {
+            assert!((got - want).abs() < 1e-5);
+        }
+        let (dx, dy) = j.apply(1.0, 0.0);
+        assert!((dx - 2.0).abs() < 1e-5 && (dy - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pullback_gradient_chain_rule() {
+        // For a linear map x = A·u, a function f(x) has ∇_u (f∘A) = Aᵀ∇_x f.
+        // Take f(x, y) = 3x + 5y: ∇_x f = (3, 5);
+        // map (u,v) → (2u+v, u−3v): ∇_u = (2·3+1·5, 1·3−3·5) = (11, −12).
+        let j = Jacobian { m: [2.0, 1.0, 1.0, -3.0] };
+        let (gu, gv) = j.pullback_gradient(3.0, 5.0);
+        assert!((gu - 11.0).abs() < 1e-12);
+        assert!((gv + 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobian_inverse_roundtrip() {
+        let j = Jacobian { m: [2.0, 1.0, 1.0, -3.0] };
+        let inv = j.inverse().unwrap();
+        let (u, v) = inv.apply(j.apply(0.7, -0.2).0, j.apply(0.7, -0.2).1);
+        assert!((u - 0.7).abs() < 1e-12 && (v + 0.2).abs() < 1e-12);
+        let degenerate = Jacobian { m: [1.0, 2.0, 2.0, 4.0] };
+        assert!(degenerate.inverse().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad patch")]
+    fn patch_bounds_checked() {
+        let f = LatticeVectorField::zero(3, 3);
+        let _ = f.circulation(0, 3, 0, 2);
+    }
+}

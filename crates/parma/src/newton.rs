@@ -1,0 +1,126 @@
+//! A dense-Jacobian Newton cross-check for the inverse problem.
+//!
+//! The production solver (`crate::solver`) is the damped conductance fixed
+//! point; this module solves the same `n²`-equation system
+//! `G(R) = 1/F(R) − 1/Z_meas = 0` with `mea_linalg`'s damped Newton and a
+//! finite-difference Jacobian. Each Jacobian column costs a full forward
+//! factorization, so this is `O(n²)` forward solves per iteration —
+//! strictly a verification tool for small arrays (tests cap at `n ≤ 6`),
+//! mirroring how the paper cross-checked against the exponential baseline
+//! at tiny scales.
+
+use crate::error::ParmaError;
+use mea_linalg::{newton_solve, DenseMatrix, NewtonOptions};
+use mea_model::{ForwardSolver, ResistorGrid, ZMatrix};
+
+/// Solves the inverse problem by damped Newton with a finite-difference
+/// Jacobian. `initial` seeds the iteration (pass the measured `Z` itself
+/// when nothing better is known).
+pub fn newton_inverse(
+    z: &ZMatrix,
+    initial: &ResistorGrid,
+    tol: f64,
+    max_iter: usize,
+) -> Result<ResistorGrid, ParmaError> {
+    let grid = z.grid();
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    if initial.grid() != grid {
+        return Err(ParmaError::InvalidMeasurement(
+            "initial map geometry differs from the measurements".into(),
+        ));
+    }
+    let crossings = grid.crossings();
+    // Residual in conductance space, scaled by the measured conductance so
+    // all equations share a magnitude.
+    let residual = |x: &[f64]| -> Vec<f64> {
+        let r = match to_physical(grid, x) {
+            Some(r) => r,
+            None => return vec![f64::INFINITY; crossings],
+        };
+        let fs = match ForwardSolver::new(&r) {
+            Ok(f) => f,
+            Err(_) => return vec![f64::INFINITY; crossings],
+        };
+        grid.pair_iter()
+            .map(|(i, j)| {
+                let zm = fs.effective_resistance(i, j);
+                (1.0 / zm - 1.0 / z.get(i, j)) * z.get(i, j)
+            })
+            .collect()
+    };
+    let x0: Vec<f64> = initial.as_slice().to_vec();
+    let opts = NewtonOptions { tol, max_iter, ..Default::default() };
+    let out = newton_solve(residual, None::<fn(&[f64]) -> DenseMatrix>, &x0, &opts)
+        .map_err(ParmaError::Linalg)?;
+    to_physical(grid, &out.x).ok_or_else(|| {
+        ParmaError::InvalidMeasurement("Newton converged to a non-physical map".into())
+    })
+}
+
+fn to_physical(grid: mea_model::MeaGrid, x: &[f64]) -> Option<ResistorGrid> {
+    if x.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+        return None;
+    }
+    Some(ResistorGrid::from_vec(grid, x.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParmaConfig;
+    use crate::solver::ParmaSolver;
+    use mea_model::{AnomalyConfig, CrossingMatrix, MeaGrid};
+
+    #[test]
+    fn newton_recovers_small_arrays() {
+        for n in [2usize, 4] {
+            let grid = MeaGrid::square(n);
+            let (truth, _) = AnomalyConfig::default().generate(grid, n as u64 + 40);
+            let z = ForwardSolver::new(&truth).unwrap().solve_all();
+            let got = newton_inverse(&z, &z, 1e-10, 60).unwrap();
+            assert!(
+                got.rel_max_diff(&truth) < 1e-6,
+                "n = {n}: rel error {}",
+                got.rel_max_diff(&truth)
+            );
+        }
+    }
+
+    #[test]
+    fn newton_agrees_with_fixed_point() {
+        let grid = MeaGrid::square(5);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 77);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let newton = newton_inverse(&z, &z, 1e-10, 60).unwrap();
+        let fixed = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+        assert!(
+            newton.rel_max_diff(&fixed.resistors) < 1e-5,
+            "independent solvers must land on the same map: {}",
+            newton.rel_max_diff(&fixed.resistors)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_measurements() {
+        let z = CrossingMatrix::filled(MeaGrid::square(2), f64::NAN);
+        let init = CrossingMatrix::filled(MeaGrid::square(2), 1.0);
+        assert!(matches!(
+            newton_inverse(&z, &init, 1e-8, 10),
+            Err(ParmaError::InvalidMeasurement(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_grid_mismatch() {
+        let z = CrossingMatrix::filled(MeaGrid::square(2), 1000.0);
+        let init = CrossingMatrix::filled(MeaGrid::square(3), 1000.0);
+        assert!(matches!(
+            newton_inverse(&z, &init, 1e-8, 10),
+            Err(ParmaError::InvalidMeasurement(_))
+        ));
+    }
+}

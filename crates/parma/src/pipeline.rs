@@ -1,0 +1,123 @@
+//! The end-to-end pipeline: measured time series → recovered resistor
+//! maps → anomaly reports.
+//!
+//! This is the workflow the paper's wet lab motivated: the device measures
+//! cell media at 0/6/12/24 hours, Parma parametrizes each snapshot, and
+//! thresholding the recovered maps localizes the (growing) anomalies.
+//! Consecutive time points warm-start from the previous solution.
+
+use crate::config::ParmaConfig;
+use crate::detect::{detect_anomalies, DetectionReport};
+use crate::error::ParmaError;
+use crate::solver::{ParmaSolution, ParmaSolver};
+use mea_model::WetLabDataset;
+
+/// One time point's outcome.
+#[derive(Clone, Debug)]
+pub struct TimePointResult {
+    /// Hours after setup.
+    pub hours: u32,
+    /// The inverse-solve outcome.
+    pub solution: ParmaSolution,
+    /// Anomaly detection on the recovered map.
+    pub detection: DetectionReport,
+    /// Max relative error against ground truth, when the dataset is
+    /// synthetic and carries it.
+    pub ground_truth_error: Option<f64>,
+}
+
+/// The full measurement-to-detection pipeline.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    config: ParmaConfig,
+    /// Detection threshold factor over the median baseline.
+    detection_factor: f64,
+}
+
+impl Pipeline {
+    /// A pipeline with the given solver configuration and a detection
+    /// factor (must exceed 1; 1.5 is a good default for the paper's
+    /// resistance range).
+    pub fn new(config: ParmaConfig, detection_factor: f64) -> Self {
+        config.validate();
+        assert!(detection_factor > 1.0, "detection factor must exceed 1");
+        Pipeline { config, detection_factor }
+    }
+
+    /// Processes every time point of a session, warm-starting each solve
+    /// from the previous recovered map.
+    pub fn run(&self, dataset: &WetLabDataset) -> Result<Vec<TimePointResult>, ParmaError> {
+        let mut out: Vec<TimePointResult> = Vec::with_capacity(dataset.measurements.len());
+        let mut warm: Option<mea_model::ResistorGrid> = None;
+        for m in &dataset.measurements {
+            let solver = ParmaSolver::new(ParmaConfig { voltage: m.voltage, ..self.config });
+            let solution = match &warm {
+                Some(prev) => solver.solve_from(&m.z, prev.clone())?,
+                None => solver.solve(&m.z)?,
+            };
+            let detection = detect_anomalies(&solution.resistors, self.detection_factor);
+            let ground_truth_error = m
+                .ground_truth
+                .as_ref()
+                .map(|truth| solution.resistors.rel_max_diff(truth));
+            warm = Some(solution.resistors.clone());
+            out.push(TimePointResult { hours: m.hours, solution, detection, ground_truth_error });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, MeaGrid};
+
+    fn session(n: usize, seed: u64) -> WetLabDataset {
+        WetLabDataset::generate(MeaGrid::square(n), &AnomalyConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn processes_all_time_points_accurately() {
+        let ds = session(6, 2024);
+        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            let err = r.ground_truth_error.expect("synthetic data has ground truth");
+            assert!(err < 1e-6, "hour {}: error {err}", r.hours);
+        }
+    }
+
+    #[test]
+    fn anomaly_coverage_grows_with_time() {
+        let ds = session(12, 7);
+        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
+        let first = results.first().unwrap().detection.anomalies.len();
+        let last = results.last().unwrap().detection.anomalies.len();
+        assert!(
+            last >= first,
+            "growing anomalies must not shrink the detection set: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn warm_start_is_used_after_hour_zero() {
+        let ds = session(8, 55);
+        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
+        // Later time points start from a nearby map, so they must not need
+        // more iterations than the cold hour-0 solve by a wide margin.
+        let cold = results[0].solution.iterations;
+        for r in &results[1..] {
+            assert!(
+                r.solution.iterations <= cold + 5,
+                "warm start regressed: {} vs cold {cold}",
+                r.solution.iterations
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "detection factor")]
+    fn bad_detection_factor_rejected() {
+        let _ = Pipeline::new(ParmaConfig::default(), 1.0);
+    }
+}

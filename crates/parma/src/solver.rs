@@ -1,0 +1,401 @@
+//! The Parma inverse solver: a damped conductance fixed point with
+//! embarrassingly parallel per-pair updates.
+//!
+//! # Derivation
+//!
+//! At the current estimate `R⁽ᵗ⁾`, one grounded-Laplacian factorization
+//! gives every pair's model impedance `Z_model = R_eff(i, j)` and wire
+//! potentials in `O(n³ + n²·n)` total (see `mea_model::ForwardSolver`).
+//! The §IV-A source equation, written with the *measured* impedance but the
+//! model potentials, solves for the direct resistance:
+//!
+//! ```text
+//! U/Z_meas = U/R_ij + Σ_k (U − Ua_k)/R_ik
+//!          = U/Z_model − U/R_ij⁽ᵗ⁾ + U/R_ij      (model satisfies its own balance)
+//! ⇒  g_ij ← g_ij + (1/Z_meas − 1/Z_model)
+//! ```
+//!
+//! i.e. the direct *conductance* absorbs the terminal-conductance mismatch.
+//! Every pair's update reads the shared factorization and writes only its
+//! own entry — the `(n−1)²` independent homology cycles of §III are what
+//! guarantee the updates do not interact within an iteration — so the
+//! update sweep runs under any [`mea_parallel::Strategy`].
+//!
+//! # Damping
+//!
+//! Because the direct resistor sits in parallel with the rest of the
+//! network, `1/Z_ij = g_ij + G_rest(g_others)`: the update above is a
+//! Jacobi sweep on that system. Its coupling matrix `K = ∂(1/Z)/∂g`
+//! factors as `D·S` with `D = diag(1/Z²)` positive and `S` the entrywise
+//! square of a Gram matrix — PSD by the Schur product theorem — so `K`'s
+//! spectrum is real and positive. Its top eigenvalue is
+//! `κ = mn/(m+n−1)`, reached by the uniform mode (`1/Z = κ·g` exactly
+//! for uniform maps, by homogeneity); slow local modes sit below 1. With
+//! the damping `α = 2/(1+κ)` every mode satisfies `|1 − α·λ| < 1`, so
+//! the sweep is a guaranteed geometric contraction; the asymptotic rate is
+//! `max(|1−α·λ_min|, (κ−1)/(κ+1))`, which `crate::diagnostics` measures
+//! and matches against the observed history. The iteration starts from
+//! `R⁽⁰⁾ = κ·Z_meas` (exact in the uniform mode) and a ×8 trust clamp per
+//! sweep keeps early iterates physical.
+
+use crate::config::ParmaConfig;
+use crate::error::ParmaError;
+use mea_model::{ForwardSolver, MeaGrid, ResistorGrid, ZMatrix};
+use mea_parallel::{execute, WorkItem};
+
+/// Result of a converged (or accepted) solve.
+#[derive(Clone, Debug)]
+pub struct ParmaSolution {
+    /// The recovered resistor map (kΩ).
+    pub resistors: ResistorGrid,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Final relative impedance mismatch.
+    pub residual: f64,
+    /// Residual after each iteration (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// The inverse solver.
+#[derive(Clone, Debug)]
+pub struct ParmaSolver {
+    config: ParmaConfig,
+}
+
+impl ParmaSolver {
+    /// A solver with the given configuration (validated here).
+    pub fn new(config: ParmaConfig) -> Self {
+        config.validate();
+        ParmaSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ParmaConfig {
+        &self.config
+    }
+
+    /// Recovers the resistor map behind a measured impedance matrix.
+    ///
+    /// The initial iterate scales each measured `Z_ij` by the uniform-mode
+    /// factor `κ = mn/(m+n−1)` (for a uniform map, `Z = R/κ` exactly), so
+    /// the slowest-converging mode starts already solved.
+    pub fn solve(&self, z: &ZMatrix) -> Result<ParmaSolution, ParmaError> {
+        validate_measurements(z)?;
+        let kappa = coupling_bound(z.grid());
+        let mut initial = z.clone();
+        for v in initial.as_mut_slice() {
+            *v *= kappa;
+        }
+        self.solve_from(z, initial)
+    }
+
+    /// Like [`Self::solve`] but starting from an explicit initial map
+    /// (e.g. the previous time point's solution — warm starts across the
+    /// wet lab's 0/6/12/24-hour series).
+    pub fn solve_from(
+        &self,
+        z: &ZMatrix,
+        initial: ResistorGrid,
+    ) -> Result<ParmaSolution, ParmaError> {
+        validate_measurements(z)?;
+        let grid = z.grid();
+        if initial.grid() != grid {
+            return Err(ParmaError::InvalidMeasurement(
+                "initial map geometry differs from the measurements".into(),
+            ));
+        }
+        if !initial.is_physical() {
+            return Err(ParmaError::InvalidMeasurement(
+                "initial map must be strictly positive".into(),
+            ));
+        }
+        let mut r = initial;
+        let mut history = Vec::new();
+        let items = pair_work_items(grid);
+        // Adaptive safeguard: the κ-derived damping is optimal for
+        // healthy maps but under-damps degenerate ones (a dead wire makes
+        // a whole row couple ~n-fold, past κ, and the plain sweep falls
+        // into a limit cycle). When the residual stops improving we shrink
+        // the step geometrically; on improvement it creeps back up.
+        let mut shrink = 1.0f64;
+        let mut prev_residual = f64::INFINITY;
+        for it in 0..self.config.max_iter {
+            let forward = ForwardSolver::new(&r)?;
+            let step = sweep(&self.config, &forward, z, &r, &items, shrink);
+            history.push(step.residual);
+            if step.residual <= self.config.tol {
+                return Ok(ParmaSolution {
+                    resistors: r,
+                    iterations: it,
+                    residual: step.residual,
+                    history,
+                });
+            }
+            if step.residual >= prev_residual {
+                shrink = (shrink * 0.7).max(1e-3);
+            } else {
+                shrink = (shrink * 1.02).min(1.0);
+            }
+            prev_residual = step.residual;
+            r = step.next;
+        }
+        // One final residual check with the last iterate.
+        let forward = ForwardSolver::new(&r)?;
+        let residual = max_rel_mismatch(&forward, z);
+        history.push(residual);
+        if residual <= self.config.tol {
+            Ok(ParmaSolution { resistors: r, iterations: self.config.max_iter, residual, history })
+        } else {
+            Err(ParmaError::NoConvergence {
+                iterations: self.config.max_iter,
+                residual,
+                partial: r,
+            })
+        }
+    }
+}
+
+/// One pair's update outcome.
+struct PairUpdate {
+    value: f64,
+    rel_mismatch: f64,
+}
+
+struct SweepOutcome {
+    next: ResistorGrid,
+    residual: f64,
+}
+
+/// Work items for the pair sweep: one per endpoint pair. Categories
+/// alternate source/destination-side bookkeeping only for strategy
+/// bucketing; costs are uniform because pair updates are O(1) after the
+/// shared factorization.
+fn pair_work_items(grid: MeaGrid) -> Vec<WorkItem> {
+    (0..grid.pairs())
+        .map(|id| WorkItem { id, category: id % mea_parallel::CATEGORY_COUNT, cost: 1 })
+        .collect()
+}
+
+/// The extreme Jacobi-coupling eigenvalue `κ = mn/(m+n−1)` of uniform
+/// maps; see the module docs. Equals 1 for a single crossing (the map is
+/// then the identity). Used for the initial-guess scaling; the per-sweep
+/// damping uses the sharper map-dependent bound below.
+fn coupling_bound(grid: MeaGrid) -> f64 {
+    let (m, n) = (grid.rows() as f64, grid.cols() as f64);
+    m * n / (m + n - 1.0)
+}
+
+fn sweep(
+    config: &ParmaConfig,
+    forward: &ForwardSolver,
+    z: &ZMatrix,
+    r: &ResistorGrid,
+    items: &[WorkItem],
+    shrink: f64,
+) -> SweepOutcome {
+    let grid = z.grid();
+    // Damping: optimal for the uniform-map spectrum [λ_min, κ], times the
+    // user multiplier, times the adaptive safeguard factor the outer loop
+    // maintains (degenerate maps — e.g. a dead wire — couple more strongly
+    // than κ and need extra damping; see `solve_from`).
+    let alpha = shrink * config.damping * 2.0 / (1.0 + coupling_bound(grid));
+    let updates: Vec<PairUpdate> = execute(config.strategy, items, |w| {
+        let (i, j) = (w.id / grid.cols(), w.id % grid.cols());
+        let z_meas = z.get(i, j);
+        let z_model = forward.effective_resistance(i, j);
+        let g_old = 1.0 / r.get(i, j);
+        let g_new = g_old + alpha * (1.0 / z_meas - 1.0 / z_model);
+        // Trust clamp: stay within ×8 of the previous conductance and
+        // within the configured physical bounds.
+        let bounded = g_new
+            .clamp(g_old / 8.0, g_old * 8.0)
+            .min(1.0 / config.min_resistance)
+            .max(1e-12);
+        PairUpdate {
+            value: 1.0 / bounded,
+            rel_mismatch: (z_model - z_meas).abs() / z_meas,
+        }
+    });
+    let mut next = ResistorGrid::filled(grid, 0.0);
+    let mut residual = 0.0f64;
+    for (w, u) in items.iter().zip(&updates) {
+        let (i, j) = (w.id / grid.cols(), w.id % grid.cols());
+        next.set(i, j, u.value);
+        residual = residual.max(u.rel_mismatch);
+    }
+    SweepOutcome { next, residual }
+}
+
+fn max_rel_mismatch(forward: &ForwardSolver, z: &ZMatrix) -> f64 {
+    let grid = z.grid();
+    grid.pair_iter().fold(0.0f64, |m, (i, j)| {
+        m.max((forward.effective_resistance(i, j) - z.get(i, j)).abs() / z.get(i, j))
+    })
+}
+
+fn validate_measurements(z: &ZMatrix) -> Result<(), ParmaError> {
+    if !z.is_physical() {
+        return Err(ParmaError::InvalidMeasurement(
+            "measured impedances must be strictly positive and finite".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, CrossingMatrix};
+    use mea_parallel::Strategy;
+
+    fn roundtrip(n: usize, seed: u64, config: ParmaConfig) -> (ResistorGrid, ParmaSolution) {
+        let grid = MeaGrid::square(n);
+        let (truth, _) = AnomalyConfig::default().generate(grid, seed);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let sol = ParmaSolver::new(config).solve(&z).unwrap();
+        (truth, sol)
+    }
+
+    #[test]
+    fn recovers_ground_truth_small() {
+        for n in [1usize, 2, 4] {
+            let (truth, sol) = roundtrip(n, 7, ParmaConfig::default());
+            assert!(
+                sol.resistors.rel_max_diff(&truth) < 1e-6,
+                "n = {n}: rel error {}",
+                sol.resistors.rel_max_diff(&truth)
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_ground_truth_midsize() {
+        let (truth, sol) = roundtrip(10, 3, ParmaConfig::default());
+        assert!(sol.resistors.rel_max_diff(&truth) < 1e-5);
+        assert!(sol.residual <= 1e-10);
+    }
+
+    #[test]
+    fn residual_history_decreases_overall() {
+        let (_, sol) = roundtrip(6, 11, ParmaConfig::default());
+        let first = sol.history.first().copied().unwrap();
+        let last = sol.history.last().copied().unwrap();
+        assert!(last < first * 1e-3, "history must collapse: {first} → {last}");
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let grid = MeaGrid::square(6);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 21);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let reference = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+        for strategy in [
+            Strategy::Parallel4,
+            Strategy::BalancedParallel { threads: 3 },
+            Strategy::FineGrained { threads: 2 },
+            Strategy::WorkStealing { threads: 2 },
+        ] {
+            let sol = ParmaSolver::new(ParmaConfig::default().with_strategy(strategy))
+                .solve(&z)
+                .unwrap();
+            assert!(
+                sol.resistors.rel_max_diff(&reference.resistors) < 1e-12,
+                "{strategy:?} must be bit-for-bit-ish with the sequential result"
+            );
+            assert_eq!(sol.iterations, reference.iterations, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_accelerates() {
+        let grid = MeaGrid::square(8);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 31);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let solver = ParmaSolver::new(ParmaConfig::default());
+        let cold = solver.solve(&z).unwrap();
+        let warm = solver.solve_from(&z, truth.clone()).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert_eq!(warm.iterations, 0, "exact start must exit immediately");
+    }
+
+    #[test]
+    fn damping_still_converges() {
+        let cfg = ParmaConfig { damping: 0.5, ..Default::default() };
+        let (truth, sol) = roundtrip(5, 13, cfg);
+        assert!(sol.resistors.rel_max_diff(&truth) < 1e-5);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial() {
+        let cfg = ParmaConfig { max_iter: 2, tol: 1e-14, ..Default::default() };
+        let grid = MeaGrid::square(6);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 5);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        match ParmaSolver::new(cfg).solve(&z) {
+            Err(ParmaError::NoConvergence { iterations, partial, residual }) => {
+                assert_eq!(iterations, 2);
+                assert!(partial.is_physical());
+                assert!(residual > 0.0);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nonphysical_measurements() {
+        let z = CrossingMatrix::filled(MeaGrid::square(3), -1.0);
+        let err = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap_err();
+        assert!(matches!(err, ParmaError::InvalidMeasurement(_)));
+    }
+
+    #[test]
+    fn rejects_mismatched_initial_map() {
+        let z = CrossingMatrix::filled(MeaGrid::square(3), 1000.0);
+        let init = CrossingMatrix::filled(MeaGrid::square(4), 1000.0);
+        let err = ParmaSolver::new(ParmaConfig::default()).solve_from(&z, init).unwrap_err();
+        assert!(matches!(err, ParmaError::InvalidMeasurement(_)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// Round-trip property: for random physical maps in the wet-lab
+        /// range, measure-then-solve recovers the map.
+        #[test]
+        fn prop_roundtrip_random_maps(n in 2usize..6, seed in proptest::prelude::any::<u64>()) {
+            let grid = MeaGrid::square(n);
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                2000.0 + 9000.0 * ((state >> 11) as f64 / (1u64 << 53) as f64)
+            };
+            let mut truth = CrossingMatrix::filled(grid, 0.0);
+            for (i, j) in grid.pair_iter() {
+                truth.set(i, j, next());
+            }
+            let z = ForwardSolver::new(&truth).unwrap().solve_all();
+            let cfg = ParmaConfig { max_iter: 2000, ..Default::default() };
+            let sol = ParmaSolver::new(cfg).solve(&z).unwrap();
+            proptest::prop_assert!(
+                sol.resistors.rel_max_diff(&truth) < 1e-5,
+                "n = {}, seed = {}: rel error {}",
+                n, seed, sol.resistors.rel_max_diff(&truth)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_array_recovers_uniform_map() {
+        // All crossings identical: the inverse problem is symmetric and the
+        // solution must preserve the symmetry.
+        let grid = MeaGrid::square(5);
+        let truth = CrossingMatrix::filled(grid, 3000.0);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+        let vals = sol.resistors.as_slice();
+        let first = vals[0];
+        for v in vals {
+            assert!((v - first).abs() / first < 1e-9, "symmetry broken");
+        }
+        assert!((first - 3000.0).abs() / 3000.0 < 1e-8);
+    }
+}

@@ -1,0 +1,227 @@
+//! Boundary operators `∂ₖ : Cᵏ → Cᵏ⁻¹` over GF(2).
+//!
+//! `∂ₖ` maps a k-simplex to the mod-2 sum of its codimension-1 faces. Its
+//! matrix (rows = (k−1)-simplices, columns = k-simplices) is the object from
+//! which cycle groups (`Dᵏ = ker ∂ₖ`), boundary groups (`Bᵏ⁻¹ = im ∂ₖ`) and
+//! Betti numbers are computed. The fundamental identity `∂ₖ∂ₖ₊₁ = 0` holds
+//! because each codim-2 face of a simplex is shared by exactly two of its
+//! facets — tested below and by property tests in `homology.rs`.
+
+use crate::chain::Chain;
+use crate::complex::SimplicialComplex;
+use crate::gf2::GF2Matrix;
+
+/// The boundary operator at a fixed dimension `k` of a fixed complex.
+#[derive(Clone, Debug)]
+pub struct BoundaryOperator {
+    k: usize,
+    /// `(n_{k-1}) × (n_k)` matrix over GF(2).
+    matrix: GF2Matrix,
+}
+
+impl BoundaryOperator {
+    /// Builds `∂ₖ` for the given complex. For `k = 0` the operator is the
+    /// zero map into the trivial group (unreduced homology convention), so
+    /// the matrix has zero rows.
+    pub fn new(complex: &SimplicialComplex, k: usize) -> Self {
+        let n_k = complex.count(k);
+        if k == 0 {
+            return BoundaryOperator { k, matrix: GF2Matrix::zeros(0, n_k) };
+        }
+        let n_km1 = complex.count(k - 1);
+        let mut matrix = GF2Matrix::zeros(n_km1, n_k);
+        for (col, s) in complex.simplices(k).iter().enumerate() {
+            for f in s.facets() {
+                let row = complex
+                    .index_of(&f)
+                    .expect("complex closure guarantees facets are members");
+                matrix.flip(row, col);
+            }
+        }
+        BoundaryOperator { k, matrix }
+    }
+
+    /// The dimension this operator acts on.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying GF(2) matrix.
+    pub fn matrix(&self) -> &GF2Matrix {
+        &self.matrix
+    }
+
+    /// Rank of the operator = rank of the boundary group `Bᵏ⁻¹ = im ∂ₖ`.
+    pub fn rank(&self) -> usize {
+        self.matrix.rank()
+    }
+
+    /// Nullity = rank of the cycle group `Dᵏ = ker ∂ₖ`.
+    pub fn nullity(&self) -> usize {
+        self.matrix.cols() - self.matrix.rank()
+    }
+
+    /// Applies `∂ₖ` to a k-chain, producing a (k−1)-chain.
+    ///
+    /// For `k = 0` the result is the zero chain in an empty group (length 0).
+    pub fn apply(&self, chain: &Chain) -> Chain {
+        assert_eq!(chain.dim(), self.k, "boundary applied to wrong dimension");
+        assert_eq!(
+            chain.bits().len(),
+            self.matrix.cols().div_ceil(64).max(1),
+            "chain does not match this complex"
+        );
+        let out_bits = self.matrix.mul_vec(chain.bits());
+        let out_len = self.matrix.rows();
+        Chain::from_bits(self.k.saturating_sub(1), out_len, {
+            let want = out_len.div_ceil(64).max(1);
+            let mut b = out_bits;
+            b.truncate(want);
+            b.resize(want, 0);
+            b
+        })
+    }
+
+    /// Whether a k-chain is a cycle (`∂c = 0`, i.e. `c ∈ Dᵏ`).
+    pub fn is_cycle(&self, chain: &Chain) -> bool {
+        self.apply(chain).is_zero()
+    }
+
+    /// A basis of the cycle group `Dᵏ = ker ∂ₖ` as chains.
+    ///
+    /// The `complex` argument documents which complex the chains belong to
+    /// and guards against indexing drift in debug builds.
+    pub fn cycle_basis(&self, complex: &SimplicialComplex) -> Vec<Chain> {
+        debug_assert_eq!(complex.count(self.k), self.matrix.cols(), "complex mismatch");
+        let len = self.matrix.cols();
+        self.matrix
+            .kernel_basis()
+            .into_iter()
+            .map(|bits| Chain::from_bits(self.k, len, bits))
+            .collect()
+    }
+
+    /// Whether a (k−1)-chain is a boundary (`∈ Bᵏ⁻¹ = im ∂ₖ`): does some
+    /// k-chain map onto it?
+    pub fn is_boundary(&self, chain: &Chain) -> bool {
+        assert_eq!(chain.dim() + 1, self.k.max(1), "dimension mismatch for is_boundary");
+        self.matrix.solve(chain.bits()).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::Simplex;
+
+    fn filled_triangle() -> SimplicialComplex {
+        SimplicialComplex::from_maximal_simplices([Simplex::new([0, 1, 2])]).unwrap()
+    }
+
+    fn square_cycle() -> SimplicialComplex {
+        SimplicialComplex::from_maximal_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(1, 2),
+            Simplex::edge(2, 3),
+            Simplex::edge(0, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn boundary_of_edge_is_its_endpoints() {
+        let c = square_cycle();
+        let d1 = BoundaryOperator::new(&c, 1);
+        let e = Chain::from_simplex(&c, &Simplex::edge(1, 2));
+        let b = d1.apply(&e);
+        let verts: Vec<_> = b.simplices(&c).into_iter().cloned().collect();
+        assert_eq!(verts, vec![Simplex::vertex(1), Simplex::vertex(2)]);
+    }
+
+    #[test]
+    fn paper_example_vertex_cancellation() {
+        // ∂({a,b} + {b,c}) = {a} + {c}: the shared vertex b cancels mod 2.
+        let c = square_cycle();
+        let d1 = BoundaryOperator::new(&c, 1);
+        let chain =
+            Chain::from_simplices(&c, 1, [&Simplex::edge(0, 1), &Simplex::edge(1, 2)]);
+        let b = d1.apply(&chain);
+        let verts: Vec<_> = b.simplices(&c).into_iter().cloned().collect();
+        assert_eq!(verts, vec![Simplex::vertex(0), Simplex::vertex(2)]);
+    }
+
+    #[test]
+    fn full_square_loop_is_a_cycle() {
+        let c = square_cycle();
+        let d1 = BoundaryOperator::new(&c, 1);
+        let loop_chain = Chain::from_simplices(
+            &c,
+            1,
+            [
+                &Simplex::edge(0, 1),
+                &Simplex::edge(1, 2),
+                &Simplex::edge(2, 3),
+                &Simplex::edge(0, 3),
+            ],
+        );
+        assert!(d1.is_cycle(&loop_chain));
+        // A single edge is not a cycle.
+        let single = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        assert!(!d1.is_cycle(&single));
+    }
+
+    #[test]
+    fn del_del_is_zero_on_triangle() {
+        let c = filled_triangle();
+        let d2 = BoundaryOperator::new(&c, 2);
+        let d1 = BoundaryOperator::new(&c, 1);
+        let tri = Chain::from_simplex(&c, &Simplex::new([0, 1, 2]));
+        let edges = d2.apply(&tri);
+        assert_eq!(edges.weight(), 3);
+        let verts = d1.apply(&edges);
+        assert!(verts.is_zero(), "∂∂ must vanish");
+    }
+
+    #[test]
+    fn triangle_boundary_is_a_boundary() {
+        let c = filled_triangle();
+        let d2 = BoundaryOperator::new(&c, 2);
+        let perimeter = Chain::from_simplices(
+            &c,
+            1,
+            [&Simplex::edge(0, 1), &Simplex::edge(1, 2), &Simplex::edge(0, 2)],
+        );
+        assert!(d2.is_boundary(&perimeter));
+        let single = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        assert!(!d2.is_boundary(&single));
+    }
+
+    #[test]
+    fn cycle_basis_of_square_has_rank_one() {
+        let c = square_cycle();
+        let d1 = BoundaryOperator::new(&c, 1);
+        let basis = d1.cycle_basis(&c);
+        assert_eq!(basis.len(), 1);
+        assert!(d1.is_cycle(&basis[0]));
+        assert_eq!(basis[0].weight(), 4); // the full loop
+    }
+
+    #[test]
+    fn k0_operator_maps_to_trivial_group() {
+        let c = square_cycle();
+        let d0 = BoundaryOperator::new(&c, 0);
+        assert_eq!(d0.rank(), 0);
+        assert_eq!(d0.nullity(), 4); // all 0-chains are cycles
+        let v = Chain::from_simplex(&c, &Simplex::vertex(2));
+        assert!(d0.is_cycle(&v));
+    }
+
+    #[test]
+    fn rank_nullity_partition_columns() {
+        let c = filled_triangle();
+        for k in 0..=2 {
+            let d = BoundaryOperator::new(&c, k);
+            assert_eq!(d.rank() + d.nullity(), c.count(k));
+        }
+    }
+}

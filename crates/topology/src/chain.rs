@@ -1,0 +1,251 @@
+//! Mod-2 chains: elements of the chain groups `Cᵏ`.
+//!
+//! A k-chain is a formal sum of k-simplices with GF(2) coefficients, i.e. a
+//! finite *set* of k-simplices where adding a simplex twice cancels it — the
+//! paper's "modulo-2 inclusion" group operation. Chains are stored as packed
+//! bitsets indexed by the complex's stable `(dim, index)` coordinates.
+
+use crate::complex::SimplicialComplex;
+use crate::simplex::Simplex;
+use std::fmt;
+
+/// A k-chain over GF(2), tied to a particular complex's indexing.
+///
+/// The chain does not borrow the complex; callers must use chains only with
+/// the complex they were built against (dimension and length are checked
+/// where possible).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Chain {
+    dim: usize,
+    /// Number of k-simplices in the underlying complex.
+    len: usize,
+    bits: Vec<u64>,
+}
+
+impl Chain {
+    /// The zero chain in dimension `k` of `complex` — the identity element
+    /// `e` of the chain group.
+    pub fn zero(complex: &SimplicialComplex, k: usize) -> Self {
+        let len = complex.count(k);
+        Chain { dim: k, len, bits: vec![0; len.div_ceil(64).max(1)] }
+    }
+
+    /// The chain consisting of a single simplex. Panics if the simplex is
+    /// not a member of the complex.
+    pub fn from_simplex(complex: &SimplicialComplex, s: &Simplex) -> Self {
+        let idx = complex
+            .index_of(s)
+            .unwrap_or_else(|| panic!("simplex {s} is not in the complex"));
+        let mut c = Chain::zero(complex, s.dim() as usize);
+        c.set(idx, true);
+        c
+    }
+
+    /// Builds a chain from an iterator of simplices (mod-2: duplicates
+    /// cancel). All must share one dimension and be complex members.
+    pub fn from_simplices<'a, I>(complex: &SimplicialComplex, k: usize, simplices: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Simplex>,
+    {
+        let mut c = Chain::zero(complex, k);
+        for s in simplices {
+            assert_eq!(s.dim() as usize, k, "chain dimension mismatch for {s}");
+            let idx = complex
+                .index_of(s)
+                .unwrap_or_else(|| panic!("simplex {s} is not in the complex"));
+            c.toggle(idx);
+        }
+        c
+    }
+
+    /// Builds a chain directly from a packed bitset (used by boundary maps).
+    pub(crate) fn from_bits(dim: usize, len: usize, bits: Vec<u64>) -> Self {
+        debug_assert_eq!(bits.len(), len.div_ceil(64).max(1));
+        Chain { dim, len, bits }
+    }
+
+    /// The chain's dimension k.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the coefficient of the simplex with index `i` is 1.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the coefficient of simplex index `i`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
+    }
+
+    /// Mod-2 toggles the coefficient of simplex index `i`.
+    pub fn toggle(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Group operation `⋆`: mod-2 (symmetric-difference) addition. This is
+    /// the paper's example `{a,b} ⋆ {b,c} = {a,c}` at the level of
+    /// coefficient vectors. Panics on dimension mismatch.
+    pub fn add(&self, other: &Chain) -> Chain {
+        assert_eq!(self.dim, other.dim, "cannot add chains of different dimension");
+        assert_eq!(self.len, other.len, "chains belong to different complexes");
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Chain { dim: self.dim, len: self.len, bits }
+    }
+
+    /// In-place mod-2 addition.
+    pub fn add_assign(&mut self, other: &Chain) {
+        assert_eq!(self.dim, other.dim);
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a ^= b;
+        }
+    }
+
+    /// Whether this is the zero chain (the group identity).
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of simplices with coefficient 1.
+    pub fn weight(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of the simplices with coefficient 1, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.weight());
+        for (w, &word) in self.bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Resolves the support back to simplices of the given complex.
+    pub fn simplices<'a>(&self, complex: &'a SimplicialComplex) -> Vec<&'a Simplex> {
+        let group = complex.simplices(self.dim);
+        assert_eq!(group.len(), self.len, "chain/complex mismatch");
+        self.support().into_iter().map(|i| &group[i]).collect()
+    }
+
+    /// Raw packed bits (read-only).
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+impl fmt::Debug for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chain(dim={}, support={:?})", self.dim, self.support())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::SimplicialComplex;
+
+    fn square() -> SimplicialComplex {
+        // A 4-cycle 0-1-2-3.
+        SimplicialComplex::from_maximal_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(1, 2),
+            Simplex::edge(2, 3),
+            Simplex::edge(0, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_chain_is_identity() {
+        let c = square();
+        let z = Chain::zero(&c, 1);
+        assert!(z.is_zero());
+        let e = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        assert_eq!(e.add(&z), e);
+    }
+
+    #[test]
+    fn every_chain_is_its_own_inverse() {
+        let c = square();
+        let x = Chain::from_simplices(&c, 1, [&Simplex::edge(0, 1), &Simplex::edge(2, 3)]);
+        assert!(x.add(&x).is_zero());
+    }
+
+    #[test]
+    fn paper_example_ab_plus_bc() {
+        // σ₁ = {a,b}, σ₂ = {b,c}: σ₁ ⋆ σ₂ has both edges in its support —
+        // the *vertex-level* cancellation {a,c} appears when taking the
+        // boundary, tested in boundary.rs. At chain level the sum is the set
+        // of both edges.
+        let c = square();
+        let s1 = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        let s2 = Chain::from_simplex(&c, &Simplex::edge(1, 2));
+        let sum = s1.add(&s2);
+        assert_eq!(sum.weight(), 2);
+    }
+
+    #[test]
+    fn duplicates_cancel_in_from_simplices() {
+        let c = square();
+        let e = Simplex::edge(0, 1);
+        let chain = Chain::from_simplices(&c, 1, [&e, &e]);
+        assert!(chain.is_zero());
+    }
+
+    #[test]
+    fn support_roundtrip() {
+        let c = square();
+        let chain =
+            Chain::from_simplices(&c, 1, [&Simplex::edge(0, 3), &Simplex::edge(1, 2)]);
+        let names: Vec<_> = chain.simplices(&c).into_iter().cloned().collect();
+        assert!(names.contains(&Simplex::edge(0, 3)));
+        assert!(names.contains(&Simplex::edge(1, 2)));
+        assert_eq!(chain.weight(), 2);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let c = square();
+        let a = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        let b = Chain::from_simplex(&c, &Simplex::edge(2, 3));
+        let mut a2 = a.clone();
+        a2.add_assign(&b);
+        assert_eq!(a2, a.add(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the complex")]
+    fn from_simplex_rejects_non_member() {
+        let c = square();
+        let _ = Chain::from_simplex(&c, &Simplex::edge(5, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn add_rejects_dimension_mismatch() {
+        let c = square();
+        let v = Chain::from_simplex(&c, &Simplex::vertex(0));
+        let e = Chain::from_simplex(&c, &Simplex::edge(0, 1));
+        let _ = v.add(&e);
+    }
+}

@@ -1,0 +1,298 @@
+//! Cochains and coboundaries — the dual machinery the paper invokes for
+//! the general Kirchhoff theorem.
+//!
+//! §II-A: "While Kirchhoff proved this for the physical case where
+//! resistances are positive real numbers, a more general case can be
+//! proven using algebraic topology, i.e., the introduction of *cochain*
+//! and *coboundary*." A k-cochain assigns a GF(2) value to every
+//! k-simplex (a potential assignment for k = 0, a voltage-drop assignment
+//! for k = 1); the coboundary `δᵏ : Cᵏ → Cᵏ⁺¹` is the transpose of the
+//! boundary map, `δδ = 0` dualizes `∂∂ = 0`, and over a field the
+//! cohomology Betti numbers equal the homology ones — all verified here.
+//!
+//! The electrical reading on a circuit graph (a 1-complex):
+//!
+//! * a 0-cochain is a node-potential pattern; its coboundary `δ⁰u` is the
+//!   edge-wise potential *difference* pattern — Kirchhoff's voltage law
+//!   says physical voltage patterns are exactly the 0-coboundaries,
+//! * a 1-cocycle (`δ¹w = 0`, automatic on a graph) pairs with 1-cycles;
+//!   the pairing of a coboundary with any cycle vanishes — which *is* KVL
+//!   "the overall voltage change along a loop is zero", proved here in
+//!   its mod-2 form.
+
+use crate::boundary::BoundaryOperator;
+use crate::chain::Chain;
+use crate::complex::SimplicialComplex;
+use crate::gf2::GF2Matrix;
+
+/// A k-cochain over GF(2): one bit per k-simplex of a fixed complex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cochain {
+    dim: usize,
+    len: usize,
+    bits: Vec<u64>,
+}
+
+impl Cochain {
+    /// The zero k-cochain.
+    pub fn zero(complex: &SimplicialComplex, k: usize) -> Self {
+        let len = complex.count(k);
+        Cochain { dim: k, len, bits: vec![0; len.div_ceil(64).max(1)] }
+    }
+
+    /// A cochain from the set of k-simplex indices where it evaluates to 1.
+    pub fn from_support(complex: &SimplicialComplex, k: usize, support: &[usize]) -> Self {
+        let mut c = Cochain::zero(complex, k);
+        for &i in support {
+            assert!(i < c.len, "support index out of range");
+            c.bits[i / 64] ^= 1 << (i % 64);
+        }
+        c
+    }
+
+    /// Dimension k.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Value on the simplex with index `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Mod-2 sum of two cochains.
+    pub fn add(&self, other: &Cochain) -> Cochain {
+        assert_eq!(self.dim, other.dim, "cochain dimension mismatch");
+        assert_eq!(self.len, other.len, "cochains from different complexes");
+        Cochain {
+            dim: self.dim,
+            len: self.len,
+            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a ^ b).collect(),
+        }
+    }
+
+    /// Whether this is the zero cochain.
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The canonical pairing `⟨w, c⟩ ∈ GF(2)` of a k-cochain with a
+    /// k-chain: the parity of the number of simplices where both are 1.
+    pub fn pair(&self, chain: &Chain) -> bool {
+        assert_eq!(self.dim, chain.dim(), "pairing dimension mismatch");
+        let mut acc = 0u32;
+        for (a, b) in self.bits.iter().zip(chain.bits()) {
+            acc ^= (a & b).count_ones() & 1;
+        }
+        acc & 1 == 1
+    }
+
+    /// Raw packed bits.
+    pub fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+/// The coboundary operator `δᵏ : Cᵏ → Cᵏ⁺¹` of a fixed complex — the
+/// transpose of `∂ₖ₊₁`.
+#[derive(Clone, Debug)]
+pub struct CoboundaryOperator {
+    k: usize,
+    /// `(n_{k+1}) × (n_k)` matrix: the transpose of the boundary matrix.
+    matrix: GF2Matrix,
+}
+
+impl CoboundaryOperator {
+    /// Builds `δᵏ` for a complex.
+    pub fn new(complex: &SimplicialComplex, k: usize) -> Self {
+        let boundary = BoundaryOperator::new(complex, k + 1);
+        CoboundaryOperator { k, matrix: boundary.matrix().transpose() }
+    }
+
+    /// The dimension this operator acts on.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying GF(2) matrix.
+    pub fn matrix(&self) -> &GF2Matrix {
+        &self.matrix
+    }
+
+    /// Applies `δᵏ` to a k-cochain, producing a (k+1)-cochain.
+    pub fn apply(&self, w: &Cochain) -> Cochain {
+        assert_eq!(w.dim(), self.k, "coboundary applied to wrong dimension");
+        let out_bits = self.matrix.mul_vec(w.bits());
+        let out_len = self.matrix.rows();
+        let want = out_len.div_ceil(64).max(1);
+        let mut bits = out_bits;
+        bits.truncate(want);
+        bits.resize(want, 0);
+        Cochain { dim: self.k + 1, len: out_len, bits }
+    }
+
+    /// Rank of the k-coboundary group `im δᵏ`.
+    pub fn rank(&self) -> usize {
+        self.matrix.rank()
+    }
+
+    /// Rank of the k-cocycle group `ker δᵏ`.
+    pub fn cocycle_rank(&self) -> usize {
+        self.matrix.cols() - self.matrix.rank()
+    }
+}
+
+/// Cohomology Betti numbers `β⁰..β^dim`:
+/// `βᵏ = dim ker δᵏ − dim im δᵏ⁻¹`. Over the field GF(2) these equal the
+/// homology Betti numbers (universal coefficients) — asserted by tests.
+pub fn cohomology_betti_numbers(complex: &SimplicialComplex) -> Vec<usize> {
+    let Some(dim) = complex.dim() else {
+        return Vec::new();
+    };
+    (0..=dim)
+        .map(|k| {
+            let ker = CoboundaryOperator::new(complex, k).cocycle_rank();
+            let im = if k == 0 {
+                0
+            } else {
+                CoboundaryOperator::new(complex, k - 1).rank()
+            };
+            ker - im
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology::betti_numbers;
+    use crate::mea_complex::mea_to_complex;
+    use crate::simplex::Simplex;
+
+    fn square_cycle() -> SimplicialComplex {
+        SimplicialComplex::from_maximal_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(1, 2),
+            Simplex::edge(2, 3),
+            Simplex::edge(0, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn coboundary_is_transpose_of_boundary() {
+        let c = square_cycle();
+        let cb = CoboundaryOperator::new(&c, 0);
+        let b = BoundaryOperator::new(&c, 1);
+        assert_eq!(cb.matrix(), &b.matrix().transpose());
+    }
+
+    #[test]
+    fn delta_delta_is_zero() {
+        let c = SimplicialComplex::from_maximal_simplices([Simplex::new([0, 1, 2])]).unwrap();
+        let d0 = CoboundaryOperator::new(&c, 0);
+        let d1 = CoboundaryOperator::new(&c, 1);
+        let composed = d1.matrix().mul(d0.matrix());
+        assert_eq!(composed.count_ones(), 0, "δδ must vanish");
+    }
+
+    #[test]
+    fn potential_coboundary_is_edge_differences() {
+        // A 0-cochain u with u = 1 on vertex 0 only: δu marks exactly the
+        // edges incident to vertex 0 (mod-2 "difference across the edge").
+        let c = square_cycle();
+        let u = Cochain::from_support(&c, 0, &[0]);
+        let du = CoboundaryOperator::new(&c, 0).apply(&u);
+        let marked: Vec<usize> = (0..c.count(1)).filter(|&i| du.get(i)).collect();
+        let incident: Vec<usize> = c
+            .simplices(1)
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.vertices().contains(&0))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(marked, incident);
+    }
+
+    #[test]
+    fn kirchhoff_voltage_law_mod2() {
+        // The pairing of any 0-coboundary (a "physical voltage pattern")
+        // with any 1-cycle vanishes — KVL in its mod-2 form.
+        let c = square_cycle();
+        let d0 = CoboundaryOperator::new(&c, 0);
+        let loop_chain = Chain::from_simplices(
+            &c,
+            1,
+            [
+                &Simplex::edge(0, 1),
+                &Simplex::edge(1, 2),
+                &Simplex::edge(2, 3),
+                &Simplex::edge(0, 3),
+            ],
+        );
+        // Every 0-cochain (16 of them on 4 vertices) must pair trivially.
+        for mask in 0u32..16 {
+            let support: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let u = Cochain::from_support(&c, 0, &support);
+            let du = d0.apply(&u);
+            assert!(!du.pair(&loop_chain), "KVL violated for potential pattern {mask:b}");
+        }
+    }
+
+    #[test]
+    fn cohomology_equals_homology_on_mea_complexes() {
+        for (m, n) in [(2usize, 2usize), (3, 3), (4, 5)] {
+            let c = mea_to_complex(m, n);
+            assert_eq!(
+                cohomology_betti_numbers(&c),
+                betti_numbers(&c),
+                "universal coefficients over GF(2) for {m}×{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cohomology_equals_homology_on_classic_spaces() {
+        // Sphere (tetrahedron boundary).
+        let sphere = SimplicialComplex::from_maximal_simplices([
+            Simplex::new([0, 1, 2]),
+            Simplex::new([0, 1, 3]),
+            Simplex::new([0, 2, 3]),
+            Simplex::new([1, 2, 3]),
+        ])
+        .unwrap();
+        assert_eq!(cohomology_betti_numbers(&sphere), betti_numbers(&sphere));
+        assert_eq!(cohomology_betti_numbers(&sphere), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn cochain_algebra_basics() {
+        let c = square_cycle();
+        let a = Cochain::from_support(&c, 1, &[0, 2]);
+        let b = Cochain::from_support(&c, 1, &[2, 3]);
+        let sum = a.add(&b);
+        assert!(sum.get(0) && !sum.get(2) && sum.get(3));
+        assert!(a.add(&a).is_zero());
+        assert!(Cochain::zero(&c, 1).is_zero());
+    }
+
+    #[test]
+    fn pairing_counts_common_support_parity() {
+        let c = square_cycle();
+        let w = Cochain::from_support(&c, 1, &[0, 1]);
+        let chain = Chain::from_simplices(
+            &c,
+            1,
+            [&c.simplices(1)[0].clone(), &c.simplices(1)[2].clone()],
+        );
+        assert!(w.pair(&chain)); // one common simplex (index 0)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_support_bounds_checked() {
+        let c = square_cycle();
+        let _ = Cochain::from_support(&c, 0, &[99]);
+    }
+}

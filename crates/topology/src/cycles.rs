@@ -1,0 +1,261 @@
+//! Fundamental cycle bases of 1-dimensional complexes (circuit graphs).
+//!
+//! For a connected graph with spanning tree `T`, every non-tree edge `e`
+//! closes exactly one cycle — the *fundamental cycle* of `e`. The set of
+//! fundamental cycles is a basis of the cycle space `D¹`, of size
+//! `|E| − |V| + c` (Maxwell's cyclomatic number, the paper's §II-A). These
+//! are the independent "holes" over which Parma parallelizes Kirchhoff's
+//! voltage law: each fundamental cycle yields one independent L2 equation.
+
+use crate::chain::Chain;
+use crate::complex::SimplicialComplex;
+use crate::simplex::Simplex;
+use std::collections::BTreeMap;
+
+/// One fundamental cycle: a closing edge plus the tree path between its
+/// endpoints.
+#[derive(Clone, Debug)]
+pub struct FundamentalCycle {
+    /// The non-tree edge that generates the cycle.
+    pub chord: Simplex,
+    /// The cycle as a mod-2 chain of edges (chord + tree path).
+    pub chain: Chain,
+    /// The cycle as a closed vertex walk `v₀, v₁, …, v₀` (first = last).
+    pub walk: Vec<u32>,
+}
+
+/// A basis of the cycle space of a 1-complex.
+#[derive(Clone, Debug)]
+pub struct CycleBasis {
+    /// The fundamental cycles, one per non-tree edge, in edge order.
+    pub cycles: Vec<FundamentalCycle>,
+    /// Edges of the chosen spanning forest.
+    pub tree_edges: Vec<Simplex>,
+    /// Number of connected components found.
+    pub components: usize,
+}
+
+impl CycleBasis {
+    /// Rank of the cycle space — must equal β₁ (tested against homology).
+    pub fn rank(&self) -> usize {
+        self.cycles.len()
+    }
+}
+
+/// Computes a fundamental cycle basis of the 1-skeleton of a complex via
+/// breadth-first spanning forests.
+///
+/// Panics if the complex has dimension > 1 (call it on the 1-skeleton: the
+/// cycle space of a graph ignores higher simplices, and the MEA complexes of
+/// this paper are 1-dimensional by Proposition 1).
+pub fn fundamental_cycles(complex: &SimplicialComplex) -> CycleBasis {
+    assert!(
+        complex.dim().map_or(true, |d| d <= 1),
+        "fundamental_cycles expects a 1-dimensional complex (a circuit graph)"
+    );
+    let verts = complex.simplices(0);
+    let edges = complex.simplices(1);
+    let vid: BTreeMap<u32, usize> =
+        verts.iter().enumerate().map(|(i, s)| (s.vertices()[0], i)).collect();
+    // Adjacency: vertex index -> (neighbor vertex index, edge index).
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); verts.len()];
+    for (ei, e) in edges.iter().enumerate() {
+        let (a, b) = (vid[&e.vertices()[0]], vid[&e.vertices()[1]]);
+        adj[a].push((b, ei));
+        adj[b].push((a, ei));
+    }
+    // BFS forest: parent edge for each vertex.
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; verts.len()]; // (parent vertex, via edge)
+    let mut depth: Vec<usize> = vec![0; verts.len()];
+    let mut visited = vec![false; verts.len()];
+    let mut tree_edge_flags = vec![false; edges.len()];
+    let mut components = 0usize;
+    for root in 0..verts.len() {
+        if visited[root] {
+            continue;
+        }
+        components += 1;
+        visited[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &(v, ei) in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some((u, ei));
+                    depth[v] = depth[u] + 1;
+                    tree_edge_flags[ei] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let tree_edges: Vec<Simplex> = edges
+        .iter()
+        .zip(&tree_edge_flags)
+        .filter(|(_, &t)| t)
+        .map(|(e, _)| e.clone())
+        .collect();
+    // Each non-tree edge closes one cycle: walk both endpoints up to their
+    // lowest common ancestor.
+    let mut cycles = Vec::new();
+    for (ei, e) in edges.iter().enumerate() {
+        if tree_edge_flags[ei] {
+            continue;
+        }
+        let (mut a, mut b) = (vid[&e.vertices()[0]], vid[&e.vertices()[1]]);
+        let mut chain = Chain::zero(complex, 1);
+        chain.toggle(ei);
+        let mut left: Vec<usize> = vec![a];
+        let mut right: Vec<usize> = vec![b];
+        while a != b {
+            if depth[a] >= depth[b] {
+                let (p, pe) = parent[a].expect("non-root must have a parent");
+                chain.toggle(pe);
+                a = p;
+                left.push(a);
+            } else {
+                let (p, pe) = parent[b].expect("non-root must have a parent");
+                chain.toggle(pe);
+                b = p;
+                right.push(b);
+            }
+        }
+        // Assemble the closed walk: left path down to the LCA, then right
+        // path back up, then the chord closes it.
+        let mut walk: Vec<u32> = left.iter().map(|&i| verts[i].vertices()[0]).collect();
+        for &i in right.iter().rev().skip(1) {
+            walk.push(verts[i].vertices()[0]);
+        }
+        walk.push(walk[0]);
+        cycles.push(FundamentalCycle { chord: e.clone(), chain, walk });
+    }
+    CycleBasis { cycles, tree_edges, components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::BoundaryOperator;
+    use crate::homology::betti_numbers;
+    use proptest::prelude::*;
+
+    fn graph(edges: &[(u32, u32)]) -> SimplicialComplex {
+        SimplicialComplex::from_maximal_simplices(
+            edges.iter().map(|&(a, b)| Simplex::edge(a, b)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_has_no_cycles() {
+        let c = graph(&[(0, 1), (1, 2), (1, 3)]);
+        let basis = fundamental_cycles(&c);
+        assert_eq!(basis.rank(), 0);
+        assert_eq!(basis.tree_edges.len(), 3);
+        assert_eq!(basis.components, 1);
+    }
+
+    #[test]
+    fn square_has_one_cycle_of_length_four() {
+        let c = graph(&[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let basis = fundamental_cycles(&c);
+        assert_eq!(basis.rank(), 1);
+        assert_eq!(basis.cycles[0].chain.weight(), 4);
+        // Walk visits 4 distinct vertices and closes.
+        let walk = &basis.cycles[0].walk;
+        assert_eq!(walk.first(), walk.last());
+        assert_eq!(walk.len(), 5);
+    }
+
+    #[test]
+    fn k4_has_three_independent_cycles() {
+        let c = graph(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let basis = fundamental_cycles(&c);
+        assert_eq!(basis.rank(), 3);
+        // Each fundamental cycle is an actual cycle of the boundary map.
+        let d1 = BoundaryOperator::new(&c, 1);
+        for fc in &basis.cycles {
+            assert!(d1.is_cycle(&fc.chain), "fundamental cycle must be a ∂-cycle");
+        }
+    }
+
+    #[test]
+    fn rank_matches_betti_one() {
+        let c = graph(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (5, 6)]);
+        let basis = fundamental_cycles(&c);
+        let betti = betti_numbers(&c);
+        assert_eq!(basis.rank(), betti[1]);
+        assert_eq!(basis.components, betti[0]);
+    }
+
+    #[test]
+    fn cycles_are_linearly_independent() {
+        let c = graph(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let basis = fundamental_cycles(&c);
+        // XOR of all three cycles must be nonzero (they are independent);
+        // stronger: every nonempty subset XOR is nonzero because each cycle
+        // contains a chord no other cycle touches.
+        for mask in 1u32..(1 << basis.rank()) {
+            let mut acc = Chain::zero(&c, 1);
+            for (i, fc) in basis.cycles.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    acc.add_assign(&fc.chain);
+                }
+            }
+            assert!(!acc.is_zero(), "subset {mask:b} summed to zero");
+        }
+    }
+
+    #[test]
+    fn walk_is_consistent_with_chain() {
+        let c = graph(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        let basis = fundamental_cycles(&c);
+        for fc in &basis.cycles {
+            // Every consecutive pair in the walk must be an edge of the chain.
+            let edge_set: Vec<Simplex> =
+                fc.chain.simplices(&c).into_iter().cloned().collect();
+            for w in fc.walk.windows(2) {
+                assert!(edge_set.contains(&Simplex::edge(w[0], w[1])));
+            }
+            // Walk length (edges) equals chain weight.
+            assert_eq!(fc.walk.len() - 1, fc.chain.weight());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_counts_components() {
+        let c = graph(&[(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)]);
+        let basis = fundamental_cycles(&c);
+        assert_eq!(basis.components, 2);
+        assert_eq!(basis.rank(), 2);
+    }
+
+    proptest! {
+        /// On random graphs the fundamental-cycle rank equals |E| − |V| + c.
+        #[test]
+        fn prop_maxwell_cyclomatic(
+            n in 2u32..10,
+            raw_edges in proptest::collection::vec((0u32..10, 0u32..10), 1..25),
+        ) {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n, b % n))
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            prop_assume!(!edges.is_empty());
+            let c = graph(&edges);
+            let basis = fundamental_cycles(&c);
+            let v = c.count(0);
+            let e = c.count(1);
+            prop_assert_eq!(basis.rank(), e + basis.components - v);
+            prop_assert_eq!(basis.tree_edges.len(), v - basis.components);
+            let d1 = BoundaryOperator::new(&c, 1);
+            for fc in &basis.cycles {
+                prop_assert!(d1.is_cycle(&fc.chain));
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! k-dimensional lattice complexes — the paper's higher-dimensional MEA
+//! generalization, checked rather than assumed.
+//!
+//! §IV-B claims a k-dimensional equidistant MEA offers `(n−1)^k`-fold
+//! parallelism. For `k = 2` that is exactly the cycle rank of the device
+//! complex (`β₁ = (n−1)²`, see [`crate::mea_complex`]). For `k ≥ 3` the
+//! natural generalization — the nearest-neighbour lattice on `n^k` sensor
+//! sites — has cycle rank
+//!
+//! ```text
+//! β₁ = k·n^(k−1)·(n−1) − n^k + 1
+//! ```
+//!
+//! which *exceeds* `(n−1)^k` (e.g. `n = 2, k = 3`: 5 independent cycles
+//! vs. the paper's 1). `(n−1)^k` is instead the number of *unit cells* of
+//! the lattice — a lower bound realized by the axis-aligned unit squares
+//! of any one 2-D slice family. Both quantities are exposed and the
+//! relationship is pinned by tests; the reproduction takes the paper's
+//! claim as a (conservative) bound, not an identity.
+
+use crate::complex::SimplicialComplex;
+use crate::simplex::Simplex;
+
+/// Builds the nearest-neighbour lattice complex on a `dims[0] × … ×
+/// dims[k−1]` grid of sites: one vertex per site, one edge per
+/// axis-adjacent pair. Panics on empty dims, zero extents or >2³² sites.
+pub fn lattice_complex(dims: &[usize]) -> SimplicialComplex {
+    assert!(!dims.is_empty(), "need at least one dimension");
+    assert!(dims.iter().all(|&d| d > 0), "extents must be positive");
+    let sites: usize = dims.iter().product();
+    assert!(sites <= u32::MAX as usize, "lattice too large");
+    let flat = |coord: &[usize]| -> u32 {
+        let mut idx = 0usize;
+        for (c, d) in coord.iter().zip(dims) {
+            idx = idx * d + c;
+        }
+        idx as u32
+    };
+    let mut maximal: Vec<Simplex> = Vec::new();
+    let mut coord = vec![0usize; dims.len()];
+    loop {
+        let here = flat(&coord);
+        maximal.push(Simplex::vertex(here));
+        for axis in 0..dims.len() {
+            if coord[axis] + 1 < dims[axis] {
+                coord[axis] += 1;
+                let neighbor = flat(&coord);
+                coord[axis] -= 1;
+                maximal.push(Simplex::edge(here, neighbor));
+            }
+        }
+        // Odometer increment.
+        let mut axis = dims.len();
+        loop {
+            if axis == 0 {
+                return SimplicialComplex::from_maximal_simplices(maximal)
+                    .expect("lattice simplices are valid");
+            }
+            axis -= 1;
+            coord[axis] += 1;
+            if coord[axis] < dims[axis] {
+                break;
+            }
+            coord[axis] = 0;
+        }
+    }
+}
+
+/// The exact cycle rank of the nearest-neighbour lattice:
+/// `β₁ = Σ_axis (n_axis−1)·(sites/n_axis) − sites + 1`.
+pub fn lattice_cycle_rank(dims: &[usize]) -> usize {
+    let sites: usize = dims.iter().product();
+    let edges: usize = dims.iter().map(|&d| (d - 1) * (sites / d)).sum();
+    edges + 1 - sites
+}
+
+/// The paper's `(n−1)^k` parallelism figure: the number of unit cells.
+pub fn paper_parallelism(dims: &[usize]) -> usize {
+    dims.iter().map(|&d| d - 1).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology::betti_numbers;
+
+    #[test]
+    fn one_dimensional_lattice_is_a_path() {
+        let c = lattice_complex(&[5]);
+        assert_eq!(c.count(0), 5);
+        assert_eq!(c.count(1), 4);
+        assert_eq!(betti_numbers(&c), vec![1, 0]);
+        assert_eq!(lattice_cycle_rank(&[5]), 0);
+    }
+
+    #[test]
+    fn two_dimensional_lattice_matches_the_mea_result() {
+        for n in [2usize, 3, 5] {
+            let c = lattice_complex(&[n, n]);
+            let betti = betti_numbers(&c);
+            assert_eq!(betti[1], (n - 1) * (n - 1), "k = 2 is exactly (n−1)²");
+            assert_eq!(betti[1], lattice_cycle_rank(&[n, n]));
+            assert_eq!(betti[1], paper_parallelism(&[n, n]));
+        }
+    }
+
+    #[test]
+    fn three_dimensional_lattice_exceeds_the_paper_figure() {
+        for n in [2usize, 3] {
+            let dims = [n, n, n];
+            let c = lattice_complex(&dims);
+            let betti = betti_numbers(&c);
+            let exact = lattice_cycle_rank(&dims);
+            assert_eq!(betti[1], exact, "homology must match the closed form");
+            assert_eq!(exact, 3 * n * n * (n - 1) - n * n * n + 1);
+            assert!(
+                exact > paper_parallelism(&dims),
+                "the true cycle rank ({exact}) exceeds (n−1)^k ({})",
+                paper_parallelism(&dims)
+            );
+        }
+    }
+
+    #[test]
+    fn known_small_cases() {
+        // 2×2×2 cube frame: 8 vertices, 12 edges → β₁ = 5.
+        assert_eq!(lattice_cycle_rank(&[2, 2, 2]), 5);
+        assert_eq!(paper_parallelism(&[2, 2, 2]), 1);
+        let c = lattice_complex(&[2, 2, 2]);
+        assert_eq!(c.count(0), 8);
+        assert_eq!(c.count(1), 12);
+        assert_eq!(betti_numbers(&c), vec![1, 5]);
+    }
+
+    #[test]
+    fn rectangular_lattices() {
+        let dims = [2usize, 3, 4];
+        let c = lattice_complex(&dims);
+        assert_eq!(c.count(0), 24);
+        let betti = betti_numbers(&c);
+        assert_eq!(betti[0], 1);
+        assert_eq!(betti[1], lattice_cycle_rank(&dims));
+        assert_eq!(paper_parallelism(&dims), 6);
+    }
+
+    #[test]
+    fn four_dimensional_lattice_still_computes() {
+        let dims = [2usize, 2, 2, 2];
+        let c = lattice_complex(&dims);
+        assert_eq!(c.count(0), 16);
+        assert_eq!(c.count(1), 32);
+        assert_eq!(betti_numbers(&c), vec![1, lattice_cycle_rank(&dims)]);
+        assert_eq!(lattice_cycle_rank(&dims), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = lattice_complex(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_rejected() {
+        let _ = lattice_complex(&[]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Translation of an MEA device into an abstract simplicial complex
+//! (Proposition 1 of the paper) and its homological invariants.
+//!
+//! # Joint-level complex (the paper's Figure 1)
+//!
+//! An `m × n` MEA (m horizontal wires, n vertical wires) has one resistor at
+//! every crossing and two joints per resistor — `2mn` joints total. We
+//! reproduce the paper's Figure 1 numbering, which its path examples pin
+//! down: the resistor at (vertical wire `v`, horizontal wire `h`), both
+//! 0-based, owns joints `2(v·m + h)` (the horizontal-wire side) and
+//! `2(v·m + h) + 1` (the vertical-wire side). For the 3×3 device this gives
+//! wire A = joints {0, 6, 12}, wire I = joints {1, 3, 5}, and R₁₁ between
+//! joints 0 and 1, exactly as in the paper.
+//!
+//! Edges are (a) the resistor edges (joint pair at each crossing) and (b)
+//! wire segments between consecutive joints along each wire. The resulting
+//! 1-complex has first Betti number `(m−1)(n−1)` — the `(n−1)²` independent
+//! Kirchhoff loops of §IV-B for a square array.
+//!
+//! # Wire-level complex (ideal wires)
+//!
+//! Contracting each wire to a single node yields the complete bipartite
+//! graph `K_{m,n}` (nodes = wires, edges = resistors). The contraction is a
+//! homotopy equivalence, so β₁ is the same `(m−1)(n−1)` — verified by test.
+
+use crate::complex::SimplicialComplex;
+use crate::homology::betti_numbers;
+use crate::simplex::Simplex;
+
+/// Summary of the topological content of an MEA complex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeaComplexReport {
+    /// Horizontal wire count m.
+    pub rows: usize,
+    /// Vertical wire count n.
+    pub cols: usize,
+    /// Number of 0-simplices (joints).
+    pub joints: usize,
+    /// Number of 1-simplices (resistor edges + wire segments).
+    pub edges: usize,
+    /// β₀ — connected components.
+    pub betti0: usize,
+    /// β₁ — independent cycles, the intrinsic parallelism `(m−1)(n−1)`.
+    pub betti1: usize,
+}
+
+impl MeaComplexReport {
+    /// The paper's theoretical parallelism bound for a 2-D equidistant MEA:
+    /// `(n−1)^k` with `k = 2` generalizes to `(m−1)(n−1)` for `m × n`.
+    pub fn expected_parallelism(&self) -> usize {
+        self.rows.saturating_sub(1) * self.cols.saturating_sub(1)
+    }
+}
+
+/// Joint id on the horizontal-wire side of the resistor at
+/// (vertical wire `v`, horizontal wire `h`) in an `m`-row array.
+pub fn joint_h(v: usize, h: usize, rows: usize) -> u32 {
+    (2 * (v * rows + h)) as u32
+}
+
+/// Joint id on the vertical-wire side of the same resistor.
+pub fn joint_v(v: usize, h: usize, rows: usize) -> u32 {
+    (2 * (v * rows + h) + 1) as u32
+}
+
+/// Builds the joint-level simplicial complex of an `rows × cols` MEA
+/// (the paper's Figure 1 for `rows = cols = 3`).
+///
+/// Panics if either dimension is zero.
+pub fn mea_to_complex(rows: usize, cols: usize) -> SimplicialComplex {
+    assert!(rows > 0 && cols > 0, "MEA dimensions must be positive");
+    let mut maximal: Vec<Simplex> = Vec::with_capacity(3 * rows * cols);
+    // Resistor edges: horizontal-side joint ↔ vertical-side joint.
+    for v in 0..cols {
+        for h in 0..rows {
+            maximal.push(Simplex::edge(joint_h(v, h, rows), joint_v(v, h, rows)));
+        }
+    }
+    // Horizontal wire h: joints joint_h(v, h) in order of v.
+    for h in 0..rows {
+        for v in 0..cols.saturating_sub(1) {
+            maximal.push(Simplex::edge(joint_h(v, h, rows), joint_h(v + 1, h, rows)));
+        }
+    }
+    // Vertical wire v: joints joint_v(v, h) in order of h.
+    for v in 0..cols {
+        for h in 0..rows.saturating_sub(1) {
+            maximal.push(Simplex::edge(joint_v(v, h, rows), joint_v(v, h + 1, rows)));
+        }
+    }
+    SimplicialComplex::from_maximal_simplices(maximal)
+        .expect("MEA edges are valid simplices")
+}
+
+/// Builds the contracted wire-level complex: `K_{rows,cols}` with
+/// horizontal-wire nodes `0..rows` and vertical-wire nodes
+/// `rows..rows+cols`.
+pub fn mea_wire_complex(rows: usize, cols: usize) -> SimplicialComplex {
+    assert!(rows > 0 && cols > 0, "MEA dimensions must be positive");
+    let mut maximal = Vec::with_capacity(rows * cols);
+    for h in 0..rows {
+        for v in 0..cols {
+            maximal.push(Simplex::edge(h as u32, (rows + v) as u32));
+        }
+    }
+    SimplicialComplex::from_maximal_simplices(maximal)
+        .expect("K_{m,n} edges are valid simplices")
+}
+
+/// Builds the joint-level complex and computes its homological report —
+/// the full Proposition-1 pipeline.
+pub fn analyze_mea(rows: usize, cols: usize) -> MeaComplexReport {
+    let complex = mea_to_complex(rows, cols);
+    let betti = betti_numbers(&complex);
+    MeaComplexReport {
+        rows,
+        cols,
+        joints: complex.count(0),
+        edges: complex.count(1),
+        betti0: betti[0],
+        betti1: betti.get(1).copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::fundamental_cycles;
+    use crate::homology::euler_characteristic;
+
+    #[test]
+    fn figure1_has_18_joints_and_matches_paper_numbering() {
+        let c = mea_to_complex(3, 3);
+        assert_eq!(c.count(0), 18); // 2n² joints
+        assert_eq!(c.dim(), Some(1)); // Proposition 1: dimension is one
+        // R₁₁ sits between joints 0 and 1 (paper: "0 →R11→ 1").
+        assert!(c.contains(&Simplex::edge(0, 1)));
+        // R₃₂ between joints 14 and 15 ("the most straightforward circuit
+        // [for Z_{B,III}] is through R32 (between endpoints 14 and 15)").
+        assert!(c.contains(&Simplex::edge(14, 15)));
+        // Wire A carries joints 0, 6, 12 ("6 → 12" appears as an A-segment).
+        assert!(c.contains(&Simplex::edge(6, 12)));
+        assert!(c.contains(&Simplex::edge(0, 6)));
+        // Wire I carries joints 1, 3, 5 ("1 → 3" and "3 → 5").
+        assert!(c.contains(&Simplex::edge(1, 3)));
+        assert!(c.contains(&Simplex::edge(3, 5)));
+        // Wire II: joints 7, 9, 11 ("9 → 7" and "11 → 9").
+        assert!(c.contains(&Simplex::edge(7, 9)));
+        assert!(c.contains(&Simplex::edge(9, 11)));
+    }
+
+    #[test]
+    fn paper_path_b_to_iii_is_walkable() {
+        // B → 8 →R22→ 9 → 7 →R21→ 6 → 12 →R31→ 13 → III
+        // (the paper writes R33 for the last hop; its own joint ids 12/13
+        // belong to R31 — we follow the joint ids).
+        let c = mea_to_complex(3, 3);
+        let hops = [(8u32, 9u32), (9, 7), (7, 6), (6, 12), (12, 13)];
+        for (a, b) in hops {
+            assert!(c.contains(&Simplex::edge(a, b)), "missing edge {a}-{b}");
+        }
+    }
+
+    #[test]
+    fn edge_census() {
+        for (m, n) in [(1, 1), (2, 3), (3, 3), (5, 4), (8, 8)] {
+            let c = mea_to_complex(m, n);
+            assert_eq!(c.count(0), 2 * m * n);
+            assert_eq!(c.count(1), m * n + m * (n - 1) + n * (m - 1));
+        }
+    }
+
+    #[test]
+    fn betti_one_is_the_paper_parallelism_bound() {
+        for (m, n) in [(1, 1), (2, 2), (3, 3), (4, 6), (7, 5)] {
+            let report = analyze_mea(m, n);
+            assert_eq!(report.betti0, 1, "MEA must be connected");
+            assert_eq!(report.betti1, (m - 1) * (n - 1), "β₁ = (m−1)(n−1) for {m}×{n}");
+            assert_eq!(report.expected_parallelism(), report.betti1);
+        }
+    }
+
+    #[test]
+    fn wire_contraction_preserves_homology() {
+        for (m, n) in [(2, 2), (3, 3), (4, 5)] {
+            let joints = mea_to_complex(m, n);
+            let wires = mea_wire_complex(m, n);
+            assert_eq!(betti_numbers(&joints), betti_numbers(&wires));
+            // χ is also a homotopy invariant.
+            assert_eq!(euler_characteristic(&joints), euler_characteristic(&wires));
+        }
+    }
+
+    #[test]
+    fn wire_complex_is_complete_bipartite() {
+        let c = mea_wire_complex(3, 4);
+        assert_eq!(c.count(0), 7);
+        assert_eq!(c.count(1), 12);
+        assert_eq!(betti_numbers(&c), vec![1, 2 * 3]);
+    }
+
+    #[test]
+    fn fundamental_cycles_realize_the_parallelism() {
+        let c = mea_to_complex(4, 4);
+        let basis = fundamental_cycles(&c);
+        assert_eq!(basis.rank(), 9); // (4−1)²
+    }
+
+    #[test]
+    fn single_crossing_has_no_holes() {
+        let report = analyze_mea(1, 1);
+        assert_eq!(report.joints, 2);
+        assert_eq!(report.edges, 1);
+        assert_eq!(report.betti1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sized_mea_rejected() {
+        let _ = mea_to_complex(0, 3);
+    }
+
+    #[test]
+    fn rectangular_arrays_supported() {
+        // The paper notes the discussion "can be trivially extended to
+        // arbitrary shapes m × n".
+        let report = analyze_mea(2, 5);
+        assert_eq!(report.joints, 20);
+        assert_eq!(report.betti1, 4);
+    }
+}

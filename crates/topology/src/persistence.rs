@@ -1,0 +1,384 @@
+//! Persistent homology over GF(2): filtrations, the standard column
+//! reduction and barcodes.
+//!
+//! This extends the paper's static homological model (§III) along its time
+//! axis: the wet lab measures the same device repeatedly while anomalies
+//! grow, and the natural topological summary of a growing scalar field is
+//! the *persistence barcode* of its sublevel (or superlevel) filtration.
+//! `parma::persistence` uses this to count and rank anomaly regions of a
+//! recovered resistor map by topological significance.
+//!
+//! The implementation is the textbook algorithm: order simplices by
+//! (filtration value, dimension, tiebreak), reduce the GF(2) boundary
+//! matrix left to right, read each column's surviving low entry as a
+//! (birth, death) pairing; unpaired creators are essential classes.
+
+use crate::complex::SimplicialComplex;
+use crate::simplex::Simplex;
+use std::collections::HashMap;
+
+/// A filtered complex: simplices with real-valued appearance times.
+#[derive(Clone, Debug)]
+pub struct Filtration {
+    /// `(value, simplex)` pairs, not necessarily sorted.
+    entries: Vec<(f64, Simplex)>,
+}
+
+impl Filtration {
+    /// Builds from `(value, simplex)` pairs.
+    ///
+    /// Validates monotonicity: every face of a simplex must be present
+    /// with a value no larger than the simplex's own (otherwise sublevel
+    /// sets would not be complexes). Panics on violation or on non-finite
+    /// values.
+    pub fn new<I: IntoIterator<Item = (f64, Simplex)>>(entries: I) -> Self {
+        let entries: Vec<(f64, Simplex)> = entries.into_iter().collect();
+        let mut value_of: HashMap<&Simplex, f64> = HashMap::with_capacity(entries.len());
+        for (v, s) in &entries {
+            assert!(v.is_finite(), "filtration values must be finite");
+            assert!(!s.is_empty(), "the empty simplex cannot be filtered");
+            let prev = value_of.insert(s, *v);
+            assert!(prev.is_none(), "duplicate simplex {s} in filtration");
+        }
+        for (v, s) in &entries {
+            for f in s.proper_faces() {
+                match value_of.get(&f) {
+                    None => panic!("face {f} of {s} missing from the filtration"),
+                    Some(fv) => assert!(
+                        fv <= v,
+                        "face {f} appears later ({fv}) than {s} ({v}): not a filtration"
+                    ),
+                }
+            }
+        }
+        Filtration { entries }
+    }
+
+    /// The sublevel filtration of a vertex-valued function: every simplex
+    /// appears at the max of its vertices' values (lower-star filtration).
+    pub fn lower_star(complex: &SimplicialComplex, vertex_value: impl Fn(u32) -> f64) -> Self {
+        let mut entries = Vec::with_capacity(complex.total_count());
+        let Some(dim) = complex.dim() else {
+            return Filtration { entries };
+        };
+        for k in 0..=dim {
+            for s in complex.simplices(k) {
+                let v = s
+                    .vertices()
+                    .iter()
+                    .map(|&u| vertex_value(u))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                entries.push((v, s.clone()));
+            }
+        }
+        Filtration::new(entries)
+    }
+
+    /// Number of filtered simplices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the filtration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One persistence interval: a homology class of dimension `dim` born at
+/// `birth` and dying at `death` (`None` = essential, lives forever).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PersistenceInterval {
+    /// Homological dimension of the class.
+    pub dim: usize,
+    /// Filtration value at which the class appears.
+    pub birth: f64,
+    /// Filtration value at which it merges/fills, if ever.
+    pub death: Option<f64>,
+}
+
+impl PersistenceInterval {
+    /// Lifetime `death − birth`; `f64::INFINITY` for essential classes.
+    pub fn persistence(&self) -> f64 {
+        match self.death {
+            Some(d) => d - self.birth,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// The barcode of a filtration.
+#[derive(Clone, Debug, Default)]
+pub struct Barcode {
+    /// All intervals, in no particular order.
+    pub intervals: Vec<PersistenceInterval>,
+}
+
+impl Barcode {
+    /// Intervals of one dimension, most persistent first.
+    pub fn in_dim(&self, dim: usize) -> Vec<PersistenceInterval> {
+        let mut v: Vec<PersistenceInterval> =
+            self.intervals.iter().copied().filter(|i| i.dim == dim).collect();
+        v.sort_by(|a, b| b.persistence().total_cmp(&a.persistence()));
+        v
+    }
+
+    /// Intervals of one dimension with persistence strictly above a
+    /// threshold (essential classes always qualify).
+    pub fn significant(&self, dim: usize, min_persistence: f64) -> Vec<PersistenceInterval> {
+        self.in_dim(dim)
+            .into_iter()
+            .filter(|i| i.persistence() > min_persistence)
+            .collect()
+    }
+
+    /// Number of essential (never-dying) classes per dimension — must
+    /// equal the Betti numbers of the final complex.
+    pub fn essential_count(&self, dim: usize) -> usize {
+        self.intervals.iter().filter(|i| i.dim == dim && i.death.is_none()).count()
+    }
+}
+
+/// Computes the persistence barcode of a filtration by the standard GF(2)
+/// column reduction.
+pub fn persistence_barcode(filtration: &Filtration) -> Barcode {
+    // Order simplices by (value, dim, simplex) — dimension second so faces
+    // precede cofaces at equal values.
+    let mut order: Vec<(f64, usize, &Simplex)> = filtration
+        .entries
+        .iter()
+        .map(|(v, s)| (*v, s.dim() as usize, s))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(b.2)));
+    let index_of: HashMap<&Simplex, usize> =
+        order.iter().enumerate().map(|(i, (_, _, s))| (*s, i)).collect();
+
+    let m = order.len();
+    // Columns as sorted vectors of row indices (sparse; filtration
+    // boundaries are tiny per column).
+    let mut columns: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for (_, _, s) in &order {
+        let mut col: Vec<usize> = s.facets().iter().map(|f| index_of[f]).collect();
+        col.sort_unstable();
+        columns.push(col);
+    }
+    // low(j) = max row index of column j; reduce until lows are unique.
+    let mut low_to_col: Vec<Option<usize>> = vec![None; m];
+    let mut paired_birth: Vec<Option<usize>> = vec![None; m]; // death col -> birth col
+    for j in 0..m {
+        loop {
+            let Some(&low) = columns[j].last() else { break };
+            match low_to_col[low] {
+                None => {
+                    low_to_col[low] = Some(j);
+                    paired_birth[j] = Some(low);
+                    break;
+                }
+                Some(pivot) => {
+                    // columns[j] ^= columns[pivot] (symmetric difference of
+                    // sorted index lists).
+                    let merged = xor_sorted(&columns[j], &columns[pivot]);
+                    columns[j] = merged;
+                }
+            }
+        }
+    }
+    // Emit intervals: a zero column is a creator; if some later column
+    // pairs with it, the class dies there; otherwise it is essential.
+    let mut dies_at: Vec<Option<usize>> = vec![None; m];
+    for (death, birth) in paired_birth.iter().enumerate() {
+        if let Some(b) = birth {
+            dies_at[*b] = Some(death);
+        }
+    }
+    let mut intervals = Vec::new();
+    for j in 0..m {
+        if !columns[j].is_empty() {
+            continue; // j is a destroyer, not a creator
+        }
+        let (birth_value, dim, _) = order[j];
+        let death = dies_at[j].map(|d| order[d].0);
+        // Skip zero-length intervals (born and dead at the same value):
+        // they carry no topological information.
+        if let Some(d) = death {
+            if d == birth_value {
+                continue;
+            }
+        }
+        intervals.push(PersistenceInterval { dim, birth: birth_value, death });
+    }
+    Barcode { intervals }
+}
+
+fn xor_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology::betti_numbers;
+
+    #[test]
+    fn single_vertex_is_one_essential_class() {
+        let f = Filtration::new([(0.0, Simplex::vertex(0))]);
+        let bc = persistence_barcode(&f);
+        assert_eq!(bc.intervals.len(), 1);
+        assert_eq!(bc.intervals[0], PersistenceInterval { dim: 0, birth: 0.0, death: None });
+        assert!(bc.intervals[0].persistence().is_infinite());
+    }
+
+    #[test]
+    fn two_components_merging() {
+        // Vertices at t=0 and t=1, edge joins them at t=2: the younger
+        // component (born 1) dies at 2; the older persists forever.
+        let f = Filtration::new([
+            (0.0, Simplex::vertex(0)),
+            (1.0, Simplex::vertex(1)),
+            (2.0, Simplex::edge(0, 1)),
+        ]);
+        let bc = persistence_barcode(&f);
+        let d0 = bc.in_dim(0);
+        assert_eq!(d0.len(), 2);
+        assert_eq!(d0[0].death, None);
+        assert_eq!(d0[0].birth, 0.0);
+        assert_eq!(d0[1], PersistenceInterval { dim: 0, birth: 1.0, death: Some(2.0) });
+    }
+
+    #[test]
+    fn loop_birth_is_detected() {
+        // A triangle assembled edge by edge: β₁ class born when the last
+        // edge closes the loop at t=5; it never dies (no 2-face).
+        let f = Filtration::new([
+            (0.0, Simplex::vertex(0)),
+            (0.0, Simplex::vertex(1)),
+            (0.0, Simplex::vertex(2)),
+            (1.0, Simplex::edge(0, 1)),
+            (2.0, Simplex::edge(1, 2)),
+            (5.0, Simplex::edge(0, 2)),
+        ]);
+        let bc = persistence_barcode(&f);
+        let d1 = bc.in_dim(1);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0], PersistenceInterval { dim: 1, birth: 5.0, death: None });
+    }
+
+    #[test]
+    fn filled_loop_dies() {
+        // Same triangle, then the 2-face arrives at t=7: the β₁ class
+        // lives on [5, 7).
+        let f = Filtration::new([
+            (0.0, Simplex::vertex(0)),
+            (0.0, Simplex::vertex(1)),
+            (0.0, Simplex::vertex(2)),
+            (1.0, Simplex::edge(0, 1)),
+            (2.0, Simplex::edge(1, 2)),
+            (5.0, Simplex::edge(0, 2)),
+            (7.0, Simplex::new([0, 1, 2])),
+        ]);
+        let bc = persistence_barcode(&f);
+        let d1 = bc.in_dim(1);
+        assert_eq!(d1, vec![PersistenceInterval { dim: 1, birth: 5.0, death: Some(7.0) }]);
+        assert_eq!(bc.essential_count(1), 0);
+        assert_eq!(bc.essential_count(0), 1);
+    }
+
+    #[test]
+    fn essential_classes_match_final_betti_numbers() {
+        // A figure-eight built with arbitrary timings: essentials must
+        // equal β(final complex).
+        let edges = [
+            (0u32, 1u32),
+            (1, 2),
+            (0, 2),
+            (0, 3),
+            (3, 4),
+            (0, 4),
+        ];
+        let complex = SimplicialComplex::from_maximal_simplices(
+            edges.iter().map(|&(a, b)| Simplex::edge(a, b)),
+        )
+        .unwrap();
+        let f = Filtration::lower_star(&complex, |v| v as f64 * 0.7);
+        let bc = persistence_barcode(&f);
+        let betti = betti_numbers(&complex);
+        assert_eq!(bc.essential_count(0), betti[0]);
+        assert_eq!(bc.essential_count(1), betti[1]);
+    }
+
+    #[test]
+    fn lower_star_on_mea_complex() {
+        let complex = crate::mea_complex::mea_to_complex(3, 3);
+        let f = Filtration::lower_star(&complex, |v| v as f64);
+        assert_eq!(f.len(), complex.total_count());
+        let bc = persistence_barcode(&f);
+        assert_eq!(bc.essential_count(0), 1);
+        assert_eq!(bc.essential_count(1), 4); // (3−1)²
+    }
+
+    #[test]
+    fn significant_filters_by_persistence() {
+        let f = Filtration::new([
+            (0.0, Simplex::vertex(0)),
+            (1.0, Simplex::vertex(1)),
+            (1.1, Simplex::edge(0, 1)), // short-lived component
+        ]);
+        let bc = persistence_barcode(&f);
+        assert_eq!(bc.significant(0, 0.5).len(), 1); // only the essential
+        assert_eq!(bc.significant(0, 0.05).len(), 2);
+    }
+
+    #[test]
+    fn zero_length_intervals_are_dropped() {
+        // Vertex and its killing edge arrive simultaneously.
+        let f = Filtration::new([
+            (0.0, Simplex::vertex(0)),
+            (0.0, Simplex::vertex(1)),
+            (0.0, Simplex::edge(0, 1)),
+        ]);
+        let bc = persistence_barcode(&f);
+        assert_eq!(bc.in_dim(0).len(), 1, "only the essential class remains");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the filtration")]
+    fn missing_face_rejected() {
+        let _ = Filtration::new([(0.0, Simplex::edge(0, 1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a filtration")]
+    fn late_face_rejected() {
+        let _ = Filtration::new([
+            (5.0, Simplex::vertex(0)),
+            (5.0, Simplex::vertex(1)),
+            (1.0, Simplex::edge(0, 1)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_simplex_rejected() {
+        let _ = Filtration::new([(0.0, Simplex::vertex(0)), (1.0, Simplex::vertex(0))]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Abstract simplices: finite, duplicate-free, sorted vertex sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An abstract simplex — a finite set of vertices.
+///
+/// Following §III-A of the paper, a simplex `σ` is just a set `S` of vertices;
+/// its *dimension* is `|σ| − 1` and every subset of `σ` is again a simplex (a
+/// *face* of `σ`). Vertices are `u32` identifiers. The vertex list is kept
+/// sorted and deduplicated so that two simplices are equal exactly when they
+/// denote the same vertex set, and so that face enumeration is deterministic.
+///
+/// The empty simplex (dimension −1) is representable — the paper's chain
+/// groups include it implicitly as the identity of the mod-2 operation — but
+/// [`Simplex::dim`] returns `-1` for it and complexes never store it.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Simplex {
+    vertices: Vec<u32>,
+}
+
+impl Simplex {
+    /// Builds a simplex from any collection of vertex ids; duplicates are
+    /// removed and the result is sorted.
+    pub fn new<I: IntoIterator<Item = u32>>(vertices: I) -> Self {
+        let mut v: Vec<u32> = vertices.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Simplex { vertices: v }
+    }
+
+    /// The empty simplex ∅ (dimension −1).
+    pub fn empty() -> Self {
+        Simplex { vertices: Vec::new() }
+    }
+
+    /// A 0-simplex (single vertex).
+    pub fn vertex(v: u32) -> Self {
+        Simplex { vertices: vec![v] }
+    }
+
+    /// A 1-simplex (edge). `a` and `b` must differ.
+    pub fn edge(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "an edge needs two distinct vertices");
+        Simplex::new([a, b])
+    }
+
+    /// Dimension: `|σ| − 1`; the empty simplex has dimension −1.
+    pub fn dim(&self) -> isize {
+        self.vertices.len() as isize - 1
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True for the empty simplex.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The sorted vertex ids.
+    pub fn vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
+    /// Whether `other` is a face of `self` (subset relation; every simplex is
+    /// a face of itself, and ∅ is a face of everything).
+    pub fn has_face(&self, other: &Simplex) -> bool {
+        // Both sides are sorted, so a linear merge suffices.
+        let mut it = self.vertices.iter();
+        'outer: for v in &other.vertices {
+            for w in it.by_ref() {
+                if w == v {
+                    continue 'outer;
+                }
+                if w > v {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// All faces of codimension 1 (each obtained by dropping one vertex).
+    ///
+    /// This is the support of the boundary `∂σ` in the mod-2 chain complex:
+    /// every codim-1 face appears exactly once, and over GF(2) signs vanish.
+    pub fn facets(&self) -> Vec<Simplex> {
+        if self.vertices.len() <= 1 {
+            // ∂ of a vertex is the empty chain in reduced-free homology;
+            // we follow the unreduced convention: vertices have no facets.
+            return Vec::new();
+        }
+        (0..self.vertices.len())
+            .map(|skip| {
+                let vs: Vec<u32> = self
+                    .vertices
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                Simplex { vertices: vs }
+            })
+            .collect()
+    }
+
+    /// All faces of every dimension ≥ 0, *excluding* the simplex itself and ∅.
+    pub fn proper_faces(&self) -> Vec<Simplex> {
+        let n = self.vertices.len();
+        let mut out = Vec::new();
+        // Enumerate non-empty proper subsets via bitmasks; simplex vertex
+        // counts are tiny (circuits are 1-dimensional, test complexes ≤ 3-dim)
+        // so the 2^n enumeration is fine.
+        assert!(n <= 25, "simplex too large for subset enumeration");
+        for mask in 1u32..((1u32 << n) - 1) {
+            let vs: Vec<u32> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.vertices[i])
+                .collect();
+            out.push(Simplex { vertices: vs });
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Set intersection of two simplices (shared face candidate).
+    pub fn intersection(&self, other: &Simplex) -> Simplex {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vertices.len() && j < other.vertices.len() {
+            match self.vertices[i].cmp(&other.vertices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.vertices[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Simplex { vertices: out }
+    }
+}
+
+impl fmt::Debug for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Simplex {
+    fn from(vs: [u32; N]) -> Self {
+        Simplex::new(vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = Simplex::new([3, 1, 2, 1]);
+        assert_eq!(s.vertices(), &[1, 2, 3]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn empty_simplex_dim_is_minus_one() {
+        assert_eq!(Simplex::empty().dim(), -1);
+        assert!(Simplex::empty().is_empty());
+    }
+
+    #[test]
+    fn vertex_and_edge_constructors() {
+        assert_eq!(Simplex::vertex(7).dim(), 0);
+        assert_eq!(Simplex::edge(4, 2).vertices(), &[2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn edge_rejects_loops() {
+        let _ = Simplex::edge(5, 5);
+    }
+
+    #[test]
+    fn has_face_subset_relation() {
+        let tri = Simplex::new([0, 1, 2]);
+        assert!(tri.has_face(&Simplex::new([0, 2])));
+        assert!(tri.has_face(&Simplex::new([1])));
+        assert!(tri.has_face(&tri));
+        assert!(tri.has_face(&Simplex::empty()));
+        assert!(!tri.has_face(&Simplex::new([0, 3])));
+        assert!(!Simplex::new([0, 2]).has_face(&tri));
+    }
+
+    #[test]
+    fn facets_of_triangle_are_three_edges() {
+        let tri = Simplex::new([0, 1, 2]);
+        let f = tri.facets();
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(&Simplex::new([0, 1])));
+        assert!(f.contains(&Simplex::new([0, 2])));
+        assert!(f.contains(&Simplex::new([1, 2])));
+    }
+
+    #[test]
+    fn facets_of_edge_are_its_vertices() {
+        let e = Simplex::edge(5, 9);
+        let f = e.facets();
+        assert_eq!(f, vec![Simplex::vertex(9), Simplex::vertex(5)]);
+    }
+
+    #[test]
+    fn vertices_have_no_facets() {
+        assert!(Simplex::vertex(0).facets().is_empty());
+        assert!(Simplex::empty().facets().is_empty());
+    }
+
+    #[test]
+    fn proper_faces_of_triangle() {
+        let tri = Simplex::new([0, 1, 2]);
+        let faces = tri.proper_faces();
+        // 3 vertices + 3 edges.
+        assert_eq!(faces.len(), 6);
+        assert!(!faces.contains(&tri));
+        assert!(faces.contains(&Simplex::new([0, 1])));
+        assert!(faces.contains(&Simplex::vertex(2)));
+    }
+
+    #[test]
+    fn intersection_is_shared_vertices() {
+        let a = Simplex::new([0, 1, 2]);
+        let b = Simplex::new([1, 2, 3]);
+        assert_eq!(a.intersection(&b), Simplex::new([1, 2]));
+        let c = Simplex::new([7, 8]);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(format!("{}", Simplex::new([2, 0])), "⟨0,2⟩");
+    }
+}

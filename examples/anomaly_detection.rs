@@ -1,0 +1,75 @@
+//! Anomaly detection over a full wet-lab session: four timed measurements
+//! (0/6/12/24 h) of a growing anomaly, exported to the paper's text format,
+//! re-imported, solved and visualized.
+//!
+//! ```text
+//! cargo run --release -p parma --example anomaly_detection [n] [seed]
+//! ```
+
+use parma::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    let grid = MeaGrid::square(n);
+    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+
+    println!("Wet-lab session on a {n}×{n} array (seed {seed})");
+    println!("=================================================");
+
+    // Generate the session and round-trip it through the text format the
+    // paper's Excel→text converter produced.
+    let session = WetLabDataset::generate(grid, &cfg, seed).expect("generation succeeds");
+    let path = std::env::temp_dir().join(format!("parma-session-{n}-{seed}.txt"));
+    session.save(&path).expect("save session");
+    let loaded = WetLabDataset::load(&path).expect("reload session");
+    println!(
+        "dataset: {} measurements round-tripped through {}",
+        loaded.measurements.len(),
+        path.display()
+    );
+
+    // Run the pipeline on the *loaded* data (no ground truth available —
+    // exactly the wet lab's situation), then compare against the original
+    // session's ground truth out of band.
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let results = pipeline.run(&loaded).expect("pipeline converges");
+
+    for (r, original) in results.iter().zip(&session.measurements) {
+        let truth = original.ground_truth.as_ref().expect("synthetic session");
+        let err = r.solution.resistors.rel_max_diff(truth);
+        println!(
+            "\nhour {:>2}: {} iterations, residual {:.1e}, vs-truth error {:.1e}, {} anomalous crossings",
+            r.hours,
+            r.solution.iterations,
+            r.solution.residual,
+            err,
+            r.detection.anomalies.len()
+        );
+        render_map(&r.solution.resistors, r.detection.threshold);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// ASCII heat map: '.' healthy, '▒' elevated, '█' above the detection
+/// threshold.
+fn render_map(r: &ResistorGrid, threshold: f64) {
+    let grid = r.grid();
+    let base = r.min();
+    for i in 0..grid.rows() {
+        let mut line = String::with_capacity(grid.cols());
+        for j in 0..grid.cols() {
+            let v = r.get(i, j);
+            line.push(if v > threshold {
+                '█'
+            } else if v > base * 1.15 {
+                '▒'
+            } else {
+                '.'
+            });
+        }
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Topological anomaly analysis over a wet-lab session: persistent
+//! homology counts and ranks anomaly regions without any resistance
+//! threshold, and tracks their prominence as they grow through the
+//! 0/6/12/24-hour measurements.
+//!
+//! ```text
+//! cargo run --release -p parma --example persistence_study [n] [seed]
+//! ```
+
+use parma::persistence::anomaly_persistence;
+use parma::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(18);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
+
+    let grid = MeaGrid::square(n);
+    let cfg = AnomalyConfig { regions: 2, ..Default::default() };
+    let session = WetLabDataset::generate(grid, &cfg, seed).expect("session");
+
+    println!("Persistence study — {n}×{n} array, {} planted regions (seed {seed})", cfg.regions);
+    println!("=================================================================\n");
+
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let results = pipeline.run(&session).expect("pipeline");
+
+    for r in &results {
+        let analysis = anomaly_persistence(&r.solution.resistors, 800.0);
+        println!(
+            "hour {:>2}: {} significant region(s) above 800 kΩ prominence",
+            r.hours,
+            analysis.regions.len()
+        );
+        for (idx, reg) in analysis.regions.iter().enumerate() {
+            let merge = reg
+                .merge_resistance
+                .map(|m| format!("{m:.0} kΩ"))
+                .unwrap_or_else(|| "never (dominant)".into());
+            println!(
+                "    region {}: peak {:.0} kΩ, merges at {}, prominence {:.0} kΩ",
+                idx + 1,
+                reg.peak_resistance,
+                merge,
+                reg.prominence
+            );
+        }
+        // The classic barcode view: all β₀ intervals sorted by persistence.
+        let all = analysis.barcode.in_dim(0);
+        let noise_classes = all.len() - analysis.regions.len();
+        println!("    (+ {noise_classes} sub-threshold noise classes filtered)");
+    }
+
+    println!("\nprominence should grow monotonically hour over hour — the anomaly");
+    println!("is growing, and persistence sees it without any threshold tuning.");
+}

@@ -1,0 +1,88 @@
+//! Scaling study: the paper's §V experiments in miniature.
+//!
+//! Times equation formation under every execution strategy, sweeps the
+//! fine-grained worker count, and extends to 1,024 simulated MPI ranks.
+//!
+//! ```text
+//! cargo run --release -p parma --example scaling_study [n]
+//! ```
+
+use mea_equations::FormationCensus;
+use mea_model::{AnomalyConfig, ForwardSolver};
+use mea_parallel::{
+    mpi_sim::{measure_costs, simulate, ClusterModel},
+    Strategy,
+};
+use parma::form_equations_parallel;
+use parma::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let grid = MeaGrid::square(n);
+    let (truth, _) = AnomalyConfig::default().generate(grid, 1);
+    let z = ForwardSolver::new(&truth).expect("physical map").solve_all();
+
+    println!("Scaling study — {n}×{n} array");
+    let census = FormationCensus::expected(grid);
+    println!(
+        "workload: {} equations ({} terms) across {} pairs\n",
+        census.equations,
+        census.terms,
+        grid.pairs()
+    );
+
+    // --- Strategy comparison (the Figure-6 shape) ---------------------
+    println!("{:<24} {:>12} {:>14}", "strategy", "time (ms)", "speedup");
+    let strategies = [
+        Strategy::SingleThread,
+        Strategy::Parallel4,
+        Strategy::BalancedParallel { threads: 4 },
+        Strategy::FineGrained { threads: 4 },
+        Strategy::WorkStealing { threads: 4 },
+    ];
+    let mut baseline_ms = None;
+    for s in strategies {
+        let t0 = Instant::now();
+        let eqs = form_equations_parallel(&z, 5.0, s);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(eqs.len(), census.equations);
+        let base = *baseline_ms.get_or_insert(ms);
+        println!("{:<24} {:>12.2} {:>13.2}x", s.label(), ms, base / ms);
+    }
+
+    // --- PyMP-k sweep (the Figure-7 shape) -----------------------------
+    println!("\n{:<12} {:>12}", "workers k", "time (ms)");
+    for k in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let _ = form_equations_parallel(&z, 5.0, Strategy::FineGrained { threads: k });
+        println!("{:<12} {:>12.2}", k, t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // --- Simulated MPI strong scaling (the Figure-10 shape) ------------
+    println!("\nsimulated MPI (measured per-pair costs, α-β collectives):");
+    println!("{:>8} {:>14} {:>12} {:>12}", "ranks", "sim time (ms)", "speedup", "efficiency");
+    let costs = measure_costs(grid.pairs(), |p| {
+        let (i, j) = (p / grid.cols(), p % grid.cols());
+        std::hint::black_box(mea_equations::form_pair_equations(grid, i, j, 5.0, z.get(i, j)));
+    });
+    let cluster = ClusterModel::paper_hpc();
+    let bytes_per_round = 8 * grid.pairs(); // one f64 conductance per pair
+    for ranks in [1usize, 4, 16, 64, 256, 1024] {
+        let rep = simulate(&cluster, ranks, &costs, 10, bytes_per_round);
+        println!(
+            "{:>8} {:>14.3} {:>11.1}x {:>11.1}%",
+            ranks,
+            rep.total_secs * 1e3,
+            rep.speedup(),
+            rep.efficiency() * 100.0
+        );
+    }
+    println!(
+        "\ntopological parallelism bound β₁ = {} (useful ranks cap)",
+        parallelism_bound(grid)
+    );
+}

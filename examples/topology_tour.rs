@@ -1,0 +1,97 @@
+//! A tour of the algebraic-topological machinery behind Parma — the §III
+//! story on the paper's own 3×3 running example (Figures 1–5).
+//!
+//! ```text
+//! cargo run --release -p parma --example topology_tour [n]
+//! ```
+
+use mea_equations::{form_pair_equations, render_equation, PairTopology};
+use mea_model::{enumerate_paths, exact_path_count, paper_path_count, MeaGrid};
+use mea_topology::{
+    betti_numbers, euler_characteristic, fundamental_cycles, homology, mea_complex,
+};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let grid = MeaGrid::square(n);
+
+    println!("Topological tour of an {n}×{n} MEA");
+    println!("===================================\n");
+
+    // --- Figure 1: the joint-level device -----------------------------
+    let complex = mea_complex::mea_to_complex(n, n);
+    println!("joint-level simplicial complex (Proposition 1):");
+    println!("  dimension        : {:?} (an MEA is a 1-complex)", complex.dim());
+    println!("  0-simplices      : {} joints (2n²)", complex.count(0));
+    println!("  1-simplices      : {} wire segments + resistors", complex.count(1));
+    println!("  Euler char χ     : {}", euler_characteristic(&complex));
+
+    // --- Homology groups and Betti numbers ----------------------------
+    let betti = betti_numbers(&complex);
+    println!("\nhomology over GF(2):");
+    for (k, b) in betti.iter().enumerate() {
+        println!("  β{k} = {b}");
+    }
+    println!("  β₁ = (n−1)² = {} independent Kirchhoff cycles", (n - 1) * (n - 1));
+
+    let h = homology(&complex);
+    if let Some(h1) = h.get(1) {
+        println!(
+            "  H¹ has 2^{} elements; a generator touches {} edges",
+            h1.betti,
+            h1.generators.first().map_or(0, |g| g.weight())
+        );
+    }
+
+    // --- Fundamental cycles: the parallel work units -------------------
+    let basis = fundamental_cycles(&complex);
+    println!("\nfundamental cycle basis (spanning-tree chords):");
+    println!("  rank      : {} (= β₁)", basis.rank());
+    if let Some(c) = basis.cycles.first() {
+        println!("  first cycle walk: {:?}", c.walk);
+    }
+
+    // --- §II-C: the exponential path problem ---------------------------
+    println!("\npath census between one endpoint pair:");
+    println!("  exact simple paths : {}", exact_path_count(grid));
+    println!("  paper estimate     : n^(n−1) = {}", paper_path_count(n, false));
+    println!(
+        "  whole-array        : n^(n+1) = {} (infeasible past n ≈ 6)",
+        paper_path_count(n, true)
+    );
+    if n <= 4 {
+        let paths = enumerate_paths(grid, n - 1, 0, None);
+        println!("  enumerated {} paths from wire {} to wire I:", paths.len(),
+            grid.horizontal_name(n - 1));
+        for p in paths.iter().take(9) {
+            let hops: Vec<String> = p
+                .crossings
+                .iter()
+                .map(|&(i, j)| format!("R[{},{}]", grid.horizontal_name(i), grid.vertical_name(j)))
+                .collect();
+            println!("    {}", hops.join(" → "));
+        }
+    }
+
+    // --- §IV-A: the joint-constraint transformation --------------------
+    let pt = PairTopology::new(grid, n - 1, 0);
+    let (joints, paths) = pt.constraint_saving();
+    println!("\njoint-constraint transformation (Figure 5):");
+    println!("  joints per pair    : {joints} (2n)");
+    println!("  paths per pair     : {paths}");
+    println!("  whole array        : {} joints vs {} paths",
+        PairTopology::array_totals(grid).0,
+        PairTopology::array_totals(grid).1);
+
+    let eqs = form_pair_equations(grid, n - 1, 0, 5.0, 1000.0);
+    println!("\nthe {} equations of pair ({}, I):", eqs.len(), grid.horizontal_name(n - 1));
+    for eq in eqs.iter().take(6) {
+        println!("  {}", render_equation(eq, grid));
+    }
+    if eqs.len() > 6 {
+        println!("  … and {} more", eqs.len() - 6);
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-crate integration: the full wet-lab workflow from synthetic
+//! device to anomaly report, through the text dataset format.
+
+use parma::prelude::*;
+
+#[test]
+fn full_session_measure_export_import_solve_detect() {
+    let grid = MeaGrid::square(10);
+    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+    let session = WetLabDataset::generate(grid, &cfg, 101).unwrap();
+
+    // Export and re-import the session (the Excel→text pipeline stand-in).
+    let mut buf = Vec::new();
+    session.write_text(&mut buf).unwrap();
+    let loaded = WetLabDataset::read_text(&buf[..]).unwrap();
+    assert_eq!(loaded.measurements.len(), 4);
+
+    // Solve each time point of the *loaded* session.
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let results = pipeline.run(&loaded).unwrap();
+    assert_eq!(results.len(), 4);
+
+    // Compare against the original ground truth, out of band.
+    for (r, original) in results.iter().zip(&session.measurements) {
+        let truth = original.ground_truth.as_ref().unwrap();
+        let err = r.solution.resistors.rel_max_diff(truth);
+        // The text format stores 10 significant digits, so recovery is
+        // bounded by serialization precision, not solver precision.
+        assert!(err < 1e-5, "hour {}: error {err}", r.hours);
+    }
+}
+
+#[test]
+fn detection_localizes_the_planted_region() {
+    let grid = MeaGrid::square(16);
+    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+    let (truth, regions) = cfg.generate(grid, 11);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let solution = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+    let report = detect_anomalies(&solution.resistors, 1.5);
+    let (precision, recall) = report.score(&solution.resistors, &regions, 0.5 * cfg.baseline);
+    assert!(precision > 0.7, "precision {precision}");
+    assert!(recall > 0.7, "recall {recall}");
+}
+
+#[test]
+fn solver_scales_to_paper_minimum_workload() {
+    // n = 10 is the smallest scale in the paper's sweep; the full pipeline
+    // (measure → solve → detect) must converge tightly there.
+    let grid = MeaGrid::square(10);
+    let (truth, _) = AnomalyConfig::default().generate(grid, 5);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+    assert!(sol.residual <= 1e-10);
+    assert!(sol.resistors.rel_max_diff(&truth) < 1e-6);
+}
+
+#[test]
+fn measured_costs_drive_a_sane_mpi_projection() {
+    use mea_parallel::mpi_sim::{measure_costs, simulate, ClusterModel};
+    let grid = MeaGrid::square(12);
+    let (truth, _) = AnomalyConfig::default().generate(grid, 3);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let costs = measure_costs(grid.pairs(), |p| {
+        let (i, j) = (p / grid.cols(), p % grid.cols());
+        std::hint::black_box(mea_equations::form_pair_equations(
+            grid,
+            i,
+            j,
+            5.0,
+            z.get(i, j),
+        ));
+    });
+    let cluster = ClusterModel::paper_hpc();
+    let one = simulate(&cluster, 1, &costs, 5, 8 * grid.pairs());
+    let sixteen = simulate(&cluster, 16, &costs, 5, 8 * grid.pairs());
+    assert!(sixteen.total_secs < one.total_secs, "parallelism must help in-node");
+}

@@ -1,0 +1,118 @@
+//! Failure injection across the workspace: malformed inputs, non-physical
+//! values and exhausted budgets must produce typed errors, never panics or
+//! silent garbage.
+
+use mea_model::DatasetError;
+use parma::prelude::*;
+use parma::ParmaError;
+
+#[test]
+fn nonphysical_measurements_are_rejected_everywhere() {
+    let grid = MeaGrid::square(3);
+    for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+        let z = CrossingMatrix::filled(grid, bad);
+        assert!(
+            matches!(
+                ParmaSolver::new(ParmaConfig::default()).solve(&z),
+                Err(ParmaError::InvalidMeasurement(_))
+            ),
+            "solver must reject Z = {bad}"
+        );
+        assert!(ForwardSolver::new(&z).is_err(), "forward must reject R = {bad}");
+    }
+}
+
+#[test]
+fn dataset_parser_rejects_malformed_files() {
+    let cases: &[(&str, &str)] = &[
+        ("", "empty file"),
+        ("garbage header\n", "bad header"),
+        ("# parma-dataset v1\n", "missing dims"),
+        ("# parma-dataset v1\nrows 2\n", "missing cols"),
+        ("# parma-dataset v1\nrows 0\ncols 2\n", "zero rows"),
+        ("# parma-dataset v1\nrows 2\ncols 2\nnot-a-measurement\n", "bad section"),
+        (
+            "# parma-dataset v1\nrows 2\ncols 2\nmeasurement x 5\n",
+            "bad hours",
+        ),
+        (
+            "# parma-dataset v1\nrows 2\ncols 2\nmeasurement 0 5\n1.0\tbeef\n1.0\t1.0\n",
+            "bad value",
+        ),
+        (
+            "# parma-dataset v1\nrows 2\ncols 2\nmeasurement 0 5\n1.0\t2.0\n",
+            "truncated",
+        ),
+        (
+            "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\t0.0\n",
+            "zero impedance",
+        ),
+    ];
+    for (text, label) in cases {
+        let err = WetLabDataset::read_text(text.as_bytes());
+        assert!(
+            matches!(err, Err(DatasetError::Parse(_))),
+            "case {label:?} must raise a parse error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_surfaces_partial_state() {
+    let grid = MeaGrid::square(8);
+    let (truth, _) = AnomalyConfig::default().generate(grid, 4);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let cfg = ParmaConfig { max_iter: 1, tol: 1e-15, ..Default::default() };
+    match ParmaSolver::new(cfg).solve(&z) {
+        Err(ParmaError::NoConvergence { iterations, residual, partial }) => {
+            assert_eq!(iterations, 1);
+            assert!(residual.is_finite() && residual > 0.0);
+            assert!(partial.is_physical(), "partial iterate must stay physical");
+        }
+        other => panic!("expected NoConvergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn pathological_but_physical_measurements_do_not_panic() {
+    // Wildly inconsistent Z (not produced by any physical R) must either
+    // converge to *some* physical map or fail with a typed error.
+    let grid = MeaGrid::square(4);
+    let mut z = CrossingMatrix::filled(grid, 1000.0);
+    z.set(0, 0, 1e-3);
+    z.set(3, 3, 1e9);
+    match ParmaSolver::new(ParmaConfig { max_iter: 50, ..Default::default() }).solve(&z) {
+        Ok(sol) => assert!(sol.resistors.is_physical()),
+        Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn extreme_dynamic_range_stays_stable() {
+    // Five orders of magnitude between crossings: the solver must still
+    // round-trip.
+    let grid = MeaGrid::square(4);
+    let mut truth = CrossingMatrix::filled(grid, 2_000.0);
+    truth.set(1, 1, 200_000.0);
+    truth.set(2, 3, 20.0);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let cfg = ParmaConfig { max_iter: 5_000, ..Default::default() };
+    let sol = ParmaSolver::new(cfg).solve(&z).unwrap();
+    assert!(
+        sol.resistors.rel_max_diff(&truth) < 1e-4,
+        "dynamic-range error {}",
+        sol.resistors.rel_max_diff(&truth)
+    );
+}
+
+#[test]
+fn single_crossing_degenerate_device() {
+    // n = 1: no cycles, no intermediates — Z IS the resistor.
+    let grid = MeaGrid::square(1);
+    let truth = CrossingMatrix::filled(grid, 4242.0);
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
+    assert!((sol.resistors.get(0, 0) - 4242.0).abs() < 1e-6);
+    assert_eq!(parma::parallelism_bound(grid), 0);
+}

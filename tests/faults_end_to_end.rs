@@ -1,0 +1,81 @@
+//! Hardware-fault pipeline: inject device faults, measure, recover, and
+//! classify — the maintenance workflow a deployed MEA system needs on top
+//! of the biological one.
+
+use mea_model::faults::{apply_faults, classify_faults, Fault, OPEN_RESISTANCE};
+use parma::prelude::*;
+
+fn healthy(n: usize) -> ResistorGrid {
+    CrossingMatrix::filled(MeaGrid::square(n), 2000.0)
+}
+
+#[test]
+fn recovered_map_exposes_an_open_circuit() {
+    let faulty = apply_faults(&healthy(8), &[Fault::OpenCircuit { i: 3, j: 5 }]);
+    let z = ForwardSolver::new(&faulty).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
+        .solve(&z)
+        .unwrap();
+    let (opens, shorts) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
+    assert_eq!(opens, vec![(3, 5)]);
+    assert!(shorts.is_empty());
+    // The recovered value is genuinely extreme, not just above threshold.
+    assert!(sol.resistors.get(3, 5) > 0.01 * OPEN_RESISTANCE);
+}
+
+#[test]
+fn recovered_map_exposes_a_short() {
+    let faulty = apply_faults(&healthy(8), &[Fault::ShortCircuit { i: 6, j: 1 }]);
+    let z = ForwardSolver::new(&faulty).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
+        .solve(&z)
+        .unwrap();
+    let (opens, shorts) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
+    assert!(opens.is_empty());
+    assert_eq!(shorts, vec![(6, 1)]);
+}
+
+#[test]
+fn dead_wire_is_recovered_as_a_full_row_of_opens() {
+    let faulty = apply_faults(&healthy(6), &[Fault::DeadHorizontalWire { i: 2 }]);
+    let z = ForwardSolver::new(&faulty).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig { max_iter: 5000, tol: 1e-8, ..Default::default() })
+        .solve(&z)
+        .unwrap();
+    let (opens, _) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
+    let expected: Vec<(usize, usize)> = (0..6).map(|j| (2, j)).collect();
+    assert_eq!(opens, expected);
+}
+
+#[test]
+fn faults_and_anomalies_coexist() {
+    // A biological anomaly AND a hardware open at distinct crossings: the
+    // open shows up in the fault classification, the anomaly in the
+    // detection report, and neither masks the other.
+    let grid = MeaGrid::square(10);
+    let cfg = AnomalyConfig { regions: 0, ..Default::default() };
+    let base = cfg.render(
+        grid,
+        &[mea_model::AnomalyRegion {
+            center_row: 7.0,
+            center_col: 7.0,
+            radius_rows: 1.8,
+            radius_cols: 1.8,
+            amplitude: 6000.0,
+        }],
+        3,
+    );
+    let faulty = apply_faults(&base, &[Fault::OpenCircuit { i: 1, j: 1 }]);
+    let z = ForwardSolver::new(&faulty).unwrap().solve_all();
+    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
+        .solve(&z)
+        .unwrap();
+    let (opens, _) = classify_faults(&sol.resistors, 2000.0, 50.0, 50.0);
+    assert_eq!(opens, vec![(1, 1)], "the hardware open is classified");
+    let detection = parma::detect_anomalies(&sol.resistors, 1.5);
+    assert!(
+        detection.anomalies.contains(&(7, 7)),
+        "the biological anomaly is still detected: {:?}",
+        detection.anomalies
+    );
+}
