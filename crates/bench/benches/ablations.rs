@@ -16,7 +16,9 @@ use std::time::Duration;
 fn bench_initial_guess(c: &mut Criterion) {
     let w = Workload::new(12);
     let mut group = c.benchmark_group("ablation_initial_guess_n12");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("scaled_kappa_seed", |b| {
         b.iter(|| {
             black_box(
@@ -43,15 +45,26 @@ fn bench_initial_guess(c: &mut Criterion) {
 fn bench_damping(c: &mut Criterion) {
     let w = Workload::new(10);
     let mut group = c.benchmark_group("ablation_damping_n10");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     for multiplier in [1.0f64, 0.5, 0.25] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("alpha_x{multiplier}")),
             &multiplier,
             |b, &m| {
-                let cfg = ParmaConfig { damping: m, max_iter: 20_000, ..Default::default() };
+                let cfg = ParmaConfig {
+                    damping: m,
+                    max_iter: 20_000,
+                    ..Default::default()
+                };
                 b.iter(|| {
-                    black_box(ParmaSolver::new(cfg).solve(black_box(&w.z)).unwrap().iterations)
+                    black_box(
+                        ParmaSolver::new(cfg)
+                            .solve(black_box(&w.z))
+                            .unwrap()
+                            .iterations,
+                    )
                 });
             },
         );
@@ -65,7 +78,9 @@ fn bench_small_scale_overhead(c: &mut Criterion) {
     // schedules.
     let w = Workload::new(4);
     let mut group = c.benchmark_group("ablation_tiny_scale_n4");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for strategy in [
         Strategy::SingleThread,
         Strategy::BalancedParallel { threads: 4 },
@@ -91,7 +106,9 @@ fn bench_hetero_partitioning(c: &mut Criterion) {
     let model = HeteroClusterModel::mixed(ClusterModel::paper_hpc(), 64, 3.0, 1.0);
     let costs = vec![1e-4f64; 2500];
     let mut group = c.benchmark_group("ablation_hetero_partition");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for policy in [HeteroPartition::Naive, HeteroPartition::SpeedWeighted] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
@@ -115,10 +132,16 @@ fn bench_solver_variants(c: &mut Criterion) {
         *v *= kappa;
     }
     let mut group = c.benchmark_group("ablation_solver_variants_n6");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("parma_fixed_point", |b| {
         b.iter(|| {
-            black_box(ParmaSolver::new(ParmaConfig::default()).solve(black_box(&w.z)).unwrap())
+            black_box(
+                ParmaSolver::new(ParmaConfig::default())
+                    .solve(black_box(&w.z))
+                    .unwrap(),
+            )
         });
     });
     group.bench_function("dense_gauss_newton", |b| {

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_rank_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_rank_kernel");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [10usize, 50] {
         let w = Workload::new(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_strategies(c: &mut Criterion) {
     let w = Workload::new(20);
     let mut group = c.benchmark_group("fig6_formation_n20");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for strategy in [
         Strategy::SingleThread,
         Strategy::Parallel4,
@@ -33,7 +35,9 @@ fn bench_strategies(c: &mut Criterion) {
     // paper's n = 10 inversion).
     let w10 = Workload::new(10);
     let mut small = c.benchmark_group("fig6_formation_n10");
-    small.sample_size(20).measurement_time(Duration::from_secs(3));
+    small
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for strategy in [Strategy::SingleThread, Strategy::FineGrained { threads: 4 }] {
         small.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),

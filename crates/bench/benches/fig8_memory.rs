@@ -14,7 +14,9 @@ fn bench_allocation_profile(c: &mut Criterion) {
     // benching the formation at several n pins the growth rate the CDF
     // ranges over.
     let mut group = c.benchmark_group("fig8_formation_alloc");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [10usize, 20, 30] {
         let w = Workload::new(n);
         group.throughput(Throughput::Bytes((w.grid.equations() * 64) as u64));
@@ -33,7 +35,8 @@ fn bench_allocation_profile(c: &mut Criterion) {
         })
         .collect();
     let mut post = c.benchmark_group("fig8_cdf_post");
-    post.sample_size(20).measurement_time(Duration::from_secs(3));
+    post.sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     post.bench_function("cdf_100k_samples", |b| {
         b.iter(|| {
             let cdf = MemoryCdf::from_samples(black_box(&samples));

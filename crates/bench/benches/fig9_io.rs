@@ -16,7 +16,9 @@ fn bench_end_to_end_io(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).expect("temp dir");
 
     let mut group = c.benchmark_group("fig9_formation_plus_io_n16");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for k in [1usize, 2, 4] {
         let path = dir.join(format!("bench-eqs-{k}.txt"));
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {

@@ -13,12 +13,16 @@ use std::time::Duration;
 
 fn bench_gf2_rank(c: &mut Criterion) {
     let mut group = c.benchmark_group("gf2_rank");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for size in [64usize, 256] {
         // A pseudo-random dense GF(2) matrix.
         let mut state = 0x9E3779B97F4A7C15u64;
         let ones = (0..size * size / 2).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 20) as usize % size, (state >> 40) as usize % size)
         });
         let m = GF2Matrix::from_ones(size, size, ones);
@@ -31,7 +35,9 @@ fn bench_gf2_rank(c: &mut Criterion) {
 
 fn bench_homology(c: &mut Criterion) {
     let mut group = c.benchmark_group("mea_betti_numbers");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [8usize, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
@@ -45,7 +51,9 @@ fn bench_homology(c: &mut Criterion) {
 
 fn bench_forward_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward_solver");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [20usize, 50, 100] {
         let w = Workload::new(n);
         group.bench_with_input(BenchmarkId::new("factor_and_solve_all", n), &w, |b, w| {
@@ -60,7 +68,9 @@ fn bench_forward_solver(c: &mut Criterion) {
 
 fn bench_inverse_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("parma_inverse_solve");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for n in [10usize, 20] {
         let w = Workload::new(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
@@ -77,7 +87,9 @@ fn bench_inverse_solve(c: &mut Criterion) {
 
 fn bench_linalg_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg_kernels");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     // Dense Cholesky of a grounded MEA Laplacian (order 2n−1 = 199).
     let w = Workload::new(100);
     group.bench_function("cholesky_inverse_199", |b| {
@@ -116,9 +128,7 @@ fn bench_linalg_kernels(c: &mut Criterion) {
         }
         let a = t.to_csr();
         let rhs = vec![1.0; n];
-        b.iter(|| {
-            black_box(conjugate_gradient(&a, &rhs, None, &CgOptions::default()).unwrap())
-        });
+        b.iter(|| black_box(conjugate_gradient(&a, &rhs, None, &CgOptions::default()).unwrap()));
     });
     group.finish();
 }
@@ -127,7 +137,9 @@ fn bench_path_blowup(c: &mut Criterion) {
     // The exponential baseline: path enumeration cost doubles the paper's
     // point that the pre-Parma formulation cannot scale.
     let mut group = c.benchmark_group("baseline_path_enumeration");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [4usize, 5, 6] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let grid = MeaGrid::square(n);

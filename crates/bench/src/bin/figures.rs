@@ -15,7 +15,9 @@ use mea_memtrack::{MemoryCdf, MemorySampler, TrackingAllocator};
 use mea_parallel::mpi_sim::{measure_costs, simulate, ClusterModel};
 use mea_parallel::Strategy;
 use parma::form_equations_parallel;
-use parma_bench::{default_scales, default_workers, ms, row, time_secs, time_secs_best_of, Workload};
+use parma_bench::{
+    default_scales, default_workers, ms, row, time_secs, time_secs_best_of, Workload,
+};
 use std::io::BufWriter;
 use std::time::Duration;
 
@@ -27,7 +29,22 @@ static ALLOC: TrackingAllocator = TrackingAllocator::new();
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let trace = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace needs a file path");
+            std::process::exit(2);
+        })
+    });
+    let which = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--trace"))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_default();
+    if trace.is_some() {
+        mea_obs::reset();
+        mea_obs::set_enabled(true);
+    }
     match which.as_str() {
         "fig6" => fig6(full),
         "fig7" => fig7(full),
@@ -43,9 +60,18 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure {other:?}");
-            eprintln!("usage: figures <fig6|fig7|fig8|fig9|fig10|all> [--full]");
+            eprintln!("usage: figures <fig6|fig7|fig8|fig9|fig10|all> [--full] [--trace <file>]");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = trace {
+        mea_obs::set_enabled(false);
+        let json = mea_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write trace {path:?}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("trace written to {path}");
     }
 }
 
@@ -66,8 +92,7 @@ fn fig6(full: bool) {
         let cells: Vec<String> = strategies
             .iter()
             .map(|&s| {
-                let (eqs, secs) =
-                    time_secs_best_of(3, || form_equations_parallel(&w.z, 5.0, s));
+                let (eqs, secs) = time_secs_best_of(3, || form_equations_parallel(&w.z, 5.0, s));
                 assert_eq!(eqs.len(), w.grid.equations());
                 drop(eqs);
                 ms(secs)
@@ -102,24 +127,39 @@ fn fig7(full: bool) {
 /// Figure 8: memory-usage CDFs during formation at various (n, k).
 fn fig8(full: bool) {
     println!("\n=== Figure 8: memory-usage CDFs during formation ===");
-    let scales = if full { vec![20, 60, 100] } else { vec![10, 30, 50] };
-    let workers = if full { vec![1usize, 2, 4, 8] } else { vec![1usize, 2, 4] };
+    let scales = if full {
+        vec![20, 60, 100]
+    } else {
+        vec![10, 30, 50]
+    };
+    let workers = if full {
+        vec![1usize, 2, 4, 8]
+    } else {
+        vec![1usize, 2, 4]
+    };
     for n in scales {
         println!("\n-- n = {n} --");
         println!(
             "{}",
             row(
                 "k",
-                &["p10 MB".into(), "p50 MB".into(), "p90 MB".into(), "peak MB".into(),
-                  "%time<½·peak".into(), "time ms".into()]
+                &[
+                    "p10 MB".into(),
+                    "p50 MB".into(),
+                    "p90 MB".into(),
+                    "peak MB".into(),
+                    "%time<½·peak".into(),
+                    "time ms".into()
+                ]
             )
         );
         for &k in &workers {
             let w = Workload::new(n);
             mea_memtrack::reset_peak();
             let sampler = MemorySampler::start(Duration::from_micros(500));
-            let (eqs, secs) =
-                time_secs(|| form_equations_parallel(&w.z, 5.0, Strategy::FineGrained { threads: k }));
+            let (eqs, secs) = time_secs(|| {
+                form_equations_parallel(&w.z, 5.0, Strategy::FineGrained { threads: k })
+            });
             let samples = sampler.stop();
             let census = FormationCensus::of(&eqs);
             assert_eq!(census.equations, w.grid.equations());
@@ -179,7 +219,11 @@ fn fig9(full: bool) {
 fn fig10(full: bool) {
     println!("\n=== Figure 10: simulated MPI strong scaling (time ms) ===");
     let ranks: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-    let workloads = if full { vec![10, 20, 50, 100] } else { vec![10, 20, 50] };
+    let workloads = if full {
+        vec![10, 20, 50, 100]
+    } else {
+        vec![10, 20, 50]
+    };
     let header: Vec<String> = ranks.iter().map(|r| format!("p={r}")).collect();
     println!("{}", row("n \\ ranks", &header));
     let cluster = ClusterModel::paper_hpc();
@@ -204,7 +248,11 @@ fn fig10(full: bool) {
         println!("{}", row(&format!("{n}x{n}"), &cells));
     }
     println!("\nspeedup at p = 1024 (linear ⇒ ≈ compute-bound):");
-    for n in if full { vec![10, 50, 100] } else { vec![10, 50] } {
+    for n in if full {
+        vec![10, 50, 100]
+    } else {
+        vec![10, 50]
+    } {
         let w = Workload::new(n);
         let grid = w.grid;
         let costs = measure_costs(grid.pairs(), |p| {
@@ -218,6 +266,10 @@ fn fig10(full: bool) {
             ));
         });
         let rep = simulate(&cluster, 1024, &costs, 10, 8 * grid.pairs());
-        println!("  {n}x{n}: {:.1}x (efficiency {:.1}%)", rep.speedup(), rep.efficiency() * 100.0);
+        println!(
+            "  {n}x{n}: {:.1}x (efficiency {:.1}%)",
+            rep.speedup(),
+            rep.efficiency() * 100.0
+        );
     }
 }

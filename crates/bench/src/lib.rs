@@ -122,7 +122,10 @@ mod tests {
         });
         assert_eq!(v, 3);
         assert_eq!(calls, 3);
-        assert!(secs < 0.003, "minimum must be near the 1 ms first call, got {secs}");
+        assert!(
+            secs < 0.003,
+            "minimum must be near the 1 ms first call, got {secs}"
+        );
     }
 
     #[test]

@@ -59,7 +59,8 @@ impl Args {
 
     /// Required string value, with a command-appropriate error.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// Typed value with a default.
@@ -75,7 +76,8 @@ impl Args {
     /// Required typed value.
     pub fn require_as<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         let s = self.require(key)?;
-        s.parse().map_err(|_| format!("flag --{key} has invalid value {s:?}"))
+        s.parse()
+            .map_err(|_| format!("flag --{key} has invalid value {s:?}"))
     }
 }
 
@@ -107,7 +109,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(parse(&["--n"]).unwrap_err(), ArgError::MissingValue("n".into()));
+        assert_eq!(
+            parse(&["--n"]).unwrap_err(),
+            ArgError::MissingValue("n".into())
+        );
         assert_eq!(
             parse(&["stray"]).unwrap_err(),
             ArgError::UnexpectedPositional("stray".into())

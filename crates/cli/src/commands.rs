@@ -50,10 +50,15 @@ pub fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 42)?;
     let regions: usize = args.get_or("regions", 2)?;
     let path = args.require("out")?;
-    let cfg = AnomalyConfig { regions, ..Default::default() };
-    let session = WetLabDataset::generate(grid, &cfg, seed)
-        .map_err(|e| format!("generation failed: {e}"))?;
-    session.save(path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    let cfg = AnomalyConfig {
+        regions,
+        ..Default::default()
+    };
+    let session =
+        WetLabDataset::generate(grid, &cfg, seed).map_err(|e| format!("generation failed: {e}"))?;
+    session
+        .save(path)
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
     writeln!(
         out,
         "wrote {path}: {}×{} array, {} measurements (0/6/12/24 h), {} anomaly region(s), seed {seed}",
@@ -73,11 +78,28 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let tol: f64 = args.get_or("tol", 1e-10)?;
     let detect_factor: f64 = args.get_or("detect", 1.5)?;
     let prominence: f64 = args.get_or("prominence", 800.0)?;
+    let trace_path = args.get("trace");
     let session =
         WetLabDataset::load(path).map_err(|e| format!("cannot load dataset {path:?}: {e}"))?;
-    let config = ParmaConfig { tol, ..Default::default() }.with_strategy(strategy);
-    let pipeline = Pipeline::new(config, detect_factor);
-    let results = pipeline.run(&session).map_err(|e| format!("solve failed: {e}"))?;
+    let config = ParmaConfig {
+        tol,
+        ..Default::default()
+    }
+    .with_strategy(strategy);
+    let pipeline =
+        Pipeline::new(config, detect_factor).map_err(|e| format!("bad configuration: {e}"))?;
+    if trace_path.is_some() {
+        mea_obs::reset();
+        mea_obs::set_enabled(true);
+    }
+    let run_result = pipeline.run(&session);
+    if let Some(trace) = trace_path {
+        mea_obs::set_enabled(false);
+        let json = mea_obs::snapshot().to_json();
+        std::fs::write(trace, json).map_err(|e| format!("cannot write trace {trace:?}: {e}"))?;
+        writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())?;
+    }
+    let results = run_result.map_err(|e| format!("solve failed: {e}"))?;
     writeln!(
         out,
         "{path}: {}×{} array, strategy {}",
@@ -205,7 +227,8 @@ pub fn verify<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     if census == expected {
-        writeln!(out, "census matches the §IV-A formulas — file is complete").map_err(|e| e.to_string())?;
+        writeln!(out, "census matches the §IV-A formulas — file is complete")
+            .map_err(|e| e.to_string())?;
         Ok(())
     } else {
         Err(format!(

@@ -39,6 +39,8 @@ USAGE:
   parma generate  --n <N> [--rows R --cols C] [--seed S] [--regions K] --out <file>
   parma solve     --input <file> [--strategy single|parallel|balanced|pymp|worksteal]
                   [--threads T] [--tol E] [--detect F] [--prominence P]
+                  [--trace <file>]   write a JSON trace (stage timings, solver
+                                     residual curves, scheduler stats)
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
   parma verify    --n <N> --input <equation-file>
@@ -83,13 +85,20 @@ mod tests {
         let path = dir.join("session.txt");
         let path_s = path.to_str().unwrap();
 
-        let gen_out =
-            run_str(&["generate", "--n", "6", "--seed", "9", "--out", path_s]).unwrap();
+        let gen_out = run_str(&["generate", "--n", "6", "--seed", "9", "--out", path_s]).unwrap();
         assert!(gen_out.contains("4 measurements"));
         assert!(path.exists());
 
-        let solve_out = run_str(&["solve", "--input", path_s, "--strategy", "pymp",
-            "--threads", "2"]).unwrap();
+        let solve_out = run_str(&[
+            "solve",
+            "--input",
+            path_s,
+            "--strategy",
+            "pymp",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
         assert!(solve_out.contains("hour  0"), "{solve_out}");
         assert!(solve_out.contains("residual"));
         std::fs::remove_file(&path).ok();
@@ -118,6 +127,44 @@ mod tests {
         // And rejects it against the wrong geometry.
         assert!(run_str(&["verify", "--n", "4", "--input", path_s]).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_trace_flag_writes_json_trace() {
+        let dir = std::env::temp_dir().join("parma-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("trace-session.txt");
+        let trace = dir.join("trace.json");
+        run_str(&[
+            "generate",
+            "--n",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&[
+            "solve",
+            "--input",
+            data.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let text = text.trim();
+        assert!(
+            text.starts_with('{') && text.ends_with('}'),
+            "not a JSON object"
+        );
+        for marker in ["\"pipeline/run\"", "parma.solver.residuals", "total_ms"] {
+            assert!(text.contains(marker), "trace missing {marker}");
+        }
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -16,12 +16,11 @@
 //! residuals against per-pair values.
 
 use mea_model::ResistorGrid;
-use serde::{Deserialize, Serialize};
 
 /// The four joint categories of §IV-A. The two intermediate categories
 /// dominate the workload (`n²(n−1)` equations each vs. `n²` for
 /// source/destination) — the skew that motivates *Balanced Parallel*.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConstraintCategory {
     /// 1-to-n flow balance at the driven horizontal wire.
     Source,
@@ -56,7 +55,7 @@ impl ConstraintCategory {
 /// A reference to one potential in the per-pair topology. `Ua`/`Ub` carry
 /// the *compressed* index (`k'`/`m'`), i.e. a direct offset into
 /// [`PairValues::ua`]/[`PairValues::ub`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PotentialRef {
     /// The applied end-to-end voltage `U_ij` (the source rail).
     Applied,
@@ -69,7 +68,7 @@ pub enum PotentialRef {
 }
 
 /// One current term: `sign · (p(from) − p(to)) / R[resistor]`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FlowTerm {
     /// Higher-potential end of the branch (by convention of the equation).
     pub from: PotentialRef,
@@ -107,7 +106,7 @@ impl PairValues<'_> {
 }
 
 /// One joint-constraint equation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Equation {
     /// The endpoint pair `(i, j)` this equation belongs to.
     pub pair: (u16, u16),
@@ -175,10 +174,18 @@ mod tests {
                 sign: 1,
             }],
         };
-        let v = PairValues { r: &r, ua: &[], ub: &[], voltage: 5.0 };
+        let v = PairValues {
+            r: &r,
+            ua: &[],
+            ub: &[],
+            voltage: 5.0,
+        };
         assert!(eq.residual(&v).abs() < 1e-15);
         // Wrong Z → nonzero residual.
-        let eq_bad = Equation { rhs: 5.0 / 900.0, ..eq };
+        let eq_bad = Equation {
+            rhs: 5.0 / 900.0,
+            ..eq
+        };
         assert!(eq_bad.residual(&v).abs() > 1e-6);
     }
 
@@ -188,7 +195,12 @@ mod tests {
         let r = Cm::filled(grid, 10.0);
         let ua = [3.0];
         let ub = [2.0];
-        let v = PairValues { r: &r, ua: &ua, ub: &ub, voltage: 5.0 };
+        let v = PairValues {
+            r: &r,
+            ua: &ua,
+            ub: &ub,
+            voltage: 5.0,
+        };
         let eq = Equation {
             pair: (0, 0),
             category: ConstraintCategory::IntermediateUa,

@@ -191,11 +191,13 @@ pub fn form_category_equations(
 /// baseline of §V). Measured impedances come from `z`; the same `voltage`
 /// is applied to every pair (5 V in the paper's lab).
 pub fn form_all_equations(z: &ZMatrix, voltage: f64) -> Vec<Equation> {
+    let _span = mea_obs::span("equations/form_all");
     let grid = z.grid();
     let mut out = Vec::with_capacity(grid.equations());
     for (i, j) in grid.pair_iter() {
         out.extend(form_pair_equations(grid, i, j, voltage, z.get(i, j)));
     }
+    mea_obs::counter_add("equations.formed", out.len() as u64);
     out
 }
 
@@ -219,7 +221,11 @@ impl FormationCensus {
             per_category[e.category.index()] += 1;
             terms += e.term_count();
         }
-        FormationCensus { per_category, equations: equations.len(), terms }
+        FormationCensus {
+            per_category,
+            equations: equations.len(),
+            terms,
+        }
     }
 
     /// The analytic census for a grid, without forming anything.
@@ -230,7 +236,11 @@ impl FormationCensus {
         let equations = per_category.iter().sum();
         // Terms: source n, dest m, each Ua 1+(m−1)=m, each Ub (n−1)+1=n.
         let terms = pairs * (n + m + (n - 1) * m + (m - 1) * n);
-        FormationCensus { per_category, equations, terms }
+        FormationCensus {
+            per_category,
+            equations,
+            terms,
+        }
     }
 }
 
@@ -250,8 +260,12 @@ mod tests {
         assert_eq!(eqs.len(), 8);
         assert_eq!(eqs[0].category, ConstraintCategory::Source);
         assert_eq!(eqs[1].category, ConstraintCategory::Destination);
-        assert!(eqs[2..5].iter().all(|e| e.category == ConstraintCategory::IntermediateUa));
-        assert!(eqs[5..8].iter().all(|e| e.category == ConstraintCategory::IntermediateUb));
+        assert!(eqs[2..5]
+            .iter()
+            .all(|e| e.category == ConstraintCategory::IntermediateUa));
+        assert!(eqs[5..8]
+            .iter()
+            .all(|e| e.category == ConstraintCategory::IntermediateUb));
     }
 
     #[test]
@@ -315,7 +329,10 @@ mod tests {
     fn ub_equation_balances_row_m() {
         let grid = MeaGrid::square(3);
         let eqs = form_pair_equations(grid, 0, 0, 5.0, 1000.0);
-        let ub = eqs.iter().find(|e| e.category == ConstraintCategory::IntermediateUb).unwrap();
+        let ub = eqs
+            .iter()
+            .find(|e| e.category == ConstraintCategory::IntermediateUb)
+            .unwrap();
         assert_eq!(ub.node, 1); // first m ≠ 0
         let resistors: Vec<_> = ub.terms.iter().map(|t| t.resistor).collect();
         // Inflows through R[1][1], R[1][2]; outflow through R[1][0].

@@ -145,7 +145,9 @@ mod tests {
         // test exercises actual solvability).
         for s in 0..5u64 {
             let v: Vec<f64> = (0..jac.cols())
-                .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(s) % 97) as f64 / 97.0 - 0.5)
+                .map(|i| {
+                    ((i as u64).wrapping_mul(2654435761).wrapping_add(s) % 97) as f64 / 97.0 - 0.5
+                })
                 .collect();
             let jv = jac.mul_vec(&v);
             assert!(mea_linalg::vec_ops::norm2(&jv) > 1e-12);
@@ -155,9 +157,8 @@ mod tests {
     #[test]
     fn unknown_vector_length_checked() {
         let (sys, _) = setup(2, 4);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            jacobian(&sys, &[1.0])
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| jacobian(&sys, &[1.0])));
         assert!(result.is_err());
     }
 }

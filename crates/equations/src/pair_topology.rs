@@ -88,7 +88,10 @@ mod tests {
         let grid = MeaGrid::square(3);
         let t = PairTopology::new(grid, 2, 0);
         assert_eq!(t.path_count(), 9);
-        assert_eq!(enumerate_paths(grid, 2, 0, None).len() as u128, t.path_count());
+        assert_eq!(
+            enumerate_paths(grid, 2, 0, None).len() as u128,
+            t.path_count()
+        );
     }
 
     #[test]

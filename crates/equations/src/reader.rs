@@ -28,7 +28,10 @@ impl fmt::Display for ReadError {
 impl std::error::Error for ReadError {}
 
 fn err(line: usize, message: impl Into<String>) -> ReadError {
-    ReadError { line, message: message.into() }
+    ReadError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses an equation file written by [`crate::writer::write_system`] for
@@ -54,7 +57,10 @@ pub fn read_system<R: Read>(grid: MeaGrid, r: R) -> Result<Vec<Equation>, ReadEr
             .as_ref()
             .ok_or_else(|| err(lineno, "equation before any pair header"))?;
         let eq = parse_equation(grid, header, line, lineno, measured_seen)?;
-        if matches!(eq.category, ConstraintCategory::Source | ConstraintCategory::Destination) {
+        if matches!(
+            eq.category,
+            ConstraintCategory::Source | ConstraintCategory::Destination
+        ) {
             measured_seen += 1;
         }
         out.push(eq);
@@ -70,21 +76,39 @@ struct PairHeader {
 
 fn parse_pair_header(grid: MeaGrid, rest: &str, lineno: usize) -> Result<PairHeader, ReadError> {
     // " (A, I): U = 5 V, U/Z = 5.000000000e0 mA"
-    let open = rest.find('(').ok_or_else(|| err(lineno, "missing '(' in pair header"))?;
-    let close = rest.find(')').ok_or_else(|| err(lineno, "missing ')' in pair header"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| err(lineno, "missing '(' in pair header"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| err(lineno, "missing ')' in pair header"))?;
     let names = &rest[open + 1..close];
     let mut parts = names.split(',').map(str::trim);
-    let h = parts.next().ok_or_else(|| err(lineno, "missing horizontal wire"))?;
-    let v = parts.next().ok_or_else(|| err(lineno, "missing vertical wire"))?;
+    let h = parts
+        .next()
+        .ok_or_else(|| err(lineno, "missing horizontal wire"))?;
+    let v = parts
+        .next()
+        .ok_or_else(|| err(lineno, "missing vertical wire"))?;
     let i = parse_horizontal(h).ok_or_else(|| err(lineno, format!("bad wire name {h:?}")))?;
     let j = parse_roman(v).ok_or_else(|| err(lineno, format!("bad wire name {v:?}")))?;
     if i >= grid.rows() || j >= grid.cols() {
-        return Err(err(lineno, format!("pair ({h}, {v}) outside the {0}×{1} grid",
-            grid.rows(), grid.cols())));
+        return Err(err(
+            lineno,
+            format!(
+                "pair ({h}, {v}) outside the {0}×{1} grid",
+                grid.rows(),
+                grid.cols()
+            ),
+        ));
     }
     let voltage = extract_number(rest, "U = ", lineno)?;
     let uz = extract_number(rest, "U/Z = ", lineno)?;
-    Ok(PairHeader { pair: (i as u16, j as u16), voltage, uz })
+    Ok(PairHeader {
+        pair: (i as u16, j as u16),
+        voltage,
+        uz,
+    })
 }
 
 fn extract_number(text: &str, prefix: &str, lineno: usize) -> Result<f64, ReadError> {
@@ -93,9 +117,7 @@ fn extract_number(text: &str, prefix: &str, lineno: usize) -> Result<f64, ReadEr
         .ok_or_else(|| err(lineno, format!("missing {prefix:?} in header")))?
         + prefix.len();
     let tail = &text[start..];
-    let end = tail
-        .find(|c: char| c == ' ' || c == ',')
-        .unwrap_or(tail.len());
+    let end = tail.find([' ', ',']).unwrap_or(tail.len());
     tail[..end]
         .parse()
         .map_err(|e| err(lineno, format!("bad number after {prefix:?}: {e}")))
@@ -134,7 +156,11 @@ pub fn parse_roman(name: &str) -> Option<usize> {
     let mut total = 0i64;
     for k in 0..bytes.len() {
         let v = value(bytes[k])? as i64;
-        let next = if k + 1 < bytes.len() { value(bytes[k + 1])? as i64 } else { 0 };
+        let next = if k + 1 < bytes.len() {
+            value(bytes[k + 1])? as i64
+        } else {
+            0
+        };
         // Subtractive notation: a symbol before a larger one subtracts.
         if v < next {
             total -= v;
@@ -247,8 +273,12 @@ fn parse_term(
         .find(']')
         .ok_or_else(|| err(lineno, "resistor reference missing ']'"))?;
     let mut parts = res_text[..close].split(',').map(str::trim);
-    let h = parts.next().ok_or_else(|| err(lineno, "resistor missing row"))?;
-    let v = parts.next().ok_or_else(|| err(lineno, "resistor missing column"))?;
+    let h = parts
+        .next()
+        .ok_or_else(|| err(lineno, "resistor missing row"))?;
+    let v = parts
+        .next()
+        .ok_or_else(|| err(lineno, "resistor missing column"))?;
     let ri = parse_horizontal(h).ok_or_else(|| err(lineno, format!("bad row {h:?}")))?;
     let rj = parse_roman(v).ok_or_else(|| err(lineno, format!("bad column {v:?}")))?;
     if ri >= grid.rows() || rj >= grid.cols() {
@@ -261,11 +291,22 @@ fn parse_term(
         let (a, b) = inner
             .split_once(" - ")
             .ok_or_else(|| err(lineno, format!("numerator {inner:?} missing ' - '")))?;
-        (parse_potential(header, a.trim(), lineno)?, parse_potential(header, b.trim(), lineno)?)
+        (
+            parse_potential(header, a.trim(), lineno)?,
+            parse_potential(header, b.trim(), lineno)?,
+        )
     } else {
-        (parse_potential(header, numerator.trim(), lineno)?, PotentialRef::Ground)
+        (
+            parse_potential(header, numerator.trim(), lineno)?,
+            PotentialRef::Ground,
+        )
     };
-    Ok(FlowTerm { from, to, resistor: (ri as u16, rj as u16), sign })
+    Ok(FlowTerm {
+        from,
+        to,
+        resistor: (ri as u16, rj as u16),
+        sign,
+    })
 }
 
 fn parse_potential(

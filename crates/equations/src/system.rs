@@ -41,7 +41,13 @@ impl EquationSystem {
             grid.equations(),
             "equation count does not match the grid census"
         );
-        EquationSystem { grid, voltage, z: z.clone(), equations, index: UnknownIndex::new(grid) }
+        EquationSystem {
+            grid,
+            voltage,
+            z: z.clone(),
+            equations,
+            index: UnknownIndex::new(grid),
+        }
     }
 
     /// The geometry.
@@ -134,7 +140,12 @@ impl EquationSystem {
             let off = base + p * per_pair;
             let ua = &x[off..off + cols - 1];
             let ub = &x[off + cols - 1..off + per_pair];
-            let values = PairValues { r: &r, ua, ub, voltage: self.voltage };
+            let values = PairValues {
+                r: &r,
+                ua,
+                ub,
+                voltage: self.voltage,
+            };
             for eq in &self.equations[p * block..(p + 1) * block] {
                 debug_assert_eq!(eq.pair, (i as u16, j as u16));
                 out.push(eq.residual(&values));
@@ -145,14 +156,19 @@ impl EquationSystem {
 
     /// Largest absolute residual at an unknown vector.
     pub fn max_residual(&self, x: &[f64]) -> f64 {
-        self.residuals(x).into_iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        self.residuals(x)
+            .into_iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
     }
 
     /// Packs the *physically exact* unknown vector for a resistor map by
     /// forward-solving every pair's potentials. With `r` equal to the
     /// ground truth behind `z`, all residuals vanish — the bridge between
     /// the paper's equations and Kirchhoff physics, used heavily in tests.
-    pub fn exact_unknowns_for(&self, r: &ResistorGrid) -> Result<Vec<f64>, mea_linalg::LinalgError> {
+    pub fn exact_unknowns_for(
+        &self,
+        r: &ResistorGrid,
+    ) -> Result<Vec<f64>, mea_linalg::LinalgError> {
         let solver = ForwardSolver::new(r)?;
         let voltage = self.voltage;
         Ok(self.pack_unknowns(r, |i, j| {
@@ -169,7 +185,9 @@ mod tests {
     use mea_model::{AnomalyConfig, CrossingMatrix};
 
     fn ground_truth(n: usize, seed: u64) -> ResistorGrid {
-        AnomalyConfig::default().generate(MeaGrid::square(n), seed).0
+        AnomalyConfig::default()
+            .generate(MeaGrid::square(n), seed)
+            .0
     }
 
     #[test]

@@ -84,11 +84,17 @@ impl UnknownIndex {
                 self.grid.pair_index(i, j)
             }
             Unknown::Ua { i, j, k } => {
-                assert!(i < rows && j < cols && k < cols && k != j, "Ua index out of range");
+                assert!(
+                    i < rows && j < cols && k < cols && k != j,
+                    "Ua index out of range"
+                );
                 base + self.grid.pair_index(i, j) * per_pair + Self::k_prime(j, k)
             }
             Unknown::Ub { i, j, m } => {
-                assert!(i < rows && j < cols && m < rows && m != i, "Ub index out of range");
+                assert!(
+                    i < rows && j < cols && m < rows && m != i,
+                    "Ub index out of range"
+                );
                 base + self.grid.pair_index(i, j) * per_pair + (cols - 1) + Self::k_prime(i, m)
             }
         }
@@ -99,7 +105,10 @@ impl UnknownIndex {
         let (rows, cols) = (self.grid.rows(), self.grid.cols());
         let base = rows * cols;
         if idx < base {
-            return Unknown::R { i: idx / cols, j: idx % cols };
+            return Unknown::R {
+                i: idx / cols,
+                j: idx % cols,
+            };
         }
         let rest = idx - base;
         let per_pair = (cols - 1) + (rows - 1);
@@ -108,9 +117,17 @@ impl UnknownIndex {
         let (i, j) = (pair / cols, pair % cols);
         let off = rest % per_pair;
         if off < cols - 1 {
-            Unknown::Ua { i, j, k: Self::k_from_prime(j, off) }
+            Unknown::Ua {
+                i,
+                j,
+                k: Self::k_from_prime(j, off),
+            }
         } else {
-            Unknown::Ub { i, j, m: Self::k_from_prime(i, off - (cols - 1)) }
+            Unknown::Ub {
+                i,
+                j,
+                m: Self::k_from_prime(i, off - (cols - 1)),
+            }
         }
     }
 }

@@ -38,11 +38,9 @@ fn render_resistor(grid: MeaGrid, r: (u16, u16)) -> String {
 pub fn render_equation(eq: &Equation, grid: MeaGrid) -> String {
     let (i, j) = (eq.pair.0 as usize, eq.pair.1 as usize);
     let lhs = match eq.category {
-        ConstraintCategory::Source | ConstraintCategory::Destination => format!(
-            "U/Z[{},{}]",
-            grid.horizontal_name(i),
-            grid.vertical_name(j)
-        ),
+        ConstraintCategory::Source | ConstraintCategory::Destination => {
+            format!("U/Z[{},{}]", grid.horizontal_name(i), grid.vertical_name(j))
+        }
         ConstraintCategory::IntermediateUa | ConstraintCategory::IntermediateUb => "0".to_string(),
     };
     let mut rhs = String::new();
@@ -137,7 +135,10 @@ mod tests {
         let eqs = form_pair_equations(grid, 1, 1, 5.0, 1200.0);
         for eq in &eqs[2..] {
             let s = render_equation(eq, grid);
-            assert!(s.starts_with("0 = "), "intermediate equations balance to zero: {s}");
+            assert!(
+                s.starts_with("0 = "),
+                "intermediate equations balance to zero: {s}"
+            );
             assert!(s.contains("- "), "must contain outflow terms: {s}");
         }
     }

@@ -22,7 +22,11 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { tol: 1e-10, max_iter: 10_000, jacobi: true }
+        CgOptions {
+            tol: 1e-10,
+            max_iter: 10_000,
+            jacobi: true,
+        }
     }
 }
 
@@ -90,10 +94,17 @@ pub fn conjugate_gradient(
     let mut rz = vec_ops::dot(&r, &z);
     let mut ap = vec![0.0; n];
 
+    let _span = mea_obs::span("linalg/cg");
+    let mut trace = mea_obs::SeriesRecorder::new("linalg.cg.residuals", "linalg.cg.iterations");
     for it in 0..opts.max_iter {
         let rel = vec_ops::norm2(&r) / bnorm;
+        trace.push(rel);
         if rel <= opts.tol {
-            return Ok(CgOutcome { x, iterations: it, residual: rel });
+            return Ok(CgOutcome {
+                x,
+                iterations: it,
+                residual: rel,
+            });
         }
         a.mul_vec_into(&p, &mut ap);
         let pap = vec_ops::dot(&p, &ap);
@@ -116,9 +127,16 @@ pub fn conjugate_gradient(
     }
     let rel = vec_ops::norm2(&r) / bnorm;
     if rel <= opts.tol {
-        Ok(CgOutcome { x, iterations: opts.max_iter, residual: rel })
+        Ok(CgOutcome {
+            x,
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     } else {
-        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: rel })
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     }
 }
 
@@ -169,7 +187,10 @@ mod tests {
     fn without_preconditioner_also_converges() {
         let a = poisson(20);
         let b = vec![1.0; 20];
-        let opts = CgOptions { jacobi: false, ..Default::default() };
+        let opts = CgOptions {
+            jacobi: false,
+            ..Default::default()
+        };
         let out = conjugate_gradient(&a, &b, None, &opts).unwrap();
         let r = crate::vec_ops::sub(&a.mul_vec(&out.x), &b);
         assert!(crate::vec_ops::norm2(&r) < 1e-8);
@@ -179,7 +200,11 @@ mod tests {
     fn budget_exhaustion_reports_no_convergence() {
         let a = poisson(64);
         let b = vec![1.0; 64];
-        let opts = CgOptions { max_iter: 2, tol: 1e-14, ..Default::default() };
+        let opts = CgOptions {
+            max_iter: 2,
+            tol: 1e-14,
+            ..Default::default()
+        };
         match conjugate_gradient(&a, &b, None, &opts) {
             Err(LinalgError::NoConvergence { iterations, .. }) => assert_eq!(iterations, 2),
             other => panic!("expected NoConvergence, got {other:?}"),
@@ -203,7 +228,10 @@ mod tests {
         t.push(0, 0, 1.0);
         t.push(1, 1, -1.0);
         let a = t.to_csr();
-        let opts = CgOptions { jacobi: false, ..Default::default() };
+        let opts = CgOptions {
+            jacobi: false,
+            ..Default::default()
+        };
         let err = conjugate_gradient(&a, &[0.0, 1.0], None, &opts).unwrap_err();
         assert!(matches!(err, LinalgError::InvalidInput(_)));
     }

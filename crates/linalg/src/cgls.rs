@@ -22,7 +22,10 @@ pub struct CglsOptions {
 
 impl Default for CglsOptions {
     fn default() -> Self {
-        CglsOptions { tol: 1e-12, max_iter: 10_000 }
+        CglsOptions {
+            tol: 1e-12,
+            max_iter: 10_000,
+        }
     }
 }
 
@@ -40,7 +43,9 @@ pub struct CglsOutcome {
 /// Runs CGLS from the zero vector.
 pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome, LinalgError> {
     if b.len() != a.rows() {
-        return Err(LinalgError::InvalidInput("cgls: rhs length mismatch".into()));
+        return Err(LinalgError::InvalidInput(
+            "cgls: rhs length mismatch".into(),
+        ));
     }
     let n = a.cols();
     let mut x = vec![0.0; n];
@@ -50,17 +55,28 @@ pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome,
     let mut p = s.clone();
     let mut gamma = vec_ops::dot(&s, &s);
     let mut q = vec![0.0; a.rows()];
+    let _span = mea_obs::span("linalg/cgls");
+    let mut trace = mea_obs::SeriesRecorder::new("linalg.cgls.residuals", "linalg.cgls.iterations");
     for it in 0..opts.max_iter {
         let rel = vec_ops::norm2(&s) / s0_norm;
+        trace.push(rel);
         if rel <= opts.tol {
-            return Ok(CglsOutcome { x, iterations: it, residual: rel });
+            return Ok(CglsOutcome {
+                x,
+                iterations: it,
+                residual: rel,
+            });
         }
         a.mul_vec_into(&p, &mut q);
         let qq = vec_ops::dot(&q, &q);
         if qq <= 0.0 || !qq.is_finite() {
             // p ∈ ker A: the normal residual should already be ~0; treat
             // as converged at whatever level we reached.
-            return Ok(CglsOutcome { x, iterations: it, residual: rel });
+            return Ok(CglsOutcome {
+                x,
+                iterations: it,
+                residual: rel,
+            });
         }
         let alpha = gamma / qq;
         vec_ops::axpy(alpha, &p, &mut x);
@@ -75,9 +91,16 @@ pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome,
     }
     let rel = vec_ops::norm2(&s) / s0_norm;
     if rel <= opts.tol {
-        Ok(CglsOutcome { x, iterations: opts.max_iter, residual: rel })
+        Ok(CglsOutcome {
+            x,
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     } else {
-        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: rel })
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     }
 }
 
@@ -117,7 +140,14 @@ mod tests {
         let a = matrix(
             3,
             2,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, -1.0), (2, 0, 1.0), (2, 1, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, -1.0),
+                (2, 0, 1.0),
+                (2, 1, 1.0),
+            ],
         );
         let xtrue = [2.0, -1.0];
         let b = a.mul_vec(&xtrue);
@@ -147,7 +177,10 @@ mod tests {
         }
         let a = matrix(20, 5, &entries);
         let b = vec![1.0; 20];
-        let opts = CglsOptions { max_iter: 1, tol: 1e-15 };
+        let opts = CglsOptions {
+            max_iter: 1,
+            tol: 1e-15,
+        };
         assert!(matches!(
             cgls(&a, &b, &opts),
             Err(LinalgError::NoConvergence { .. }) | Ok(_)

@@ -17,7 +17,11 @@ pub struct CooTriplets {
 impl CooTriplets {
     /// New empty accumulator with fixed dimensions.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooTriplets { rows, cols, entries: Vec::new() }
+        CooTriplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Adds `v` at `(r, c)`; duplicates accumulate.
@@ -33,7 +37,7 @@ impl CooTriplets {
 
     /// Converts to CSR, summing duplicates and dropping exact zeros.
     pub fn to_csr(mut self) -> CsrMatrix {
-        self.entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_unstable_by_key(|e| (e.0, e.1));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut values = Vec::with_capacity(self.entries.len());
@@ -60,7 +64,13 @@ impl CooTriplets {
             row_ptr.push(col_idx.len());
             cur_row += 1;
         }
-        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -77,7 +87,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// The all-zero `rows × cols` sparse matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Sparse identity.
@@ -110,7 +126,10 @@ impl CsrMatrix {
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Reads entry `(r, c)` (zero when absent), via binary search.
@@ -136,14 +155,14 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec_into: x dimension mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec_into: y dimension mismatch");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -151,8 +170,7 @@ impl CsrMatrix {
     pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -165,7 +183,9 @@ impl CsrMatrix {
 
     /// The main diagonal (length `min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Explicit transpose.
@@ -190,7 +210,13 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Densifies (test helper / small systems).
@@ -219,10 +245,14 @@ impl CsrMatrix {
             }
             let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
             if !cols.windows(2).all(|w| w[0] < w[1]) {
-                return Err(LinalgError::InvalidInput(format!("row {r} columns not sorted")));
+                return Err(LinalgError::InvalidInput(format!(
+                    "row {r} columns not sorted"
+                )));
             }
             if cols.iter().any(|&c| c >= self.cols) {
-                return Err(LinalgError::InvalidInput(format!("row {r} column out of bounds")));
+                return Err(LinalgError::InvalidInput(format!(
+                    "row {r} column out of bounds"
+                )));
             }
         }
         Ok(())

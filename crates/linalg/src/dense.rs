@@ -17,7 +17,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity of order `n`.
@@ -38,7 +42,11 @@ impl DenseMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer. Panics if `data.len() != rows*cols`.
@@ -237,7 +245,12 @@ impl LuFactor {
                 }
             }
         }
-        Ok(LuFactor { n, lu, perm, perm_sign: sign })
+        Ok(LuFactor {
+            n,
+            lu,
+            perm,
+            perm_sign: sign,
+        })
     }
 
     /// Order of the factored matrix.
@@ -253,15 +266,15 @@ impl LuFactor {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for r in 1..n {
             let mut acc = x[r];
-            for k in 0..r {
-                acc -= self.lu[r * n + k] * x[k];
+            for (lk, xk) in self.lu[r * n..r * n + r].iter().zip(&x[..r]) {
+                acc -= lk * xk;
             }
             x[r] = acc;
         }
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for k in (r + 1)..n {
-                acc -= self.lu[r * n + k] * x[k];
+            for (uk, xk) in self.lu[r * n + r + 1..(r + 1) * n].iter().zip(&x[r + 1..]) {
+                acc -= uk * xk;
             }
             x[r] = acc / self.lu[r * n + r];
         }
@@ -352,16 +365,16 @@ impl CholeskyFactor {
         // L·y = b
         for r in 0..n {
             let mut acc = y[r];
-            for k in 0..r {
-                acc -= self.l[r * n + k] * y[k];
+            for (lk, yk) in self.l[r * n..r * n + r].iter().zip(&y[..r]) {
+                acc -= lk * yk;
             }
             y[r] = acc / self.l[r * n + r];
         }
-        // Lᵀ·x = y
+        // Lᵀ·x = y (L is accessed down column r, a strided walk).
         for r in (0..n).rev() {
             let mut acc = y[r];
-            for k in (r + 1)..n {
-                acc -= self.l[k * n + r] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(n).skip(r + 1) {
+                acc -= self.l[k * n + r] * yk;
             }
             y[r] = acc / self.l[r * n + r];
         }
@@ -487,7 +500,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
-        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite(_))));
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
     }
 
     #[test]

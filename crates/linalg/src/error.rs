@@ -28,7 +28,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NotPositiveDefinite(col) => {
                 write!(f, "matrix is not positive definite (column {col})")
             }
-            LinalgError::NoConvergence { iterations, residual } => write!(
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "iteration budget exhausted after {iterations} iterations (residual {residual:.3e})"
             ),

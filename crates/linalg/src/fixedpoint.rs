@@ -21,7 +21,11 @@ pub struct FixedPointOptions {
 
 impl Default for FixedPointOptions {
     fn default() -> Self {
-        FixedPointOptions { damping: 1.0, tol: 1e-10, max_iter: 1_000 }
+        FixedPointOptions {
+            damping: 1.0,
+            tol: 1e-10,
+            max_iter: 1_000,
+        }
     }
 }
 
@@ -66,16 +70,27 @@ where
             opts.damping
         )));
     }
+    let _span = mea_obs::span("linalg/fixed_point");
+    let mut trace = mea_obs::SeriesRecorder::new(
+        "linalg.fixed_point.residuals",
+        "linalg.fixed_point.iterations",
+    );
     let mut x = x0.to_vec();
     let mut history = Vec::new();
     for it in 0..opts.max_iter {
         let res = residual(&x);
         history.push(res);
+        trace.push(res);
         if !res.is_finite() {
             return Err(LinalgError::InvalidInput("non-finite residual".into()));
         }
         if res <= opts.tol {
-            return Ok(FixedPointOutcome { x, iterations: it, residual: res, history });
+            return Ok(FixedPointOutcome {
+                x,
+                iterations: it,
+                residual: res,
+                history,
+            });
         }
         let gx = step(&x);
         if gx.len() != x.len() {
@@ -95,9 +110,17 @@ where
     let res = residual(&x);
     history.push(res);
     if res <= opts.tol {
-        Ok(FixedPointOutcome { x, iterations: opts.max_iter, residual: res, history })
+        Ok(FixedPointOutcome {
+            x,
+            iterations: opts.max_iter,
+            residual: res,
+            history,
+        })
     } else {
-        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: res })
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: res,
+        })
     }
 }
 
@@ -123,14 +146,13 @@ mod tests {
     fn damping_stabilizes_oscillation() {
         // G(x) = −x + 2 oscillates undamped between x₀ and 2−x₀ forever;
         // with α = 0.5 it lands on the fixed point x = 1 in one step.
-        let opts = FixedPointOptions { damping: 0.5, tol: 1e-12, max_iter: 50 };
-        let out = fixed_point(
-            |x| vec![-x[0] + 2.0],
-            |x| (x[0] - 1.0).abs(),
-            &[5.0],
-            &opts,
-        )
-        .unwrap();
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: 1e-12,
+            max_iter: 50,
+        };
+        let out =
+            fixed_point(|x| vec![-x[0] + 2.0], |x| (x[0] - 1.0).abs(), &[5.0], &opts).unwrap();
         assert!((out.x[0] - 1.0).abs() < 1e-12);
         assert_eq!(out.iterations, 1);
     }
@@ -150,7 +172,11 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let opts = FixedPointOptions { max_iter: 5, tol: 1e-12, ..Default::default() };
+        let opts = FixedPointOptions {
+            max_iter: 5,
+            tol: 1e-12,
+            ..Default::default()
+        };
         let err = fixed_point(
             |x| vec![x[0] + 1.0], // diverges
             |x| x[0].abs() + 1.0,
@@ -158,13 +184,19 @@ mod tests {
             &opts,
         )
         .unwrap_err();
-        assert!(matches!(err, LinalgError::NoConvergence { iterations: 5, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::NoConvergence { iterations: 5, .. }
+        ));
     }
 
     #[test]
     fn invalid_damping_rejected() {
         for bad in [0.0, -0.5, 1.5] {
-            let opts = FixedPointOptions { damping: bad, ..Default::default() };
+            let opts = FixedPointOptions {
+                damping: bad,
+                ..Default::default()
+            };
             let err = fixed_point(|x| x.to_vec(), |_| 1.0, &[0.0], &opts).unwrap_err();
             assert!(matches!(err, LinalgError::InvalidInput(_)));
         }
@@ -189,7 +221,10 @@ mod tests {
             |x| vec![0.5 * x[0]],
             |x| x[0].abs(),
             &[1.0],
-            &FixedPointOptions { tol: 1e-8, ..Default::default() },
+            &FixedPointOptions {
+                tol: 1e-8,
+                ..Default::default()
+            },
         )
         .unwrap();
         for w in out.history.windows(2) {

@@ -25,7 +25,12 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        NewtonOptions { tol: 1e-10, max_iter: 100, max_backtracks: 30, fd_eps: 1e-7 }
+        NewtonOptions {
+            tol: 1e-10,
+            max_iter: 100,
+            max_backtracks: 30,
+            fd_eps: 1e-7,
+        }
     }
 }
 
@@ -68,13 +73,21 @@ where
             n
         )));
     }
+    let _span = mea_obs::span("linalg/newton");
+    let mut trace =
+        mea_obs::SeriesRecorder::new("linalg.newton.residuals", "linalg.newton.iterations");
     for it in 0..opts.max_iter {
         let res = vec_ops::norm_inf(&fx);
+        trace.push(res);
         if !res.is_finite() {
             return Err(LinalgError::InvalidInput("non-finite residual".into()));
         }
         if res <= opts.tol {
-            return Ok(NewtonOutcome { x, iterations: it, residual: res });
+            return Ok(NewtonOutcome {
+                x,
+                iterations: it,
+                residual: res,
+            });
         }
         let j = match &jac {
             Some(j) => j(&x),
@@ -108,9 +121,16 @@ where
     }
     let res = vec_ops::norm_inf(&fx);
     if res <= opts.tol {
-        Ok(NewtonOutcome { x, iterations: opts.max_iter, residual: res })
+        Ok(NewtonOutcome {
+            x,
+            iterations: opts.max_iter,
+            residual: res,
+        })
     } else {
-        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: res })
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: res,
+        })
     }
 }
 
@@ -153,8 +173,7 @@ mod tests {
     fn coupled_2d_system() {
         // x² + y² = 4, x·y = 1 — intersect circle and hyperbola.
         let f = |v: &[f64]| vec![v[0] * v[0] + v[1] * v[1] - 4.0, v[0] * v[1] - 1.0];
-        let out =
-            newton_solve(f, None::<NoJac>, &[2.0, 0.3], &NewtonOptions::default()).unwrap();
+        let out = newton_solve(f, None::<NoJac>, &[2.0, 0.3], &NewtonOptions::default()).unwrap();
         let (x, y) = (out.x[0], out.x[1]);
         assert!((x * x + y * y - 4.0).abs() < 1e-8);
         assert!((x * y - 1.0).abs() < 1e-8);
@@ -171,9 +190,8 @@ mod tests {
     #[test]
     fn analytic_matches_finite_difference() {
         let f = |v: &[f64]| vec![v[0].powi(3) - v[1], v[1] * v[1] - v[0] - 1.0];
-        let j = |v: &[f64]| {
-            DenseMatrix::from_rows(&[&[3.0 * v[0] * v[0], -1.0], &[-1.0, 2.0 * v[1]]])
-        };
+        let j =
+            |v: &[f64]| DenseMatrix::from_rows(&[&[3.0 * v[0] * v[0], -1.0], &[-1.0, 2.0 * v[1]]]);
         let a = newton_solve(f, Some(j), &[1.0, 1.0], &NewtonOptions::default()).unwrap();
         let b = newton_solve(f, None::<NoJac>, &[1.0, 1.0], &NewtonOptions::default()).unwrap();
         for (x, y) in a.x.iter().zip(&b.x) {
@@ -186,14 +204,20 @@ mod tests {
         // f(x) = arctan(x): the undamped Newton step diverges for |x₀| > ~1.39.
         let f = |x: &[f64]| vec![x[0].atan()];
         let out = newton_solve(f, None::<NoJac>, &[3.0], &NewtonOptions::default()).unwrap();
-        assert!(out.x[0].abs() < 1e-8, "damped Newton must converge from 3.0");
+        assert!(
+            out.x[0].abs() < 1e-8,
+            "damped Newton must converge from 3.0"
+        );
     }
 
     #[test]
     fn reports_no_convergence() {
         // x² + 1 = 0 has no real root.
         let f = |x: &[f64]| vec![x[0] * x[0] + 1.0];
-        let opts = NewtonOptions { max_iter: 20, ..Default::default() };
+        let opts = NewtonOptions {
+            max_iter: 20,
+            ..Default::default()
+        };
         let err = newton_solve(f, None::<NoJac>, &[0.7], &opts).unwrap_err();
         assert!(matches!(
             err,
@@ -204,8 +228,7 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let f = |_: &[f64]| vec![0.0, 0.0];
-        let err =
-            newton_solve(f, None::<NoJac>, &[1.0], &NewtonOptions::default()).unwrap_err();
+        let err = newton_solve(f, None::<NoJac>, &[1.0], &NewtonOptions::default()).unwrap_err();
         assert!(matches!(err, LinalgError::ShapeMismatch(_)));
     }
 

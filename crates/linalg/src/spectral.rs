@@ -35,7 +35,9 @@ fn seed_vector(n: usize) -> Vec<f64> {
     // Deterministic non-degenerate seed: irrational-stride sinusoid, so
     // repeated calls agree and no eigenvector of a structured matrix is
     // accidentally orthogonal to it.
-    (0..n).map(|i| 1.0 + (i as f64 * 0.866_025_403).sin()).collect()
+    (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.866_025_403).sin())
+        .collect()
 }
 
 /// Estimates the largest eigenvalue (in magnitude) of a symmetric matrix
@@ -46,7 +48,9 @@ pub fn power_iteration(
     tol: f64,
 ) -> Result<EigenEstimate, LinalgError> {
     if a.rows() != a.cols() {
-        return Err(LinalgError::ShapeMismatch("power iteration needs a square matrix".into()));
+        return Err(LinalgError::ShapeMismatch(
+            "power iteration needs a square matrix".into(),
+        ));
     }
     if a.rows() == 0 {
         return Err(LinalgError::InvalidInput("empty matrix".into()));
@@ -67,16 +71,28 @@ pub fn power_iteration(
             .sum::<f64>()
             .sqrt();
         if residual <= tol * lambda.abs().max(1e-300) {
-            return Ok(EigenEstimate { value: lambda, vector: v, iterations: it });
+            return Ok(EigenEstimate {
+                value: lambda,
+                vector: v,
+                iterations: it,
+            });
         }
         let mut w = w;
         if normalize(&mut w) == 0.0 {
             // v ∈ ker A: the dominant eigenvalue along this start is 0.
-            return Ok(EigenEstimate { value: 0.0, vector: v, iterations: it });
+            return Ok(EigenEstimate {
+                value: 0.0,
+                vector: v,
+                iterations: it,
+            });
         }
         v = w;
     }
-    Ok(EigenEstimate { value: lambda, vector: v, iterations: max_iter })
+    Ok(EigenEstimate {
+        value: lambda,
+        vector: v,
+        iterations: max_iter,
+    })
 }
 
 /// Estimates the smallest eigenvalue of a symmetric positive definite
@@ -87,7 +103,9 @@ pub fn inverse_power_iteration(
     tol: f64,
 ) -> Result<EigenEstimate, LinalgError> {
     if a.rows() != a.cols() {
-        return Err(LinalgError::ShapeMismatch("inverse iteration needs a square matrix".into()));
+        return Err(LinalgError::ShapeMismatch(
+            "inverse iteration needs a square matrix".into(),
+        ));
     }
     let lu = a.lu()?;
     let mut v = seed_vector(a.rows());
@@ -96,7 +114,9 @@ pub fn inverse_power_iteration(
     for it in 0..max_iter {
         let w = lu.solve(&v);
         if !vec_ops::all_finite(&w) {
-            return Err(LinalgError::InvalidInput("inverse iteration broke down".into()));
+            return Err(LinalgError::InvalidInput(
+                "inverse iteration broke down".into(),
+            ));
         }
         mu = vec_ops::dot(&v, &w);
         if mu <= 0.0 {
@@ -111,15 +131,25 @@ pub fn inverse_power_iteration(
             .sum::<f64>()
             .sqrt();
         if residual <= tol * mu.max(1e-300) {
-            return Ok(EigenEstimate { value: 1.0 / mu, vector: v, iterations: it });
+            return Ok(EigenEstimate {
+                value: 1.0 / mu,
+                vector: v,
+                iterations: it,
+            });
         }
         let mut w = w;
         if normalize(&mut w) == 0.0 {
-            return Err(LinalgError::InvalidInput("inverse iteration broke down".into()));
+            return Err(LinalgError::InvalidInput(
+                "inverse iteration broke down".into(),
+            ));
         }
         v = w;
     }
-    Ok(EigenEstimate { value: 1.0 / mu, vector: v, iterations: max_iter })
+    Ok(EigenEstimate {
+        value: 1.0 / mu,
+        vector: v,
+        iterations: max_iter,
+    })
 }
 
 /// 2-norm condition estimate `λ_max/λ_min` of a symmetric positive
@@ -214,6 +244,9 @@ mod tests {
     fn convergence_is_fast_on_separated_spectra() {
         let a = diag(&[1.0, 100.0]);
         let e = power_iteration(&a, 500, 1e-12).unwrap();
-        assert!(e.iterations < 30, "well-separated spectrum must converge quickly");
+        assert!(
+            e.iterations < 30,
+            "well-separated spectrum must converge quickly"
+        );
     }
 }

@@ -37,7 +37,11 @@ pub struct StationaryOptions {
 
 impl Default for StationaryOptions {
     fn default() -> Self {
-        StationaryOptions { method: StationaryMethod::GaussSeidel, tol: 1e-10, max_iter: 10_000 }
+        StationaryOptions {
+            method: StationaryMethod::GaussSeidel,
+            tol: 1e-10,
+            max_iter: 10_000,
+        }
     }
 }
 
@@ -65,13 +69,15 @@ pub fn stationary_solve(
 ) -> Result<StationaryOutcome, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::InvalidInput("stationary solve needs a square matrix".into()));
+        return Err(LinalgError::InvalidInput(
+            "stationary solve needs a square matrix".into(),
+        ));
     }
     if b.len() != n {
         return Err(LinalgError::InvalidInput("rhs length mismatch".into()));
     }
     let diag = a.diagonal();
-    if diag.iter().any(|d| *d == 0.0) {
+    if diag.contains(&0.0) {
         return Err(LinalgError::InvalidInput("zero diagonal entry".into()));
     }
     let omega = match opts.method {
@@ -97,7 +103,11 @@ pub fn stationary_solve(
         }
         let rel = vec_ops::norm2(&residual_vec) / bnorm;
         if rel <= opts.tol {
-            return Ok(StationaryOutcome { x, iterations: it, residual: rel });
+            return Ok(StationaryOutcome {
+                x,
+                iterations: it,
+                residual: rel,
+            });
         }
         match opts.method {
             StationaryMethod::Jacobi => {
@@ -125,7 +135,9 @@ pub fn stationary_solve(
             }
         }
         if !vec_ops::all_finite(&x) {
-            return Err(LinalgError::InvalidInput("iteration diverged to non-finite".into()));
+            return Err(LinalgError::InvalidInput(
+                "iteration diverged to non-finite".into(),
+            ));
         }
     }
     a.mul_vec_into(&x, &mut residual_vec);
@@ -134,9 +146,16 @@ pub fn stationary_solve(
     }
     let rel = vec_ops::norm2(&residual_vec) / bnorm;
     if rel <= opts.tol {
-        Ok(StationaryOutcome { x, iterations: opts.max_iter, residual: rel })
+        Ok(StationaryOutcome {
+            x,
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     } else {
-        Err(LinalgError::NoConvergence { iterations: opts.max_iter, residual: rel })
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rel,
+        })
     }
 }
 
@@ -158,7 +177,15 @@ mod tests {
     }
 
     fn solve_with(method: StationaryMethod, a: &CsrMatrix, b: &[f64]) -> StationaryOutcome {
-        stationary_solve(a, b, &StationaryOptions { method, ..Default::default() }).unwrap()
+        stationary_solve(
+            a,
+            b,
+            &StationaryOptions {
+                method,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -198,8 +225,8 @@ mod tests {
         let a = poisson(25);
         let b: Vec<f64> = (0..25).map(|i| (i % 3) as f64 - 1.0).collect();
         let st = solve_with(StationaryMethod::GaussSeidel, &a, &b);
-        let cg = crate::cg::conjugate_gradient(&a, &b, None, &crate::cg::CgOptions::default())
-            .unwrap();
+        let cg =
+            crate::cg::conjugate_gradient(&a, &b, None, &crate::cg::CgOptions::default()).unwrap();
         for (x, y) in st.x.iter().zip(&cg.x) {
             assert!((x - y).abs() < 1e-7);
         }
@@ -253,7 +280,6 @@ mod tests {
             method: StationaryMethod::Jacobi,
             max_iter: 2,
             tol: 1e-14,
-            ..Default::default()
         };
         assert!(matches!(
             stationary_solve(&a, &[1.0; 50], &opts),

@@ -48,7 +48,10 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 pub fn rel_inf_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rel_inf_distance: length mismatch");
     let scale = norm_inf(b).max(1e-300);
-    a.iter().zip(b).fold(0.0f64, |m, (x, y)| m.max((x - y).abs())) / scale
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+        / scale
 }
 
 /// True when every entry is finite.

@@ -162,7 +162,10 @@ impl MemorySampler {
                 samples
             })
             .expect("failed to spawn memory sampler");
-        MemorySampler { stop, handle: Some(handle) }
+        MemorySampler {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stops the sampler and returns the collected trace.
@@ -278,7 +281,10 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &v)| MemorySample { at_secs: i as f64 * 0.01, live_bytes: v })
+            .map(|(i, &v)| MemorySample {
+                at_secs: i as f64 * 0.01,
+                live_bytes: v,
+            })
             .collect()
     }
 

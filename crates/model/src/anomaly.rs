@@ -8,13 +8,11 @@
 //! the data substitute documented in DESIGN.md §2.
 
 use crate::grid::{MeaGrid, ResistorGrid};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::SeededRng;
 
 /// One elliptical anomaly: crossings within the ellipse get elevated
 /// resistance, with a smooth (cosine) falloff to the boundary.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AnomalyRegion {
     /// Center row (may be fractional — centers need not sit on a crossing).
     pub center_row: f64,
@@ -61,7 +59,7 @@ impl AnomalyRegion {
 }
 
 /// Configuration of the synthetic map generator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnomalyConfig {
     /// Baseline (healthy-medium) resistance, kΩ. Paper range floor: 2,000.
     pub baseline: f64,
@@ -91,19 +89,19 @@ impl Default for AnomalyConfig {
 impl AnomalyConfig {
     /// Draws `regions` random anomaly regions for a grid.
     pub fn sample_regions(&self, grid: MeaGrid, seed: u64) -> Vec<AnomalyRegion> {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let min_dim = grid.rows().min(grid.cols()) as f64;
         (0..self.regions)
             .map(|_| {
-                let radius = |rng: &mut ChaCha8Rng| {
-                    min_dim * rng.gen_range(self.radius_frac.0..=self.radius_frac.1)
+                let radius = |rng: &mut SeededRng| {
+                    min_dim * rng.gen_range_inclusive(self.radius_frac.0, self.radius_frac.1)
                 };
                 AnomalyRegion {
-                    center_row: rng.gen_range(0.0..grid.rows() as f64),
-                    center_col: rng.gen_range(0.0..grid.cols() as f64),
+                    center_row: rng.gen_range(0.0, grid.rows() as f64),
+                    center_col: rng.gen_range(0.0, grid.cols() as f64),
                     radius_rows: radius(&mut rng).max(0.5),
                     radius_cols: radius(&mut rng).max(0.5),
-                    amplitude: self.amplitude * rng.gen_range(0.5..=1.0),
+                    amplitude: self.amplitude * rng.gen_range_inclusive(0.5, 1.0),
                 }
             })
             .collect()
@@ -111,10 +109,10 @@ impl AnomalyConfig {
 
     /// Renders a ground-truth resistor map from explicit regions.
     pub fn render(&self, grid: MeaGrid, regions: &[AnomalyRegion], seed: u64) -> ResistorGrid {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_0001);
+        let mut rng = SeededRng::seed_from_u64(seed ^ 0x5eed_0001);
         let mut r = ResistorGrid::filled(grid, self.baseline);
         for (i, j) in grid.pair_iter() {
-            let noise = 1.0 + self.noise * rng.gen_range(-1.0..=1.0);
+            let noise = 1.0 + self.noise * rng.gen_range_inclusive(-1.0, 1.0);
             let mut v = self.baseline * noise;
             for region in regions {
                 v += region.contribution(i, j);
@@ -196,7 +194,10 @@ mod tests {
         assert!(r.min() >= cfg.baseline * (1.0 - cfg.noise) - 1e-9);
         assert!(r.max() <= cfg.baseline * (1.0 + cfg.noise) + 2.0 * cfg.amplitude + 1e-9);
         // Anomalies actually show up.
-        assert!(r.max() > cfg.baseline * 1.5, "anomaly must raise resistance noticeably");
+        assert!(
+            r.max() > cfg.baseline * 1.5,
+            "anomaly must raise resistance noticeably"
+        );
     }
 
     #[test]
@@ -212,7 +213,10 @@ mod tests {
 
     #[test]
     fn zero_regions_gives_noisy_baseline() {
-        let cfg = AnomalyConfig { regions: 0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            regions: 0,
+            ..Default::default()
+        };
         let grid = MeaGrid::square(10);
         let (r, regions) = cfg.generate(grid, 1);
         assert!(regions.is_empty());
@@ -222,7 +226,10 @@ mod tests {
 
     #[test]
     fn render_with_explicit_regions_is_reproducible() {
-        let cfg = AnomalyConfig { noise: 0.0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let grid = MeaGrid::square(8);
         let region = AnomalyRegion {
             center_row: 4.0,

@@ -12,7 +12,6 @@
 use crate::anomaly::{AnomalyConfig, AnomalyRegion};
 use crate::forward::ForwardSolver;
 use crate::grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -50,7 +49,7 @@ impl From<std::io::Error> for DatasetError {
 }
 
 /// One timed measurement: what the device reports at a given hour.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     /// Hours after setup (0, 6, 12 or 24 in the paper's schedule).
     pub hours: u32,
@@ -65,7 +64,7 @@ pub struct Measurement {
 }
 
 /// A full synthetic wet-lab session: one device, four time points.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WetLabDataset {
     /// Device geometry.
     pub grid: MeaGrid,
@@ -87,7 +86,9 @@ impl WetLabDataset {
                 .map(|r| r.grown(1.0 + 0.6 * t, 1.0 + 0.8 * t))
                 .collect();
             let r = cfg.render(grid, &grown, seed.wrapping_add(hours as u64));
-            let z = ForwardSolver::new(&r).map_err(DatasetError::Solve)?.solve_all();
+            let z = ForwardSolver::new(&r)
+                .map_err(DatasetError::Solve)?
+                .solve_all();
             measurements.push(Measurement {
                 hours,
                 voltage: 5.0,
@@ -143,7 +144,9 @@ impl WetLabDataset {
             .next()
             .ok_or_else(|| DatasetError::Parse("empty file".into()))??;
         if header.trim() != "# parma-dataset v1" {
-            return Err(DatasetError::Parse(format!("unrecognized header {header:?}")));
+            return Err(DatasetError::Parse(format!(
+                "unrecognized header {header:?}"
+            )));
         }
         let rows = parse_kv(&mut lines, "rows")?;
         let cols = parse_kv(&mut lines, "cols")?;
@@ -178,9 +181,7 @@ impl WetLabDataset {
             for i in 0..rows {
                 let row = lines
                     .next()
-                    .ok_or_else(|| {
-                        DatasetError::Parse(format!("truncated matrix at row {i}"))
-                    })??;
+                    .ok_or_else(|| DatasetError::Parse(format!("truncated matrix at row {i}")))??;
                 let mut count = 0usize;
                 for tok in row.split('\t') {
                     let v: f64 = tok.trim().parse().map_err(|e| {
@@ -228,7 +229,9 @@ fn parse_kv(
         .ok_or_else(|| DatasetError::Parse(format!("missing {key} line")))??;
     let mut parts = line.split_whitespace();
     if parts.next() != Some(key) {
-        return Err(DatasetError::Parse(format!("expected {key:?}, got {line:?}")));
+        return Err(DatasetError::Parse(format!(
+            "expected {key:?}, got {line:?}"
+        )));
     }
     parts
         .next()
@@ -265,7 +268,10 @@ mod tests {
             .map(|m| m.ground_truth.as_ref().unwrap().mean())
             .collect();
         for w in means.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "anomaly growth must raise mean R: {means:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "anomaly growth must raise mean R: {means:?}"
+            );
         }
     }
 
@@ -290,8 +296,14 @@ mod tests {
         for (a, b) in loaded.measurements.iter().zip(&ds.measurements) {
             assert_eq!(a.hours, b.hours);
             assert_eq!(a.voltage, b.voltage);
-            assert!(a.z.rel_max_diff(&b.z) < 1e-8, "Z must survive the text format");
-            assert!(a.ground_truth.is_none(), "text format carries no ground truth");
+            assert!(
+                a.z.rel_max_diff(&b.z) < 1e-8,
+                "Z must survive the text format"
+            );
+            assert!(
+                a.ground_truth.is_none(),
+                "text format carries no ground truth"
+            );
         }
     }
 

@@ -8,7 +8,9 @@
 //! signature.
 
 use crate::grid::ResistorGrid;
-use serde::{Deserialize, Serialize};
+
+/// Crossing coordinates `(i, j)` flagged by [`classify_faults`].
+pub type CrossingList = Vec<(usize, usize)>;
 
 /// Resistance assigned to an open crossing (kΩ). Effectively infinite
 /// relative to the wet-lab range while keeping the Laplacian
@@ -19,7 +21,7 @@ pub const OPEN_RESISTANCE: f64 = 1.0e9;
 pub const SHORT_RESISTANCE: f64 = 1.0e-3;
 
 /// One injected hardware fault.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// Crossing `(i, j)` has delaminated: no conduction.
     OpenCircuit {
@@ -95,8 +97,11 @@ pub fn classify_faults(
     baseline: f64,
     open_factor: f64,
     short_factor: f64,
-) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
-    assert!(baseline > 0.0 && open_factor > 1.0 && short_factor > 1.0, "bad thresholds");
+) -> (CrossingList, CrossingList) {
+    assert!(
+        baseline > 0.0 && open_factor > 1.0 && short_factor > 1.0,
+        "bad thresholds"
+    );
     let grid = r.grid();
     let mut opens = Vec::new();
     let mut shorts = Vec::new();
@@ -145,7 +150,10 @@ mod tests {
     fn later_faults_override() {
         let r = apply_faults(
             &healthy(3),
-            &[Fault::OpenCircuit { i: 0, j: 0 }, Fault::ShortCircuit { i: 0, j: 0 }],
+            &[
+                Fault::OpenCircuit { i: 0, j: 0 },
+                Fault::ShortCircuit { i: 0, j: 0 },
+            ],
         );
         assert_eq!(r.get(0, 0), SHORT_RESISTANCE);
         assert!(Fault::OpenCircuit { i: 0, j: 0 }.is_open());
@@ -188,7 +196,10 @@ mod tests {
         assert_eq!(worst, (2, 2));
         // Analytically: healthy Z = R(2n−1)/n² = 720 kΩ; with the direct
         // path gone, Z = 1/G_rest = 1125 kΩ — a 1.5625× jump.
-        assert!(worst_ratio > 1.5, "the open crossing's Z must jump, got {worst_ratio}");
+        assert!(
+            worst_ratio > 1.5,
+            "the open crossing's Z must jump, got {worst_ratio}"
+        );
     }
 
     #[test]
@@ -208,7 +219,10 @@ mod tests {
     fn classify_faults_separates_opens_and_shorts() {
         let r = apply_faults(
             &healthy(4),
-            &[Fault::OpenCircuit { i: 0, j: 1 }, Fault::ShortCircuit { i: 2, j: 3 }],
+            &[
+                Fault::OpenCircuit { i: 0, j: 1 },
+                Fault::ShortCircuit { i: 2, j: 3 },
+            ],
         );
         let (opens, shorts) = classify_faults(&r, 2000.0, 10.0, 10.0);
         assert_eq!(opens, vec![(0, 1)]);

@@ -130,7 +130,11 @@ impl ForwardSolver {
                 minv[(a, b)] = reduced_inv[(a, b)];
             }
         }
-        Ok(ForwardSolver { grid, conductances, minv })
+        Ok(ForwardSolver {
+            grid,
+            conductances,
+            minv,
+        })
     }
 
     /// The geometry.
@@ -140,7 +144,10 @@ impl ForwardSolver {
 
     /// Effective resistance (model impedance) between `H_i` and `V_j`, kΩ.
     pub fn effective_resistance(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.grid.rows() && j < self.grid.cols(), "endpoint out of range");
+        assert!(
+            i < self.grid.rows() && j < self.grid.cols(),
+            "endpoint out of range"
+        );
         let a = i;
         let b = self.grid.rows() + j;
         self.minv[(a, a)] + self.minv[(b, b)] - 2.0 * self.minv[(a, b)]
@@ -159,8 +166,14 @@ impl ForwardSolver {
     /// `(i, j)` and all other endpoints float — the physical measurement
     /// condition of §II-C, and the source of the `Ua`/`Ub` values.
     pub fn pair_potentials(&self, i: usize, j: usize, voltage: f64) -> PairPotentials {
-        assert!(i < self.grid.rows() && j < self.grid.cols(), "endpoint out of range");
-        assert!(voltage > 0.0 && voltage.is_finite(), "voltage must be positive");
+        assert!(
+            i < self.grid.rows() && j < self.grid.cols(),
+            "endpoint out of range"
+        );
+        assert!(
+            voltage > 0.0 && voltage.is_finite(),
+            "voltage must be positive"
+        );
         let nodes = self.grid.rows() + self.grid.cols();
         let a = i;
         let b = self.grid.rows() + j;
@@ -172,7 +185,14 @@ impl ForwardSolver {
         let potentials: Vec<f64> = (0..nodes)
             .map(|x| c * ((self.minv[(x, a)] - self.minv[(x, b)]) - wb))
             .collect();
-        PairPotentials { grid: self.grid, i, j, voltage, z_model: z, potentials }
+        PairPotentials {
+            grid: self.grid,
+            i,
+            j,
+            voltage,
+            z_model: z,
+            potentials,
+        }
     }
 
     /// Analytic sensitivity of `Z_ij` to every crossing conductance:
@@ -186,7 +206,10 @@ impl ForwardSolver {
     /// (Gauss-Newton, Landweber, linear back projection, Tikhonov) consume;
     /// tests validate it against finite differences.
     pub fn sensitivity(&self, i: usize, j: usize) -> CrossingMatrix {
-        assert!(i < self.grid.rows() && j < self.grid.cols(), "endpoint out of range");
+        assert!(
+            i < self.grid.rows() && j < self.grid.cols(),
+            "endpoint out of range"
+        );
         let (m, n) = (self.grid.rows(), self.grid.cols());
         let a = i;
         let b = m + j;
@@ -354,7 +377,10 @@ mod tests {
         let sol = conjugate_gradient(&lap, &rhs, None, &CgOptions::default()).unwrap();
         let z_cg = sol.x[2] - sol.x[m + 1];
         let z_dense = fs.effective_resistance(2, 1);
-        assert!((z_cg - z_dense).abs() / z_dense < 1e-8, "{z_cg} vs {z_dense}");
+        assert!(
+            (z_cg - z_dense).abs() / z_dense < 1e-8,
+            "{z_cg} vs {z_dense}"
+        );
     }
 
     #[test]

@@ -14,11 +14,10 @@
 //!   (1/kΩ), matching the wet-lab range quoted by the paper
 //!   (2,000–11,000 kΩ at 5 V).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Geometry of an `rows × cols` MEA.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MeaGrid {
     rows: usize,
     cols: usize,
@@ -137,7 +136,7 @@ fn roman(mut n: usize) -> String {
 
 /// A dense per-crossing value grid; the shared representation of both
 /// resistor maps ([`ResistorGrid`]) and measured impedances ([`ZMatrix`]).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CrossingMatrix {
     grid: MeaGrid,
     values: Vec<f64>,
@@ -146,12 +145,19 @@ pub struct CrossingMatrix {
 impl CrossingMatrix {
     /// Constant-filled matrix.
     pub fn filled(grid: MeaGrid, value: f64) -> Self {
-        CrossingMatrix { grid, values: vec![value; grid.crossings()] }
+        CrossingMatrix {
+            grid,
+            values: vec![value; grid.crossings()],
+        }
     }
 
     /// From a row-major buffer. Panics on length mismatch.
     pub fn from_vec(grid: MeaGrid, values: Vec<f64>) -> Self {
-        assert_eq!(values.len(), grid.crossings(), "crossing buffer length mismatch");
+        assert_eq!(
+            values.len(),
+            grid.crossings(),
+            "crossing buffer length mismatch"
+        );
         CrossingMatrix { grid, values }
     }
 
@@ -202,7 +208,9 @@ impl CrossingMatrix {
         self.values
             .iter()
             .zip(&other.values)
-            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs() / b.abs().max(1e-300)))
+            .fold(0.0f64, |m, (a, b)| {
+                m.max((a - b).abs() / b.abs().max(1e-300))
+            })
     }
 
     /// Mean relative entry-wise deviation from `other` — the aggregate

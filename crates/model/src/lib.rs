@@ -26,6 +26,7 @@ pub mod graph;
 pub mod grid;
 pub mod noise;
 pub mod paths;
+pub mod rng;
 
 pub use anomaly::{AnomalyConfig, AnomalyRegion};
 pub use dataset::{DatasetError, Measurement, WetLabDataset};

@@ -9,13 +9,11 @@
 //! are reproducible.
 
 use crate::grid::ZMatrix;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use crate::rng::SeededRng;
 
 /// A multiplicative measurement-noise model: each reading is scaled by
 /// `1 + ε` with `ε` drawn i.i.d. from the chosen distribution.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum NoiseModel {
     /// `ε ~ Uniform(−level, +level)`.
     Uniform {
@@ -37,7 +35,10 @@ impl NoiseModel {
     pub fn apply(&self, z: &ZMatrix, seed: u64) -> ZMatrix {
         match self {
             NoiseModel::Uniform { level } => {
-                assert!((0.0..1.0).contains(level), "uniform level must be in [0, 1)");
+                assert!(
+                    (0.0..1.0).contains(level),
+                    "uniform level must be in [0, 1)"
+                );
             }
             NoiseModel::Gaussian { sigma } => {
                 assert!(
@@ -46,17 +47,16 @@ impl NoiseModel {
                 );
             }
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = SeededRng::seed_from_u64(seed);
         let mut out = z.clone();
         for v in out.as_mut_slice() {
             let eps = match self {
-                NoiseModel::Uniform { level } => rng.gen_range(-*level..=*level),
+                NoiseModel::Uniform { level } => rng.gen_range_inclusive(-*level, *level),
                 NoiseModel::Gaussian { sigma } => {
                     // Box–Muller.
-                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    let n = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let u1: f64 = rng.next_f64_open();
+                    let u2: f64 = rng.next_f64();
+                    let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (sigma * n).clamp(-5.0 * sigma, 5.0 * sigma)
                 }
             };
@@ -124,8 +124,14 @@ mod tests {
 
     #[test]
     fn max_relative_error_reported() {
-        assert_eq!(NoiseModel::Uniform { level: 0.01 }.max_relative_error(), 0.01);
-        assert_eq!(NoiseModel::Gaussian { sigma: 0.02 }.max_relative_error(), 0.1);
+        assert_eq!(
+            NoiseModel::Uniform { level: 0.01 }.max_relative_error(),
+            0.01
+        );
+        assert_eq!(
+            NoiseModel::Gaussian { sigma: 0.02 }.max_relative_error(),
+            0.1
+        );
     }
 
     #[test]

@@ -52,12 +52,7 @@ impl WirePath {
 /// The number of paths grows super-exponentially; callers must keep
 /// `min(rows, cols)` small (the guard refuses grids whose exact count
 /// exceeds `limit`, defaulting to 10⁷ when `None`).
-pub fn enumerate_paths(
-    grid: MeaGrid,
-    i: usize,
-    j: usize,
-    limit: Option<u128>,
-) -> Vec<WirePath> {
+pub fn enumerate_paths(grid: MeaGrid, i: usize, j: usize, limit: Option<u128>) -> Vec<WirePath> {
     assert!(i < grid.rows() && j < grid.cols(), "endpoint out of range");
     let limit = limit.unwrap_or(10_000_000);
     let bound = exact_path_count(grid);
@@ -94,7 +89,9 @@ fn dfs_from_horizontal(
         }
         stack.push((h, v));
         if v == target_v {
-            out.push(WirePath { crossings: stack.clone() });
+            out.push(WirePath {
+                crossings: stack.clone(),
+            });
         } else {
             used_v[v] = true;
             dfs_from_vertical(grid, v, target_v, used_h, used_v, stack, out);
@@ -226,7 +223,10 @@ mod tests {
         }
         // Rectangular case.
         let grid = MeaGrid::new(2, 4);
-        assert_eq!(enumerate_paths(grid, 0, 1, None).len() as u128, exact_path_count(grid));
+        assert_eq!(
+            enumerate_paths(grid, 0, 1, None).len() as u128,
+            exact_path_count(grid)
+        );
     }
 
     #[test]
@@ -249,9 +249,8 @@ mod tests {
     #[test]
     fn enumeration_guard_refuses_blowups() {
         // n = 8 yields ~3.99 M paths; cap below that must refuse.
-        let result = std::panic::catch_unwind(|| {
-            enumerate_paths(MeaGrid::square(8), 0, 0, Some(1000))
-        });
+        let result =
+            std::panic::catch_unwind(|| enumerate_paths(MeaGrid::square(8), 0, 0, Some(1000)));
         assert!(result.is_err());
     }
 
@@ -260,9 +259,13 @@ mod tests {
         let grid = MeaGrid::square(3);
         let mut r = CrossingMatrix::filled(grid, 10.0);
         r.set(2, 0, 50.0);
-        let p = WirePath { crossings: vec![(2, 1), (0, 1), (0, 0)] };
+        let p = WirePath {
+            crossings: vec![(2, 1), (0, 1), (0, 0)],
+        };
         assert_eq!(p.series_resistance(&r), 30.0);
-        let d = WirePath { crossings: vec![(2, 0)] };
+        let d = WirePath {
+            crossings: vec![(2, 0)],
+        };
         assert_eq!(d.series_resistance(&r), 50.0);
     }
 

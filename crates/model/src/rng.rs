@@ -1,0 +1,144 @@
+//! Deterministic pseudo-random generator for the synthetic wet lab.
+//!
+//! Replaces the external `rand`/`rand_chacha` pair: dataset generation
+//! needs reproducible-per-seed streams, not cryptographic quality, so a
+//! SplitMix64 core is plenty (it passes BigCrush and is the standard
+//! seeder for the xoshiro family). Keeping it in-tree keeps the workspace
+//! dependency-free and the streams stable across toolchain updates —
+//! generated datasets never change under us.
+
+/// A seeded deterministic generator (SplitMix64 core).
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix once so small consecutive seeds (0, 1, 2, …) do not
+        // produce correlated leading draws.
+        let mut rng = SeededRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)`. `lo < hi` required.
+    pub fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform draw in the closed interval `[lo, hi]`. Accepts `lo == hi`
+    /// (returns `lo`), so zero-width noise bands are exact.
+    pub fn gen_range_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        // 53-bit resolution over [0, 1]: divide by 2^53 − 1 so the top
+        // draw maps exactly to `hi`.
+        let unit = (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + (hi - lo) * unit
+    }
+
+    /// Uniform draw in `(0, 1)` — never exactly zero, safe under `ln()`.
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SeededRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SeededRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SeededRng::seed_from_u64(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SeededRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&v));
+            let w = r.gen_range_inclusive(-1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn zero_width_inclusive_range_is_exact() {
+        let mut r = SeededRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(r.gen_range_inclusive(0.0, 0.0), 0.0);
+            assert_eq!(r.gen_range_inclusive(3.5, 3.5), 3.5);
+        }
+    }
+
+    #[test]
+    fn open_unit_draw_never_zero() {
+        let mut r = SeededRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = r.next_f64_open();
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_centred() {
+        let mut r = SeededRng::seed_from_u64(11);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = SeededRng::seed_from_u64(0);
+        let mut b = SeededRng::seed_from_u64(1);
+        let same = (0..64)
+            .filter(|_| (a.next_u64() & 1) == (b.next_u64() & 1))
+            .count();
+        assert!(
+            (16..=48).contains(&same),
+            "streams look correlated: {same}/64 bits equal"
+        );
+    }
+}

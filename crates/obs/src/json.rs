@@ -1,0 +1,165 @@
+//! A minimal JSON writer — just enough to serialize trace snapshots.
+//!
+//! The workspace is intentionally free of external crates (the build must
+//! work with no registry access), so trace export uses this hand-rolled
+//! emitter instead of serde. It only *writes* JSON; parsing is left to the
+//! consumer (jq, Python, the test suite's checker).
+
+use std::fmt::Write;
+
+/// Escapes and quotes a string per RFC 8259.
+pub fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an f64. JSON has no NaN/Infinity; they are emitted as `null`
+/// so the document stays parseable (a NaN residual is itself a signal the
+/// trace consumer should see, and `null` is unambiguous).
+pub fn number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, keeping the token a JSON number.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a `[...]` array of f64.
+pub fn number_array(out: &mut String, vs: &[f64]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        number(out, *v);
+    }
+    out.push(']');
+}
+
+/// Writes a `[...]` array of usize.
+pub fn usize_array(out: &mut String, vs: &[usize]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Incremental object writer handling comma placement.
+pub struct Object<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Object<'a> {
+    /// Opens a `{`.
+    pub fn begin(out: &'a mut String) -> Self {
+        out.push('{');
+        Object { out, first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        string(self.out, k);
+        self.out.push(':');
+    }
+
+    /// Writes `"k": "v"`.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        string(self.out, v);
+    }
+
+    /// Writes `"k": v` for a float.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        number(self.out, v);
+    }
+
+    /// Writes `"k": v` for an integer.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes `"k": <raw>` where `raw` is already-valid JSON.
+    pub fn field_raw(&mut self, k: &str, raw: &str) {
+        self.key(k);
+        self.out.push_str(raw);
+    }
+
+    /// Closes the `}`.
+    pub fn end(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(s(|o| string(o, "plain")), "\"plain\"");
+        assert_eq!(s(|o| string(o, "a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(s(|o| string(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_stay_valid_json() {
+        assert_eq!(s(|o| number(o, 1.5)), "1.5");
+        assert_eq!(s(|o| number(o, 3.0)), "3.0");
+        assert_eq!(s(|o| number(o, f64::NAN)), "null");
+        assert_eq!(s(|o| number(o, f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn arrays_and_objects_compose() {
+        assert_eq!(s(|o| number_array(o, &[1.0, 2.5])), "[1.0,2.5]");
+        assert_eq!(s(|o| usize_array(o, &[3, 4])), "[3,4]");
+        let out = s(|o| {
+            let mut obj = Object::begin(o);
+            obj.field_str("name", "cg");
+            obj.field_u64("iters", 7);
+            obj.field_f64("residual", 0.25);
+            obj.field_raw("hist", "[1.0]");
+            obj.end();
+        });
+        assert_eq!(
+            out,
+            "{\"name\":\"cg\",\"iters\":7,\"residual\":0.25,\"hist\":[1.0]}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(s(|o| Object::begin(o).end()), "{}");
+    }
+}

@@ -1,0 +1,494 @@
+//! Zero-dependency observability for the Parma pipeline.
+//!
+//! The paper's evaluation hinges on *where time goes*: equation formation
+//! vs. solving, per-worker busy time, iteration counts of the inner
+//! solvers. This crate provides the one shared instrument panel:
+//!
+//! * [`span`] — RAII wall-clock spans with thread-local nesting, so the
+//!   trace shows `pipeline/form_equations`, `pipeline/solve/cg`, …
+//! * [`counter_add`] — monotonic counters (solver iterations, retries,
+//!   steals),
+//! * [`record_series`] — numeric series (residual histories, per-worker
+//!   busy milliseconds), kept one `Vec<f64>` per recording so repeated
+//!   solves stay distinguishable,
+//! * [`snapshot`] / [`Snapshot::to_json`] — export to machine-readable
+//!   JSON for the CLI's `--trace <path>` flag and the bench harness.
+//!
+//! Tracing is **off by default** and the disabled fast path is a single
+//! relaxed atomic load — no allocation, no locking — so instrumented hot
+//! loops cost nothing in normal runs. Everything funnels into one
+//! process-global registry guarded by a `Mutex`; recording happens at
+//! span *end* (and at explicit counter/series calls), never per loop
+//! iteration, so contention stays negligible.
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry::new());
+
+thread_local! {
+    /// Stack of open span names on this thread; defines the path prefix.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Registry {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<Vec<f64>>>,
+}
+
+impl Registry {
+    const fn new() -> Self {
+        Registry {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanStat {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// Turns trace collection on or off. Turning it off does not clear data
+/// already collected; call [`reset`] for that.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace collection is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all collected spans, counters and series.
+pub fn reset() {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.spans.clear();
+    reg.counters.clear();
+    reg.series.clear();
+}
+
+/// Opens a wall-clock span. The returned guard records the elapsed time
+/// into the registry when dropped, keyed by the `/`-joined path of spans
+/// open on this thread (`"pipeline/solve/cg"`). When tracing is disabled
+/// this is a no-op costing one atomic load.
+pub fn span(name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            path: None,
+            start: None,
+        };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = if stack.is_empty() {
+            name.to_string()
+        } else {
+            let mut p = stack.join("/");
+            p.push('/');
+            p.push_str(name);
+            p
+        };
+        stack.push(name.to_string());
+        path
+    });
+    SpanGuard {
+        path: Some(path),
+        start: Some(Instant::now()),
+    }
+}
+
+/// RAII guard returned by [`span`]. Dropping it closes the span.
+#[must_use = "a span measures until dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    path: Option<String>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(path), Some(start)) = (self.path.take(), self.start) else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut reg = REGISTRY.lock().unwrap();
+        let stat = reg.spans.entry(path).or_default();
+        stat.count += 1;
+        stat.total += elapsed;
+        stat.max = stat.max.max(elapsed);
+    }
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Records one numeric series (e.g. a residual history) under `name`.
+/// Repeated calls with the same name append separate series, preserving
+/// per-solve structure. No-op when disabled.
+pub fn record_series(name: &str, values: &[f64]) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.series
+        .entry(name.to_string())
+        .or_default()
+        .push(values.to_vec());
+}
+
+/// Collects one numeric series (typically a residual history) and records
+/// it on drop, together with an iteration counter. When tracing is
+/// disabled at construction the pushes are no-ops and nothing is
+/// recorded, so hot solver loops can push unconditionally. Drop-based
+/// recording means every exit path of a solver — convergence, breakdown,
+/// budget exhaustion — still lands in the trace.
+pub struct SeriesRecorder {
+    series_name: &'static str,
+    counter_name: &'static str,
+    values: Option<Vec<f64>>,
+}
+
+impl SeriesRecorder {
+    /// A recorder writing the series under `series_name` and adding the
+    /// series length to `counter_name` when dropped.
+    pub fn new(series_name: &'static str, counter_name: &'static str) -> Self {
+        SeriesRecorder {
+            series_name,
+            counter_name,
+            values: is_enabled().then(Vec::new),
+        }
+    }
+
+    /// Appends one value (no-op when tracing was disabled at creation).
+    pub fn push(&mut self, v: f64) {
+        if let Some(values) = self.values.as_mut() {
+            values.push(v);
+        }
+    }
+}
+
+impl Drop for SeriesRecorder {
+    fn drop(&mut self) {
+        if let Some(values) = self.values.take() {
+            counter_add(self.counter_name, values.len() as u64);
+            record_series(self.series_name, &values);
+        }
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// `/`-joined nesting path.
+    pub path: String,
+    /// How many times the span closed.
+    pub count: u64,
+    /// Sum of elapsed wall-clock across closings.
+    pub total: Duration,
+    /// Longest single closing.
+    pub max: Duration,
+}
+
+/// A point-in-time copy of everything collected so far.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Span timings sorted by path.
+    pub spans: Vec<SpanRecord>,
+    /// Counters sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Series sorted by name; each recording is kept separate.
+    pub series: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+impl Default for SpanRecord {
+    fn default() -> Self {
+        SpanRecord {
+            path: String::new(),
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+/// Copies the current registry contents.
+pub fn snapshot() -> Snapshot {
+    let reg = REGISTRY.lock().unwrap();
+    Snapshot {
+        spans: reg
+            .spans
+            .iter()
+            .map(|(path, s)| SpanRecord {
+                path: path.clone(),
+                count: s.count,
+                total: s.total,
+                max: s.max,
+            })
+            .collect(),
+        counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        series: reg
+            .series
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    }
+}
+
+impl Snapshot {
+    /// Looks up a span record by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up all recordings of a series by name.
+    pub fn series(&self, name: &str) -> Option<&[Vec<f64>]> {
+        self.series
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Serializes the snapshot to a compact JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "spans": [{"path": "...", "count": n, "total_ms": x, "max_ms": y}],
+    ///   "counters": {"name": n},
+    ///   "series": {"name": [[...], [...]]}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut root = json::Object::begin(&mut out);
+
+        let mut spans = String::from("[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            let mut obj = json::Object::begin(&mut spans);
+            obj.field_str("path", &s.path);
+            obj.field_u64("count", s.count);
+            obj.field_f64("total_ms", s.total.as_secs_f64() * 1e3);
+            obj.field_f64("max_ms", s.max.as_secs_f64() * 1e3);
+            obj.end();
+        }
+        spans.push(']');
+        root.field_raw("spans", &spans);
+
+        let mut counters = String::new();
+        {
+            let mut obj = json::Object::begin(&mut counters);
+            for (k, v) in &self.counters {
+                obj.field_u64(k, *v);
+            }
+            obj.end();
+        }
+        root.field_raw("counters", &counters);
+
+        let mut series = String::new();
+        {
+            let mut obj = json::Object::begin(&mut series);
+            for (k, recordings) in &self.series {
+                let mut arr = String::from("[");
+                for (i, rec) in recordings.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    json::number_array(&mut arr, rec);
+                }
+                arr.push(']');
+                obj.field_raw(k, &arr);
+            }
+            obj.end();
+        }
+        root.field_raw("series", &series);
+
+        root.end();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The registry is process-global, so tests that enable tracing must
+    /// not interleave; they serialize on this lock.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("never");
+            counter_add("never", 3);
+            record_series("never", &[1.0]);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.series.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.span("outer").unwrap().count, 1);
+        let inner = snap.span("outer/inner").unwrap();
+        assert_eq!(inner.count, 2);
+        assert!(inner.total >= inner.max);
+        assert!(
+            snap.span("inner").is_none(),
+            "nested span must not appear as a root path"
+        );
+    }
+
+    #[test]
+    fn counters_and_series_accumulate() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        counter_add("iters", 5);
+        counter_add("iters", 2);
+        record_series("residuals", &[1.0, 0.5]);
+        record_series("residuals", &[2.0]);
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("iters"), Some(7));
+        assert_eq!(
+            snap.series("residuals").unwrap(),
+            &[vec![1.0, 0.5], vec![2.0]]
+        );
+    }
+
+    #[test]
+    fn spans_from_many_threads_aggregate() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        let _s = span("worker");
+                        counter_add("ticks", 1);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.span("worker").unwrap().count, 32);
+        assert_eq!(snap.counter("ticks"), Some(32));
+    }
+
+    #[test]
+    fn snapshot_serializes_to_wellformed_json() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("stage");
+        }
+        counter_add("n", 1);
+        record_series("r", &[1.0, f64::NAN]);
+        set_enabled(false);
+        let json = snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"spans\":["));
+        assert!(json.contains("\"path\":\"stage\""));
+        assert!(json.contains("\"counters\":{\"n\":1}"));
+        assert!(json.contains("\"series\":{\"r\":[[1.0,null]]}"));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn series_recorder_records_on_drop() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let mut rec = SeriesRecorder::new("rec.residuals", "rec.iterations");
+            rec.push(1.0);
+            rec.push(0.5);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.series("rec.residuals").unwrap(), &[vec![1.0, 0.5]]);
+        assert_eq!(snap.counter("rec.iterations"), Some(2));
+    }
+
+    #[test]
+    fn series_recorder_disabled_is_inert() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        {
+            let mut rec = SeriesRecorder::new("rec.residuals", "rec.iterations");
+            rec.push(1.0);
+        }
+        assert!(snapshot().series.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = guard();
+        set_enabled(true);
+        counter_add("x", 1);
+        reset();
+        set_enabled(false);
+        assert_eq!(snapshot().counter("x"), None);
+    }
+}

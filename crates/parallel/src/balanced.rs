@@ -74,9 +74,15 @@ mod tests {
         // LPT must put the two heavy items on different workers.
         let costs = [1u64, 1, 30, 30];
         let groups = partition_lpt(&costs, 2);
-        let spans: Vec<u64> =
-            groups.iter().map(|g| g.iter().map(|&i| costs[i]).sum()).collect();
-        assert_eq!(spans.iter().max(), spans.iter().min(), "perfect split exists");
+        let spans: Vec<u64> = groups
+            .iter()
+            .map(|g| g.iter().map(|&i| costs[i]).sum())
+            .collect();
+        assert_eq!(
+            spans.iter().max(),
+            spans.iter().min(),
+            "perfect split exists"
+        );
     }
 
     #[test]

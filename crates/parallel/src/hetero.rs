@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn uniform_speeds_match_homogeneous_simulation() {
         let costs = vec![1e-3; 1000];
-        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0; 16] };
+        let model = HeteroClusterModel {
+            base: base(),
+            rank_speeds: vec![1.0; 16],
+        };
         let hetero = simulate_hetero(&model, &costs, 10, 8000, HeteroPartition::Naive);
         let homo = simulate(&base(), 16, &costs, 10, 8000);
         assert!((hetero.total_secs - homo.total_secs).abs() < 1e-12);
@@ -169,7 +172,10 @@ mod tests {
     fn weighted_is_near_optimal_for_uniform_items() {
         let costs = vec![2e-4; 1000];
         let speeds = vec![3.0, 1.0, 2.0, 1.0];
-        let model = HeteroClusterModel { base: base(), rank_speeds: speeds.clone() };
+        let model = HeteroClusterModel {
+            base: base(),
+            rank_speeds: speeds.clone(),
+        };
         let rep = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::SpeedWeighted);
         let total_work: f64 = costs.iter().sum();
         let ideal = total_work / speeds.iter().sum::<f64>();
@@ -191,7 +197,10 @@ mod tests {
     #[test]
     fn more_ranks_than_items_handled() {
         let costs = vec![1e-3; 3];
-        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0; 10] };
+        let model = HeteroClusterModel {
+            base: base(),
+            rank_speeds: vec![1.0; 10],
+        };
         let rep = simulate_hetero(&model, &costs, 0, 0, HeteroPartition::SpeedWeighted);
         assert!(rep.compute_secs >= 1e-3 - 1e-12);
     }
@@ -199,7 +208,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_speed_rejected() {
-        let model = HeteroClusterModel { base: base(), rank_speeds: vec![1.0, 0.0] };
+        let model = HeteroClusterModel {
+            base: base(),
+            rank_speeds: vec![1.0, 0.0],
+        };
         let _ = simulate_hetero(&model, &[1.0], 0, 0, HeteroPartition::Naive);
     }
 }

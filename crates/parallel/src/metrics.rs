@@ -1,5 +1,6 @@
 //! Execution reporting shared by the strategies and the figure harness.
 
+use crate::pool::PoolStats;
 use std::time::Duration;
 
 /// Timing summary of one strategy execution.
@@ -9,11 +10,16 @@ pub struct ExecutionReport {
     pub strategy_label: String,
     /// End-to-end wall-clock of the mapped workload.
     pub wall: Duration,
-    /// Busy time per worker (length = worker count; rayon reports a single
-    /// aggregate entry because it does not expose per-worker clocks).
+    /// Busy time per worker (length = worker count).
     pub per_worker_busy: Vec<Duration>,
+    /// Items executed per worker (length = worker count; empty when the
+    /// strategy cannot attribute items to workers).
+    pub per_worker_items: Vec<usize>,
     /// Number of work items executed.
     pub items: usize,
+    /// Full scheduler telemetry when the strategy ran on the work-stealing
+    /// pool (steal counts, chunk layout); `None` for static strategies.
+    pub scheduler: Option<PoolStats>,
 }
 
 impl ExecutionReport {
@@ -24,7 +30,12 @@ impl ExecutionReport {
         if self.per_worker_busy.len() <= 1 {
             return 1.0;
         }
-        let max = self.per_worker_busy.iter().max().copied().unwrap_or_default();
+        let max = self
+            .per_worker_busy
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default();
         if max.is_zero() {
             return 1.0;
         }
@@ -56,7 +67,9 @@ mod tests {
             strategy_label: "test".into(),
             wall: Duration::from_millis(wall_ms),
             per_worker_busy: busy_ms.iter().map(|&m| Duration::from_millis(m)).collect(),
+            per_worker_items: Vec::new(),
             items,
+            scheduler: None,
         }
     }
 

@@ -27,12 +27,18 @@ impl CommModel {
     /// FDR InfiniBand (the paper's interconnect): ~0.7 µs latency,
     /// 56 Gbit/s ≈ 6.8 GB/s effective.
     pub fn fdr_infiniband() -> Self {
-        CommModel { latency_secs: 0.7e-6, bandwidth_bytes_per_sec: 6.8e9 }
+        CommModel {
+            latency_secs: 0.7e-6,
+            bandwidth_bytes_per_sec: 6.8e9,
+        }
     }
 
     /// Shared-memory transport within one node: ~0.1 µs, ~20 GB/s.
     pub fn shared_memory() -> Self {
-        CommModel { latency_secs: 0.1e-6, bandwidth_bytes_per_sec: 20e9 }
+        CommModel {
+            latency_secs: 0.1e-6,
+            bandwidth_bytes_per_sec: 20e9,
+        }
     }
 
     /// Time to move one message of `bytes`.
@@ -137,7 +143,11 @@ pub fn simulate(
     let serial: f64 = costs.iter().sum();
     let p = ranks.min(costs.len()).max(1);
     let compute = (0..p)
-        .map(|r| block_range(costs.len(), p, r).map(|i| costs[i]).sum::<f64>())
+        .map(|r| {
+            block_range(costs.len(), p, r)
+                .map(|i| costs[i])
+                .sum::<f64>()
+        })
         .fold(0.0f64, f64::max);
     let transport = cluster.transport_for(ranks);
     let comm = rounds as f64 * transport.allgather_time(bytes_per_round, ranks);
@@ -202,7 +212,10 @@ mod tests {
 
     #[test]
     fn allgather_time_grows_logarithmically_in_latency() {
-        let c = CommModel { latency_secs: 1.0, bandwidth_bytes_per_sec: f64::INFINITY };
+        let c = CommModel {
+            latency_secs: 1.0,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        };
         assert_eq!(c.allgather_time(1000, 1), 0.0);
         assert_eq!(c.allgather_time(1000, 2), 1.0);
         assert_eq!(c.allgather_time(1000, 8), 3.0);
@@ -211,7 +224,10 @@ mod tests {
 
     #[test]
     fn message_time_combines_latency_and_bandwidth() {
-        let c = CommModel { latency_secs: 2.0, bandwidth_bytes_per_sec: 10.0 };
+        let c = CommModel {
+            latency_secs: 2.0,
+            bandwidth_bytes_per_sec: 10.0,
+        };
         assert_eq!(c.message_time(50), 7.0);
     }
 

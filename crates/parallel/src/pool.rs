@@ -1,20 +1,29 @@
-//! A work-stealing scheduler built on crossbeam-deque.
+//! A work-stealing scheduler built on std primitives only.
 //!
-//! This is the crate's own fine-grained engine (the alternative to rayon
-//! for the PyMP-k role): a fixed set of workers, a global injector seeded
-//! with index *ranges* (chunks), per-worker LIFO deques and random-victim
-//! stealing. Because the task set is closed (tasks never spawn tasks),
-//! termination is a simple completed-items counter.
+//! This is the crate's own fine-grained engine (the PyMP-k role): a fixed
+//! set of workers, a global injector seeded with index *ranges* (chunks),
+//! per-worker LIFO deques and round-robin victim stealing. Because the
+//! task set is closed (tasks never spawn tasks), termination is a simple
+//! completed-items counter.
+//!
+//! Mutex-guarded `VecDeque`s stand in for lock-free deques; chunking keeps
+//! queue traffic far off the hot path (one lock round-trip per chunk, not
+//! per item), so the scheduler stays competitive while the workspace stays
+//! dependency-free.
 //!
 //! Results are written into pre-allocated slots through a `Sync` unsafe
 //! cell; safety rests on the scheduler's exactly-once dispatch of each
 //! index, which the tests pound on.
+//!
+//! Every run also records [`PoolStats`] — per-worker busy time, item and
+//! steal counts, and the chunk layout — which the observability layer
+//! (`mea-obs`, wired in by `parma`) surfaces in machine-readable traces.
 
-use crossbeam_deque::{Injector, Stealer, Worker};
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Write-once result slots shared across workers.
@@ -22,7 +31,7 @@ use std::time::{Duration, Instant};
 /// # Safety contract
 /// Each index is written at most once, by the single worker that claimed
 /// it from the scheduler, and only read after every worker has joined.
-struct Slots<T> {
+pub(crate) struct Slots<T> {
     data: Vec<UnsafeCell<MaybeUninit<T>>>,
 }
 
@@ -32,19 +41,23 @@ struct Slots<T> {
 unsafe impl<T: Send> Sync for Slots<T> {}
 
 impl<T> Slots<T> {
-    fn new(n: usize) -> Self {
-        Slots { data: (0..n).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect() }
+    pub(crate) fn new(n: usize) -> Self {
+        Slots {
+            data: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
     }
 
     /// # Safety
     /// `i` must be claimed exactly once across all workers.
-    unsafe fn write(&self, i: usize, value: T) {
+    pub(crate) unsafe fn write(&self, i: usize, value: T) {
         (*self.data[i].get()).write(value);
     }
 
     /// # Safety
     /// Every slot must have been written and all workers joined.
-    unsafe fn into_vec(self) -> Vec<T> {
+    pub(crate) unsafe fn into_vec(self) -> Vec<T> {
         self.data
             .into_iter()
             .map(|cell| cell.into_inner().assume_init())
@@ -52,16 +65,52 @@ impl<T> Slots<T> {
     }
 }
 
+/// Per-worker activity of one scheduler run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Wall time the worker spent inside the run (spawn to exit).
+    pub busy: Duration,
+    /// Items this worker executed.
+    pub items: usize,
+    /// Chunks this worker obtained by raiding a peer's deque.
+    pub steals: usize,
+}
+
+/// Scheduler-level telemetry of one `map_indexed` run.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// One entry per worker.
+    pub workers: Vec<WorkerStats>,
+    /// Number of chunks the index space was split into.
+    pub chunks: usize,
+    /// Items per chunk (the last chunk may be smaller).
+    pub chunk_size: usize,
+    /// Total items mapped.
+    pub items: usize,
+}
+
+impl PoolStats {
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> usize {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+}
+
 /// A fixed-width work-stealing pool for index-space maps.
 pub struct WorkStealingPool {
     threads: usize,
     last_busy: Mutex<Vec<Duration>>,
+    last_stats: Mutex<PoolStats>,
 }
 
 impl WorkStealingPool {
     /// A pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
-        WorkStealingPool { threads: threads.max(1), last_busy: Mutex::new(Vec::new()) }
+        WorkStealingPool {
+            threads: threads.max(1),
+            last_busy: Mutex::new(Vec::new()),
+            last_stats: Mutex::new(PoolStats::default()),
+        }
     }
 
     /// Worker count.
@@ -71,7 +120,12 @@ impl WorkStealingPool {
 
     /// Per-worker busy durations of the most recent [`Self::map_indexed`].
     pub fn last_busy_times(&self) -> Vec<Duration> {
-        self.last_busy.lock().clone()
+        self.last_busy.lock().expect("pool mutex poisoned").clone()
+    }
+
+    /// Full scheduler telemetry of the most recent [`Self::map_indexed`].
+    pub fn last_stats(&self) -> PoolStats {
+        self.last_stats.lock().expect("pool mutex poisoned").clone()
     }
 
     /// Computes `f(i)` for every `i in 0..n` with dynamic load balancing;
@@ -82,56 +136,50 @@ impl WorkStealingPool {
         F: Fn(usize) -> T + Sync,
     {
         if n == 0 {
-            *self.last_busy.lock() = vec![Duration::ZERO; self.threads];
+            *self.last_busy.lock().expect("pool mutex poisoned") =
+                vec![Duration::ZERO; self.threads];
+            *self.last_stats.lock().expect("pool mutex poisoned") = PoolStats {
+                workers: vec![WorkerStats::default(); self.threads],
+                ..PoolStats::default()
+            };
             return Vec::new();
         }
         let slots = Slots::new(n);
-        let injector: Injector<(usize, usize)> = Injector::new();
         // Chunk the index space: big enough to amortize queue traffic,
-        // small enough that stealing can still balance (≥ 4 chunks per
+        // small enough that stealing can still balance (≥ 8 chunks per
         // worker when possible).
         let chunk = (n / (self.threads * 8)).max(1);
+        let mut injector: VecDeque<(usize, usize)> = VecDeque::new();
         let mut start = 0;
         while start < n {
             let end = (start + chunk).min(n);
-            injector.push((start, end));
+            injector.push_back((start, end));
             start = end;
         }
+        let chunks = injector.len();
+        let injector = Mutex::new(injector);
+        let deques: Vec<Mutex<VecDeque<(usize, usize)>>> = (0..self.threads)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         let completed = AtomicUsize::new(0);
-        let workers: Vec<Worker<(usize, usize)>> =
-            (0..self.threads).map(|_| Worker::new_lifo()).collect();
-        let stealers: Vec<Stealer<(usize, usize)>> =
-            workers.iter().map(Worker::stealer).collect();
-        let mut busy = vec![Duration::ZERO; self.threads];
+        let mut stats = vec![WorkerStats::default(); self.threads];
         std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .enumerate()
-                .map(|(me, local)| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|me| {
                     let injector = &injector;
-                    let stealers = &stealers;
+                    let deques = &deques;
                     let completed = &completed;
                     let slots = &slots;
                     let f = &f;
                     scope.spawn(move || {
                         let t0 = Instant::now();
-                        let mut done_here = 0usize;
+                        let mut local = WorkerStats::default();
                         loop {
-                            let task = local.pop().or_else(|| {
-                                // Refill from the injector, then raid peers.
-                                std::iter::repeat_with(|| {
-                                    injector.steal_batch_and_pop(&local).or_else(|| {
-                                        stealers
-                                            .iter()
-                                            .enumerate()
-                                            .filter(|(other, _)| *other != me)
-                                            .map(|(_, s)| s.steal())
-                                            .collect()
-                                    })
-                                })
-                                .find(|s| !s.is_retry())
-                                .and_then(|s| s.success())
-                            });
+                            let task = pop_local(&deques[me])
+                                .or_else(|| refill_from_injector(injector, &deques[me]))
+                                .or_else(|| {
+                                    steal_from_peers(deques, me).inspect(|_| local.steals += 1)
+                                });
                             match task {
                                 Some((lo, hi)) => {
                                     for i in lo..hi {
@@ -141,7 +189,7 @@ impl WorkStealingPool {
                                         // scheduler.
                                         unsafe { slots.write(i, value) };
                                     }
-                                    done_here += hi - lo;
+                                    local.items += hi - lo;
                                     completed.fetch_add(hi - lo, Ordering::Release);
                                 }
                                 None => {
@@ -152,21 +200,128 @@ impl WorkStealingPool {
                                 }
                             }
                         }
-                        (t0.elapsed(), done_here)
+                        local.busy = t0.elapsed();
+                        local
                     })
                 })
                 .collect();
             for (w, h) in handles.into_iter().enumerate() {
-                let (elapsed, _count) = h.join().expect("work-stealing worker panicked");
-                busy[w] = elapsed;
+                stats[w] = h.join().expect("work-stealing worker panicked");
             }
         });
         debug_assert_eq!(completed.load(Ordering::Acquire), n);
-        *self.last_busy.lock() = busy;
+        *self.last_busy.lock().expect("pool mutex poisoned") =
+            stats.iter().map(|s| s.busy).collect();
+        *self.last_stats.lock().expect("pool mutex poisoned") = PoolStats {
+            workers: stats,
+            chunks,
+            chunk_size: chunk,
+            items: n,
+        };
         // SAFETY: the completed counter reached n, so every slot was
         // written exactly once, and all workers have joined.
         unsafe { slots.into_vec() }
     }
+}
+
+/// LIFO pop from the worker's own deque (depth-first on its own work).
+fn pop_local(deque: &Mutex<VecDeque<(usize, usize)>>) -> Option<(usize, usize)> {
+    deque.lock().expect("worker deque poisoned").pop_back()
+}
+
+/// Moves a batch of chunks from the injector into the local deque and
+/// returns the first.
+fn refill_from_injector(
+    injector: &Mutex<VecDeque<(usize, usize)>>,
+    local: &Mutex<VecDeque<(usize, usize)>>,
+) -> Option<(usize, usize)> {
+    let mut inj = injector.lock().expect("injector poisoned");
+    let first = inj.pop_front()?;
+    // Take up to three more in one lock round-trip; the batch keeps the
+    // injector from becoming a convoy under many workers.
+    let extra: Vec<_> = (0..3).filter_map(|_| inj.pop_front()).collect();
+    drop(inj);
+    if !extra.is_empty() {
+        local.lock().expect("worker deque poisoned").extend(extra);
+    }
+    Some(first)
+}
+
+/// FIFO-steals one chunk from the first non-empty peer after `me`.
+fn steal_from_peers(
+    deques: &[Mutex<VecDeque<(usize, usize)>>],
+    me: usize,
+) -> Option<(usize, usize)> {
+    let k = deques.len();
+    for off in 1..k {
+        let victim = (me + off) % k;
+        if let Some(task) = deques[victim]
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Dynamic self-scheduling map over `0..n` on `threads` workers: each
+/// worker claims the next chunk from a shared atomic cursor (the classic
+/// PyMP/OpenMP `schedule(dynamic)` loop). Returns results in index order
+/// plus per-worker activity.
+pub(crate) fn self_scheduling_map<T, F>(
+    threads: usize,
+    n: usize,
+    f: F,
+) -> (Vec<T>, Vec<WorkerStats>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1);
+    if n == 0 {
+        return (Vec::new(), vec![WorkerStats::default(); threads]);
+    }
+    let chunk = (n / (threads * 8)).max(1);
+    let slots = Slots::new(n);
+    let cursor = AtomicUsize::new(0);
+    let mut stats = vec![WorkerStats::default(); threads];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut local = WorkerStats::default();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        for i in lo..hi {
+                            let value = f(i);
+                            // SAFETY: the atomic cursor hands out each
+                            // index exactly once.
+                            unsafe { slots.write(i, value) };
+                        }
+                        local.items += hi - lo;
+                    }
+                    local.busy = t0.elapsed();
+                    local
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
+            stats[w] = h.join().expect("self-scheduling worker panicked");
+        }
+    });
+    // SAFETY: the cursor swept the whole range and all workers joined, so
+    // every slot was written exactly once.
+    (unsafe { slots.into_vec() }, stats)
 }
 
 #[cfg(test)]
@@ -190,7 +345,11 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
         let _ = pool.map_indexed(512, |i| hits[i].fetch_add(1, Ordering::Relaxed));
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} ran a wrong number of times");
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "index {i} ran a wrong number of times"
+            );
         }
     }
 
@@ -251,5 +410,51 @@ mod tests {
         });
         let busy = pool.last_busy_times();
         assert_eq!(busy.len(), 3);
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let pool = WorkStealingPool::new(4);
+        let _ = pool.map_indexed(777, |i| i);
+        let stats = pool.last_stats();
+        assert_eq!(stats.items, 777);
+        assert_eq!(stats.workers.len(), 4);
+        let executed: usize = stats.workers.iter().map(|w| w.items).sum();
+        assert_eq!(
+            executed, 777,
+            "per-worker item counts must sum to the total"
+        );
+        assert!(stats.chunks >= 1 && stats.chunk_size >= 1);
+        assert!(stats.chunks >= stats.items / stats.chunk_size);
+    }
+
+    #[test]
+    fn empty_run_resets_stats() {
+        let pool = WorkStealingPool::new(2);
+        let _ = pool.map_indexed(100, |i| i);
+        let _: Vec<usize> = pool.map_indexed(0, |i| i);
+        let stats = pool.last_stats();
+        assert_eq!(stats.items, 0);
+        assert_eq!(stats.workers.len(), 2);
+    }
+
+    #[test]
+    fn self_scheduling_maps_in_order() {
+        let (out, stats) = self_scheduling_map(3, 500, |i| i * 2);
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.items).sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn self_scheduling_handles_empty_and_single() {
+        let (out, stats) = self_scheduling_map(4, 0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.len(), 4);
+        let (one, _) = self_scheduling_map(4, 1, |i| i + 7);
+        assert_eq!(one, vec![7]);
     }
 }

@@ -2,8 +2,7 @@
 
 use crate::balanced::partition_lpt;
 use crate::metrics::ExecutionReport;
-use crate::pool::WorkStealingPool;
-use rayon::prelude::*;
+use crate::pool::{self, PoolStats, WorkStealingPool};
 use std::time::{Duration, Instant};
 
 /// Number of §IV-A constraint categories.
@@ -35,14 +34,14 @@ pub enum Strategy {
         /// Worker count.
         threads: usize,
     },
-    /// Fine-grained dynamic work sharing on a rayon pool — the PyMP-k
-    /// analogue (§IV-C.2).
+    /// Fine-grained dynamic work sharing via a self-scheduling chunk
+    /// cursor — the PyMP-k analogue (§IV-C.2).
     FineGrained {
         /// Worker count (the paper's `k`).
         threads: usize,
     },
     /// Fine-grained dynamic scheduling on this crate's own
-    /// crossbeam-deque work-stealing pool.
+    /// work-stealing pool.
     WorkStealing {
         /// Worker count.
         threads: usize,
@@ -86,7 +85,8 @@ where
     execute_with_report(strategy, items, f).0
 }
 
-/// Like [`execute`], also returning wall-clock and per-worker busy time.
+/// Like [`execute`], also returning wall-clock, per-worker busy time and
+/// (for dynamic strategies) full scheduler telemetry.
 pub fn execute_with_report<T, F>(
     strategy: Strategy,
     items: &[WorkItem],
@@ -101,11 +101,12 @@ where
         "WorkItem ids must be dense and in order"
     );
     let start = Instant::now();
-    let (results, busy) = match strategy {
+    let mut scheduler: Option<PoolStats> = None;
+    let (results, busy, per_items) = match strategy {
         Strategy::SingleThread => {
             let t0 = Instant::now();
             let out: Vec<T> = items.iter().map(&f).collect();
-            (out, vec![t0.elapsed()])
+            (out, vec![t0.elapsed()], vec![items.len()])
         }
         Strategy::Parallel4 => {
             let groups: Vec<Vec<usize>> = (0..CATEGORY_COUNT)
@@ -125,44 +126,60 @@ where
             run_partitioned(items, &groups, &f)
         }
         Strategy::FineGrained { threads } => {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads.max(1))
-                .build()
-                .expect("failed to build rayon pool");
-            let t0 = Instant::now();
-            let out: Vec<T> = pool.install(|| items.par_iter().map(&f).collect());
-            // rayon does not expose per-worker busy time; report wall time
-            // as a single aggregate.
-            (out, vec![t0.elapsed()])
+            let (out, workers) =
+                pool::self_scheduling_map(threads.max(1), items.len(), |i| f(&items[i]));
+            let busy: Vec<Duration> = workers.iter().map(|w| w.busy).collect();
+            let per_items: Vec<usize> = workers.iter().map(|w| w.items).collect();
+            (out, busy, per_items)
         }
         Strategy::WorkStealing { threads } => {
             let pool = WorkStealingPool::new(threads.max(1));
-            return_from_pool(&pool, items, &f, start)
+            let out = pool.map_indexed(items.len(), |i| f(&items[i]));
+            let stats = pool.last_stats();
+            let busy: Vec<Duration> = stats.workers.iter().map(|w| w.busy).collect();
+            let per_items: Vec<usize> = stats.workers.iter().map(|w| w.items).collect();
+            scheduler = Some(stats);
+            (out, busy, per_items)
         }
     };
     let report = ExecutionReport {
         strategy_label: strategy.label(),
         wall: start.elapsed(),
         per_worker_busy: busy,
+        per_worker_items: per_items,
         items: items.len(),
+        scheduler,
     };
+    record_report(&report);
     (results, report)
 }
 
-fn return_from_pool<T, F>(
-    pool: &WorkStealingPool,
-    items: &[WorkItem],
-    f: &F,
-    start: Instant,
-) -> (Vec<T>, Vec<Duration>)
-where
-    T: Send,
-    F: Fn(&WorkItem) -> T + Sync,
-{
-    let _ = start;
-    let out = pool.map_indexed(items.len(), |i| f(&items[i]));
-    let busy = pool.last_busy_times();
-    (out, busy)
+/// Feeds an execution's telemetry into the process-global observability
+/// registry (no-op when tracing is disabled). Per-worker figures go into
+/// per-worker counters so repeated executions — e.g. one sweep per solver
+/// iteration — aggregate instead of growing the trace unboundedly.
+fn record_report(report: &ExecutionReport) {
+    if !mea_obs::is_enabled() {
+        return;
+    }
+    mea_obs::counter_add("parallel.executions", 1);
+    mea_obs::counter_add("parallel.items", report.items as u64);
+    for (w, busy) in report.per_worker_busy.iter().enumerate() {
+        mea_obs::counter_add(
+            &format!("parallel.worker.{w}.busy_us"),
+            busy.as_micros() as u64,
+        );
+    }
+    for (w, items) in report.per_worker_items.iter().enumerate() {
+        mea_obs::counter_add(&format!("parallel.worker.{w}.items"), *items as u64);
+    }
+    if let Some(stats) = &report.scheduler {
+        mea_obs::counter_add("parallel.chunks", stats.chunks as u64);
+        mea_obs::counter_add("parallel.steals", stats.total_steals() as u64);
+        for (w, ws) in stats.workers.iter().enumerate() {
+            mea_obs::counter_add(&format!("parallel.worker.{w}.steals"), ws.steals as u64);
+        }
+    }
 }
 
 /// Runs explicit index groups on scoped threads, one thread per group, and
@@ -171,13 +188,14 @@ fn run_partitioned<T, F>(
     items: &[WorkItem],
     groups: &[Vec<usize>],
     f: &F,
-) -> (Vec<T>, Vec<Duration>)
+) -> (Vec<T>, Vec<Duration>, Vec<usize>)
 where
     T: Send,
     F: Fn(&WorkItem) -> T + Sync,
 {
     let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
     let mut busy = vec![Duration::ZERO; groups.len()];
+    let per_items: Vec<usize> = groups.iter().map(Vec::len).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
@@ -204,7 +222,7 @@ where
         .enumerate()
         .map(|(id, s)| s.unwrap_or_else(|| panic!("work item {id} was never scheduled")))
         .collect();
-    (results, busy)
+    (results, busy, per_items)
 }
 
 #[cfg(test)]
@@ -214,7 +232,11 @@ mod tests {
 
     fn items(n: usize) -> Vec<WorkItem> {
         (0..n)
-            .map(|id| WorkItem { id, category: id % CATEGORY_COUNT, cost: (id as u64 % 7) + 1 })
+            .map(|id| WorkItem {
+                id,
+                category: id % CATEGORY_COUNT,
+                cost: (id as u64 % 7) + 1,
+            })
             .collect()
     }
 
@@ -234,7 +256,10 @@ mod tests {
         let expected: Vec<usize> = work.iter().map(|w| w.id * 3 + 1).collect();
         for s in all_strategies() {
             let got = execute(s, &work, |w| w.id * 3 + 1);
-            assert_eq!(got, expected, "strategy {s:?} must match the sequential result");
+            assert_eq!(
+                got, expected,
+                "strategy {s:?} must match the sequential result"
+            );
         }
     }
 
@@ -273,6 +298,7 @@ mod tests {
         assert_eq!(report.items, 16);
         assert!(report.strategy_label.starts_with("Balanced"));
         assert_eq!(report.per_worker_busy.len(), 2);
+        assert_eq!(report.per_worker_items.iter().sum::<usize>(), 16);
         assert!(report.wall >= Duration::ZERO);
     }
 
@@ -281,6 +307,37 @@ mod tests {
         let work = items(32);
         let (_, report) = execute_with_report(Strategy::Parallel4, &work, |w| w.id);
         assert_eq!(report.per_worker_busy.len(), CATEGORY_COUNT);
+        assert_eq!(report.per_worker_items.iter().sum::<usize>(), 32);
+        assert!(
+            report.scheduler.is_none(),
+            "static strategy has no pool stats"
+        );
+    }
+
+    #[test]
+    fn dynamic_strategies_attribute_every_item() {
+        for s in [
+            Strategy::FineGrained { threads: 3 },
+            Strategy::WorkStealing { threads: 3 },
+        ] {
+            let work = items(200);
+            let (_, report) = execute_with_report(s, &work, |w| w.id);
+            assert_eq!(report.per_worker_busy.len(), 3, "{s:?}");
+            assert_eq!(report.per_worker_items.len(), 3, "{s:?}");
+            assert_eq!(report.per_worker_items.iter().sum::<usize>(), 200, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_report_carries_pool_stats() {
+        let work = items(128);
+        let (_, report) =
+            execute_with_report(Strategy::WorkStealing { threads: 2 }, &work, |w| w.id);
+        let stats = report
+            .scheduler
+            .expect("work stealing must expose pool stats");
+        assert_eq!(stats.items, 128);
+        assert!(stats.chunks >= 1);
     }
 
     #[test]
@@ -295,8 +352,13 @@ mod tests {
     #[test]
     fn category_out_of_range_is_folded() {
         // Items with category ≥ 4 still get scheduled under Parallel4.
-        let work: Vec<WorkItem> =
-            (0..10).map(|id| WorkItem { id, category: id, cost: 1 }).collect();
+        let work: Vec<WorkItem> = (0..10)
+            .map(|id| WorkItem {
+                id,
+                category: id,
+                cost: 1,
+            })
+            .collect();
         let out = execute(Strategy::Parallel4, &work, |w| w.id);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
     }

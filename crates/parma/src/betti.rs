@@ -42,7 +42,10 @@ pub struct BettiSchedule {
 impl BettiSchedule {
     /// Builds the schedule (computes the homology once).
     pub fn new(grid: MeaGrid) -> Self {
-        BettiSchedule { grid, bound: parallelism_bound(grid) }
+        BettiSchedule {
+            grid,
+            bound: parallelism_bound(grid),
+        }
     }
 
     /// The geometry.
@@ -67,7 +70,11 @@ impl BettiSchedule {
     /// factorization.
     pub fn pair_items(&self) -> Vec<WorkItem> {
         (0..self.grid.pairs())
-            .map(|id| WorkItem { id, category: id % CATEGORY_COUNT, cost: 1 })
+            .map(|id| WorkItem {
+                id,
+                category: id % CATEGORY_COUNT,
+                cost: 1,
+            })
             .collect()
     }
 
@@ -78,15 +85,19 @@ impl BettiSchedule {
         let (rows, cols) = (self.grid.rows(), self.grid.cols());
         // Expected term counts per category block (see FormationCensus).
         let costs = [
-            cols as u64,                       // source: n terms
-            rows as u64,                       // destination: m terms
-            ((cols - 1) * rows) as u64,        // Ua block: (n−1)·m terms
-            ((rows - 1) * cols) as u64,        // Ub block: (m−1)·n terms
+            cols as u64,                // source: n terms
+            rows as u64,                // destination: m terms
+            ((cols - 1) * rows) as u64, // Ua block: (n−1)·m terms
+            ((rows - 1) * cols) as u64, // Ub block: (m−1)·n terms
         ];
         (0..self.grid.pairs() * CATEGORY_COUNT)
             .map(|id| {
                 let category = id % CATEGORY_COUNT;
-                WorkItem { id, category, cost: costs[category].max(1) }
+                WorkItem {
+                    id,
+                    category,
+                    cost: costs[category].max(1),
+                }
             })
             .collect()
     }

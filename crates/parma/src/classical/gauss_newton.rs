@@ -23,7 +23,12 @@ pub struct GaussNewtonOptions {
 
 impl Default for GaussNewtonOptions {
     fn default() -> Self {
-        GaussNewtonOptions { tol: 1e-10, max_iter: 50, levenberg: 0.0, g_floor: 1e-12 }
+        GaussNewtonOptions {
+            tol: 1e-10,
+            max_iter: 50,
+            levenberg: 0.0,
+            g_floor: 1e-12,
+        }
     }
 }
 
@@ -66,8 +71,11 @@ pub fn gauss_newton(
         // Damped line step: halve until the iterate stays physical.
         let mut step = 1.0;
         loop {
-            let candidate: Vec<f64> =
-                g.iter().zip(&delta).map(|(gi, di)| gi + step * di).collect();
+            let candidate: Vec<f64> = g
+                .iter()
+                .zip(&delta)
+                .map(|(gi, di)| gi + step * di)
+                .collect();
             if candidate.iter().all(|v| *v > opts.g_floor) {
                 g = candidate;
                 break;
@@ -152,7 +160,11 @@ mod tests {
     #[test]
     fn levenberg_ridge_still_converges() {
         let (truth, z) = setup(4, 63);
-        let opts = GaussNewtonOptions { levenberg: 1e-9, max_iter: 80, ..Default::default() };
+        let opts = GaussNewtonOptions {
+            levenberg: 1e-9,
+            max_iter: 80,
+            ..Default::default()
+        };
         let got = gauss_newton(&z, &z, &opts).unwrap();
         assert!(got.rel_max_diff(&truth) < 1e-5);
     }
@@ -160,7 +172,11 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_typed() {
         let (_, z) = setup(4, 64);
-        let opts = GaussNewtonOptions { max_iter: 1, tol: 1e-14, ..Default::default() };
+        let opts = GaussNewtonOptions {
+            max_iter: 1,
+            tol: 1e-14,
+            ..Default::default()
+        };
         match gauss_newton(&z, &z, &opts) {
             Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
             other => panic!("expected NoConvergence, got {other:?}"),

@@ -56,8 +56,17 @@ impl FullJacobian {
                 *v *= s;
             }
         }
-        let residual = self.residual.iter().zip(scales).map(|(r, s)| r * s).collect();
-        FullJacobian { grid: self.grid, j, residual }
+        let residual = self
+            .residual
+            .iter()
+            .zip(scales)
+            .map(|(r, s)| r * s)
+            .collect();
+        FullJacobian {
+            grid: self.grid,
+            j,
+            residual,
+        }
     }
 
     /// Mean diagonal entry of `JᵀJ` — the natural unit for relative
@@ -159,8 +168,12 @@ mod tests {
         // sensitivity matrix becomes worse conditioned as the array grows.
         let (t3, z3) = setup(3, 4);
         let (t6, z6) = setup(6, 4);
-        let c3 = FullJacobian::assemble(&t3, &z3).unwrap().condition_estimate(60);
-        let c6 = FullJacobian::assemble(&t6, &z6).unwrap().condition_estimate(60);
+        let c3 = FullJacobian::assemble(&t3, &z3)
+            .unwrap()
+            .condition_estimate(60);
+        let c6 = FullJacobian::assemble(&t6, &z6)
+            .unwrap()
+            .condition_estimate(60);
         assert!(c3.is_finite() && c3 > 1.0);
         assert!(c6 > c3, "conditioning must degrade with n: {c3} vs {c6}");
     }

@@ -88,7 +88,11 @@ pub fn landweber(
         // The scaled residual IS the relative mismatch.
         let rel = fj.residual.iter().fold(0.0f64, |m, res| m.max(res.abs()));
         if rel <= opts.tol {
-            return Ok(LandweberOutcome { resistors: r, iterations: it, residual: rel });
+            return Ok(LandweberOutcome {
+                resistors: r,
+                iterations: it,
+                residual: rel,
+            });
         }
         last_rel = rel;
         let norm = mea_linalg::vec_ops::norm2(&fj.residual);
@@ -101,7 +105,9 @@ pub fn landweber(
         last_norm = norm;
         let sigma = fj.sigma_max(opts.sigma_iters);
         if sigma <= 0.0 {
-            return Err(ParmaError::InvalidMeasurement("degenerate sensitivity".into()));
+            return Err(ParmaError::InvalidMeasurement(
+                "degenerate sensitivity".into(),
+            ));
         }
         let tau = shrink * opts.step_fraction * 2.0 / (sigma * sigma);
         let grad = fj.gradient();
@@ -130,8 +136,7 @@ mod tests {
 
     fn kappa_seed(z: &ZMatrix) -> ResistorGrid {
         let grid = z.grid();
-        let kappa =
-            (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
+        let kappa = (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
         let mut seed = z.clone();
         for v in seed.as_mut_slice() {
             *v *= kappa;
@@ -161,10 +166,16 @@ mod tests {
         let lw = landweber(
             &z,
             &kappa_seed(&z),
-            &LandweberOptions { tol: 1e-6, ..Default::default() },
+            &LandweberOptions {
+                tol: 1e-6,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let cfg = crate::config::ParmaConfig { tol: 1e-6, ..Default::default() };
+        let cfg = crate::config::ParmaConfig {
+            tol: 1e-6,
+            ..Default::default()
+        };
         let fp = crate::solver::ParmaSolver::new(cfg).solve(&z).unwrap();
         assert!(
             lw.iterations > fp.iterations,
@@ -177,9 +188,17 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_typed() {
         let (_, z) = setup(4, 83);
-        let opts = LandweberOptions { max_iter: 3, tol: 1e-14, ..Default::default() };
+        let opts = LandweberOptions {
+            max_iter: 3,
+            tol: 1e-14,
+            ..Default::default()
+        };
         match landweber(&z, &kappa_seed(&z), &opts) {
-            Err(ParmaError::NoConvergence { iterations, partial, .. }) => {
+            Err(ParmaError::NoConvergence {
+                iterations,
+                partial,
+                ..
+            }) => {
                 assert_eq!(iterations, 3);
                 assert!(partial.is_physical());
             }
@@ -191,7 +210,10 @@ mod tests {
     fn rejects_bad_step_fraction() {
         let (truth, z) = setup(3, 84);
         for bad in [0.0, 1.0, 1.5] {
-            let opts = LandweberOptions { step_fraction: bad, ..Default::default() };
+            let opts = LandweberOptions {
+                step_fraction: bad,
+                ..Default::default()
+            };
             assert!(landweber(&z, &truth, &opts).is_err(), "step {bad}");
         }
     }

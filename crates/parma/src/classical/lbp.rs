@@ -44,16 +44,20 @@ pub fn linear_back_projection(z: &ZMatrix) -> Result<ResistorGrid, ParmaError> {
     let crossings = grid.crossings();
     let mut projected = vec![0.0f64; crossings];
     let mut weight = vec![0.0f64; crossings];
-    for p in 0..grid.pairs() {
+    for (p, &devp) in dev.iter().enumerate() {
         for c in 0..crossings {
             let w = fj.j[(p, c)].abs();
-            projected[c] += w * dev[p];
+            projected[c] += w * devp;
             weight[c] += w;
         }
     }
     let mut out = r_ref.clone();
     for (idx, (i, j)) in grid.pair_iter().enumerate() {
-        let avg = if weight[idx] > 0.0 { projected[idx] / weight[idx] } else { 0.0 };
+        let avg = if weight[idx] > 0.0 {
+            projected[idx] / weight[idx]
+        } else {
+            0.0
+        };
         // A positive Z deviation means higher local resistance; apply the
         // smeared relative deviation multiplicatively, clamped physical.
         let factor = (1.0 + kappa * avg).max(0.05);
@@ -69,7 +73,10 @@ mod tests {
     use mea_model::{AnomalyConfig, CrossingMatrix, MeaGrid};
 
     fn setup(n: usize, seed: u64) -> (ResistorGrid, ZMatrix, Vec<mea_model::AnomalyRegion>) {
-        let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+        let cfg = AnomalyConfig {
+            regions: 1,
+            ..Default::default()
+        };
         let (truth, regions) = cfg.generate(MeaGrid::square(n), seed);
         let z = ForwardSolver::new(&truth).unwrap().solve_all();
         (truth, z, regions)
@@ -116,7 +123,10 @@ mod tests {
         let (truth, z, _) = setup(8, 92);
         let est = linear_back_projection(&z).unwrap();
         let err = est.rel_max_diff(&truth);
-        assert!(err > 0.05, "LBP being quantitative would be surprising: {err}");
+        assert!(
+            err > 0.05,
+            "LBP being quantitative would be surprising: {err}"
+        );
     }
 
     #[test]

@@ -108,7 +108,9 @@ pub fn tikhonov(
         ));
     }
     if !(opts.lambda >= 0.0 && opts.lambda.is_finite()) {
-        return Err(ParmaError::InvalidMeasurement("lambda must be finite and ≥ 0".into()));
+        return Err(ParmaError::InvalidMeasurement(
+            "lambda must be finite and ≥ 0".into(),
+        ));
     }
     let grid = z.grid();
     let g_prior = resistors_to_g(prior);
@@ -165,8 +167,7 @@ mod tests {
     fn uniform_prior(z: &ZMatrix) -> ResistorGrid {
         // A flat prior at the uniform-mode scale of the measurements.
         let grid = z.grid();
-        let kappa =
-            (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
+        let kappa = (grid.rows() * grid.cols()) as f64 / (grid.rows() + grid.cols() - 1) as f64;
         ResistorGrid::filled(grid, z.mean() * kappa)
     }
 
@@ -177,12 +178,22 @@ mod tests {
         let tk = tikhonov(
             &z,
             &prior,
-            &TikhonovOptions { lambda: 0.0, max_iter: 60, ..Default::default() },
+            &TikhonovOptions {
+                lambda: 0.0,
+                max_iter: 60,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let gn =
-            gauss_newton(&z, &prior, &GaussNewtonOptions { max_iter: 60, ..Default::default() })
-                .unwrap();
+        let gn = gauss_newton(
+            &z,
+            &prior,
+            &GaussNewtonOptions {
+                max_iter: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(tk.rel_max_diff(&gn) < 1e-6);
         assert!(tk.rel_max_diff(&truth) < 1e-5);
     }
@@ -194,13 +205,21 @@ mod tests {
         let strong = tikhonov(
             &z,
             &prior,
-            &TikhonovOptions { lambda: 10.0, max_iter: 40, ..Default::default() },
+            &TikhonovOptions {
+                lambda: 10.0,
+                max_iter: 40,
+                ..Default::default()
+            },
         )
         .unwrap();
         let weak = tikhonov(
             &z,
             &prior,
-            &TikhonovOptions { lambda: 1e-9, max_iter: 40, ..Default::default() },
+            &TikhonovOptions {
+                lambda: 1e-9,
+                max_iter: 40,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Stronger λ ⇒ closer to the prior, farther from the truth.
@@ -219,11 +238,22 @@ mod tests {
         let unreg = tikhonov(
             &noisy,
             &prior,
-            &TikhonovOptions { lambda: 0.0, max_iter: 40, tol: 1e-12, ..Default::default() },
+            &TikhonovOptions {
+                lambda: 0.0,
+                max_iter: 40,
+                tol: 1e-12,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(unreg.rel_max_diff(&truth) > 0.1, "max error must be amplified ≥ 10×");
-        assert!(unreg.rel_mean_diff(&truth) > 0.02, "mean error must be amplified ≥ 2×");
+        assert!(
+            unreg.rel_max_diff(&truth) > 0.1,
+            "max error must be amplified ≥ 10×"
+        );
+        assert!(
+            unreg.rel_mean_diff(&truth) > 0.02,
+            "mean error must be amplified ≥ 2×"
+        );
     }
 
     #[test]
@@ -267,7 +297,10 @@ mod tests {
         assert!(tikhonov(
             &z,
             &truth,
-            &TikhonovOptions { lambda: f64::NAN, ..Default::default() }
+            &TikhonovOptions {
+                lambda: f64::NAN,
+                ..Default::default()
+            }
         )
         .is_err());
         let bad = mea_model::CrossingMatrix::filled(MeaGrid::square(3), 0.0);

@@ -1,5 +1,6 @@
 //! Solver configuration.
 
+use crate::error::ParmaError;
 use mea_parallel::Strategy;
 
 /// Configuration of [`crate::ParmaSolver`].
@@ -19,6 +20,10 @@ pub struct ParmaConfig {
     /// Smallest admissible resistance (kΩ); updates are clamped here to
     /// keep iterates physical.
     pub min_resistance: f64,
+    /// Whether the convergence-failure recovery ladder is armed. On by
+    /// default; turning it off gives the plain damped sweep (useful for
+    /// A/B-ing an intervention and for the paper's original behavior).
+    pub recovery: bool,
 }
 
 impl Default for ParmaConfig {
@@ -30,6 +35,7 @@ impl Default for ParmaConfig {
             max_iter: 500,
             strategy: Strategy::SingleThread,
             min_resistance: 1e-6,
+            recovery: true,
         }
     }
 }
@@ -40,17 +46,33 @@ impl ParmaConfig {
         ParmaConfig { strategy, ..self }
     }
 
-    /// Panics if values are out of range (called by the solver).
-    pub fn validate(&self) {
-        assert!(self.voltage > 0.0 && self.voltage.is_finite(), "voltage must be positive");
-        assert!(
-            self.damping > 0.0 && self.damping <= 1.0,
-            "damping must be in (0, 1], got {}",
-            self.damping
-        );
-        assert!(self.tol > 0.0, "tolerance must be positive");
-        assert!(self.max_iter > 0, "need at least one iteration");
-        assert!(self.min_resistance > 0.0, "minimum resistance must be positive");
+    /// Checks that every value is in range; the solver calls this before
+    /// the first sweep, so a bad configuration surfaces as a recoverable
+    /// [`ParmaError::InvalidConfig`] instead of a panic.
+    pub fn validate(&self) -> Result<(), ParmaError> {
+        let fail = |msg: String| Err(ParmaError::InvalidConfig(msg));
+        if !(self.voltage > 0.0 && self.voltage.is_finite()) {
+            return fail(format!(
+                "voltage must be positive and finite, got {}",
+                self.voltage
+            ));
+        }
+        if !(self.damping > 0.0 && self.damping <= 1.0) {
+            return fail(format!("damping must be in (0, 1], got {}", self.damping));
+        }
+        if self.tol.is_nan() || self.tol <= 0.0 {
+            return fail(format!("tolerance must be positive, got {}", self.tol));
+        }
+        if self.max_iter == 0 {
+            return fail("need at least one iteration".into());
+        }
+        if self.min_resistance.is_nan() || self.min_resistance <= 0.0 {
+            return fail(format!(
+                "minimum resistance must be positive, got {}",
+                self.min_resistance
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -60,7 +82,7 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        ParmaConfig::default().validate();
+        ParmaConfig::default().validate().unwrap();
     }
 
     #[test]
@@ -71,14 +93,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "damping")]
-    fn bad_damping_rejected() {
-        ParmaConfig { damping: 1.5, ..Default::default() }.validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "voltage")]
-    fn bad_voltage_rejected() {
-        ParmaConfig { voltage: 0.0, ..Default::default() }.validate();
+    fn bad_values_are_reported_not_panicked() {
+        for (cfg, word) in [
+            (
+                ParmaConfig {
+                    damping: 1.5,
+                    ..Default::default()
+                },
+                "damping",
+            ),
+            (
+                ParmaConfig {
+                    damping: 0.0,
+                    ..Default::default()
+                },
+                "damping",
+            ),
+            (
+                ParmaConfig {
+                    voltage: 0.0,
+                    ..Default::default()
+                },
+                "voltage",
+            ),
+            (
+                ParmaConfig {
+                    voltage: f64::NAN,
+                    ..Default::default()
+                },
+                "voltage",
+            ),
+            (
+                ParmaConfig {
+                    tol: 0.0,
+                    ..Default::default()
+                },
+                "tolerance",
+            ),
+            (
+                ParmaConfig {
+                    max_iter: 0,
+                    ..Default::default()
+                },
+                "iteration",
+            ),
+            (
+                ParmaConfig {
+                    min_resistance: -1.0,
+                    ..Default::default()
+                },
+                "resistance",
+            ),
+        ] {
+            let err = cfg.validate().unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                matches!(err, crate::ParmaError::InvalidConfig(_)) && msg.contains(word),
+                "expected InvalidConfig mentioning {word:?}, got: {msg}"
+            );
+        }
     }
 }

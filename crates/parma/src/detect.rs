@@ -40,7 +40,11 @@ impl DetectionReport {
         let truth: Vec<(usize, usize)> = grid
             .pair_iter()
             .filter(|&(i, j)| {
-                regions.iter().map(|reg| reg.contribution(i, j)).sum::<f64>() > min_contribution
+                regions
+                    .iter()
+                    .map(|reg| reg.contribution(i, j))
+                    .sum::<f64>()
+                    > min_contribution
             })
             .collect();
         if truth.is_empty() {
@@ -49,8 +53,11 @@ impl DetectionReport {
         }
         let hit = |p: &(usize, usize)| truth.contains(p);
         let tp = self.anomalies.iter().filter(|p| hit(p)).count() as f64;
-        let precision =
-            if self.anomalies.is_empty() { 1.0 } else { tp / self.anomalies.len() as f64 };
+        let precision = if self.anomalies.is_empty() {
+            1.0
+        } else {
+            tp / self.anomalies.len() as f64
+        };
         let recall = tp / truth.len() as f64;
         (precision, recall)
     }
@@ -69,7 +76,11 @@ pub fn detect_anomalies(r: &ResistorGrid, factor: f64) -> DetectionReport {
         .pair_iter()
         .filter(|&(i, j)| r.get(i, j) > threshold)
         .collect();
-    DetectionReport { baseline, threshold, anomalies }
+    DetectionReport {
+        baseline,
+        threshold,
+        anomalies,
+    }
 }
 
 fn median(values: &[f64]) -> f64 {

@@ -91,7 +91,9 @@ pub fn predicted_contraction(
     damping_multiplier: f64,
 ) -> f64 {
     let alpha = damping_multiplier * 2.0 / (1.0 + theoretical_coupling(grid));
-    (1.0 - alpha * lambda_min).abs().max((1.0 - alpha * lambda_max).abs())
+    (1.0 - alpha * lambda_min)
+        .abs()
+        .max((1.0 - alpha * lambda_max).abs())
 }
 
 /// The observed asymptotic contraction factor of a residual history: the
@@ -172,7 +174,10 @@ mod tests {
         let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
         let observed = observed_contraction(&sol.history).expect("long history");
         let theory = theoretical_contraction(grid);
-        assert!(observed < 0.92, "iteration must contract geometrically, got {observed}");
+        assert!(
+            observed < 0.92,
+            "iteration must contract geometrically, got {observed}"
+        );
         assert!(
             observed >= theory - 0.05,
             "nothing can beat the idealized bound by much: {observed} vs {theory}"
@@ -188,12 +193,21 @@ mod tests {
         let mut truth = CrossingMatrix::filled(grid, 3000.0);
         truth.set(3, 4, 3090.0); // gentle perturbation: excites local modes
         let z = ForwardSolver::new(&truth).unwrap().solve_all();
-        let cfg = ParmaConfig { tol: 1e-12, ..Default::default() };
+        let cfg = ParmaConfig {
+            tol: 1e-12,
+            ..Default::default()
+        };
         let sol = ParmaSolver::new(cfg).solve(&z).unwrap();
         let observed = observed_contraction(&sol.history).expect("long history");
         let (lo, hi) = coupling_extremes(&truth, 500);
-        assert!(lo > 0.0 && lo < 1.0, "slow modes sit below 1, got λ_min = {lo}");
-        assert!(hi <= 1.01 * theoretical_coupling(grid), "λ_max ≈ κ, got {hi}");
+        assert!(
+            lo > 0.0 && lo < 1.0,
+            "slow modes sit below 1, got λ_min = {lo}"
+        );
+        assert!(
+            hi <= 1.01 * theoretical_coupling(grid),
+            "λ_max ≈ κ, got {hi}"
+        );
         let predicted = predicted_contraction(grid, lo, hi, 1.0);
         assert!(
             (observed - predicted).abs() < 0.05,

@@ -7,6 +7,8 @@ use std::fmt;
 pub enum ParmaError {
     /// The numeric substrate failed (factorization, convergence, …).
     Linalg(mea_linalg::LinalgError),
+    /// A configuration value is out of range; the payload says which.
+    InvalidConfig(String),
     /// Measured data is unusable; the payload says why.
     InvalidMeasurement(String),
     /// The solver exhausted its iteration budget. Carries the final
@@ -28,8 +30,13 @@ impl fmt::Display for ParmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParmaError::Linalg(e) => write!(f, "numeric failure: {e}"),
+            ParmaError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             ParmaError::InvalidMeasurement(s) => write!(f, "invalid measurement: {s}"),
-            ParmaError::NoConvergence { iterations, residual, .. } => write!(
+            ParmaError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            } => write!(
                 f,
                 "solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),

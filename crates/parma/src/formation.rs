@@ -18,6 +18,7 @@ use mea_parallel::{execute, Strategy, CATEGORY_COUNT};
 /// Equations come back in the canonical order (pair-major; source,
 /// destination, `Ua*`, `Ub*` within each pair).
 pub fn form_equations_parallel(z: &ZMatrix, voltage: f64, strategy: Strategy) -> Vec<Equation> {
+    let _span = mea_obs::span("parma/form_equations");
     let grid = z.grid();
     let schedule = BettiSchedule::new(grid);
     let items = schedule.formation_items();
@@ -37,6 +38,7 @@ pub fn form_equations_parallel(z: &ZMatrix, voltage: f64, strategy: Strategy) ->
     for block in blocks {
         out.extend(block);
     }
+    mea_obs::counter_add("equations.formed", out.len() as u64);
     out
 }
 
@@ -77,8 +79,7 @@ mod tests {
         let grid = MeaGrid::new(2, 4);
         let (truth, _) = AnomalyConfig::default().generate(grid, 3);
         let z = ForwardSolver::new(&truth).unwrap().solve_all();
-        let formed =
-            form_equations_parallel(&z, 5.0, Strategy::BalancedParallel { threads: 2 });
+        let formed = form_equations_parallel(&z, 5.0, Strategy::BalancedParallel { threads: 2 });
         assert_eq!(formed, form_all_equations(&z, 5.0));
     }
 

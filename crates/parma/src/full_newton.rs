@@ -12,7 +12,7 @@
 
 use crate::error::ParmaError;
 use mea_equations::{jacobian, EquationSystem};
-use mea_linalg::{cgls, vec_ops, CglsOptions};
+use mea_linalg::{cgls, vec_ops, CglsOptions, CooTriplets, CsrMatrix};
 use mea_model::{ForwardSolver, ResistorGrid, ZMatrix};
 
 /// Options for [`full_newton_inverse`].
@@ -52,6 +52,39 @@ pub struct FullNewtonOutcome {
     pub iterations: usize,
     /// Final ‖residual‖∞.
     pub residual: f64,
+    /// Outer iterations that needed a Tikhonov-damped retry after the plain
+    /// Gauss-Newton step failed its line search (0 on healthy solves).
+    pub regularized_steps: usize,
+}
+
+/// Stacks `√λ·I` under the Jacobian so CGLS minimizes
+/// `‖J·δ + F‖² + λ‖δ‖²` — the Levenberg–Marquardt damped step. The
+/// augmented right-hand side is the caller's padded with `cols` zeros.
+fn tikhonov_stack(jac: &CsrMatrix, lambda: f64) -> CsrMatrix {
+    let (m, n) = (jac.rows(), jac.cols());
+    let mut coo = CooTriplets::new(m + n, n);
+    for r in 0..m {
+        for (c, v) in jac.row_entries(r) {
+            coo.push(r, c, v);
+        }
+    }
+    let s = lambda.sqrt();
+    for i in 0..n {
+        coo.push(m + i, i, s);
+    }
+    coo.to_csr()
+}
+
+/// `max_j ‖column j‖²` of the Jacobian — the scale reference for the
+/// Levenberg–Marquardt damping parameter (Marquardt's `τ·max diag(JᵀJ)`).
+fn max_column_norm_sq(jac: &CsrMatrix) -> f64 {
+    let mut col_sq = vec![0.0f64; jac.cols()];
+    for r in 0..jac.rows() {
+        for (c, v) in jac.row_entries(r) {
+            col_sq[c] += v * v;
+        }
+    }
+    col_sq.into_iter().fold(0.0, f64::max)
 }
 
 /// Solves the full joint-constraint system for a measured `Z`.
@@ -71,7 +104,9 @@ pub fn full_newton_inverse(
         ));
     }
     if !(voltage > 0.0 && voltage.is_finite()) {
-        return Err(ParmaError::InvalidMeasurement("voltage must be positive".into()));
+        return Err(ParmaError::InvalidMeasurement(
+            "voltage must be positive".into(),
+        ));
     }
     let grid = z.grid();
     let sys = EquationSystem::assemble(z, voltage);
@@ -84,14 +119,22 @@ pub fn full_newton_inverse(
     let mut x = sys.exact_unknowns_for(&r0)?;
     let crossings = grid.crossings();
 
+    let _span = mea_obs::span("parma/full_newton");
+    let mut trace = mea_obs::SeriesRecorder::new(
+        "parma.full_newton.residuals",
+        "parma.full_newton.iterations",
+    );
     let mut fx = sys.residuals(&x);
+    let mut regularized_steps = 0usize;
     for it in 0..opts.max_iter {
         let res = vec_ops::norm_inf(&fx);
+        trace.push(res);
         if res <= opts.tol {
             return Ok(FullNewtonOutcome {
                 resistors: sys.unpack_resistors(&x),
                 iterations: it,
                 residual: res,
+                regularized_steps,
             });
         }
         let jac = jacobian(&sys, &x);
@@ -99,27 +142,43 @@ pub fn full_newton_inverse(
         let inner = cgls(
             &jac,
             &neg_f,
-            &CglsOptions { tol: opts.inner_tol, max_iter: opts.inner_max_iter },
+            &CglsOptions {
+                tol: opts.inner_tol,
+                max_iter: opts.inner_max_iter,
+            },
         )
         .map_err(ParmaError::Linalg)?;
-        // Backtracking with a physicality guard on the R block.
-        let mut step = 1.0;
-        let mut advanced = false;
-        for _ in 0..=opts.max_backtracks {
-            let mut x_new = x.clone();
-            vec_ops::axpy(step, &inner.x, &mut x_new);
-            let r_ok = x_new[..crossings].iter().all(|v| *v > 0.0 && v.is_finite());
-            if r_ok {
-                let f_new = sys.residuals(&x_new);
-                let res_new = vec_ops::norm_inf(&f_new);
-                if res_new.is_finite() && res_new < res {
-                    x = x_new;
-                    fx = f_new;
+        let mut advanced = try_step(&sys, &mut x, &mut fx, &inner.x, res, crossings, opts);
+        if !advanced {
+            // The plain Gauss-Newton direction is unusable even fully
+            // backtracked — typically a (near-)singular Jacobian making the
+            // CGLS step point nowhere useful. Retry with Tikhonov damping at
+            // escalating strength: stack √λ·I under J so the step minimizes
+            // ‖J·δ + F‖² + λ‖δ‖² and shortens toward steepest descent.
+            let scale = max_column_norm_sq(&jac).max(f64::MIN_POSITIVE);
+            let mut rhs = neg_f.clone();
+            rhs.resize(neg_f.len() + jac.cols(), 0.0);
+            for k in 0..4 {
+                let lambda = scale * 1e-6 * 100f64.powi(k);
+                let aug = tikhonov_stack(&jac, lambda);
+                let damped = match cgls(
+                    &aug,
+                    &rhs,
+                    &CglsOptions {
+                        tol: opts.inner_tol,
+                        max_iter: opts.inner_max_iter,
+                    },
+                ) {
+                    Ok(d) => d,
+                    Err(_) => continue,
+                };
+                if try_step(&sys, &mut x, &mut fx, &damped.x, res, crossings, opts) {
                     advanced = true;
+                    regularized_steps += 1;
+                    mea_obs::counter_add("parma.full_newton.recoveries", 1);
                     break;
                 }
             }
-            step *= 0.5;
         }
         if !advanced {
             return Err(ParmaError::NoConvergence {
@@ -130,11 +189,13 @@ pub fn full_newton_inverse(
         }
     }
     let res = vec_ops::norm_inf(&fx);
+    trace.push(res);
     if res <= opts.tol {
         Ok(FullNewtonOutcome {
             resistors: sys.unpack_resistors(&x),
             iterations: opts.max_iter,
             residual: res,
+            regularized_steps,
         })
     } else {
         Err(ParmaError::NoConvergence {
@@ -143,6 +204,37 @@ pub fn full_newton_inverse(
             partial: sys.unpack_resistors(&x),
         })
     }
+}
+
+/// One backtracking line search along `delta` with the physicality guard on
+/// the `R` block; advances `x`/`fx` in place and reports whether the
+/// residual strictly improved.
+fn try_step(
+    sys: &EquationSystem,
+    x: &mut Vec<f64>,
+    fx: &mut Vec<f64>,
+    delta: &[f64],
+    res: f64,
+    crossings: usize,
+    opts: &FullNewtonOptions,
+) -> bool {
+    let mut step = 1.0;
+    for _ in 0..=opts.max_backtracks {
+        let mut x_new = x.clone();
+        vec_ops::axpy(step, delta, &mut x_new);
+        let r_ok = x_new[..crossings].iter().all(|v| *v > 0.0 && v.is_finite());
+        if r_ok {
+            let f_new = sys.residuals(&x_new);
+            let res_new = vec_ops::norm_inf(&f_new);
+            if res_new.is_finite() && res_new < res {
+                *x = x_new;
+                *fx = f_new;
+                return true;
+            }
+        }
+        step *= 0.5;
+    }
+    false
 }
 
 /// Convenience: full-system solve that also cross-checks the recovered map
@@ -177,7 +269,11 @@ mod tests {
                 "n = {n}: rel error {}",
                 out.resistors.rel_max_diff(&truth)
             );
-            assert!(out.iterations < 20, "Gauss-Newton should be fast, took {}", out.iterations);
+            assert!(
+                out.iterations < 20,
+                "Gauss-Newton should be fast, took {}",
+                out.iterations
+            );
         }
     }
 
@@ -197,7 +293,10 @@ mod tests {
     fn forward_check_closes_the_loop() {
         let (_, z) = measured(4, 201);
         let (_, mismatch) = full_newton_check(&z, 5.0).unwrap();
-        assert!(mismatch < 1e-8, "recovered map must reproduce Z: {mismatch}");
+        assert!(
+            mismatch < 1e-8,
+            "recovered map must reproduce Z: {mismatch}"
+        );
     }
 
     #[test]
@@ -209,9 +308,66 @@ mod tests {
     }
 
     #[test]
+    fn healthy_solves_never_regularize() {
+        for n in [2usize, 4, 5] {
+            let (_, z) = measured(n, n as u64 + 300);
+            let out = full_newton_inverse(&z, 5.0, &FullNewtonOptions::default()).unwrap();
+            assert_eq!(
+                out.regularized_steps, 0,
+                "n = {n}: well-posed exact data must never trip the damped retry"
+            );
+        }
+    }
+
+    #[test]
+    fn tikhonov_stack_is_the_damped_least_squares_operator() {
+        // J = [[2, 0], [0, 3], [1, 1]], λ = 9 → two extra rows of 3·I.
+        let mut coo = CooTriplets::new(3, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        let jac = coo.to_csr();
+        let aug = tikhonov_stack(&jac, 9.0);
+        assert_eq!((aug.rows(), aug.cols()), (5, 2));
+        let y = aug.mul_vec(&[1.0, -1.0]);
+        assert_eq!(y, vec![2.0, -3.0, 0.0, 3.0, -3.0]);
+        // Marquardt scale reference: max column sum-of-squares of J.
+        assert_eq!(max_column_norm_sq(&jac), 10.0); // col 1: 9 + 1
+    }
+
+    #[test]
+    fn tikhonov_step_shrinks_toward_zero_as_lambda_grows() {
+        // For tall J, the damped normal equations give δ(λ) = (JᵀJ+λI)⁻¹Jᵀb;
+        // ‖δ‖ must be monotonically non-increasing in λ.
+        let mut coo = CooTriplets::new(3, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1e-4); // badly scaled column → ill-conditioned
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        let jac = coo.to_csr();
+        let b = vec![1.0, 1.0, 1.0, 0.0, 0.0];
+        let mut prev = f64::INFINITY;
+        for lambda in [1e-8, 1e-4, 1.0, 1e4] {
+            let aug = tikhonov_stack(&jac, lambda);
+            let out = cgls(&aug, &b, &CglsOptions::default()).unwrap();
+            let norm = vec_ops::norm2(&out.x);
+            assert!(
+                norm <= prev + 1e-9,
+                "λ = {lambda}: ‖δ‖ grew {prev} → {norm}"
+            );
+            prev = norm;
+        }
+    }
+
+    #[test]
     fn budget_exhaustion_is_typed() {
         let (_, z) = measured(4, 202);
-        let opts = FullNewtonOptions { max_iter: 1, tol: 1e-16, ..Default::default() };
+        let opts = FullNewtonOptions {
+            max_iter: 1,
+            tol: 1e-16,
+            ..Default::default()
+        };
         match full_newton_inverse(&z, 5.0, &opts) {
             Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
             Ok(out) => assert!(out.residual <= 1e-16), // unlikely but legal

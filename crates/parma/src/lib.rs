@@ -56,7 +56,7 @@ pub use config::ParmaConfig;
 pub use detect::{detect_anomalies, DetectionReport};
 pub use error::ParmaError;
 pub use formation::form_equations_parallel;
-pub use solver::{ParmaSolution, ParmaSolver};
+pub use solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent};
 
 /// Everything a typical caller needs.
 pub mod prelude {
@@ -65,10 +65,9 @@ pub mod prelude {
     pub use crate::detect::{detect_anomalies, DetectionReport};
     pub use crate::error::ParmaError;
     pub use crate::pipeline::{Pipeline, TimePointResult};
-    pub use crate::solver::{ParmaSolution, ParmaSolver};
+    pub use crate::solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent};
     pub use mea_model::{
-        AnomalyConfig, CrossingMatrix, ForwardSolver, MeaGrid, ResistorGrid, WetLabDataset,
-        ZMatrix,
+        AnomalyConfig, CrossingMatrix, ForwardSolver, MeaGrid, ResistorGrid, WetLabDataset, ZMatrix,
     };
     pub use mea_parallel::Strategy;
 }

@@ -139,7 +139,10 @@ impl LatticeVectorField {
     /// Counterclockwise boundary circulation of the rectangular patch of
     /// cells `[i0, i1) × [j0, j1)` (node corners `(i0,j0)`–`(i1,j1)`).
     pub fn circulation(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
-        assert!(i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols, "bad patch");
+        assert!(
+            i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols,
+            "bad patch"
+        );
         let mut acc = 0.0;
         for j in j0..j1 {
             acc += self.p(i0, j); // bottom, left→right
@@ -155,7 +158,10 @@ impl LatticeVectorField {
     /// Sum of cell curls over the same patch. The discrete Green/Stokes
     /// identity says this equals [`Self::circulation`] exactly.
     pub fn curl_sum(&self, i0: usize, i1: usize, j0: usize, j1: usize) -> f64 {
-        assert!(i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols, "bad patch");
+        assert!(
+            i0 < i1 && i1 < self.rows && j0 < j1 && j1 < self.cols,
+            "bad patch"
+        );
         let mut acc = 0.0;
         for i in i0..i1 {
             for j in j0..j1 {
@@ -177,7 +183,9 @@ pub struct Jacobian {
 impl Jacobian {
     /// The identity frame (already-orthogonal device).
     pub fn identity() -> Self {
-        Jacobian { m: [1.0, 0.0, 0.0, 1.0] }
+        Jacobian {
+            m: [1.0, 0.0, 0.0, 1.0],
+        }
     }
 
     /// Estimates the frame of a coordinate map `(u, v) → (x, y)` at a node
@@ -200,13 +208,19 @@ impl Jacobian {
 
     /// Applies the frame to a reference displacement `(du, dv)`.
     pub fn apply(&self, du: f64, dv: f64) -> (f64, f64) {
-        (self.m[0] * du + self.m[1] * dv, self.m[2] * du + self.m[3] * dv)
+        (
+            self.m[0] * du + self.m[1] * dv,
+            self.m[2] * du + self.m[3] * dv,
+        )
     }
 
     /// Pulls a physical-space gradient back to reference coordinates:
     /// `∇_ref U = Jᵀ · ∇_phys U` (chain rule).
     pub fn pullback_gradient(&self, gx: f64, gy: f64) -> (f64, f64) {
-        (self.m[0] * gx + self.m[2] * gy, self.m[1] * gx + self.m[3] * gy)
+        (
+            self.m[0] * gx + self.m[2] * gy,
+            self.m[1] * gx + self.m[3] * gy,
+        )
     }
 
     /// Inverts the frame; `None` when degenerate.
@@ -215,7 +229,9 @@ impl Jacobian {
         if d.abs() < 1e-300 {
             return None;
         }
-        Some(Jacobian { m: [self.m[3] / d, -self.m[1] / d, -self.m[2] / d, self.m[0] / d] })
+        Some(Jacobian {
+            m: [self.m[3] / d, -self.m[1] / d, -self.m[2] / d, self.m[0] / d],
+        })
     }
 }
 
@@ -235,7 +251,10 @@ mod tests {
         let u = wavy(8, 9);
         for i in 0..7 {
             for j in 0..8 {
-                assert!((u.dxdy(i, j) - u.dydx(i, j)).abs() < 1e-14, "cell ({i},{j})");
+                assert!(
+                    (u.dxdy(i, j) - u.dydx(i, j)).abs() < 1e-14,
+                    "cell ({i},{j})"
+                );
             }
         }
     }
@@ -279,7 +298,10 @@ mod tests {
         for (i0, i1, j0, j1) in [(0, 5, 0, 6), (1, 4, 2, 5), (2, 3, 3, 4)] {
             let lhs = f.circulation(i0, i1, j0, j1);
             let rhs = f.curl_sum(i0, i1, j0, j1);
-            assert!((lhs - rhs).abs() < 1e-12, "Stokes failed on ({i0},{i1},{j0},{j1})");
+            assert!(
+                (lhs - rhs).abs() < 1e-12,
+                "Stokes failed on ({i0},{i1},{j0},{j1})"
+            );
         }
     }
 
@@ -307,7 +329,9 @@ mod tests {
         // For a linear map x = A·u, a function f(x) has ∇_u (f∘A) = Aᵀ∇_x f.
         // Take f(x, y) = 3x + 5y: ∇_x f = (3, 5);
         // map (u,v) → (2u+v, u−3v): ∇_u = (2·3+1·5, 1·3−3·5) = (11, −12).
-        let j = Jacobian { m: [2.0, 1.0, 1.0, -3.0] };
+        let j = Jacobian {
+            m: [2.0, 1.0, 1.0, -3.0],
+        };
         let (gu, gv) = j.pullback_gradient(3.0, 5.0);
         assert!((gu - 11.0).abs() < 1e-12);
         assert!((gv + 12.0).abs() < 1e-12);
@@ -315,11 +339,15 @@ mod tests {
 
     #[test]
     fn jacobian_inverse_roundtrip() {
-        let j = Jacobian { m: [2.0, 1.0, 1.0, -3.0] };
+        let j = Jacobian {
+            m: [2.0, 1.0, 1.0, -3.0],
+        };
         let inv = j.inverse().unwrap();
         let (u, v) = inv.apply(j.apply(0.7, -0.2).0, j.apply(0.7, -0.2).1);
         assert!((u - 0.7).abs() < 1e-12 && (v + 0.2).abs() < 1e-12);
-        let degenerate = Jacobian { m: [1.0, 2.0, 2.0, 4.0] };
+        let degenerate = Jacobian {
+            m: [1.0, 2.0, 2.0, 4.0],
+        };
         assert!(degenerate.inverse().is_none());
     }
 

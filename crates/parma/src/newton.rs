@@ -53,7 +53,11 @@ pub fn newton_inverse(
             .collect()
     };
     let x0: Vec<f64> = initial.as_slice().to_vec();
-    let opts = NewtonOptions { tol, max_iter, ..Default::default() };
+    let opts = NewtonOptions {
+        tol,
+        max_iter,
+        ..Default::default()
+    };
     let out = newton_solve(residual, None::<fn(&[f64]) -> DenseMatrix>, &x0, &opts)
         .map_err(ParmaError::Linalg)?;
     to_physical(grid, &out.x).ok_or_else(|| {

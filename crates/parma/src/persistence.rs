@@ -59,7 +59,10 @@ fn crossing_complex(grid: MeaGrid) -> SimplicialComplex {
 /// the paper's ranges (2,000 kΩ baseline, anomalies up to 11,000 kΩ) a
 /// threshold around 500–1,000 kΩ is natural.
 pub fn anomaly_persistence(r: &ResistorGrid, min_prominence: f64) -> AnomalyPersistence {
-    assert!(min_prominence >= 0.0, "prominence threshold must be non-negative");
+    assert!(
+        min_prominence >= 0.0,
+        "prominence threshold must be non-negative"
+    );
     let grid = r.grid();
     let complex = crossing_complex(grid);
     // Superlevel sets of R = sublevel sets of −R.
@@ -76,7 +79,11 @@ pub fn anomaly_persistence(r: &ResistorGrid, min_prominence: f64) -> AnomalyPers
             let peak = -interval.birth;
             let merge = interval.death.map(|d| -d);
             let prominence = peak - merge.unwrap_or(global_min);
-            RegionSummary { peak_resistance: peak, merge_resistance: merge, prominence }
+            RegionSummary {
+                peak_resistance: peak,
+                merge_resistance: merge,
+                prominence,
+            }
         })
         .filter(|reg| reg.prominence > min_prominence)
         .collect();
@@ -111,23 +118,35 @@ mod tests {
     #[test]
     fn single_blob_is_one_region_with_right_peak() {
         let grid = MeaGrid::square(12);
-        let cfg = AnomalyConfig { noise: 0.0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let r = cfg.render(grid, &[blob((6.0, 6.0), 3.0, 6000.0)], 0);
         let out = anomaly_persistence(&r, 500.0);
         assert_eq!(out.regions.len(), 1);
         let reg = &out.regions[0];
         assert!((reg.peak_resistance - (2000.0 + 6000.0)).abs() < 1e-6);
-        assert!(reg.merge_resistance.is_none(), "dominant region never merges");
+        assert!(
+            reg.merge_resistance.is_none(),
+            "dominant region never merges"
+        );
         assert!(reg.prominence > 5000.0);
     }
 
     #[test]
     fn two_separated_blobs_are_two_regions() {
         let grid = MeaGrid::square(16);
-        let cfg = AnomalyConfig { noise: 0.0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let r = cfg.render(
             grid,
-            &[blob((3.0, 3.0), 2.5, 6000.0), blob((12.0, 12.0), 2.5, 4000.0)],
+            &[
+                blob((3.0, 3.0), 2.5, 6000.0),
+                blob((12.0, 12.0), 2.5, 4000.0),
+            ],
             0,
         );
         let out = anomaly_persistence(&r, 500.0);
@@ -136,7 +155,9 @@ mod tests {
         assert!(out.regions[0].prominence >= out.regions[1].prominence);
         // The secondary region merges at the baseline saddle between them.
         let secondary = &out.regions[1];
-        let merge = secondary.merge_resistance.expect("secondary region must merge");
+        let merge = secondary
+            .merge_resistance
+            .expect("secondary region must merge");
         assert!(merge < 2500.0, "saddle sits near the baseline, got {merge}");
         assert!((secondary.peak_resistance - 6000.0).abs() < 200.0);
     }
@@ -144,7 +165,10 @@ mod tests {
     #[test]
     fn noise_blips_are_filtered_by_prominence() {
         let grid = MeaGrid::square(14);
-        let cfg = AnomalyConfig { noise: 0.02, ..Default::default() }; // ±40 kΩ blips
+        let cfg = AnomalyConfig {
+            noise: 0.02,
+            ..Default::default()
+        }; // ±40 kΩ blips
         let r = cfg.render(grid, &[blob((7.0, 7.0), 3.0, 7000.0)], 42);
         let strict = anomaly_persistence(&r, 500.0);
         assert_eq!(strict.regions.len(), 1, "noise must not create regions");
@@ -159,17 +183,27 @@ mod tests {
     #[test]
     fn prominence_threshold_controls_region_granularity() {
         let grid = MeaGrid::square(14);
-        let cfg = AnomalyConfig { noise: 0.0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         // A dominant peak (prominence ≈ 9,000) and a secondary one
         // (prominence ≈ 5,800): the region count depends on where the
         // prominence bar is set — no resistance threshold ever needed.
         let r = cfg.render(
             grid,
-            &[blob((4.0, 4.0), 2.5, 9000.0), blob((10.0, 10.0), 2.5, 5800.0)],
+            &[
+                blob((4.0, 4.0), 2.5, 9000.0),
+                blob((10.0, 10.0), 2.5, 5800.0),
+            ],
             0,
         );
         let coarse = anomaly_persistence(&r, 7000.0);
-        assert_eq!(coarse.regions.len(), 1, "only the dominant peak clears 7,000 kΩ");
+        assert_eq!(
+            coarse.regions.len(),
+            1,
+            "only the dominant peak clears 7,000 kΩ"
+        );
         let fine = anomaly_persistence(&r, 1000.0);
         assert_eq!(fine.regions.len(), 2, "both peaks clear 1,000 kΩ");
     }
@@ -179,7 +213,11 @@ mod tests {
         // End-to-end: generated maps with well-separated regions are
         // counted correctly.
         let grid = MeaGrid::square(20);
-        let cfg = AnomalyConfig { noise: 0.01, regions: 0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            noise: 0.01,
+            regions: 0,
+            ..Default::default()
+        };
         let r = cfg.render(
             grid,
             &[

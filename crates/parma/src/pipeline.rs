@@ -4,7 +4,9 @@
 //! This is the workflow the paper's wet lab motivated: the device measures
 //! cell media at 0/6/12/24 hours, Parma parametrizes each snapshot, and
 //! thresholding the recovered maps localizes the (growing) anomalies.
-//! Consecutive time points warm-start from the previous solution.
+//! Consecutive time points warm-start from the previous solution,
+//! extrapolated by the per-pair measured-impedance ratio (see
+//! [`Pipeline::run`]).
 
 use crate::config::ParmaConfig;
 use crate::detect::{detect_anomalies, DetectionReport};
@@ -37,31 +39,66 @@ pub struct Pipeline {
 impl Pipeline {
     /// A pipeline with the given solver configuration and a detection
     /// factor (must exceed 1; 1.5 is a good default for the paper's
-    /// resistance range).
-    pub fn new(config: ParmaConfig, detection_factor: f64) -> Self {
-        config.validate();
-        assert!(detection_factor > 1.0, "detection factor must exceed 1");
-        Pipeline { config, detection_factor }
+    /// resistance range). Returns [`ParmaError::InvalidConfig`] for
+    /// out-of-range values.
+    pub fn new(config: ParmaConfig, detection_factor: f64) -> Result<Self, ParmaError> {
+        config.validate()?;
+        if !(detection_factor > 1.0 && detection_factor.is_finite()) {
+            return Err(ParmaError::InvalidConfig(format!(
+                "detection factor must exceed 1, got {detection_factor}"
+            )));
+        }
+        Ok(Pipeline {
+            config,
+            detection_factor,
+        })
     }
 
-    /// Processes every time point of a session, warm-starting each solve
-    /// from the previous recovered map.
+    /// Processes every time point of a session.
+    ///
+    /// Each solve after hour 0 starts from the previous recovered map
+    /// *extrapolated* by the measured-impedance ratio: crossing `(i,j)`
+    /// starts at `R_prev(i,j) · Z_new(i,j)/Z_prev(i,j)`. Impedance is
+    /// locally near-proportional to direct resistance, so the ratio
+    /// transports the previous solution onto the new measurement and
+    /// lands far closer than the raw previous map when anomalies grow
+    /// between time points.
     pub fn run(&self, dataset: &WetLabDataset) -> Result<Vec<TimePointResult>, ParmaError> {
+        let _span = mea_obs::span("pipeline/run");
         let mut out: Vec<TimePointResult> = Vec::with_capacity(dataset.measurements.len());
-        let mut warm: Option<mea_model::ResistorGrid> = None;
+        let mut warm: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)> = None;
         for m in &dataset.measurements {
-            let solver = ParmaSolver::new(ParmaConfig { voltage: m.voltage, ..self.config });
+            let _tp = mea_obs::span("time_point");
+            let solver = ParmaSolver::new(ParmaConfig {
+                voltage: m.voltage,
+                ..self.config
+            });
             let solution = match &warm {
-                Some(prev) => solver.solve_from(&m.z, prev.clone())?,
+                Some((prev_r, prev_z)) => {
+                    let mut init = prev_r.clone();
+                    for (i, j) in init.grid().pair_iter() {
+                        let ratio = m.z.get(i, j) / prev_z.get(i, j);
+                        init.set(i, j, init.get(i, j) * ratio);
+                    }
+                    solver.solve_from(&m.z, init)?
+                }
                 None => solver.solve(&m.z)?,
             };
-            let detection = detect_anomalies(&solution.resistors, self.detection_factor);
+            let detection = {
+                let _d = mea_obs::span("detect");
+                detect_anomalies(&solution.resistors, self.detection_factor)
+            };
             let ground_truth_error = m
                 .ground_truth
                 .as_ref()
                 .map(|truth| solution.resistors.rel_max_diff(truth));
-            warm = Some(solution.resistors.clone());
-            out.push(TimePointResult { hours: m.hours, solution, detection, ground_truth_error });
+            warm = Some((solution.resistors.clone(), m.z.clone()));
+            out.push(TimePointResult {
+                hours: m.hours,
+                solution,
+                detection,
+                ground_truth_error,
+            });
         }
         Ok(out)
     }
@@ -70,6 +107,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::ParmaSolver;
     use mea_model::{AnomalyConfig, MeaGrid};
 
     fn session(n: usize, seed: u64) -> WetLabDataset {
@@ -79,10 +117,15 @@ mod tests {
     #[test]
     fn processes_all_time_points_accurately() {
         let ds = session(6, 2024);
-        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
+        let results = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
         assert_eq!(results.len(), 4);
         for r in &results {
-            let err = r.ground_truth_error.expect("synthetic data has ground truth");
+            let err = r
+                .ground_truth_error
+                .expect("synthetic data has ground truth");
             assert!(err < 1e-6, "hour {}: error {err}", r.hours);
         }
     }
@@ -90,7 +133,10 @@ mod tests {
     #[test]
     fn anomaly_coverage_grows_with_time() {
         let ds = session(12, 7);
-        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
+        let results = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
         let first = results.first().unwrap().detection.anomalies.len();
         let last = results.last().unwrap().detection.anomalies.len();
         assert!(
@@ -101,23 +147,53 @@ mod tests {
 
     #[test]
     fn warm_start_is_used_after_hour_zero() {
+        // The extrapolated warm start must beat (or at worst match, within
+        // slack) a cold solve of the *same* measurement, hour by hour.
         let ds = session(8, 55);
-        let results = Pipeline::new(ParmaConfig::default(), 1.5).run(&ds).unwrap();
-        // Later time points start from a nearby map, so they must not need
-        // more iterations than the cold hour-0 solve by a wide margin.
-        let cold = results[0].solution.iterations;
-        for r in &results[1..] {
+        let results = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&ds)
+            .unwrap();
+        let mut warm_total = 0usize;
+        let mut cold_total = 0usize;
+        for (r, m) in results[1..].iter().zip(&ds.measurements[1..]) {
+            let solver = ParmaSolver::new(ParmaConfig {
+                voltage: m.voltage,
+                ..Default::default()
+            });
+            let cold = solver.solve(&m.z).unwrap();
+            warm_total += r.solution.iterations;
+            cold_total += cold.iterations;
             assert!(
-                r.solution.iterations <= cold + 5,
-                "warm start regressed: {} vs cold {cold}",
-                r.solution.iterations
+                r.solution.iterations <= cold.iterations + 5,
+                "hour {}: warm start regressed: {} vs cold {}",
+                r.hours,
+                r.solution.iterations,
+                cold.iterations
             );
         }
+        assert!(
+            warm_total < cold_total,
+            "across the session the warm start must save iterations: {warm_total} vs {cold_total}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "detection factor")]
     fn bad_detection_factor_rejected() {
-        let _ = Pipeline::new(ParmaConfig::default(), 1.0);
+        let err = Pipeline::new(ParmaConfig::default(), 1.0).unwrap_err();
+        assert!(matches!(err, ParmaError::InvalidConfig(_)));
+        assert!(err.to_string().contains("detection factor"));
+    }
+
+    #[test]
+    fn bad_solver_config_rejected_at_construction() {
+        let cfg = ParmaConfig {
+            damping: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Pipeline::new(cfg, 1.5),
+            Err(ParmaError::InvalidConfig(_))
+        ));
     }
 }

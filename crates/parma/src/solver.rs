@@ -54,7 +54,57 @@ pub struct ParmaSolution {
     pub residual: f64,
     /// Residual after each iteration (for convergence plots).
     pub history: Vec<f64>,
+    /// Recovery interventions taken during the solve, in order. Empty for
+    /// healthy solves; non-empty means the plain damped sweep stalled or
+    /// diverged and the solver escalated (see [`RecoveryAction`]).
+    pub recovery: Vec<RecoveryEvent>,
 }
+
+/// One rung of the convergence-failure recovery ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Applied one Aitken Δ² extrapolation to the conductance vector. A
+    /// plateau whose iterates still move is a slow geometric mode with
+    /// rate ≈ 1 (near-degenerate pairs, e.g. crossings sharing wires with
+    /// a short); extrapolating the last three iterates cancels that mode
+    /// in the linear regime and is tried first because it is the only
+    /// rung that *speeds up* rather than damps.
+    Extrapolate,
+    /// Persistently halved the sweep damping: the residual plateaued,
+    /// which on degenerate maps means the coupling exceeds the healthy
+    /// bound κ and the step overshoots into a limit cycle.
+    ReduceDamping,
+    /// Pulled the iterate halfway back toward the well-conditioned
+    /// uniform-mode solution `κ·Z` (the fixed point's analogue of
+    /// Tikhonov regularization toward the prior).
+    Regularize,
+    /// Abandoned the iterate and restarted from `κ·Z` under strong
+    /// damping — the rung of last resort, also taken immediately when the
+    /// residual turns non-finite.
+    ColdRestart,
+}
+
+/// Record of one recovery intervention.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// What the solver did.
+    pub action: RecoveryAction,
+    /// Outer iteration at which it acted.
+    pub at_iteration: usize,
+    /// The residual that triggered it (may be NaN/∞ for divergence).
+    pub residual: f64,
+}
+
+/// Residual-plateau window: the ladder escalates when a window this long
+/// improves the residual by less than [`STALL_FACTOR`].
+const STALL_WINDOW: usize = 25;
+
+/// Minimum relative improvement a healthy solve shows per window. A
+/// geometric contraction at the worst healthy rate (~0.92/iteration, see
+/// `crate::diagnostics`) improves ~8× per window; requiring only 2%
+/// keeps false positives impossible while still catching limit cycles,
+/// which improve not at all.
+const STALL_FACTOR: f64 = 0.98;
 
 /// The inverse solver.
 #[derive(Clone, Debug)]
@@ -63,9 +113,10 @@ pub struct ParmaSolver {
 }
 
 impl ParmaSolver {
-    /// A solver with the given configuration (validated here).
+    /// A solver with the given configuration. Construction is infallible;
+    /// the configuration is validated on the first solve, which returns
+    /// [`ParmaError::InvalidConfig`] for out-of-range values.
     pub fn new(config: ParmaConfig) -> Self {
-        config.validate();
         ParmaSolver { config }
     }
 
@@ -97,6 +148,7 @@ impl ParmaSolver {
         z: &ZMatrix,
         initial: ResistorGrid,
     ) -> Result<ParmaSolution, ParmaError> {
+        self.config.validate()?;
         validate_measurements(z)?;
         let grid = z.grid();
         if initial.grid() != grid {
@@ -109,8 +161,11 @@ impl ParmaSolver {
                 "initial map must be strictly positive".into(),
             ));
         }
+        let _span = mea_obs::span("parma/solve");
+        let kappa = coupling_bound(grid);
         let mut r = initial;
         let mut history = Vec::new();
+        let mut recovery: Vec<RecoveryEvent> = Vec::new();
         let items = pair_work_items(grid);
         // Adaptive safeguard: the κ-derived damping is optimal for
         // healthy maps but under-damps degenerate ones (a dead wire makes
@@ -118,39 +173,173 @@ impl ParmaSolver {
         // into a limit cycle). When the residual stops improving we shrink
         // the step geometrically; on improvement it creeps back up.
         let mut shrink = 1.0f64;
+        // Persistent multiplier applied by the recovery ladder; unlike
+        // `shrink` it never creeps back up.
+        let mut recovery_damp = 1.0f64;
+        // Next ladder rung to try when the solve stalls.
+        let mut ladder = [
+            RecoveryAction::Extrapolate,
+            RecoveryAction::ReduceDamping,
+            RecoveryAction::Regularize,
+            RecoveryAction::ColdRestart,
+        ]
+        .into_iter();
+        // The two previous iterates, for the Aitken rung.
+        let mut prev1: Option<ResistorGrid> = None;
+        let mut prev2: Option<ResistorGrid> = None;
+        // Iteration index after the last intervention; the plateau window
+        // restarts there so one intervention gets time to act.
+        let mut last_intervention = 0usize;
         let mut prev_residual = f64::INFINITY;
-        for it in 0..self.config.max_iter {
-            let forward = ForwardSolver::new(&r)?;
-            let step = sweep(&self.config, &forward, z, &r, &items, shrink);
-            history.push(step.residual);
-            if step.residual <= self.config.tol {
-                return Ok(ParmaSolution {
+        let outcome = 'iterate: {
+            for it in 0..self.config.max_iter {
+                let forward = ForwardSolver::new(&r)?;
+                let step = sweep(
+                    &self.config,
+                    &forward,
+                    z,
+                    &r,
+                    &items,
+                    shrink * recovery_damp,
+                );
+                history.push(step.residual);
+                if step.residual <= self.config.tol {
+                    break 'iterate Ok((it, step.residual));
+                }
+
+                // Convergence-failure detection: a non-finite residual is
+                // divergence; a window that barely improves is a stall
+                // (limit cycle or hopeless contraction rate).
+                let diverged = !step.residual.is_finite();
+                let stalled = !diverged
+                    && it + 1 >= last_intervention + STALL_WINDOW
+                    && step.residual > STALL_FACTOR * history[history.len() - STALL_WINDOW];
+                if self.config.recovery && (diverged || stalled) {
+                    // Divergence skips straight to the cold restart; a
+                    // poisoned iterate is not worth damping or blending.
+                    let action = if diverged {
+                        let _ = ladder.by_ref().last();
+                        Some(RecoveryAction::ColdRestart)
+                    } else {
+                        ladder.next()
+                    };
+                    if let Some(action) = action {
+                        match action {
+                            RecoveryAction::Extrapolate => {
+                                // Aitken Δ² per pair, in conductance space
+                                // (the iteration's variable): the slow
+                                // mode's geometric tail cancels exactly in
+                                // the linear regime. Entries whose
+                                // differences are too small to extrapolate
+                                // stably are left alone.
+                                if let (Some(r0), Some(r1)) = (&prev2, &prev1) {
+                                    for (i, j) in grid.pair_iter() {
+                                        let g0 = 1.0 / r0.get(i, j);
+                                        let g1 = 1.0 / r1.get(i, j);
+                                        let g2 = 1.0 / r.get(i, j);
+                                        let (d1, d2) = (g1 - g0, g2 - g1);
+                                        let denom = d2 - d1;
+                                        if denom.abs() > 1e-12 * g2.abs() {
+                                            let acc = g2 - d2 * d2 / denom;
+                                            if acc.is_finite() && acc > 0.0 {
+                                                let bounded = acc
+                                                    .min(1.0 / self.config.min_resistance)
+                                                    .max(1e-12);
+                                                r.set(i, j, 1.0 / bounded);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            RecoveryAction::ReduceDamping => {
+                                recovery_damp *= 0.5;
+                                r = step.next;
+                            }
+                            RecoveryAction::Regularize => {
+                                // Blend halfway toward the uniform-mode
+                                // solution κ·Z — the fixed point's
+                                // Tikhonov-style pull toward the
+                                // well-conditioned prior.
+                                for (i, j) in grid.pair_iter() {
+                                    let prior = kappa * z.get(i, j);
+                                    r.set(i, j, 0.5 * (r.get(i, j) + prior));
+                                }
+                                recovery_damp *= 0.5;
+                            }
+                            RecoveryAction::ColdRestart => {
+                                for (i, j) in grid.pair_iter() {
+                                    r.set(i, j, kappa * z.get(i, j));
+                                }
+                                recovery_damp = 0.25;
+                                shrink = 1.0;
+                            }
+                        }
+                        mea_obs::counter_add("parma.solver.recoveries", 1);
+                        recovery.push(RecoveryEvent {
+                            action,
+                            at_iteration: it,
+                            residual: step.residual,
+                        });
+                        last_intervention = it + 1;
+                        prev_residual = f64::INFINITY;
+                        prev1 = None;
+                        prev2 = None;
+                        continue;
+                    }
+                    if diverged {
+                        // Ladder exhausted and the iterate is poisoned:
+                        // keep the last finite iterate and stop early.
+                        break 'iterate Err(it + 1);
+                    }
+                }
+
+                if step.residual >= prev_residual {
+                    shrink = (shrink * 0.7).max(1e-3);
+                } else {
+                    shrink = (shrink * 1.02).min(1.0);
+                }
+                prev_residual = step.residual;
+                prev2 = prev1.take();
+                prev1 = Some(std::mem::replace(&mut r, step.next));
+            }
+            Err(self.config.max_iter)
+        };
+        mea_obs::counter_add("parma.solver.solves", 1);
+        mea_obs::record_series("parma.solver.residuals", &history);
+        match outcome {
+            Ok((iterations, residual)) => {
+                mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+                Ok(ParmaSolution {
                     resistors: r,
-                    iterations: it,
-                    residual: step.residual,
+                    iterations,
+                    residual,
                     history,
-                });
+                    recovery,
+                })
             }
-            if step.residual >= prev_residual {
-                shrink = (shrink * 0.7).max(1e-3);
-            } else {
-                shrink = (shrink * 1.02).min(1.0);
+            Err(iterations) => {
+                // One final residual check with the last iterate.
+                let forward = ForwardSolver::new(&r)?;
+                let residual = max_rel_mismatch(&forward, z);
+                history.push(residual);
+                mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+                if residual <= self.config.tol {
+                    Ok(ParmaSolution {
+                        resistors: r,
+                        iterations,
+                        residual,
+                        history,
+                        recovery,
+                    })
+                } else {
+                    mea_obs::counter_add("parma.solver.failures", 1);
+                    Err(ParmaError::NoConvergence {
+                        iterations,
+                        residual,
+                        partial: r,
+                    })
+                }
             }
-            prev_residual = step.residual;
-            r = step.next;
-        }
-        // One final residual check with the last iterate.
-        let forward = ForwardSolver::new(&r)?;
-        let residual = max_rel_mismatch(&forward, z);
-        history.push(residual);
-        if residual <= self.config.tol {
-            Ok(ParmaSolution { resistors: r, iterations: self.config.max_iter, residual, history })
-        } else {
-            Err(ParmaError::NoConvergence {
-                iterations: self.config.max_iter,
-                residual,
-                partial: r,
-            })
         }
     }
 }
@@ -172,7 +361,11 @@ struct SweepOutcome {
 /// shared factorization.
 fn pair_work_items(grid: MeaGrid) -> Vec<WorkItem> {
     (0..grid.pairs())
-        .map(|id| WorkItem { id, category: id % mea_parallel::CATEGORY_COUNT, cost: 1 })
+        .map(|id| WorkItem {
+            id,
+            category: id % mea_parallel::CATEGORY_COUNT,
+            cost: 1,
+        })
         .collect()
 }
 
@@ -280,7 +473,10 @@ mod tests {
         let (_, sol) = roundtrip(6, 11, ParmaConfig::default());
         let first = sol.history.first().copied().unwrap();
         let last = sol.history.last().copied().unwrap();
-        assert!(last < first * 1e-3, "history must collapse: {first} → {last}");
+        assert!(
+            last < first * 1e-3,
+            "history must collapse: {first} → {last}"
+        );
     }
 
     #[test]
@@ -320,19 +516,30 @@ mod tests {
 
     #[test]
     fn damping_still_converges() {
-        let cfg = ParmaConfig { damping: 0.5, ..Default::default() };
+        let cfg = ParmaConfig {
+            damping: 0.5,
+            ..Default::default()
+        };
         let (truth, sol) = roundtrip(5, 13, cfg);
         assert!(sol.resistors.rel_max_diff(&truth) < 1e-5);
     }
 
     #[test]
     fn budget_exhaustion_reports_partial() {
-        let cfg = ParmaConfig { max_iter: 2, tol: 1e-14, ..Default::default() };
+        let cfg = ParmaConfig {
+            max_iter: 2,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let grid = MeaGrid::square(6);
         let (truth, _) = AnomalyConfig::default().generate(grid, 5);
         let z = ForwardSolver::new(&truth).unwrap().solve_all();
         match ParmaSolver::new(cfg).solve(&z) {
-            Err(ParmaError::NoConvergence { iterations, partial, residual }) => {
+            Err(ParmaError::NoConvergence {
+                iterations,
+                partial,
+                residual,
+            }) => {
                 assert_eq!(iterations, 2);
                 assert!(partial.is_physical());
                 assert!(residual > 0.0);
@@ -344,7 +551,9 @@ mod tests {
     #[test]
     fn rejects_nonphysical_measurements() {
         let z = CrossingMatrix::filled(MeaGrid::square(3), -1.0);
-        let err = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap_err();
+        let err = ParmaSolver::new(ParmaConfig::default())
+            .solve(&z)
+            .unwrap_err();
         assert!(matches!(err, ParmaError::InvalidMeasurement(_)));
     }
 
@@ -352,7 +561,9 @@ mod tests {
     fn rejects_mismatched_initial_map() {
         let z = CrossingMatrix::filled(MeaGrid::square(3), 1000.0);
         let init = CrossingMatrix::filled(MeaGrid::square(4), 1000.0);
-        let err = ParmaSolver::new(ParmaConfig::default()).solve_from(&z, init).unwrap_err();
+        let err = ParmaSolver::new(ParmaConfig::default())
+            .solve_from(&z, init)
+            .unwrap_err();
         assert!(matches!(err, ParmaError::InvalidMeasurement(_)));
     }
 

@@ -26,7 +26,10 @@ impl BoundaryOperator {
     pub fn new(complex: &SimplicialComplex, k: usize) -> Self {
         let n_k = complex.count(k);
         if k == 0 {
-            return BoundaryOperator { k, matrix: GF2Matrix::zeros(0, n_k) };
+            return BoundaryOperator {
+                k,
+                matrix: GF2Matrix::zeros(0, n_k),
+            };
         }
         let n_km1 = complex.count(k - 1);
         let mut matrix = GF2Matrix::zeros(n_km1, n_k);
@@ -92,7 +95,11 @@ impl BoundaryOperator {
     /// The `complex` argument documents which complex the chains belong to
     /// and guards against indexing drift in debug builds.
     pub fn cycle_basis(&self, complex: &SimplicialComplex) -> Vec<Chain> {
-        debug_assert_eq!(complex.count(self.k), self.matrix.cols(), "complex mismatch");
+        debug_assert_eq!(
+            complex.count(self.k),
+            self.matrix.cols(),
+            "complex mismatch"
+        );
         let len = self.matrix.cols();
         self.matrix
             .kernel_basis()
@@ -104,7 +111,11 @@ impl BoundaryOperator {
     /// Whether a (k−1)-chain is a boundary (`∈ Bᵏ⁻¹ = im ∂ₖ`): does some
     /// k-chain map onto it?
     pub fn is_boundary(&self, chain: &Chain) -> bool {
-        assert_eq!(chain.dim() + 1, self.k.max(1), "dimension mismatch for is_boundary");
+        assert_eq!(
+            chain.dim() + 1,
+            self.k.max(1),
+            "dimension mismatch for is_boundary"
+        );
         self.matrix.solve(chain.bits()).is_some()
     }
 }
@@ -143,8 +154,7 @@ mod tests {
         // ∂({a,b} + {b,c}) = {a} + {c}: the shared vertex b cancels mod 2.
         let c = square_cycle();
         let d1 = BoundaryOperator::new(&c, 1);
-        let chain =
-            Chain::from_simplices(&c, 1, [&Simplex::edge(0, 1), &Simplex::edge(1, 2)]);
+        let chain = Chain::from_simplices(&c, 1, [&Simplex::edge(0, 1), &Simplex::edge(1, 2)]);
         let b = d1.apply(&chain);
         let verts: Vec<_> = b.simplices(&c).into_iter().cloned().collect();
         assert_eq!(verts, vec![Simplex::vertex(0), Simplex::vertex(2)]);
@@ -189,7 +199,11 @@ mod tests {
         let perimeter = Chain::from_simplices(
             &c,
             1,
-            [&Simplex::edge(0, 1), &Simplex::edge(1, 2), &Simplex::edge(0, 2)],
+            [
+                &Simplex::edge(0, 1),
+                &Simplex::edge(1, 2),
+                &Simplex::edge(0, 2),
+            ],
         );
         assert!(d2.is_boundary(&perimeter));
         let single = Chain::from_simplex(&c, &Simplex::edge(0, 1));

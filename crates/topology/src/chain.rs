@@ -27,7 +27,11 @@ impl Chain {
     /// `e` of the chain group.
     pub fn zero(complex: &SimplicialComplex, k: usize) -> Self {
         let len = complex.count(k);
-        Chain { dim: k, len, bits: vec![0; len.div_ceil(64).max(1)] }
+        Chain {
+            dim: k,
+            len,
+            bits: vec![0; len.div_ceil(64).max(1)],
+        }
     }
 
     /// The chain consisting of a single simplex. Panics if the simplex is
@@ -96,7 +100,10 @@ impl Chain {
     /// the paper's example `{a,b} ⋆ {b,c} = {a,c}` at the level of
     /// coefficient vectors. Panics on dimension mismatch.
     pub fn add(&self, other: &Chain) -> Chain {
-        assert_eq!(self.dim, other.dim, "cannot add chains of different dimension");
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot add chains of different dimension"
+        );
         assert_eq!(self.len, other.len, "chains belong to different complexes");
         let bits = self
             .bits
@@ -104,7 +111,11 @@ impl Chain {
             .zip(&other.bits)
             .map(|(a, b)| a ^ b)
             .collect();
-        Chain { dim: self.dim, len: self.len, bits }
+        Chain {
+            dim: self.dim,
+            len: self.len,
+            bits,
+        }
     }
 
     /// In-place mod-2 addition.
@@ -215,8 +226,7 @@ mod tests {
     #[test]
     fn support_roundtrip() {
         let c = square();
-        let chain =
-            Chain::from_simplices(&c, 1, [&Simplex::edge(0, 3), &Simplex::edge(1, 2)]);
+        let chain = Chain::from_simplices(&c, 1, [&Simplex::edge(0, 3), &Simplex::edge(1, 2)]);
         let names: Vec<_> = chain.simplices(&c).into_iter().cloned().collect();
         assert!(names.contains(&Simplex::edge(0, 3)));
         assert!(names.contains(&Simplex::edge(1, 2)));

@@ -37,7 +37,11 @@ impl Cochain {
     /// The zero k-cochain.
     pub fn zero(complex: &SimplicialComplex, k: usize) -> Self {
         let len = complex.count(k);
-        Cochain { dim: k, len, bits: vec![0; len.div_ceil(64).max(1)] }
+        Cochain {
+            dim: k,
+            len,
+            bits: vec![0; len.div_ceil(64).max(1)],
+        }
     }
 
     /// A cochain from the set of k-simplex indices where it evaluates to 1.
@@ -68,7 +72,12 @@ impl Cochain {
         Cochain {
             dim: self.dim,
             len: self.len,
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a ^ b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a ^ b)
+                .collect(),
         }
     }
 
@@ -107,7 +116,10 @@ impl CoboundaryOperator {
     /// Builds `δᵏ` for a complex.
     pub fn new(complex: &SimplicialComplex, k: usize) -> Self {
         let boundary = BoundaryOperator::new(complex, k + 1);
-        CoboundaryOperator { k, matrix: boundary.matrix().transpose() }
+        CoboundaryOperator {
+            k,
+            matrix: boundary.matrix().transpose(),
+        }
     }
 
     /// The dimension this operator acts on.
@@ -129,7 +141,11 @@ impl CoboundaryOperator {
         let mut bits = out_bits;
         bits.truncate(want);
         bits.resize(want, 0);
-        Cochain { dim: self.k + 1, len: out_len, bits }
+        Cochain {
+            dim: self.k + 1,
+            len: out_len,
+            bits,
+        }
     }
 
     /// Rank of the k-coboundary group `im δᵏ`.
@@ -236,7 +252,10 @@ mod tests {
             let support: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
             let u = Cochain::from_support(&c, 0, &support);
             let du = d0.apply(&u);
-            assert!(!du.pair(&loop_chain), "KVL violated for potential pattern {mask:b}");
+            assert!(
+                !du.pair(&loop_chain),
+                "KVL violated for potential pattern {mask:b}"
+            );
         }
     }
 

@@ -23,7 +23,10 @@ impl fmt::Display for ComplexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ComplexError::MissingFace(s, face) => {
-                write!(f, "complex not closed: {s} is present but its face {face} is not")
+                write!(
+                    f,
+                    "complex not closed: {s} is present but its face {face} is not"
+                )
             }
             ComplexError::NonSimplicialIntersection(a, b, i) => write!(
                 f,
@@ -182,10 +185,13 @@ impl SimplicialComplex {
         if verts.is_empty() {
             return 0;
         }
-        let vid: BTreeMap<u32, usize> =
-            verts.iter().enumerate().map(|(i, s)| (s.vertices()[0], i)).collect();
+        let vid: BTreeMap<u32, usize> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.vertices()[0], i))
+            .collect();
         let mut parent: Vec<usize> = (0..verts.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -250,11 +256,9 @@ mod tests {
     #[test]
     fn checked_detects_missing_face() {
         // Edge {0,1} without vertex {1}.
-        let err = SimplicialComplex::from_simplices_checked([
-            Simplex::edge(0, 1),
-            Simplex::vertex(0),
-        ])
-        .unwrap_err();
+        let err =
+            SimplicialComplex::from_simplices_checked([Simplex::edge(0, 1), Simplex::vertex(0)])
+                .unwrap_err();
         assert!(matches!(err, ComplexError::MissingFace(_, _)));
     }
 
@@ -300,17 +304,13 @@ mod tests {
     fn connected_components_counts() {
         let c = hollow_triangle();
         assert_eq!(c.connected_components(), 1);
-        let two = SimplicialComplex::from_maximal_simplices([
-            Simplex::edge(0, 1),
-            Simplex::edge(2, 3),
-        ])
-        .unwrap();
+        let two =
+            SimplicialComplex::from_maximal_simplices([Simplex::edge(0, 1), Simplex::edge(2, 3)])
+                .unwrap();
         assert_eq!(two.connected_components(), 2);
-        let with_isolated = SimplicialComplex::from_maximal_simplices([
-            Simplex::edge(0, 1),
-            Simplex::vertex(9),
-        ])
-        .unwrap();
+        let with_isolated =
+            SimplicialComplex::from_maximal_simplices([Simplex::edge(0, 1), Simplex::vertex(9)])
+                .unwrap();
         assert_eq!(with_isolated.connected_components(), 2);
     }
 

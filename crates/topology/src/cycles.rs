@@ -50,13 +50,16 @@ impl CycleBasis {
 /// this paper are 1-dimensional by Proposition 1).
 pub fn fundamental_cycles(complex: &SimplicialComplex) -> CycleBasis {
     assert!(
-        complex.dim().map_or(true, |d| d <= 1),
+        complex.dim().is_none_or(|d| d <= 1),
         "fundamental_cycles expects a 1-dimensional complex (a circuit graph)"
     );
     let verts = complex.simplices(0);
     let edges = complex.simplices(1);
-    let vid: BTreeMap<u32, usize> =
-        verts.iter().enumerate().map(|(i, s)| (s.vertices()[0], i)).collect();
+    let vid: BTreeMap<u32, usize> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.vertices()[0], i))
+        .collect();
     // Adjacency: vertex index -> (neighbor vertex index, edge index).
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); verts.len()];
     for (ei, e) in edges.iter().enumerate() {
@@ -127,9 +130,17 @@ pub fn fundamental_cycles(complex: &SimplicialComplex) -> CycleBasis {
             walk.push(verts[i].vertices()[0]);
         }
         walk.push(walk[0]);
-        cycles.push(FundamentalCycle { chord: e.clone(), chain, walk });
+        cycles.push(FundamentalCycle {
+            chord: e.clone(),
+            chain,
+            walk,
+        });
     }
-    CycleBasis { cycles, tree_edges, components }
+    CycleBasis {
+        cycles,
+        tree_edges,
+        components,
+    }
 }
 
 #[cfg(test)]
@@ -140,10 +151,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn graph(edges: &[(u32, u32)]) -> SimplicialComplex {
-        SimplicialComplex::from_maximal_simplices(
-            edges.iter().map(|&(a, b)| Simplex::edge(a, b)),
-        )
-        .unwrap()
+        SimplicialComplex::from_maximal_simplices(edges.iter().map(|&(a, b)| Simplex::edge(a, b)))
+            .unwrap()
     }
 
     #[test]
@@ -175,7 +184,10 @@ mod tests {
         // Each fundamental cycle is an actual cycle of the boundary map.
         let d1 = BoundaryOperator::new(&c, 1);
         for fc in &basis.cycles {
-            assert!(d1.is_cycle(&fc.chain), "fundamental cycle must be a ∂-cycle");
+            assert!(
+                d1.is_cycle(&fc.chain),
+                "fundamental cycle must be a ∂-cycle"
+            );
         }
     }
 
@@ -212,8 +224,7 @@ mod tests {
         let basis = fundamental_cycles(&c);
         for fc in &basis.cycles {
             // Every consecutive pair in the walk must be an edge of the chain.
-            let edge_set: Vec<Simplex> =
-                fc.chain.simplices(&c).into_iter().cloned().collect();
+            let edge_set: Vec<Simplex> = fc.chain.simplices(&c).into_iter().cloned().collect();
             for w in fc.walk.windows(2) {
                 assert!(edge_set.contains(&Simplex::edge(w[0], w[1])));
             }

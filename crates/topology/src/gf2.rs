@@ -21,7 +21,12 @@ impl GF2Matrix {
     /// The all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64);
-        GF2Matrix { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+        GF2Matrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
     }
 
     /// The `n × n` identity.
@@ -146,8 +151,8 @@ impl GF2Matrix {
         for r in 0..self.rows {
             let mut acc = 0u64;
             let base = r * self.words_per_row;
-            for k in 0..self.words_per_row {
-                acc ^= self.data[base + k] & v[k];
+            for (dw, vw) in self.data[base..base + self.words_per_row].iter().zip(v) {
+                acc ^= dw & vw;
             }
             if acc.count_ones() % 2 == 1 {
                 out[r / 64] ^= 1u64 << (r % 64);
@@ -254,7 +259,7 @@ impl GF2Matrix {
                 aug.data[r * aug.words_per_row + k] = self.data[r * self.words_per_row + k];
             }
             // Mask stray bits beyond self.cols in the last copied word.
-            if self.cols % 64 != 0 && self.words_per_row > 0 {
+            if !self.cols.is_multiple_of(64) && self.words_per_row > 0 {
                 let lastw = r * aug.words_per_row + self.words_per_row - 1;
                 aug.data[lastw] &= (1u64 << (self.cols % 64)) - 1;
             }

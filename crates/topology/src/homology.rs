@@ -44,15 +44,22 @@ pub fn homology(complex: &SimplicialComplex) -> Vec<HomologyGroup> {
     let Some(dim) = complex.dim() else {
         return Vec::new();
     };
-    let ops: Vec<BoundaryOperator> =
-        (0..=dim + 1).map(|k| BoundaryOperator::new(complex, k)).collect();
+    let ops: Vec<BoundaryOperator> = (0..=dim + 1)
+        .map(|k| BoundaryOperator::new(complex, k))
+        .collect();
     let mut out = Vec::with_capacity(dim + 1);
     for k in 0..=dim {
         let cycle_rank = ops[k].nullity();
         let boundary_rank = ops[k + 1].rank();
         let betti = cycle_rank - boundary_rank;
         let generators = homology_generators(complex, &ops[k], &ops[k + 1], betti);
-        out.push(HomologyGroup { k, cycle_rank, boundary_rank, betti, generators });
+        out.push(HomologyGroup {
+            k,
+            cycle_rank,
+            boundary_rank,
+            betti,
+            generators,
+        });
     }
     out
 }
@@ -62,8 +69,9 @@ pub fn betti_numbers(complex: &SimplicialComplex) -> Vec<usize> {
     let Some(dim) = complex.dim() else {
         return Vec::new();
     };
-    let ranks: Vec<usize> =
-        (0..=dim + 1).map(|k| BoundaryOperator::new(complex, k).rank()).collect();
+    let ranks: Vec<usize> = (0..=dim + 1)
+        .map(|k| BoundaryOperator::new(complex, k).rank())
+        .collect();
     (0..=dim)
         .map(|k| {
             let nullity = complex.count(k) - ranks[k];

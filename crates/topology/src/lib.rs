@@ -52,7 +52,7 @@ mod simplex;
 
 pub use boundary::BoundaryOperator;
 pub use chain::Chain;
-pub use cochain::{cohomology_betti_numbers, Cochain, CoboundaryOperator};
+pub use cochain::{cohomology_betti_numbers, CoboundaryOperator, Cochain};
 pub use complex::{ComplexError, SimplicialComplex};
 pub use cycles::{fundamental_cycles, CycleBasis, FundamentalCycle};
 pub use gf2::GF2Matrix;

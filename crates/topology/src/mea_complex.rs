@@ -88,8 +88,7 @@ pub fn mea_to_complex(rows: usize, cols: usize) -> SimplicialComplex {
             maximal.push(Simplex::edge(joint_v(v, h, rows), joint_v(v, h + 1, rows)));
         }
     }
-    SimplicialComplex::from_maximal_simplices(maximal)
-        .expect("MEA edges are valid simplices")
+    SimplicialComplex::from_maximal_simplices(maximal).expect("MEA edges are valid simplices")
 }
 
 /// Builds the contracted wire-level complex: `K_{rows,cols}` with
@@ -103,8 +102,7 @@ pub fn mea_wire_complex(rows: usize, cols: usize) -> SimplicialComplex {
             maximal.push(Simplex::edge(h as u32, (rows + v) as u32));
         }
     }
-    SimplicialComplex::from_maximal_simplices(maximal)
-        .expect("K_{m,n} edges are valid simplices")
+    SimplicialComplex::from_maximal_simplices(maximal).expect("K_{m,n} edges are valid simplices")
 }
 
 /// Builds the joint-level complex and computes its homological report —
@@ -133,7 +131,7 @@ mod tests {
         let c = mea_to_complex(3, 3);
         assert_eq!(c.count(0), 18); // 2n² joints
         assert_eq!(c.dim(), Some(1)); // Proposition 1: dimension is one
-        // R₁₁ sits between joints 0 and 1 (paper: "0 →R11→ 1").
+                                      // R₁₁ sits between joints 0 and 1 (paper: "0 →R11→ 1").
         assert!(c.contains(&Simplex::edge(0, 1)));
         // R₃₂ between joints 14 and 15 ("the most straightforward circuit
         // [for Z_{B,III}] is through R32 (between endpoints 14 and 15)").
@@ -175,7 +173,11 @@ mod tests {
         for (m, n) in [(1, 1), (2, 2), (3, 3), (4, 6), (7, 5)] {
             let report = analyze_mea(m, n);
             assert_eq!(report.betti0, 1, "MEA must be connected");
-            assert_eq!(report.betti1, (m - 1) * (n - 1), "β₁ = (m−1)(n−1) for {m}×{n}");
+            assert_eq!(
+                report.betti1,
+                (m - 1) * (n - 1),
+                "β₁ = (m−1)(n−1) for {m}×{n}"
+            );
             assert_eq!(report.expected_parallelism(), report.betti1);
         }
     }

@@ -117,8 +117,12 @@ pub struct Barcode {
 impl Barcode {
     /// Intervals of one dimension, most persistent first.
     pub fn in_dim(&self, dim: usize) -> Vec<PersistenceInterval> {
-        let mut v: Vec<PersistenceInterval> =
-            self.intervals.iter().copied().filter(|i| i.dim == dim).collect();
+        let mut v: Vec<PersistenceInterval> = self
+            .intervals
+            .iter()
+            .copied()
+            .filter(|i| i.dim == dim)
+            .collect();
         v.sort_by(|a, b| b.persistence().total_cmp(&a.persistence()));
         v
     }
@@ -135,7 +139,10 @@ impl Barcode {
     /// Number of essential (never-dying) classes per dimension — must
     /// equal the Betti numbers of the final complex.
     pub fn essential_count(&self, dim: usize) -> usize {
-        self.intervals.iter().filter(|i| i.dim == dim && i.death.is_none()).count()
+        self.intervals
+            .iter()
+            .filter(|i| i.dim == dim && i.death.is_none())
+            .count()
     }
 }
 
@@ -150,8 +157,11 @@ pub fn persistence_barcode(filtration: &Filtration) -> Barcode {
         .map(|(v, s)| (*v, s.dim() as usize, s))
         .collect();
     order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(b.2)));
-    let index_of: HashMap<&Simplex, usize> =
-        order.iter().enumerate().map(|(i, (_, _, s))| (*s, i)).collect();
+    let index_of: HashMap<&Simplex, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, s))| (*s, i))
+        .collect();
 
     let m = order.len();
     // Columns as sorted vectors of row indices (sparse; filtration
@@ -166,8 +176,7 @@ pub fn persistence_barcode(filtration: &Filtration) -> Barcode {
     let mut low_to_col: Vec<Option<usize>> = vec![None; m];
     let mut paired_birth: Vec<Option<usize>> = vec![None; m]; // death col -> birth col
     for j in 0..m {
-        loop {
-            let Some(&low) = columns[j].last() else { break };
+        while let Some(&low) = columns[j].last() {
             match low_to_col[low] {
                 None => {
                     low_to_col[low] = Some(j);
@@ -205,7 +214,11 @@ pub fn persistence_barcode(filtration: &Filtration) -> Barcode {
                 continue;
             }
         }
-        intervals.push(PersistenceInterval { dim, birth: birth_value, death });
+        intervals.push(PersistenceInterval {
+            dim,
+            birth: birth_value,
+            death,
+        });
     }
     Barcode { intervals }
 }
@@ -244,7 +257,14 @@ mod tests {
         let f = Filtration::new([(0.0, Simplex::vertex(0))]);
         let bc = persistence_barcode(&f);
         assert_eq!(bc.intervals.len(), 1);
-        assert_eq!(bc.intervals[0], PersistenceInterval { dim: 0, birth: 0.0, death: None });
+        assert_eq!(
+            bc.intervals[0],
+            PersistenceInterval {
+                dim: 0,
+                birth: 0.0,
+                death: None
+            }
+        );
         assert!(bc.intervals[0].persistence().is_infinite());
     }
 
@@ -262,7 +282,14 @@ mod tests {
         assert_eq!(d0.len(), 2);
         assert_eq!(d0[0].death, None);
         assert_eq!(d0[0].birth, 0.0);
-        assert_eq!(d0[1], PersistenceInterval { dim: 0, birth: 1.0, death: Some(2.0) });
+        assert_eq!(
+            d0[1],
+            PersistenceInterval {
+                dim: 0,
+                birth: 1.0,
+                death: Some(2.0)
+            }
+        );
     }
 
     #[test]
@@ -280,7 +307,14 @@ mod tests {
         let bc = persistence_barcode(&f);
         let d1 = bc.in_dim(1);
         assert_eq!(d1.len(), 1);
-        assert_eq!(d1[0], PersistenceInterval { dim: 1, birth: 5.0, death: None });
+        assert_eq!(
+            d1[0],
+            PersistenceInterval {
+                dim: 1,
+                birth: 5.0,
+                death: None
+            }
+        );
     }
 
     #[test]
@@ -298,7 +332,14 @@ mod tests {
         ]);
         let bc = persistence_barcode(&f);
         let d1 = bc.in_dim(1);
-        assert_eq!(d1, vec![PersistenceInterval { dim: 1, birth: 5.0, death: Some(7.0) }]);
+        assert_eq!(
+            d1,
+            vec![PersistenceInterval {
+                dim: 1,
+                birth: 5.0,
+                death: Some(7.0)
+            }]
+        );
         assert_eq!(bc.essential_count(1), 0);
         assert_eq!(bc.essential_count(0), 1);
     }
@@ -307,14 +348,7 @@ mod tests {
     fn essential_classes_match_final_betti_numbers() {
         // A figure-eight built with arbitrary timings: essentials must
         // equal β(final complex).
-        let edges = [
-            (0u32, 1u32),
-            (1, 2),
-            (0, 2),
-            (0, 3),
-            (3, 4),
-            (0, 4),
-        ];
+        let edges = [(0u32, 1u32), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)];
         let complex = SimplicialComplex::from_maximal_simplices(
             edges.iter().map(|&(a, b)| Simplex::edge(a, b)),
         )

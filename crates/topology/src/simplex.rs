@@ -1,6 +1,5 @@
 //! Abstract simplices: finite, duplicate-free, sorted vertex sets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An abstract simplex — a finite set of vertices.
@@ -14,7 +13,7 @@ use std::fmt;
 /// The empty simplex (dimension −1) is representable — the paper's chain
 /// groups include it implicitly as the identity of the mod-2 operation — but
 /// [`Simplex::dim`] returns `-1` for it and complexes never store it.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Simplex {
     vertices: Vec<u32>,
 }
@@ -31,7 +30,9 @@ impl Simplex {
 
     /// The empty simplex ∅ (dimension −1).
     pub fn empty() -> Self {
-        Simplex { vertices: Vec::new() }
+        Simplex {
+            vertices: Vec::new(),
+        }
     }
 
     /// A 0-simplex (single vertex).

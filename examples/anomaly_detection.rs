@@ -14,7 +14,10 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
 
     let grid = MeaGrid::square(n);
-    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+    let cfg = AnomalyConfig {
+        regions: 1,
+        ..Default::default()
+    };
 
     println!("Wet-lab session on a {n}×{n} array (seed {seed})");
     println!("=================================================");
@@ -34,7 +37,7 @@ fn main() {
     // Run the pipeline on the *loaded* data (no ground truth available —
     // exactly the wet lab's situation), then compare against the original
     // session's ground truth out of band.
-    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).expect("valid configuration");
     let results = pipeline.run(&loaded).expect("pipeline converges");
 
     for (r, original) in results.iter().zip(&session.measurements) {

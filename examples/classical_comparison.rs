@@ -8,8 +8,8 @@
 
 use mea_model::NoiseModel;
 use parma::classical::{
-    gauss_newton, landweber, linear_back_projection, tikhonov, FullJacobian,
-    GaussNewtonOptions, LandweberOptions, TikhonovOptions,
+    gauss_newton, landweber, linear_back_projection, tikhonov, FullJacobian, GaussNewtonOptions,
+    LandweberOptions, TikhonovOptions,
 };
 use parma::prelude::*;
 use std::time::Instant;
@@ -21,7 +21,9 @@ fn main() {
 
     let grid = MeaGrid::square(n);
     let (truth, _) = AnomalyConfig::default().generate(grid, seed);
-    let z = ForwardSolver::new(&truth).expect("physical map").solve_all();
+    let z = ForwardSolver::new(&truth)
+        .expect("physical map")
+        .solve_all();
     let kappa = (n * n) as f64 / (2 * n - 1) as f64;
     let mut kappa_seed = z.clone();
     for v in kappa_seed.as_mut_slice() {
@@ -55,16 +57,29 @@ fn main() {
     };
 
     let t0 = Instant::now();
-    let parma_sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).expect("parma");
-    report("Parma fixed point", &parma_sol.resistors, t0.elapsed().as_secs_f64());
+    let parma_sol = ParmaSolver::new(ParmaConfig::default())
+        .solve(&z)
+        .expect("parma");
+    report(
+        "Parma fixed point",
+        &parma_sol.resistors,
+        t0.elapsed().as_secs_f64(),
+    );
 
     let t0 = Instant::now();
     let gn = gauss_newton(&z, &kappa_seed, &GaussNewtonOptions::default()).expect("gn");
     report("Gauss-Newton (dense J)", &gn, t0.elapsed().as_secs_f64());
 
     let t0 = Instant::now();
-    let lw = landweber(&z, &kappa_seed, &LandweberOptions { tol: 1e-8, ..Default::default() })
-        .expect("landweber");
+    let lw = landweber(
+        &z,
+        &kappa_seed,
+        &LandweberOptions {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    )
+    .expect("landweber");
     report(
         &format!("Landweber ({} iters)", lw.iterations),
         &lw.resistors,
@@ -77,12 +92,20 @@ fn main() {
 
     // Noisy round: the regularization story.
     let noisy = NoiseModel::Gaussian { sigma: 0.01 }.apply(&z, seed ^ 0xBEEF);
-    println!("\n{:<26} {:>12} {:>12}", "method (1% noise)", "max err", "mean err");
+    println!(
+        "\n{:<26} {:>12} {:>12}",
+        "method (1% noise)", "max err", "mean err"
+    );
     let prior = ResistorGrid::filled(grid, noisy.mean() * kappa);
     let unreg = tikhonov(
         &noisy,
         &prior,
-        &TikhonovOptions { lambda: 0.0, max_iter: 40, tol: 1e-12, ..Default::default() },
+        &TikhonovOptions {
+            lambda: 0.0,
+            max_iter: 40,
+            tol: 1e-12,
+            ..Default::default()
+        },
     )
     .expect("unregularized");
     println!(
@@ -95,7 +118,12 @@ fn main() {
         let reg = tikhonov(
             &noisy,
             &prior,
-            &TikhonovOptions { lambda, max_iter: 40, tol: 1e-12, ..Default::default() },
+            &TikhonovOptions {
+                lambda,
+                max_iter: 40,
+                tol: 1e-12,
+                ..Default::default()
+            },
         )
         .expect("tikhonov");
         println!(

@@ -16,13 +16,19 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
 
     let grid = MeaGrid::square(n);
-    let cfg = AnomalyConfig { regions: 2, ..Default::default() };
+    let cfg = AnomalyConfig {
+        regions: 2,
+        ..Default::default()
+    };
     let session = WetLabDataset::generate(grid, &cfg, seed).expect("session");
 
-    println!("Persistence study — {n}×{n} array, {} planted regions (seed {seed})", cfg.regions);
+    println!(
+        "Persistence study — {n}×{n} array, {} planted regions (seed {seed})",
+        cfg.regions
+    );
     println!("=================================================================\n");
 
-    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).expect("valid configuration");
     let results = pipeline.run(&session).expect("pipeline");
 
     for r in &results {

@@ -50,7 +50,9 @@ fn main() {
     // 4. Recover the resistor map from measurements alone.
     let config = ParmaConfig::default().with_strategy(Strategy::FineGrained { threads: 2 });
     let t0 = std::time::Instant::now();
-    let solution = ParmaSolver::new(config).solve(&measured).expect("solver converges");
+    let solution = ParmaSolver::new(config)
+        .solve(&measured)
+        .expect("solver converges");
     let elapsed = t0.elapsed();
     println!(
         "solve: {} iterations, residual {:.2e}, {:.1} ms",

@@ -24,7 +24,9 @@ fn main() {
         .unwrap_or(40);
     let grid = MeaGrid::square(n);
     let (truth, _) = AnomalyConfig::default().generate(grid, 1);
-    let z = ForwardSolver::new(&truth).expect("physical map").solve_all();
+    let z = ForwardSolver::new(&truth)
+        .expect("physical map")
+        .solve_all();
 
     println!("Scaling study — {n}×{n} array");
     let census = FormationCensus::expected(grid);
@@ -64,10 +66,19 @@ fn main() {
 
     // --- Simulated MPI strong scaling (the Figure-10 shape) ------------
     println!("\nsimulated MPI (measured per-pair costs, α-β collectives):");
-    println!("{:>8} {:>14} {:>12} {:>12}", "ranks", "sim time (ms)", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "ranks", "sim time (ms)", "speedup", "efficiency"
+    );
     let costs = measure_costs(grid.pairs(), |p| {
         let (i, j) = (p / grid.cols(), p % grid.cols());
-        std::hint::black_box(mea_equations::form_pair_equations(grid, i, j, 5.0, z.get(i, j)));
+        std::hint::black_box(mea_equations::form_pair_equations(
+            grid,
+            i,
+            j,
+            5.0,
+            z.get(i, j),
+        ));
     });
     let cluster = ClusterModel::paper_hpc();
     let bytes_per_round = 8 * grid.pairs(); // one f64 conductance per pair

@@ -24,9 +24,15 @@ fn main() {
     // --- Figure 1: the joint-level device -----------------------------
     let complex = mea_complex::mea_to_complex(n, n);
     println!("joint-level simplicial complex (Proposition 1):");
-    println!("  dimension        : {:?} (an MEA is a 1-complex)", complex.dim());
+    println!(
+        "  dimension        : {:?} (an MEA is a 1-complex)",
+        complex.dim()
+    );
     println!("  0-simplices      : {} joints (2n²)", complex.count(0));
-    println!("  1-simplices      : {} wire segments + resistors", complex.count(1));
+    println!(
+        "  1-simplices      : {} wire segments + resistors",
+        complex.count(1)
+    );
     println!("  Euler char χ     : {}", euler_characteristic(&complex));
 
     // --- Homology groups and Betti numbers ----------------------------
@@ -35,7 +41,10 @@ fn main() {
     for (k, b) in betti.iter().enumerate() {
         println!("  β{k} = {b}");
     }
-    println!("  β₁ = (n−1)² = {} independent Kirchhoff cycles", (n - 1) * (n - 1));
+    println!(
+        "  β₁ = (n−1)² = {} independent Kirchhoff cycles",
+        (n - 1) * (n - 1)
+    );
 
     let h = homology(&complex);
     if let Some(h1) = h.get(1) {
@@ -57,15 +66,21 @@ fn main() {
     // --- §II-C: the exponential path problem ---------------------------
     println!("\npath census between one endpoint pair:");
     println!("  exact simple paths : {}", exact_path_count(grid));
-    println!("  paper estimate     : n^(n−1) = {}", paper_path_count(n, false));
+    println!(
+        "  paper estimate     : n^(n−1) = {}",
+        paper_path_count(n, false)
+    );
     println!(
         "  whole-array        : n^(n+1) = {} (infeasible past n ≈ 6)",
         paper_path_count(n, true)
     );
     if n <= 4 {
         let paths = enumerate_paths(grid, n - 1, 0, None);
-        println!("  enumerated {} paths from wire {} to wire I:", paths.len(),
-            grid.horizontal_name(n - 1));
+        println!(
+            "  enumerated {} paths from wire {} to wire I:",
+            paths.len(),
+            grid.horizontal_name(n - 1)
+        );
         for p in paths.iter().take(9) {
             let hops: Vec<String> = p
                 .crossings
@@ -82,12 +97,18 @@ fn main() {
     println!("\njoint-constraint transformation (Figure 5):");
     println!("  joints per pair    : {joints} (2n)");
     println!("  paths per pair     : {paths}");
-    println!("  whole array        : {} joints vs {} paths",
+    println!(
+        "  whole array        : {} joints vs {} paths",
         PairTopology::array_totals(grid).0,
-        PairTopology::array_totals(grid).1);
+        PairTopology::array_totals(grid).1
+    );
 
     let eqs = form_pair_equations(grid, n - 1, 0, 5.0, 1000.0);
-    println!("\nthe {} equations of pair ({}, I):", eqs.len(), grid.horizontal_name(n - 1));
+    println!(
+        "\nthe {} equations of pair ({}, I):",
+        eqs.len(),
+        grid.horizontal_name(n - 1)
+    );
     for eq in eqs.iter().take(6) {
         println!("  {}", render_equation(eq, grid));
     }

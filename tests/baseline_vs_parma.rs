@@ -68,7 +68,10 @@ fn naive_path_model_disagrees_with_physics() {
     let naive = table.naive_forward(&truth);
     let exact = ForwardSolver::new(&truth).unwrap().solve_all();
     let gap = naive.rel_max_diff(&exact);
-    assert!(gap > 0.01, "the naive model must deviate measurably, got {gap}");
+    assert!(
+        gap > 0.01,
+        "the naive model must deviate measurably, got {gap}"
+    );
     for (i, j) in grid.pair_iter() {
         assert!(naive.get(i, j) <= exact.get(i, j) + 1e-9);
     }

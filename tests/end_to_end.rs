@@ -6,7 +6,10 @@ use parma::prelude::*;
 #[test]
 fn full_session_measure_export_import_solve_detect() {
     let grid = MeaGrid::square(10);
-    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+    let cfg = AnomalyConfig {
+        regions: 1,
+        ..Default::default()
+    };
     let session = WetLabDataset::generate(grid, &cfg, 101).unwrap();
 
     // Export and re-import the session (the Excel→text pipeline stand-in).
@@ -16,7 +19,7 @@ fn full_session_measure_export_import_solve_detect() {
     assert_eq!(loaded.measurements.len(), 4);
 
     // Solve each time point of the *loaded* session.
-    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5);
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
     let results = pipeline.run(&loaded).unwrap();
     assert_eq!(results.len(), 4);
 
@@ -33,7 +36,10 @@ fn full_session_measure_export_import_solve_detect() {
 #[test]
 fn detection_localizes_the_planted_region() {
     let grid = MeaGrid::square(16);
-    let cfg = AnomalyConfig { regions: 1, ..Default::default() };
+    let cfg = AnomalyConfig {
+        regions: 1,
+        ..Default::default()
+    };
     let (truth, regions) = cfg.generate(grid, 11);
     let z = ForwardSolver::new(&truth).unwrap().solve_all();
     let solution = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
@@ -74,5 +80,8 @@ fn measured_costs_drive_a_sane_mpi_projection() {
     let cluster = ClusterModel::paper_hpc();
     let one = simulate(&cluster, 1, &costs, 5, 8 * grid.pairs());
     let sixteen = simulate(&cluster, 16, &costs, 5, 8 * grid.pairs());
-    assert!(sixteen.total_secs < one.total_secs, "parallelism must help in-node");
+    assert!(
+        sixteen.total_secs < one.total_secs,
+        "parallelism must help in-node"
+    );
 }

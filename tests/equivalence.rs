@@ -41,7 +41,9 @@ fn solver_is_strategy_invariant() {
     let (_, z) = measured(7, 100);
     let reference = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
     for s in strategies() {
-        let sol = ParmaSolver::new(ParmaConfig::default().with_strategy(s)).solve(&z).unwrap();
+        let sol = ParmaSolver::new(ParmaConfig::default().with_strategy(s))
+            .solve(&z)
+            .unwrap();
         assert_eq!(sol.iterations, reference.iterations, "{s:?}");
         assert!(
             sol.resistors.rel_max_diff(&reference.resistors) < 1e-12,

@@ -18,7 +18,10 @@ fn nonphysical_measurements_are_rejected_everywhere() {
             ),
             "solver must reject Z = {bad}"
         );
-        assert!(ForwardSolver::new(&z).is_err(), "forward must reject R = {bad}");
+        assert!(
+            ForwardSolver::new(&z).is_err(),
+            "forward must reject R = {bad}"
+        );
     }
 }
 
@@ -30,7 +33,10 @@ fn dataset_parser_rejects_malformed_files() {
         ("# parma-dataset v1\n", "missing dims"),
         ("# parma-dataset v1\nrows 2\n", "missing cols"),
         ("# parma-dataset v1\nrows 0\ncols 2\n", "zero rows"),
-        ("# parma-dataset v1\nrows 2\ncols 2\nnot-a-measurement\n", "bad section"),
+        (
+            "# parma-dataset v1\nrows 2\ncols 2\nnot-a-measurement\n",
+            "bad section",
+        ),
         (
             "# parma-dataset v1\nrows 2\ncols 2\nmeasurement x 5\n",
             "bad hours",
@@ -62,9 +68,17 @@ fn budget_exhaustion_surfaces_partial_state() {
     let grid = MeaGrid::square(8);
     let (truth, _) = AnomalyConfig::default().generate(grid, 4);
     let z = ForwardSolver::new(&truth).unwrap().solve_all();
-    let cfg = ParmaConfig { max_iter: 1, tol: 1e-15, ..Default::default() };
+    let cfg = ParmaConfig {
+        max_iter: 1,
+        tol: 1e-15,
+        ..Default::default()
+    };
     match ParmaSolver::new(cfg).solve(&z) {
-        Err(ParmaError::NoConvergence { iterations, residual, partial }) => {
+        Err(ParmaError::NoConvergence {
+            iterations,
+            residual,
+            partial,
+        }) => {
             assert_eq!(iterations, 1);
             assert!(residual.is_finite() && residual > 0.0);
             assert!(partial.is_physical(), "partial iterate must stay physical");
@@ -81,7 +95,12 @@ fn pathological_but_physical_measurements_do_not_panic() {
     let mut z = CrossingMatrix::filled(grid, 1000.0);
     z.set(0, 0, 1e-3);
     z.set(3, 3, 1e9);
-    match ParmaSolver::new(ParmaConfig { max_iter: 50, ..Default::default() }).solve(&z) {
+    match ParmaSolver::new(ParmaConfig {
+        max_iter: 50,
+        ..Default::default()
+    })
+    .solve(&z)
+    {
         Ok(sol) => assert!(sol.resistors.is_physical()),
         Err(ParmaError::NoConvergence { partial, .. }) => assert!(partial.is_physical()),
         Err(other) => panic!("unexpected error class: {other}"),
@@ -97,7 +116,10 @@ fn extreme_dynamic_range_stays_stable() {
     truth.set(1, 1, 200_000.0);
     truth.set(2, 3, 20.0);
     let z = ForwardSolver::new(&truth).unwrap().solve_all();
-    let cfg = ParmaConfig { max_iter: 5_000, ..Default::default() };
+    let cfg = ParmaConfig {
+        max_iter: 5_000,
+        ..Default::default()
+    };
     let sol = ParmaSolver::new(cfg).solve(&z).unwrap();
     assert!(
         sol.resistors.rel_max_diff(&truth) < 1e-4,
@@ -115,4 +137,72 @@ fn single_crossing_degenerate_device() {
     let sol = ParmaSolver::new(ParmaConfig::default()).solve(&z).unwrap();
     assert!((sol.resistors.get(0, 0) - 4242.0).abs() < 1e-6);
     assert_eq!(parma::parallelism_bound(grid), 0);
+}
+
+/// Builds the near-degenerate sparse map of the recovery acceptance test:
+/// a 5×5 array that is open (1 GΩ) everywhere except nine live crossings
+/// spanning a ~6000× dynamic range. Wires 3 (row) and 0/3 (columns) carry
+/// no live crossing at all, so several conductance combinations are
+/// observable only through ~1e-8-level changes in Z — the plain damped
+/// sweep enters a slow mode with contraction rate ≈ 1 and plateaus just
+/// above tolerance.
+fn stalling_map() -> ResistorGrid {
+    let grid = MeaGrid::square(5);
+    let mut t = CrossingMatrix::filled(grid, 1.0e9);
+    t.set(0, 1, 381907.3749711039);
+    t.set(0, 2, 467995.7126771082);
+    t.set(0, 4, 209645.12251302483);
+    t.set(1, 1, 184644.70097808185);
+    t.set(1, 2, 228353.59058863952);
+    t.set(2, 2, 478005.4460925065);
+    t.set(2, 4, 136805.4303249105);
+    t.set(4, 1, 74914.31532065517);
+    t.set(4, 4, 84194.91216249965);
+    t
+}
+
+#[test]
+fn recovery_rescues_a_stalled_solve() {
+    let truth = stalling_map();
+    let z = ForwardSolver::new(&truth).unwrap().solve_all();
+    let base = ParmaConfig {
+        tol: 5e-9,
+        max_iter: 4_000,
+        ..Default::default()
+    };
+
+    // The plain sweep (ladder disarmed) stalls: it spends the whole budget
+    // and still sits above tolerance.
+    let plain = ParmaConfig {
+        recovery: false,
+        ..base
+    };
+    match ParmaSolver::new(plain).solve(&z) {
+        Err(ParmaError::NoConvergence {
+            iterations,
+            residual,
+            ..
+        }) => {
+            assert_eq!(iterations, 4_000);
+            assert!(residual > base.tol, "stalled above tol, got {residual:.3e}");
+        }
+        other => panic!("plain sweep must stall on this map, got {other:?}"),
+    }
+
+    // The armed solver detects the plateau, extrapolates through the slow
+    // mode, and finishes in a small fraction of the budget — with the
+    // intervention recorded in the solution diagnostics.
+    let sol = ParmaSolver::new(base)
+        .solve(&z)
+        .expect("recovery must rescue this solve");
+    assert!(sol.residual <= base.tol);
+    assert!(
+        sol.iterations < 1_000,
+        "recovery should finish quickly, took {}",
+        sol.iterations
+    );
+    assert!(!sol.recovery.is_empty(), "the retry must be recorded");
+    assert_eq!(sol.recovery[0].action, RecoveryAction::Extrapolate);
+    assert!(sol.recovery[0].at_iteration > 0);
+    assert!(sol.recovery[0].residual.is_finite());
 }

@@ -13,9 +13,12 @@ fn healthy(n: usize) -> ResistorGrid {
 fn recovered_map_exposes_an_open_circuit() {
     let faulty = apply_faults(&healthy(8), &[Fault::OpenCircuit { i: 3, j: 5 }]);
     let z = ForwardSolver::new(&faulty).unwrap().solve_all();
-    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
-        .solve(&z)
-        .unwrap();
+    let sol = ParmaSolver::new(ParmaConfig {
+        max_iter: 3000,
+        ..Default::default()
+    })
+    .solve(&z)
+    .unwrap();
     let (opens, shorts) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
     assert_eq!(opens, vec![(3, 5)]);
     assert!(shorts.is_empty());
@@ -27,9 +30,12 @@ fn recovered_map_exposes_an_open_circuit() {
 fn recovered_map_exposes_a_short() {
     let faulty = apply_faults(&healthy(8), &[Fault::ShortCircuit { i: 6, j: 1 }]);
     let z = ForwardSolver::new(&faulty).unwrap().solve_all();
-    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
-        .solve(&z)
-        .unwrap();
+    let sol = ParmaSolver::new(ParmaConfig {
+        max_iter: 3000,
+        ..Default::default()
+    })
+    .solve(&z)
+    .unwrap();
     let (opens, shorts) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
     assert!(opens.is_empty());
     assert_eq!(shorts, vec![(6, 1)]);
@@ -39,9 +45,13 @@ fn recovered_map_exposes_a_short() {
 fn dead_wire_is_recovered_as_a_full_row_of_opens() {
     let faulty = apply_faults(&healthy(6), &[Fault::DeadHorizontalWire { i: 2 }]);
     let z = ForwardSolver::new(&faulty).unwrap().solve_all();
-    let sol = ParmaSolver::new(ParmaConfig { max_iter: 5000, tol: 1e-8, ..Default::default() })
-        .solve(&z)
-        .unwrap();
+    let sol = ParmaSolver::new(ParmaConfig {
+        max_iter: 5000,
+        tol: 1e-8,
+        ..Default::default()
+    })
+    .solve(&z)
+    .unwrap();
     let (opens, _) = classify_faults(&sol.resistors, 2000.0, 20.0, 20.0);
     let expected: Vec<(usize, usize)> = (0..6).map(|j| (2, j)).collect();
     assert_eq!(opens, expected);
@@ -53,7 +63,10 @@ fn faults_and_anomalies_coexist() {
     // open shows up in the fault classification, the anomaly in the
     // detection report, and neither masks the other.
     let grid = MeaGrid::square(10);
-    let cfg = AnomalyConfig { regions: 0, ..Default::default() };
+    let cfg = AnomalyConfig {
+        regions: 0,
+        ..Default::default()
+    };
     let base = cfg.render(
         grid,
         &[mea_model::AnomalyRegion {
@@ -67,9 +80,12 @@ fn faults_and_anomalies_coexist() {
     );
     let faulty = apply_faults(&base, &[Fault::OpenCircuit { i: 1, j: 1 }]);
     let z = ForwardSolver::new(&faulty).unwrap().solve_all();
-    let sol = ParmaSolver::new(ParmaConfig { max_iter: 3000, ..Default::default() })
-        .solve(&z)
-        .unwrap();
+    let sol = ParmaSolver::new(ParmaConfig {
+        max_iter: 3000,
+        ..Default::default()
+    })
+    .solve(&z)
+    .unwrap();
     let (opens, _) = classify_faults(&sol.resistors, 2000.0, 50.0, 50.0);
     assert_eq!(opens, vec![(1, 1)], "the hardware open is classified");
     let detection = parma::detect_anomalies(&sol.resistors, 1.5);

@@ -1,0 +1,348 @@
+//! A self-contained property-testing harness exposing the subset of the
+//! `proptest` crate's API that this workspace's test suites use.
+//!
+//! The real proptest cannot be fetched in the offline build environment,
+//! and the workspace's policy is zero external dependencies. This shim
+//! keeps the existing `proptest! { fn prop_x(a in 0usize..10, ...) }`
+//! tests compiling and meaningfully random:
+//!
+//! * strategies are integer/float ranges, tuples of strategies, `any::<T>()`
+//!   and `collection::vec(elem, len_range)`;
+//! * each test runs a fixed number of cases (default 64, or
+//!   `ProptestConfig::with_cases(n)`) with a deterministic per-test seed,
+//!   so failures reproduce exactly;
+//! * `prop_assert!`/`prop_assert_eq!` behave like their `assert!` kin.
+//!
+//! Deliberately *not* implemented: shrinking, persistence files, `prop_oneof`,
+//! recursive strategies. Tests here assert invariants, so a failing case's
+//! printed inputs are enough to debug.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator used to drive strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded explicitly (the macro seeds from the test name).
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; bias is negligible for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over a test's name: the per-test deterministic seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Something that can produce values for a property test.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Marker strategy for [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for a primitive type.
+pub fn any<T: ArbitraryPrimitive>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Primitive types [`any`] can generate.
+pub trait ArbitraryPrimitive: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryPrimitive> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrimitive for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t { rng.next_u64() as $t }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrimitive for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryPrimitive for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range — useful arbitrary
+        // floats for numeric invariants (no NaN/inf surprises).
+        let mag = (rng.next_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Asserts a property-test condition (alias for `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (alias for `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts property-test inequality (alias for `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold. Expands to
+/// `continue` inside the per-case loop, so the case is discarded rather
+/// than failed (no replacement case is drawn, unlike upstream proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// for every generated case with a deterministic per-test seed.
+#[macro_export]
+macro_rules! proptest {
+    // The `@cfg` arm must come first: the plain-body arm below is a
+    // catch-all and would otherwise re-wrap `@cfg ...` forever.
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&w));
+            let f = Strategy::sample(&(0.25f64..=0.75), &mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::new(7);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::new(7);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_strategy_respects_lengths() {
+        let mut rng = TestRng::new(3);
+        let s = collection::vec((0u32..10, 0u32..10), 0..30);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.len() < 30);
+            for (a, b) in v {
+                assert!(a < 10 && b < 10);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn macro_generates_cases(n in 1usize..50, flip in any::<bool>()) {
+            prop_assert!((1..50).contains(&n));
+            let _ = flip;
+        }
+    }
+}
