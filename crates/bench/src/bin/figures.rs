@@ -51,16 +51,20 @@ fn main() {
         "fig8" => fig8(full),
         "fig9" => fig9(full),
         "fig10" => fig10(full),
+        "throughput" => throughput(full),
         "all" => {
             fig6(full);
             fig7(full);
             fig8(full);
             fig9(full);
             fig10(full);
+            throughput(full);
         }
         other => {
             eprintln!("unknown figure {other:?}");
-            eprintln!("usage: figures <fig6|fig7|fig8|fig9|fig10|all> [--full] [--trace <file>]");
+            eprintln!(
+                "usage: figures <fig6|fig7|fig8|fig9|fig10|throughput|all> [--full] [--trace <file>]"
+            );
             std::process::exit(2);
         }
     }
@@ -212,6 +216,106 @@ fn fig9(full: bool) {
         println!("{}", row(&n.to_string(), &cells));
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Throughput mode: solves/sec of the batch engine vs one-at-a-time
+/// sequential solving at n = 16, plus the symbolic-cache benefit
+/// (template vs one-shot Jacobian assembly) that holds even on one core.
+fn throughput(full: bool) {
+    use parma::prelude::*;
+
+    let n = 16usize;
+    let count = if full { 32 } else { 16 };
+    println!("\n=== Throughput: batched vs sequential solves (n = {n}, {count} datasets) ===");
+    let measurements: Vec<ZMatrix> = (0..count)
+        .map(|k| {
+            let (truth, _) =
+                AnomalyConfig::default().generate(MeaGrid::square(n), 0xBA7C4 ^ k as u64);
+            ForwardSolver::new(&truth)
+                .expect("generated maps are physical")
+                .solve_all()
+        })
+        .collect();
+    let config = ParmaConfig::default();
+    let solver = ParmaSolver::new(config);
+    let (_, single_secs) = time_secs(|| {
+        for z in &measurements {
+            std::hint::black_box(solver.solve(z).expect("exact data solves"));
+        }
+    });
+    let single_rate = count as f64 / single_secs;
+    println!(
+        "{}",
+        row(
+            "mode",
+            &["time ms".into(), "solves/sec".into(), "speedup".into()]
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "sequential",
+            &[ms(single_secs), format!("{single_rate:.2}"), "1.00x".into()]
+        )
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let batch = BatchSolver::new(config, threads).expect("default config is valid");
+        let (outcomes, secs) = time_secs(|| batch.solve_all(&measurements));
+        assert!(outcomes.iter().all(|r| r.is_ok()));
+        let rate = count as f64 / secs;
+        println!(
+            "{}",
+            row(
+                &format!("batched k={threads}"),
+                &[
+                    ms(secs),
+                    format!("{rate:.2}"),
+                    format!("{:.2}x", rate / single_rate)
+                ]
+            )
+        );
+    }
+
+    println!("\n--- Jacobian assembly: one-shot vs symbolic template (ms per assembly) ---");
+    println!(
+        "{}",
+        row(
+            "n",
+            &["one-shot".into(), "template".into(), "speedup".into()]
+        )
+    );
+    for n in [4usize, 8, 12] {
+        let w = Workload::new(n);
+        let sys = mea_equations::EquationSystem::assemble(&w.z, 5.0);
+        let x = sys
+            .exact_unknowns_for(&w.truth)
+            .expect("truth satisfies its own system");
+        let reps = 20usize;
+        let (_, legacy) = time_secs_best_of(3, || {
+            for _ in 0..reps {
+                std::hint::black_box(mea_equations::jacobian(&sys, &x));
+            }
+        });
+        let template = mea_equations::JacobianTemplate::analyze(&sys);
+        let mut jac = template.matrix_zeroed();
+        let (_, cached) = time_secs_best_of(3, || {
+            for _ in 0..reps {
+                template.numeric(&x, &mut jac);
+                std::hint::black_box(&jac);
+            }
+        });
+        println!(
+            "{}",
+            row(
+                &n.to_string(),
+                &[
+                    ms(legacy / reps as f64),
+                    ms(cached / reps as f64),
+                    format!("{:.2}x", legacy / cached)
+                ]
+            )
+        );
+    }
 }
 
 /// Figure 10: strong scaling across simulated MPI ranks for several

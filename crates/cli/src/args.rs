@@ -26,20 +26,38 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Parsed `--key value` pairs.
+/// Parsed `--key value` pairs, plus any positional operands the command
+/// opted into.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: BTreeMap<String, String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses a raw token list; every token must be a `--key` followed by
-    /// one value.
+    /// one value. Positionals are rejected — commands that take operands
+    /// (e.g. `parma batch <dir>`) use [`Self::parse_with_positionals`].
     pub fn parse(raw: &[String]) -> Result<Self, ArgError> {
+        Self::parse_inner(raw, false)
+    }
+
+    /// Like [`Self::parse`], but bare (non-`--`) tokens are collected as
+    /// positional operands, in order, instead of erroring.
+    pub fn parse_with_positionals(raw: &[String]) -> Result<Self, ArgError> {
+        Self::parse_inner(raw, true)
+    }
+
+    fn parse_inner(raw: &[String], allow_positionals: bool) -> Result<Self, ArgError> {
         let mut values = BTreeMap::new();
+        let mut positionals = Vec::new();
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
+                if allow_positionals {
+                    positionals.push(tok.clone());
+                    continue;
+                }
                 return Err(ArgError::UnexpectedPositional(tok.clone()));
             };
             let Some(val) = it.next() else {
@@ -49,7 +67,20 @@ impl Args {
                 return Err(ArgError::Duplicate(key.to_string()));
             }
         }
-        Ok(Args { values })
+        Ok(Args {
+            values,
+            positionals,
+        })
+    }
+
+    /// All positional operands, in appearance order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `i`-th positional operand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// Raw string value of a flag.
@@ -127,5 +158,33 @@ mod tests {
     fn empty_is_fine() {
         let a = parse(&[]).unwrap();
         assert_eq!(a.get("anything"), None);
+        assert!(a.positionals().is_empty());
+    }
+
+    #[test]
+    fn positionals_collected_when_opted_in() {
+        let raw: Vec<String> = ["data-dir", "--threads", "4", "extra"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_positionals(&raw).unwrap();
+        assert_eq!(a.positionals(), ["data-dir", "extra"]);
+        assert_eq!(a.positional(0), Some("data-dir"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.get_or("threads", 0usize).unwrap(), 4);
+        // A token after a flag is its value, never a positional.
+        let raw: Vec<String> = ["--out", "file.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_positionals(&raw).unwrap();
+        assert!(a.positionals().is_empty());
+        assert_eq!(a.get("out"), Some("file.txt"));
+        // Flag errors still surface in positional mode.
+        let raw: Vec<String> = ["dir", "--n"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            Args::parse_with_positionals(&raw).unwrap_err(),
+            ArgError::MissingValue("n".into())
+        );
     }
 }

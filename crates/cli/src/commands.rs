@@ -1,4 +1,4 @@
-//! The four CLI commands: generate, solve, topology, equations.
+//! The CLI commands: generate, solve, batch, topology, equations, verify.
 
 use crate::args::Args;
 use mea_equations::{form_all_equations, read_system, write_system, FormationCensus};
@@ -132,6 +132,117 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
         }
+    }
+    Ok(())
+}
+
+/// `parma batch`: solve every dataset file in a directory concurrently
+/// over the work-stealing pool, one session per work item.
+pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let dir = args
+        .positional(0)
+        .ok_or("missing dataset directory: parma batch <dir> [--threads T]")?;
+    if let Some(extra) = args.positional(1) {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    let threads: usize = args.get_or("threads", 4)?;
+    let tol: f64 = args.get_or("tol", 1e-10)?;
+    let detect_factor: f64 = args.get_or("detect", 1.5)?;
+    let trace_path = args.get("trace");
+
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir:?}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no dataset files in {dir:?}"));
+    }
+    let mut sessions = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let p_str = p.to_str().ok_or_else(|| format!("non-UTF-8 path {p:?}"))?;
+        sessions.push(
+            WetLabDataset::load(p_str).map_err(|e| format!("cannot load dataset {p:?}: {e}"))?,
+        );
+    }
+
+    let config = ParmaConfig {
+        tol,
+        ..Default::default()
+    };
+    let solver =
+        BatchSolver::new(config, threads).map_err(|e| format!("bad configuration: {e}"))?;
+    if trace_path.is_some() {
+        mea_obs::reset();
+        mea_obs::set_enabled(true);
+    }
+    let t0 = std::time::Instant::now();
+    let run_result = solver.run_sessions(&sessions, detect_factor);
+    let elapsed = t0.elapsed();
+    if let Some(trace) = trace_path {
+        mea_obs::set_enabled(false);
+        let json = mea_obs::snapshot().to_json();
+        std::fs::write(trace, json).map_err(|e| format!("cannot write trace {trace:?}: {e}"))?;
+        writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())?;
+    }
+    let results = run_result.map_err(|e| format!("batch failed: {e}"))?;
+
+    writeln!(
+        out,
+        "{dir}: {} dataset(s), {} thread(s)",
+        sessions.len(),
+        solver.threads()
+    )
+    .map_err(|e| e.to_string())?;
+    let mut solves = 0usize;
+    let mut failures = 0usize;
+    for (path, res) in paths.iter().zip(&results) {
+        let name = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("<dataset>");
+        match res {
+            Ok(time_points) => {
+                solves += time_points.len();
+                let iterations: usize = time_points.iter().map(|r| r.solution.iterations).sum();
+                let worst = time_points
+                    .iter()
+                    .map(|r| r.solution.residual)
+                    .fold(0.0f64, f64::max);
+                let last = time_points.last();
+                writeln!(
+                    out,
+                    "  {name}: {} time points, {} iterations, worst residual {:.2e}, \
+                     {} anomalies at hour {}",
+                    time_points.len(),
+                    iterations,
+                    worst,
+                    last.map_or(0, |r| r.detection.anomalies.len()),
+                    last.map_or(0, |r| r.hours)
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "  {name}: FAILED — {e}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        solves as f64 / secs
+    } else {
+        0.0
+    };
+    writeln!(
+        out,
+        "batch: {solves} solves in {:.1} ms — {rate:.1} solves/sec, {failures} failure(s)",
+        secs * 1e3
+    )
+    .map_err(|e| e.to_string())?;
+    if failures > 0 {
+        return Err(format!("{failures} dataset(s) failed to solve"));
     }
     Ok(())
 }

@@ -14,10 +14,18 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), String>
         return Err(usage());
     }
     let command = raw[0].as_str();
-    let args = Args::parse(&raw[1..]).map_err(|e| format!("{e}\n\n{}", usage()))?;
+    // `batch` takes a positional operand (the dataset directory); every
+    // other command is pure `--key value`.
+    let args = if command == "batch" {
+        Args::parse_with_positionals(&raw[1..])
+    } else {
+        Args::parse(&raw[1..])
+    }
+    .map_err(|e| format!("{e}\n\n{}", usage()))?;
     let result = match command {
         "generate" => commands::generate(&args, out),
         "solve" => commands::solve(&args, out),
+        "batch" => commands::batch(&args, out),
         "topology" => commands::topology(&args, out),
         "equations" => commands::equations(&args, out),
         "verify" => commands::verify(&args, out),
@@ -41,6 +49,7 @@ USAGE:
                   [--threads T] [--tol E] [--detect F] [--prominence P]
                   [--trace <file>]   write a JSON trace (stage timings, solver
                                      residual curves, scheduler stats)
+  parma batch     <dir> [--threads T] [--tol E] [--detect F] [--trace <file>]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
   parma verify    --n <N> --input <equation-file>
@@ -48,6 +57,8 @@ USAGE:
 COMMANDS:
   generate   synthesize a wet-lab session (0/6/12/24 h) and write the text dataset
   solve      recover resistor maps from a dataset file and report anomalies
+  batch      solve every dataset in a directory concurrently (one session per
+             worker; results are deterministic and in filename order)
   topology   print the device's topological invariants (joints, Betti numbers, cycles)
   equations  form the 2n³ joint-constraint system and write it as text
   verify     parse an equation file back and check it is complete"
@@ -165,6 +176,49 @@ mod tests {
         }
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn batch_solves_a_directory() {
+        let dir = std::env::temp_dir().join("parma-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, seed) in [("a.txt", 11u64), ("b.txt", 12), ("c.txt", 13)] {
+            run_str(&[
+                "generate",
+                "--n",
+                "4",
+                "--seed",
+                &seed.to_string(),
+                "--out",
+                dir.join(name).to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let out = run_str(&["batch", dir.to_str().unwrap(), "--threads", "2"]).unwrap();
+        assert!(out.contains("3 dataset(s), 2 thread(s)"), "{out}");
+        for name in ["a.txt", "b.txt", "c.txt"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("12 solves"), "{out}"); // 3 sessions × 4 hours
+        assert!(out.contains("solves/sec"), "{out}");
+        assert!(out.contains("0 failure(s)"), "{out}");
+        // Filename order, regardless of scheduling.
+        let (a, b) = (out.find("a.txt").unwrap(), out.find("b.txt").unwrap());
+        assert!(a < b && b < out.find("c.txt").unwrap(), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_requires_a_directory_operand() {
+        let err = run_str(&["batch"]).unwrap_err();
+        assert!(err.contains("missing dataset directory"), "{err}");
+        let err = run_str(&["batch", "/nonexistent/nowhere"]).unwrap_err();
+        assert!(err.contains("cannot read directory"), "{err}");
+        let dir = std::env::temp_dir().join("parma-cli-batch-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_str(&["batch", dir.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no dataset files"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

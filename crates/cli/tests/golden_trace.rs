@@ -1,0 +1,234 @@
+//! Golden-trace regression test: a pinned dataset run with `--trace`
+//! must produce JSON whose *schema* — required span paths, counter and
+//! series keys, and their relative ordering — never drifts. Wall times are
+//! machine noise and are deliberately not pinned; keys and structure are
+//! the contract downstream tooling parses.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The observability registry is process-global; trace-producing tests
+/// serialize on this lock so their snapshots never interleave.
+fn obs_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    parma_cli::run(&raw, &mut out).map(|_| String::from_utf8(out).unwrap())
+}
+
+/// Asserts `needle` occurs in `hay` and returns its byte offset.
+fn offset_of(hay: &str, needle: &str) -> usize {
+    hay.find(needle)
+        .unwrap_or_else(|| panic!("trace is missing {needle:?}"))
+}
+
+/// Extracts the first recording of a series as a crude element count
+/// (schema check only — values are wall times and not pinned).
+fn first_series_len(json: &str, key: &str) -> usize {
+    let start = offset_of(json, &format!("\"{key}\":[["));
+    let rest = &json[start..];
+    let open = rest.find("[[").expect("series opens");
+    let close = rest.find(']').expect("series closes");
+    let inner = &rest[open + 2..close];
+    if inner.trim().is_empty() {
+        0
+    } else {
+        inner.split(',').count()
+    }
+}
+
+#[test]
+fn solve_trace_schema_is_stable() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("parma-golden-solve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("session.txt");
+    let trace = dir.join("trace.json");
+    run(&[
+        "generate",
+        "--n",
+        "5",
+        "--seed",
+        "17",
+        "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "solve",
+        "--input",
+        data.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let json = json.trim();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "not a JSON object"
+    );
+
+    // Top-level sections, in order.
+    let spans_at = offset_of(json, "\"spans\":[");
+    let counters_at = offset_of(json, "\"counters\":{");
+    let series_at = offset_of(json, "\"series\":{");
+    assert!(spans_at < counters_at && counters_at < series_at);
+
+    // Stage spans of one session solve, lexicographic (= stable) order:
+    // the pipeline root, then its nested time points, solves, detection.
+    let stages = [
+        "\"pipeline/run\"",
+        "\"pipeline/run/time_point\"",
+        "\"pipeline/run/time_point/detect\"",
+        "\"pipeline/run/time_point/parma/solve\"",
+    ];
+    let mut prev = spans_at;
+    for stage in stages {
+        let at = offset_of(json, stage);
+        assert!(at > prev, "stage {stage} out of order");
+        prev = at;
+    }
+    // Every span record carries the full stat schema.
+    for field in ["\"path\":", "\"count\":", "\"total_ms\":", "\"max_ms\":"] {
+        assert!(json.contains(field), "span records missing {field}");
+    }
+
+    // Counters and series the solver always emits.
+    for key in [
+        "\"parma.solver.solves\":",
+        "\"parma.solver.iterations\":",
+        "\"parma.solver.recoveries\":",
+    ] {
+        // recoveries only appears when the ladder fires; require the
+        // always-on pair and tolerate the optional one.
+        if key.contains("recoveries") {
+            continue;
+        }
+        assert!(json.contains(key), "missing counter {key}");
+    }
+    offset_of(json, "\"parma.solver.residuals\":[[");
+    // One residual history per time point (0/6/12/24 h).
+    let histories = json[series_at..].match_indices("],[").count();
+    assert!(
+        histories >= 3,
+        "expected 4 residual recordings, saw separators {histories}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_trace_schema_is_stable() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("parma-golden-batch");
+    let data_dir = dir.join("data");
+    std::fs::create_dir_all(&data_dir).unwrap();
+    for (name, seed) in [("one.txt", "21"), ("two.txt", "22")] {
+        run(&[
+            "generate",
+            "--n",
+            "4",
+            "--seed",
+            seed,
+            "--out",
+            data_dir.join(name).to_str().unwrap(),
+        ])
+        .unwrap();
+    }
+    let trace = dir.join("trace.json");
+    run(&[
+        "batch",
+        data_dir.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+    ])
+    .unwrap();
+    let json = std::fs::read_to_string(&trace).unwrap();
+
+    // Batch spans: the aggregate span, then per-item spans and the
+    // pipeline stages nested beneath them (worker threads root their own
+    // span stacks at the item).
+    let batch_at = offset_of(&json, "\"parma/batch\"");
+    let item_at = offset_of(&json, "\"parma/batch/item\"");
+    let nested_at = offset_of(&json, "\"parma/batch/item/pipeline/run\"");
+    assert!(
+        batch_at < item_at && item_at < nested_at,
+        "span order drifted"
+    );
+    offset_of(
+        &json,
+        "\"parma/batch/item/pipeline/run/time_point/parma/solve\"",
+    );
+
+    // Batch counters, and the per-item wall-time series with one entry
+    // per dataset in id (= filename) order.
+    offset_of(&json, "\"parma.batch.items\":2");
+    offset_of(&json, "\"parma.batch.failures\":0");
+    assert_eq!(
+        first_series_len(&json, "parma.batch.item_ms"),
+        2,
+        "one wall time per dataset"
+    );
+
+    // The aggregate span ran exactly once.
+    let batch_record = &json[batch_at..batch_at + 200];
+    assert!(
+        batch_record.contains("\"count\":1"),
+        "aggregate batch span must run once: {batch_record}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_runs_are_schema_identical_across_repeats() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("parma-golden-repeat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("session.txt");
+    run(&[
+        "generate",
+        "--n",
+        "4",
+        "--seed",
+        "33",
+        "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    // The schema skeleton — every key, in order, with numbers stripped —
+    // must be identical run to run; only wall-time digits may differ.
+    let skeleton = |json: &str| -> String {
+        json.chars()
+            .filter(|c| !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e'))
+            .collect()
+    };
+    let mut skeletons = Vec::new();
+    for i in 0..2 {
+        let trace = dir.join(format!("trace-{i}.json"));
+        run(&[
+            "solve",
+            "--input",
+            data.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        skeletons.push(skeleton(&std::fs::read_to_string(&trace).unwrap()));
+    }
+    assert_eq!(
+        skeletons[0], skeletons[1],
+        "trace schema must not drift between identical runs"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

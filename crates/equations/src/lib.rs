@@ -36,7 +36,7 @@ pub use constraint::{ConstraintCategory, Equation, FlowTerm, PairValues, Potenti
 pub use formation::{
     form_all_equations, form_category_equations, form_pair_equations, FormationCensus,
 };
-pub use jacobian::jacobian;
+pub use jacobian::{jacobian, JacobianTemplate};
 pub use pair_topology::PairTopology;
 pub use reader::{read_system, ReadError};
 pub use system::EquationSystem;

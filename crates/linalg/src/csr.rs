@@ -1,8 +1,16 @@
-//! Compressed sparse row matrices with triplet (COO) assembly.
+//! Compressed sparse row matrices with triplet (COO) assembly and
+//! symbolic-structure reuse.
 //!
 //! The joint-constraint Jacobians of the full `2n³`-equation system are very
 //! sparse (each equation touches `O(n)` of the `(2n−1)n²` unknowns); CSR is
 //! the storage the equation system and the CG solver operate on.
+//!
+//! Because every endpoint pair shares one fixed `2n`-joint topology, the
+//! *structure* of these Jacobians never changes between Newton iterations
+//! — only the values do. [`CsrPattern`] freezes the symbolic half
+//! (`row_ptr`/`col_idx`) so repeated assemblies skip the triplet sort and
+//! refill values in place; see `mea_equations::JacobianTemplate` for the
+//! consumer that makes this a hot-path win.
 
 use crate::error::LinalgError;
 
@@ -24,10 +32,25 @@ impl CooTriplets {
         }
     }
 
-    /// Adds `v` at `(r, c)`; duplicates accumulate.
+    /// Adds `v` at `(r, c)`; duplicates accumulate. Panics when the
+    /// position is out of bounds — use [`Self::try_push`] for the
+    /// recoverable variant.
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "triplet out of bounds");
+        self.try_push(r, c, v)
+            .unwrap_or_else(|e| panic!("triplet out of bounds: {e}"));
+    }
+
+    /// Adds `v` at `(r, c)` if the position is in bounds; duplicates
+    /// accumulate on conversion.
+    pub fn try_push(&mut self, r: usize, c: usize, v: f64) -> Result<(), LinalgError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::InvalidInput(format!(
+                "triplet ({r}, {c}) outside a {}×{} matrix",
+                self.rows, self.cols
+            )));
+        }
         self.entries.push((r, c, v));
+        Ok(())
     }
 
     /// Number of raw (pre-summed) entries.
@@ -35,9 +58,28 @@ impl CooTriplets {
         self.entries.len()
     }
 
+    /// The raw `(row, col, value)` entries in push order.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Extracts the symbolic structure: every distinct position that was
+    /// pushed, regardless of value (positions whose values later cancel
+    /// stay in the pattern — the structure must be a superset of any
+    /// numeric fill). The triplets are left untouched.
+    pub fn to_pattern(&self) -> CsrPattern {
+        let mut positions: Vec<(usize, usize)> = self.entries.iter().map(|e| (e.0, e.1)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        CsrPattern::from_sorted_positions(self.rows, self.cols, &positions)
+    }
+
     /// Converts to CSR, summing duplicates and dropping exact zeros.
+    /// The sort is stable so duplicates sum in push order — the same
+    /// order [`CsrPattern::refill`] uses, making the two assembly paths
+    /// bitwise-identical.
     pub fn to_csr(mut self) -> CsrMatrix {
-        self.entries.sort_unstable_by_key(|e| (e.0, e.1));
+        self.entries.sort_by_key(|e| (e.0, e.1));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(self.entries.len());
         let mut values = Vec::with_capacity(self.entries.len());
@@ -71,6 +113,180 @@ impl CooTriplets {
             col_idx,
             values,
         }
+    }
+}
+
+/// The frozen symbolic half of a CSR matrix: row pointers and sorted
+/// column indices, no values.
+///
+/// A pattern is computed once per topology (a triplet sort + dedup) and
+/// then reused across arbitrarily many numeric fills: [`Self::refill`]
+/// scatters triplet values into an existing value buffer by binary search,
+/// and [`Self::matrix_zeroed`]/[`Self::matrix_with_values`] construct
+/// matrices that share the structure without re-sorting. Unlike
+/// [`CooTriplets::to_csr`], a pattern keeps positions whose values are
+/// (or later become) exactly zero — the structure must stay valid for
+/// every numeric fill, not just the first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrPattern {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl CsrPattern {
+    /// Builds a pattern from arbitrary positions (duplicates collapse;
+    /// order is irrelevant). Errors on out-of-bounds positions.
+    pub fn from_positions(
+        rows: usize,
+        cols: usize,
+        positions: &[(usize, usize)],
+    ) -> Result<Self, LinalgError> {
+        if let Some(&(r, c)) = positions.iter().find(|&&(r, c)| r >= rows || c >= cols) {
+            return Err(LinalgError::InvalidInput(format!(
+                "position ({r}, {c}) outside a {rows}×{cols} pattern"
+            )));
+        }
+        let mut sorted = positions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Ok(Self::from_sorted_positions(rows, cols, &sorted))
+    }
+
+    /// Internal constructor from positions already sorted and deduplicated.
+    fn from_sorted_positions(rows: usize, cols: usize, positions: &[(usize, usize)]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(positions.len());
+        row_ptr.push(0);
+        let mut cur_row = 0usize;
+        for &(r, c) in positions {
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            col_idx.push(c);
+        }
+        while cur_row < rows {
+            row_ptr.push(col_idx.len());
+            cur_row += 1;
+        }
+        CsrPattern {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structural entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The value-buffer slot of position `(r, c)`, when present.
+    pub fn slot(&self, r: usize, c: usize) -> Option<usize> {
+        if r >= self.rows {
+            return None;
+        }
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi].binary_search(&c).ok().map(|k| lo + k)
+    }
+
+    /// The slot range of row `r` (its entries are `col_idx[lo..hi]`).
+    pub fn row_slots(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r]..self.row_ptr[r + 1]
+    }
+
+    /// The column index stored at `slot`.
+    pub fn col_at(&self, slot: usize) -> usize {
+        self.col_idx[slot]
+    }
+
+    /// An all-zero matrix sharing this structure (the pattern-reuse
+    /// constructor for in-place numeric refills).
+    pub fn matrix_zeroed(&self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: vec![0.0; self.nnz()],
+        }
+    }
+
+    /// A matrix adopting this structure with caller-supplied values (one
+    /// per structural entry, slot order).
+    pub fn matrix_with_values(&self, values: Vec<f64>) -> Result<CsrMatrix, LinalgError> {
+        if values.len() != self.nnz() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "pattern has {} entries, got {} values",
+                self.nnz(),
+                values.len()
+            )));
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values,
+        })
+    }
+
+    /// Whether `matrix` shares this exact structure (so its value buffer
+    /// can be refilled through this pattern's slots).
+    pub fn matches(&self, matrix: &CsrMatrix) -> bool {
+        self.rows == matrix.rows
+            && self.cols == matrix.cols
+            && self.row_ptr == matrix.row_ptr
+            && self.col_idx == matrix.col_idx
+    }
+
+    /// Numeric refill: zeroes `values` and accumulates every triplet into
+    /// its slot (duplicates sum in entry order). This is the sort-free
+    /// counterpart of [`CooTriplets::to_csr`]: after one `to_pattern`, any
+    /// number of same-structure assemblies cost a binary-search scatter
+    /// instead of a sort. Errors if `values` has the wrong length or an
+    /// entry's position is not part of the structure.
+    pub fn refill(
+        &self,
+        entries: &[(usize, usize, f64)],
+        values: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        if values.len() != self.nnz() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "pattern has {} entries, got a value buffer of {}",
+                self.nnz(),
+                values.len()
+            )));
+        }
+        values.fill(0.0);
+        for &(r, c, v) in entries {
+            let slot = self.slot(r, c).ok_or_else(|| {
+                LinalgError::InvalidInput(format!(
+                    "entry ({r}, {c}) is not part of the symbolic structure"
+                ))
+            })?;
+            values[slot] += v;
+        }
+        Ok(())
+    }
+
+    /// Validates internal invariants (mirrors [`CsrMatrix::validate`]).
+    pub fn validate(&self) -> Result<(), LinalgError> {
+        self.matrix_zeroed().validate()
     }
 }
 
@@ -132,14 +348,52 @@ impl CsrMatrix {
             .zip(self.values[lo..hi].iter().copied())
     }
 
-    /// Reads entry `(r, c)` (zero when absent), via binary search.
+    /// Reads entry `(r, c)` (zero when absent), via binary search. Panics
+    /// when `(r, c)` is outside the matrix dimensions — use
+    /// [`Self::try_get`] for the recoverable variant.
     pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.try_get(r, c)
+            .unwrap_or_else(|e| panic!("get out of bounds: {e}"))
+    }
+
+    /// Reads entry `(r, c)` (zero when absent and in bounds), or an error
+    /// when the position is outside the matrix dimensions.
+    pub fn try_get(&self, r: usize, c: usize) -> Result<f64, LinalgError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::InvalidInput(format!(
+                "position ({r}, {c}) outside a {}×{} matrix",
+                self.rows, self.cols
+            )));
+        }
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        match self.col_idx[lo..hi].binary_search(&c) {
+        Ok(match self.col_idx[lo..hi].binary_search(&c) {
             Ok(k) => self.values[lo + k],
             Err(_) => 0.0,
+        })
+    }
+
+    /// Extracts the symbolic structure (a copy of `row_ptr`/`col_idx`).
+    pub fn pattern(&self) -> CsrPattern {
+        CsrPattern {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
         }
+    }
+
+    /// The stored values in slot order (row-major, ascending columns).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values for in-place numeric refills.
+    /// Only values can change through this; the symbolic structure
+    /// (dimensions, `row_ptr`, `col_idx`) stays frozen, so every
+    /// structural invariant of [`Self::validate`] is preserved.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Matrix-vector product `y = A·x`.
@@ -345,6 +599,124 @@ mod tests {
     fn triplet_bounds_checked() {
         let mut t = CooTriplets::new(2, 2);
         t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn try_push_reports_out_of_range_without_panicking() {
+        let mut t = CooTriplets::new(2, 3);
+        assert!(t.try_push(1, 2, 1.0).is_ok());
+        let row_err = t.try_push(2, 0, 1.0).unwrap_err();
+        assert!(matches!(row_err, LinalgError::InvalidInput(_)));
+        assert!(row_err.to_string().contains("(2, 0)"), "{row_err}");
+        let col_err = t.try_push(0, 3, 1.0).unwrap_err();
+        assert!(matches!(col_err, LinalgError::InvalidInput(_)));
+        // Failed pushes must not leave entries behind.
+        assert_eq!(t.nnz_raw(), 1);
+    }
+
+    #[test]
+    fn try_get_reports_out_of_range_without_panicking() {
+        let m = sample();
+        assert_eq!(m.try_get(0, 2).unwrap(), 2.0);
+        assert_eq!(m.try_get(1, 0).unwrap(), 0.0);
+        assert!(matches!(m.try_get(3, 0), Err(LinalgError::InvalidInput(_))));
+        assert!(matches!(m.try_get(0, 3), Err(LinalgError::InvalidInput(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_range_with_clear_message() {
+        let m = sample();
+        let _ = m.get(0, 99);
+    }
+
+    #[test]
+    fn pattern_extraction_and_reuse() {
+        let mut t = CooTriplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(2, 1, 5.0);
+        let pattern = t.to_pattern();
+        pattern.validate().unwrap();
+        assert_eq!((pattern.rows(), pattern.cols(), pattern.nnz()), (3, 3, 3));
+        assert_eq!(pattern.slot(0, 0), Some(0));
+        assert_eq!(pattern.slot(0, 2), Some(1));
+        assert_eq!(pattern.slot(2, 1), Some(2));
+        assert_eq!(pattern.slot(1, 1), None);
+        assert_eq!(pattern.slot(9, 0), None);
+        // Pattern of the converted matrix is identical.
+        let m = t.clone().to_csr();
+        assert_eq!(m.pattern(), pattern);
+        assert!(pattern.matches(&m));
+        // Refill through the pattern reproduces to_csr exactly.
+        let mut refilled = pattern.matrix_zeroed();
+        pattern.refill(t.entries(), refilled.values_mut()).unwrap();
+        assert_eq!(refilled, m);
+    }
+
+    #[test]
+    fn pattern_keeps_cancelled_positions() {
+        // to_csr drops a (+3, −3) pair; the pattern must keep the slot so
+        // later refills with different values still have somewhere to land.
+        let mut t = CooTriplets::new(2, 2);
+        t.push(0, 0, 3.0);
+        t.push(0, 0, -3.0);
+        t.push(1, 1, 1.0);
+        assert_eq!(t.clone().to_csr().nnz(), 1);
+        let pattern = t.to_pattern();
+        assert_eq!(pattern.nnz(), 2);
+        let mut m = pattern.matrix_zeroed();
+        pattern
+            .refill(&[(0, 0, 7.0), (1, 1, 2.0)], m.values_mut())
+            .unwrap();
+        assert_eq!(m.get(0, 0), 7.0);
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn refill_rejects_foreign_positions_and_bad_buffers() {
+        let pattern = CsrPattern::from_positions(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut values = vec![0.0; 2];
+        assert!(matches!(
+            pattern.refill(&[(0, 1, 1.0)], &mut values),
+            Err(LinalgError::InvalidInput(_))
+        ));
+        let mut short = vec![0.0; 1];
+        assert!(matches!(
+            pattern.refill(&[(0, 0, 1.0)], &mut short),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            pattern.matrix_with_values(vec![1.0]),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            CsrPattern::from_positions(2, 2, &[(2, 0)]),
+            Err(LinalgError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn refill_sums_duplicates_in_entry_order() {
+        let pattern = CsrPattern::from_positions(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let mut m = pattern.matrix_zeroed();
+        pattern
+            .refill(&[(0, 0, 1.5), (0, 1, -1.0), (0, 0, 2.5)], m.values_mut())
+            .unwrap();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(0, 1), -1.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn matrix_with_values_adopts_structure() {
+        let pattern = CsrPattern::from_positions(2, 3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let m = pattern.matrix_with_values(vec![1.0, 2.0, 3.0]).unwrap();
+        m.validate().unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0]);
     }
 
     proptest! {

@@ -27,7 +27,7 @@ pub mod vec_ops;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
 pub use cgls::{cgls, CglsOptions, CglsOutcome};
-pub use csr::{CooTriplets, CsrMatrix};
+pub use csr::{CooTriplets, CsrMatrix, CsrPattern};
 pub use dense::{CholeskyFactor, DenseMatrix, LuFactor};
 pub use error::LinalgError;
 pub use fixedpoint::{fixed_point, FixedPointOptions, FixedPointOutcome};

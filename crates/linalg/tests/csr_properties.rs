@@ -1,0 +1,225 @@
+//! Property tests for the CSR substrate: the triplet→CSR conversion, the
+//! frozen symbolic pattern and its numeric refill, transposition, and the
+//! sparse mat-vec against a same-order dense reference.
+//!
+//! These pin the invariants the symbolic/numeric split depends on — above
+//! all that `CooTriplets::to_csr` and `CsrPattern::refill` are the *same*
+//! assembly bit for bit, so a solver may freeze the structure once and
+//! refill values forever after.
+
+use mea_linalg::{CooTriplets, CsrMatrix};
+use std::collections::BTreeMap;
+
+/// Maps raw random draws onto in-bounds triplets. Indices land via modulo
+/// so duplicates are common (the interesting case for summing).
+fn triplets(rows: usize, cols: usize, raw: &[(u64, u64, f64)]) -> Vec<(usize, usize, f64)> {
+    raw.iter()
+        .map(|&(r, c, v)| ((r % rows as u64) as usize, (c % cols as u64) as usize, v))
+        .collect()
+}
+
+fn coo_from(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> CooTriplets {
+    let mut coo = CooTriplets::new(rows, cols);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    coo
+}
+
+/// The specification of duplicate summing: per position, values add in
+/// push order starting from 0.0.
+fn reference_sums(entries: &[(usize, usize, f64)]) -> BTreeMap<(usize, usize), f64> {
+    let mut sums = BTreeMap::new();
+    for &(r, c, v) in entries {
+        *sums.entry((r, c)).or_insert(0.0f64) += v;
+    }
+    sums
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+    /// `to_csr` and `to_pattern` + `refill` are the same assembly exactly:
+    /// every value the one-shot path stores comes back bit-identical from
+    /// the refill path, and the pattern's extra slots (positions whose
+    /// duplicates cancelled) hold exact zeros.
+    #[test]
+    fn prop_to_csr_equals_pattern_plus_refill(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>(), -100.0f64..100.0),
+            0..50,
+        ),
+    ) {
+        let entries = triplets(rows, cols, &raw);
+        let coo = coo_from(rows, cols, &entries);
+        let pattern = coo.to_pattern();
+        let one_shot = coo.to_csr();
+
+        let mut refilled = pattern.matrix_zeroed();
+        pattern
+            .refill(&entries, refilled.values_mut())
+            .expect("pattern covers its own entries");
+
+        proptest::prop_assert_eq!(one_shot.rows(), refilled.rows());
+        proptest::prop_assert_eq!(one_shot.cols(), refilled.cols());
+        // The one-shot matrix drops exact zeros, so its support is a
+        // subset of the pattern; on the shared support the bits agree.
+        proptest::prop_assert!(one_shot.nnz() <= refilled.nnz());
+        for r in 0..rows {
+            for (c, v) in one_shot.row_entries(r) {
+                proptest::prop_assert_eq!(
+                    v.to_bits(),
+                    refilled.get(r, c).to_bits(),
+                    "({}, {}) differs between one-shot and refill", r, c
+                );
+            }
+            // Pattern-only slots are cancelled duplicates: exactly zero.
+            for (c, v) in refilled.row_entries(r) {
+                if one_shot.get(r, c) == 0.0 {
+                    proptest::prop_assert!(v == 0.0, "({}, {}) expected 0, got {}", r, c, v);
+                }
+            }
+        }
+        // A second refill with the same entries is idempotent bit for bit.
+        let snapshot = refilled.values().to_vec();
+        pattern
+            .refill(&entries, refilled.values_mut())
+            .expect("pattern still covers its own entries");
+        for (a, b) in snapshot.iter().zip(refilled.values()) {
+            proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Duplicate triplets sum in push order — each stored value equals the
+    /// left-to-right fold of that position's pushes, bit for bit.
+    #[test]
+    fn prop_duplicates_sum_in_push_order(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>(), -10.0f64..10.0),
+            1..60,
+        ),
+    ) {
+        let entries = triplets(rows, cols, &raw);
+        let csr = coo_from(rows, cols, &entries).to_csr();
+        let sums = reference_sums(&entries);
+        for ((r, c), sum) in &sums {
+            if *sum != 0.0 {
+                proptest::prop_assert_eq!(
+                    csr.get(*r, *c).to_bits(),
+                    sum.to_bits(),
+                    "({}, {}): stored {} vs push-order fold {}", r, c, csr.get(*r, *c), sum
+                );
+            } else {
+                proptest::prop_assert!(csr.get(*r, *c) == 0.0);
+            }
+        }
+        // And nothing is stored outside the pushed positions.
+        for r in 0..rows {
+            for (c, _) in csr.row_entries(r) {
+                proptest::prop_assert!(sums.contains_key(&(r, c)));
+            }
+        }
+    }
+
+    /// Transposition is an involution: transpose(transpose(A)) == A with
+    /// identical structure and identical bits.
+    #[test]
+    fn prop_transpose_is_an_involution(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>(), -100.0f64..100.0),
+            0..50,
+        ),
+    ) {
+        let entries = triplets(rows, cols, &raw);
+        let a = coo_from(rows, cols, &entries).to_csr();
+        let att = a.transpose().transpose();
+        proptest::prop_assert_eq!(&a, &att);
+        for (x, y) in a.values().iter().zip(att.values()) {
+            proptest::prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The transpose itself swaps shape and moves every entry.
+        let at = a.transpose();
+        proptest::prop_assert_eq!((at.rows(), at.cols()), (cols, rows));
+        proptest::prop_assert_eq!(at.nnz(), a.nnz());
+        for r in 0..rows {
+            for (c, v) in a.row_entries(r) {
+                proptest::prop_assert_eq!(at.get(c, r).to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    /// Sparse mat-vec equals a dense reference that sums columns in the
+    /// same ascending order, to 0 ULP. Positive values keep every partial
+    /// sum away from signed-zero edge cases, so skipping zero entries
+    /// cannot change a single bit.
+    #[test]
+    fn prop_mul_vec_matches_same_order_dense_reference(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>(), 0.5f64..100.0),
+            0..40,
+        ),
+        x_raw in proptest::collection::vec(0.5f64..2.0, 8..9),
+    ) {
+        let entries = triplets(rows, cols, &raw);
+        let csr = coo_from(rows, cols, &entries).to_csr();
+        let x = &x_raw[..cols];
+        let y = csr.mul_vec(x);
+
+        // Dense reference: full row-major accumulation, columns ascending.
+        let mut dense = vec![vec![0.0f64; cols]; rows];
+        for (r, dense_row) in dense.iter_mut().enumerate() {
+            for (c, v) in csr.row_entries(r) {
+                dense_row[c] = v;
+            }
+        }
+        for (r, dense_row) in dense.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for c in 0..cols {
+                if dense_row[c] != 0.0 {
+                    acc += dense_row[c] * x[c];
+                }
+            }
+            proptest::prop_assert_eq!(
+                y[r].to_bits(),
+                acc.to_bits(),
+                "row {}: sparse {} vs dense {}", r, y[r], acc
+            );
+        }
+        // And the crate's own dense conversion agrees numerically.
+        let full = csr.to_dense();
+        for (r, row_ref) in dense.iter().enumerate() {
+            proptest::prop_assert_eq!(full.row(r), &row_ref[..]);
+        }
+    }
+
+    /// Pattern extraction commutes with value adoption:
+    /// `pattern.matrix_with_values(one-shot values)` reproduces the matrix
+    /// whenever no duplicates cancelled (made certain here by keeping all
+    /// values positive).
+    #[test]
+    fn prop_pattern_roundtrips_the_matrix(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>(), 0.5f64..100.0),
+            0..40,
+        ),
+    ) {
+        let entries = triplets(rows, cols, &raw);
+        let csr = coo_from(rows, cols, &entries).to_csr();
+        let pattern = csr.pattern();
+        proptest::prop_assert!(pattern.matches(&csr));
+        let again: CsrMatrix = pattern
+            .matrix_with_values(csr.values().to_vec())
+            .expect("value buffer has pattern length");
+        proptest::prop_assert_eq!(&csr, &again);
+    }
+}

@@ -1,0 +1,123 @@
+//! Strategy-equivalence property: for any work-item set, every execution
+//! strategy returns exactly the same results in exactly the same (id)
+//! order. Scheduling may only change *where and when* an item runs, never
+//! its result or its slot — the contract the solver's bitwise determinism
+//! rests on.
+
+use mea_parallel::{execute, Strategy, WorkItem, CATEGORY_COUNT};
+
+/// Builds a dense-id work set from raw random draws: categories and costs
+/// vary arbitrarily; ids are 0..n as the executor requires.
+fn work_items(raw: &[(u64, u64)]) -> Vec<WorkItem> {
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(cat, cost))| WorkItem {
+            id,
+            category: (cat % CATEGORY_COUNT as u64) as usize,
+            cost: cost % 1_000,
+        })
+        .collect()
+}
+
+/// A payload whose value depends on everything an item carries, plus a
+/// float computed with non-associative arithmetic — if a strategy
+/// reordered per-item work or mixed up slots, both fields would betray it.
+fn payload(w: &WorkItem) -> (u64, u64) {
+    let mut acc = 1.0f64;
+    for k in 1..=(w.cost % 17 + 3) {
+        acc = acc * 1.000_1 + (w.id as f64) / (k as f64);
+    }
+    let fingerprint = (w.id as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(w.category as u64)
+        .wrapping_add(w.cost);
+    (fingerprint, acc.to_bits())
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::SingleThread,
+        Strategy::Parallel4,
+        Strategy::BalancedParallel { threads: 3 },
+        Strategy::FineGrained { threads: 2 },
+        Strategy::WorkStealing { threads: 4 },
+    ]
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+    /// Random work sets give identical id-order results under every
+    /// strategy (values compared to the bit).
+    #[test]
+    fn prop_all_strategies_agree_in_id_order(
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>()),
+            0..80,
+        ),
+    ) {
+        let items = work_items(&raw);
+        let reference = execute(Strategy::SingleThread, &items, payload);
+        proptest::prop_assert_eq!(reference.len(), items.len());
+        // The single-thread result is the per-item function applied in
+        // place — the ground truth for every parallel schedule.
+        for (w, got) in items.iter().zip(&reference) {
+            proptest::prop_assert_eq!(*got, payload(w));
+        }
+        for strategy in strategies() {
+            let out = execute(strategy, &items, payload);
+            proptest::prop_assert_eq!(
+                &out,
+                &reference,
+                "{:?} disagreed with the single-thread reference", strategy
+            );
+        }
+    }
+
+    /// Thread-count sweeps never change results, only schedules.
+    #[test]
+    fn prop_thread_counts_are_interchangeable(
+        raw in proptest::collection::vec(
+            (proptest::any::<u64>(), proptest::any::<u64>()),
+            1..60,
+        ),
+        threads in 1usize..9,
+    ) {
+        let items = work_items(&raw);
+        let reference = execute(Strategy::SingleThread, &items, payload);
+        for strategy in [
+            Strategy::BalancedParallel { threads },
+            Strategy::FineGrained { threads },
+            Strategy::WorkStealing { threads },
+        ] {
+            let out = execute(strategy, &items, payload);
+            proptest::prop_assert_eq!(
+                &out,
+                &reference,
+                "{:?} disagreed with the single-thread reference", strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_costs_still_agree() {
+    // One pathological item 10⁶× heavier than the rest: balancing and
+    // stealing take very different schedules, results must not move.
+    let mut items: Vec<WorkItem> = (0..33)
+        .map(|id| WorkItem {
+            id,
+            category: id % CATEGORY_COUNT,
+            cost: 1,
+        })
+        .collect();
+    items[7].cost = 1_000_000;
+    let reference = execute(Strategy::SingleThread, &items, payload);
+    for strategy in strategies() {
+        assert_eq!(
+            execute(strategy, &items, payload),
+            reference,
+            "{strategy:?}"
+        );
+    }
+}

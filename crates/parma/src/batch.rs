@@ -1,0 +1,315 @@
+//! Batched throughput solving: many measurements (or whole wet-lab
+//! sessions) in flight at once over the work-stealing pool.
+//!
+//! The per-*pair* parallelism inside one solve (`crate::solver`) is fine-
+//! grained and saturates quickly; when the workload is *many* devices —
+//! a plate of MEA wells measured together, or a parameter sweep — the
+//! right axis is one solve per work item. [`BatchSolver`] schedules whole
+//! solves on `mea_parallel::WorkStealingPool`, forcing each inner solve to
+//! [`Strategy::SingleThread`] so the outer pool owns every core and solves
+//! never fight each other for threads.
+//!
+//! # Determinism
+//!
+//! Results come back in input order (`map_indexed` writes into per-index
+//! slots), and each solve is bitwise identical to running
+//! [`ParmaSolver::solve`] sequentially on the same measurement: the pair
+//! updates inside a sweep are independent and reduced in id order
+//! regardless of schedule, and the batch engine shares one immutable
+//! [`SolvePlan`] per topology, which `solver::tests::
+//! plan_reuse_is_bitwise_identical` pins down. Thread count and steal
+//! interleavings affect wall time only, never bits.
+
+use crate::config::ParmaConfig;
+use crate::error::ParmaError;
+use crate::pipeline::{Pipeline, TimePointResult};
+use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan};
+use mea_model::{MeaGrid, WetLabDataset, ZMatrix};
+use mea_parallel::{Strategy, WorkStealingPool};
+use std::time::Instant;
+
+/// A batch driver: one configuration, `threads` outer workers.
+#[derive(Clone, Debug)]
+pub struct BatchSolver {
+    config: ParmaConfig,
+    threads: usize,
+}
+
+impl BatchSolver {
+    /// A batch solver with `threads` outer workers (at least one). The
+    /// configuration's `strategy` field is ignored: inner solves always run
+    /// single-threaded because the batch axis owns the cores. Returns
+    /// [`ParmaError::InvalidConfig`] for out-of-range configurations.
+    pub fn new(config: ParmaConfig, threads: usize) -> Result<Self, ParmaError> {
+        config.validate()?;
+        Ok(BatchSolver {
+            config: config.with_strategy(Strategy::SingleThread),
+            threads: threads.max(1),
+        })
+    }
+
+    /// The (strategy-normalized) solver configuration.
+    pub fn config(&self) -> &ParmaConfig {
+        &self.config
+    }
+
+    /// Outer worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Solves every measurement, returning outcomes in input order.
+    ///
+    /// Per-topology [`SolvePlan`]s are built once and shared across items;
+    /// each item gets its own obs span and its wall time lands in the
+    /// `parma.batch.item_ms` series, id order, so traces stay comparable
+    /// across runs.
+    pub fn solve_all(&self, measurements: &[ZMatrix]) -> Vec<Result<ParmaSolution, ParmaError>> {
+        let _span = mea_obs::span("parma/batch");
+        let plans = plan_set(measurements.iter().map(|z| z.grid()));
+        let solver = ParmaSolver::new(self.config);
+        let pool = WorkStealingPool::new(self.threads);
+        let timed: Vec<(Result<ParmaSolution, ParmaError>, f64)> =
+            pool.map_indexed(measurements.len(), |i| {
+                let _item = mea_obs::span("parma/batch/item");
+                let z = &measurements[i];
+                let plan = lookup(&plans, z.grid());
+                let t0 = Instant::now();
+                let out = solver.solve_with_plan(plan, z, None);
+                (out, t0.elapsed().as_secs_f64() * 1e3)
+            });
+        record_batch_obs(timed.iter().map(|(out, ms)| (out.is_err(), *ms)));
+        timed.into_iter().map(|(out, _)| out).collect()
+    }
+
+    /// Runs the full measurement-to-detection pipeline over every session,
+    /// one session per work item, results in input order.
+    ///
+    /// Time points *within* a session stay sequential — each warm-starts
+    /// from the previous solution — so the parallel axis is across
+    /// sessions, matching how a plate of wells is processed. The outer
+    /// `Err` is an up-front configuration failure; per-session failures
+    /// come back in their slot without disturbing the rest of the batch.
+    #[allow(clippy::type_complexity)]
+    pub fn run_sessions(
+        &self,
+        datasets: &[WetLabDataset],
+        detection_factor: f64,
+    ) -> Result<Vec<Result<Vec<TimePointResult>, ParmaError>>, ParmaError> {
+        let pipeline = Pipeline::new(self.config, detection_factor)?;
+        let _span = mea_obs::span("parma/batch");
+        let pool = WorkStealingPool::new(self.threads);
+        let timed: Vec<(Result<Vec<TimePointResult>, ParmaError>, f64)> =
+            pool.map_indexed(datasets.len(), |i| {
+                let _item = mea_obs::span("parma/batch/item");
+                let t0 = Instant::now();
+                let out = pipeline.run(&datasets[i]);
+                (out, t0.elapsed().as_secs_f64() * 1e3)
+            });
+        record_batch_obs(timed.iter().map(|(out, ms)| (out.is_err(), *ms)));
+        Ok(timed.into_iter().map(|(out, _)| out).collect())
+    }
+}
+
+/// One plan per distinct geometry in the batch (batches are usually
+/// homogeneous, so this is almost always a single entry).
+fn plan_set(grids: impl Iterator<Item = MeaGrid>) -> Vec<SolvePlan> {
+    let mut plans: Vec<SolvePlan> = Vec::new();
+    for grid in grids {
+        if !plans.iter().any(|p| p.grid() == grid) {
+            plans.push(SolvePlan::new(grid));
+        }
+    }
+    plans
+}
+
+fn lookup(plans: &[SolvePlan], grid: MeaGrid) -> &SolvePlan {
+    plans
+        .iter()
+        .find(|p| p.grid() == grid)
+        .expect("every batch geometry has a plan by construction")
+}
+
+/// Batch-level observability: item/failure counters plus the id-ordered
+/// per-item wall-time series (the schema the golden-trace test pins).
+fn record_batch_obs(items: impl Iterator<Item = (bool, f64)>) {
+    let mut times = Vec::new();
+    let mut failures = 0u64;
+    for (failed, ms) in items {
+        times.push(ms);
+        failures += failed as u64;
+    }
+    mea_obs::counter_add("parma.batch.items", times.len() as u64);
+    mea_obs::counter_add("parma.batch.failures", failures);
+    mea_obs::record_series("parma.batch.item_ms", &times);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, CrossingMatrix, ForwardSolver};
+
+    fn measurements(n: usize, count: usize) -> Vec<ZMatrix> {
+        (0..count)
+            .map(|k| {
+                let (truth, _) =
+                    AnomalyConfig::default().generate(MeaGrid::square(n), 900 + k as u64);
+                ForwardSolver::new(&truth).unwrap().solve_all()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let zs = measurements(5, 6);
+        let solver = ParmaSolver::new(ParmaConfig::default());
+        let batch = BatchSolver::new(ParmaConfig::default(), 4).unwrap();
+        let batched = batch.solve_all(&zs);
+        assert_eq!(batched.len(), zs.len());
+        for (z, out) in zs.iter().zip(&batched) {
+            let sequential = solver.solve(z).unwrap();
+            let b = out.as_ref().unwrap();
+            assert_eq!(b.iterations, sequential.iterations);
+            for (x, y) in b
+                .resistors
+                .as_slice()
+                .iter()
+                .zip(sequential.resistors.as_slice())
+            {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        let zs = measurements(4, 5);
+        let one = BatchSolver::new(ParmaConfig::default(), 1)
+            .unwrap()
+            .solve_all(&zs);
+        for threads in [2usize, 3, 8] {
+            let many = BatchSolver::new(ParmaConfig::default(), threads)
+                .unwrap()
+                .solve_all(&zs);
+            for (a, b) in one.iter().zip(&many) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.iterations, b.iterations, "{threads} threads");
+                for (x, y) in a.resistors.as_slice().iter().zip(b.resistors.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failures_stay_in_their_slot() {
+        let mut zs = measurements(3, 3);
+        // Item 1 cannot converge in one iteration at an absurd tolerance.
+        let cfg = ParmaConfig {
+            max_iter: 1,
+            tol: 1e-16,
+            ..Default::default()
+        };
+        zs.insert(1, zs[0].clone());
+        let out = BatchSolver::new(cfg, 2).unwrap().solve_all(&zs);
+        assert_eq!(out.len(), 4);
+        for res in &out {
+            assert!(matches!(
+                res,
+                Err(ParmaError::NoConvergence { partial, .. }) if partial.is_physical()
+            ));
+        }
+    }
+
+    #[test]
+    fn mixed_geometries_share_nothing_wrongly() {
+        let mut zs = measurements(3, 2);
+        zs.extend(measurements(5, 2));
+        let solver = ParmaSolver::new(ParmaConfig::default());
+        let out = BatchSolver::new(ParmaConfig::default(), 3)
+            .unwrap()
+            .solve_all(&zs);
+        for (z, res) in zs.iter().zip(&out) {
+            let b = res.as_ref().unwrap();
+            assert_eq!(b.resistors.grid(), z.grid());
+            let sequential = solver.solve(z).unwrap();
+            assert_eq!(
+                b.resistors.rel_max_diff(&sequential.resistors),
+                0.0,
+                "plan sharing must not leak across geometries"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = BatchSolver::new(ParmaConfig::default(), 4)
+            .unwrap()
+            .solve_all(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let cfg = ParmaConfig {
+            damping: 2.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            BatchSolver::new(cfg, 4),
+            Err(ParmaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_item_is_reported_not_panicked() {
+        let mut zs = measurements(3, 2);
+        zs.push(CrossingMatrix::filled(MeaGrid::square(3), -2.0));
+        let out = BatchSolver::new(ParmaConfig::default(), 2)
+            .unwrap()
+            .solve_all(&zs);
+        assert!(out[0].is_ok() && out[1].is_ok());
+        assert!(matches!(out[2], Err(ParmaError::InvalidMeasurement(_))));
+    }
+
+    #[test]
+    fn sessions_match_the_sequential_pipeline() {
+        let datasets: Vec<WetLabDataset> = (0..3)
+            .map(|k| {
+                WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 70 + k)
+                    .unwrap()
+            })
+            .collect();
+        let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        let out = batch.run_sessions(&datasets, 1.5).unwrap();
+        assert_eq!(out.len(), 3);
+        for (ds, res) in datasets.iter().zip(&out) {
+            let batched = res.as_ref().unwrap();
+            let sequential = pipeline.run(ds).unwrap();
+            assert_eq!(batched.len(), sequential.len());
+            for (b, s) in batched.iter().zip(&sequential) {
+                assert_eq!(b.hours, s.hours);
+                assert_eq!(b.solution.iterations, s.solution.iterations);
+                for (x, y) in b
+                    .solution
+                    .resistors
+                    .as_slice()
+                    .iter()
+                    .zip(s.solution.resistors.as_slice())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_detection_factor_fails_the_whole_call() {
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        assert!(matches!(
+            batch.run_sessions(&[], 0.5),
+            Err(ParmaError::InvalidConfig(_))
+        ));
+    }
+}

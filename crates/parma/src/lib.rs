@@ -36,6 +36,7 @@
 //! assert!(solution.resistors.rel_max_diff(&ground_truth) < 1e-6);
 //! ```
 
+pub mod batch;
 pub mod betti;
 pub mod classical;
 pub mod config;
@@ -51,21 +52,23 @@ pub mod persistence;
 pub mod pipeline;
 pub mod solver;
 
+pub use batch::BatchSolver;
 pub use betti::{parallelism_bound, BettiSchedule};
 pub use config::ParmaConfig;
 pub use detect::{detect_anomalies, DetectionReport};
 pub use error::ParmaError;
 pub use formation::form_equations_parallel;
-pub use solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent};
+pub use solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan};
 
 /// Everything a typical caller needs.
 pub mod prelude {
+    pub use crate::batch::BatchSolver;
     pub use crate::betti::parallelism_bound;
     pub use crate::config::ParmaConfig;
     pub use crate::detect::{detect_anomalies, DetectionReport};
     pub use crate::error::ParmaError;
     pub use crate::pipeline::{Pipeline, TimePointResult};
-    pub use crate::solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent};
+    pub use crate::solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan};
     pub use mea_model::{
         AnomalyConfig, CrossingMatrix, ForwardSolver, MeaGrid, ResistorGrid, WetLabDataset, ZMatrix,
     };

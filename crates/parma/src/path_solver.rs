@@ -172,10 +172,16 @@ mod tests {
     fn baseline_model_is_ill_posed() {
         // …but it need NOT equal the ground truth: the naive model is
         // non-injective — the ill-posedness the paper holds against the
-        // pre-Parma formulations. With this seed, Newton lands on a
-        // different root with ~65 % parameter error at zero data residual.
+        // pre-Parma formulations. Newton lands on a different root with
+        // large parameter error at zero data residual. The seed is
+        // CI-matrix-configurable via PARMA_TEST_SEED; 32 (default) and 38
+        // are both verified to exhibit root multiplicity.
+        let seed: u64 = std::env::var("PARMA_TEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(32);
         let grid = MeaGrid::square(3);
-        let (truth, _) = AnomalyConfig::default().generate(grid, 32);
+        let (truth, _) = AnomalyConfig::default().generate(grid, seed);
         let table = PathTable::build(grid, None);
         let z = table.naive_forward(&truth);
         let got = table.naive_inverse(&z, 1e-11, 80).unwrap();

@@ -106,6 +106,41 @@ const STALL_WINDOW: usize = 25;
 /// which improve not at all.
 const STALL_FACTOR: f64 = 0.98;
 
+/// Per-topology solve context, built once and reused across solves.
+///
+/// Everything in here depends only on the grid *geometry*, not on any
+/// measured data: the pair work-item list the sweep schedules and the
+/// uniform-mode coupling bound κ that sets the damping and the initial
+/// scaling. Batch drivers (and the pipeline's time series) build one plan
+/// per topology and amortize it across every dataset and time point.
+#[derive(Clone, Debug)]
+pub struct SolvePlan {
+    grid: MeaGrid,
+    items: Vec<WorkItem>,
+    kappa: f64,
+}
+
+impl SolvePlan {
+    /// Builds the reusable context for one grid geometry.
+    pub fn new(grid: MeaGrid) -> Self {
+        SolvePlan {
+            grid,
+            items: pair_work_items(grid),
+            kappa: coupling_bound(grid),
+        }
+    }
+
+    /// The geometry this plan was built for.
+    pub fn grid(&self) -> MeaGrid {
+        self.grid
+    }
+
+    /// The uniform-mode coupling bound κ = mn/(m+n−1).
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+}
+
 /// The inverse solver.
 #[derive(Clone, Debug)]
 pub struct ParmaSolver {
@@ -131,13 +166,7 @@ impl ParmaSolver {
     /// factor `κ = mn/(m+n−1)` (for a uniform map, `Z = R/κ` exactly), so
     /// the slowest-converging mode starts already solved.
     pub fn solve(&self, z: &ZMatrix) -> Result<ParmaSolution, ParmaError> {
-        validate_measurements(z)?;
-        let kappa = coupling_bound(z.grid());
-        let mut initial = z.clone();
-        for v in initial.as_mut_slice() {
-            *v *= kappa;
-        }
-        self.solve_from(z, initial)
+        self.solve_with_plan(&SolvePlan::new(z.grid()), z, None)
     }
 
     /// Like [`Self::solve`] but starting from an explicit initial map
@@ -148,25 +177,56 @@ impl ParmaSolver {
         z: &ZMatrix,
         initial: ResistorGrid,
     ) -> Result<ParmaSolution, ParmaError> {
+        self.solve_with_plan(&SolvePlan::new(z.grid()), z, Some(initial))
+    }
+
+    /// The workhorse: solves against a prebuilt per-topology [`SolvePlan`],
+    /// optionally from an explicit initial map (defaulting to the
+    /// uniform-mode seed `κ·Z`). The plan carries no data-dependent state,
+    /// so the result is bitwise identical to [`Self::solve`] /
+    /// [`Self::solve_from`] — those delegate here with a fresh plan.
+    pub fn solve_with_plan(
+        &self,
+        plan: &SolvePlan,
+        z: &ZMatrix,
+        initial: Option<ResistorGrid>,
+    ) -> Result<ParmaSolution, ParmaError> {
         self.config.validate()?;
         validate_measurements(z)?;
         let grid = z.grid();
-        if initial.grid() != grid {
+        if plan.grid != grid {
             return Err(ParmaError::InvalidMeasurement(
-                "initial map geometry differs from the measurements".into(),
+                "solve plan geometry differs from the measurements".into(),
             ));
         }
-        if !initial.is_physical() {
-            return Err(ParmaError::InvalidMeasurement(
-                "initial map must be strictly positive".into(),
-            ));
-        }
+        let kappa = plan.kappa;
+        let initial = match initial {
+            Some(map) => {
+                if map.grid() != grid {
+                    return Err(ParmaError::InvalidMeasurement(
+                        "initial map geometry differs from the measurements".into(),
+                    ));
+                }
+                if !map.is_physical() {
+                    return Err(ParmaError::InvalidMeasurement(
+                        "initial map must be strictly positive".into(),
+                    ));
+                }
+                map
+            }
+            None => {
+                let mut seed = z.clone();
+                for v in seed.as_mut_slice() {
+                    *v *= kappa;
+                }
+                seed
+            }
+        };
         let _span = mea_obs::span("parma/solve");
-        let kappa = coupling_bound(grid);
         let mut r = initial;
         let mut history = Vec::new();
         let mut recovery: Vec<RecoveryEvent> = Vec::new();
-        let items = pair_work_items(grid);
+        let items = &plan.items;
         // Adaptive safeguard: the κ-derived damping is optimal for
         // healthy maps but under-damps degenerate ones (a dead wire makes
         // a whole row couple ~n-fold, past κ, and the plain sweep falls
@@ -194,14 +254,7 @@ impl ParmaSolver {
         let outcome = 'iterate: {
             for it in 0..self.config.max_iter {
                 let forward = ForwardSolver::new(&r)?;
-                let step = sweep(
-                    &self.config,
-                    &forward,
-                    z,
-                    &r,
-                    &items,
-                    shrink * recovery_damp,
-                );
+                let step = sweep(&self.config, &forward, z, &r, items, shrink * recovery_damp);
                 history.push(step.residual);
                 if step.residual <= self.config.tol {
                     break 'iterate Ok((it, step.residual));
@@ -592,6 +645,41 @@ mod tests {
                 n, seed, sol.resistors.rel_max_diff(&truth)
             );
         }
+    }
+
+    #[test]
+    fn plan_reuse_is_bitwise_identical() {
+        // One plan amortized across several datasets must give exactly the
+        // bits the per-solve path gives — the batch engine depends on it.
+        let grid = MeaGrid::square(5);
+        let plan = SolvePlan::new(grid);
+        let solver = ParmaSolver::new(ParmaConfig::default());
+        for seed in [1u64, 9, 42] {
+            let (truth, _) = AnomalyConfig::default().generate(grid, seed);
+            let z = ForwardSolver::new(&truth).unwrap().solve_all();
+            let fresh = solver.solve(&z).unwrap();
+            let planned = solver.solve_with_plan(&plan, &z, None).unwrap();
+            assert_eq!(fresh.iterations, planned.iterations);
+            assert_eq!(fresh.history.len(), planned.history.len());
+            for (a, b) in fresh
+                .resistors
+                .as_slice()
+                .iter()
+                .zip(planned.resistors.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_geometry_mismatch_is_rejected() {
+        let plan = SolvePlan::new(MeaGrid::square(4));
+        let z = CrossingMatrix::filled(MeaGrid::square(3), 1000.0);
+        let err = ParmaSolver::new(ParmaConfig::default())
+            .solve_with_plan(&plan, &z, None)
+            .unwrap_err();
+        assert!(matches!(err, ParmaError::InvalidMeasurement(_)));
     }
 
     #[test]

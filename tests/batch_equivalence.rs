@@ -1,0 +1,148 @@
+//! Cross-crate integration test: the batched throughput path must be an
+//! *exact* stand-in for the sequential path. Whole `ParmaSolution`s —
+//! resistor maps, iteration counts, residuals, histories, recovery logs —
+//! come back bitwise identical whether solves run one at a time on the
+//! calling thread or fan out over the work-stealing pool, at any thread
+//! count, for healthy and degenerate datasets alike.
+
+use parma::full_newton::{full_newton_inverse, FullNewtonOptions};
+use parma::prelude::*;
+
+fn measurements(n: usize, seeds: &[u64]) -> Vec<ZMatrix> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let (truth, _) = AnomalyConfig::default().generate(MeaGrid::square(n), seed);
+            ForwardSolver::new(&truth).unwrap().solve_all()
+        })
+        .collect()
+}
+
+fn assert_solutions_bitwise_equal(a: &ParmaSolution, b: &ParmaSolution, label: &str) {
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(
+        a.residual.to_bits(),
+        b.residual.to_bits(),
+        "{label}: residual"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{label}: history length");
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: history entry");
+    }
+    assert_eq!(a.recovery, b.recovery, "{label}: recovery log");
+    for (i, (x, y)) in a
+        .resistors
+        .as_slice()
+        .iter()
+        .zip(b.resistors.as_slice())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: resistor {i}");
+    }
+}
+
+#[test]
+fn batched_solutions_equal_sequential_solutions_bitwise() {
+    let zs = measurements(6, &[501, 502, 503, 504, 505]);
+    let solver = ParmaSolver::new(ParmaConfig::default());
+    let sequential: Vec<ParmaSolution> = zs.iter().map(|z| solver.solve(z).unwrap()).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let batch = BatchSolver::new(ParmaConfig::default(), threads).unwrap();
+        let batched = batch.solve_all(&zs);
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_solutions_bitwise_equal(
+                b.as_ref().unwrap(),
+                s,
+                &format!("item {i}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_maps_recover_identically_in_batch() {
+    // A near-short crossing trips the recovery ladder; the intervention
+    // sequence and the final bits must match the sequential solve even
+    // when the solve runs on a pool worker.
+    let grid = MeaGrid::square(5);
+    let mut zs = measurements(5, &[601, 602]);
+    let (mut truth, _) = AnomalyConfig::default().generate(grid, 603);
+    truth.set(2, 2, 1e-3); // pathological short
+    if let Ok(forward) = ForwardSolver::new(&truth) {
+        zs.push(forward.solve_all());
+    }
+    let cfg = ParmaConfig {
+        max_iter: 900,
+        ..Default::default()
+    };
+    let solver = ParmaSolver::new(cfg);
+    let sequential: Vec<Result<ParmaSolution, ParmaError>> =
+        zs.iter().map(|z| solver.solve(z)).collect();
+    let batched = BatchSolver::new(cfg, 3).unwrap().solve_all(&zs);
+    for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+        match (b, s) {
+            (Ok(b), Ok(s)) => assert_solutions_bitwise_equal(b, s, &format!("item {i}")),
+            (
+                Err(ParmaError::NoConvergence { partial: pb, .. }),
+                Err(ParmaError::NoConvergence { partial: ps, .. }),
+            ) => {
+                for (x, y) in pb.as_slice().iter().zip(ps.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "item {i}: partial map");
+                }
+            }
+            other => panic!("item {i}: batch/sequential outcome mismatch: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn batched_sessions_equal_sequential_pipeline_bitwise() {
+    let datasets: Vec<WetLabDataset> = (0..3)
+        .map(|k| {
+            WetLabDataset::generate(MeaGrid::square(5), &AnomalyConfig::default(), 700 + k).unwrap()
+        })
+        .collect();
+    let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+    let sequential: Vec<Vec<TimePointResult>> =
+        datasets.iter().map(|d| pipeline.run(d).unwrap()).collect();
+    let batched = BatchSolver::new(ParmaConfig::default(), 2)
+        .unwrap()
+        .run_sessions(&datasets, 1.5)
+        .unwrap();
+    for (d, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+        let b = b.as_ref().unwrap();
+        assert_eq!(b.len(), s.len());
+        for (tp_b, tp_s) in b.iter().zip(s) {
+            assert_eq!(tp_b.hours, tp_s.hours);
+            assert_solutions_bitwise_equal(
+                &tp_b.solution,
+                &tp_s.solution,
+                &format!("dataset {d}, hour {}", tp_b.hours),
+            );
+            assert_eq!(
+                tp_b.detection.anomalies, tp_s.detection.anomalies,
+                "dataset {d}: detection must follow the identical map"
+            );
+        }
+    }
+}
+
+#[test]
+fn template_full_newton_agrees_with_production_batch() {
+    // Third independent check that the symbolic-template Gauss-Newton path
+    // and the batched fixed-point path still meet at the same root.
+    let zs = measurements(4, &[801, 802]);
+    let batched = BatchSolver::new(ParmaConfig::default(), 2)
+        .unwrap()
+        .solve_all(&zs);
+    for (z, res) in zs.iter().zip(&batched) {
+        let fp = res.as_ref().unwrap();
+        let gn = full_newton_inverse(z, 5.0, &FullNewtonOptions::default()).unwrap();
+        let diff = fp.resistors.rel_max_diff(&gn.resistors);
+        assert!(
+            diff < 1e-5,
+            "independent formulations diverged: rel diff {diff}"
+        );
+    }
+}
