@@ -29,6 +29,7 @@ static ALLOC: TrackingAllocator = TrackingAllocator::new();
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let quick = args.iter().any(|a| a == "--quick");
     let trace = args.iter().position(|a| a == "--trace").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--trace needs a file path");
@@ -52,6 +53,7 @@ fn main() {
         "fig9" => fig9(full),
         "fig10" => fig10(full),
         "throughput" => throughput(full),
+        "kernels" => kernels(quick),
         "all" => {
             fig6(full);
             fig7(full);
@@ -63,7 +65,8 @@ fn main() {
         other => {
             eprintln!("unknown figure {other:?}");
             eprintln!(
-                "usage: figures <fig6|fig7|fig8|fig9|fig10|throughput|all> [--full] [--trace <file>]"
+                "usage: figures <fig6|fig7|fig8|fig9|fig10|throughput|kernels|all> \
+                 [--full] [--quick] [--trace <file>]"
             );
             std::process::exit(2);
         }
@@ -376,4 +379,431 @@ fn fig10(full: bool) {
             rep.efficiency() * 100.0
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// PR3 kernel trajectory: naive references vs the blocked/fused hot path.
+// ---------------------------------------------------------------------------
+
+/// One naive-vs-optimized kernel measurement (milliseconds per call).
+struct KernelCell {
+    name: &'static str,
+    n: usize,
+    dim: usize,
+    naive_ms: f64,
+    opt_ms: f64,
+}
+
+impl KernelCell {
+    fn speedup(&self) -> f64 {
+        self.naive_ms / self.opt_ms
+    }
+}
+
+/// One whole-solve comparison: the pre-workspace per-iteration pattern
+/// (fresh Laplacian + naive factor/inverse + allocating sweep) against
+/// `ParmaSolver::solve_with_scratch` (milliseconds per outer iteration).
+struct SolveCell {
+    n: usize,
+    legacy_iters: usize,
+    new_iters: usize,
+    legacy_ms_per_iter: f64,
+    new_ms_per_iter: f64,
+}
+
+impl SolveCell {
+    fn speedup(&self) -> f64 {
+        self.legacy_ms_per_iter / self.new_ms_per_iter
+    }
+}
+
+/// Best-of-`outer` timing of `inner` back-to-back calls, reported as
+/// milliseconds per call.
+fn per_call_ms(outer: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let ((), secs) = time_secs_best_of(outer, || {
+        for _ in 0..inner {
+            f();
+        }
+    });
+    secs * 1e3 / inner as f64
+}
+
+/// The grounded Laplacian of the workload's planted map — the same matrix
+/// `ForwardSolver::refactor` assembles (drop the last vertical wire).
+fn grounded_laplacian(w: &Workload) -> mea_linalg::DenseMatrix {
+    let (m, n) = (w.grid.rows(), w.grid.cols());
+    let dim = m + n - 1;
+    let mut lap = mea_linalg::DenseMatrix::zeros(dim, dim);
+    for i in 0..m {
+        for j in 0..n {
+            let g = 1.0 / w.truth.get(i, j);
+            let (a, b) = (i, m + j);
+            lap[(a, a)] += g;
+            if b < dim {
+                lap[(b, b)] += g;
+                lap[(a, b)] -= g;
+                lap[(b, a)] -= g;
+            }
+        }
+    }
+    lap
+}
+
+/// Replays `iters` damped sweeps the way the pre-workspace solver did:
+/// every iteration allocates and fills a fresh Laplacian, factors it with
+/// the retained naive Cholesky, inverts via per-column solves, and
+/// collects the sweep into fresh buffers. Update math matches
+/// `ParmaSolver` so both sides do identical numeric work per iteration.
+fn legacy_sweep_iterations(w: &Workload, config: &parma::ParmaConfig, iters: usize) {
+    use mea_linalg::kernels::naive;
+    let grid = w.grid;
+    let (m, n) = (grid.rows(), grid.cols());
+    let dim = m + n - 1;
+    let kappa = (m * n) as f64 / (m + n - 1) as f64;
+    let alpha = config.damping * 2.0 / (1.0 + kappa);
+    let mut r = mea_model::ResistorGrid::filled(grid, 0.0);
+    for (i, j) in grid.pair_iter() {
+        r.set(i, j, kappa * w.z.get(i, j));
+    }
+    for _ in 0..iters {
+        let mut lap = mea_linalg::DenseMatrix::zeros(dim, dim);
+        for i in 0..m {
+            for j in 0..n {
+                let g = 1.0 / r.get(i, j);
+                let (a, b) = (i, m + j);
+                lap[(a, a)] += g;
+                if b < dim {
+                    lap[(b, b)] += g;
+                    lap[(a, b)] -= g;
+                    lap[(b, a)] -= g;
+                }
+            }
+        }
+        let l = naive::cholesky_factor(&lap).expect("laplacian is SPD");
+        let minv = naive::cholesky_inverse(&l, dim);
+        let eff = |i: usize, j: usize| {
+            let (a, b) = (i, m + j);
+            if b < dim {
+                minv[(a, a)] + minv[(b, b)] - 2.0 * minv[(a, b)]
+            } else {
+                minv[(a, a)]
+            }
+        };
+        let updates: Vec<(usize, usize, f64)> = grid
+            .pair_iter()
+            .map(|(i, j)| {
+                let z_meas = w.z.get(i, j);
+                let g_old = 1.0 / r.get(i, j);
+                let g_new = g_old + alpha * (1.0 / z_meas - 1.0 / eff(i, j));
+                let bounded = g_new
+                    .clamp(g_old / 8.0, g_old * 8.0)
+                    .min(1.0 / config.min_resistance)
+                    .max(1e-12);
+                (i, j, 1.0 / bounded)
+            })
+            .collect();
+        let mut next = mea_model::ResistorGrid::filled(grid, 0.0);
+        for (i, j, v) in updates {
+            next.set(i, j, v);
+        }
+        r = next;
+    }
+    std::hint::black_box(&r);
+}
+
+/// The `kernels` mode: measures each PR3 kernel against its retained
+/// naive reference plus whole-solve per-iteration time, prints the
+/// tables, and writes machine-readable `BENCH_PR3.json` to the current
+/// directory. `--quick` shrinks sizes and repetition counts for CI smoke.
+fn kernels(quick: bool) {
+    use mea_linalg::{kernels::naive, vec_ops, CholeskyFactor, CooTriplets, DenseMatrix};
+    use parma::{ParmaConfig, ParmaError, ParmaSolver, SolvePlan, SolveScratch};
+    use std::hint::black_box;
+
+    let sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 12, 16] };
+    let outer = if quick { 3 } else { 5 };
+    let budget = if quick { 400_000 } else { 4_000_000 };
+
+    println!("\n=== PR3 kernels: naive reference vs blocked/fused (ms per call) ===");
+    println!(
+        "{}",
+        row(
+            "kernel",
+            ["n", "dim", "naive", "blocked", "speedup"]
+                .map(String::from)
+                .as_ref()
+        )
+    );
+
+    let mut cells: Vec<KernelCell> = Vec::new();
+    for &n in sizes {
+        let w = Workload::new(n);
+        let dim = w.grid.rows() + w.grid.cols() - 1;
+        let lap = grounded_laplacian(&w);
+        let x: Vec<f64> = (0..dim).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let mut y = vec![0.0; dim];
+
+        // Dense mat-vec: naive row loop vs 4-row register blocking.
+        let inner = (budget / (dim * dim)).max(1_000);
+        let naive_ms = per_call_ms(outer, inner, || {
+            naive::mul_vec_into(&lap, &x, &mut y);
+            black_box(&y);
+        });
+        let opt_ms = per_call_ms(outer, inner, || {
+            lap.mul_vec_into(&x, &mut y);
+            black_box(&y);
+        });
+        cells.push(KernelCell {
+            name: "dense mul_vec",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // Dense mat-mat: single-row ikj vs 4-row register-blocked ikj.
+        let inner = (budget / (dim * dim * dim)).max(200);
+        let naive_ms = per_call_ms(outer, inner, || {
+            black_box(naive::mul(&lap, &lap));
+        });
+        let opt_ms = per_call_ms(outer, inner, || {
+            black_box(lap.mul(&lap));
+        });
+        cells.push(KernelCell {
+            name: "dense mul",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // LU factor: allocating scalar elimination vs in-place 2-row
+        // blocked refactor.
+        let naive_ms = per_call_ms(outer, inner, || {
+            black_box(naive::lu_factor(&lap).expect("nonsingular"));
+        });
+        let mut lu = mea_linalg::LuFactor::empty();
+        let opt_ms = per_call_ms(outer, inner, || {
+            lu.refactor_from(&lap).expect("nonsingular");
+            black_box(&lu);
+        });
+        cells.push(KernelCell {
+            name: "lu factor",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // Cholesky factor: allocating scalar loop vs in-place row-pair
+        // blocked refactor.
+        let naive_ms = per_call_ms(outer, inner, || {
+            black_box(naive::cholesky_factor(&lap).expect("SPD"));
+        });
+        let mut chol = CholeskyFactor::empty();
+        let opt_ms = per_call_ms(outer, inner, || {
+            chol.refactor_from(&lap).expect("SPD");
+            black_box(&chol);
+        });
+        cells.push(KernelCell {
+            name: "cholesky factor",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // Cholesky inverse: per-column full solves vs unit-RHS skipping +
+        // early-stopped backward solves + symmetry mirror.
+        let l = naive::cholesky_factor(&lap).expect("SPD");
+        let f = lap.cholesky().expect("SPD");
+        let mut inv = DenseMatrix::zeros(dim, dim);
+        let mut col = vec![0.0; dim];
+        let naive_ms = per_call_ms(outer, inner, || {
+            black_box(naive::cholesky_inverse(&l, dim));
+        });
+        let opt_ms = per_call_ms(outer, inner, || {
+            f.inverse_into(&mut inv, &mut col);
+            black_box(&inv);
+        });
+        cells.push(KernelCell {
+            name: "cholesky inverse",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // Reduction: serial-chain dot vs chunked 4-lane dot (CGLS-scale
+        // vectors: one entry per matrix element).
+        let len = dim * dim;
+        let u: Vec<f64> = (0..len).map(|i| 1.0 + 0.001 * i as f64).collect();
+        let v: Vec<f64> = (0..len).map(|i| 2.0 - 0.001 * i as f64).collect();
+        let inner = (8 * budget / len).max(1_000);
+        let naive_ms = per_call_ms(outer, inner, || {
+            black_box(naive::dot(&u, &v));
+        });
+        let opt_ms = per_call_ms(outer, inner, || {
+            black_box(vec_ops::dot(&u, &v));
+        });
+        cells.push(KernelCell {
+            name: "dot",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+
+        // Fused CGLS inner step: separate mat-vec + dot + axpy +
+        // allocating transposed mat-vec vs the two fused passes.
+        let mut coo = CooTriplets::new(dim, dim);
+        for rr in 0..dim {
+            for cc in 0..dim {
+                let val = lap[(rr, cc)];
+                if val != 0.0 {
+                    coo.push(rr, cc, val);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let p = x.clone();
+        let mut q = vec![0.0; dim];
+        let mut res = vec![1.0; dim];
+        let mut s = vec![0.0; dim];
+        // alpha = 0 keeps `res` at steady state across repetitions so
+        // both sides time identical numeric work.
+        let alpha = 0.0;
+        let inner = (budget / (dim * dim)).max(1_000);
+        let naive_ms = per_call_ms(outer, inner, || {
+            a.mul_vec_into(&p, &mut q);
+            let gamma = vec_ops::dot(&q, &q);
+            for (r0, &q0) in res.iter_mut().zip(&q) {
+                *r0 += alpha * gamma.min(0.0) * q0;
+            }
+            black_box(a.mul_vec_transposed(&res));
+        });
+        let opt_ms = per_call_ms(outer, inner, || {
+            let gamma = a.mul_vec_norm_sq_into(&p, &mut q);
+            a.axpy_mul_transposed_into(alpha * gamma.min(0.0), &q, &mut res, &mut s);
+            black_box(&s);
+        });
+        cells.push(KernelCell {
+            name: "cgls fused step",
+            n,
+            dim,
+            naive_ms,
+            opt_ms,
+        });
+    }
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                c.name,
+                &[
+                    c.n.to_string(),
+                    c.dim.to_string(),
+                    format!("{:.4}", c.naive_ms),
+                    format!("{:.4}", c.opt_ms),
+                    format!("{:.2}x", c.speedup()),
+                ]
+            )
+        );
+    }
+
+    println!("\n=== PR3 whole solve: legacy per-iteration pattern vs workspaces ===");
+    println!(
+        "{}",
+        row(
+            "n",
+            ["legacy ms/it", "new ms/it", "speedup"]
+                .map(String::from)
+                .as_ref()
+        )
+    );
+    let mut solves: Vec<SolveCell> = Vec::new();
+    let iters = if quick { 20 } else { 40 };
+    for &n in sizes {
+        let w = Workload::new(n);
+        let config = ParmaConfig {
+            max_iter: iters,
+            tol: 1e-30, // unreachable: both sides run the full budget
+            recovery: false,
+            ..Default::default()
+        };
+        let ((), legacy_secs) =
+            time_secs_best_of(outer, || legacy_sweep_iterations(&w, &config, iters));
+        let solver = ParmaSolver::new(config);
+        let plan = SolvePlan::new(w.grid);
+        let mut scratch = SolveScratch::new();
+        let mut new_iters = iters;
+        let (_, new_secs) = time_secs_best_of(outer, || {
+            match solver.solve_with_scratch(&plan, &w.z, None, &mut scratch) {
+                Ok(sol) => new_iters = sol.iterations,
+                Err(ParmaError::NoConvergence { iterations, .. }) => new_iters = iterations,
+                Err(e) => panic!("unexpected solver failure: {e}"),
+            }
+        });
+        solves.push(SolveCell {
+            n,
+            legacy_iters: iters,
+            new_iters,
+            legacy_ms_per_iter: legacy_secs * 1e3 / iters as f64,
+            new_ms_per_iter: new_secs * 1e3 / new_iters as f64,
+        });
+    }
+    for s in &solves {
+        println!(
+            "{}",
+            row(
+                &format!("{0}x{0}", s.n),
+                &[
+                    format!("{:.4}", s.legacy_ms_per_iter),
+                    format!("{:.4}", s.new_ms_per_iter),
+                    format!("{:.2}x", s.speedup()),
+                ]
+            )
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"parma-bench/kernels-v1\",\n");
+    json.push_str("  \"pr\": 3,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"dim\": {}, \"naive_ms\": {:.6}, \
+             \"opt_ms\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.n,
+            c.dim,
+            c.naive_ms,
+            c.opt_ms,
+            c.speedup(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"whole_solve\": [\n");
+    for (i, s) in solves.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"legacy_iters\": {}, \"new_iters\": {}, \
+             \"legacy_ms_per_iter\": {:.6}, \"new_ms_per_iter\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            s.n,
+            s.legacy_iters,
+            s.new_iters,
+            s.legacy_ms_per_iter,
+            s.new_ms_per_iter,
+            s.speedup(),
+            if i + 1 < solves.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_PR3.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {path}");
 }

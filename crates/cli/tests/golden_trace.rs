@@ -81,12 +81,18 @@ fn solve_trace_schema_is_stable() {
     assert!(spans_at < counters_at && counters_at < series_at);
 
     // Stage spans of one session solve, lexicographic (= stable) order:
-    // the pipeline root, then its nested time points, solves, detection.
+    // the pipeline root, then its nested time points, solves, detection,
+    // and the per-iteration kernel spans inside each solve (workspace
+    // refactor with its factor/inverse phases, then the sweep).
     let stages = [
         "\"pipeline/run\"",
         "\"pipeline/run/time_point\"",
         "\"pipeline/run/time_point/detect\"",
         "\"pipeline/run/time_point/parma/solve\"",
+        "\"pipeline/run/time_point/parma/solve/refactor\"",
+        "\"pipeline/run/time_point/parma/solve/refactor/factor\"",
+        "\"pipeline/run/time_point/parma/solve/refactor/inverse\"",
+        "\"pipeline/run/time_point/parma/solve/sweep\"",
     ];
     let mut prev = spans_at;
     for stage in stages {
@@ -166,6 +172,15 @@ fn batch_trace_schema_is_stable() {
     offset_of(
         &json,
         "\"parma/batch/item/pipeline/run/time_point/parma/solve\"",
+    );
+    // The per-iteration kernel spans surface beneath batch items too.
+    offset_of(
+        &json,
+        "\"parma/batch/item/pipeline/run/time_point/parma/solve/refactor/factor\"",
+    );
+    offset_of(
+        &json,
+        "\"parma/batch/item/pipeline/run/time_point/parma/solve/sweep\"",
     );
 
     // Batch counters, and the per-item wall-time series with one entry

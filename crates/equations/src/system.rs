@@ -129,19 +129,36 @@ impl EquationSystem {
     /// Evaluates every equation's residual at an unknown vector, in
     /// equation order.
     pub fn residuals(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut r_scratch = ResistorGrid::filled(self.grid, 0.0);
+        self.residuals_into(x, &mut out, &mut r_scratch);
+        out
+    }
+
+    /// Like [`Self::residuals`] but writing into reusable buffers: `out`
+    /// is cleared and refilled, `r_scratch` fully overwritten (and resized
+    /// on a geometry change). Allocation-free once the buffers have
+    /// capacity — Gauss-Newton line searches evaluate this per backtrack.
+    pub fn residuals_into(&self, x: &[f64], out: &mut Vec<f64>, r_scratch: &mut ResistorGrid) {
         assert_eq!(x.len(), self.index.len(), "unknown vector length mismatch");
-        let r = self.unpack_resistors(x);
+        if r_scratch.grid() != self.grid {
+            *r_scratch = ResistorGrid::filled(self.grid, 0.0);
+        }
+        r_scratch
+            .as_mut_slice()
+            .copy_from_slice(&x[..self.grid.crossings()]);
         let (rows, cols) = (self.grid.rows(), self.grid.cols());
         let per_pair = (cols - 1) + (rows - 1);
         let base = self.grid.crossings();
         let block = self.block_len();
-        let mut out = Vec::with_capacity(self.equations.len());
+        out.clear();
+        out.reserve(self.equations.len());
         for (p, (i, j)) in self.grid.pair_iter().enumerate() {
             let off = base + p * per_pair;
             let ua = &x[off..off + cols - 1];
             let ub = &x[off + cols - 1..off + per_pair];
             let values = PairValues {
-                r: &r,
+                r: r_scratch,
                 ua,
                 ub,
                 voltage: self.voltage,
@@ -151,7 +168,6 @@ impl EquationSystem {
                 out.push(eq.residual(&values));
             }
         }
-        out
     }
 
     /// Largest absolute residual at an unknown vector.

@@ -40,59 +40,108 @@ pub struct CglsOutcome {
     pub residual: f64,
 }
 
-/// Runs CGLS from the zero vector.
-pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome, LinalgError> {
+/// Convergence statistics of a [`cgls_into`] run; the solution itself
+/// stays in the workspace ([`CglsWorkspace::solution`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CglsStats {
+    /// Iterations taken.
+    pub iterations: usize,
+    /// Final relative normal-equation residual.
+    pub residual: f64,
+}
+
+/// Reusable CGLS state: solution, residual, normal residual, search
+/// direction, and `A·p` buffers. One workspace amortizes every
+/// per-iteration (and per-call) allocation across an outer Gauss-Newton
+/// loop; buffers regrow only when the operator shape grows.
+#[derive(Clone, Debug, Default)]
+pub struct CglsWorkspace {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    s: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl CglsWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solution estimate written by the last [`cgls_into`] call.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+fn reset(v: &mut Vec<f64>, len: usize) {
+    v.clear();
+    v.resize(len, 0.0);
+}
+
+/// Runs CGLS from the zero vector into a reusable workspace; the solution
+/// lands in [`CglsWorkspace::solution`]. Uses the fused CSR kernels
+/// ([`CsrMatrix::mul_vec_norm_sq_into`] and
+/// [`CsrMatrix::axpy_mul_transposed_into`]) so each iteration makes one
+/// pass per mat-vec and allocates nothing; iterates are bitwise identical
+/// to the unfused formulation.
+pub fn cgls_into(
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &CglsOptions,
+    ws: &mut CglsWorkspace,
+) -> Result<CglsStats, LinalgError> {
     if b.len() != a.rows() {
         return Err(LinalgError::InvalidInput(
             "cgls: rhs length mismatch".into(),
         ));
     }
     let n = a.cols();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // r = b − A·x
-    let mut s = a.mul_vec_transposed(&r); // s = Aᵀr (normal residual)
-    let s0_norm = vec_ops::norm2(&s).max(f64::MIN_POSITIVE);
-    let mut p = s.clone();
-    let mut gamma = vec_ops::dot(&s, &s);
-    let mut q = vec![0.0; a.rows()];
+    reset(&mut ws.x, n);
+    ws.r.clear();
+    ws.r.extend_from_slice(b); // r = b − A·x with x = 0
+    reset(&mut ws.s, n);
+    a.mul_vec_transposed_into(&ws.r, &mut ws.s); // s = Aᵀr (normal residual)
+                                                 // ‖s‖ = √(s·s) bitwise, so gamma doubles as the residual norm.
+    let mut gamma = vec_ops::dot(&ws.s, &ws.s);
+    let s0_norm = gamma.sqrt().max(f64::MIN_POSITIVE);
+    ws.p.clear();
+    ws.p.extend_from_slice(&ws.s);
+    reset(&mut ws.q, a.rows());
     let _span = mea_obs::span("linalg/cgls");
     let mut trace = mea_obs::SeriesRecorder::new("linalg.cgls.residuals", "linalg.cgls.iterations");
     for it in 0..opts.max_iter {
-        let rel = vec_ops::norm2(&s) / s0_norm;
+        let rel = gamma.sqrt() / s0_norm;
         trace.push(rel);
         if rel <= opts.tol {
-            return Ok(CglsOutcome {
-                x,
+            return Ok(CglsStats {
                 iterations: it,
                 residual: rel,
             });
         }
-        a.mul_vec_into(&p, &mut q);
-        let qq = vec_ops::dot(&q, &q);
+        let qq = a.mul_vec_norm_sq_into(&ws.p, &mut ws.q);
         if qq <= 0.0 || !qq.is_finite() {
             // p ∈ ker A: the normal residual should already be ~0; treat
             // as converged at whatever level we reached.
-            return Ok(CglsOutcome {
-                x,
+            return Ok(CglsStats {
                 iterations: it,
                 residual: rel,
             });
         }
         let alpha = gamma / qq;
-        vec_ops::axpy(alpha, &p, &mut x);
-        vec_ops::axpy(-alpha, &q, &mut r);
-        s = a.mul_vec_transposed(&r);
-        let gamma_new = vec_ops::dot(&s, &s);
+        vec_ops::axpy(alpha, &ws.p, &mut ws.x);
+        a.axpy_mul_transposed_into(-alpha, &ws.q, &mut ws.r, &mut ws.s);
+        let gamma_new = vec_ops::dot(&ws.s, &ws.s);
         let beta = gamma_new / gamma;
         gamma = gamma_new;
-        for i in 0..n {
-            p[i] = s[i] + beta * p[i];
+        for (pi, &si) in ws.p.iter_mut().zip(&ws.s) {
+            *pi = si + beta * *pi;
         }
     }
-    let rel = vec_ops::norm2(&s) / s0_norm;
+    let rel = gamma.sqrt() / s0_norm;
     if rel <= opts.tol {
-        Ok(CglsOutcome {
-            x,
+        Ok(CglsStats {
             iterations: opts.max_iter,
             residual: rel,
         })
@@ -102,6 +151,17 @@ pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome,
             residual: rel,
         })
     }
+}
+
+/// Runs CGLS from the zero vector.
+pub fn cgls(a: &CsrMatrix, b: &[f64], opts: &CglsOptions) -> Result<CglsOutcome, LinalgError> {
+    let mut ws = CglsWorkspace::new();
+    let stats = cgls_into(a, b, opts, &mut ws)?;
+    Ok(CglsOutcome {
+        x: std::mem::take(&mut ws.x),
+        iterations: stats.iterations,
+        residual: stats.residual,
+    })
 }
 
 #[cfg(test)]

@@ -422,8 +422,20 @@ impl CsrMatrix {
 
     /// Transposed product `y = Aᵀ·x`.
     pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.mul_vec_transposed_into(x, &mut y);
+        y
+    }
+
+    /// Transposed product into a caller-provided buffer (overwritten).
+    pub fn mul_vec_transposed_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
+        assert_eq!(
+            y.len(),
+            self.cols,
+            "mul_vec_transposed: output length mismatch"
+        );
+        y.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -432,7 +444,61 @@ impl CsrMatrix {
                 y[self.col_idx[k]] += self.values[k] * xr;
             }
         }
-        y
+    }
+
+    /// Fused CGLS half-iteration: computes `y = A·x` into `y` and returns
+    /// `‖y‖²` accumulated in the same fixed chunked order as
+    /// `vec_ops::dot(y, y)` — four lanes over rows `≡ 0..3 (mod 4)`,
+    /// combined `(l0 + l1) + (l2 + l3)`, sequential tail — so the fusion
+    /// is bitwise-invisible to callers while saving a full re-read of `y`.
+    pub fn mul_vec_norm_sq_into(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.cols, "mul_vec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec_into: y dimension mismatch");
+        let c4 = self.rows / 4 * 4;
+        let mut lanes = [0.0f64; 4];
+        let mut tail = [0.0f64; 3];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = acc;
+            if r < c4 {
+                lanes[r % 4] += acc * acc;
+            } else {
+                tail[r - c4] = acc * acc;
+            }
+        }
+        let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for t in &tail[..self.rows - c4] {
+            total += t;
+        }
+        total
+    }
+
+    /// Fused CGLS second half-iteration: `r ← r + alpha·q` element-wise,
+    /// then `s = Aᵀ·r`, in one pass over the rows. Each row's residual is
+    /// updated before its scatter and the scatter reads only that row's
+    /// residual, so the result is bitwise identical to a separate `axpy`
+    /// followed by [`Self::mul_vec_transposed_into`] (including the
+    /// zero-row skip).
+    pub fn axpy_mul_transposed_into(&self, alpha: f64, q: &[f64], r: &mut [f64], s: &mut [f64]) {
+        assert_eq!(q.len(), self.rows, "axpy_mul_transposed: q length mismatch");
+        assert_eq!(r.len(), self.rows, "axpy_mul_transposed: r length mismatch");
+        assert_eq!(s.len(), self.cols, "axpy_mul_transposed: s length mismatch");
+        s.fill(0.0);
+        for (row, (rr, &qr)) in r.iter_mut().zip(q).enumerate() {
+            *rr += alpha * qr;
+            let xr = *rr;
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                s[self.col_idx[k]] += self.values[k] * xr;
+            }
+        }
     }
 
     /// The main diagonal (length `min(rows, cols)`).

@@ -3,6 +3,22 @@
 //! These back the per-iteration Laplacian inverses of the Parma solver
 //! (matrices of order `2n` for an `n×n` MEA, so a few hundred at most) and
 //! the dense Jacobians of the Newton cross-check solver.
+//!
+//! # Blocked kernels and the determinism contract
+//!
+//! The hot kernels (`mul_vec`, `mul`, both factorizations and their
+//! solves) are register-blocked: two to four *independent* accumulation
+//! chains run in the inner loop so the FPU pipeline stays full on the
+//! small, L1-resident matrices this crate sees (order ≈ `2n` for an `n×n`
+//! array). Blocking never reorders the terms of any single output
+//! element — each element's reduction stays strictly left-to-right — so
+//! every blocked kernel is bitwise identical (0 ULP) to the retained
+//! scalar references in [`crate::kernels::naive`], which the
+//! `kernel_properties` suite enforces. The factor types additionally
+//! expose `refactor_from`/`solve_into`/`inverse_into` so steady-state
+//! iteration loops can reuse caller-owned buffers and run allocation-free;
+//! after a `refactor_from` error the factor contents are unspecified and
+//! must be refactored before the next solve.
 
 use crate::error::LinalgError;
 
@@ -80,28 +96,103 @@ impl DenseMatrix {
         &self.data
     }
 
-    /// Matrix-vector product `A·x`.
-    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows)
-            .map(|r| crate::vec_ops::dot(self.row(r), x))
-            .collect()
+    /// Raw mutable row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
-    /// Matrix product `A·B`.
+    /// Matrix-vector product `A·x` into a caller-owned buffer. Four rows
+    /// advance together sharing each `x` load; per-row accumulation stays
+    /// strictly left-to-right, so results match the scalar reference
+    /// bitwise.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec: output length mismatch");
+        if self.cols == 0 {
+            y.fill(0.0);
+            return;
+        }
+        let nc = self.cols;
+        let mut yc = y.chunks_exact_mut(4);
+        let mut ac = self.data.chunks_exact(4 * nc);
+        for (yb, ab) in (&mut yc).zip(&mut ac) {
+            let (r0, rest) = ab.split_at(nc);
+            let (r1, rest) = rest.split_at(nc);
+            let (r2, r3) = rest.split_at(nc);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (((&a0, &a1), (&a2, &a3)), &xk) in r0.iter().zip(r1).zip(r2.iter().zip(r3)).zip(x) {
+                s0 += a0 * xk;
+                s1 += a1 * xk;
+                s2 += a2 * xk;
+                s3 += a3 * xk;
+            }
+            yb[0] = s0;
+            yb[1] = s1;
+            yb[2] = s2;
+            yb[3] = s3;
+        }
+        for (yi, row) in yc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder().chunks_exact(nc))
+        {
+            let mut s = 0.0;
+            for (&a, &xk) in row.iter().zip(x) {
+                s += a * xk;
+            }
+            *yi = s;
+        }
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix product `A·B`, ikj order with four-row register blocking:
+    /// each `B` row is loaded once and fed to four output rows. Each
+    /// output element still accumulates its `k` terms in ascending order,
+    /// bitwise-matching the scalar reference.
     pub fn mul(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.rows, "mul: shape mismatch");
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: streams through rhs rows, cache-friendly for
-        // row-major storage.
-        for i in 0..self.rows {
+        let nc = rhs.cols;
+        if self.rows == 0 || nc == 0 || self.cols == 0 {
+            return out;
+        }
+        let mut oc = out.data.chunks_exact_mut(4 * nc);
+        let mut ac = self.data.chunks_exact(4 * self.cols);
+        for (ob, ab) in (&mut oc).zip(&mut ac) {
+            let (o0, orest) = ob.split_at_mut(nc);
+            let (o1, orest) = orest.split_at_mut(nc);
+            let (o2, o3) = orest.split_at_mut(nc);
             for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
                 let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
+                let a0 = ab[k];
+                let a1 = ab[self.cols + k];
+                let a2 = ab[2 * self.cols + k];
+                let a3 = ab[3 * self.cols + k];
+                for (((e0, e1), (e2, e3)), &b) in o0
+                    .iter_mut()
+                    .zip(o1.iter_mut())
+                    .zip(o2.iter_mut().zip(o3.iter_mut()))
+                    .zip(rrow)
+                {
+                    *e0 += a0 * b;
+                    *e1 += a1 * b;
+                    *e2 += a2 * b;
+                    *e3 += a3 * b;
+                }
+            }
+        }
+        let tail = (self.rows / 4) * 4;
+        for i in tail..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * nc..(i + 1) * nc];
                 for (o, &b) in orow.iter_mut().zip(rrow) {
                     *o += a * b;
                 }
@@ -200,6 +291,27 @@ pub struct LuFactor {
 
 impl LuFactor {
     fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        let mut f = LuFactor::empty();
+        f.refactor_from(a)?;
+        Ok(f)
+    }
+
+    /// An order-zero placeholder; call [`LuFactor::refactor_from`] before
+    /// solving. Lets workspaces own a factor without a first matrix.
+    pub fn empty() -> Self {
+        LuFactor {
+            n: 0,
+            lu: Vec::new(),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+        }
+    }
+
+    /// Refactors `a` in place, reusing this factor's buffers (no
+    /// allocations once capacity has grown to `a`'s order). Elimination is
+    /// two-row blocked: each pivot-row load updates two trailing rows. On
+    /// `Err` the factor contents are unspecified.
+    pub fn refactor_from(&mut self, a: &DenseMatrix) -> Result<(), LinalgError> {
         if a.rows != a.cols {
             return Err(LinalgError::ShapeMismatch(format!(
                 "LU needs a square matrix, got {}×{}",
@@ -210,9 +322,13 @@ impl LuFactor {
             return Err(LinalgError::InvalidInput("non-finite matrix entry".into()));
         }
         let n = a.rows;
-        let mut lu = a.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        self.n = n;
+        self.lu.clear();
+        self.lu.extend_from_slice(&a.data);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.perm_sign = 1.0;
+        let lu = &mut self.lu;
         for col in 0..n {
             // Partial pivoting: largest |entry| at or below the diagonal.
             let mut pivot_row = col;
@@ -228,29 +344,41 @@ impl LuFactor {
                 return Err(LinalgError::Singular(col));
             }
             if pivot_row != col {
-                for k in 0..n {
-                    lu.swap(col * n + k, pivot_row * n + k);
-                }
-                perm.swap(col, pivot_row);
-                sign = -sign;
+                let (top, bottom) = lu.split_at_mut(pivot_row * n);
+                top[col * n..col * n + n].swap_with_slice(&mut bottom[..n]);
+                self.perm.swap(col, pivot_row);
+                self.perm_sign = -self.perm_sign;
             }
-            let pivot = lu[col * n + col];
-            for r in (col + 1)..n {
-                let factor = lu[r * n + col] / pivot;
-                lu[r * n + col] = factor;
-                if factor != 0.0 {
-                    for k in (col + 1)..n {
-                        lu[r * n + k] -= factor * lu[col * n + k];
-                    }
+            let (top, below) = lu.split_at_mut((col + 1) * n);
+            // urow[0] is the pivot; urow[d] is U(col, col+d).
+            let urow = &top[col * n + col..];
+            let pivot = urow[0];
+            let below = &mut below[..(n - col - 1) * n];
+            let mut pairs = below.chunks_exact_mut(2 * n);
+            for pair in &mut pairs {
+                let (ra, rb) = pair.split_at_mut(n);
+                let f0 = ra[col] / pivot;
+                let f1 = rb[col] / pivot;
+                ra[col] = f0;
+                rb[col] = f1;
+                for ((av, bv), &u) in ra[col + 1..]
+                    .iter_mut()
+                    .zip(rb[col + 1..].iter_mut())
+                    .zip(&urow[1..])
+                {
+                    *av -= f0 * u;
+                    *bv -= f1 * u;
+                }
+            }
+            for row in pairs.into_remainder().chunks_exact_mut(n) {
+                let f0 = row[col] / pivot;
+                row[col] = f0;
+                for (v, &u) in row[col + 1..].iter_mut().zip(&urow[1..]) {
+                    *v -= f0 * u;
                 }
             }
         }
-        Ok(LuFactor {
-            n,
-            lu,
-            perm,
-            perm_sign: sign,
-        })
+        Ok(())
     }
 
     /// Order of the factored matrix.
@@ -258,27 +386,48 @@ impl LuFactor {
         self.n
     }
 
+    /// Combined L/U buffer (row-major), for reference-kernel comparisons.
+    pub fn lu_data(&self) -> &[f64] {
+        &self.lu
+    }
+
+    /// Row permutation: `perm()[i]` is the original row now in position `i`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
     /// Solves `A·x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, allocation-free.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         assert_eq!(b.len(), self.n, "solve: rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solve: output length mismatch");
         let n = self.n;
         // Apply permutation, then forward (L) and backward (U) substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for r in 1..n {
-            let mut acc = x[r];
-            for (lk, xk) in self.lu[r * n..r * n + r].iter().zip(&x[..r]) {
+            let (head, tail) = x.split_at_mut(r);
+            let mut acc = tail[0];
+            for (lk, xk) in self.lu[r * n..r * n + r].iter().zip(head.iter()) {
                 acc -= lk * xk;
             }
-            x[r] = acc;
+            tail[0] = acc;
         }
         for r in (0..n).rev() {
-            let mut acc = x[r];
-            for (uk, xk) in self.lu[r * n + r + 1..(r + 1) * n].iter().zip(&x[r + 1..]) {
+            let (head, tail) = x.split_at_mut(r + 1);
+            let mut acc = head[r];
+            for (uk, xk) in self.lu[r * n + r + 1..(r + 1) * n].iter().zip(tail.iter()) {
                 acc -= uk * xk;
             }
-            x[r] = acc / self.lu[r * n + r];
+            head[r] = acc / self.lu[r * n + r];
         }
-        x
     }
 
     /// Solves for many right-hand sides given as the columns of `B`.
@@ -325,6 +474,29 @@ pub struct CholeskyFactor {
 
 impl CholeskyFactor {
     fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        let mut f = CholeskyFactor::empty();
+        f.refactor_from(a)?;
+        Ok(f)
+    }
+
+    /// An order-zero placeholder; call [`CholeskyFactor::refactor_from`]
+    /// before solving. Lets workspaces own a factor without a first matrix.
+    pub fn empty() -> Self {
+        CholeskyFactor {
+            n: 0,
+            l: Vec::new(),
+        }
+    }
+
+    /// Refactors `a` in place, reusing this factor's buffer (no
+    /// allocations once capacity has grown to `a`'s order). Rows advance
+    /// four at a time so each completed-row load feeds four accumulation
+    /// chains (pairs, then singly, for the remainder); every element's own
+    /// reduction stays in ascending-`k` order, so the factor is bitwise
+    /// identical to the scalar reference. Diagonal pivots are checked in
+    /// ascending row order, matching the reference's error index. On `Err`
+    /// the factor contents are unspecified.
+    pub fn refactor_from(&mut self, a: &DenseMatrix) -> Result<(), LinalgError> {
         if a.rows != a.cols {
             return Err(LinalgError::ShapeMismatch(format!(
                 "Cholesky needs a square matrix, got {}×{}",
@@ -332,24 +504,207 @@ impl CholeskyFactor {
             )));
         }
         let n = a.rows;
-        let mut l = vec![0.0; n * n];
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                for k in 0..j {
-                    sum -= l[i * n + k] * l[j * n + k];
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite(j));
-                    }
-                    l[i * n + j] = sum.sqrt();
-                } else {
-                    l[i * n + j] = sum / l[j * n + j];
-                }
-            }
+        self.n = n;
+        // Factoring writes only the lower triangle and diagonal, so a
+        // same-size buffer still has its strictly-upper positions zero
+        // from the initial resize — no per-call memset needed.
+        if self.l.len() != n * n {
+            self.l.clear();
+            self.l.resize(n * n, 0.0);
         }
-        Ok(CholeskyFactor { n, l })
+        let l = &mut self.l[..];
+        let mut i = 0;
+        while i + 4 <= n {
+            let (head, tail) = l.split_at_mut(i * n);
+            let (r0, rest) = tail.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, rest) = rest.split_at_mut(n);
+            let r3 = &mut rest[..n];
+            // 4×2 register tile: two completed columns per pass, so each
+            // `rt[k]` load feeds both columns' chains. Column `j+1`'s
+            // final `k = j` term uses column `j`'s just-computed entries,
+            // keeping every reduction in ascending-`k` order.
+            let mut j = 0;
+            while j + 2 <= i {
+                let rj = &head[j * n..j * n + j + 1];
+                let rj1 = &head[(j + 1) * n..(j + 1) * n + j + 2];
+                let mut s0 = a[(i, j)];
+                let mut s1 = a[(i + 1, j)];
+                let mut s2 = a[(i + 2, j)];
+                let mut s3 = a[(i + 3, j)];
+                let mut w0 = a[(i, j + 1)];
+                let mut w1 = a[(i + 1, j + 1)];
+                let mut w2 = a[(i + 2, j + 1)];
+                let mut w3 = a[(i + 3, j + 1)];
+                for (k, (&ljk, &lj1k)) in rj[..j].iter().zip(&rj1[..j]).enumerate() {
+                    let (x0, x1, x2, x3) = (r0[k], r1[k], r2[k], r3[k]);
+                    s0 -= x0 * ljk;
+                    s1 -= x1 * ljk;
+                    s2 -= x2 * ljk;
+                    s3 -= x3 * ljk;
+                    w0 -= x0 * lj1k;
+                    w1 -= x1 * lj1k;
+                    w2 -= x2 * lj1k;
+                    w3 -= x3 * lj1k;
+                }
+                let d = rj[j];
+                let e0 = s0 / d;
+                let e1 = s1 / d;
+                let e2 = s2 / d;
+                let e3 = s3 / d;
+                r0[j] = e0;
+                r1[j] = e1;
+                r2[j] = e2;
+                r3[j] = e3;
+                let lj1j = rj1[j];
+                let d1 = rj1[j + 1];
+                r0[j + 1] = (w0 - e0 * lj1j) / d1;
+                r1[j + 1] = (w1 - e1 * lj1j) / d1;
+                r2[j + 1] = (w2 - e2 * lj1j) / d1;
+                r3[j + 1] = (w3 - e3 * lj1j) / d1;
+                j += 2;
+            }
+            if j < i {
+                let rj = &head[j * n..j * n + j + 1];
+                let mut s0 = a[(i, j)];
+                let mut s1 = a[(i + 1, j)];
+                let mut s2 = a[(i + 2, j)];
+                let mut s3 = a[(i + 3, j)];
+                for (k, &ljk) in rj[..j].iter().enumerate() {
+                    s0 -= r0[k] * ljk;
+                    s1 -= r1[k] * ljk;
+                    s2 -= r2[k] * ljk;
+                    s3 -= r3[k] * ljk;
+                }
+                let d = rj[j];
+                r0[j] = s0 / d;
+                r1[j] = s1 / d;
+                r2[j] = s2 / d;
+                r3[j] = s3 / d;
+            }
+            // Ragged 4×4 corner, column by column: each column's diagonal
+            // pivot is checked before anything in later rows, preserving
+            // the reference's first-failing-pivot index.
+            let mut s00 = a[(i, i)];
+            for &x in &r0[..i] {
+                s00 -= x * x;
+            }
+            if s00 <= 0.0 || !s00.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i));
+            }
+            r0[i] = s00.sqrt();
+            let mut t1 = a[(i + 1, i)];
+            let mut t2 = a[(i + 2, i)];
+            let mut t3 = a[(i + 3, i)];
+            for k in 0..i {
+                let l0k = r0[k];
+                t1 -= r1[k] * l0k;
+                t2 -= r2[k] * l0k;
+                t3 -= r3[k] * l0k;
+            }
+            r1[i] = t1 / r0[i];
+            r2[i] = t2 / r0[i];
+            r3[i] = t3 / r0[i];
+            let mut s11 = a[(i + 1, i + 1)];
+            for &x in &r1[..=i] {
+                s11 -= x * x;
+            }
+            if s11 <= 0.0 || !s11.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i + 1));
+            }
+            r1[i + 1] = s11.sqrt();
+            let mut u2 = a[(i + 2, i + 1)];
+            let mut u3 = a[(i + 3, i + 1)];
+            for k in 0..=i {
+                let l1k = r1[k];
+                u2 -= r2[k] * l1k;
+                u3 -= r3[k] * l1k;
+            }
+            r2[i + 1] = u2 / r1[i + 1];
+            r3[i + 1] = u3 / r1[i + 1];
+            let mut s22 = a[(i + 2, i + 2)];
+            for &x in &r2[..=(i + 1)] {
+                s22 -= x * x;
+            }
+            if s22 <= 0.0 || !s22.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i + 2));
+            }
+            r2[i + 2] = s22.sqrt();
+            let mut v3 = a[(i + 3, i + 2)];
+            for k in 0..=(i + 1) {
+                v3 -= r3[k] * r2[k];
+            }
+            r3[i + 2] = v3 / r2[i + 2];
+            let mut s33 = a[(i + 3, i + 3)];
+            for &x in &r3[..=(i + 2)] {
+                s33 -= x * x;
+            }
+            if s33 <= 0.0 || !s33.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i + 3));
+            }
+            r3[i + 3] = s33.sqrt();
+            i += 4;
+        }
+        while i + 2 <= n {
+            let (head, tail) = l.split_at_mut(i * n);
+            let (ri, rest) = tail.split_at_mut(n);
+            let ri1 = &mut rest[..n];
+            for j in 0..i {
+                let rj = &head[j * n..j * n + j + 1];
+                let mut si = a[(i, j)];
+                let mut si1 = a[(i + 1, j)];
+                for (k, &ljk) in rj[..j].iter().enumerate() {
+                    si -= ri[k] * ljk;
+                    si1 -= ri1[k] * ljk;
+                }
+                let d = rj[j];
+                ri[j] = si / d;
+                ri1[j] = si1 / d;
+            }
+            let mut sii = a[(i, i)];
+            for &x in &ri[..i] {
+                sii -= x * x;
+            }
+            if sii <= 0.0 || !sii.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i));
+            }
+            ri[i] = sii.sqrt();
+            let mut s10 = a[(i + 1, i)];
+            for k in 0..i {
+                s10 -= ri1[k] * ri[k];
+            }
+            ri1[i] = s10 / ri[i];
+            let mut s11 = a[(i + 1, i + 1)];
+            for &x in &ri1[..=i] {
+                s11 -= x * x;
+            }
+            if s11 <= 0.0 || !s11.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i + 1));
+            }
+            ri1[i + 1] = s11.sqrt();
+            i += 2;
+        }
+        if i < n {
+            let (head, tail) = l.split_at_mut(i * n);
+            let ri = &mut tail[..n];
+            for j in 0..i {
+                let rj = &head[j * n..j * n + j + 1];
+                let mut sum = a[(i, j)];
+                for (k, &ljk) in rj[..j].iter().enumerate() {
+                    sum -= ri[k] * ljk;
+                }
+                ri[j] = sum / rj[j];
+            }
+            let mut sii = a[(i, i)];
+            for &x in &ri[..i] {
+                sii -= x * x;
+            }
+            if sii <= 0.0 || !sii.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i));
+            }
+            ri[i] = sii.sqrt();
+        }
+        Ok(())
     }
 
     /// Order of the factored matrix.
@@ -357,28 +712,48 @@ impl CholeskyFactor {
         self.n
     }
 
+    /// Lower-triangular factor (row-major, upper part zeroed), for
+    /// reference-kernel comparisons.
+    pub fn factor_data(&self) -> &[f64] {
+        &self.l
+    }
+
     /// Solves `A·x = b` via two triangular solves.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "solve: rhs length mismatch");
-        let n = self.n;
         let mut y = b.to_vec();
+        self.solve_in_place(&mut y);
+        y
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, allocation-free.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "solve: rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solve: output length mismatch");
+        x.copy_from_slice(b);
+        self.solve_in_place(x);
+    }
+
+    fn solve_in_place(&self, y: &mut [f64]) {
+        let n = self.n;
         // L·y = b
         for r in 0..n {
-            let mut acc = y[r];
-            for (lk, yk) in self.l[r * n..r * n + r].iter().zip(&y[..r]) {
+            let (head, tail) = y.split_at_mut(r);
+            let mut acc = tail[0];
+            for (lk, yk) in self.l[r * n..r * n + r].iter().zip(head.iter()) {
                 acc -= lk * yk;
             }
-            y[r] = acc / self.l[r * n + r];
+            tail[0] = acc / self.l[r * n + r];
         }
         // Lᵀ·x = y (L is accessed down column r, a strided walk).
         for r in (0..n).rev() {
-            let mut acc = y[r];
-            for (k, &yk) in y.iter().enumerate().take(n).skip(r + 1) {
-                acc -= self.l[k * n + r] * yk;
+            let (head, tail) = y.split_at_mut(r + 1);
+            let mut acc = head[r];
+            for (k, &yk) in tail.iter().enumerate() {
+                acc -= self.l[(r + 1 + k) * n + r] * yk;
             }
-            y[r] = acc / self.l[r * n + r];
+            head[r] = acc / self.l[r * n + r];
         }
-        y
     }
 
     /// Full inverse.
@@ -394,6 +769,50 @@ impl CholeskyFactor {
             }
         }
         out
+    }
+
+    /// Full inverse into caller-owned storage with one scratch column and
+    /// no allocations. Exploits the unit right-hand sides three ways: the
+    /// structurally-zero prefix of each forward solve is skipped (the
+    /// skipped terms subtract exactly `+0.0`, so the bits match the full
+    /// solve), the backward solve stops at row `c`, and the strict upper
+    /// triangle is mirrored from the lower (`A⁻¹` is symmetric) — about
+    /// 3× fewer flops than [`CholeskyFactor::inverse`]. The diagonal and
+    /// lower triangle are bitwise identical to `inverse()`; the strict
+    /// upper triangle is the exact mirror of the lower rather than an
+    /// independently rounded solve.
+    pub fn inverse_into(&self, out: &mut DenseMatrix, scratch: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(out.rows, n, "inverse_into: output row mismatch");
+        assert_eq!(out.cols, n, "inverse_into: output col mismatch");
+        assert_eq!(scratch.len(), n, "inverse_into: scratch length mismatch");
+        let l = &self.l;
+        for c in 0..n {
+            let y = &mut *scratch;
+            // Forward solve L·y = e_c, rows c..n only.
+            y[c] = 1.0 / l[c * n + c];
+            for r in (c + 1)..n {
+                let mut acc = 0.0;
+                for (k, &yk) in y[c..r].iter().enumerate() {
+                    acc -= l[r * n + c + k] * yk;
+                }
+                y[r] = acc / l[r * n + r];
+            }
+            // Backward solve Lᵀ·x = y, stopping at row c.
+            for r in (c..n).rev() {
+                let mut acc = y[r];
+                for (k, &yk) in y[r + 1..n].iter().enumerate() {
+                    acc -= l[(r + 1 + k) * n + r] * yk;
+                }
+                y[r] = acc / l[r * n + r];
+            }
+            for (r, &yr) in y.iter().enumerate().take(n).skip(c) {
+                out.data[r * n + c] = yr;
+            }
+            for r in (c + 1)..n {
+                out.data[c * n + r] = out.data[r * n + c];
+            }
+        }
     }
 }
 

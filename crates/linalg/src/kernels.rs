@@ -1,0 +1,253 @@
+//! Reference kernels retained alongside the blocked production kernels.
+//!
+//! Two consumers:
+//!
+//! 1. The `figures kernels` bench mode measures the blocked kernels in
+//!    `dense`/`csr`/`vec_ops` against these scalar baselines — the perf
+//!    trajectory in `BENCH_PR3.json` is naive-vs-blocked on the same data.
+//! 2. The `kernel_properties` test suite pins the blocked kernels to these
+//!    at **0 ULP**. The blocked forms interleave *independent* element
+//!    chains only (multi-row register blocking); each element's own
+//!    reduction order is untouched, so agreement is exact, not
+//!    approximate. See DESIGN.md §12 for the full determinism contract.
+//!
+//! Two deliberate deviations from the seed implementations, mirrored in
+//! the production kernels so the 0-ULP pin holds:
+//!
+//! - LU elimination drops the seed's `if factor != 0.0` row skip, and
+//!   `mul` drops its `if a == 0.0` skip. Skipping an `x -= 0.0·u` update
+//!   can flip a `-0.0` to `+0.0` relative to the unskipped arithmetic, so
+//!   the skip is gone from *both* sides of the comparison.
+//! - The CSR transposed mat-vec keeps its `x[r] == 0.0` row skip in both
+//!   the fused production kernel and the unfused baseline (a skipped row
+//!   contributes no scatter at all, so no sign-of-zero hazard exists).
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// Scalar executable specification of the chunked reduction order used by
+/// `vec_ops::dot`: four lanes over indices `≡ 0..3 (mod 4)`, combined as
+/// `(l0 + l1) + (l2 + l3)`, then a sequential tail.
+pub fn spec_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spec_dot: length mismatch");
+    let n = a.len();
+    let c4 = n / 4 * 4;
+    let mut lanes = [0.0f64; 4];
+    let mut i = 0;
+    while i < c4 {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[i + l] * b[i + l];
+        }
+        i += 4;
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for k in c4..n {
+        acc += a[k] * b[k];
+    }
+    acc
+}
+
+/// The pre-blocking scalar kernels, kept verbatim (modulo the documented
+/// zero-skip removals) as bench baselines and 0-ULP oracles.
+pub mod naive {
+    use super::*;
+
+    /// Serial left-to-right dot product (the seed's reduction order).
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Per-row serial mat-vec, one `dot` per row.
+    pub fn mul_vec_into(a: &DenseMatrix, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), a.cols(), "mul_vec: dimension mismatch");
+        assert_eq!(y.len(), a.rows(), "mul_vec: output length mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (&av, &xv) in a.row(r).iter().zip(x) {
+                acc += av * xv;
+            }
+            *yr = acc;
+        }
+    }
+
+    /// ikj matrix product (no zero-skip; see module docs).
+    pub fn mul(a: &DenseMatrix, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(a.cols(), rhs.rows(), "mul: shape mismatch");
+        let mut out = DenseMatrix::zeros(a.rows(), rhs.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a[(i, k)];
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-by-row Cholesky in the seed's element and reduction order.
+    /// Returns the lower-triangular factor as a row-major `n×n` buffer.
+    pub fn cholesky_factor(a: &DenseMatrix) -> Result<Vec<f64>, LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "cholesky: square matrix required");
+        let n = a.rows();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(j));
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Two triangular solves against a buffer produced by
+    /// [`cholesky_factor`], in the seed's operation order.
+    pub fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        let mut y = b.to_vec();
+        for r in 0..n {
+            let mut acc = y[r];
+            for (lk, yk) in l[r * n..r * n + r].iter().zip(&y[..r]) {
+                acc -= lk * yk;
+            }
+            y[r] = acc / l[r * n + r];
+        }
+        for r in (0..n).rev() {
+            let mut acc = y[r];
+            for (k, &yk) in y.iter().enumerate().take(n).skip(r + 1) {
+                acc -= l[k * n + r] * yk;
+            }
+            y[r] = acc / l[r * n + r];
+        }
+        y
+    }
+
+    /// Column-at-a-time inverse through unit right-hand sides, allocating
+    /// a fresh solution vector per column — the seed's inverse path.
+    pub fn cholesky_inverse(l: &[f64], n: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let x = cholesky_solve(l, n, &e);
+            e[c] = 0.0;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+
+    /// Partially-pivoted LU in the seed's order (no zero-skip; see module
+    /// docs). Returns `(lu, perm, perm_sign)`.
+    #[allow(clippy::type_complexity)]
+    pub fn lu_factor(a: &DenseMatrix) -> Result<(Vec<f64>, Vec<usize>, f64), LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "lu: square matrix required");
+        let n = a.rows();
+        let mut lu = a.as_slice().to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = lu[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE {
+                return Err(LinalgError::Singular(col));
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    lu.swap(col * n + k, pivot_row * n + k);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor;
+                for k in (col + 1)..n {
+                    lu[r * n + k] -= factor * lu[col * n + k];
+                }
+            }
+        }
+        Ok((lu, perm, sign))
+    }
+
+    /// Permute-forward-backward solve against a [`lu_factor`] buffer.
+    pub fn lu_solve(lu: &[f64], perm: &[usize], n: usize, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for (lk, xk) in lu[r * n..r * n + r].iter().zip(&x[..r]) {
+                acc -= lk * xk;
+            }
+            x[r] = acc;
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for (uk, xk) in lu[r * n + r + 1..(r + 1) * n].iter().zip(&x[r + 1..]) {
+                acc -= uk * xk;
+            }
+            x[r] = acc / lu[r * n + r];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_dot_matches_vec_ops_dot_bitwise() {
+        for len in 0..40usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos() - 0.5).collect();
+            assert_eq!(
+                spec_dot(&a, &b).to_bits(),
+                crate::vec_ops::dot(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_cholesky_roundtrips() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let l = naive::cholesky_factor(&a).unwrap();
+        let x = naive::cholesky_solve(&l, 3, &[1.0, 2.0, 3.0]);
+        let mut y = vec![0.0; 3];
+        naive::mul_vec_into(&a, &x, &mut y);
+        for (got, want) in y.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn naive_lu_roundtrips() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let (lu, perm, _) = naive::lu_factor(&a).unwrap();
+        let x = naive::lu_solve(&lu, &perm, 2, &[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-14 && (x[1] - 2.0).abs() < 1e-14);
+    }
+}

@@ -20,13 +20,14 @@ mod csr;
 mod dense;
 mod error;
 mod fixedpoint;
+pub mod kernels;
 mod newton;
 pub mod spectral;
 pub mod stationary;
 pub mod vec_ops;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
-pub use cgls::{cgls, CglsOptions, CglsOutcome};
+pub use cgls::{cgls, cgls_into, CglsOptions, CglsOutcome, CglsStats, CglsWorkspace};
 pub use csr::{CooTriplets, CsrMatrix, CsrPattern};
 pub use dense::{CholeskyFactor, DenseMatrix, LuFactor};
 pub use error::LinalgError;

@@ -76,6 +76,13 @@ where
     let _span = mea_obs::span("linalg/newton");
     let mut trace =
         mea_obs::SeriesRecorder::new("linalg.newton.residuals", "linalg.newton.iterations");
+    // Reusable per-iteration state: one LU factor refactored in place plus
+    // the step/candidate buffers, so the Newton loop itself allocates only
+    // what the user-supplied closures allocate.
+    let mut lu = crate::dense::LuFactor::empty();
+    let mut neg_fx = vec![0.0; n];
+    let mut delta = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
     for it in 0..opts.max_iter {
         let res = vec_ops::norm_inf(&fx);
         trace.push(res);
@@ -94,18 +101,21 @@ where
             None => fd_jacobian(&f, &x, &fx, opts.fd_eps),
         };
         // Solve J·δ = −F.
-        let neg_fx: Vec<f64> = fx.iter().map(|v| -v).collect();
-        let delta = j.solve(&neg_fx)?;
+        for (o, &v) in neg_fx.iter_mut().zip(&fx) {
+            *o = -v;
+        }
+        lu.refactor_from(&j)?;
+        lu.solve_into(&neg_fx, &mut delta);
         // Backtracking line search on the residual norm.
         let mut step = 1.0;
         let mut accepted = false;
         for _ in 0..=opts.max_backtracks {
-            let mut x_new = x.clone();
+            x_new.copy_from_slice(&x);
             vec_ops::axpy(step, &delta, &mut x_new);
             let fx_new = f(&x_new);
             let res_new = vec_ops::norm_inf(&fx_new);
             if res_new.is_finite() && res_new < res {
-                x = x_new;
+                x.copy_from_slice(&x_new);
                 fx = fx_new;
                 accepted = true;
                 break;

@@ -111,8 +111,11 @@ pub fn inverse_power_iteration(
     let mut v = seed_vector(a.rows());
     normalize(&mut v);
     let mut mu = 0.0f64; // eigenvalue of A⁻¹
+                         // One solve buffer, swapped with the iterate each round: the loop
+                         // allocates nothing after this.
+    let mut w = vec![0.0; a.rows()];
     for it in 0..max_iter {
-        let w = lu.solve(&v);
+        lu.solve_into(&v, &mut w);
         if !vec_ops::all_finite(&w) {
             return Err(LinalgError::InvalidInput(
                 "inverse iteration broke down".into(),
@@ -137,13 +140,12 @@ pub fn inverse_power_iteration(
                 iterations: it,
             });
         }
-        let mut w = w;
         if normalize(&mut w) == 0.0 {
             return Err(LinalgError::InvalidInput(
                 "inverse iteration broke down".into(),
             ));
         }
-        v = w;
+        std::mem::swap(&mut v, &mut w);
     }
     Ok(EigenEstimate {
         value: 1.0 / mu,

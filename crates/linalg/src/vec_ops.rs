@@ -1,12 +1,52 @@
 //! BLAS-1 style vector kernels used across the workspace.
+//!
+//! # Determinism contract
+//!
+//! The reductions ([`dot`], and through it [`norm2`]) use a *fixed* chunked
+//! order: four independent lane accumulators over indices `≡ 0..3 (mod 4)`,
+//! combined as `(l0 + l1) + (l2 + l3)`, then the ≤ 3 tail elements added
+//! sequentially. The order depends only on the vector length — never on
+//! alignment, build flags, or thread schedule — so results are bitwise
+//! reproducible across runs and refactors, while the four independent
+//! chains give the instruction-level parallelism the old serial `sum()`
+//! could not. `crate::kernels::spec_dot` is the executable specification
+//! the property suite pins this kernel against at 0 ULP; DESIGN.md §12
+//! documents the contract.
 
-/// Dot product. Panics on length mismatch.
+/// Dot product in the fixed chunked reduction order. Panics on length
+/// mismatch.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    // Two 4-element chunks per pass: lane `t` still consumes its indices
+    // `≡ t (mod 4)` in ascending order (two sequential adds per pass), so
+    // the reduction order is exactly the documented one — the unroll only
+    // halves loop overhead and lets the four lanes pack.
+    let mut lanes = [0.0f64; 4];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        for t in 0..4 {
+            lanes[t] += pa[t] * pb[t];
+        }
+        for t in 0..4 {
+            lanes[t] += pa[4 + t] * pb[4 + t];
+        }
+    }
+    let mut ca4 = ca.remainder().chunks_exact(4);
+    let mut cb4 = cb.remainder().chunks_exact(4);
+    for (pa, pb) in (&mut ca4).zip(&mut cb4) {
+        for t in 0..4 {
+            lanes[t] += pa[t] * pb[t];
+        }
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (x, y) in ca4.remainder().iter().zip(cb4.remainder()) {
+        acc += x * y;
+    }
+    acc
 }
 
-/// Euclidean norm ‖v‖₂.
+/// Euclidean norm ‖v‖₂ (the square root of the chunked [`dot`]).
 pub fn norm2(v: &[f64]) -> f64 {
     dot(v, v).sqrt()
 }
@@ -16,10 +56,19 @@ pub fn norm_inf(v: &[f64]) -> f64 {
     v.iter().fold(0.0, |m, &x| m.max(x.abs()))
 }
 
-/// `y ← y + alpha · x`. Panics on length mismatch.
+/// `y ← y + alpha · x`, unrolled four wide (per-element, so bitwise
+/// identical to the plain loop). Panics on length mismatch.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (py, px) in (&mut cy).zip(&mut cx) {
+        py[0] += alpha * px[0];
+        py[1] += alpha * px[1];
+        py[2] += alpha * px[2];
+        py[3] += alpha * px[3];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -72,10 +121,29 @@ mod tests {
     }
 
     #[test]
+    fn dot_matches_serial_to_roundoff_on_long_vectors() {
+        let a: Vec<f64> = (0..103).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..103).map(|i| (i as f64 * 0.11).cos()).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - serial).abs() < 1e-12 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_order_is_length_deterministic() {
+        // Same data, same length → same bits, run to run and slice to slice.
+        let a: Vec<f64> = (0..29).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let b: Vec<f64> = (0..29).map(|i| (i as f64) - 13.5).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
     fn axpy_accumulates() {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, -1.0], &mut y);
         assert_eq!(y, vec![7.0, -1.0]);
+        let mut long = vec![0.0; 9];
+        axpy(2.0, &[1.0; 9], &mut long);
+        assert_eq!(long, vec![2.0; 9]);
     }
 
     #[test]

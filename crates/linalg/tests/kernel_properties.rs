@@ -1,0 +1,223 @@
+//! 0-ULP pins of the blocked production kernels against the retained
+//! scalar references in `mea_linalg::kernels` (DESIGN.md §12).
+//!
+//! Blocking only interleaves independent element chains, so agreement is
+//! exact equality of bits, not a tolerance — any reordering of a single
+//! element's reduction is a test failure here.
+
+use mea_linalg::kernels::{naive, spec_dot};
+use mea_linalg::{vec_ops, CholeskyFactor, CooTriplets, CsrMatrix, DenseMatrix, LuFactor};
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed;
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m[(r, c)] = lcg(&mut state);
+        }
+    }
+    m
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    (0..n).map(|_| lcg(&mut state)).collect()
+}
+
+/// S.p.d.-by-construction matrix `MᵀM + delta·I`; small `delta` gives the
+/// near-singular inputs the blocking must survive identically.
+fn spd_matrix(n: usize, seed: u64, delta: f64) -> DenseMatrix {
+    let m = random_matrix(n, n, seed);
+    let mut a = m.transpose().mul(&m);
+    for i in 0..n {
+        a[(i, i)] += delta;
+    }
+    a
+}
+
+fn random_csr(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed ^ 0xABCDEF;
+    let mut t = CooTriplets::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = lcg(&mut state);
+            // ~40% fill, plus exact zeros left structurally present now
+            // and then via duplicate cancellation elsewhere.
+            if v > 0.2 {
+                t.push(r, c, v);
+            }
+        }
+    }
+    t.to_csr()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    /// vec_ops::dot is exactly the chunked specification.
+    #[test]
+    fn prop_dot_matches_spec(len in 0usize..64, seed in any::<u64>()) {
+        let a = random_vec(len, seed);
+        let b = random_vec(len, seed.wrapping_add(1));
+        prop_assert_eq!(vec_ops::dot(&a, &b).to_bits(), spec_dot(&a, &b).to_bits());
+        prop_assert_eq!(
+            vec_ops::norm2(&a).to_bits(),
+            spec_dot(&a, &a).sqrt().to_bits()
+        );
+    }
+
+    /// Blocked mul_vec is bitwise the per-row serial reference.
+    #[test]
+    fn prop_mul_vec_matches_naive(rows in 1usize..24, cols in 1usize..24, seed in any::<u64>()) {
+        let a = random_matrix(rows, cols, seed);
+        let x = random_vec(cols, seed);
+        let mut want = vec![0.0; rows];
+        naive::mul_vec_into(&a, &x, &mut want);
+        let mut got = vec![0.0; rows];
+        a.mul_vec_into(&x, &mut got);
+        assert_bits_eq(&got, &want, "mul_vec");
+        assert_bits_eq(&a.mul_vec(&x), &want, "mul_vec (allocating)");
+    }
+
+    /// Blocked mul is bitwise the scalar ikj reference.
+    #[test]
+    fn prop_mul_matches_naive(m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in any::<u64>()) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed.wrapping_add(7));
+        let got = a.mul(&b);
+        let want = naive::mul(&a, &b);
+        assert_bits_eq(got.as_slice(), want.as_slice(), "mul");
+    }
+
+    /// Row-pair blocked Cholesky factor, solve, and refactor_from are
+    /// bitwise the scalar reference, including near-singular inputs.
+    #[test]
+    fn prop_cholesky_matches_naive(n in 1usize..24, seed in any::<u64>(), tiny in any::<bool>()) {
+        let delta = if tiny { 1e-10 } else { 1.0 };
+        let a = spd_matrix(n, seed, delta);
+        match (a.cholesky(), naive::cholesky_factor(&a)) {
+            (Ok(f), Ok(l)) => {
+                assert_bits_eq(f.factor_data(), &l, "cholesky factor");
+                let b = random_vec(n, seed);
+                let mut got = vec![0.0; n];
+                f.solve_into(&b, &mut got);
+                let want = naive::cholesky_solve(&l, n, &b);
+                assert_bits_eq(&got, &want, "cholesky solve");
+                assert_bits_eq(&f.solve(&b), &want, "cholesky solve (allocating)");
+                // Refactoring into a dirty factor gives the same bits.
+                let mut f2 = CholeskyFactor::empty();
+                f2.refactor_from(&spd_matrix(n, seed ^ 0xFF, 1.0)).unwrap();
+                f2.refactor_from(&a).unwrap();
+                assert_bits_eq(f2.factor_data(), &l, "cholesky refactor_from");
+            }
+            (Err(_), Err(_)) => {}
+            (got, want) => panic!("outcome mismatch: {got:?} vs {want:?}"),
+        }
+    }
+
+    /// inverse_into: diagonal + lower triangle bitwise-match the
+    /// per-column reference; strict upper triangle is its exact mirror.
+    #[test]
+    fn prop_cholesky_inverse_into_matches(n in 1usize..24, seed in any::<u64>()) {
+        let a = spd_matrix(n, seed, 1.0);
+        let f = a.cholesky().unwrap();
+        let want = naive::cholesky_inverse(f.factor_data(), n);
+        let full = f.inverse();
+        assert_bits_eq(full.as_slice(), want.as_slice(), "inverse (per-column)");
+        let mut got = DenseMatrix::zeros(n, n);
+        let mut scratch = vec![0.0; n];
+        f.inverse_into(&mut got, &mut scratch);
+        for r in 0..n {
+            for c in 0..=r {
+                assert_eq!(
+                    got[(r, c)].to_bits(),
+                    want[(r, c)].to_bits(),
+                    "inverse_into lower ({r},{c})"
+                );
+            }
+            for c in (r + 1)..n {
+                assert_eq!(
+                    got[(r, c)].to_bits(),
+                    got[(c, r)].to_bits(),
+                    "inverse_into mirror ({r},{c})"
+                );
+                // The mirrored entry still agrees with the reference to
+                // rounding (symmetry holds up to the factor's accuracy).
+                let diff = (got[(r, c)] - want[(r, c)]).abs();
+                let scale = want[(r, c)].abs().max(1.0);
+                prop_assert!(diff <= 1e-9 * scale, "inverse_into upper ({r},{c})");
+            }
+        }
+    }
+
+    /// Two-row blocked LU (factor, permutation, solve) is bitwise the
+    /// scalar reference; singular inputs fail on the same column.
+    #[test]
+    fn prop_lu_matches_naive(n in 1usize..24, seed in any::<u64>(), rank_deficient in any::<bool>()) {
+        let mut a = random_matrix(n, n, seed);
+        if rank_deficient && n > 1 {
+            // Copy a row to force a pivot breakdown somewhere.
+            let src: Vec<f64> = a.row(0).to_vec();
+            a.row_mut(n / 2).copy_from_slice(&src);
+        }
+        match (a.lu(), naive::lu_factor(&a)) {
+            (Ok(f), Ok((lu, perm, _))) => {
+                assert_bits_eq(f.lu_data(), &lu, "lu factor");
+                prop_assert_eq!(f.perm(), &perm[..]);
+                let b = random_vec(n, seed);
+                let mut got = vec![0.0; n];
+                f.solve_into(&b, &mut got);
+                let want = naive::lu_solve(&lu, &perm, n, &b);
+                assert_bits_eq(&got, &want, "lu solve");
+                assert_bits_eq(&f.solve(&b), &want, "lu solve (allocating)");
+                // Refactor into a dirty factor gives the same bits.
+                let mut f2 = LuFactor::empty();
+                f2.refactor_from(&random_matrix(n, n, seed ^ 0x55)).ok();
+                f2.refactor_from(&a).unwrap();
+                assert_bits_eq(f2.lu_data(), &lu, "lu refactor_from");
+            }
+            (Err(eg), Err(ew)) => prop_assert_eq!(format!("{eg:?}"), format!("{ew:?}")),
+            (got, want) => panic!("outcome mismatch: {got:?} vs {want:?}"),
+        }
+    }
+
+    /// Fused CSR kernels are bitwise the unfused compositions.
+    #[test]
+    fn prop_csr_fused_kernels_match(rows in 1usize..24, cols in 1usize..24, seed in any::<u64>()) {
+        let a = random_csr(rows, cols, seed);
+        let p = random_vec(cols, seed);
+        // Fused q = A·p + ‖q‖² vs mul_vec_into + chunked dot.
+        let mut q_want = vec![0.0; rows];
+        a.mul_vec_into(&p, &mut q_want);
+        let qq_want = vec_ops::dot(&q_want, &q_want);
+        let mut q_got = vec![0.0; rows];
+        let qq_got = a.mul_vec_norm_sq_into(&p, &mut q_got);
+        assert_bits_eq(&q_got, &q_want, "fused mat-vec");
+        prop_assert_eq!(qq_got.to_bits(), qq_want.to_bits());
+        // Fused r += α·q; s = Aᵀ·r vs axpy + mul_vec_transposed. Inject an
+        // exact zero row so the skip path is exercised on both sides.
+        let alpha = lcg(&mut { seed ^ 3 });
+        let mut r_want = random_vec(rows, seed ^ 11);
+        r_want[rows / 2] = -alpha * q_want[rows / 2];
+        let mut r_got = r_want.clone();
+        vec_ops::axpy(alpha, &q_want, &mut r_want);
+        let s_want = a.mul_vec_transposed(&r_want);
+        let mut s_got = vec![0.0; cols];
+        a.axpy_mul_transposed_into(alpha, &q_got, &mut r_got, &mut s_got);
+        assert_bits_eq(&r_got, &r_want, "fused residual update");
+        assert_bits_eq(&s_got, &s_want, "fused transposed mat-vec");
+    }
+}

@@ -22,7 +22,49 @@
 
 use crate::graph::WireId;
 use crate::grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
-use mea_linalg::{DenseMatrix, LinalgError};
+use mea_linalg::{CholeskyFactor, DenseMatrix, LinalgError};
+
+/// Reusable scratch for [`ForwardSolver::refactor`]: the grounded
+/// Laplacian, its Cholesky factor, the reduced inverse, and one scratch
+/// column, all sized for a single geometry. One workspace amortizes every
+/// per-iteration allocation of the forward factorization; it resizes
+/// itself if handed a different geometry.
+#[derive(Clone, Debug)]
+pub struct ForwardWorkspace {
+    dim: usize,
+    lap: DenseMatrix,
+    chol: CholeskyFactor,
+    reduced_inv: DenseMatrix,
+    col: Vec<f64>,
+}
+
+impl ForwardWorkspace {
+    /// A workspace sized for `grid` (grounded order `m + n − 1`).
+    pub fn new(grid: MeaGrid) -> Self {
+        Self::with_dim(grid.rows() + grid.cols() - 1)
+    }
+
+    /// An unsized workspace; buffers grow on first use.
+    pub fn empty() -> Self {
+        Self::with_dim(0)
+    }
+
+    fn with_dim(dim: usize) -> Self {
+        ForwardWorkspace {
+            dim,
+            lap: DenseMatrix::zeros(dim, dim),
+            chol: CholeskyFactor::empty(),
+            reduced_inv: DenseMatrix::zeros(dim, dim),
+            col: vec![0.0; dim],
+        }
+    }
+
+    fn ensure(&mut self, dim: usize) {
+        if self.dim != dim {
+            *self = Self::with_dim(dim);
+        }
+    }
+}
 
 /// Wire potentials for one driven endpoint pair, normalized to
 /// `u(V_j) = 0` and `u(H_i) = voltage`.
@@ -94,47 +136,88 @@ impl ForwardSolver {
     /// happen for physical maps — the grounded Laplacian of a connected
     /// graph is positive definite).
     pub fn new(r: &ResistorGrid) -> Result<Self, LinalgError> {
+        let mut ws = ForwardWorkspace::new(r.grid());
+        Self::with_workspace(r, &mut ws)
+    }
+
+    /// Like [`ForwardSolver::new`], but factoring through a caller-owned
+    /// [`ForwardWorkspace`] so repeated constructions share scratch
+    /// buffers. Results are bitwise identical to `new` (which delegates
+    /// here).
+    pub fn with_workspace(
+        r: &ResistorGrid,
+        ws: &mut ForwardWorkspace,
+    ) -> Result<Self, LinalgError> {
+        let grid = r.grid();
+        let nodes = grid.rows() + grid.cols();
+        let mut solver = ForwardSolver {
+            grid,
+            conductances: vec![0.0; grid.crossings()],
+            minv: DenseMatrix::zeros(nodes, nodes),
+        };
+        solver.refactor(r, ws)?;
+        Ok(solver)
+    }
+
+    /// Refactors this solver in place for a new resistor map of the same
+    /// geometry, reusing the workspace — zero allocations in steady state
+    /// and bitwise identical to building a fresh solver with
+    /// [`ForwardSolver::new`]. On `Err` the solver state is unspecified
+    /// and must be refactored before further queries.
+    pub fn refactor(
+        &mut self,
+        r: &ResistorGrid,
+        ws: &mut ForwardWorkspace,
+    ) -> Result<(), LinalgError> {
+        if r.grid() != self.grid {
+            return Err(LinalgError::InvalidInput(
+                "refactor: geometry mismatch".into(),
+            ));
+        }
         if !r.is_physical() {
             return Err(LinalgError::InvalidInput(
                 "resistor map must be strictly positive and finite".into(),
             ));
         }
-        let grid = r.grid();
-        let (m, n) = (grid.rows(), grid.cols());
-        let nodes = m + n;
-        let conductances: Vec<f64> = r.as_slice().iter().map(|&x| 1.0 / x).collect();
+        let _span = mea_obs::span("refactor");
+        let (m, n) = (self.grid.rows(), self.grid.cols());
         // Grounded Laplacian: drop the last node (vertical wire n−1).
-        let dim = nodes - 1;
-        let mut lap = DenseMatrix::zeros(dim, dim);
+        let dim = m + n - 1;
+        ws.ensure(dim);
+        for (g, &x) in self.conductances.iter_mut().zip(r.as_slice()) {
+            *g = 1.0 / x;
+        }
+        ws.lap.as_mut_slice().fill(0.0);
         for i in 0..m {
             for j in 0..n {
-                let g = conductances[grid.pair_index(i, j)];
+                let g = self.conductances[self.grid.pair_index(i, j)];
                 let (a, b) = (i, m + j);
                 if a < dim {
-                    lap[(a, a)] += g;
+                    ws.lap[(a, a)] += g;
                 }
                 if b < dim {
-                    lap[(b, b)] += g;
+                    ws.lap[(b, b)] += g;
                 }
                 if a < dim && b < dim {
-                    lap[(a, b)] -= g;
-                    lap[(b, a)] -= g;
+                    ws.lap[(a, b)] -= g;
+                    ws.lap[(b, a)] -= g;
                 }
             }
         }
-        let reduced_inv = lap.cholesky()?.inverse();
-        // Zero-pad to full node order.
-        let mut minv = DenseMatrix::zeros(nodes, nodes);
-        for a in 0..dim {
-            for b in 0..dim {
-                minv[(a, b)] = reduced_inv[(a, b)];
-            }
+        {
+            let _s = mea_obs::span("factor");
+            ws.chol.refactor_from(&ws.lap)?;
         }
-        Ok(ForwardSolver {
-            grid,
-            conductances,
-            minv,
-        })
+        {
+            let _s = mea_obs::span("inverse");
+            ws.chol.inverse_into(&mut ws.reduced_inv, &mut ws.col);
+        }
+        // Zero-pad to full node order (the ground row/column of minv are
+        // written once at construction and never touched again).
+        for a in 0..dim {
+            self.minv.row_mut(a)[..dim].copy_from_slice(&ws.reduced_inv.row(a)[..dim]);
+        }
+        Ok(())
     }
 
     /// The geometry.
@@ -440,6 +523,40 @@ mod tests {
     fn bounds_checked() {
         let fs = ForwardSolver::new(&uniform(2, 1000.0)).unwrap();
         let _ = fs.effective_resistance(2, 0);
+    }
+
+    #[test]
+    fn refactor_is_bitwise_equal_to_new() {
+        let mut a = uniform(3, 1500.0);
+        a.set(0, 2, 7300.0);
+        let mut b = uniform(3, 2500.0);
+        b.set(1, 1, 400.0);
+        // Refactoring a solver built on `a` onto map `b` must give bits
+        // identical to constructing a fresh solver on `b`.
+        let mut ws = ForwardWorkspace::new(a.grid());
+        let mut fs = ForwardSolver::with_workspace(&a, &mut ws).unwrap();
+        fs.refactor(&b, &mut ws).unwrap();
+        let fresh = ForwardSolver::new(&b).unwrap();
+        assert_eq!(fs.minv.as_slice().len(), fresh.minv.as_slice().len());
+        for (x, y) in fs.minv.as_slice().iter().zip(fresh.minv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "minv bits diverge after refactor");
+        }
+        // And refactoring back to `a` matches a fresh `a` solver too.
+        fs.refactor(&a, &mut ws).unwrap();
+        let fresh_a = ForwardSolver::new(&a).unwrap();
+        for (x, y) in fs.minv.as_slice().iter().zip(fresh_a.minv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "round-trip refactor diverges");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_geometry_mismatch_and_nonphysical() {
+        let mut ws = ForwardWorkspace::new(MeaGrid::square(2));
+        let mut fs = ForwardSolver::with_workspace(&uniform(2, 1000.0), &mut ws).unwrap();
+        let wrong = uniform(3, 1000.0);
+        assert!(fs.refactor(&wrong, &mut ws).is_err());
+        let dead = CrossingMatrix::filled(MeaGrid::square(2), 0.0);
+        assert!(fs.refactor(&dead, &mut ws).is_err());
     }
 
     proptest! {

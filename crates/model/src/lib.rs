@@ -30,7 +30,7 @@ pub mod rng;
 
 pub use anomaly::{AnomalyConfig, AnomalyRegion};
 pub use dataset::{DatasetError, Measurement, WetLabDataset};
-pub use forward::{ForwardSolver, PairPotentials};
+pub use forward::{ForwardSolver, ForwardWorkspace, PairPotentials};
 pub use graph::{CircuitGraph, WireId};
 pub use grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
 pub use noise::NoiseModel;

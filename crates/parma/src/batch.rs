@@ -23,10 +23,18 @@
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
 use crate::pipeline::{Pipeline, TimePointResult};
-use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan};
+use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
 use mea_model::{MeaGrid, WetLabDataset, ZMatrix};
 use mea_parallel::{Strategy, WorkStealingPool};
+use std::cell::RefCell;
 use std::time::Instant;
+
+thread_local! {
+    /// One solve scratch per worker thread: items on the same worker share
+    /// factorization buffers across solves. Carries no data-dependent
+    /// state, so batch results stay bitwise independent of scheduling.
+    static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
 
 /// A batch driver: one configuration, `threads` outer workers.
 #[derive(Clone, Debug)]
@@ -75,7 +83,9 @@ impl BatchSolver {
                 let z = &measurements[i];
                 let plan = lookup(&plans, z.grid());
                 let t0 = Instant::now();
-                let out = solver.solve_with_plan(plan, z, None);
+                let out = SCRATCH.with(|scratch| {
+                    solver.solve_with_scratch(plan, z, None, &mut scratch.borrow_mut())
+                });
                 (out, t0.elapsed().as_secs_f64() * 1e3)
             });
         record_batch_obs(timed.iter().map(|(out, ms)| (out.is_err(), *ms)));

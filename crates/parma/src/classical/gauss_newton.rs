@@ -51,6 +51,10 @@ pub fn gauss_newton(
     let grid = z.grid();
     let mut g = resistors_to_g(initial);
     let mut last_residual = f64::INFINITY;
+    // One LU factor refactored in place per iteration, plus a step buffer,
+    // instead of a fresh factorization allocation per normal-equation solve.
+    let mut lu = mea_linalg::LuFactor::empty();
+    let mut delta = vec![0.0; g.len()];
     for it in 0..opts.max_iter {
         let r = g_to_resistors(grid, &g, opts.g_floor);
         let fj = FullJacobian::assemble(&r, z)?;
@@ -67,7 +71,8 @@ pub fn gauss_newton(
             }
         }
         let rhs: Vec<f64> = fj.gradient().into_iter().map(|v| -v).collect();
-        let delta = normal.solve(&rhs).map_err(ParmaError::Linalg)?;
+        lu.refactor_from(&normal).map_err(ParmaError::Linalg)?;
+        lu.solve_into(&rhs, &mut delta);
         // Damped line step: halve until the iterate stays physical.
         let mut step = 1.0;
         loop {

@@ -116,6 +116,10 @@ pub fn tikhonov(
     let g_prior = resistors_to_g(prior);
     let mut g = g_prior.clone();
     let penalty = penalty_matrix(grid, opts.regularizer);
+    // One LU factor refactored in place per iteration, plus a step buffer,
+    // instead of a fresh factorization allocation per normal-equation solve.
+    let mut lu = mea_linalg::LuFactor::empty();
+    let mut delta = vec![0.0; g.len()];
     for _ in 0..opts.max_iter {
         let r = g_to_resistors(grid, &g, opts.g_floor);
         let fj = FullJacobian::assemble(&r, z)?;
@@ -144,7 +148,8 @@ pub fn tikhonov(
             .zip(&pull)
             .map(|(gr, pl)| -gr - ridge * pl)
             .collect();
-        let delta = normal.solve(&rhs).map_err(ParmaError::Linalg)?;
+        lu.refactor_from(&normal).map_err(ParmaError::Linalg)?;
+        lu.solve_into(&rhs, &mut delta);
         for (gi, di) in g.iter_mut().zip(&delta) {
             *gi = (*gi + di).max(opts.g_floor);
         }

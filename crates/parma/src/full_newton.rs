@@ -13,9 +13,9 @@
 use crate::error::ParmaError;
 use mea_equations::{EquationSystem, JacobianTemplate};
 #[cfg(test)]
-use mea_linalg::CooTriplets;
-use mea_linalg::{cgls, vec_ops, CglsOptions, CsrMatrix, CsrPattern};
-use mea_model::{ForwardSolver, ResistorGrid, ZMatrix};
+use mea_linalg::{cgls, CooTriplets};
+use mea_linalg::{cgls_into, vec_ops, CglsOptions, CglsWorkspace, CsrMatrix, CsrPattern};
+use mea_model::{ForwardSolver, ForwardWorkspace, ResistorGrid, ZMatrix};
 
 /// Options for [`full_newton_inverse`].
 #[derive(Clone, Copy, Debug)]
@@ -184,6 +184,17 @@ pub fn full_newton_inverse(
     let mut tikhonov: Option<TikhonovCache> = None;
     let mut fx = sys.residuals(&x);
     let mut regularized_steps = 0usize;
+    // Reusable numeric state: one CGLS workspace shared by the plain step
+    // and every damped retry, plus the right-hand-side and line-search
+    // buffers — the outer iteration allocates nothing in steady state.
+    let mut cgls_ws = CglsWorkspace::new();
+    let mut neg_f = vec![0.0; fx.len()];
+    let mut rhs: Vec<f64> = Vec::new();
+    let mut step_scratch = StepScratch::new(grid);
+    let inner_opts = CglsOptions {
+        tol: opts.inner_tol,
+        max_iter: opts.inner_max_iter,
+    };
     for it in 0..opts.max_iter {
         let res = vec_ops::norm_inf(&fx);
         trace.push(res);
@@ -196,17 +207,20 @@ pub fn full_newton_inverse(
             });
         }
         template.numeric(&x, &mut jac);
-        let neg_f: Vec<f64> = fx.iter().map(|v| -v).collect();
-        let inner = cgls(
-            &jac,
-            &neg_f,
-            &CglsOptions {
-                tol: opts.inner_tol,
-                max_iter: opts.inner_max_iter,
-            },
-        )
-        .map_err(ParmaError::Linalg)?;
-        let mut advanced = try_step(&sys, &mut x, &mut fx, &inner.x, res, crossings, opts);
+        for (o, &v) in neg_f.iter_mut().zip(&fx) {
+            *o = -v;
+        }
+        cgls_into(&jac, &neg_f, &inner_opts, &mut cgls_ws).map_err(ParmaError::Linalg)?;
+        let mut advanced = try_step(
+            &sys,
+            &mut x,
+            &mut fx,
+            cgls_ws.solution(),
+            res,
+            crossings,
+            opts,
+            &mut step_scratch,
+        );
         if !advanced {
             // The plain Gauss-Newton direction is unusable even fully
             // backtracked — typically a (near-)singular Jacobian making the
@@ -214,24 +228,26 @@ pub fn full_newton_inverse(
             // escalating strength: stack √λ·I under J so the step minimizes
             // ‖J·δ + F‖² + λ‖δ‖² and shortens toward steepest descent.
             let scale = max_column_norm_sq(&jac).max(f64::MIN_POSITIVE);
-            let mut rhs = neg_f.clone();
+            rhs.clear();
+            rhs.extend_from_slice(&neg_f);
             rhs.resize(neg_f.len() + jac.cols(), 0.0);
             let cache = tikhonov.get_or_insert_with(|| TikhonovCache::new(template.pattern()));
             for k in 0..4 {
                 let lambda = scale * 1e-6 * 100f64.powi(k);
                 let aug = cache.refill(&jac, lambda);
-                let damped = match cgls(
-                    aug,
-                    &rhs,
-                    &CglsOptions {
-                        tol: opts.inner_tol,
-                        max_iter: opts.inner_max_iter,
-                    },
+                if cgls_into(aug, &rhs, &inner_opts, &mut cgls_ws).is_err() {
+                    continue;
+                }
+                if try_step(
+                    &sys,
+                    &mut x,
+                    &mut fx,
+                    cgls_ws.solution(),
+                    res,
+                    crossings,
+                    opts,
+                    &mut step_scratch,
                 ) {
-                    Ok(d) => d,
-                    Err(_) => continue,
-                };
-                if try_step(&sys, &mut x, &mut fx, &damped.x, res, crossings, opts) {
                     advanced = true;
                     regularized_steps += 1;
                     mea_obs::counter_add("parma.full_newton.recoveries", 1);
@@ -265,9 +281,29 @@ pub fn full_newton_inverse(
     }
 }
 
+/// Reusable line-search buffers: candidate point, its residuals, and the
+/// resistor scratch `EquationSystem::residuals_into` refreshes per call.
+struct StepScratch {
+    x_new: Vec<f64>,
+    f_new: Vec<f64>,
+    r: ResistorGrid,
+}
+
+impl StepScratch {
+    fn new(grid: mea_model::MeaGrid) -> Self {
+        StepScratch {
+            x_new: Vec::new(),
+            f_new: Vec::new(),
+            r: ResistorGrid::filled(grid, 0.0),
+        }
+    }
+}
+
 /// One backtracking line search along `delta` with the physicality guard on
-/// the `R` block; advances `x`/`fx` in place and reports whether the
-/// residual strictly improved.
+/// the `R` block; advances `x`/`fx` in place (by swapping with the scratch
+/// buffers — no allocation) and reports whether the residual strictly
+/// improved.
+#[allow(clippy::too_many_arguments)]
 fn try_step(
     sys: &EquationSystem,
     x: &mut Vec<f64>,
@@ -276,18 +312,22 @@ fn try_step(
     res: f64,
     crossings: usize,
     opts: &FullNewtonOptions,
+    scratch: &mut StepScratch,
 ) -> bool {
     let mut step = 1.0;
     for _ in 0..=opts.max_backtracks {
-        let mut x_new = x.clone();
-        vec_ops::axpy(step, delta, &mut x_new);
-        let r_ok = x_new[..crossings].iter().all(|v| *v > 0.0 && v.is_finite());
+        scratch.x_new.clear();
+        scratch.x_new.extend_from_slice(x);
+        vec_ops::axpy(step, delta, &mut scratch.x_new);
+        let r_ok = scratch.x_new[..crossings]
+            .iter()
+            .all(|v| *v > 0.0 && v.is_finite());
         if r_ok {
-            let f_new = sys.residuals(&x_new);
-            let res_new = vec_ops::norm_inf(&f_new);
+            sys.residuals_into(&scratch.x_new, &mut scratch.f_new, &mut scratch.r);
+            let res_new = vec_ops::norm_inf(&scratch.f_new);
             if res_new.is_finite() && res_new < res {
-                *x = x_new;
-                *fx = f_new;
+                std::mem::swap(x, &mut scratch.x_new);
+                std::mem::swap(fx, &mut scratch.f_new);
                 return true;
             }
         }
@@ -301,7 +341,8 @@ fn try_step(
 /// mismatch (diagnostic for tests and examples).
 pub fn full_newton_check(z: &ZMatrix, voltage: f64) -> Result<(ResistorGrid, f64), ParmaError> {
     let out = full_newton_inverse(z, voltage, &FullNewtonOptions::default())?;
-    let z_again = ForwardSolver::new(&out.resistors)?.solve_all();
+    let mut ws = ForwardWorkspace::new(z.grid());
+    let z_again = ForwardSolver::with_workspace(&out.resistors, &mut ws)?.solve_all();
     Ok((out.resistors, z_again.rel_max_diff(z)))
 }
 

@@ -58,7 +58,9 @@ pub use config::ParmaConfig;
 pub use detect::{detect_anomalies, DetectionReport};
 pub use error::ParmaError;
 pub use formation::form_equations_parallel;
-pub use solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan};
+pub use solver::{
+    ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
+};
 
 /// Everything a typical caller needs.
 pub mod prelude {
@@ -68,7 +70,9 @@ pub mod prelude {
     pub use crate::detect::{detect_anomalies, DetectionReport};
     pub use crate::error::ParmaError;
     pub use crate::pipeline::{Pipeline, TimePointResult};
-    pub use crate::solver::{ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan};
+    pub use crate::solver::{
+        ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
+    };
     pub use mea_model::{
         AnomalyConfig, CrossingMatrix, ForwardSolver, MeaGrid, ResistorGrid, WetLabDataset, ZMatrix,
     };

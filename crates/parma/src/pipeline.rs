@@ -11,7 +11,7 @@
 use crate::config::ParmaConfig;
 use crate::detect::{detect_anomalies, DetectionReport};
 use crate::error::ParmaError;
-use crate::solver::{ParmaSolution, ParmaSolver};
+use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
 use mea_model::WetLabDataset;
 
 /// One time point's outcome.
@@ -67,12 +67,21 @@ impl Pipeline {
         let _span = mea_obs::span("pipeline/run");
         let mut out: Vec<TimePointResult> = Vec::with_capacity(dataset.measurements.len());
         let mut warm: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)> = None;
+        // One plan and one scratch shared across the session's time points
+        // (they all use the same geometry); bitwise identical to fresh
+        // per-point solves, just without the rebuild cost.
+        let mut plan: Option<SolvePlan> = None;
+        let mut scratch = SolveScratch::new();
         for m in &dataset.measurements {
             let _tp = mea_obs::span("time_point");
             let solver = ParmaSolver::new(ParmaConfig {
                 voltage: m.voltage,
                 ..self.config
             });
+            if plan.as_ref().map(|p| p.grid()) != Some(m.z.grid()) {
+                plan = Some(SolvePlan::new(m.z.grid()));
+            }
+            let plan_ref = plan.as_ref().expect("plan installed above");
             let solution = match &warm {
                 Some((prev_r, prev_z)) => {
                     let mut init = prev_r.clone();
@@ -80,9 +89,9 @@ impl Pipeline {
                         let ratio = m.z.get(i, j) / prev_z.get(i, j);
                         init.set(i, j, init.get(i, j) * ratio);
                     }
-                    solver.solve_from(&m.z, init)?
+                    solver.solve_with_scratch(plan_ref, &m.z, Some(init), &mut scratch)?
                 }
-                None => solver.solve(&m.z)?,
+                None => solver.solve_with_scratch(plan_ref, &m.z, None, &mut scratch)?,
             };
             let detection = {
                 let _d = mea_obs::span("detect");
