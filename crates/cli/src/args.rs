@@ -39,16 +39,27 @@ impl Args {
     /// one value. Positionals are rejected — commands that take operands
     /// (e.g. `parma batch <dir>`) use [`Self::parse_with_positionals`].
     pub fn parse(raw: &[String]) -> Result<Self, ArgError> {
-        Self::parse_inner(raw, false)
+        Self::parse_inner(raw, false, &[])
     }
 
     /// Like [`Self::parse`], but bare (non-`--`) tokens are collected as
     /// positional operands, in order, instead of erroring.
     pub fn parse_with_positionals(raw: &[String]) -> Result<Self, ArgError> {
-        Self::parse_inner(raw, true)
+        Self::parse_inner(raw, true, &[])
     }
 
-    fn parse_inner(raw: &[String], allow_positionals: bool) -> Result<Self, ArgError> {
+    /// Like [`Self::parse_with_positionals`], but flags named in
+    /// `bool_flags` are value-less switches (`--resume`) recorded as
+    /// `"true"` instead of consuming the next token.
+    pub fn parse_with_switches(raw: &[String], bool_flags: &[&str]) -> Result<Self, ArgError> {
+        Self::parse_inner(raw, true, bool_flags)
+    }
+
+    fn parse_inner(
+        raw: &[String],
+        allow_positionals: bool,
+        bool_flags: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut values = BTreeMap::new();
         let mut positionals = Vec::new();
         let mut it = raw.iter();
@@ -60,10 +71,15 @@ impl Args {
                 }
                 return Err(ArgError::UnexpectedPositional(tok.clone()));
             };
-            let Some(val) = it.next() else {
-                return Err(ArgError::MissingValue(key.to_string()));
+            let val = if bool_flags.contains(&key) {
+                "true".to_string()
+            } else {
+                let Some(val) = it.next() else {
+                    return Err(ArgError::MissingValue(key.to_string()));
+                };
+                val.clone()
             };
-            if values.insert(key.to_string(), val.clone()).is_some() {
+            if values.insert(key.to_string(), val).is_some() {
                 return Err(ArgError::Duplicate(key.to_string()));
             }
         }
@@ -71,6 +87,12 @@ impl Args {
             values,
             positionals,
         })
+    }
+
+    /// Whether a boolean switch (see [`Self::parse_with_switches`]) was
+    /// given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
     }
 
     /// All positional operands, in appearance order.
@@ -159,6 +181,24 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.get("anything"), None);
         assert!(a.positionals().is_empty());
+    }
+
+    #[test]
+    fn boolean_switches_take_no_value() {
+        let raw: Vec<String> = ["dir", "--resume", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_switches(&raw, &["resume"]).unwrap();
+        assert!(a.flag("resume"));
+        assert!(!a.flag("threads-nope"));
+        assert_eq!(a.get_or("threads", 0usize).unwrap(), 4);
+        assert_eq!(a.positionals(), ["dir"]);
+        // A trailing switch needs no value either.
+        let raw: Vec<String> = ["dir", "--resume"].iter().map(|s| s.to_string()).collect();
+        assert!(Args::parse_with_switches(&raw, &["resume"])
+            .unwrap()
+            .flag("resume"));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The CLI commands: generate, solve, batch, topology, equations, verify.
 
 use crate::args::Args;
+use crate::{journal, CliError, EXIT_QUARANTINED};
 use mea_equations::{form_all_equations, read_system, write_system, FormationCensus};
 use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid, WetLabDataset};
 use mea_parallel::Strategy;
 use mea_topology::{fundamental_cycles, mea_complex};
 use parma::persistence::anomaly_persistence;
 use parma::prelude::*;
+use parma::AttemptFailure;
 use std::io::Write;
+use std::time::Duration;
 
 fn grid_from(args: &Args) -> Result<MeaGrid, String> {
     match (args.get("rows"), args.get("cols")) {
@@ -136,19 +139,62 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// Optional `--key SECS` duration flag (fractional seconds).
+fn deadline_arg(args: &Args, key: &str) -> Result<Option<Duration>, String> {
+    let Some(s) = args.get(key) else {
+        return Ok(None);
+    };
+    let secs: f64 = s
+        .parse()
+        .map_err(|_| format!("flag --{key} has invalid value {s:?}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("flag --{key} must be a positive number of seconds"));
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// How one dataset file of the batch will be handled, in filename order.
+enum BatchEntry {
+    /// The journal already has this item's result; not re-solved.
+    Skipped,
+    /// The file failed ingestion; quarantined without ever being solved.
+    Unloadable(FailureReport),
+    /// Index into the supervised run's item list.
+    Work(usize),
+}
+
 /// `parma batch`: solve every dataset file in a directory concurrently
-/// over the work-stealing pool, one session per work item.
-pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+/// under the retry/quarantine supervisor. `--journal` appends one fsync'd
+/// JSON line per decided item; `--resume` skips items the journal already
+/// records as solved, bitwise-identically to an uninterrupted run. Any
+/// quarantined item makes the command exit with status
+/// [`EXIT_QUARANTINED`] after a per-taxonomy failure summary.
+pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let dir = args
         .positional(0)
-        .ok_or("missing dataset directory: parma batch <dir> [--threads T]")?;
+        .ok_or_else(|| "missing dataset directory: parma batch <dir> [--threads T]".to_string())?;
     if let Some(extra) = args.positional(1) {
-        return Err(format!("unexpected extra argument {extra:?}"));
+        return Err(format!("unexpected extra argument {extra:?}").into());
     }
     let threads: usize = args.get_or("threads", 4)?;
     let tol: f64 = args.get_or("tol", 1e-10)?;
     let detect_factor: f64 = args.get_or("detect", 1.5)?;
     let trace_path = args.get("trace");
+    let sup = SupervisorConfig {
+        max_retries: args.get_or("max-retries", 2)?,
+        solve_deadline: deadline_arg(args, "solve-deadline")?,
+        batch_deadline: deadline_arg(args, "deadline")?,
+        backoff: Duration::from_millis(args.get_or("backoff-ms", 25)?),
+    };
+    let journal_path = args.get("journal");
+    let resume = args.flag("resume");
+    if resume && journal_path.is_none() {
+        return Err(
+            "--resume needs --journal <file> to know what already finished"
+                .to_string()
+                .into(),
+        );
+    }
 
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read directory {dir:?}: {e}"))?
@@ -157,14 +203,73 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(format!("no dataset files in {dir:?}"));
+        return Err(format!("no dataset files in {dir:?}").into());
     }
-    let mut sessions = Vec::with_capacity(paths.len());
+
+    // On --resume, anything the journal records as solved stays solved;
+    // failed entries get a fresh chance (and a fresh journal line).
+    let already_done = match journal_path {
+        Some(j) if resume && std::path::Path::new(j).exists() => {
+            journal::load(std::path::Path::new(j))?
+        }
+        _ => Default::default(),
+    };
+
+    // Classify every file up front. Ingestion failures are quarantined
+    // items, not fatal errors — the rest of the batch still runs.
+    let mut names: Vec<String> = Vec::with_capacity(paths.len());
+    let mut entries: Vec<BatchEntry> = Vec::with_capacity(paths.len());
+    let mut sessions: Vec<WetLabDataset> = Vec::new();
+    let mut work_names: Vec<String> = Vec::new();
     for p in &paths {
-        let p_str = p.to_str().ok_or_else(|| format!("non-UTF-8 path {p:?}"))?;
-        sessions.push(
-            WetLabDataset::load(p_str).map_err(|e| format!("cannot load dataset {p:?}: {e}"))?,
-        );
+        let name = p
+            .file_name()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("non-UTF-8 path {p:?}"))?
+            .to_string();
+        if already_done.get(&name).map(String::as_str) == Some("ok") {
+            entries.push(BatchEntry::Skipped);
+        } else {
+            match WetLabDataset::load(p) {
+                Ok(session) => {
+                    entries.push(BatchEntry::Work(sessions.len()));
+                    sessions.push(session);
+                    work_names.push(name.clone());
+                }
+                Err(e) => {
+                    let err = ParmaError::from(e);
+                    let kind = parma::supervisor::classify(&err);
+                    let detail = format!("cannot load dataset: {err}");
+                    entries.push(BatchEntry::Unloadable(FailureReport {
+                        item: entries.len(),
+                        kind,
+                        detail: detail.clone(),
+                        attempts: vec![AttemptFailure {
+                            attempt: 0,
+                            kind,
+                            detail,
+                        }],
+                    }));
+                }
+            }
+        }
+        names.push(name);
+    }
+    let skipped = entries
+        .iter()
+        .filter(|e| matches!(e, BatchEntry::Skipped))
+        .count();
+
+    let journal = match journal_path {
+        Some(j) => Some(journal::Journal::open_append(std::path::Path::new(j))?),
+        None => None,
+    };
+    if let Some(j) = &journal {
+        for (name, entry) in names.iter().zip(&entries) {
+            if let BatchEntry::Unloadable(report) = entry {
+                j.record(&journal::entry_failed(name, report))?;
+            }
+        }
     }
 
     let config = ParmaConfig {
@@ -177,8 +282,22 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         mea_obs::reset();
         mea_obs::set_enabled(true);
     }
+    // `on_done` runs while the supervisor holds the batch; journal IO
+    // errors are collected and surfaced once the run finishes.
+    let journal_errors: std::sync::Mutex<Vec<String>> = Default::default();
+    let on_done = |i: usize, res: &Result<Vec<TimePointResult>, FailureReport>| {
+        if let Some(j) = &journal {
+            let line = match res {
+                Ok(tps) => journal::entry_ok(&work_names[i], tps),
+                Err(report) => journal::entry_failed(&work_names[i], report),
+            };
+            if let Err(e) = j.record(&line) {
+                journal_errors.lock().expect("journal error log").push(e);
+            }
+        }
+    };
     let t0 = std::time::Instant::now();
-    let run_result = solver.run_sessions(&sessions, detect_factor);
+    let run_result = solver.run_sessions_supervised(&sessions, detect_factor, &sup, &on_done);
     let elapsed = t0.elapsed();
     if let Some(trace) = trace_path {
         mea_obs::set_enabled(false);
@@ -187,47 +306,81 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())?;
     }
     let results = run_result.map_err(|e| format!("batch failed: {e}"))?;
+    if let Some(e) = journal_errors
+        .lock()
+        .expect("journal error log")
+        .first()
+        .cloned()
+    {
+        return Err(e.into());
+    }
 
     writeln!(
         out,
         "{dir}: {} dataset(s), {} thread(s)",
-        sessions.len(),
+        paths.len(),
         solver.threads()
     )
     .map_err(|e| e.to_string())?;
     let mut solves = 0usize;
-    let mut failures = 0usize;
-    for (path, res) in paths.iter().zip(&results) {
-        let name = path
-            .file_name()
-            .and_then(|s| s.to_str())
-            .unwrap_or("<dataset>");
-        match res {
-            Ok(time_points) => {
-                solves += time_points.len();
-                let iterations: usize = time_points.iter().map(|r| r.solution.iterations).sum();
-                let worst = time_points
-                    .iter()
-                    .map(|r| r.solution.residual)
-                    .fold(0.0f64, f64::max);
-                let last = time_points.last();
+    let mut quarantined: Vec<&FailureReport> = Vec::new();
+    for (name, entry) in names.iter().zip(&entries) {
+        match entry {
+            BatchEntry::Skipped => {
+                writeln!(out, "  {name}: already journaled — skipped")
+                    .map_err(|e| e.to_string())?;
+            }
+            BatchEntry::Unloadable(report) => {
+                quarantined.push(report);
                 writeln!(
                     out,
-                    "  {name}: {} time points, {} iterations, worst residual {:.2e}, \
-                     {} anomalies at hour {}",
-                    time_points.len(),
-                    iterations,
-                    worst,
-                    last.map_or(0, |r| r.detection.anomalies.len()),
-                    last.map_or(0, |r| r.hours)
+                    "  {name}: QUARANTINED [{}] — {}",
+                    report.kind.label(),
+                    report.detail
                 )
                 .map_err(|e| e.to_string())?;
             }
-            Err(e) => {
-                failures += 1;
-                writeln!(out, "  {name}: FAILED — {e}").map_err(|e| e.to_string())?;
-            }
+            BatchEntry::Work(i) => match &results[*i] {
+                Ok(time_points) => {
+                    solves += time_points.len();
+                    let iterations: usize = time_points.iter().map(|r| r.solution.iterations).sum();
+                    let worst = time_points
+                        .iter()
+                        .map(|r| r.solution.residual)
+                        .fold(0.0f64, f64::max);
+                    let last = time_points.last();
+                    writeln!(
+                        out,
+                        "  {name}: {} time points, {} iterations, worst residual {:.2e}, \
+                         {} anomalies at hour {}",
+                        time_points.len(),
+                        iterations,
+                        worst,
+                        last.map_or(0, |r| r.detection.anomalies.len()),
+                        last.map_or(0, |r| r.hours)
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                Err(report) => {
+                    quarantined.push(report);
+                    writeln!(
+                        out,
+                        "  {name}: QUARANTINED [{}] after {} attempt(s) — {}",
+                        report.kind.label(),
+                        report.attempts.len(),
+                        report.detail
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            },
         }
+    }
+    if skipped > 0 {
+        writeln!(
+            out,
+            "resume: {skipped} dataset(s) already journaled, skipped"
+        )
+        .map_err(|e| e.to_string())?;
     }
     let secs = elapsed.as_secs_f64();
     let rate = if secs > 0.0 {
@@ -237,14 +390,27 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     };
     writeln!(
         out,
-        "batch: {solves} solves in {:.1} ms — {rate:.1} solves/sec, {failures} failure(s)",
-        secs * 1e3
+        "batch: {solves} solves in {:.1} ms — {rate:.1} solves/sec, {} failure(s)",
+        secs * 1e3,
+        quarantined.len()
     )
     .map_err(|e| e.to_string())?;
-    if failures > 0 {
-        return Err(format!("{failures} dataset(s) failed to solve"));
+    if quarantined.is_empty() {
+        return Ok(());
     }
-    Ok(())
+    // Per-taxonomy summary: one line per failure kind, alphabetical.
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for report in &quarantined {
+        *counts.entry(report.kind.label()).or_default() += 1;
+    }
+    writeln!(out, "failures by kind:").map_err(|e| e.to_string())?;
+    for (label, count) in counts {
+        writeln!(out, "  {label:<16} {count}").map_err(|e| e.to_string())?;
+    }
+    Err(CliError {
+        code: EXIT_QUARANTINED,
+        message: format!("{} dataset(s) quarantined", quarantined.len()),
+    })
 }
 
 /// `parma topology`: the device's topological invariants.

@@ -1,0 +1,294 @@
+//! Append-only JSON-lines journal for `parma batch`: one fsync'd record
+//! per decided item (success or quarantine), so a killed batch can be
+//! `--resume`d without re-solving — or re-journaling — finished work.
+//!
+//! Entries are keyed by dataset *file name*, not batch index, so a resumed
+//! run (which solves only the leftover subset) writes lines bitwise
+//! identical to the uninterrupted run. Success entries pin the solve's
+//! exact bits: the residual's IEEE-754 pattern and an FNV-1a-64 hash over
+//! the recovered resistor map. A torn final line — the process died
+//! mid-write — is tolerated on load and simply re-solved.
+
+use mea_obs::json;
+use parma::prelude::*;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Schema tag carried by every journal line.
+pub const SCHEMA: &str = "parma-journal/v1";
+
+/// FNV-1a 64 over the IEEE-754 bit patterns of a value slice: a cheap,
+/// dependency-free content hash that changes iff any output bit changes.
+fn fnv1a64(values: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The journal line for a dataset whose every time point solved.
+pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
+    let mut tps = String::from("[");
+    for (k, tp) in time_points.iter().enumerate() {
+        if k > 0 {
+            tps.push(',');
+        }
+        let mut rec = json::Object::begin(&mut tps);
+        rec.field_u64("hours", u64::from(tp.hours));
+        rec.field_u64("iterations", tp.solution.iterations as u64);
+        rec.field_str(
+            "residual_bits",
+            &format!("{:016x}", tp.solution.residual.to_bits()),
+        );
+        rec.field_str(
+            "resistors_fnv1a",
+            &format!("{:016x}", fnv1a64(tp.solution.resistors.as_slice())),
+        );
+        rec.field_u64("anomalies", tp.detection.anomalies.len() as u64);
+        rec.end();
+    }
+    tps.push(']');
+    let mut out = String::with_capacity(tps.len() + 80);
+    let mut obj = json::Object::begin(&mut out);
+    obj.field_str("schema", SCHEMA);
+    obj.field_str("path", name);
+    obj.field_str("status", "ok");
+    obj.field_raw("time_points", &tps);
+    obj.end();
+    out
+}
+
+/// The journal line for a quarantined dataset, embedding the full
+/// `parma-failure/v1` report.
+pub fn entry_failed(name: &str, report: &FailureReport) -> String {
+    let mut out = String::with_capacity(192);
+    let mut obj = json::Object::begin(&mut out);
+    obj.field_str("schema", SCHEMA);
+    obj.field_str("path", name);
+    obj.field_str("status", "failed");
+    obj.field_raw("report", &report.to_json());
+    obj.end();
+    out
+}
+
+/// An open journal file. `record` serializes concurrent `on_done`
+/// callbacks and forces every line to disk before returning, so a line's
+/// presence guarantees the result it describes was fully decided.
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for appending.
+    pub fn open_append(path: &Path) -> Result<Self, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {path:?}: {e}"))?;
+        Ok(Journal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one entry, flushed and fsync'd before returning.
+    pub fn record(&self, line: &str) -> Result<(), String> {
+        let mut file = self.file.lock().map_err(|_| "journal lock poisoned")?;
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        file.write_all(buf.as_bytes())
+            .and_then(|()| file.flush())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("journal write failed: {e}"))
+    }
+}
+
+/// Reads a journal back as `file name → status` ("ok" | "failed") over
+/// every *complete* entry. Incomplete lines — the torn tail of a killed
+/// run — are skipped, not errors: their items simply re-solve.
+pub fn load(path: &Path) -> Result<BTreeMap<String, String>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
+    let mut done = BTreeMap::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
+        if !entry_is_complete(&line) {
+            continue;
+        }
+        if let (Some(name), Some(status)) =
+            (string_field(&line, "path"), string_field(&line, "status"))
+        {
+            done.insert(name, status);
+        }
+    }
+    Ok(done)
+}
+
+/// A complete entry is one balanced JSON object with our schema tag.
+/// Balance is checked outside string literals, so truncation at any inner
+/// `}` still fails the check.
+fn entry_is_complete(line: &str) -> bool {
+    let line = line.trim();
+    line.starts_with("{\"schema\":\"parma-journal/v1\"") && line.ends_with('}') && balanced(line)
+}
+
+fn balanced(line: &str) -> bool {
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    let (mut in_str, mut escaped) = (false, false);
+    for c in line.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        if braces < 0 || brackets < 0 {
+            return false;
+        }
+    }
+    braces == 0 && brackets == 0 && !in_str
+}
+
+/// Extracts and unescapes the first `"key":"…"` string value. Sufficient
+/// for our own writer's output (top-level fields precede any embedded
+/// report, so the first match is the outer one).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parma::AttemptFailure;
+
+    fn sample_report() -> FailureReport {
+        FailureReport {
+            item: 3,
+            kind: FailureKind::Divergence,
+            detail: "did not converge".into(),
+            attempts: vec![AttemptFailure {
+                attempt: 0,
+                kind: FailureKind::Divergence,
+                detail: "did not converge".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn failed_entries_embed_the_failure_schema() {
+        let line = entry_failed("bad.txt", &sample_report());
+        assert!(
+            line.starts_with("{\"schema\":\"parma-journal/v1\""),
+            "{line}"
+        );
+        assert!(line.contains("\"status\":\"failed\""), "{line}");
+        assert!(line.contains("\"schema\":\"parma-failure/v1\""), "{line}");
+        assert!(line.contains("\"kind\":\"divergence\""), "{line}");
+        assert!(entry_is_complete(&line), "{line}");
+    }
+
+    #[test]
+    fn ok_entries_pin_the_solution_bits() {
+        let dataset =
+            WetLabDataset::generate(MeaGrid::square(3), &AnomalyConfig::default(), 7).unwrap();
+        let tps = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&dataset)
+            .unwrap();
+        let line = entry_ok("a.txt", &tps);
+        assert!(entry_is_complete(&line), "{line}");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert_eq!(line.matches("\"residual_bits\":\"").count(), tps.len());
+        // The pinned bits are exactly the solution's.
+        let hex = format!("{:016x}", tps[0].solution.residual.to_bits());
+        assert!(line.contains(&hex), "{line}");
+        // Identical solves journal identical lines (the resume contract).
+        let tps2 = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&dataset)
+            .unwrap();
+        assert_eq!(line, entry_ok("a.txt", &tps2));
+    }
+
+    #[test]
+    fn load_round_trips_and_tolerates_a_torn_tail() {
+        let dir = std::env::temp_dir().join("parma-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let ok = entry_failed("done.txt", &sample_report()).replace("failed", "ok");
+        let failed = entry_failed("bad.txt", &sample_report());
+        // Truncate a valid line at an inner `}` so it still *ends* with a
+        // brace: the balance check must reject it anyway.
+        let torn = &failed[..failed.find('}').unwrap() + 1];
+        std::fs::write(&path, format!("{ok}\n{failed}\n{torn}")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.get("done.txt").map(String::as_str), Some("ok"));
+        assert_eq!(done.get("bad.txt").map(String::as_str), Some("failed"));
+        assert_eq!(done.len(), 2, "the torn tail must not load: {done:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_appends_one_line_per_call() {
+        let dir = std::env::temp_dir().join("parma-journal-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        std::fs::remove_file(&path).ok();
+        let j = Journal::open_append(&path).unwrap();
+        j.record(&entry_failed("x.txt", &sample_report())).unwrap();
+        j.record(&entry_failed("y.txt", &sample_report())).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn string_field_unescapes() {
+        let line = r#"{"schema":"parma-journal/v1","path":"we\"ird\\name.txt","status":"ok"}"#;
+        assert_eq!(
+            string_field(line, "path").unwrap(),
+            "we\"ird\\name.txt".to_string()
+        );
+        assert!(balanced(line));
+    }
+}

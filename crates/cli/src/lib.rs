@@ -4,38 +4,67 @@
 
 pub mod args;
 pub mod commands;
+pub mod journal;
 
 pub use args::{ArgError, Args};
 
+/// Exit status for a batch that finished but quarantined at least one
+/// item: distinct from usage/runtime errors (2) so schedulers can tell
+/// "rerun the stragglers" from "the invocation itself is broken".
+pub const EXIT_QUARANTINED: i32 = 3;
+
+/// A command failure: the message to print and the process exit status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Process exit status (2 = usage/runtime error, 3 = quarantined items).
+    pub code: i32,
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 2, message }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// Entry point shared by `main` and the tests: dispatches a raw argument
 /// list to a command, writing human output to `out`.
-pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), String> {
+pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     if raw.is_empty() {
-        return Err(usage());
+        return Err(usage().into());
     }
     let command = raw[0].as_str();
-    // `batch` takes a positional operand (the dataset directory); every
-    // other command is pure `--key value`.
+    // `batch` takes a positional operand (the dataset directory) and the
+    // value-less `--resume` switch; every other command is pure
+    // `--key value`.
     let args = if command == "batch" {
-        Args::parse_with_positionals(&raw[1..])
+        Args::parse_with_switches(&raw[1..], &["resume"])
     } else {
         Args::parse(&raw[1..])
     }
-    .map_err(|e| format!("{e}\n\n{}", usage()))?;
-    let result = match command {
-        "generate" => commands::generate(&args, out),
-        "solve" => commands::solve(&args, out),
+    .map_err(|e| CliError::from(format!("{e}\n\n{}", usage())))?;
+    match command {
+        "generate" => commands::generate(&args, out).map_err(CliError::from),
+        "solve" => commands::solve(&args, out).map_err(CliError::from),
         "batch" => commands::batch(&args, out),
-        "topology" => commands::topology(&args, out),
-        "equations" => commands::equations(&args, out),
-        "verify" => commands::verify(&args, out),
+        "topology" => commands::topology(&args, out).map_err(CliError::from),
+        "equations" => commands::equations(&args, out).map_err(CliError::from),
+        "verify" => commands::verify(&args, out).map_err(CliError::from),
         "--help" | "-h" | "help" => {
             let _ = writeln!(out, "{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
-    };
-    result
+        other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
+    }
 }
 
 /// The usage text.
@@ -50,6 +79,8 @@ USAGE:
                   [--trace <file>]   write a JSON trace (stage timings, solver
                                      residual curves, scheduler stats)
   parma batch     <dir> [--threads T] [--tol E] [--detect F] [--trace <file>]
+                  [--journal <file>] [--resume] [--max-retries N]
+                  [--deadline S] [--solve-deadline S] [--backoff-ms MS]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
   parma verify    --n <N> --input <equation-file>
@@ -58,7 +89,12 @@ COMMANDS:
   generate   synthesize a wet-lab session (0/6/12/24 h) and write the text dataset
   solve      recover resistor maps from a dataset file and report anomalies
   batch      solve every dataset in a directory concurrently (one session per
-             worker; results are deterministic and in filename order)
+             worker; results are deterministic and in filename order), with
+             panic isolation, per-item retries (--max-retries, --backoff-ms)
+             and deadlines (--deadline, --solve-deadline, in seconds); with
+             --journal every finished item is fsync'd to an append-only
+             JSON-lines sidecar and --resume skips already-journaled items;
+             exits with status 3 when any item is quarantined
   topology   print the device's topological invariants (joints, Betti numbers, cycles)
   equations  form the 2n³ joint-constraint system and write it as text
   verify     parse an equation file back and check it is complete"
@@ -72,7 +108,9 @@ mod tests {
     fn run_str(args: &[&str]) -> Result<String, String> {
         let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        run(&raw, &mut out).map(|_| String::from_utf8(out).unwrap())
+        run(&raw, &mut out)
+            .map(|_| String::from_utf8(out).unwrap())
+            .map_err(|e| e.message)
     }
 
     #[test]

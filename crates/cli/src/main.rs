@@ -1,11 +1,12 @@
 //! The `parma` command-line binary. All logic lives in `parma_cli`; this
-//! shim only forwards `std::env::args` and maps errors to exit codes.
+//! shim only forwards `std::env::args` and maps errors to exit codes
+//! (2 = usage/runtime error, 3 = batch finished with quarantined items).
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
-    if let Err(message) = parma_cli::run(&raw, &mut stdout) {
-        eprintln!("{message}");
-        std::process::exit(2);
+    if let Err(e) = parma_cli::run(&raw, &mut stdout) {
+        eprintln!("{}", e.message);
+        std::process::exit(e.code);
     }
 }

@@ -18,7 +18,9 @@ fn obs_guard() -> MutexGuard<'static, ()> {
 fn run(args: &[&str]) -> Result<String, String> {
     let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
     let mut out = Vec::new();
-    parma_cli::run(&raw, &mut out).map(|_| String::from_utf8(out).unwrap())
+    parma_cli::run(&raw, &mut out)
+        .map(|_| String::from_utf8(out).unwrap())
+        .map_err(|e| e.message)
 }
 
 /// Asserts `needle` occurs in `hay` and returns its byte offset.
@@ -199,6 +201,82 @@ fn batch_trace_schema_is_stable() {
         batch_record.contains("\"count\":1"),
         "aggregate batch span must run once: {batch_record}"
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_report_and_journal_schema_are_stable() {
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join("parma-golden-quarantine");
+    let data_dir = dir.join("data");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&data_dir).unwrap();
+    run(&[
+        "generate",
+        "--n",
+        "4",
+        "--seed",
+        "21",
+        "--out",
+        data_dir.join("good.txt").to_str().unwrap(),
+    ])
+    .unwrap();
+    std::fs::write(
+        data_dir.join("corrupt.txt"),
+        "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\nNaN\t1.0\n",
+    )
+    .unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    let raw: Vec<String> = [
+        "batch",
+        data_dir.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut out = Vec::new();
+    let err = parma_cli::run(&raw, &mut out).unwrap_err();
+    assert_eq!(err.code, parma_cli::EXIT_QUARANTINED, "{}", err.message);
+    let text = String::from_utf8(out).unwrap();
+
+    // The human-facing failure summary: per-item quarantine line with the
+    // taxonomy label in brackets, then the per-kind table. Downstream
+    // tooling greps these; the shapes are pinned.
+    offset_of(&text, "corrupt.txt: QUARANTINED [non_finite_input]");
+    let table_at = offset_of(&text, "failures by kind:");
+    let row_at = offset_of(&text, "\n  non_finite_input 1");
+    assert!(table_at < row_at, "table header precedes its rows");
+    offset_of(&text, "1 failure(s)");
+
+    // The journal: one complete `parma-journal/v1` line per item, with
+    // the key order pinned (schema, path, status, payload).
+    let jtext = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(jtext.lines().count(), 2);
+    for line in jtext.lines() {
+        assert!(
+            line.starts_with("{\"schema\":\"parma-journal/v1\",\"path\":\""),
+            "journal line prefix drifted: {line}"
+        );
+        assert!(line.ends_with('}'), "torn line in a healthy run: {line}");
+    }
+    // The success entry pins the solve's exact bits.
+    offset_of(
+        &jtext,
+        "\"status\":\"ok\",\"time_points\":[{\"hours\":0,\"iterations\":",
+    );
+    offset_of(&jtext, "\"residual_bits\":\"");
+    offset_of(&jtext, "\"resistors_fnv1a\":\"");
+    // The quarantine entry embeds the full failure report.
+    offset_of(
+        &jtext,
+        "\"status\":\"failed\",\"report\":{\"schema\":\"parma-failure/v1\",\"item\":",
+    );
+    offset_of(&jtext, "\"kind\":\"non_finite_input\"");
+    offset_of(&jtext, "\"attempts\":[{\"attempt\":0,");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -26,6 +26,21 @@ pub enum DatasetError {
     Io(std::io::Error),
     /// The text file is malformed; payload describes where and why.
     Parse(String),
+    /// A measured resistance is non-finite (NaN/∞) or not strictly
+    /// positive — corrupt data that must be rejected at ingestion, before
+    /// it can poison a solve. Typed (unlike [`Self::Parse`]) so supervised
+    /// batch runs can classify it as `non_finite_input` in their failure
+    /// taxonomy.
+    NonPhysical {
+        /// The measurement's hour stamp.
+        hours: u32,
+        /// Zero-based matrix row of the offending value.
+        row: usize,
+        /// Zero-based matrix column of the offending value.
+        col: usize,
+        /// The offending value as parsed.
+        value: f64,
+    },
     /// The forward solve failed (non-physical generated map — a bug).
     Solve(mea_linalg::LinalgError),
 }
@@ -35,6 +50,16 @@ impl fmt::Display for DatasetError {
         match self {
             DatasetError::Io(e) => write!(f, "dataset I/O error: {e}"),
             DatasetError::Parse(s) => write!(f, "dataset parse error: {s}"),
+            DatasetError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            } => write!(
+                f,
+                "non-physical measured impedance {value} at hour {hours}, row {row}, col {col} \
+                 (values must be finite and strictly positive)"
+            ),
             DatasetError::Solve(e) => write!(f, "dataset forward solve failed: {e}"),
         }
     }
@@ -187,10 +212,16 @@ impl WetLabDataset {
                     let v: f64 = tok.trim().parse().map_err(|e| {
                         DatasetError::Parse(format!("bad value {tok:?} in row {i}: {e}"))
                     })?;
+                    // "NaN"/"inf" parse successfully as f64, so this typed
+                    // gate — not the parse above — is what keeps corrupt
+                    // values out of the solver.
                     if !v.is_finite() || v <= 0.0 {
-                        return Err(DatasetError::Parse(format!(
-                            "non-physical impedance {v} in row {i}"
-                        )));
+                        return Err(DatasetError::NonPhysical {
+                            hours,
+                            row: i,
+                            col: count,
+                            value: v,
+                        });
                     }
                     values.push(v);
                     count += 1;
@@ -343,10 +374,39 @@ mod tests {
     }
 
     #[test]
-    fn rejects_nonphysical_values() {
-        let text = "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\t-3.0\n";
+    fn rejects_nonphysical_values_with_typed_location() {
+        let text = "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 6 5\n1.0\t-3.0\n";
         let err = WetLabDataset::read_text(text.as_bytes()).unwrap_err();
-        assert!(matches!(err, DatasetError::Parse(_)));
+        match err {
+            DatasetError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            } => {
+                assert_eq!((hours, row, col), (6, 0, 1));
+                assert_eq!(value, -3.0);
+            }
+            other => panic!("expected NonPhysical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nan_inf_and_zero_values() {
+        // "NaN" and "inf" parse as valid f64 tokens — the physicality gate
+        // (not the parser) must reject them, with the typed variant.
+        for (token, hours) in [("NaN", 0u32), ("inf", 12), ("-inf", 24), ("0.0", 6)] {
+            let text = format!(
+                "# parma-dataset v1\nrows 1\ncols 2\nmeasurement {hours} 5\n1.0\t{token}\n"
+            );
+            let err = WetLabDataset::read_text(text.as_bytes()).unwrap_err();
+            match err {
+                DatasetError::NonPhysical {
+                    hours: h, row, col, ..
+                } => assert_eq!((h, row, col), (hours, 0, 1), "token {token}"),
+                other => panic!("token {token}: expected NonPhysical, got {other:?}"),
+            }
+        }
     }
 
     #[test]

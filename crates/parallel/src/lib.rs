@@ -27,10 +27,12 @@ pub mod metrics;
 pub mod mpi_sim;
 pub mod pool;
 mod strategy;
+pub mod supervise;
 
 pub use balanced::partition_lpt;
 pub use hetero::{simulate_hetero, HeteroClusterModel, HeteroPartition};
 pub use metrics::ExecutionReport;
 pub use mpi_sim::{ClusterModel, CommModel, MpiSimReport};
-pub use pool::WorkStealingPool;
+pub use pool::{JobFailure, JobPanic, PoolStats, RunOutcome, WorkStealingPool, WorkerStats};
 pub use strategy::{execute, execute_with_report, Strategy, WorkItem, CATEGORY_COUNT};
+pub use supervise::{CancelToken, Interrupt};

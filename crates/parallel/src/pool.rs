@@ -11,28 +11,45 @@
 //! per item), so the scheduler stays competitive while the workspace stays
 //! dependency-free.
 //!
-//! Results are written into pre-allocated slots through a `Sync` unsafe
-//! cell; safety rests on the scheduler's exactly-once dispatch of each
-//! index, which the tests pound on.
+//! # Panic isolation
 //!
-//! Every run also records [`PoolStats`] — per-worker busy time, item and
-//! steal counts, and the chunk layout — which the observability layer
-//! (`mea-obs`, wired in by `parma`) surfaces in machine-readable traces.
+//! Every job runs under `catch_unwind`: a panicking job poisons only its
+//! own result slot, never the worker, the pool, or the other jobs. Results
+//! are written into pre-allocated slots through a `Sync` unsafe cell, and
+//! each slot carries an atomic written flag — [`Slots::into_options`] reads
+//! a slot only when its flag is set, so a poisoned (never-written) slot
+//! yields `None` instead of uninitialized memory. [`WorkStealingPool::run`]
+//! surfaces the per-slot outcomes plus a [`JobPanic`] record per poisoned
+//! slot; [`WorkStealingPool::map_indexed`] keeps the infallible signature
+//! and re-raises an aggregate panic when any job failed.
+//!
+//! Every run also records [`PoolStats`] — per-worker busy time, item,
+//! steal and panic counts, and the chunk layout — which the observability
+//! layer (`mea-obs`, wired in by `parma`) surfaces in machine-readable
+//! traces.
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Write-once result slots shared across workers.
+/// Write-once result slots shared across workers, with per-slot completion
+/// tracking.
 ///
 /// # Safety contract
-/// Each index is written at most once, by the single worker that claimed
-/// it from the scheduler, and only read after every worker has joined.
+/// Each index is *written* at most once, by the single worker that claimed
+/// it from the scheduler. A slot whose job panicked is simply never
+/// written: its flag stays `false` and it is **poisoned**, not
+/// uninitialized-but-readable. Reading back through [`Self::into_options`]
+/// consults the flags, so the read side is safe by construction — there is
+/// no code path that `assume_init`s an unwritten slot.
 pub(crate) struct Slots<T> {
     data: Vec<UnsafeCell<MaybeUninit<T>>>,
+    written: Vec<AtomicBool>,
 }
 
 // SAFETY: concurrent access is to *disjoint* indices (exactly-once
@@ -46,6 +63,7 @@ impl<T> Slots<T> {
             data: (0..n)
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
+            written: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -53,15 +71,113 @@ impl<T> Slots<T> {
     /// `i` must be claimed exactly once across all workers.
     pub(crate) unsafe fn write(&self, i: usize, value: T) {
         (*self.data[i].get()).write(value);
+        // Release pairs with the exclusive &mut access in `into_options`
+        // (established by thread join) and marks the slot readable.
+        self.written[i].store(true, Ordering::Release);
     }
 
-    /// # Safety
-    /// Every slot must have been written and all workers joined.
-    pub(crate) unsafe fn into_vec(self) -> Vec<T> {
-        self.data
-            .into_iter()
-            .map(|cell| cell.into_inner().assume_init())
+    /// Moves every *written* slot out; poisoned slots come back as `None`.
+    /// Safe for any flag state — requires only that all workers have
+    /// stopped touching the slots (guaranteed by `thread::scope` join
+    /// before the pool calls this).
+    pub(crate) fn into_options(mut self) -> Vec<Option<T>> {
+        let data = std::mem::take(&mut self.data);
+        let written = std::mem::take(&mut self.written);
+        data.into_iter()
+            .zip(written)
+            .map(|(cell, flag)| {
+                if flag.into_inner() {
+                    // SAFETY: the flag was set by the unique writer *after*
+                    // initializing the cell, and all writers have joined.
+                    Some(unsafe { cell.into_inner().assume_init() })
+                } else {
+                    None
+                }
+            })
             .collect()
+    }
+}
+
+impl<T> Drop for Slots<T> {
+    fn drop(&mut self) {
+        // Normally empty (into_options took the vectors); on an abandoned
+        // container, drop exactly the initialized slots.
+        for (cell, flag) in self.data.iter_mut().zip(self.written.iter_mut()) {
+            if *flag.get_mut() {
+                // SAFETY: the flag marks this slot initialized and we hold
+                // exclusive access.
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// One job that panicked during a pool run.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// The index the job was computing.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+}
+
+/// Aggregate failure of a pool run: at least one job panicked.
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Every panicking job, in index order.
+    pub panics: Vec<JobPanic>,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first = self
+            .panics
+            .first()
+            .map(|p| format!(" (first: index {}: {})", p.index, p.message))
+            .unwrap_or_default();
+        write!(f, "{} job(s) panicked{first}", self.panics.len())
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// Outcome of one [`WorkStealingPool::run`]: per-index results with
+/// poisoned slots explicit, plus the panic records.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// `results[i]` is `Some` iff job `i` completed; `None` means its job
+    /// panicked (a matching entry exists in [`Self::panics`]).
+    pub results: Vec<Option<T>>,
+    /// Every panicking job, in index order.
+    pub panics: Vec<JobPanic>,
+}
+
+impl<T> RunOutcome<T> {
+    /// All-or-nothing view: the full result vector, or the failure record.
+    pub fn into_result(self) -> Result<Vec<T>, JobFailure> {
+        if self.panics.is_empty() {
+            Ok(self
+                .results
+                .into_iter()
+                .map(|r| r.expect("no panics recorded, so every slot was written"))
+                .collect())
+        } else {
+            Err(JobFailure {
+                panics: self.panics,
+            })
+        }
+    }
+}
+
+/// Stringifies a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -70,13 +186,15 @@ impl<T> Slots<T> {
 pub struct WorkerStats {
     /// Wall time the worker spent inside the run (spawn to exit).
     pub busy: Duration,
-    /// Items this worker executed.
+    /// Items this worker executed (including ones that panicked).
     pub items: usize,
     /// Chunks this worker obtained by raiding a peer's deque.
     pub steals: usize,
+    /// Items whose job panicked on this worker.
+    pub panics: usize,
 }
 
-/// Scheduler-level telemetry of one `map_indexed` run.
+/// Scheduler-level telemetry of one `map_indexed`/`run` call.
 #[derive(Clone, Debug, Default)]
 pub struct PoolStats {
     /// One entry per worker.
@@ -87,6 +205,8 @@ pub struct PoolStats {
     pub chunk_size: usize,
     /// Total items mapped.
     pub items: usize,
+    /// Items whose job panicked (their slots are poisoned).
+    pub panics: usize,
 }
 
 impl PoolStats {
@@ -118,19 +238,39 @@ impl WorkStealingPool {
         self.threads
     }
 
-    /// Per-worker busy durations of the most recent [`Self::map_indexed`].
+    /// Per-worker busy durations of the most recent run.
     pub fn last_busy_times(&self) -> Vec<Duration> {
         self.last_busy.lock().expect("pool mutex poisoned").clone()
     }
 
-    /// Full scheduler telemetry of the most recent [`Self::map_indexed`].
+    /// Full scheduler telemetry of the most recent run.
     pub fn last_stats(&self) -> PoolStats {
         self.last_stats.lock().expect("pool mutex poisoned").clone()
     }
 
     /// Computes `f(i)` for every `i in 0..n` with dynamic load balancing;
     /// results are returned in index order.
+    ///
+    /// Infallible signature for closed workloads: if any job panics, the
+    /// panic is re-raised here as one aggregate panic *after* every other
+    /// job has finished — the pool itself never propagates the unwind
+    /// through a worker, so no slot is ever read uninitialized. Callers
+    /// that want panics as data use [`Self::run`].
     pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(n, f)
+            .into_result()
+            .unwrap_or_else(|failure| panic!("work-stealing pool: {failure}"))
+    }
+
+    /// Like [`Self::map_indexed`], but panic-isolating: every job runs
+    /// under `catch_unwind`, poisoned slots come back as `None`, and the
+    /// outcome carries one [`JobPanic`] per failed job. The healthy jobs
+    /// always complete regardless of how many of their neighbors panic.
+    pub fn run<T, F>(&self, n: usize, f: F) -> RunOutcome<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -142,9 +282,13 @@ impl WorkStealingPool {
                 workers: vec![WorkerStats::default(); self.threads],
                 ..PoolStats::default()
             };
-            return Vec::new();
+            return RunOutcome {
+                results: Vec::new(),
+                panics: Vec::new(),
+            };
         }
         let slots = Slots::new(n);
+        let panics: Mutex<Vec<JobPanic>> = Mutex::new(Vec::new());
         // Chunk the index space: big enough to amortize queue traffic,
         // small enough that stealing can still balance (≥ 8 chunks per
         // worker when possible).
@@ -170,6 +314,7 @@ impl WorkStealingPool {
                     let deques = &deques;
                     let completed = &completed;
                     let slots = &slots;
+                    let panics = &panics;
                     let f = &f;
                     scope.spawn(move || {
                         let t0 = Instant::now();
@@ -183,11 +328,29 @@ impl WorkStealingPool {
                             match task {
                                 Some((lo, hi)) => {
                                     for i in lo..hi {
-                                        let value = f(i);
-                                        // SAFETY: index i belongs to a chunk
-                                        // claimed exactly once from the
-                                        // scheduler.
-                                        unsafe { slots.write(i, value) };
+                                        // AssertUnwindSafe: on unwind the
+                                        // slot is simply never written
+                                        // (stays poisoned) and `f`'s
+                                        // captures are only re-observed by
+                                        // jobs the caller already expects
+                                        // to share state with f.
+                                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                            Ok(value) => {
+                                                // SAFETY: index i belongs to
+                                                // a chunk claimed exactly
+                                                // once from the scheduler.
+                                                unsafe { slots.write(i, value) };
+                                            }
+                                            Err(payload) => {
+                                                local.panics += 1;
+                                                panics.lock().expect("panic log poisoned").push(
+                                                    JobPanic {
+                                                        index: i,
+                                                        message: panic_message(payload),
+                                                    },
+                                                );
+                                            }
+                                        }
                                     }
                                     local.items += hi - lo;
                                     completed.fetch_add(hi - lo, Ordering::Release);
@@ -210,6 +373,8 @@ impl WorkStealingPool {
             }
         });
         debug_assert_eq!(completed.load(Ordering::Acquire), n);
+        let mut panics = panics.into_inner().expect("panic log poisoned");
+        panics.sort_by_key(|p| p.index);
         *self.last_busy.lock().expect("pool mutex poisoned") =
             stats.iter().map(|s| s.busy).collect();
         *self.last_stats.lock().expect("pool mutex poisoned") = PoolStats {
@@ -217,10 +382,13 @@ impl WorkStealingPool {
             chunks,
             chunk_size: chunk,
             items: n,
+            panics: panics.len(),
         };
-        // SAFETY: the completed counter reached n, so every slot was
-        // written exactly once, and all workers have joined.
-        unsafe { slots.into_vec() }
+        // Safe by construction: poisoned slots surface as None.
+        RunOutcome {
+            results: slots.into_options(),
+            panics,
+        }
     }
 }
 
@@ -269,7 +437,10 @@ fn steal_from_peers(
 /// Dynamic self-scheduling map over `0..n` on `threads` workers: each
 /// worker claims the next chunk from a shared atomic cursor (the classic
 /// PyMP/OpenMP `schedule(dynamic)` loop). Returns results in index order
-/// plus per-worker activity.
+/// plus per-worker activity. Jobs run under the same `catch_unwind`
+/// isolation as the work-stealing engine (no slot is ever read
+/// uninitialized); a job panic is re-raised as one aggregate panic after
+/// the sweep drains.
 pub(crate) fn self_scheduling_map<T, F>(
     threads: usize,
     n: usize,
@@ -285,6 +456,7 @@ where
     }
     let chunk = (n / (threads * 8)).max(1);
     let slots = Slots::new(n);
+    let panics: Mutex<Vec<JobPanic>> = Mutex::new(Vec::new());
     let cursor = AtomicUsize::new(0);
     let mut stats = vec![WorkerStats::default(); threads];
     std::thread::scope(|scope| {
@@ -292,6 +464,7 @@ where
             .map(|_| {
                 let cursor = &cursor;
                 let slots = &slots;
+                let panics = &panics;
                 let f = &f;
                 scope.spawn(move || {
                     let t0 = Instant::now();
@@ -303,10 +476,20 @@ where
                         }
                         let hi = (lo + chunk).min(n);
                         for i in lo..hi {
-                            let value = f(i);
-                            // SAFETY: the atomic cursor hands out each
-                            // index exactly once.
-                            unsafe { slots.write(i, value) };
+                            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                Ok(value) => {
+                                    // SAFETY: the atomic cursor hands out
+                                    // each index exactly once.
+                                    unsafe { slots.write(i, value) };
+                                }
+                                Err(payload) => {
+                                    local.panics += 1;
+                                    panics.lock().expect("panic log poisoned").push(JobPanic {
+                                        index: i,
+                                        message: panic_message(payload),
+                                    });
+                                }
+                            }
                         }
                         local.items += hi - lo;
                     }
@@ -319,15 +502,46 @@ where
             stats[w] = h.join().expect("self-scheduling worker panicked");
         }
     });
-    // SAFETY: the cursor swept the whole range and all workers joined, so
-    // every slot was written exactly once.
-    (unsafe { slots.into_vec() }, stats)
+    let mut panics = panics.into_inner().expect("panic log poisoned");
+    if !panics.is_empty() {
+        panics.sort_by_key(|p| p.index);
+        let failure = JobFailure { panics };
+        panic!("self-scheduling map: {failure}");
+    }
+    let out = slots
+        .into_options()
+        .into_iter()
+        .map(|v| v.expect("no panics recorded, so every slot was written"))
+        .collect();
+    (out, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    /// Silences the default panic-hook stderr spam for tests that inject
+    /// panics on purpose; restores the previous hook on drop. Tests using
+    /// it serialize on a lock so a concurrent test's real panic message is
+    /// never swallowed.
+    struct QuietPanics(Option<std::sync::MutexGuard<'static, ()>>);
+
+    impl QuietPanics {
+        fn new() -> Self {
+            static LOCK: Mutex<()> = Mutex::new(());
+            let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            std::panic::set_hook(Box::new(|_| {}));
+            QuietPanics(Some(guard))
+        }
+    }
+
+    impl Drop for QuietPanics {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+            self.0.take();
+        }
+    }
 
     #[test]
     fn maps_in_index_order() {
@@ -419,6 +633,7 @@ mod tests {
         let stats = pool.last_stats();
         assert_eq!(stats.items, 777);
         assert_eq!(stats.workers.len(), 4);
+        assert_eq!(stats.panics, 0);
         let executed: usize = stats.workers.iter().map(|w| w.items).sum();
         assert_eq!(
             executed, 777,
@@ -456,5 +671,159 @@ mod tests {
         assert_eq!(stats.len(), 4);
         let (one, _) = self_scheduling_map(4, 1, |i| i + 7);
         assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn panic_at_every_position_poisons_exactly_that_slot() {
+        // The acceptance-criterion test: inject a panic at every possible
+        // chunk position in turn; the poisoned slot must come back None,
+        // every other slot Some, and the panic must be recorded — never an
+        // uninitialized read, never a lost healthy result.
+        let _quiet = QuietPanics::new();
+        let n = 24;
+        for threads in [1usize, 3] {
+            let pool = WorkStealingPool::new(threads);
+            for bad in 0..n {
+                let outcome = pool.run(n, |i| {
+                    if i == bad {
+                        panic!("injected at {i}");
+                    }
+                    i * 10
+                });
+                assert_eq!(outcome.results.len(), n);
+                for (i, r) in outcome.results.iter().enumerate() {
+                    if i == bad {
+                        assert!(r.is_none(), "slot {i} must be poisoned");
+                    } else {
+                        assert_eq!(*r, Some(i * 10), "slot {i} must survive");
+                    }
+                }
+                assert_eq!(outcome.panics.len(), 1);
+                assert_eq!(outcome.panics[0].index, bad);
+                assert!(outcome.panics[0].message.contains("injected"));
+                assert_eq!(pool.last_stats().panics, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stress_many_threads_many_chunks_injected_panics() {
+        // Std-only loom stand-in: hammer the scheduler across thread
+        // counts, sizes and panic densities, with a drop-counting payload
+        // proving every written slot is dropped exactly once and no
+        // poisoned slot is ever materialized (no double drop, no leak, no
+        // uninitialized read).
+        let _quiet = QuietPanics::new();
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+        struct Counted(usize);
+        impl Counted {
+            fn new(i: usize) -> Self {
+                LIVE.fetch_add(1, Ordering::Relaxed);
+                Counted(i)
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        for threads in [1usize, 2, 4, 8] {
+            for n in [1usize, 7, 64, 301] {
+                for stride in [2usize, 3, 7] {
+                    let pool = WorkStealingPool::new(threads);
+                    let outcome = pool.run(n, |i| {
+                        let v = Counted::new(i);
+                        if i % stride == 0 {
+                            // Unwinds with a live local: its drop must run
+                            // during the unwind, not leak.
+                            panic!("chaos {i}");
+                        }
+                        v
+                    });
+                    let expect_poisoned = n.div_ceil(stride);
+                    let poisoned = outcome.results.iter().filter(|r| r.is_none()).count();
+                    assert_eq!(
+                        poisoned, expect_poisoned,
+                        "threads {threads}, n {n}, stride {stride}"
+                    );
+                    assert_eq!(outcome.panics.len(), expect_poisoned);
+                    for (k, p) in outcome.panics.iter().enumerate() {
+                        assert_eq!(p.index, k * stride, "panics sorted by index");
+                    }
+                    for (i, r) in outcome.results.iter().enumerate() {
+                        match r {
+                            Some(c) => assert_eq!(c.0, i),
+                            None => assert_eq!(i % stride, 0),
+                        }
+                    }
+                    let stats = pool.last_stats();
+                    assert_eq!(stats.panics, expect_poisoned);
+                    assert_eq!(
+                        stats.workers.iter().map(|w| w.panics).sum::<usize>(),
+                        expect_poisoned
+                    );
+                    drop(outcome);
+                    assert_eq!(
+                        LIVE.load(Ordering::Relaxed),
+                        0,
+                        "every payload dropped exactly once"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_reraises_job_panics_in_aggregate() {
+        let _quiet = QuietPanics::new();
+        let pool = WorkStealingPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(10, |i| {
+                if i == 4 {
+                    panic!("boom");
+                }
+                i
+            })
+        }))
+        .expect_err("the aggregate panic must surface");
+        let msg = panic_message(err);
+        assert!(msg.contains("1 job(s) panicked"), "{msg}");
+        assert!(msg.contains("index 4"), "{msg}");
+    }
+
+    #[test]
+    fn abandoned_slots_drop_only_written_entries() {
+        // Dropping Slots without consuming it must free written entries
+        // and skip poisoned ones.
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::Relaxed);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let slots: Slots<Counted> = Slots::new(4);
+        unsafe {
+            slots.write(0, Counted::new());
+            slots.write(2, Counted::new());
+        }
+        assert_eq!(LIVE.load(Ordering::Relaxed), 2);
+        drop(slots);
+        assert_eq!(LIVE.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn run_outcome_into_result_roundtrips() {
+        let pool = WorkStealingPool::new(2);
+        let ok = pool.run(5, |i| i + 1).into_result().unwrap();
+        assert_eq!(ok, vec![1, 2, 3, 4, 5]);
     }
 }

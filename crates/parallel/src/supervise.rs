@@ -1,0 +1,165 @@
+//! Cooperative cancellation and deadlines for supervised execution.
+//!
+//! A [`CancelToken`] carries a shared cancel flag plus an optional
+//! deadline. Long-running loops (the Parma fixed-point iteration, the
+//! full-Newton outer loop, batch coordinators) poll [`CancelToken::check`]
+//! at iteration boundaries and unwind with a typed [`Interrupt`] instead
+//! of hanging unboundedly. Checks happen *between* iterations only, so a
+//! run that is never interrupted executes the exact same floating-point
+//! work as an unsupervised one — the bitwise determinism contract
+//! (DESIGN.md §13) depends on this.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a supervised computation was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`CancelToken::cancel`] was called (explicitly, or by a parent).
+    Cancelled,
+    /// The token's deadline passed.
+    TimedOut,
+}
+
+/// A cancellation handle: a shared flag plus an optional deadline.
+///
+/// Cloning shares the flag (cancelling one clone cancels all); the
+/// deadline is per-instance so a child scope can run under a tighter
+/// budget than its parent via [`CancelToken::child`].
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own: no deadline, not cancelled.
+    /// Checking it is a single relaxed atomic load — cheap enough for
+    /// per-iteration polling.
+    pub fn unbounded() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that times out `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A child token sharing this token's cancel flag, optionally under a
+    /// tighter budget. The child's deadline is the *earlier* of the
+    /// parent's deadline and `now + budget`: a child can never outlive its
+    /// parent's time budget.
+    pub fn child(&self, budget: Option<Duration>) -> Self {
+        let own = budget.and_then(|b| Instant::now().checked_add(b));
+        let deadline = match (self.deadline, own) {
+            (Some(p), Some(c)) => Some(p.min(c)),
+            (p, c) => p.or(c),
+        };
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline,
+        }
+    }
+
+    /// Requests cancellation of this token and every clone/child sharing
+    /// its flag.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Polls the token: `None` to keep going, `Some(interrupt)` to stop.
+    /// Explicit cancellation wins over a passed deadline, and the clock is
+    /// only consulted when a deadline is set.
+    pub fn check(&self) -> Option<Interrupt> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(Interrupt::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(Interrupt::TimedOut),
+            _ => None,
+        }
+    }
+
+    /// Time remaining until the deadline; `None` for an unbounded token.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_fires() {
+        let token = CancelToken::unbounded();
+        assert_eq!(token.check(), None);
+        assert_eq!(token.remaining(), None);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones_and_children() {
+        let token = CancelToken::unbounded();
+        let clone = token.clone();
+        let child = token.child(Some(Duration::from_secs(3600)));
+        token.cancel();
+        assert_eq!(clone.check(), Some(Interrupt::Cancelled));
+        assert_eq!(child.check(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn zero_budget_times_out_immediately() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(token.check(), Some(Interrupt::TimedOut));
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(token.check(), None);
+        assert!(token.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn child_takes_the_tighter_deadline() {
+        let parent = CancelToken::with_deadline(Duration::from_secs(3600));
+        let tight = parent.child(Some(Duration::ZERO));
+        assert_eq!(tight.check(), Some(Interrupt::TimedOut));
+        // A loose child is clamped to the parent's budget.
+        let loose = CancelToken::with_deadline(Duration::ZERO).child(Some(Duration::from_secs(60)));
+        assert_eq!(loose.check(), Some(Interrupt::TimedOut));
+        // A child of an unbounded parent keeps only its own budget.
+        let own = CancelToken::unbounded().child(Some(Duration::from_secs(60)));
+        assert_eq!(own.check(), None);
+        let none = CancelToken::unbounded().child(None);
+        assert_eq!(none.check(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_timeout() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        token.cancel();
+        assert_eq!(token.check(), Some(Interrupt::Cancelled));
+    }
+}

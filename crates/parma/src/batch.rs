@@ -24,9 +24,11 @@ use crate::config::ParmaConfig;
 use crate::error::ParmaError;
 use crate::pipeline::{Pipeline, TimePointResult};
 use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
+use crate::supervisor::{supervise, FailureReport, SupervisorConfig};
 use mea_model::{MeaGrid, WetLabDataset, ZMatrix};
 use mea_parallel::{Strategy, WorkStealingPool};
 use std::cell::RefCell;
+use std::sync::Mutex;
 use std::time::Instant;
 
 thread_local! {
@@ -119,6 +121,115 @@ impl BatchSolver {
         record_batch_obs(timed.iter().map(|(out, ms)| (out.is_err(), *ms)));
         Ok(timed.into_iter().map(|(out, _)| out).collect())
     }
+
+    /// Supervised throughput solving: like [`Self::solve_all`] but items
+    /// that panic, time out, or diverge are retried per `sup` (escalating
+    /// the recovery configuration on divergence/timeout) and quarantined
+    /// with a classified [`FailureReport`] once retries are exhausted.
+    /// Healthy items complete regardless.
+    ///
+    /// With `sup.max_retries == 0`, no deadlines and no chaos, successful
+    /// results are bitwise identical to [`Self::solve_all`] (and therefore
+    /// to the sequential solver).
+    pub fn solve_all_supervised(
+        &self,
+        measurements: &[ZMatrix],
+        sup: &SupervisorConfig,
+    ) -> Vec<Result<ParmaSolution, FailureReport>> {
+        let _span = mea_obs::span("parma/batch");
+        let plans = plan_set(measurements.iter().map(|z| z.grid()));
+        let pool = WorkStealingPool::new(self.threads);
+        let times: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+        let out = supervise(
+            &pool,
+            measurements.len(),
+            sup,
+            &|i, escalation, token| {
+                let _item = mea_obs::span("parma/batch/item");
+                let z = &measurements[i];
+                let plan = lookup(&plans, z.grid());
+                let solver =
+                    ParmaSolver::new(crate::supervisor::escalated(&self.config, escalation));
+                let t0 = Instant::now();
+                let res = SCRATCH.with(|scratch| {
+                    solver.solve_supervised(plan, z, None, &mut scratch.borrow_mut(), token)
+                });
+                times
+                    .lock()
+                    .expect("batch timing lock")
+                    .push((i, t0.elapsed().as_secs_f64() * 1e3));
+                res
+            },
+            &|_, _| {},
+        );
+        record_supervised_obs(&times, &out, |r| r.is_err());
+        out
+    }
+
+    /// Supervised session runs: [`Self::run_sessions`] under the full
+    /// retry/backoff/quarantine policy. `on_done` fires exactly once per
+    /// dataset — as soon as it succeeds or is quarantined, possibly from a
+    /// worker thread — which is what lets callers journal results
+    /// incrementally (the CLI's `--resume` support).
+    #[allow(clippy::type_complexity)]
+    pub fn run_sessions_supervised(
+        &self,
+        datasets: &[WetLabDataset],
+        detection_factor: f64,
+        sup: &SupervisorConfig,
+        on_done: &(dyn Fn(usize, &Result<Vec<TimePointResult>, FailureReport>) + Sync),
+    ) -> Result<Vec<Result<Vec<TimePointResult>, FailureReport>>, ParmaError> {
+        let base_pipeline = Pipeline::new(self.config, detection_factor)?;
+        let _span = mea_obs::span("parma/batch");
+        let pool = WorkStealingPool::new(self.threads);
+        let times: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+        let out = supervise(
+            &pool,
+            datasets.len(),
+            sup,
+            &|i, escalation, token| {
+                let _item = mea_obs::span("parma/batch/item");
+                let pipeline = if escalation == 0 {
+                    base_pipeline.clone()
+                } else {
+                    Pipeline::new(
+                        crate::supervisor::escalated(&self.config, escalation),
+                        detection_factor,
+                    )?
+                };
+                let t0 = Instant::now();
+                let res = pipeline.run_supervised(&datasets[i], token, sup.solve_deadline);
+                times
+                    .lock()
+                    .expect("batch timing lock")
+                    .push((i, t0.elapsed().as_secs_f64() * 1e3));
+                res
+            },
+            on_done,
+        );
+        record_supervised_obs(&times, &out, |r| r.is_err());
+        Ok(out)
+    }
+}
+
+/// Emits the batch counters and the id-ordered wall-time series for a
+/// supervised run: the same schema as the plain path (`parma.batch.items`,
+/// `parma.batch.failures`, `parma.batch.item_ms`), with attempts beyond
+/// the first contributing extra timing samples under the same item id.
+fn record_supervised_obs<T>(
+    times: &Mutex<Vec<(usize, f64)>>,
+    out: &[Result<T, FailureReport>],
+    failed: impl Fn(&Result<T, FailureReport>) -> bool,
+) {
+    let mut times = times.lock().expect("batch timing lock").clone();
+    times.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let ms: Vec<f64> = times.into_iter().map(|(_, ms)| ms).collect();
+    mea_obs::counter_add("parma.batch.items", out.len() as u64);
+    mea_obs::counter_add(
+        "parma.batch.failures",
+        out.iter().filter(|r| failed(r)).count() as u64,
+    );
+    mea_obs::record_series("parma.batch.item_ms", &ms);
 }
 
 /// One plan per distinct geometry in the batch (batches are usually
@@ -311,6 +422,127 @@ mod tests {
                     assert_eq!(x.to_bits(), y.to_bits());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn supervised_with_retries_disabled_matches_plain_bitwise() {
+        // The determinism contract: no retries, no deadlines, no chaos →
+        // the supervised path is the plain path, bit for bit.
+        let zs = measurements(5, 4);
+        let batch = BatchSolver::new(ParmaConfig::default(), 3).unwrap();
+        let plain = batch.solve_all(&zs);
+        let sup = SupervisorConfig {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let supervised = batch.solve_all_supervised(&zs, &sup);
+        for (a, b) in plain.iter().zip(&supervised) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.iterations, b.iterations);
+            for (x, y) in a.resistors.as_slice().iter().zip(b.resistors.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_escalation_rescues_a_tight_budget() {
+        // Base config too tight to converge (1 iteration) and recovery off:
+        // the first attempt diverges, the escalated retries widen the
+        // budget and arm the ladder until the solve lands.
+        let zs = measurements(4, 3);
+        let cfg = ParmaConfig {
+            max_iter: 1,
+            recovery: false,
+            ..Default::default()
+        };
+        let batch = BatchSolver::new(cfg, 2).unwrap();
+        let sup = SupervisorConfig {
+            max_retries: 8,
+            backoff: std::time::Duration::ZERO,
+            ..Default::default()
+        };
+        let out = batch.solve_all_supervised(&zs, &sup);
+        for (i, r) in out.iter().enumerate() {
+            let sol = r
+                .as_ref()
+                .unwrap_or_else(|rep| panic!("item {i} should be rescued, got {rep}"));
+            assert!(sol.residual <= ParmaConfig::default().tol);
+        }
+    }
+
+    #[test]
+    fn supervised_quarantines_bad_items_and_finishes_the_rest() {
+        let mut zs = measurements(4, 3);
+        zs.insert(1, CrossingMatrix::filled(MeaGrid::square(4), -2.0));
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        let out = batch.solve_all_supervised(&zs, &SupervisorConfig::default());
+        assert_eq!(out.len(), 4);
+        let report = out[1].as_ref().unwrap_err();
+        assert_eq!(report.kind, crate::supervisor::FailureKind::NonFiniteInput);
+        assert_eq!(report.item, 1);
+        assert_eq!(report.attempts.len(), 1, "bad input gets no retries");
+        for i in [0usize, 2, 3] {
+            assert!(out[i].is_ok(), "healthy item {i} must complete");
+        }
+    }
+
+    #[test]
+    fn supervised_sessions_match_plain_sessions_bitwise() {
+        let datasets: Vec<WetLabDataset> = (0..3)
+            .map(|k| {
+                WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 80 + k)
+                    .unwrap()
+            })
+            .collect();
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        let plain = batch.run_sessions(&datasets, 1.5).unwrap();
+        let sup = SupervisorConfig {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let done_count = std::sync::atomic::AtomicUsize::new(0);
+        let supervised = batch
+            .run_sessions_supervised(&datasets, 1.5, &sup, &|_, result| {
+                assert!(result.is_ok());
+                done_count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })
+            .unwrap();
+        assert_eq!(done_count.load(std::sync::atomic::Ordering::SeqCst), 3);
+        for (p, s) in plain.iter().zip(&supervised) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.len(), s.len());
+            for (a, b) in p.iter().zip(s) {
+                assert_eq!(a.solution.iterations, b.solution.iterations);
+                for (x, y) in a
+                    .solution
+                    .resistors
+                    .as_slice()
+                    .iter()
+                    .zip(b.solution.resistors.as_slice())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_solve_deadline_quarantines_as_timeout() {
+        let zs = measurements(4, 2);
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        let sup = SupervisorConfig {
+            max_retries: 1,
+            solve_deadline: Some(std::time::Duration::ZERO),
+            backoff: std::time::Duration::ZERO,
+            ..Default::default()
+        };
+        let out = batch.solve_all_supervised(&zs, &sup);
+        for r in &out {
+            let report = r.as_ref().unwrap_err();
+            assert_eq!(report.kind, crate::supervisor::FailureKind::Timeout);
+            assert_eq!(report.attempts.len(), 2, "timeout retries then quarantines");
         }
     }
 

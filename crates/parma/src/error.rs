@@ -24,6 +24,19 @@ pub enum ParmaError {
     },
     /// Dataset ingestion failed.
     Dataset(mea_model::DatasetError),
+    /// A supervised solve ran out of its time budget. Carries the estimate
+    /// at stop time so callers can inspect (or accept) it.
+    Timeout {
+        /// Iterations completed before the deadline fired.
+        iterations: usize,
+        /// The estimate at stop time, when one exists at this layer.
+        partial: Option<mea_model::ResistorGrid>,
+    },
+    /// A supervised solve was cancelled via its `CancelToken`.
+    Cancelled {
+        /// Iterations completed before cancellation.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for ParmaError {
@@ -41,6 +54,12 @@ impl fmt::Display for ParmaError {
                 "solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             ParmaError::Dataset(e) => write!(f, "dataset failure: {e}"),
+            ParmaError::Timeout { iterations, .. } => {
+                write!(f, "solve deadline exceeded after {iterations} iterations")
+            }
+            ParmaError::Cancelled { iterations } => {
+                write!(f, "solve cancelled after {iterations} iterations")
+            }
         }
     }
 }

@@ -16,6 +16,7 @@ use mea_equations::{EquationSystem, JacobianTemplate};
 use mea_linalg::{cgls, CooTriplets};
 use mea_linalg::{cgls_into, vec_ops, CglsOptions, CglsWorkspace, CsrMatrix, CsrPattern};
 use mea_model::{ForwardSolver, ForwardWorkspace, ResistorGrid, ZMatrix};
+use mea_parallel::{CancelToken, Interrupt};
 
 /// Options for [`full_newton_inverse`].
 #[derive(Clone, Copy, Debug)]
@@ -150,6 +151,20 @@ pub fn full_newton_inverse(
     voltage: f64,
     opts: &FullNewtonOptions,
 ) -> Result<FullNewtonOutcome, ParmaError> {
+    full_newton_supervised(z, voltage, opts, &CancelToken::unbounded())
+}
+
+/// Like [`full_newton_inverse`] but under a [`CancelToken`], polled once
+/// per outer Gauss-Newton iteration. A fired deadline surfaces as
+/// [`ParmaError::Timeout`] carrying the current resistor estimate; an
+/// uninterrupted run performs identical floating-point work to the
+/// unsupervised entry point.
+pub fn full_newton_supervised(
+    z: &ZMatrix,
+    voltage: f64,
+    opts: &FullNewtonOptions,
+    token: &CancelToken,
+) -> Result<FullNewtonOutcome, ParmaError> {
     if !z.is_physical() {
         return Err(ParmaError::InvalidMeasurement(
             "measured impedances must be strictly positive and finite".into(),
@@ -196,6 +211,17 @@ pub fn full_newton_inverse(
         max_iter: opts.inner_max_iter,
     };
     for it in 0..opts.max_iter {
+        // Iteration-boundary supervision only: no check inside the numeric
+        // work, so an uninterrupted run keeps its bits.
+        if let Some(interrupt) = token.check() {
+            return Err(match interrupt {
+                Interrupt::TimedOut => ParmaError::Timeout {
+                    iterations: it,
+                    partial: Some(sys.unpack_resistors(&x)),
+                },
+                Interrupt::Cancelled => ParmaError::Cancelled { iterations: it },
+            });
+        }
         let res = vec_ops::norm_inf(&fx);
         trace.push(res);
         if res <= opts.tol {
@@ -501,6 +527,28 @@ mod tests {
             );
             prev = norm;
         }
+    }
+
+    #[test]
+    fn supervised_timeout_carries_partial_estimate() {
+        let (_, z) = measured(4, 203);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match full_newton_supervised(&z, 5.0, &FullNewtonOptions::default(), &token) {
+            Err(ParmaError::Timeout {
+                iterations,
+                partial,
+            }) => {
+                assert_eq!(iterations, 0);
+                assert!(partial.expect("partial carried").is_physical());
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let cancelled = CancelToken::unbounded();
+        cancelled.cancel();
+        assert!(matches!(
+            full_newton_supervised(&z, 5.0, &FullNewtonOptions::default(), &cancelled),
+            Err(ParmaError::Cancelled { .. })
+        ));
     }
 
     #[test]

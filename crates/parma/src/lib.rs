@@ -51,6 +51,7 @@ pub mod path_solver;
 pub mod persistence;
 pub mod pipeline;
 pub mod solver;
+pub mod supervisor;
 
 pub use batch::BatchSolver;
 pub use betti::{parallelism_bound, BettiSchedule};
@@ -61,6 +62,7 @@ pub use formation::form_equations_parallel;
 pub use solver::{
     ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
 };
+pub use supervisor::{AttemptFailure, FailureKind, FailureReport, SupervisorConfig};
 
 /// Everything a typical caller needs.
 pub mod prelude {
@@ -73,8 +75,9 @@ pub mod prelude {
     pub use crate::solver::{
         ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
     };
+    pub use crate::supervisor::{FailureKind, FailureReport, SupervisorConfig};
     pub use mea_model::{
         AnomalyConfig, CrossingMatrix, ForwardSolver, MeaGrid, ResistorGrid, WetLabDataset, ZMatrix,
     };
-    pub use mea_parallel::Strategy;
+    pub use mea_parallel::{CancelToken, Strategy};
 }

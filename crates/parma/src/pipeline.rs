@@ -13,6 +13,7 @@ use crate::detect::{detect_anomalies, DetectionReport};
 use crate::error::ParmaError;
 use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
 use mea_model::WetLabDataset;
+use mea_parallel::CancelToken;
 
 /// One time point's outcome.
 #[derive(Clone, Debug)]
@@ -64,6 +65,21 @@ impl Pipeline {
     /// lands far closer than the raw previous map when anomalies grow
     /// between time points.
     pub fn run(&self, dataset: &WetLabDataset) -> Result<Vec<TimePointResult>, ParmaError> {
+        self.run_supervised(dataset, &CancelToken::unbounded(), None)
+    }
+
+    /// Like [`Self::run`] but under a [`CancelToken`] plus an optional
+    /// per-solve budget: each time point's solve runs under a child token
+    /// clamped to both the session token's deadline and `solve_budget`.
+    /// A fired token surfaces as [`ParmaError::Timeout`] /
+    /// [`ParmaError::Cancelled`]; an uninterrupted run is bitwise
+    /// identical to [`Self::run`].
+    pub fn run_supervised(
+        &self,
+        dataset: &WetLabDataset,
+        token: &CancelToken,
+        solve_budget: Option<std::time::Duration>,
+    ) -> Result<Vec<TimePointResult>, ParmaError> {
         let _span = mea_obs::span("pipeline/run");
         let mut out: Vec<TimePointResult> = Vec::with_capacity(dataset.measurements.len());
         let mut warm: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)> = None;
@@ -82,6 +98,7 @@ impl Pipeline {
                 plan = Some(SolvePlan::new(m.z.grid()));
             }
             let plan_ref = plan.as_ref().expect("plan installed above");
+            let solve_token = token.child(solve_budget);
             let solution = match &warm {
                 Some((prev_r, prev_z)) => {
                     let mut init = prev_r.clone();
@@ -89,9 +106,17 @@ impl Pipeline {
                         let ratio = m.z.get(i, j) / prev_z.get(i, j);
                         init.set(i, j, init.get(i, j) * ratio);
                     }
-                    solver.solve_with_scratch(plan_ref, &m.z, Some(init), &mut scratch)?
+                    solver.solve_supervised(
+                        plan_ref,
+                        &m.z,
+                        Some(init),
+                        &mut scratch,
+                        &solve_token,
+                    )?
                 }
-                None => solver.solve_with_scratch(plan_ref, &m.z, None, &mut scratch)?,
+                None => {
+                    solver.solve_supervised(plan_ref, &m.z, None, &mut scratch, &solve_token)?
+                }
             };
             let detection = {
                 let _d = mea_obs::span("detect");
@@ -185,6 +210,49 @@ mod tests {
             warm_total < cold_total,
             "across the session the warm start must save iterations: {warm_total} vs {cold_total}"
         );
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_run_bitwise() {
+        let ds = session(6, 91);
+        let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+        let plain = pipeline.run(&ds).unwrap();
+        let supervised = pipeline
+            .run_supervised(&ds, &CancelToken::unbounded(), None)
+            .unwrap();
+        assert_eq!(plain.len(), supervised.len());
+        for (a, b) in plain.iter().zip(&supervised) {
+            assert_eq!(a.solution.iterations, b.solution.iterations);
+            for (x, y) in a
+                .solution
+                .resistors
+                .as_slice()
+                .iter()
+                .zip(b.solution.resistors.as_slice())
+            {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn expired_session_deadline_stops_the_run() {
+        let ds = session(6, 91);
+        let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            pipeline.run_supervised(&ds, &token, None),
+            Err(ParmaError::Timeout { .. })
+        ));
+        // A zero per-solve budget also stops the run, via the child clamp.
+        assert!(matches!(
+            pipeline.run_supervised(
+                &ds,
+                &CancelToken::unbounded(),
+                Some(std::time::Duration::ZERO)
+            ),
+            Err(ParmaError::Timeout { .. })
+        ));
     }
 
     #[test]

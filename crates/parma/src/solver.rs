@@ -41,7 +41,7 @@
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
 use mea_model::{ForwardSolver, ForwardWorkspace, MeaGrid, ResistorGrid, ZMatrix};
-use mea_parallel::{execute, Strategy, WorkItem};
+use mea_parallel::{execute, CancelToken, Interrupt, Strategy, WorkItem};
 
 /// Result of a converged (or accepted) solve.
 #[derive(Clone, Debug)]
@@ -237,6 +237,23 @@ impl ParmaSolver {
         initial: Option<ResistorGrid>,
         scratch: &mut SolveScratch,
     ) -> Result<ParmaSolution, ParmaError> {
+        self.solve_supervised(plan, z, initial, scratch, &CancelToken::unbounded())
+    }
+
+    /// Like [`Self::solve_with_scratch`] but under a [`CancelToken`]: the
+    /// token is polled once per outer iteration (never inside the
+    /// floating-point work, so an uninterrupted supervised solve stays
+    /// bitwise identical to the plain entry points) and a fired token
+    /// surfaces as [`ParmaError::Timeout`] — carrying the partial iterate —
+    /// or [`ParmaError::Cancelled`].
+    pub fn solve_supervised(
+        &self,
+        plan: &SolvePlan,
+        z: &ZMatrix,
+        initial: Option<ResistorGrid>,
+        scratch: &mut SolveScratch,
+        token: &CancelToken,
+    ) -> Result<ParmaSolution, ParmaError> {
         self.config.validate()?;
         validate_measurements(z)?;
         let grid = z.grid();
@@ -312,6 +329,22 @@ impl ParmaSolver {
         let mut forward_current = false;
         let outcome = 'iterate: {
             for it in 0..self.config.max_iter {
+                // Supervision check at the iteration boundary only: an
+                // uninterrupted run performs exactly the unsupervised
+                // floating-point work (bitwise determinism contract).
+                if let Some(interrupt) = token.check() {
+                    mea_obs::counter_add("parma.solver.solves", 1);
+                    mea_obs::counter_add("parma.solver.failures", 1);
+                    mea_obs::counter_add("parma.solver.iterations", it as u64);
+                    mea_obs::record_series("parma.solver.residuals", &history);
+                    return Err(match interrupt {
+                        Interrupt::TimedOut => ParmaError::Timeout {
+                            iterations: it,
+                            partial: Some(r),
+                        },
+                        Interrupt::Cancelled => ParmaError::Cancelled { iterations: it },
+                    });
+                }
                 let forward = ensure_forward(fwd_slot, ws, &r, grid)?;
                 forward_current = true;
                 let residual = sweep_into(
@@ -840,6 +873,71 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "n = {n}, seed = {seed}");
             }
         }
+    }
+
+    #[test]
+    fn supervised_unbounded_is_bitwise_identical() {
+        let grid = MeaGrid::square(6);
+        let plan = SolvePlan::new(grid);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 11);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let solver = ParmaSolver::new(ParmaConfig::default());
+        let plain = solver.solve_with_plan(&plan, &z, None).unwrap();
+        let supervised = solver
+            .solve_supervised(
+                &plan,
+                &z,
+                None,
+                &mut SolveScratch::new(),
+                &CancelToken::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(plain.iterations, supervised.iterations);
+        for (a, b) in plain
+            .resistors
+            .as_slice()
+            .iter()
+            .zip(supervised.resistors.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_timeout_with_partial() {
+        let grid = MeaGrid::square(5);
+        let plan = SolvePlan::new(grid);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 3);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err = ParmaSolver::new(ParmaConfig::default())
+            .solve_supervised(&plan, &z, None, &mut SolveScratch::new(), &token)
+            .unwrap_err();
+        match err {
+            ParmaError::Timeout {
+                iterations,
+                partial,
+            } => {
+                assert_eq!(iterations, 0, "deadline was already expired");
+                let partial = partial.expect("solver-level timeout carries the iterate");
+                assert!(partial.is_physical(), "partial iterate must stay physical");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_as_cancelled() {
+        let grid = MeaGrid::square(5);
+        let plan = SolvePlan::new(grid);
+        let (truth, _) = AnomalyConfig::default().generate(grid, 3);
+        let z = ForwardSolver::new(&truth).unwrap().solve_all();
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let err = ParmaSolver::new(ParmaConfig::default())
+            .solve_supervised(&plan, &z, None, &mut SolveScratch::new(), &token)
+            .unwrap_err();
+        assert!(matches!(err, ParmaError::Cancelled { iterations: 0 }));
     }
 
     #[test]

@@ -129,6 +129,48 @@ fn batched_sessions_equal_sequential_pipeline_bitwise() {
 }
 
 #[test]
+fn supervised_sessions_equal_plain_sessions_bitwise() {
+    // The determinism contract of supervised execution: with retries
+    // disabled and no deadlines, the supervisor is a pure pass-through —
+    // session results carry exactly the plain batch's bits, per time
+    // point, at any thread count.
+    let datasets: Vec<WetLabDataset> = (0..3)
+        .map(|k| {
+            WetLabDataset::generate(MeaGrid::square(5), &AnomalyConfig::default(), 750 + k).unwrap()
+        })
+        .collect();
+    let sup = SupervisorConfig {
+        max_retries: 0,
+        ..Default::default()
+    };
+    let on_done = |_: usize, _: &Result<Vec<TimePointResult>, FailureReport>| {};
+    for threads in [1usize, 3] {
+        let batch = BatchSolver::new(ParmaConfig::default(), threads).unwrap();
+        let plain = batch.run_sessions(&datasets, 1.5).unwrap();
+        let supervised = batch
+            .run_sessions_supervised(&datasets, 1.5, &sup, &on_done)
+            .unwrap();
+        assert_eq!(plain.len(), supervised.len());
+        for (d, (p, s)) in plain.iter().zip(&supervised).enumerate() {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.len(), s.len());
+            for (tp_p, tp_s) in p.iter().zip(s) {
+                assert_eq!(tp_p.hours, tp_s.hours);
+                assert_solutions_bitwise_equal(
+                    &tp_s.solution,
+                    &tp_p.solution,
+                    &format!("dataset {d}, hour {}, {threads} threads", tp_p.hours),
+                );
+                assert_eq!(
+                    tp_p.detection.anomalies, tp_s.detection.anomalies,
+                    "dataset {d}: detection must follow the identical map"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn template_full_newton_agrees_with_production_batch() {
     // Third independent check that the symbolic-template Gauss-Newton path
     // and the batched fixed-point path still meet at the same root.

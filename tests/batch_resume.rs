@@ -1,0 +1,258 @@
+//! Checkpoint/resume contract of `parma batch --journal` / `--resume`:
+//! a batch killed mid-run and resumed must end with a journal whose
+//! entries are bitwise identical to an uninterrupted run's — same
+//! residual bit patterns, same resistor-map hashes — because resumed
+//! items are skipped, not re-solved, and leftover items solve
+//! deterministically regardless of batch composition.
+//!
+//! These tests spawn the real binary (`CARGO_BIN_EXE_parma`) so the kill
+//! exercises the actual process-death path, torn journal tail included.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn parma() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parma"))
+}
+
+fn generate(dir: &Path, name: &str, n: usize, seed: u64) {
+    let status = parma()
+        .args([
+            "generate",
+            "--n",
+            &n.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--out",
+            dir.join(name).to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn parma generate");
+    assert!(status.success(), "generate {name} failed");
+}
+
+/// Complete journal entries, sorted: the comparison key of the resume
+/// contract. A torn tail (killed mid-write) is excluded the same way the
+/// resuming process excludes it.
+fn sorted_valid_lines(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("{\"schema\":\"parma-journal/v1\"")
+                && l.ends_with('}')
+                && l.matches('{').count() == l.matches('}').count()
+        })
+        .map(str::to_string)
+        .collect();
+    lines.sort();
+    lines
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parma-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn killed_then_resumed_batch_matches_uninterrupted_journal_bitwise() {
+    let dir = fresh_dir("batch-resume");
+    let data = dir.join("data");
+    std::fs::create_dir_all(&data).unwrap();
+    for k in 0..6u64 {
+        generate(&data, &format!("s{k}.txt"), 8, 910 + k);
+    }
+    let data_s = data.to_str().unwrap();
+
+    // Reference: the uninterrupted run.
+    let reference = dir.join("reference.jsonl");
+    let out = parma()
+        .args([
+            "batch",
+            data_s,
+            "--threads",
+            "2",
+            "--journal",
+            reference.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn reference batch");
+    assert!(
+        out.status.success(),
+        "reference batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference_lines = sorted_valid_lines(&reference);
+    assert_eq!(reference_lines.len(), 6, "one journal entry per dataset");
+
+    // Victim: same batch, killed as soon as the journal shows progress.
+    // (If the machine is fast enough that it finishes first, the resume
+    // below degenerates to the all-skipped path — still a valid check.)
+    let victim = dir.join("victim.jsonl");
+    let victim_s = victim.to_str().unwrap();
+    let mut child = parma()
+        .args(["batch", data_s, "--threads", "2", "--journal", victim_s])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim batch");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if child.try_wait().expect("poll victim").is_some() {
+            break;
+        }
+        let progressed = std::fs::read_to_string(&victim)
+            .map(|t| t.lines().next().is_some())
+            .unwrap_or(false);
+        if progressed {
+            child.kill().ok();
+            child.wait().expect("reap victim");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim batch never journaled progress"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let after_kill = sorted_valid_lines(&victim).len();
+    assert!(after_kill <= 6, "journal cannot outgrow the batch");
+
+    // Resume: finishes the leftovers and exits cleanly.
+    let out = parma()
+        .args([
+            "batch",
+            data_s,
+            "--threads",
+            "2",
+            "--journal",
+            victim_s,
+            "--resume",
+        ])
+        .output()
+        .expect("spawn resumed batch");
+    assert!(
+        out.status.success(),
+        "resumed batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    if after_kill > 0 && after_kill < 6 {
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("already journaled, skipped"),
+            "resume must report the skips: {text}"
+        );
+    }
+
+    // The journal after kill + resume is bitwise the uninterrupted one.
+    assert_eq!(
+        sorted_valid_lines(&victim),
+        reference_lines,
+        "kill + resume must reproduce the uninterrupted journal bitwise"
+    );
+
+    // A second resume is a pure no-op: nothing re-solves, nothing is
+    // appended, the journal bytes do not move.
+    let before = std::fs::read(&victim).unwrap();
+    let out = parma()
+        .args([
+            "batch",
+            data_s,
+            "--threads",
+            "2",
+            "--journal",
+            victim_s,
+            "--resume",
+        ])
+        .output()
+        .expect("spawn no-op resume");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("resume: 6 dataset(s) already journaled, skipped"),
+        "{text}"
+    );
+    assert!(text.contains("batch: 0 solves"), "{text}");
+    assert_eq!(
+        std::fs::read(&victim).unwrap(),
+        before,
+        "a fully-journaled resume must not rewrite the journal"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_exits_with_status_3_and_journals_the_failure() {
+    let dir = fresh_dir("batch-quarantine");
+    let data = dir.join("data");
+    std::fs::create_dir_all(&data).unwrap();
+    generate(&data, "good.txt", 4, 77);
+    std::fs::write(
+        data.join("corrupt.txt"),
+        "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\nNaN\t1.0\n",
+    )
+    .unwrap();
+    let journal = dir.join("journal.jsonl");
+    let out = parma()
+        .args([
+            "batch",
+            data.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn batch");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "quarantine must exit with the distinct status, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("QUARANTINED [non_finite_input]"), "{text}");
+    assert!(text.contains("failures by kind:"), "{text}");
+    let lines = sorted_valid_lines(&journal);
+    assert_eq!(lines.len(), 2, "both items journal: {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains("\"status\":\"failed\"")
+            && l.contains("\"schema\":\"parma-failure/v1\"")
+            && l.contains("\"kind\":\"non_finite_input\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"path\":\"good.txt\"") && l.contains("\"status\":\"ok\"")),
+        "{lines:?}"
+    );
+
+    // A resume re-attempts the failed item (it might have been a flaky
+    // environment) and still quarantines it the same way.
+    let out = parma()
+        .args([
+            "batch",
+            data.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .expect("spawn resumed batch");
+    assert_eq!(out.status.code(), Some(3));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("good.txt: already journaled — skipped"),
+        "{text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

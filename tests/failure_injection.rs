@@ -49,10 +49,6 @@ fn dataset_parser_rejects_malformed_files() {
             "# parma-dataset v1\nrows 2\ncols 2\nmeasurement 0 5\n1.0\t2.0\n",
             "truncated",
         ),
-        (
-            "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\t0.0\n",
-            "zero impedance",
-        ),
     ];
     for (text, label) in cases {
         let err = WetLabDataset::read_text(text.as_bytes());
@@ -60,6 +56,52 @@ fn dataset_parser_rejects_malformed_files() {
             matches!(err, Err(DatasetError::Parse(_))),
             "case {label:?} must raise a parse error, got {err:?}"
         );
+    }
+    // Structurally valid but physically corrupt values get the *typed*
+    // rejection (the supervision taxonomy's non_finite_input), not Parse.
+    for (text, label) in [
+        (
+            "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\t0.0\n",
+            "zero impedance",
+        ),
+        (
+            "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\nNaN\t1.0\n",
+            "NaN impedance",
+        ),
+        (
+            "# parma-dataset v1\nrows 1\ncols 2\nmeasurement 0 5\n1.0\tinf\n",
+            "infinite impedance",
+        ),
+    ] {
+        let err = WetLabDataset::read_text(text.as_bytes());
+        assert!(
+            matches!(err, Err(DatasetError::NonPhysical { .. })),
+            "case {label:?} must raise the typed non-physical error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_fixture_files_are_rejected_at_ingestion() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    for name in ["corrupt_nan.txt", "corrupt_negative.txt"] {
+        let path = fixtures.join(name);
+        match WetLabDataset::load(&path) {
+            Err(DatasetError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            }) => {
+                assert!(
+                    !value.is_finite() || value <= 0.0,
+                    "{name}: reported value {value} is physical"
+                );
+                assert!(row < 3 && col < 3, "{name}: location ({row}, {col})");
+                assert!(hours <= 24, "{name}: hour stamp {hours}");
+            }
+            other => panic!("{name}: expected NonPhysical, got {other:?}"),
+        }
     }
 }
 
@@ -159,6 +201,109 @@ fn stalling_map() -> ResistorGrid {
     t.set(4, 1, 74914.31532065517);
     t.set(4, 4, 84194.91216249965);
     t
+}
+
+/// Measured impedances of a healthy 5×5 map degraded by `faults`.
+fn faulted_measurement(faults: &[mea_model::faults::Fault]) -> ZMatrix {
+    let grid = MeaGrid::square(5);
+    let (healthy, _) = AnomalyConfig::default().generate(grid, 321);
+    let degraded = mea_model::faults::apply_faults(&healthy, faults);
+    ForwardSolver::new(&degraded).unwrap().solve_all()
+}
+
+/// The supervised-batch contract on pathological hardware: every item
+/// either converges to a fully finite, physical map or comes back as a
+/// classified [`FailureReport`] — never a panic, never NaN output.
+fn assert_supervised_outcome_is_classified(z: ZMatrix, label: &str) {
+    let batch = BatchSolver::new(
+        ParmaConfig {
+            max_iter: 6_000,
+            recovery: true,
+            ..Default::default()
+        },
+        2,
+    )
+    .unwrap();
+    let sup = SupervisorConfig {
+        max_retries: 2,
+        backoff: std::time::Duration::ZERO,
+        ..Default::default()
+    };
+    let out = batch.solve_all_supervised(&[z], &sup);
+    match &out[0] {
+        Ok(sol) => {
+            assert!(
+                sol.resistors.is_physical(),
+                "{label}: converged output must be physical"
+            );
+            assert!(
+                sol.resistors.as_slice().iter().all(|v| v.is_finite()),
+                "{label}: converged output must be NaN-free"
+            );
+        }
+        Err(report) => {
+            assert!(
+                matches!(
+                    report.kind,
+                    FailureKind::Divergence | FailureKind::Timeout | FailureKind::Internal
+                ),
+                "{label}: unexpected classification {:?}",
+                report.kind
+            );
+            assert!(
+                !report.attempts.is_empty(),
+                "{label}: quarantine must log its attempts"
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_wire_grids_converge_or_classify() {
+    use mea_model::faults::Fault;
+    for (label, faults) in [
+        (
+            "dead horizontal wire",
+            vec![Fault::DeadHorizontalWire { i: 2 }],
+        ),
+        ("dead vertical wire", vec![Fault::DeadVerticalWire { j: 0 }]),
+        (
+            "two dead wires",
+            vec![
+                Fault::DeadHorizontalWire { i: 1 },
+                Fault::DeadVerticalWire { j: 3 },
+            ],
+        ),
+    ] {
+        assert_supervised_outcome_is_classified(faulted_measurement(&faults), label);
+    }
+}
+
+#[test]
+fn shorted_crossing_grids_converge_or_classify() {
+    use mea_model::faults::Fault;
+    for (label, faults) in [
+        (
+            "single shorted crossing",
+            vec![Fault::ShortCircuit { i: 2, j: 2 }],
+        ),
+        (
+            "shorted pair sharing a wire",
+            vec![
+                Fault::ShortCircuit { i: 1, j: 1 },
+                Fault::ShortCircuit { i: 1, j: 3 },
+            ],
+        ),
+        (
+            "short next to an open",
+            vec![
+                Fault::ShortCircuit { i: 0, j: 0 },
+                Fault::OpenCircuit { i: 0, j: 1 },
+            ],
+        ),
+    ] {
+        assert_supervised_outcome_is_classified(faulted_measurement(&faults), label);
+    }
 }
 
 #[test]
