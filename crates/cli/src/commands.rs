@@ -1,7 +1,7 @@
 //! The CLI commands: generate, solve, batch, topology, equations, verify.
 
 use crate::args::Args;
-use crate::{journal, CliError, EXIT_QUARANTINED};
+use crate::{journal, CliError, EXIT_QUARANTINED, EXIT_REGRESSION};
 use mea_equations::{form_all_equations, read_system, write_system, FormationCensus};
 use mea_model::{AnomalyConfig, ForwardSolver, MeaGrid, WetLabDataset};
 use mea_parallel::Strategy;
@@ -10,7 +10,35 @@ use parma::persistence::anomaly_persistence;
 use parma::prelude::*;
 use parma::AttemptFailure;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// This build's version, stamped into traces, journals and snapshots.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Provenance hash of everything that shapes a run's numeric output:
+/// FNV-1a-64 over the `Debug` rendering of the solver configuration plus
+/// any run-level knobs the caller appends. Identical config → identical
+/// hash, so journals and traces from the same setup stamp identically.
+fn config_fingerprint(config: &ParmaConfig, extras: &[(&str, String)]) -> String {
+    let mut text = format!("{config:?}");
+    for (k, v) in extras {
+        text.push_str(&format!("|{k}={v}"));
+    }
+    format!("{:016x}", journal::fnv1a64_bytes(text.as_bytes()))
+}
+
+/// Writes a finished trace either to a file or — for `--trace -` — to the
+/// command's output stream.
+fn write_trace<W: Write>(trace: &str, json: &str, out: &mut W) -> Result<(), String> {
+    if trace == "-" {
+        writeln!(out, "{json}").map_err(|e| e.to_string())
+    } else {
+        std::fs::write(trace, json).map_err(|e| format!("cannot write trace {trace:?}: {e}"))?;
+        writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())
+    }
+}
 
 fn grid_from(args: &Args) -> Result<MeaGrid, String> {
     match (args.get("rows"), args.get("cols")) {
@@ -98,9 +126,13 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let run_result = pipeline.run(&session);
     if let Some(trace) = trace_path {
         mea_obs::set_enabled(false);
-        let json = mea_obs::snapshot().to_json();
-        std::fs::write(trace, json).map_err(|e| format!("cannot write trace {trace:?}: {e}"))?;
-        writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())?;
+        let hash = config_fingerprint(&config, &[("detect", detect_factor.to_string())]);
+        let json = mea_obs::snapshot().to_json_with_meta(&[
+            ("schema", "parma-trace/v1"),
+            ("version", VERSION),
+            ("config_hash", &hash),
+        ]);
+        write_trace(trace, &json, out)?;
     }
     let results = run_result.map_err(|e| format!("solve failed: {e}"))?;
     writeln!(
@@ -195,6 +227,22 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 .into(),
         );
     }
+    let quiet = args.flag("quiet");
+    let metrics_addr = args.get("metrics-addr");
+    let metrics_addr_file = args.get("metrics-addr-file");
+    let metrics_linger: f64 = args.get_or("metrics-linger", 0.0)?;
+    if metrics_addr.is_none() && (metrics_addr_file.is_some() || metrics_linger != 0.0) {
+        return Err(
+            "--metrics-addr-file/--metrics-linger need --metrics-addr <host:port>"
+                .to_string()
+                .into(),
+        );
+    }
+    if !(0.0..=3600.0).contains(&metrics_linger) {
+        return Err("--metrics-linger must be between 0 and 3600 seconds"
+            .to_string()
+            .into());
+    }
 
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read directory {dir:?}: {e}"))?
@@ -249,6 +297,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                             kind,
                             detail,
                         }],
+                        events: Vec::new(),
                     }));
                 }
             }
@@ -260,8 +309,32 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .filter(|e| matches!(e, BatchEntry::Skipped))
         .count();
 
+    let config = ParmaConfig {
+        tol,
+        ..Default::default()
+    };
+    let cfg_hash = config_fingerprint(
+        &config,
+        &[
+            ("threads", threads.to_string()),
+            ("detect", detect_factor.to_string()),
+            ("supervisor", format!("{sup:?}")),
+        ],
+    );
+
     let journal = match journal_path {
-        Some(j) => Some(journal::Journal::open_append(std::path::Path::new(j))?),
+        Some(j) => {
+            let path = std::path::Path::new(j);
+            // A fresh journal leads with a provenance header; appends to an
+            // existing one must not, or resumes would interleave headers
+            // between entries.
+            let fresh = std::fs::metadata(path).map_or(true, |m| m.len() == 0);
+            let jr = journal::Journal::open_append(path)?;
+            if fresh {
+                jr.record(&journal::entry_header(&cfg_hash))?;
+            }
+            Some(jr)
+        }
         None => None,
     };
     if let Some(j) = &journal {
@@ -272,20 +345,50 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
     }
 
-    let config = ParmaConfig {
-        tol,
-        ..Default::default()
-    };
     let solver =
         BatchSolver::new(config, threads).map_err(|e| format!("bad configuration: {e}"))?;
-    if trace_path.is_some() {
+    let live = metrics_addr.is_some();
+    if trace_path.is_some() || live {
         mea_obs::reset();
+    }
+    if trace_path.is_some() {
         mea_obs::set_enabled(true);
     }
+    if live {
+        mea_obs::set_live(true);
+    }
+    let server = match metrics_addr {
+        Some(addr) => {
+            let meta = vec![
+                ("schema".to_string(), "parma-snapshot/v1".to_string()),
+                ("version".to_string(), VERSION.to_string()),
+                ("config_hash".to_string(), cfg_hash.clone()),
+            ];
+            let srv = mea_obs::serve::MetricsServer::start(addr, meta).map_err(CliError::from)?;
+            if let Some(f) = metrics_addr_file {
+                std::fs::write(f, srv.addr().to_string())
+                    .map_err(|e| format!("cannot write {f:?}: {e}"))?;
+            }
+            if !quiet {
+                eprintln!(
+                    "metrics: serving /metrics /snapshot /events on http://{}",
+                    srv.addr()
+                );
+            }
+            Some(srv)
+        }
+        None => None,
+    };
     // `on_done` runs while the supervisor holds the batch; journal IO
     // errors are collected and surfaced once the run finishes.
     let journal_errors: std::sync::Mutex<Vec<String>> = Default::default();
+    let done_items = Arc::new(AtomicUsize::new(0));
+    let failed_items = Arc::new(AtomicUsize::new(0));
     let on_done = |i: usize, res: &Result<Vec<TimePointResult>, FailureReport>| {
+        match res {
+            Ok(_) => done_items.fetch_add(1, Ordering::Relaxed),
+            Err(_) => failed_items.fetch_add(1, Ordering::Relaxed),
+        };
         if let Some(j) = &journal {
             let line = match res {
                 Ok(tps) => journal::entry_ok(&work_names[i], tps),
@@ -297,13 +400,29 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
     };
     let t0 = std::time::Instant::now();
+    let reporter_stop = Arc::new(AtomicBool::new(false));
+    let reporter = (live && !quiet).then(|| {
+        progress_reporter(
+            sessions.len(),
+            Arc::clone(&done_items),
+            Arc::clone(&failed_items),
+            Arc::clone(&reporter_stop),
+        )
+    });
     let run_result = solver.run_sessions_supervised(&sessions, detect_factor, &sup, &on_done);
     let elapsed = t0.elapsed();
+    reporter_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = reporter {
+        handle.join().ok();
+    }
     if let Some(trace) = trace_path {
         mea_obs::set_enabled(false);
-        let json = mea_obs::snapshot().to_json();
-        std::fs::write(trace, json).map_err(|e| format!("cannot write trace {trace:?}: {e}"))?;
-        writeln!(out, "trace written to {trace}").map_err(|e| e.to_string())?;
+        let json = mea_obs::snapshot().to_json_with_meta(&[
+            ("schema", "parma-trace/v1"),
+            ("version", VERSION),
+            ("config_hash", &cfg_hash),
+        ]);
+        write_trace(trace, &json, out)?;
     }
     let results = run_result.map_err(|e| format!("batch failed: {e}"))?;
     if let Some(e) = journal_errors
@@ -327,18 +446,22 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     for (name, entry) in names.iter().zip(&entries) {
         match entry {
             BatchEntry::Skipped => {
-                writeln!(out, "  {name}: already journaled — skipped")
-                    .map_err(|e| e.to_string())?;
+                if !quiet {
+                    writeln!(out, "  {name}: already journaled — skipped")
+                        .map_err(|e| e.to_string())?;
+                }
             }
             BatchEntry::Unloadable(report) => {
                 quarantined.push(report);
-                writeln!(
-                    out,
-                    "  {name}: QUARANTINED [{}] — {}",
-                    report.kind.label(),
-                    report.detail
-                )
-                .map_err(|e| e.to_string())?;
+                if !quiet {
+                    writeln!(
+                        out,
+                        "  {name}: QUARANTINED [{}] — {}",
+                        report.kind.label(),
+                        report.detail
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
             }
             BatchEntry::Work(i) => match &results[*i] {
                 Ok(time_points) => {
@@ -349,28 +472,32 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                         .map(|r| r.solution.residual)
                         .fold(0.0f64, f64::max);
                     let last = time_points.last();
-                    writeln!(
-                        out,
-                        "  {name}: {} time points, {} iterations, worst residual {:.2e}, \
-                         {} anomalies at hour {}",
-                        time_points.len(),
-                        iterations,
-                        worst,
-                        last.map_or(0, |r| r.detection.anomalies.len()),
-                        last.map_or(0, |r| r.hours)
-                    )
-                    .map_err(|e| e.to_string())?;
+                    if !quiet {
+                        writeln!(
+                            out,
+                            "  {name}: {} time points, {} iterations, worst residual {:.2e}, \
+                             {} anomalies at hour {}",
+                            time_points.len(),
+                            iterations,
+                            worst,
+                            last.map_or(0, |r| r.detection.anomalies.len()),
+                            last.map_or(0, |r| r.hours)
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
                 }
                 Err(report) => {
                     quarantined.push(report);
-                    writeln!(
-                        out,
-                        "  {name}: QUARANTINED [{}] after {} attempt(s) — {}",
-                        report.kind.label(),
-                        report.attempts.len(),
-                        report.detail
-                    )
-                    .map_err(|e| e.to_string())?;
+                    if !quiet {
+                        writeln!(
+                            out,
+                            "  {name}: QUARANTINED [{}] after {} attempt(s) — {}",
+                            report.kind.label(),
+                            report.attempts.len(),
+                            report.detail
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
                 }
             },
         }
@@ -395,6 +522,24 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         quarantined.len()
     )
     .map_err(|e| e.to_string())?;
+    // The listener outlives the run by --metrics-linger seconds so
+    // scrapers (and the CI smoke check) can read the final counters
+    // before the process exits.
+    if let Some(mut srv) = server {
+        if metrics_linger > 0.0 {
+            if !quiet {
+                eprintln!(
+                    "metrics: lingering {metrics_linger}s on http://{}",
+                    srv.addr()
+                );
+            }
+            std::thread::sleep(Duration::from_secs_f64(metrics_linger));
+        }
+        srv.shutdown();
+    }
+    if live {
+        mea_obs::set_live(false);
+    }
     if quarantined.is_empty() {
         return Ok(());
     }
@@ -411,6 +556,240 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         code: EXIT_QUARANTINED,
         message: format!("{} dataset(s) quarantined", quarantined.len()),
     })
+}
+
+/// Spawns the once-a-second stderr progress line for a live batch:
+/// decided/failed/retried counts, solve-latency quantiles from the
+/// process-global histogram, and a rate-based ETA. Reads only atomics and
+/// telemetry snapshots, so it never perturbs the solve itself.
+fn progress_reporter(
+    total: usize,
+    done: Arc<AtomicUsize>,
+    failed: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let t0 = std::time::Instant::now();
+        loop {
+            // Sleep one second in short slices so shutdown is prompt and
+            // short batches finish without ever printing.
+            for _ in 0..10 {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            let d = done.load(Ordering::Relaxed);
+            let f = failed.load(Ordering::Relaxed);
+            let retried = mea_obs::snapshot()
+                .counter("parma.batch.retries")
+                .unwrap_or(0);
+            let solve = mea_obs::hist::histogram("parma.solve_ms").snapshot();
+            let (p50, p99) = if solve.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (solve.quantile(0.5), solve.quantile(0.99))
+            };
+            let decided = d + f;
+            let eta = if decided > 0 && decided < total {
+                let per_item = t0.elapsed().as_secs_f64() / decided as f64;
+                format!("{:.1}s", per_item * (total - decided) as f64)
+            } else {
+                "—".to_string()
+            };
+            eprintln!(
+                "progress: {d}/{total} done, {f} failed, {retried} retried | \
+                 solve p50 {p50:.2} ms p99 {p99:.2} ms | ETA {eta}"
+            );
+        }
+    })
+}
+
+/// `parma serve-metrics`: a stand-alone live-telemetry listener over the
+/// process-global registry — /metrics (Prometheus text 0.0.4), /snapshot
+/// (full JSON) and /events (flight-recorder JSONL). Mostly useful for
+/// smoke-testing scrapers and dashboards against the exposition format
+/// without running a batch.
+pub fn serve_metrics<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9184");
+    let secs: f64 = args.get_or("for", 0.0)?;
+    if !(0.0..=86_400.0).contains(&secs) {
+        return Err("--for must be between 0 and 86400 seconds".into());
+    }
+    mea_obs::set_live(true);
+    let meta = vec![
+        ("schema".to_string(), "parma-snapshot/v1".to_string()),
+        ("version".to_string(), VERSION.to_string()),
+    ];
+    let mut server = mea_obs::serve::MetricsServer::start(addr, meta)?;
+    if let Some(f) = args.get("addr-file") {
+        std::fs::write(f, server.addr().to_string())
+            .map_err(|e| format!("cannot write {f:?}: {e}"))?;
+    }
+    writeln!(
+        out,
+        "serving /metrics /snapshot /events on http://{}",
+        server.addr()
+    )
+    .map_err(|e| e.to_string())?;
+    if secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        server.shutdown();
+        mea_obs::set_live(false);
+        Ok(())
+    } else {
+        // Serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}
+
+/// One kernel row of a `parma-bench/kernels-v1` file.
+struct BenchKernel {
+    name: String,
+    n: u64,
+    opt_ms: f64,
+}
+
+/// Loads and validates a `parma-bench/kernels-v1` file.
+fn load_bench(path: &str) -> Result<Vec<BenchKernel>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench file {path:?}: {e}"))?;
+    let doc = mea_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("parma-bench/kernels-v1") => {}
+        other => {
+            return Err(format!(
+                "{path}: expected schema \"parma-bench/kernels-v1\", found {other:?}"
+            ))
+        }
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("{path}: missing \"kernels\" array"))?;
+    let mut rows = Vec::with_capacity(kernels.len());
+    for (i, k) in kernels.iter().enumerate() {
+        let field = |key: &str| {
+            k.get(key)
+                .ok_or_else(|| format!("{path}: kernel #{i} is missing {key:?}"))
+        };
+        rows.push(BenchKernel {
+            name: field("name")?
+                .as_str()
+                .ok_or_else(|| format!("{path}: kernel #{i} name is not a string"))?
+                .to_string(),
+            n: field("n")?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: kernel #{i} n is not a number"))?
+                as u64,
+            opt_ms: field("opt_ms")?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: kernel #{i} opt_ms is not a number"))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// `parma bench diff old.json new.json [--tolerance F]`: compares two
+/// kernel-benchmark exports and prints a per-kernel delta table. Exits
+/// with [`EXIT_REGRESSION`] when any kernel's optimized time grew by more
+/// than the tolerance fraction — the CI perf gate.
+pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("diff") => {}
+        Some(other) => return Err(format!("unknown bench subcommand {other:?} (try diff)").into()),
+        None => {
+            return Err("usage: parma bench diff <old.json> <new.json>"
+                .to_string()
+                .into())
+        }
+    }
+    let (Some(old_path), Some(new_path)) = (args.positional(1), args.positional(2)) else {
+        return Err("usage: parma bench diff <old.json> <new.json>"
+            .to_string()
+            .into());
+    };
+    if let Some(extra) = args.positional(3) {
+        return Err(format!("unexpected extra argument {extra:?}").into());
+    }
+    let tolerance: f64 = args.get_or("tolerance", 0.25)?;
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err("--tolerance must be a non-negative fraction (0.25 = 25%)"
+            .to_string()
+            .into());
+    }
+    let old = load_bench(old_path)?;
+    let new = load_bench(new_path)?;
+    let old_by_key: std::collections::BTreeMap<(&str, u64), f64> = old
+        .iter()
+        .map(|k| ((k.name.as_str(), k.n), k.opt_ms))
+        .collect();
+
+    writeln!(
+        out,
+        "{:<20} {:>4} {:>12} {:>12} {:>8}",
+        "kernel", "n", "old ms", "new ms", "delta"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut compared = 0usize;
+    let mut worst: Option<(f64, String)> = None;
+    for k in &new {
+        let Some(&old_ms) = old_by_key.get(&(k.name.as_str(), k.n)) else {
+            writeln!(
+                out,
+                "{:<20} {:>4} {:>12} {:>12.6} {:>8}",
+                k.name, k.n, "—", k.opt_ms, "new"
+            )
+            .map_err(|e| e.to_string())?;
+            continue;
+        };
+        compared += 1;
+        // Ratio of new to old time; guard zero/denormal baselines.
+        let ratio = if old_ms > 0.0 { k.opt_ms / old_ms } else { 1.0 };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        writeln!(
+            out,
+            "{:<20} {:>4} {:>12.6} {:>12.6} {:>+7.1}%",
+            k.name, k.n, old_ms, k.opt_ms, delta_pct
+        )
+        .map_err(|e| e.to_string())?;
+        if worst.as_ref().is_none_or(|(w, _)| ratio > *w) {
+            worst = Some((ratio, format!("{} (n={})", k.name, k.n)));
+        }
+    }
+    let dropped = old.len().saturating_sub(compared);
+    if dropped > 0 {
+        writeln!(
+            out,
+            "note: {dropped} kernel(s) in {old_path} have no match in {new_path}"
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if compared == 0 {
+        return Err("no common kernels to compare".to_string().into());
+    }
+    let (worst_ratio, worst_name) = worst.expect("compared > 0 implies a worst entry");
+    writeln!(
+        out,
+        "bench diff: {compared} kernel(s) compared, worst {:+.1}% on {worst_name} \
+         (tolerance {:+.0}%)",
+        (worst_ratio - 1.0) * 100.0,
+        tolerance * 100.0
+    )
+    .map_err(|e| e.to_string())?;
+    if worst_ratio > 1.0 + tolerance {
+        return Err(CliError {
+            code: EXIT_REGRESSION,
+            message: format!(
+                "kernel regression: {worst_name} slowed down {:+.1}% (> {:.0}% tolerance)",
+                (worst_ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// `parma topology`: the device's topological invariants.

@@ -20,8 +20,24 @@ use std::sync::Mutex;
 /// Schema tag carried by every journal line.
 pub const SCHEMA: &str = "parma-journal/v1";
 
-/// FNV-1a 64 over the IEEE-754 bit patterns of a value slice: a cheap,
-/// dependency-free content hash that changes iff any output bit changes.
+/// Schema tag of the provenance header written once at the top of a fresh
+/// journal. The tag deliberately differs from [`SCHEMA`] so resume logic
+/// (and older readers), which match entry lines by their exact schema
+/// prefix, skip it without special casing.
+pub const HEADER_SCHEMA: &str = "parma-journal-header/v1";
+
+/// FNV-1a 64 over raw bytes: a cheap, dependency-free content hash.
+pub fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64 over the IEEE-754 bit patterns of a value slice: changes iff
+/// any output bit changes.
 fn fnv1a64(values: &[f64]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for v in values {
@@ -31,6 +47,20 @@ fn fnv1a64(values: &[f64]) -> u64 {
         }
     }
     h
+}
+
+/// The provenance header line: who wrote this journal and under what
+/// configuration. Deterministic for a given build + configuration, so the
+/// resume contract ("kill + resume reproduces the uninterrupted journal
+/// bitwise") extends to the header.
+pub fn entry_header(config_hash: &str) -> String {
+    let mut out = String::with_capacity(96);
+    let mut obj = json::Object::begin(&mut out);
+    obj.field_str("schema", HEADER_SCHEMA);
+    obj.field_str("version", env!("CARGO_PKG_VERSION"));
+    obj.field_str("config_hash", config_hash);
+    obj.end();
+    out
 }
 
 /// The journal line for a dataset whose every time point solved.
@@ -210,6 +240,7 @@ mod tests {
                 kind: FailureKind::Divergence,
                 detail: "did not converge".into(),
             }],
+            events: Vec::new(),
         }
     }
 
@@ -280,6 +311,37 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_lines_are_complete_json_but_never_load_as_entries() {
+        let header = entry_header("00000000deadbeef");
+        assert!(
+            header.starts_with("{\"schema\":\"parma-journal-header/v1\",\"version\":\""),
+            "{header}"
+        );
+        assert!(header.contains("\"config_hash\":\"00000000deadbeef\""));
+        assert!(balanced(&header), "{header}");
+        // The entry filter must skip it — its schema tag is not SCHEMA.
+        assert!(!entry_is_complete(&header), "{header}");
+        let dir = std::env::temp_dir().join("parma-journal-header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.jsonl");
+        let ok = entry_failed("done.txt", &sample_report()).replace("failed", "ok");
+        std::fs::write(&path, format!("{header}\n{ok}\n")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.len(), 1, "header must not load as an item: {done:?}");
+        assert_eq!(done.get("done.txt").map(String::as_str), Some("ok"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv1a64_bytes_is_stable() {
+        // Pinned value: the hash feeds config provenance stamps, which the
+        // resume bitwise contract depends on.
+        assert_eq!(fnv1a64_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64_bytes(b"ab"), fnv1a64_bytes(b"ba"));
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub use args::{ArgError, Args};
 /// "rerun the stragglers" from "the invocation itself is broken".
 pub const EXIT_QUARANTINED: i32 = 3;
 
+/// Exit status for `parma bench diff` when a kernel slowed down past
+/// `--tolerance`: distinct from usage errors (2) so CI can make the
+/// perf gate a soft (or hard) check without string-matching output.
+pub const EXIT_REGRESSION: i32 = 4;
+
 /// A command failure: the message to print and the process exit status.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
@@ -43,19 +48,22 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
         return Err(usage().into());
     }
     let command = raw[0].as_str();
-    // `batch` takes a positional operand (the dataset directory) and the
-    // value-less `--resume` switch; every other command is pure
+    // `batch` takes a positional operand (the dataset directory) plus the
+    // value-less `--resume`/`--quiet` switches, and `bench` takes a
+    // subcommand with file operands; every other command is pure
     // `--key value`.
-    let args = if command == "batch" {
-        Args::parse_with_switches(&raw[1..], &["resume"])
-    } else {
-        Args::parse(&raw[1..])
+    let args = match command {
+        "batch" => Args::parse_with_switches(&raw[1..], &["resume", "quiet"]),
+        "bench" => Args::parse_with_positionals(&raw[1..]),
+        _ => Args::parse(&raw[1..]),
     }
     .map_err(|e| CliError::from(format!("{e}\n\n{}", usage())))?;
     match command {
         "generate" => commands::generate(&args, out).map_err(CliError::from),
         "solve" => commands::solve(&args, out).map_err(CliError::from),
         "batch" => commands::batch(&args, out),
+        "serve-metrics" => commands::serve_metrics(&args, out).map_err(CliError::from),
+        "bench" => commands::bench(&args, out),
         "topology" => commands::topology(&args, out).map_err(CliError::from),
         "equations" => commands::equations(&args, out).map_err(CliError::from),
         "verify" => commands::verify(&args, out).map_err(CliError::from),
@@ -78,9 +86,13 @@ USAGE:
                   [--threads T] [--tol E] [--detect F] [--prominence P]
                   [--trace <file>]   write a JSON trace (stage timings, solver
                                      residual curves, scheduler stats)
-  parma batch     <dir> [--threads T] [--tol E] [--detect F] [--trace <file>]
+  parma batch     <dir> [--threads T] [--tol E] [--detect F] [--trace <file>|-]
                   [--journal <file>] [--resume] [--max-retries N]
                   [--deadline S] [--solve-deadline S] [--backoff-ms MS]
+                  [--metrics-addr HOST:PORT] [--metrics-addr-file <file>]
+                  [--metrics-linger S] [--quiet]
+  parma serve-metrics [--addr HOST:PORT] [--addr-file <file>] [--for S]
+  parma bench     diff <old.json> <new.json> [--tolerance F]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
   parma verify    --n <N> --input <equation-file>
@@ -94,7 +106,21 @@ COMMANDS:
              and deadlines (--deadline, --solve-deadline, in seconds); with
              --journal every finished item is fsync'd to an append-only
              JSON-lines sidecar and --resume skips already-journaled items;
-             exits with status 3 when any item is quarantined
+             exits with status 3 when any item is quarantined; with
+             --metrics-addr a live HTTP listener serves Prometheus text at
+             /metrics, full JSON at /snapshot and the flight-recorder ring
+             at /events while the run makes one-line stderr progress
+             reports (--quiet silences per-item and progress lines;
+             --metrics-linger keeps the listener up after the run;
+             --metrics-addr-file writes the bound address, so --metrics-addr
+             with port 0 is discoverable); --trace - streams the trace to
+             standard output
+  serve-metrics
+             stand-alone metrics listener over the process-global registry
+             (--for S exits after S seconds; default serves until killed)
+  bench      diff two `parma-bench/kernels-v1` files (see `figures kernels`)
+             kernel by kernel; exits with status 4 when any kernel slowed
+             down by more than --tolerance (default 0.25 = 25%)
   topology   print the device's topological invariants (joints, Betti numbers, cycles)
   equations  form the 2n³ joint-constraint system and write it as text
   verify     parse an equation file back and check it is complete"
@@ -178,8 +204,45 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Trace-producing tests share the process-global observability
+    /// registry; serialize them so resets never interleave.
+    fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn solve_trace_to_stdout_with_dash() {
+        let _guard = obs_guard();
+        let dir = std::env::temp_dir().join("parma-cli-trace-stdout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("session.txt");
+        run_str(&[
+            "generate",
+            "--n",
+            "4",
+            "--seed",
+            "8",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&["solve", "--input", data.to_str().unwrap(), "--trace", "-"]).unwrap();
+        assert!(
+            out.contains("{\"schema\":\"parma-trace/v1\",\"version\":\""),
+            "{out}"
+        );
+        assert!(out.contains("\"config_hash\":\""), "{out}");
+        assert!(out.contains("\"pipeline/run\""), "{out}");
+        assert!(!out.contains("trace written"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn solve_trace_flag_writes_json_trace() {
+        let _guard = obs_guard();
         let dir = std::env::temp_dir().join("parma-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let data = dir.join("trace-session.txt");
@@ -256,6 +319,91 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let err = run_str(&["batch", dir.to_str().unwrap()]).unwrap_err();
         assert!(err.contains("no dataset files"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_quiet_suppresses_per_item_lines() {
+        let dir = std::env::temp_dir().join("parma-cli-quiet-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        run_str(&[
+            "generate",
+            "--n",
+            "4",
+            "--seed",
+            "5",
+            "--out",
+            dir.join("a.txt").to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_str(&["batch", dir.to_str().unwrap(), "--quiet"]).unwrap();
+        assert!(!out.contains("a.txt:"), "per-item line leaked: {out}");
+        assert!(out.contains("batch: 4 solves"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_passes_within_tolerance_and_exits_4_past_it() {
+        let dir = std::env::temp_dir().join("parma-cli-bench-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        std::fs::write(
+            &old,
+            r#"{"schema":"parma-bench/kernels-v1","kernels":[
+                {"name":"dense mul","n":4,"naive_ms":1.0,"opt_ms":0.50},
+                {"name":"dot","n":4,"naive_ms":0.1,"opt_ms":0.08}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            r#"{"schema":"parma-bench/kernels-v1","kernels":[
+                {"name":"dense mul","n":4,"naive_ms":1.0,"opt_ms":0.55},
+                {"name":"dot","n":4,"naive_ms":0.1,"opt_ms":0.08}]}"#,
+        )
+        .unwrap();
+        // +10% on one kernel: inside the default 25% tolerance.
+        let text = run_str(&[
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("2 kernel(s) compared"), "{text}");
+        assert!(text.contains("+10.0%"), "{text}");
+        // The same diff fails a 5% tolerance with the distinct exit code.
+        let raw: Vec<String> = [
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--tolerance",
+            "0.05",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&raw, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.code, EXIT_REGRESSION);
+        assert!(err.message.contains("dense mul"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_rejects_bad_inputs() {
+        let err = run_str(&["bench", "diff"]).unwrap_err();
+        assert!(err.contains("usage"), "{err}");
+        let err = run_str(&["bench", "frobnicate", "a", "b"]).unwrap_err();
+        assert!(err.contains("unknown bench subcommand"), "{err}");
+        let dir = std::env::temp_dir().join("parma-cli-bench-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bogus = dir.join("bogus.json");
+        std::fs::write(&bogus, r#"{"schema":"something-else","kernels":[]}"#).unwrap();
+        let p = bogus.to_str().unwrap();
+        let err = run_str(&["bench", "diff", p, p]).unwrap_err();
+        assert!(err.contains("parma-bench/kernels-v1"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

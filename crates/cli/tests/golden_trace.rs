@@ -252,11 +252,21 @@ fn quarantine_report_and_journal_schema_are_stable() {
     assert!(table_at < row_at, "table header precedes its rows");
     offset_of(&text, "1 failure(s)");
 
-    // The journal: one complete `parma-journal/v1` line per item, with
-    // the key order pinned (schema, path, status, payload).
+    // The journal: a provenance header, then one complete
+    // `parma-journal/v1` line per item, with the key order pinned
+    // (schema, path, status, payload).
     let jtext = std::fs::read_to_string(&journal).unwrap();
-    assert_eq!(jtext.lines().count(), 2);
-    for line in jtext.lines() {
+    assert_eq!(jtext.lines().count(), 3);
+    let header = jtext.lines().next().unwrap();
+    assert!(
+        header.starts_with("{\"schema\":\"parma-journal-header/v1\",\"version\":\""),
+        "journal header prefix drifted: {header}"
+    );
+    assert!(
+        header.contains("\"config_hash\":\""),
+        "header must stamp the config hash: {header}"
+    );
+    for line in jtext.lines().skip(1) {
         assert!(
             line.starts_with("{\"schema\":\"parma-journal/v1\",\"path\":\""),
             "journal line prefix drifted: {line}"
@@ -277,6 +287,10 @@ fn quarantine_report_and_journal_schema_are_stable() {
     );
     offset_of(&jtext, "\"kind\":\"non_finite_input\"");
     offset_of(&jtext, "\"attempts\":[{\"attempt\":0,");
+    // PR 5 provenance fields ride at the report's tail so the prefix
+    // greps above keep working.
+    offset_of(&jtext, "\"version\":\"");
+    offset_of(&jtext, "\"events\":[");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -8,28 +8,54 @@
 //!   trace shows `pipeline/form_equations`, `pipeline/solve/cg`, …
 //! * [`counter_add`] — monotonic counters (solver iterations, retries,
 //!   steals),
+//! * [`gauge_set`] — last-value gauges (pool geometry, worker busy time),
 //! * [`record_series`] — numeric series (residual histories, per-worker
 //!   busy milliseconds), kept one `Vec<f64>` per recording so repeated
 //!   solves stay distinguishable,
+//! * [`hist`] — lock-free log-linear histograms for latency/iteration
+//!   distributions with p50/p90/p99 extraction,
+//! * [`events`] — a bounded lock-free flight recorder of structured
+//!   events (solve start/end, retries, quarantines, steals),
+//! * [`expo`] — Prometheus text-format 0.0.4 rendering of a snapshot,
+//! * [`serve`] — a std-only HTTP listener exposing `/metrics` and
+//!   `/snapshot` for live scraping during long batch runs,
 //! * [`snapshot`] / [`Snapshot::to_json`] — export to machine-readable
 //!   JSON for the CLI's `--trace <path>` flag and the bench harness.
 //!
-//! Tracing is **off by default** and the disabled fast path is a single
+//! Collection is **off by default** and the disabled fast path is a single
 //! relaxed atomic load — no allocation, no locking — so instrumented hot
-//! loops cost nothing in normal runs. Everything funnels into one
-//! process-global registry guarded by a `Mutex`; recording happens at
-//! span *end* (and at explicit counter/series calls), never per loop
-//! iteration, so contention stays negligible.
+//! loops cost nothing in normal runs. Two independent gates share that
+//! load:
+//!
+//! * **trace** ([`set_enabled`]) — the original one-shot trace mode. It
+//!   additionally turns on spans and series, which grow without bound and
+//!   are therefore reserved for bounded runs that end in a trace dump.
+//! * **live** ([`set_live`]) — bounded-memory telemetry only: counters,
+//!   gauges, histograms and the event ring. Safe to leave on for hours;
+//!   this is what `--metrics-addr` uses.
+//!
+//! Registry recording happens at span *end* (and at explicit
+//! counter/series calls), never per loop iteration, so contention stays
+//! negligible; histograms and events bypass the registry mutex entirely.
 
+pub mod events;
+pub mod expo;
+pub mod hist;
 pub mod json;
+pub mod serve;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit for trace mode: spans + series + everything live mode records.
+const FLAG_TRACE: u8 = 1 << 0;
+/// Bit for live mode: counters, gauges, histograms, events only.
+const FLAG_LIVE: u8 = 1 << 1;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry::new());
 
 thread_local! {
@@ -40,6 +66,7 @@ thread_local! {
 struct Registry {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, Vec<Vec<f64>>>,
 }
 
@@ -48,6 +75,7 @@ impl Registry {
         Registry {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             series: BTreeMap::new(),
         }
     }
@@ -63,20 +91,51 @@ struct SpanStat {
 /// Turns trace collection on or off. Turning it off does not clear data
 /// already collected; call [`reset`] for that.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_flag(FLAG_TRACE, on);
 }
 
 /// Whether trace collection is currently on.
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & FLAG_TRACE != 0
 }
 
-/// Clears all collected spans, counters and series.
+/// Turns bounded-memory live telemetry (counters, gauges, histograms,
+/// events) on or off, without enabling the unbounded span/series
+/// recording that trace mode adds.
+pub fn set_live(on: bool) {
+    set_flag(FLAG_LIVE, on);
+}
+
+/// Whether live telemetry is currently on.
+pub fn is_live() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_LIVE != 0
+}
+
+/// Whether *any* collection is on — the gate for the bounded-memory
+/// instruments (counters, gauges, histograms, events).
+pub fn is_active() -> bool {
+    FLAGS.load(Ordering::Relaxed) != 0
+}
+
+fn set_flag(bit: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
+
+/// Clears all collected spans, counters, gauges, series, histograms and
+/// flight-recorder events.
 pub fn reset() {
     let mut reg = REGISTRY.lock().unwrap();
     reg.spans.clear();
     reg.counters.clear();
+    reg.gauges.clear();
     reg.series.clear();
+    drop(reg);
+    hist::reset_all();
+    events::reset();
 }
 
 /// Opens a wall-clock span. The returned guard records the elapsed time
@@ -133,18 +192,30 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Adds `delta` to the named monotonic counter. No-op when disabled.
+/// Adds `delta` to the named monotonic counter. No-op when neither trace
+/// nor live collection is on.
 pub fn counter_add(name: &str, delta: u64) {
-    if !is_enabled() {
+    if !is_active() {
         return;
     }
     let mut reg = REGISTRY.lock().unwrap();
     *reg.counters.entry(name.to_string()).or_insert(0) += delta;
 }
 
+/// Sets the named gauge to its latest value (last write wins). No-op when
+/// neither trace nor live collection is on.
+pub fn gauge_set(name: &str, value: f64) {
+    if !is_active() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.gauges.insert(name.to_string(), value);
+}
+
 /// Records one numeric series (e.g. a residual history) under `name`.
 /// Repeated calls with the same name append separate series, preserving
-/// per-solve structure. No-op when disabled.
+/// per-solve structure. Series grow without bound, so they are gated on
+/// trace mode only — live mode does not record them.
 pub fn record_series(name: &str, values: &[f64]) {
     if !is_enabled() {
         return;
@@ -216,8 +287,12 @@ pub struct Snapshot {
     pub spans: Vec<SpanRecord>,
     /// Counters sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauges sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// Series sorted by name; each recording is kept separate.
     pub series: Vec<(String, Vec<Vec<f64>>)>,
+    /// Histogram snapshots sorted by name.
+    pub hists: Vec<(String, hist::HistSnapshot)>,
 }
 
 impl Default for SpanRecord {
@@ -231,10 +306,10 @@ impl Default for SpanRecord {
     }
 }
 
-/// Copies the current registry contents.
+/// Copies the current registry contents, including histogram state.
 pub fn snapshot() -> Snapshot {
     let reg = REGISTRY.lock().unwrap();
-    Snapshot {
+    let snap = Snapshot {
         spans: reg
             .spans
             .iter()
@@ -246,12 +321,18 @@ pub fn snapshot() -> Snapshot {
             })
             .collect(),
         counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        gauges: reg.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
         series: reg
             .series
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect(),
-    }
+        hists: Vec::new(),
+    };
+    drop(reg);
+    let mut snap = snap;
+    snap.hists = hist::snapshot_all();
+    snap
 }
 
 impl Snapshot {
@@ -266,6 +347,16 @@ impl Snapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&hist::HistSnapshot> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 
     /// Looks up all recordings of a series by name.
@@ -285,10 +376,66 @@ impl Snapshot {
     ///   "series": {"name": [[...], [...]]}
     /// }
     /// ```
+    ///
+    /// Gauges and histograms are deliberately *not* part of the trace
+    /// document — their bucket layout varies run to run with timing, and
+    /// the trace format is pinned by golden tests. They are exported by
+    /// [`Snapshot::to_json_full`] (the `/snapshot` endpoint) instead.
     pub fn to_json(&self) -> String {
+        self.to_json_with_meta(&[])
+    }
+
+    /// Like [`Snapshot::to_json`], with string metadata fields (schema,
+    /// version, config hash, …) emitted first so artifacts from different
+    /// builds are distinguishable.
+    pub fn to_json_with_meta(&self, meta: &[(&str, &str)]) -> String {
         let mut out = String::new();
         let mut root = json::Object::begin(&mut out);
+        for (k, v) in meta {
+            root.field_str(k, v);
+        }
+        self.write_core(&mut root);
+        root.end();
+        out
+    }
 
+    /// Serializes everything — the trace sections plus gauges and
+    /// histograms — for the live `/snapshot` endpoint.
+    pub fn to_json_full(&self, meta: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        let mut root = json::Object::begin(&mut out);
+        for (k, v) in meta {
+            root.field_str(k, v);
+        }
+        self.write_core(&mut root);
+
+        let mut gauges = String::new();
+        {
+            let mut obj = json::Object::begin(&mut gauges);
+            for (k, v) in &self.gauges {
+                obj.field_f64(k, *v);
+            }
+            obj.end();
+        }
+        root.field_raw("gauges", &gauges);
+
+        let mut hists = String::new();
+        {
+            let mut obj = json::Object::begin(&mut hists);
+            for (k, h) in &self.hists {
+                obj.field_raw(k, &h.to_json());
+            }
+            obj.end();
+        }
+        root.field_raw("histograms", &hists);
+
+        root.end();
+        out
+    }
+
+    /// Writes the pinned trace sections (spans, counters, series) in their
+    /// golden-test order into an open root object.
+    fn write_core(&self, root: &mut json::Object<'_>) {
         let mut spans = String::from("[");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -331,45 +478,68 @@ impl Snapshot {
             obj.end();
         }
         root.field_raw("series", &series);
-
-        root.end();
-        out
     }
+}
+
+/// The registry is process-global, so tests that flip the collection
+/// flags must not interleave; they serialize on this lock. Shared across
+/// the crate's unit-test modules (`hist`, `events`, `serve` tests flip the
+/// same flags).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::OnceLock;
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex as StdMutex, OnceLock};
-
-    /// The registry is process-global, so tests that enable tracing must
-    /// not interleave; they serialize on this lock.
-    fn guard() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| StdMutex::new(()))
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
 
     #[test]
     fn disabled_mode_records_nothing() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(false);
+        set_live(false);
         reset();
         {
             let _s = span("never");
             counter_add("never", 3);
+            gauge_set("never.g", 1.0);
             record_series("never", &[1.0]);
         }
         let snap = snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
         assert!(snap.series.is_empty());
     }
 
     #[test]
+    fn live_mode_records_bounded_instruments_only() {
+        let _g = test_guard();
+        set_enabled(false);
+        set_live(true);
+        reset();
+        {
+            let _s = span("ignored");
+            counter_add("live.count", 2);
+            gauge_set("live.gauge", 4.5);
+            record_series("ignored", &[1.0]);
+        }
+        set_live(false);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty(), "live mode must not record spans");
+        assert!(snap.series.is_empty(), "live mode must not record series");
+        assert_eq!(snap.counter("live.count"), Some(2));
+        assert_eq!(snap.gauge("live.gauge"), Some(4.5));
+    }
+
+    #[test]
     fn spans_nest_into_paths() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         reset();
         {
@@ -395,7 +565,7 @@ mod tests {
 
     #[test]
     fn counters_and_series_accumulate() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         reset();
         counter_add("iters", 5);
@@ -413,7 +583,7 @@ mod tests {
 
     #[test]
     fn spans_from_many_threads_aggregate() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         reset();
         std::thread::scope(|scope| {
@@ -434,7 +604,7 @@ mod tests {
 
     #[test]
     fn snapshot_serializes_to_wellformed_json() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         reset();
         {
@@ -455,8 +625,42 @@ mod tests {
     }
 
     #[test]
+    fn meta_fields_lead_the_document() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        counter_add("n", 1);
+        set_enabled(false);
+        let json = snapshot()
+            .to_json_with_meta(&[("schema", "parma-trace/v1"), ("config_hash", "abc123")]);
+        assert!(
+            json.starts_with(
+                "{\"schema\":\"parma-trace/v1\",\"config_hash\":\"abc123\",\"spans\":["
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn full_json_includes_gauges_and_histograms() {
+        let _g = test_guard();
+        set_live(true);
+        reset();
+        gauge_set("pool.threads", 4.0);
+        hist::record("lib.test.full_json", 2.0);
+        set_live(false);
+        let json = snapshot().to_json_full(&[("schema", "parma-snapshot/v1")]);
+        assert!(json.contains("\"gauges\":{\"pool.threads\":4.0}"), "{json}");
+        assert!(
+            json.contains("\"lib.test.full_json\":{\"count\":1,"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
     fn series_recorder_records_on_drop() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         reset();
         {
@@ -472,8 +676,9 @@ mod tests {
 
     #[test]
     fn series_recorder_disabled_is_inert() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(false);
+        set_live(false);
         reset();
         {
             let mut rec = SeriesRecorder::new("rec.residuals", "rec.iterations");
@@ -484,11 +689,14 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let _g = guard();
+        let _g = test_guard();
         set_enabled(true);
         counter_add("x", 1);
+        gauge_set("g", 2.0);
         reset();
         set_enabled(false);
-        assert_eq!(snapshot().counter("x"), None);
+        let snap = snapshot();
+        assert_eq!(snap.counter("x"), None);
+        assert_eq!(snap.gauge("g"), None);
     }
 }

@@ -1,0 +1,238 @@
+//! A std-only HTTP listener exposing live telemetry.
+//!
+//! Deliberately minimal: one background thread, blocking accept loop,
+//! one request per connection, `Connection: close`. That is all a pull
+//! scraper (Prometheus, `curl`, the CI smoke job) needs, and it keeps the
+//! workspace free of async runtimes and HTTP crates. Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4 ([`crate::expo`]),
+//! * `GET /snapshot` — full JSON snapshot including gauges + histograms,
+//! * `GET /events` — the flight recorder as `parma-events/v1` JSONL.
+//!
+//! Each request renders a fresh [`crate::snapshot`], so a mid-run scrape
+//! sees exactly what the trace writer would. Shutdown is cooperative: a
+//! stop flag plus a self-connect to unblock `accept`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics listener. Dropping it shuts the listener
+/// down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// starts serving. `meta` is stamped onto `/snapshot` documents.
+    pub fn start(addr: &str, meta: Vec<(String, String)>) -> Result<MetricsServer, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("metrics: cannot bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("metrics: no local addr: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("parma-metrics".to_string())
+            .spawn(move || serve_loop(listener, thread_stop, meta))
+            .map_err(|e| format!("metrics: cannot spawn listener thread: {e}"))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop; any error just means it already woke.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>, meta: Vec<(String, String)>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = handle_connection(stream, &meta);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, meta: &[(String, String)]) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2000)))?;
+
+    // Read until the end of the request head (or a small cap — requests
+    // we serve have no body).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                crate::expo::CONTENT_TYPE,
+                crate::expo::prometheus(&crate::snapshot()),
+            ),
+            "/snapshot" => {
+                let meta_refs: Vec<(&str, &str)> =
+                    meta.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                (
+                    "200 OK",
+                    "application/json",
+                    crate::snapshot().to_json_full(&meta_refs),
+                )
+            }
+            "/events" => (
+                "200 OK",
+                "application/jsonl",
+                crate::events::events_to_jsonl(&crate::events::events_snapshot()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "try /metrics, /snapshot or /events\n".to_string(),
+            ),
+        }
+    };
+
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs a blocking GET against a running server and returns
+/// `(status_line, body)` — shared by tests and the CLI's smoke helper.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<(String, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: parma\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_snapshot_and_events_then_shuts_down() {
+        let _g = crate::test_guard();
+        crate::set_live(true);
+        crate::reset();
+        crate::counter_add("serve.test.solves", 3);
+        crate::hist::record("serve.test.ms", 1.5);
+        crate::hist::record("serve.test.ms", 3.0);
+        crate::events::emit_for(crate::events::EventKind::SolveOk, 0, 0, 1e-9);
+
+        let mut server = MetricsServer::start(
+            "127.0.0.1:0",
+            vec![("schema".into(), "parma-snapshot/v1".into())],
+        )
+        .expect("bind an ephemeral port");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("serve_test_solves_total 3"), "{body}");
+        assert!(body.contains("serve_test_ms_p50"), "{body}");
+        assert!(crate::expo::looks_like_valid_exposition(&body), "{body}");
+
+        let (status, body) = http_get(addr, "/snapshot").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(
+            body.starts_with("{\"schema\":\"parma-snapshot/v1\","),
+            "{body}"
+        );
+        assert!(body.contains("\"serve.test.ms\":{\"count\":2,"), "{body}");
+
+        let (status, body) = http_get(addr, "/events").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"kind\":\"solve_ok\""), "{body}");
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+        crate::set_live(false);
+        crate::reset();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+                || http_get(addr, "/metrics").is_err(),
+            "listener must stop accepting after shutdown"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the log-linear histogram: the algebraic invariants
+//! (count conservation, merge associativity/commutativity, quantile
+//! monotonicity, bucket-boundary partitioning) that the live-telemetry
+//! layer relies on when it aggregates per-worker observations.
+//!
+//! All properties go through [`HistSnapshot::from_values`], which records
+//! into a private histogram — no process-global state, so these tests
+//! never race with the registry tests.
+
+use mea_obs::hist::{bucket_index, bucket_lower, bucket_upper, HistSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// Relative FP slack for sums that are re-associated by a merge.
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every observation lands in exactly one bucket: the total bucket
+    /// mass equals the observation count, whatever the inputs (including
+    /// negatives and zeros, which share the underflow bucket).
+    #[test]
+    fn prop_count_conservation(values in proptest::collection::vec(any::<f64>(), 0..60)) {
+        let s = HistSnapshot::from_values(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        let mass: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(mass, values.len() as u64);
+        prop_assert_eq!(s.is_empty(), values.is_empty());
+    }
+
+    /// Merging two snapshots is exactly what one histogram would have
+    /// seen had it received both streams: counts and buckets exact,
+    /// extrema exact, sums equal up to FP re-association.
+    #[test]
+    fn prop_merge_equals_concatenation(
+        a in proptest::collection::vec(1e-12f64..1e12, 0..40),
+        b in proptest::collection::vec(1e-12f64..1e12, 0..40),
+    ) {
+        let merged = HistSnapshot::from_values(&a).merge(&HistSnapshot::from_values(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let direct = HistSnapshot::from_values(&both);
+        prop_assert_eq!(merged.count, direct.count);
+        prop_assert_eq!(&merged.buckets, &direct.buckets);
+        prop_assert_eq!(merged.min.to_bits(), direct.min.to_bits());
+        prop_assert_eq!(merged.max.to_bits(), direct.max.to_bits());
+        prop_assert!(close(merged.sum, direct.sum), "{} vs {}", merged.sum, direct.sum);
+    }
+
+    /// Merge is associative and commutative on the exact fields — the
+    /// property that makes per-worker aggregation order-independent.
+    #[test]
+    fn prop_merge_associative_and_commutative(
+        a in proptest::collection::vec(1e-12f64..1e12, 0..25),
+        b in proptest::collection::vec(1e-12f64..1e12, 0..25),
+        c in proptest::collection::vec(1e-12f64..1e12, 0..25),
+    ) {
+        let (sa, sb, sc) = (
+            HistSnapshot::from_values(&a),
+            HistSnapshot::from_values(&b),
+            HistSnapshot::from_values(&c),
+        );
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(&left.buckets, &right.buckets);
+        prop_assert_eq!(left.min.to_bits(), right.min.to_bits());
+        prop_assert_eq!(left.max.to_bits(), right.max.to_bits());
+        prop_assert!(close(left.sum, right.sum));
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(&ab.buckets, &ba.buckets);
+    }
+
+    /// Quantiles are monotone in q and clamped to the observed range.
+    #[test]
+    fn prop_quantile_monotone_and_bounded(
+        values in proptest::collection::vec(1e-12f64..1e12, 1..60),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let s = HistSnapshot::from_values(&values);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let (vlo, vhi) = (s.quantile(lo), s.quantile(hi));
+        prop_assert!(vlo <= vhi, "q{lo} = {vlo} > q{hi} = {vhi}");
+        prop_assert!(s.quantile(0.0) >= s.min);
+        prop_assert!(s.quantile(1.0) <= s.max);
+        prop_assert!((s.min..=s.max).contains(&vlo), "{vlo} outside [{}, {}]", s.min, s.max);
+    }
+
+    /// The bucket layout partitions the positive axis: every positive
+    /// finite value sits inside its own bucket's half-open interval, and
+    /// adjacent interior buckets tile without gaps or overlap.
+    #[test]
+    fn prop_bucket_boundaries_partition(v in 1e-15f64..1e15, idx in 1usize..BUCKETS - 2) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "{v} below bucket {i} lower {}", bucket_lower(i));
+        prop_assert!(v < bucket_upper(i), "{v} not below bucket {i} upper {}", bucket_upper(i));
+        // Interior buckets tile: upper(k) == lower(k+1), strictly growing.
+        prop_assert_eq!(bucket_upper(idx).to_bits(), bucket_lower(idx + 1).to_bits());
+        prop_assert!(bucket_lower(idx) < bucket_upper(idx));
+    }
+}
+
+/// Deterministic spot checks that the property harness would only hit by
+/// luck: the exact seams of the layout.
+#[test]
+fn bucket_seams_are_exact() {
+    // Powers of two open a fresh octave: lower bound equals the value.
+    for &v in &[0.25, 0.5, 1.0, 2.0, 4.0, 1024.0] {
+        let i = bucket_index(v);
+        assert_eq!(bucket_lower(i).to_bits(), v.to_bits(), "seam at {v}");
+    }
+    // The largest value below a seam lands in the previous bucket.
+    let below = f64::from_bits(1.0f64.to_bits() - 1);
+    assert_eq!(bucket_index(below) + 1, bucket_index(1.0));
+}
+
+#[test]
+fn empty_snapshot_quantile_is_nan() {
+    let s = HistSnapshot::from_values(&[]);
+    assert!(s.quantile(0.5).is_nan());
+    assert!(s.mean().is_nan());
+    assert!(s.is_empty());
+}

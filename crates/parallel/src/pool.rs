@@ -323,7 +323,15 @@ impl WorkStealingPool {
                             let task = pop_local(&deques[me])
                                 .or_else(|| refill_from_injector(injector, &deques[me]))
                                 .or_else(|| {
-                                    steal_from_peers(deques, me).inspect(|_| local.steals += 1)
+                                    steal_from_peers(deques, me).inspect(|_| {
+                                        local.steals += 1;
+                                        mea_obs::events::emit_for(
+                                            mea_obs::events::EventKind::Steal,
+                                            mea_obs::events::NO_ITEM,
+                                            me as u64,
+                                            0.0,
+                                        );
+                                    })
                                 });
                             match task {
                                 Some((lo, hi)) => {
@@ -384,6 +392,17 @@ impl WorkStealingPool {
             items: n,
             panics: panics.len(),
         };
+        if mea_obs::is_active() {
+            let last = self.last_stats.lock().expect("pool mutex poisoned");
+            mea_obs::gauge_set("parallel.pool.threads", self.threads as f64);
+            mea_obs::gauge_set("parallel.pool.last_items", last.items as f64);
+            mea_obs::gauge_set("parallel.pool.last_chunks", last.chunks as f64);
+            mea_obs::gauge_set("parallel.pool.last_steals", last.total_steals() as f64);
+            mea_obs::counter_add("parallel.pool.runs", 1);
+            mea_obs::counter_add("parallel.pool.items", last.items as u64);
+            mea_obs::counter_add("parallel.pool.steals", last.total_steals() as u64);
+            mea_obs::counter_add("parallel.pool.panics", last.panics as u64);
+        }
         // Safe by construction: poisoned slots surface as None.
         RunOutcome {
             results: slots.into_options(),

@@ -155,11 +155,12 @@ where
 }
 
 /// Feeds an execution's telemetry into the process-global observability
-/// registry (no-op when tracing is disabled). Per-worker figures go into
+/// registry (no-op when collection is off — trace *or* live mode records
+/// it, since counters are bounded). Per-worker figures go into
 /// per-worker counters so repeated executions — e.g. one sweep per solver
 /// iteration — aggregate instead of growing the trace unboundedly.
 fn record_report(report: &ExecutionReport) {
-    if !mea_obs::is_enabled() {
+    if !mea_obs::is_active() {
         return;
     }
     mea_obs::counter_add("parallel.executions", 1);

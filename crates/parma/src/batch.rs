@@ -31,6 +31,9 @@ use std::cell::RefCell;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Wall-clock per batch item (ms), attempts beyond the first included.
+static ITEM_MS: mea_obs::hist::Hist = mea_obs::hist::Hist::new("parma.batch.item_ms");
+
 thread_local! {
     /// One solve scratch per worker thread: items on the same worker share
     /// factorization buffers across solves. Carries no data-dependent
@@ -82,6 +85,7 @@ impl BatchSolver {
         let timed: Vec<(Result<ParmaSolution, ParmaError>, f64)> =
             pool.map_indexed(measurements.len(), |i| {
                 let _item = mea_obs::span("parma/batch/item");
+                let _scope = mea_obs::events::item_scope(i as u64);
                 let z = &measurements[i];
                 let plan = lookup(&plans, z.grid());
                 let t0 = Instant::now();
@@ -114,6 +118,7 @@ impl BatchSolver {
         let timed: Vec<(Result<Vec<TimePointResult>, ParmaError>, f64)> =
             pool.map_indexed(datasets.len(), |i| {
                 let _item = mea_obs::span("parma/batch/item");
+                let _scope = mea_obs::events::item_scope(i as u64);
                 let t0 = Instant::now();
                 let out = pipeline.run(&datasets[i]);
                 (out, t0.elapsed().as_secs_f64() * 1e3)
@@ -229,6 +234,9 @@ fn record_supervised_obs<T>(
         "parma.batch.failures",
         out.iter().filter(|r| failed(r)).count() as u64,
     );
+    for &v in &ms {
+        ITEM_MS.record(v);
+    }
     mea_obs::record_series("parma.batch.item_ms", &ms);
 }
 
@@ -262,6 +270,9 @@ fn record_batch_obs(items: impl Iterator<Item = (bool, f64)>) {
     }
     mea_obs::counter_add("parma.batch.items", times.len() as u64);
     mea_obs::counter_add("parma.batch.failures", failures);
+    for &v in &times {
+        ITEM_MS.record(v);
+    }
     mea_obs::record_series("parma.batch.item_ms", &times);
 }
 

@@ -41,7 +41,21 @@
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
 use mea_model::{ForwardSolver, ForwardWorkspace, MeaGrid, ResistorGrid, ZMatrix};
+use mea_obs::events::{emit as emit_event, EventKind};
+use mea_obs::hist::Hist;
 use mea_parallel::{execute, CancelToken, Interrupt, Strategy, WorkItem};
+use std::time::Instant;
+
+/// Per-solve wall-clock latency (ms), across all exit paths.
+static SOLVE_MS: Hist = Hist::new("parma.solve_ms");
+/// Outer iterations at solve exit.
+static SOLVE_ITERS: Hist = Hist::new("parma.solve_iters");
+/// Relative residual at solve exit (converged or not).
+static SOLVE_RESIDUAL: Hist = Hist::new("parma.solve_residual");
+/// One damped update sweep over all pairs (ms).
+static SWEEP_MS: Hist = Hist::new("parma.sweep_ms");
+/// In-place refactorization of the scratch forward solver (ms).
+static REFACTOR_MS: Hist = Hist::new("model.forward_refactor_ms");
 
 /// Result of a converged (or accepted) solve.
 #[derive(Clone, Debug)]
@@ -286,6 +300,10 @@ impl ParmaSolver {
             }
         };
         let _span = mea_obs::span("parma/solve");
+        // Telemetry only: never influences the floating-point work, and
+        // when collection is off this is one atomic load.
+        let solve_t0 = mea_obs::is_active().then(Instant::now);
+        emit_event(EventKind::SolveStart, 0, 0.0);
         // Destructure the scratch once so the forward-solver slot, its
         // factorization workspace and the update buffer borrow disjointly.
         let SolveScratch {
@@ -337,6 +355,15 @@ impl ParmaSolver {
                     mea_obs::counter_add("parma.solver.failures", 1);
                     mea_obs::counter_add("parma.solver.iterations", it as u64);
                     mea_obs::record_series("parma.solver.residuals", &history);
+                    if let Some(t0) = solve_t0 {
+                        SOLVE_MS.record(t0.elapsed().as_secs_f64() * 1e3);
+                        SOLVE_ITERS.record(it as f64);
+                    }
+                    emit_event(
+                        EventKind::SolveFailed,
+                        it as u64,
+                        history.last().copied().unwrap_or(f64::NAN),
+                    );
                     return Err(match interrupt {
                         Interrupt::TimedOut => ParmaError::Timeout {
                             iterations: it,
@@ -347,6 +374,7 @@ impl ParmaSolver {
                 }
                 let forward = ensure_forward(fwd_slot, ws, &r, grid)?;
                 forward_current = true;
+                let sweep_t0 = solve_t0.is_some().then(Instant::now);
                 let residual = sweep_into(
                     &self.config,
                     forward,
@@ -357,6 +385,9 @@ impl ParmaSolver {
                     updates,
                     &mut next,
                 );
+                if let Some(t0) = sweep_t0 {
+                    SWEEP_MS.record(t0.elapsed().as_secs_f64() * 1e3);
+                }
                 history.push(residual);
                 if residual <= self.config.tol {
                     break 'iterate Ok((it, residual));
@@ -433,6 +464,7 @@ impl ParmaSolver {
                         }
                         forward_current = false;
                         mea_obs::counter_add("parma.solver.recoveries", 1);
+                        emit_event(EventKind::Recovery, recovery.len() as u64, residual);
                         recovery.push(RecoveryEvent {
                             action,
                             at_iteration: it,
@@ -471,9 +503,15 @@ impl ParmaSolver {
         };
         mea_obs::counter_add("parma.solver.solves", 1);
         mea_obs::record_series("parma.solver.residuals", &history);
+        if let Some(t0) = solve_t0 {
+            SOLVE_MS.record(t0.elapsed().as_secs_f64() * 1e3);
+        }
         match outcome {
             Ok((iterations, residual)) => {
                 mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+                SOLVE_ITERS.record(iterations as f64);
+                SOLVE_RESIDUAL.record(residual);
+                emit_event(EventKind::SolveOk, iterations as u64, residual);
                 Ok(ParmaSolution {
                     resistors: r,
                     iterations,
@@ -493,7 +531,10 @@ impl ParmaSolver {
                 let residual = max_rel_mismatch(forward, z);
                 history.push(residual);
                 mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+                SOLVE_ITERS.record(iterations as f64);
+                SOLVE_RESIDUAL.record(residual);
                 if residual <= self.config.tol {
+                    emit_event(EventKind::SolveOk, iterations as u64, residual);
                     Ok(ParmaSolution {
                         resistors: r,
                         iterations,
@@ -503,6 +544,7 @@ impl ParmaSolver {
                     })
                 } else {
                     mea_obs::counter_add("parma.solver.failures", 1);
+                    emit_event(EventKind::SolveFailed, iterations as u64, residual);
                     Err(ParmaError::NoConvergence {
                         iterations,
                         residual,
@@ -532,10 +574,14 @@ fn ensure_forward<'a>(
         Some(f) => f.grid() != grid,
         None => true,
     };
+    let t0 = mea_obs::is_active().then(Instant::now);
     if rebuild {
         *slot = Some(ForwardSolver::with_workspace(r, ws)?);
     } else {
         slot.as_mut().expect("checked above").refactor(r, ws)?;
+    }
+    if let Some(t0) = t0 {
+        REFACTOR_MS.record(t0.elapsed().as_secs_f64() * 1e3);
     }
     Ok(slot.as_ref().expect("installed above"))
 }

@@ -31,9 +31,19 @@
 
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
+use mea_obs::events::EventKind;
+use mea_obs::hist::Hist;
 use mea_obs::json;
 use mea_parallel::CancelToken;
 use std::time::Duration;
+
+/// Attempts each item needed until its fate was decided (success or
+/// quarantine).
+static ITEM_ATTEMPTS: Hist = Hist::new("parma.item_attempts");
+
+/// How many of the item's flight-recorder events a quarantine report
+/// embeds.
+const EMBED_EVENTS: usize = 16;
 
 /// Retry/deadline policy for one supervised batch run.
 #[derive(Clone, Copy, Debug)]
@@ -120,6 +130,10 @@ pub struct FailureReport {
     /// Every failed attempt, in order (the last one equals
     /// `kind`/`detail`).
     pub attempts: Vec<AttemptFailure>,
+    /// The item's last flight-recorder events at quarantine time (its own
+    /// solve/retry history, not other workers'), oldest first. Empty when
+    /// telemetry was off.
+    pub events: Vec<mea_obs::events::Event>,
 }
 
 impl FailureReport {
@@ -144,6 +158,10 @@ impl FailureReport {
         }
         attempts.push(']');
         obj.field_raw("attempts", &attempts);
+        // Build provenance and flight-recorder context ride at the tail so
+        // the schema's pinned key-order prefix stays untouched.
+        obj.field_str("version", env!("CARGO_PKG_VERSION"));
+        obj.field_raw("events", &mea_obs::events::events_json_array(&self.events));
         obj.end();
         out
     }
@@ -286,23 +304,29 @@ pub(crate) fn supervise<T: Send>(
     // (item, escalation level) still in flight.
     let mut pending: Vec<(usize, usize)> = (0..n).map(|i| (i, 0)).collect();
     let mut attempt_log: Vec<Vec<AttemptFailure>> = vec![Vec::new(); n];
-    let mut retries = 0u64;
     for attempt in 0..=sup.max_retries {
         if pending.is_empty() {
             break;
         }
         if attempt > 0 {
-            retries += pending.len() as u64;
+            // Incremental so a live scrape sees retries as they happen.
+            mea_obs::counter_add("parma.batch.retries", pending.len() as u64);
             let backoff = sup
                 .backoff
                 .saturating_mul(1u32 << (attempt as u32 - 1).min(16));
             if !backoff.is_zero() && batch_token.check().is_none() {
+                mea_obs::events::emit(
+                    EventKind::Backoff,
+                    attempt as u64,
+                    backoff.min(Duration::from_secs(5)).as_secs_f64() * 1e3,
+                );
                 std::thread::sleep(backoff.min(Duration::from_secs(5)));
             }
         }
         let round = std::mem::take(&mut pending);
         let outcome = pool.run(round.len(), |k| {
             let (item, escalation) = round[k];
+            let _item_scope = mea_obs::events::item_scope(item as u64);
             chaos::maybe_panic(item, attempt);
             attempt_fn(item, escalation, &batch_token.child(sup.solve_deadline))
         });
@@ -311,6 +335,7 @@ pub(crate) fn supervise<T: Send>(
             let (item, escalation) = round[k];
             let failure: (FailureKind, String) = match slot {
                 Some(Ok(value)) => {
+                    ITEM_ATTEMPTS.record((attempt_log[item].len() + 1) as f64);
                     let done = Ok(value);
                     on_done(item, &done);
                     out[item] = Some(done);
@@ -321,6 +346,7 @@ pub(crate) fn supervise<T: Send>(
                     let p = panics
                         .next_if(|p| p.index == k)
                         .expect("a poisoned slot has its panic record");
+                    mea_obs::events::emit_for(EventKind::Panic, item as u64, attempt as u64, 0.0);
                     (FailureKind::Panic, p.message)
                 }
             };
@@ -338,13 +364,24 @@ pub(crate) fn supervise<T: Send>(
                 } else {
                     escalation + 1
                 };
+                mea_obs::events::emit_for(EventKind::Retry, item as u64, attempt as u64 + 1, 0.0);
                 pending.push((item, next));
             } else {
+                let attempts = std::mem::take(&mut attempt_log[item]);
+                ITEM_ATTEMPTS.record(attempts.len() as f64);
+                mea_obs::counter_add("parma.batch.quarantined", 1);
+                mea_obs::events::emit_for(
+                    EventKind::Quarantine,
+                    item as u64,
+                    attempts.len() as u64,
+                    0.0,
+                );
                 let report = FailureReport {
                     item,
                     kind,
                     detail,
-                    attempts: std::mem::take(&mut attempt_log[item]),
+                    attempts,
+                    events: mea_obs::events::recent_events_for_item(item as u64, EMBED_EVENTS),
                 };
                 let done = Err(report);
                 on_done(item, &done);
@@ -352,9 +389,6 @@ pub(crate) fn supervise<T: Send>(
             }
         }
     }
-    mea_obs::counter_add("parma.batch.retries", retries);
-    let quarantined = out.iter().filter(|r| matches!(r, Some(Err(_)))).count();
-    mea_obs::counter_add("parma.batch.quarantined", quarantined as u64);
     out.into_iter()
         .map(|r| r.expect("every item was decided: success, quarantine, or last-round fallthrough"))
         .collect()
@@ -552,6 +586,14 @@ mod tests {
                     detail: "solve deadline exceeded after 12 iterations".into(),
                 },
             ],
+            events: vec![mea_obs::events::Event {
+                seq: 41,
+                t_us: 12500,
+                kind: EventKind::SolveFailed,
+                item: 7,
+                info: 1,
+                value: 0.5,
+            }],
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\":\"parma-failure/v1\""), "{json}");
@@ -559,6 +601,14 @@ mod tests {
         assert!(json.contains("\"kind\":\"timeout\""), "{json}");
         assert!(json.contains("\"attempts\":[{"), "{json}");
         assert!(json.contains("\"kind\":\"panic\""), "{json}");
+        assert!(
+            json.contains(concat!("\"version\":\"", env!("CARGO_PKG_VERSION"), "\"")),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"events\":[{\"seq\":41,\"t_us\":12500,\"kind\":\"solve_failed\",\"item\":7,\"info\":1,\"value\":0.5}]"),
+            "{json}"
+        );
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
