@@ -511,12 +511,19 @@ fn legacy_sweep_iterations(w: &Workload, config: &parma::ParmaConfig, iters: usi
     std::hint::black_box(&r);
 }
 
-/// The `kernels` mode: measures each PR3 kernel against its retained
-/// naive reference plus whole-solve per-iteration time, prints the
-/// tables, and writes machine-readable `BENCH_PR3.json` to the current
-/// directory. `--quick` shrinks sizes and repetition counts for CI smoke.
+/// The `kernels` mode: measures each retained naive kernel reference
+/// against the blocked/fused hot path, the paper-scale per-pair
+/// factorization (dense Cholesky+inverse vs the structured Schur path,
+/// n = 32/64/100), and whole-solve per-iteration time up to n = 100,
+/// then writes machine-readable `BENCH_PR6.json` to the current
+/// directory. `--quick` shrinks sizes and repetition counts for CI smoke
+/// (keeping one n = 32 scale row so the bench-diff gate sees the
+/// structured path).
 fn kernels(quick: bool) {
-    use mea_linalg::{kernels::naive, vec_ops, CholeskyFactor, CooTriplets, DenseMatrix};
+    use mea_linalg::{
+        kernels::naive, vec_ops, BipartiteFactor, BipartiteSystem, CholeskyFactor, CooTriplets,
+        DenseMatrix, InverseScope, Sequential,
+    };
     use parma::{ParmaConfig, ParmaError, ParmaSolver, SolvePlan, SolveScratch};
     use std::hint::black_box;
 
@@ -711,7 +718,110 @@ fn kernels(quick: bool) {
         );
     }
 
-    println!("\n=== PR3 whole solve: legacy per-iteration pattern vs workspaces ===");
+    // Paper-scale per-pair factorization: the dense routes (Laplacian
+    // assembly + Cholesky + full inverse — the naive pre-workspace
+    // reference first, the PR3 blocked refactor as a second row) against
+    // the structured Schur path at its hot-path scope (SweepOnly — what
+    // `ForwardSolver` runs inside the sweep). All sides include system
+    // assembly, matching what a solver refactor actually pays.
+    println!("\n=== PR6 per-pair factorization at scale: dense vs structured Schur ===");
+    println!(
+        "{}",
+        row(
+            "kernel",
+            ["n", "dim", "dense", "structured", "speedup"]
+                .map(String::from)
+                .as_ref()
+        )
+    );
+    let factor_sizes: &[usize] = if quick { &[32] } else { &[32, 64, 100] };
+    let factor_row0 = cells.len();
+    for &n in factor_sizes {
+        let w = Workload::new(n);
+        let (m, nc) = (w.grid.rows(), w.grid.cols());
+        let dim = m + nc - 1;
+        let inner = (budget / (dim * dim * dim)).max(2);
+        let fill_lap = |lap: &mut DenseMatrix| {
+            lap.as_mut_slice().fill(0.0);
+            for i in 0..m {
+                for j in 0..nc {
+                    let g = 1.0 / w.truth.get(i, j);
+                    let (a, b) = (i, m + j);
+                    lap[(a, a)] += g;
+                    if b < dim {
+                        lap[(b, b)] += g;
+                        lap[(a, b)] -= g;
+                        lap[(b, a)] -= g;
+                    }
+                }
+            }
+        };
+        let mut lap = DenseMatrix::zeros(dim, dim);
+        let naive_dense_ms = per_call_ms(outer, inner, || {
+            fill_lap(&mut lap);
+            let l = naive::cholesky_factor(&lap).expect("laplacian is SPD");
+            black_box(naive::cholesky_inverse(&l, dim));
+        });
+        let mut chol = CholeskyFactor::empty();
+        let mut inv = DenseMatrix::zeros(dim, dim);
+        let mut col = vec![0.0; dim];
+        let blocked_dense_ms = per_call_ms(outer, inner, || {
+            fill_lap(&mut lap);
+            chol.refactor_from(&lap).expect("laplacian is SPD");
+            chol.inverse_into(&mut inv, &mut col);
+            black_box(&inv);
+        });
+        let mut sys = BipartiteSystem::new();
+        let mut fac = BipartiteFactor::new();
+        let mut out = DenseMatrix::zeros(dim, dim);
+        let structured_ms = per_call_ms(outer, inner, || {
+            sys.reset(m, nc - 1);
+            for i in 0..m {
+                for j in 0..nc {
+                    let g = 1.0 / w.truth.get(i, j);
+                    if j + 1 == nc {
+                        sys.add_ground(i, g);
+                    } else {
+                        sys.add_cross(i, j, g);
+                    }
+                }
+            }
+            fac.factor_invert_into(&sys, &mut out, InverseScope::SweepOnly, &Sequential, None)
+                .expect("laplacian is SPD");
+            black_box(&out);
+        });
+        cells.push(KernelCell {
+            name: "pair factor+invert",
+            n,
+            dim,
+            naive_ms: naive_dense_ms,
+            opt_ms: structured_ms,
+        });
+        cells.push(KernelCell {
+            name: "pair factor+invert (blocked dense)",
+            n,
+            dim,
+            naive_ms: blocked_dense_ms,
+            opt_ms: structured_ms,
+        });
+    }
+    for c in &cells[factor_row0..] {
+        println!(
+            "{}",
+            row(
+                c.name,
+                &[
+                    c.n.to_string(),
+                    c.dim.to_string(),
+                    format!("{:.4}", c.naive_ms),
+                    format!("{:.4}", c.opt_ms),
+                    format!("{:.2}x", c.speedup()),
+                ]
+            )
+        );
+    }
+
+    println!("\n=== Whole solve: legacy per-iteration pattern vs workspaces (to n = 100) ===");
     println!(
         "{}",
         row(
@@ -722,8 +832,22 @@ fn kernels(quick: bool) {
         )
     );
     let mut solves: Vec<SolveCell> = Vec::new();
-    let iters = if quick { 20 } else { 40 };
-    for &n in sizes {
+    let solve_sizes: &[usize] = if quick {
+        &[4, 8, 32]
+    } else {
+        &[4, 8, 12, 16, 32, 64, 100]
+    };
+    for &n in solve_sizes {
+        // Large solves get a smaller iteration budget and fewer repeats:
+        // per-iteration milliseconds is the recorded quantity either way.
+        let iters = if n >= 32 {
+            10
+        } else if quick {
+            20
+        } else {
+            40
+        };
+        let outer_n = if n >= 32 { 2 } else { outer };
         let w = Workload::new(n);
         let config = ParmaConfig {
             max_iter: iters,
@@ -732,12 +856,12 @@ fn kernels(quick: bool) {
             ..Default::default()
         };
         let ((), legacy_secs) =
-            time_secs_best_of(outer, || legacy_sweep_iterations(&w, &config, iters));
+            time_secs_best_of(outer_n, || legacy_sweep_iterations(&w, &config, iters));
         let solver = ParmaSolver::new(config);
         let plan = SolvePlan::new(w.grid);
         let mut scratch = SolveScratch::new();
         let mut new_iters = iters;
-        let (_, new_secs) = time_secs_best_of(outer, || {
+        let (_, new_secs) = time_secs_best_of(outer_n, || {
             match solver.solve_with_scratch(&plan, &w.z, None, &mut scratch) {
                 Ok(sol) => new_iters = sol.iterations,
                 Err(ParmaError::NoConvergence { iterations, .. }) => new_iters = iterations,
@@ -768,7 +892,7 @@ fn kernels(quick: bool) {
 
     let mut json = String::from("{\n");
     json.push_str("  \"schema\": \"parma-bench/kernels-v1\",\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"pr\": 6,\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"kernels\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -800,7 +924,7 @@ fn kernels(quick: bool) {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = "BENCH_PR3.json";
+    let path = "BENCH_PR6.json";
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(2);

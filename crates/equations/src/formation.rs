@@ -46,6 +46,12 @@ pub fn form_category_equations(
     assert!(i < grid.rows() && j < grid.cols(), "pair out of range");
     assert!(voltage > 0.0 && z > 0.0, "measured values must be positive");
     let (rows, cols) = (grid.rows(), grid.cols());
+    // Equations store wire indices as u16; without this gate an oversized
+    // grid would truncate silently through the `as u16` casts below.
+    assert!(
+        rows <= u16::MAX as usize + 1 && cols <= u16::MAX as usize + 1,
+        "wire indices are stored as u16; grids beyond 65536 wires per axis are unsupported"
+    );
     let pair = (i as u16, j as u16);
     match category {
         // Source balance at horizontal wire i:

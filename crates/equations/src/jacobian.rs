@@ -264,13 +264,14 @@ impl JacobianTemplate {
     }
 }
 
-/// Visits each term of `eq` with its resistance column and optional
-/// from/to potential columns (the structural support of the row).
-fn for_each_term_cols(
+/// The global columns one flow term touches: its resistance column plus
+/// the optional from/to potential columns (the structural support the
+/// symbolic passes and `analysis::pair_block_pattern` share).
+pub(crate) fn term_columns(
     eq: &Equation,
+    t: &crate::constraint::FlowTerm,
     index: &UnknownIndex,
-    mut visit: impl FnMut(usize, Option<usize>, Option<usize>),
-) {
+) -> (usize, Option<usize>, Option<usize>) {
     let (i, j) = (eq.pair.0 as usize, eq.pair.1 as usize);
     let unknown_col = |p: PotentialRef| -> Option<usize> {
         match p {
@@ -285,10 +286,21 @@ fn for_each_term_cols(
             }
         }
     };
+    let (a, b) = (t.resistor.0 as usize, t.resistor.1 as usize);
+    let r_col = index.index_of(Unknown::R { i: a, j: b });
+    (r_col, unknown_col(t.from), unknown_col(t.to))
+}
+
+/// Visits each term of `eq` with its resistance column and optional
+/// from/to potential columns (the structural support of the row).
+fn for_each_term_cols(
+    eq: &Equation,
+    index: &UnknownIndex,
+    mut visit: impl FnMut(usize, Option<usize>, Option<usize>),
+) {
     for t in &eq.terms {
-        let (a, b) = (t.resistor.0 as usize, t.resistor.1 as usize);
-        let r_col = index.index_of(Unknown::R { i: a, j: b });
-        visit(r_col, unknown_col(t.from), unknown_col(t.to));
+        let (r_col, from_col, to_col) = term_columns(eq, t, index);
+        visit(r_col, from_col, to_col);
     }
 }
 

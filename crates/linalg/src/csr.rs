@@ -214,6 +214,23 @@ impl CsrPattern {
         self.col_idx[slot]
     }
 
+    /// Structural (half-)bandwidth: the maximum of `|r − c|` over stored
+    /// positions, 0 for an empty or purely diagonal pattern. Drives the
+    /// dense-vs-structured factorization dispatch heuristics: a pattern
+    /// whose bandwidth is small relative to its order is profitably banded,
+    /// while the crossbar pair blocks show near-full bandwidth but
+    /// arrowhead *block* structure instead.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for r in 0..self.rows {
+            for slot in self.row_slots(r) {
+                let c = self.col_idx[slot];
+                bw = bw.max(r.abs_diff(c));
+            }
+        }
+        bw
+    }
+
     /// An all-zero matrix sharing this structure (the pattern-reuse
     /// constructor for in-place numeric refills).
     pub fn matrix_zeroed(&self) -> CsrMatrix {

@@ -102,10 +102,11 @@ impl DenseMatrix {
     }
 
     /// Matrix-vector product `A·x` into a caller-owned buffer. Four rows
-    /// advance together sharing each `x` load; per-row accumulation stays
-    /// strictly left-to-right, so results match the scalar reference
-    /// bitwise.
+    /// advance together as one [`crate::simd::F64x4`] accumulator (one lane
+    /// per row) sharing each `x` load; per-row accumulation stays strictly
+    /// left-to-right, so results match the scalar reference bitwise.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        use crate::simd::F64x4;
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec: output length mismatch");
         if self.cols == 0 {
@@ -119,17 +120,11 @@ impl DenseMatrix {
             let (r0, rest) = ab.split_at(nc);
             let (r1, rest) = rest.split_at(nc);
             let (r2, r3) = rest.split_at(nc);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut acc = F64x4::ZERO;
             for (((&a0, &a1), (&a2, &a3)), &xk) in r0.iter().zip(r1).zip(r2.iter().zip(r3)).zip(x) {
-                s0 += a0 * xk;
-                s1 += a1 * xk;
-                s2 += a2 * xk;
-                s3 += a3 * xk;
+                acc += F64x4([a0, a1, a2, a3]) * F64x4::splat(xk);
             }
-            yb[0] = s0;
-            yb[1] = s1;
-            yb[2] = s2;
-            yb[3] = s3;
+            acc.store(yb);
         }
         for (yi, row) in yc
             .into_remainder()
@@ -152,10 +147,13 @@ impl DenseMatrix {
     }
 
     /// Matrix product `A·B`, ikj order with four-row register blocking:
-    /// each `B` row is loaded once and fed to four output rows. Each
-    /// output element still accumulates its `k` terms in ascending order,
-    /// bitwise-matching the scalar reference.
+    /// each `B` row is loaded once and streamed into four output rows as
+    /// lane-wide [`crate::simd::axpy`] updates. Each output element still
+    /// accumulates its `k` terms in ascending order through a single
+    /// chain, bitwise-matching the scalar reference (axpy is element-wise,
+    /// so lane width reorders nothing).
     pub fn mul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        use crate::simd::axpy;
         assert_eq!(self.cols, rhs.rows, "mul: shape mismatch");
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
         let nc = rhs.cols;
@@ -170,32 +168,18 @@ impl DenseMatrix {
             let (o2, o3) = orest.split_at_mut(nc);
             for k in 0..self.cols {
                 let rrow = rhs.row(k);
-                let a0 = ab[k];
-                let a1 = ab[self.cols + k];
-                let a2 = ab[2 * self.cols + k];
-                let a3 = ab[3 * self.cols + k];
-                for (((e0, e1), (e2, e3)), &b) in o0
-                    .iter_mut()
-                    .zip(o1.iter_mut())
-                    .zip(o2.iter_mut().zip(o3.iter_mut()))
-                    .zip(rrow)
-                {
-                    *e0 += a0 * b;
-                    *e1 += a1 * b;
-                    *e2 += a2 * b;
-                    *e3 += a3 * b;
-                }
+                axpy(ab[k], rrow, o0);
+                axpy(ab[self.cols + k], rrow, o1);
+                axpy(ab[2 * self.cols + k], rrow, o2);
+                axpy(ab[3 * self.cols + k], rrow, o3);
             }
         }
         let tail = (self.rows / 4) * 4;
         for i in tail..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                let rrow = rhs.row(k);
                 let orow = &mut out.data[i * nc..(i + 1) * nc];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
+                axpy(a, rhs.row(k), orow);
             }
         }
         out

@@ -18,6 +18,10 @@ pub enum LinalgError {
     NoConvergence { iterations: usize, residual: f64 },
     /// An input violated a documented precondition (e.g. non-finite entry).
     InvalidInput(String),
+    /// A supervised kernel observed its stop condition (deadline or
+    /// cancellation) between work chunks and abandoned the factorization.
+    /// The output buffers are unspecified; refactor before reuse.
+    Cancelled,
 }
 
 impl fmt::Display for LinalgError {
@@ -36,6 +40,7 @@ impl fmt::Display for LinalgError {
                 "iteration budget exhausted after {iterations} iterations (residual {residual:.3e})"
             ),
             LinalgError::InvalidInput(s) => write!(f, "invalid input: {s}"),
+            LinalgError::Cancelled => write!(f, "factorization cancelled by stop condition"),
         }
     }
 }

@@ -12,8 +12,12 @@
 //! * [`newton_solve`] — a damped Newton driver for square nonlinear systems,
 //! * [`fixed_point`] — a damped fixed-point driver with residual-based
 //!   convergence control (the outer loop of Parma's inverse solver),
-//! * [`vec_ops`] — the handful of BLAS-1 kernels everything else uses.
+//! * [`vec_ops`] — the handful of BLAS-1 kernels everything else uses,
+//! * [`BipartiteFactor`] — a structured Schur-complement factorization of
+//!   grounded crossbar Laplacians with explicit [`simd`] lanes and a
+//!   [`Parallelism`] seam for intra-solve row-chunk parallelism.
 
+mod bipartite;
 mod cg;
 mod cgls;
 mod csr;
@@ -22,10 +26,15 @@ mod error;
 mod fixedpoint;
 pub mod kernels;
 mod newton;
+pub mod par;
+pub mod simd;
 pub mod spectral;
 pub mod stationary;
 pub mod vec_ops;
 
+pub use bipartite::{
+    BipartiteFactor, BipartiteSystem, FactorPath, InverseScope, CHUNK, STRUCTURED_MIN_DIM,
+};
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
 pub use cgls::{cgls, cgls_into, CglsOptions, CglsOutcome, CglsStats, CglsWorkspace};
 pub use csr::{CooTriplets, CsrMatrix, CsrPattern};
@@ -33,5 +42,7 @@ pub use dense::{CholeskyFactor, DenseMatrix, LuFactor};
 pub use error::LinalgError;
 pub use fixedpoint::{fixed_point, FixedPointOptions, FixedPointOutcome};
 pub use newton::{newton_solve, NewtonOptions, NewtonOutcome};
+pub use par::{Parallelism, Sequential};
+pub use simd::F64x4;
 pub use spectral::{condition_estimate, inverse_power_iteration, power_iteration, EigenEstimate};
 pub use stationary::{stationary_solve, StationaryMethod, StationaryOptions, StationaryOutcome};

@@ -1,0 +1,62 @@
+//! A minimal parallel-execution seam for the structured kernels.
+//!
+//! `mea-linalg` sits at the bottom of the workspace and cannot depend on
+//! the scheduler crate, yet the large-`n` factorization stages
+//! ([`crate::BipartiteFactor`]) want to fan row chunks out over the
+//! work-stealing pool. [`Parallelism`] is the seam: the kernels split work
+//! into a *thread-count-independent* set of tasks and hand them to an
+//! executor; `mea-parallel` implements the trait for its pool, and
+//! [`Sequential`] is the dependency-free default.
+//!
+//! # Determinism contract
+//!
+//! Kernels built on this trait MUST partition work so that every task
+//! computes a fixed function of the inputs into a disjoint output region,
+//! with the partition depending only on problem size — never on
+//! `threads()`. Then the executor choice (and its thread count) can change
+//! wall time only, never bits; the equivalence suite pins this across
+//! 1/2/4 workers.
+
+/// Executes a closed set of independent tasks, each exactly once.
+pub trait Parallelism: Sync {
+    /// Advisory worker count (1 for sequential executors).
+    fn threads(&self) -> usize {
+        1
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks − 1)`, each exactly once, possibly
+    /// concurrently. Implementations must not skip or duplicate indices.
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// The dependency-free executor: runs tasks in index order on the calling
+/// thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sequential;
+
+impl Parallelism for Sequential {
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        for t in 0..tasks {
+            f(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_runs_each_task_once_in_order() {
+        let hits = AtomicUsize::new(0);
+        let order = std::sync::Mutex::new(Vec::new());
+        Sequential.run(5, &|t| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            order.lock().unwrap().push(t);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(Sequential.threads(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Explicit f64×4 SIMD lanes with a pinned combine order.
+//!
+//! The PR 3 kernels earned their speedups from register blocking — four
+//! independent scalar accumulator chains per loop. This module makes the
+//! lane structure *explicit*: [`F64x4`] is a four-wide value type whose
+//! element-wise operations compile to vector instructions on any target
+//! with 128/256-bit FP units, without `std::arch` or feature detection.
+//!
+//! # Determinism contract
+//!
+//! Two rules keep every lane kernel bitwise-pinned:
+//!
+//! 1. **No fused multiply-add.** Lanes multiply and add in separate
+//!    operations, so each lane's arithmetic is bit-identical to the scalar
+//!    schedule it replaces (hardware FMA would change results).
+//! 2. **Fixed lane-combine order.** Horizontal reductions always combine as
+//!    `(l0 + l1) + (l2 + l3)`, then fold the `< 4` tail sequentially — the
+//!    exact order `kernels::spec_dot` specifies and the property suite pins
+//!    at 0 ULP. The order depends only on the vector length, never on
+//!    alignment, threads, or build flags.
+//!
+//! Element-wise kernels ([`axpy`], the gemm row updates in
+//! `crate::bipartite`) have one accumulator chain *per output element*, so
+//! lane width does not reorder anything: they are bitwise equal to the
+//! scalar loop by construction.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Four f64 lanes. Operations are element-wise and never fuse.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All lanes zero.
+    pub const ZERO: F64x4 = F64x4([0.0; 4]);
+
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+
+    /// Loads the first four elements of `s` (panics if shorter).
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> Self {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Stores the lanes into the first four elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f64]) {
+        out[0] = self.0[0];
+        out[1] = self.0[1];
+        out[2] = self.0[2];
+        out[3] = self.0[3];
+    }
+
+    /// The pinned horizontal sum: `(l0 + l1) + (l2 + l3)`.
+    #[inline(always)]
+    pub fn hsum(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+impl Add for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl AddAssign for F64x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: F64x4) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn sub(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+/// Dot product in the pinned lane order: lane `t` accumulates the indices
+/// `≡ t (mod 4)` in ascending order (two sequential adds per 8-wide pass),
+/// lanes combine as `(l0 + l1) + (l2 + l3)`, the `≤ 3` tail adds
+/// sequentially. Bitwise identical to `kernels::spec_dot` and to
+/// `vec_ops::dot` (which delegates here). Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = F64x4::ZERO;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (pa, pb) in (&mut ca).zip(&mut cb) {
+        acc += F64x4::load(&pa[..4]) * F64x4::load(&pb[..4]);
+        acc += F64x4::load(&pa[4..]) * F64x4::load(&pb[4..]);
+    }
+    let mut ca4 = ca.remainder().chunks_exact(4);
+    let mut cb4 = cb.remainder().chunks_exact(4);
+    for (pa, pb) in (&mut ca4).zip(&mut cb4) {
+        acc += F64x4::load(pa) * F64x4::load(pb);
+    }
+    let mut sum = acc.hsum();
+    for (x, y) in ca4.remainder().iter().zip(cb4.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// `y ← y + alpha · x`, four lanes wide. One accumulator chain per element,
+/// so this is bitwise identical to the scalar loop regardless of lane
+/// width. Panics on length mismatch.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let a = F64x4::splat(alpha);
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (py, px) in (&mut cy).zip(&mut cx) {
+        (F64x4::load(py) + a * F64x4::load(px)).store(py);
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsum_order_is_pinned() {
+        // Values chosen so every alternative combine order changes bits.
+        let v = F64x4([1e16, 1.0, -1e16, 3.0]);
+        let expected: f64 = (1e16 + 1.0) + (-1e16 + 3.0);
+        assert_eq!(v.hsum().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn dot_matches_spec_dot_bitwise() {
+        for len in [0usize, 1, 3, 4, 7, 8, 11, 16, 29, 64, 103] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11).cos() / 7.0).collect();
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                crate::kernels::spec_dot(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        for len in [0usize, 1, 4, 5, 17] {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64).exp().fract() - 0.5).collect();
+            let mut y: Vec<f64> = (0..len).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let mut y_ref = y.clone();
+            axpy(0.37, &x, &mut y);
+            for (yr, xi) in y_ref.iter_mut().zip(&x) {
+                *yr += 0.37 * xi;
+            }
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([0.5, 0.5, 0.5, 0.5]);
+        assert_eq!((a + b).0, [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!((a - b).0, [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!((a * b).0, [0.5, 1.0, 1.5, 2.0]);
+        let mut s = vec![0.0; 4];
+        a.store(&mut s);
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(F64x4::splat(7.0).0, [7.0; 4]);
+    }
+}

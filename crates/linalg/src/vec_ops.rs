@@ -13,37 +13,14 @@
 //! the property suite pins this kernel against at 0 ULP; DESIGN.md §12
 //! documents the contract.
 
-/// Dot product in the fixed chunked reduction order. Panics on length
-/// mismatch.
+/// Dot product in the fixed chunked reduction order. Delegates to the
+/// explicit-lane [`crate::simd::dot`], whose schedule is exactly the
+/// documented one (lane `t` consumes indices `≡ t (mod 4)` ascending,
+/// lanes combine `(l0 + l1) + (l2 + l3)`, sequential tail) — the property
+/// suite pins the delegation at 0 ULP against `kernels::spec_dot`. Panics
+/// on length mismatch.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // Two 4-element chunks per pass: lane `t` still consumes its indices
-    // `≡ t (mod 4)` in ascending order (two sequential adds per pass), so
-    // the reduction order is exactly the documented one — the unroll only
-    // halves loop overhead and lets the four lanes pack.
-    let mut lanes = [0.0f64; 4];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (pa, pb) in (&mut ca).zip(&mut cb) {
-        for t in 0..4 {
-            lanes[t] += pa[t] * pb[t];
-        }
-        for t in 0..4 {
-            lanes[t] += pa[4 + t] * pb[4 + t];
-        }
-    }
-    let mut ca4 = ca.remainder().chunks_exact(4);
-    let mut cb4 = cb.remainder().chunks_exact(4);
-    for (pa, pb) in (&mut ca4).zip(&mut cb4) {
-        for t in 0..4 {
-            lanes[t] += pa[t] * pb[t];
-        }
-    }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for (x, y) in ca4.remainder().iter().zip(cb4.remainder()) {
-        acc += x * y;
-    }
-    acc
+    crate::simd::dot(a, b)
 }
 
 /// Euclidean norm ‖v‖₂ (the square root of the chunked [`dot`]).
@@ -56,21 +33,11 @@ pub fn norm_inf(v: &[f64]) -> f64 {
     v.iter().fold(0.0, |m, &x| m.max(x.abs()))
 }
 
-/// `y ← y + alpha · x`, unrolled four wide (per-element, so bitwise
-/// identical to the plain loop). Panics on length mismatch.
+/// `y ← y + alpha · x`, four lanes wide via [`crate::simd::axpy`]
+/// (per-element, so bitwise identical to the plain loop). Panics on length
+/// mismatch.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let mut cy = y.chunks_exact_mut(4);
-    let mut cx = x.chunks_exact(4);
-    for (py, px) in (&mut cy).zip(&mut cx) {
-        py[0] += alpha * px[0];
-        py[1] += alpha * px[1];
-        py[2] += alpha * px[2];
-        py[3] += alpha * px[3];
-    }
-    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(alpha, x, y);
 }
 
 /// `y ← x` (copy).

@@ -22,13 +22,18 @@
 
 use crate::graph::WireId;
 use crate::grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
-use mea_linalg::{CholeskyFactor, DenseMatrix, LinalgError};
+use mea_linalg::{
+    BipartiteFactor, BipartiteSystem, CholeskyFactor, DenseMatrix, FactorPath, InverseScope,
+    LinalgError, Parallelism, Sequential,
+};
 
 /// Reusable scratch for [`ForwardSolver::refactor`]: the grounded
-/// Laplacian, its Cholesky factor, the reduced inverse, and one scratch
-/// column, all sized for a single geometry. One workspace amortizes every
+/// Laplacian (dense path) or the structured bipartite system, the
+/// corresponding factor, the reduced inverse, and one scratch column, all
+/// sized for a single geometry. One workspace amortizes every
 /// per-iteration allocation of the forward factorization; it resizes
-/// itself if handed a different geometry.
+/// itself if handed a different geometry (configuration — factor path and
+/// inverse scope — survives resizing).
 #[derive(Clone, Debug)]
 pub struct ForwardWorkspace {
     dim: usize,
@@ -36,6 +41,10 @@ pub struct ForwardWorkspace {
     chol: CholeskyFactor,
     reduced_inv: DenseMatrix,
     col: Vec<f64>,
+    sys: BipartiteSystem,
+    bip: BipartiteFactor,
+    path: FactorPath,
+    sweep_only: bool,
 }
 
 impl ForwardWorkspace {
@@ -56,13 +65,41 @@ impl ForwardWorkspace {
             chol: CholeskyFactor::empty(),
             reduced_inv: DenseMatrix::zeros(dim, dim),
             col: vec![0.0; dim],
+            sys: BipartiteSystem::new(),
+            bip: BipartiteFactor::new(),
+            path: FactorPath::from_env().unwrap_or_default(),
+            sweep_only: false,
         }
     }
 
     fn ensure(&mut self, dim: usize) {
         if self.dim != dim {
-            *self = Self::with_dim(dim);
+            self.dim = dim;
+            self.lap = DenseMatrix::zeros(dim, dim);
+            self.chol = CholeskyFactor::empty();
+            self.reduced_inv = DenseMatrix::zeros(dim, dim);
+            self.col = vec![0.0; dim];
         }
+    }
+
+    /// Overrides the factorization dispatch (default: [`FactorPath::Auto`],
+    /// or the `PARMA_FACTOR_PATH` environment override at construction).
+    pub fn set_factor_path(&mut self, path: FactorPath) {
+        self.path = path;
+    }
+
+    /// The active factorization dispatch.
+    pub fn factor_path(&self) -> FactorPath {
+        self.path
+    }
+
+    /// Restricts *structured* refactors to the sweep-scope inverse (HH
+    /// off-diagonals skipped): solvers refactored through this workspace
+    /// then answer [`ForwardSolver::effective_resistance`] but panic on
+    /// the full-field queries. The dense path always produces the full
+    /// inverse regardless of this flag.
+    pub fn set_sweep_only(&mut self, sweep_only: bool) {
+        self.sweep_only = sweep_only;
     }
 }
 
@@ -126,6 +163,10 @@ pub struct ForwardSolver {
     /// Pseudo-inverse surrogate: the inverse of the grounded Laplacian,
     /// zero-padded back to full node order (ground row/col are zero).
     minv: DenseMatrix,
+    /// Whether `minv` carries the full HH block. False only after a
+    /// structured sweep-scope refactor; the full-field queries
+    /// ([`Self::pair_potentials`], [`Self::sensitivity`]) assert on it.
+    hh_full: bool,
 }
 
 impl ForwardSolver {
@@ -148,14 +189,26 @@ impl ForwardSolver {
         r: &ResistorGrid,
         ws: &mut ForwardWorkspace,
     ) -> Result<Self, LinalgError> {
+        Self::with_workspace_supervised(r, ws, &Sequential, None)
+    }
+
+    /// Like [`Self::with_workspace`], with an intra-solve executor and a
+    /// stop condition (see [`Self::refactor_supervised`]).
+    pub fn with_workspace_supervised(
+        r: &ResistorGrid,
+        ws: &mut ForwardWorkspace,
+        par: &dyn Parallelism,
+        should_stop: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<Self, LinalgError> {
         let grid = r.grid();
         let nodes = grid.rows() + grid.cols();
         let mut solver = ForwardSolver {
             grid,
             conductances: vec![0.0; grid.crossings()],
             minv: DenseMatrix::zeros(nodes, nodes),
+            hh_full: true,
         };
-        solver.refactor(r, ws)?;
+        solver.refactor_supervised(r, ws, par, should_stop)?;
         Ok(solver)
     }
 
@@ -168,6 +221,25 @@ impl ForwardSolver {
         &mut self,
         r: &ResistorGrid,
         ws: &mut ForwardWorkspace,
+    ) -> Result<(), LinalgError> {
+        self.refactor_supervised(r, ws, &Sequential, None)
+    }
+
+    /// [`Self::refactor`] with an intra-solve executor and a stop
+    /// condition. The factorization path is dispatched by the workspace's
+    /// [`FactorPath`] (by default: dense below
+    /// [`mea_linalg::STRUCTURED_MIN_DIM`], structured above); the
+    /// structured path fans its row-chunk stages out over `par` and polls
+    /// `should_stop` at chunk granularity, failing with
+    /// [`LinalgError::Cancelled`] mid-factorization instead of only
+    /// between solver iterations. Results are bitwise independent of
+    /// `par` for a fixed path.
+    pub fn refactor_supervised(
+        &mut self,
+        r: &ResistorGrid,
+        ws: &mut ForwardWorkspace,
+        par: &dyn Parallelism,
+        should_stop: Option<&(dyn Fn() -> bool + Sync)>,
     ) -> Result<(), LinalgError> {
         if r.grid() != self.grid {
             return Err(LinalgError::InvalidInput(
@@ -187,30 +259,58 @@ impl ForwardSolver {
         for (g, &x) in self.conductances.iter_mut().zip(r.as_slice()) {
             *g = 1.0 / x;
         }
-        ws.lap.as_mut_slice().fill(0.0);
-        for i in 0..m {
-            for j in 0..n {
-                let g = self.conductances[self.grid.pair_index(i, j)];
-                let (a, b) = (i, m + j);
-                if a < dim {
-                    ws.lap[(a, a)] += g;
-                }
-                if b < dim {
-                    ws.lap[(b, b)] += g;
-                }
-                if a < dim && b < dim {
-                    ws.lap[(a, b)] -= g;
-                    ws.lap[(b, a)] -= g;
+        if ws.path.use_structured(dim) {
+            // Structured path: assemble the bipartite blocks directly and
+            // invert through the Schur complement of the vertical wires.
+            ws.sys.reset(m, n - 1);
+            for i in 0..m {
+                for j in 0..n {
+                    let g = self.conductances[self.grid.pair_index(i, j)];
+                    if j + 1 == n {
+                        ws.sys.add_ground(i, g);
+                    } else {
+                        ws.sys.add_cross(i, j, g);
+                    }
                 }
             }
-        }
-        {
-            let _s = mea_obs::span("factor");
-            ws.chol.refactor_from(&ws.lap)?;
-        }
-        {
-            let _s = mea_obs::span("inverse");
-            ws.chol.inverse_into(&mut ws.reduced_inv, &mut ws.col);
+            let scope = if ws.sweep_only {
+                InverseScope::SweepOnly
+            } else {
+                InverseScope::Full
+            };
+            {
+                let _s = mea_obs::span("factor");
+                ws.bip
+                    .factor_invert_into(&ws.sys, &mut ws.reduced_inv, scope, par, should_stop)?;
+            }
+            self.hh_full = !ws.sweep_only;
+        } else {
+            ws.lap.as_mut_slice().fill(0.0);
+            for i in 0..m {
+                for j in 0..n {
+                    let g = self.conductances[self.grid.pair_index(i, j)];
+                    let (a, b) = (i, m + j);
+                    if a < dim {
+                        ws.lap[(a, a)] += g;
+                    }
+                    if b < dim {
+                        ws.lap[(b, b)] += g;
+                    }
+                    if a < dim && b < dim {
+                        ws.lap[(a, b)] -= g;
+                        ws.lap[(b, a)] -= g;
+                    }
+                }
+            }
+            {
+                let _s = mea_obs::span("factor");
+                ws.chol.refactor_from(&ws.lap)?;
+            }
+            {
+                let _s = mea_obs::span("inverse");
+                ws.chol.inverse_into(&mut ws.reduced_inv, &mut ws.col);
+            }
+            self.hh_full = true;
         }
         // Zero-pad to full node order (the ground row/column of minv are
         // written once at construction and never touched again).
@@ -218,6 +318,12 @@ impl ForwardSolver {
             self.minv.row_mut(a)[..dim].copy_from_slice(&ws.reduced_inv.row(a)[..dim]);
         }
         Ok(())
+    }
+
+    /// Whether the current factorization carries the full HH inverse
+    /// block (false only after a structured sweep-scope refactor).
+    pub fn hh_full(&self) -> bool {
+        self.hh_full
     }
 
     /// The geometry.
@@ -249,6 +355,10 @@ impl ForwardSolver {
     /// `(i, j)` and all other endpoints float — the physical measurement
     /// condition of §II-C, and the source of the `Ua`/`Ub` values.
     pub fn pair_potentials(&self, i: usize, j: usize, voltage: f64) -> PairPotentials {
+        assert!(
+            self.hh_full,
+            "pair_potentials needs the full inverse; refactor without sweep-only scope"
+        );
         assert!(
             i < self.grid.rows() && j < self.grid.cols(),
             "endpoint out of range"
@@ -289,6 +399,10 @@ impl ForwardSolver {
     /// (Gauss-Newton, Landweber, linear back projection, Tikhonov) consume;
     /// tests validate it against finite differences.
     pub fn sensitivity(&self, i: usize, j: usize) -> CrossingMatrix {
+        assert!(
+            self.hh_full,
+            "sensitivity needs the full inverse; refactor without sweep-only scope"
+        );
         assert!(
             i < self.grid.rows() && j < self.grid.cols(),
             "endpoint out of range"
@@ -557,6 +671,148 @@ mod tests {
         assert!(fs.refactor(&wrong, &mut ws).is_err());
         let dead = CrossingMatrix::filled(MeaGrid::square(2), 0.0);
         assert!(fs.refactor(&dead, &mut ws).is_err());
+    }
+
+    fn random_map(n: usize, seed: u64) -> ResistorGrid {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            2000.0 + 9000.0 * ((state >> 11) as f64 / (1u64 << 53) as f64)
+        };
+        let grid = MeaGrid::square(n);
+        let mut r = CrossingMatrix::filled(grid, 0.0);
+        for (i, j) in grid.pair_iter() {
+            r.set(i, j, next());
+        }
+        r
+    }
+
+    #[test]
+    fn structured_path_matches_dense_within_tolerance() {
+        // The equivalence satellite at n = 4–16: both factorization paths
+        // must produce the same physics (different roundoff is allowed —
+        // the two paths have different but individually pinned schedules).
+        for n in [4usize, 6, 9, 12, 16] {
+            let r = random_map(n, 0x5EED ^ n as u64);
+            let mut ws_d = ForwardWorkspace::new(r.grid());
+            ws_d.set_factor_path(FactorPath::Dense);
+            let dense = ForwardSolver::with_workspace(&r, &mut ws_d).unwrap();
+            let mut ws_s = ForwardWorkspace::new(r.grid());
+            ws_s.set_factor_path(FactorPath::Structured);
+            let structured = ForwardSolver::with_workspace(&r, &mut ws_s).unwrap();
+            assert!(dense.hh_full() && structured.hh_full());
+            for (i, j) in r.grid().pair_iter() {
+                let zd = dense.effective_resistance(i, j);
+                let zs = structured.effective_resistance(i, j);
+                assert!(
+                    (zd - zs).abs() <= 1e-9 * zd.abs(),
+                    "n={n} pair ({i},{j}): dense {zd} vs structured {zs}"
+                );
+                let pd = dense.pair_potentials(i, j, 5.0);
+                let ps = structured.pair_potentials(i, j, 5.0);
+                for w in 0..2 * n {
+                    let (a, b) = (pd.potentials[w], ps.potentials[w]);
+                    assert!((a - b).abs() <= 1e-8, "n={n} node {w}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_path_is_deterministic_per_path() {
+        // Two structured refactors of the same map give identical bits.
+        let r = random_map(8, 99);
+        let mut ws = ForwardWorkspace::new(r.grid());
+        ws.set_factor_path(FactorPath::Structured);
+        let a = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        let b = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        for (x, y) in a.minv.as_slice().iter().zip(b.minv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_only_scope_answers_resistance_but_guards_full_queries() {
+        let r = random_map(6, 1234);
+        let mut ws_full = ForwardWorkspace::new(r.grid());
+        ws_full.set_factor_path(FactorPath::Structured);
+        let full = ForwardSolver::with_workspace(&r, &mut ws_full).unwrap();
+        let mut ws = ForwardWorkspace::new(r.grid());
+        ws.set_factor_path(FactorPath::Structured);
+        ws.set_sweep_only(true);
+        let sweep = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        assert!(!sweep.hh_full());
+        for (i, j) in r.grid().pair_iter() {
+            // The hot-path quantity is bitwise shared between scopes.
+            assert_eq!(
+                sweep.effective_resistance(i, j).to_bits(),
+                full.effective_resistance(i, j).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the full inverse")]
+    fn sweep_only_scope_panics_on_pair_potentials() {
+        let r = random_map(5, 77);
+        let mut ws = ForwardWorkspace::new(r.grid());
+        ws.set_factor_path(FactorPath::Structured);
+        ws.set_sweep_only(true);
+        let fs = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        let _ = fs.pair_potentials(0, 0, 5.0);
+    }
+
+    #[test]
+    fn dense_path_ignores_sweep_only_flag() {
+        let r = random_map(4, 31);
+        let mut ws = ForwardWorkspace::new(r.grid());
+        ws.set_factor_path(FactorPath::Dense);
+        ws.set_sweep_only(true);
+        let fs = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        assert!(fs.hh_full());
+        let _ = fs.pair_potentials(0, 0, 5.0); // must not panic
+    }
+
+    #[test]
+    fn auto_dispatch_keeps_small_grids_on_the_dense_pins() {
+        // n = 16 → dim 31 < STRUCTURED_MIN_DIM: Auto must match Dense
+        // bitwise so the historical fixtures stay valid.
+        let r = random_map(16, 5);
+        let mut ws_auto = ForwardWorkspace::new(r.grid());
+        let auto = ForwardSolver::with_workspace(&r, &mut ws_auto).unwrap();
+        let mut ws_dense = ForwardWorkspace::new(r.grid());
+        ws_dense.set_factor_path(FactorPath::Dense);
+        let dense = ForwardSolver::with_workspace(&r, &mut ws_dense).unwrap();
+        for (x, y) in auto.minv.as_slice().iter().zip(dense.minv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // n = 32 → dim 63 ≥ threshold: Auto must match Structured bitwise.
+        let r = random_map(32, 6);
+        let mut ws_auto = ForwardWorkspace::new(r.grid());
+        let auto = ForwardSolver::with_workspace(&r, &mut ws_auto).unwrap();
+        let mut ws_s = ForwardWorkspace::new(r.grid());
+        ws_s.set_factor_path(FactorPath::Structured);
+        let structured = ForwardSolver::with_workspace(&r, &mut ws_s).unwrap();
+        for (x, y) in auto.minv.as_slice().iter().zip(structured.minv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn supervised_refactor_cancels_mid_factorization() {
+        let r = random_map(32, 15);
+        let mut ws = ForwardWorkspace::new(r.grid());
+        let mut fs = ForwardSolver::with_workspace(&r, &mut ws).unwrap();
+        let always = || true;
+        let err = fs
+            .refactor_supervised(&r, &mut ws, &Sequential, Some(&always))
+            .unwrap_err();
+        assert_eq!(err, LinalgError::Cancelled);
+        // Recover by refactoring without the stop condition.
+        fs.refactor(&r, &mut ws).unwrap();
+        let _ = fs.effective_resistance(0, 0);
     }
 
     proptest! {

@@ -22,6 +22,7 @@
 //! strategy-equivalence property tests possible.
 
 pub mod balanced;
+pub mod budget;
 pub mod hetero;
 pub mod metrics;
 pub mod mpi_sim;
@@ -30,6 +31,7 @@ mod strategy;
 pub mod supervise;
 
 pub use balanced::partition_lpt;
+pub use budget::ThreadBudget;
 pub use hetero::{simulate_hetero, HeteroClusterModel, HeteroPartition};
 pub use metrics::ExecutionReport;
 pub use mpi_sim::{ClusterModel, CommModel, MpiSimReport};

@@ -535,6 +535,29 @@ where
     (out, stats)
 }
 
+/// The pool as a `mea-linalg` intra-solve executor: the structured
+/// factorization stages hand their fixed row-chunk partitions here. The
+/// kernels' partition is thread-count-independent and their outputs are
+/// disjoint, so stealing order cannot change bits — only wall time.
+impl mea_linalg::Parallelism for WorkStealingPool {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || self.threads == 1 {
+            for t in 0..tasks {
+                f(t);
+            }
+            return;
+        }
+        let _: Vec<()> = self.map_indexed(tasks, f);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

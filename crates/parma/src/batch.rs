@@ -5,9 +5,15 @@
 //! grained and saturates quickly; when the workload is *many* devices —
 //! a plate of MEA wells measured together, or a parameter sweep — the
 //! right axis is one solve per work item. [`BatchSolver`] schedules whole
-//! solves on `mea_parallel::WorkStealingPool`, forcing each inner solve to
-//! [`Strategy::SingleThread`] so the outer pool owns every core and solves
-//! never fight each other for threads.
+//! solves on `mea_parallel::WorkStealingPool`, splitting its thread
+//! budget between the two axes ([`mea_parallel::ThreadBudget`]): the
+//! batch (outer) axis is saturated first — `min(threads, items)` workers,
+//! the historical single-thread-inner shape — and only a *surplus*
+//! (threads > items, the paper-scale few-large-solves regime) flows to
+//! the intra-solve axis, capped per item by its Betti parallelism bound
+//! β₁ ([`crate::betti`]). Inner sweeps always run
+//! [`Strategy::SingleThread`]; the intra-solve workers parallelize the
+//! structured *factorization* stages instead.
 //!
 //! # Determinism
 //!
@@ -15,10 +21,12 @@
 //! slots), and each solve is bitwise identical to running
 //! [`ParmaSolver::solve`] sequentially on the same measurement: the pair
 //! updates inside a sweep are independent and reduced in id order
-//! regardless of schedule, and the batch engine shares one immutable
-//! [`SolvePlan`] per topology, which `solver::tests::
-//! plan_reuse_is_bitwise_identical` pins down. Thread count and steal
-//! interleavings affect wall time only, never bits.
+//! regardless of schedule, the batch engine shares one immutable
+//! [`SolvePlan`] per topology (which `solver::tests::
+//! plan_reuse_is_bitwise_identical` pins down), and the intra-solve
+//! factorization stages use fixed row-chunk partitions that are
+//! independent of the worker count. Thread count — on either axis — and
+//! steal interleavings affect wall time only, never bits.
 
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
@@ -26,7 +34,7 @@ use crate::pipeline::{Pipeline, TimePointResult};
 use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
 use crate::supervisor::{supervise, FailureReport, SupervisorConfig};
 use mea_model::{MeaGrid, WetLabDataset, ZMatrix};
-use mea_parallel::{Strategy, WorkStealingPool};
+use mea_parallel::{Strategy, ThreadBudget, WorkStealingPool};
 use std::cell::RefCell;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -49,9 +57,12 @@ pub struct BatchSolver {
 }
 
 impl BatchSolver {
-    /// A batch solver with `threads` outer workers (at least one). The
-    /// configuration's `strategy` field is ignored: inner solves always run
-    /// single-threaded because the batch axis owns the cores. Returns
+    /// A batch solver with a total budget of `threads` workers (at least
+    /// one), split between the batch and intra-solve axes by
+    /// [`ThreadBudget::split`]. The configuration's `strategy` field is
+    /// ignored: inner *sweeps* always run single-threaded (the batch axis
+    /// owns the cores when items are plentiful); surplus threads
+    /// parallelize each item's structured factorization instead. Returns
     /// [`ParmaError::InvalidConfig`] for out-of-range configurations.
     pub fn new(config: ParmaConfig, threads: usize) -> Result<Self, ParmaError> {
         config.validate()?;
@@ -81,7 +92,8 @@ impl BatchSolver {
         let _span = mea_obs::span("parma/batch");
         let plans = plan_set(measurements.iter().map(|z| z.grid()));
         let solver = ParmaSolver::new(self.config);
-        let pool = WorkStealingPool::new(self.threads);
+        let budget = ThreadBudget::split(self.threads, measurements.len());
+        let pool = WorkStealingPool::new(budget.outer);
         let timed: Vec<(Result<ParmaSolution, ParmaError>, f64)> =
             pool.map_indexed(measurements.len(), |i| {
                 let _item = mea_obs::span("parma/batch/item");
@@ -90,7 +102,9 @@ impl BatchSolver {
                 let plan = lookup(&plans, z.grid());
                 let t0 = Instant::now();
                 let out = SCRATCH.with(|scratch| {
-                    solver.solve_with_scratch(plan, z, None, &mut scratch.borrow_mut())
+                    let mut scratch = scratch.borrow_mut();
+                    scratch.set_intra_threads(intra_width(&budget, z.grid()));
+                    solver.solve_with_scratch(plan, z, None, &mut scratch)
                 });
                 (out, t0.elapsed().as_secs_f64() * 1e3)
             });
@@ -103,9 +117,11 @@ impl BatchSolver {
     ///
     /// Time points *within* a session stay sequential — each warm-starts
     /// from the previous solution — so the parallel axis is across
-    /// sessions, matching how a plate of wells is processed. The outer
-    /// `Err` is an up-front configuration failure; per-session failures
-    /// come back in their slot without disturbing the rest of the batch.
+    /// sessions, matching how a plate of wells is processed; session runs
+    /// keep their inner solves fully sequential (no intra-solve split —
+    /// the pipeline owns its own scratch). The outer `Err` is an up-front
+    /// configuration failure; per-session failures come back in their
+    /// slot without disturbing the rest of the batch.
     #[allow(clippy::type_complexity)]
     pub fn run_sessions(
         &self,
@@ -143,7 +159,8 @@ impl BatchSolver {
     ) -> Vec<Result<ParmaSolution, FailureReport>> {
         let _span = mea_obs::span("parma/batch");
         let plans = plan_set(measurements.iter().map(|z| z.grid()));
-        let pool = WorkStealingPool::new(self.threads);
+        let budget = ThreadBudget::split(self.threads, measurements.len());
+        let pool = WorkStealingPool::new(budget.outer);
         let times: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
         let out = supervise(
             &pool,
@@ -157,7 +174,9 @@ impl BatchSolver {
                     ParmaSolver::new(crate::supervisor::escalated(&self.config, escalation));
                 let t0 = Instant::now();
                 let res = SCRATCH.with(|scratch| {
-                    solver.solve_supervised(plan, z, None, &mut scratch.borrow_mut(), token)
+                    let mut scratch = scratch.borrow_mut();
+                    scratch.set_intra_threads(intra_width(&budget, z.grid()));
+                    solver.solve_supervised(plan, z, None, &mut scratch, token)
                 });
                 times
                     .lock()
@@ -238,6 +257,19 @@ fn record_supervised_obs<T>(
         ITEM_MS.record(v);
     }
     mea_obs::record_series("parma.batch.item_ms", &ms);
+}
+
+/// Intra-solve width for one item: the budget's inner share, capped by
+/// the grid's Betti parallelism bound β₁ (more workers than independent
+/// cycles buys nothing — `crate::betti`). Skips the homology computation
+/// entirely in the common items-saturated regime where the batch axis
+/// already owns the whole budget.
+fn intra_width(budget: &ThreadBudget, grid: MeaGrid) -> usize {
+    if budget.inner <= 1 {
+        1
+    } else {
+        budget.inner_capped(crate::betti::parallelism_bound(grid))
+    }
 }
 
 /// One plan per distinct geometry in the batch (batches are usually
@@ -331,6 +363,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn surplus_threads_flow_to_the_intra_solve_axis_without_changing_bits() {
+        // Few large items, many threads: ThreadBudget routes the surplus
+        // to each item's structured factorization (dim = 2n−1 = 49 ≥
+        // STRUCTURED_MIN_DIM at n = 25, so the auto dispatch takes the
+        // structured path and the intra pool actually runs). Capped
+        // iterations keep the test cheap; partial results must still be
+        // bitwise identical to the single-thread run.
+        let zs = measurements(25, 2);
+        let cfg = ParmaConfig {
+            max_iter: 3,
+            tol: 1e-15,
+            ..Default::default()
+        };
+        let bits_for = |threads: usize| -> Vec<Vec<u64>> {
+            BatchSolver::new(cfg, threads)
+                .unwrap()
+                .solve_all(&zs)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(sol) => sol
+                        .resistors
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect(),
+                    Err(ParmaError::NoConvergence { partial, .. }) => {
+                        partial.as_slice().iter().map(|v| v.to_bits()).collect()
+                    }
+                    Err(e) => panic!("unexpected failure: {e}"),
+                })
+                .collect()
+        };
+        assert_eq!(
+            bits_for(1),
+            bits_for(8),
+            "intra-solve width must not change bits"
+        );
     }
 
     #[test]

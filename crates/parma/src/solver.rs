@@ -40,10 +40,11 @@
 
 use crate::config::ParmaConfig;
 use crate::error::ParmaError;
+use mea_linalg::{FactorPath, LinalgError, Parallelism, Sequential};
 use mea_model::{ForwardSolver, ForwardWorkspace, MeaGrid, ResistorGrid, ZMatrix};
 use mea_obs::events::{emit as emit_event, EventKind};
 use mea_obs::hist::Hist;
-use mea_parallel::{execute, CancelToken, Interrupt, Strategy, WorkItem};
+use mea_parallel::{execute, CancelToken, Interrupt, Strategy, WorkItem, WorkStealingPool};
 use std::time::Instant;
 
 /// Per-solve wall-clock latency (ms), across all exit paths.
@@ -168,16 +169,53 @@ pub struct SolveScratch {
     forward: Option<ForwardSolver>,
     ws: ForwardWorkspace,
     updates: Vec<PairUpdate>,
+    intra: usize,
+    pool: Option<WorkStealingPool>,
 }
 
 impl SolveScratch {
     /// An empty scratch; buffers are sized lazily on first use.
+    ///
+    /// The embedded factorization workspace runs in sweep-only inverse
+    /// scope: the solver's hot path reads only effective resistances, so
+    /// structured large-`n` refactors skip the HH-block gemm entirely.
+    /// (Below the structured dispatch threshold the dense path still
+    /// produces the full inverse — bitwise identical to the historical
+    /// behavior.)
     pub fn new() -> Self {
+        let mut ws = ForwardWorkspace::empty();
+        ws.set_sweep_only(true);
         SolveScratch {
             forward: None,
-            ws: ForwardWorkspace::empty(),
+            ws,
             updates: Vec::new(),
+            intra: 1,
+            pool: None,
         }
+    }
+
+    /// Grants this scratch `threads` intra-solve workers: structured
+    /// refactors fan their row-chunk stages over a private work-stealing
+    /// pool. The chunk partition is thread-count-independent, so any
+    /// width — including 1 — produces bitwise-identical results; this
+    /// setting trades wall time only.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.intra {
+            self.intra = threads;
+            self.pool = (threads > 1).then(|| WorkStealingPool::new(threads));
+        }
+    }
+
+    /// The configured intra-solve width.
+    pub fn intra_threads(&self) -> usize {
+        self.intra
+    }
+
+    /// Overrides the factorization dispatch of the embedded workspace
+    /// (tests pin the structured path on small grids through this).
+    pub fn set_factor_path(&mut self, path: FactorPath) {
+        self.ws.set_factor_path(path);
     }
 }
 
@@ -310,7 +348,15 @@ impl ParmaSolver {
             forward: fwd_slot,
             ws,
             updates,
+            pool,
+            ..
         } = scratch;
+        // Intra-solve executor for the structured factorization stages;
+        // bitwise-neutral by the fixed-partition contract.
+        let par: &dyn Parallelism = match pool {
+            Some(p) => p,
+            None => &Sequential,
+        };
         let mut r = initial;
         // Sweep output and Aitken history buffers, rotated by swapping so
         // the steady-state iteration allocates nothing.
@@ -351,28 +397,20 @@ impl ParmaSolver {
                 // uninterrupted run performs exactly the unsupervised
                 // floating-point work (bitwise determinism contract).
                 if let Some(interrupt) = token.check() {
-                    mea_obs::counter_add("parma.solver.solves", 1);
-                    mea_obs::counter_add("parma.solver.failures", 1);
-                    mea_obs::counter_add("parma.solver.iterations", it as u64);
-                    mea_obs::record_series("parma.solver.residuals", &history);
-                    if let Some(t0) = solve_t0 {
-                        SOLVE_MS.record(t0.elapsed().as_secs_f64() * 1e3);
-                        SOLVE_ITERS.record(it as f64);
-                    }
-                    emit_event(
-                        EventKind::SolveFailed,
-                        it as u64,
-                        history.last().copied().unwrap_or(f64::NAN),
-                    );
-                    return Err(match interrupt {
-                        Interrupt::TimedOut => ParmaError::Timeout {
-                            iterations: it,
-                            partial: Some(r),
-                        },
-                        Interrupt::Cancelled => ParmaError::Cancelled { iterations: it },
-                    });
+                    return Err(interrupted_failure(interrupt, it, r, &history, solve_t0));
                 }
-                let forward = ensure_forward(fwd_slot, ws, &r, grid)?;
+                // The factorization itself polls the token at row-chunk
+                // granularity (the PR 6 overshoot fix): a deadline firing
+                // mid-refactor surfaces here as `LinalgError::Cancelled`
+                // instead of waiting out the whole O(dim³) stage.
+                let forward = match ensure_forward(fwd_slot, ws, &r, grid, par, token) {
+                    Ok(f) => f,
+                    Err(ParmaError::Linalg(LinalgError::Cancelled)) => {
+                        let interrupt = token.check().unwrap_or(Interrupt::Cancelled);
+                        return Err(interrupted_failure(interrupt, it, r, &history, solve_t0));
+                    }
+                    Err(e) => return Err(e),
+                };
                 forward_current = true;
                 let sweep_t0 = solve_t0.is_some().then(Instant::now);
                 let residual = sweep_into(
@@ -525,7 +563,29 @@ impl ParmaSolver {
                 // loop's factorization is reused when it still matches `r`
                 // (the diverged-early-exit path) instead of rebuilding.
                 if !forward_current {
-                    ensure_forward(fwd_slot, ws, &r, grid)?;
+                    match ensure_forward(fwd_slot, ws, &r, grid, par, token) {
+                        Ok(_) => {}
+                        // Token fired during the final residual-check
+                        // refactor (solve-level telemetry was already
+                        // recorded above): map the interrupt directly.
+                        Err(ParmaError::Linalg(LinalgError::Cancelled)) => {
+                            mea_obs::counter_add("parma.solver.failures", 1);
+                            mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+                            emit_event(
+                                EventKind::SolveFailed,
+                                iterations as u64,
+                                history.last().copied().unwrap_or(f64::NAN),
+                            );
+                            return Err(match token.check().unwrap_or(Interrupt::Cancelled) {
+                                Interrupt::TimedOut => ParmaError::Timeout {
+                                    iterations,
+                                    partial: Some(r),
+                                },
+                                Interrupt::Cancelled => ParmaError::Cancelled { iterations },
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
                 let forward = fwd_slot.as_ref().expect("forward solver ensured above");
                 let residual = max_rel_mismatch(forward, z);
@@ -562,23 +622,69 @@ struct PairUpdate {
     rel_mismatch: f64,
 }
 
+/// Solve-failure bookkeeping for an interrupt (token fired at an
+/// iteration boundary or mid-factorization), returning the error to
+/// surface. Consumes `r` so a timeout can carry the partial iterate.
+fn interrupted_failure(
+    interrupt: Interrupt,
+    iterations: usize,
+    r: ResistorGrid,
+    history: &[f64],
+    solve_t0: Option<Instant>,
+) -> ParmaError {
+    mea_obs::counter_add("parma.solver.solves", 1);
+    mea_obs::counter_add("parma.solver.failures", 1);
+    mea_obs::counter_add("parma.solver.iterations", iterations as u64);
+    mea_obs::record_series("parma.solver.residuals", history);
+    if let Some(t0) = solve_t0 {
+        SOLVE_MS.record(t0.elapsed().as_secs_f64() * 1e3);
+        SOLVE_ITERS.record(iterations as f64);
+    }
+    emit_event(
+        EventKind::SolveFailed,
+        iterations as u64,
+        history.last().copied().unwrap_or(f64::NAN),
+    );
+    match interrupt {
+        Interrupt::TimedOut => ParmaError::Timeout {
+            iterations,
+            partial: Some(r),
+        },
+        Interrupt::Cancelled => ParmaError::Cancelled { iterations },
+    }
+}
+
 /// Refactors the scratch forward solver in place for the current iterate,
-/// building it fresh on first use or on a geometry change.
+/// building it fresh on first use or on a geometry change. The
+/// factorization runs on `par` and polls `token` at chunk granularity
+/// (structured path); a fired token surfaces as
+/// `ParmaError::Linalg(LinalgError::Cancelled)` for the caller to map.
 fn ensure_forward<'a>(
     slot: &'a mut Option<ForwardSolver>,
     ws: &mut ForwardWorkspace,
     r: &ResistorGrid,
     grid: MeaGrid,
+    par: &dyn Parallelism,
+    token: &CancelToken,
 ) -> Result<&'a ForwardSolver, ParmaError> {
     let rebuild = match slot.as_ref() {
         Some(f) => f.grid() != grid,
         None => true,
     };
+    let stop = || token.check().is_some();
+    let should_stop: Option<&(dyn Fn() -> bool + Sync)> = Some(&stop);
     let t0 = mea_obs::is_active().then(Instant::now);
     if rebuild {
-        *slot = Some(ForwardSolver::with_workspace(r, ws)?);
+        *slot = Some(ForwardSolver::with_workspace_supervised(
+            r,
+            ws,
+            par,
+            should_stop,
+        )?);
     } else {
-        slot.as_mut().expect("checked above").refactor(r, ws)?;
+        slot.as_mut()
+            .expect("checked above")
+            .refactor_supervised(r, ws, par, should_stop)?;
     }
     if let Some(t0) = t0 {
         REFACTOR_MS.record(t0.elapsed().as_secs_f64() * 1e3);

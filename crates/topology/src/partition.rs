@@ -1,0 +1,232 @@
+//! Partitioning a cycle basis into balanced work shares.
+//!
+//! The paper's §III parallelization assigns the β₁ independent fundamental
+//! cycles of the device graph to workers. Within one large solve the same
+//! decomposition bounds and shapes the *intra-solve* parallelism: at most
+//! β₁ workers can make independent progress, and a worker's share of the
+//! basis should carry a comparable amount of chain weight (cycle length ≈
+//! equation cost).
+//!
+//! [`partition_cycles`] produces that assignment deterministically: cycles
+//! keep their basis order (contiguous ranges, so a share maps onto a
+//! contiguous row range of the assembled system) and shares are balanced
+//! by total chain weight with a greedy longest-processing-time-style
+//! sweep over the prefix sums. The partition depends only on the basis
+//! and the requested share count — never on thread scheduling — so it can
+//! sit under the bitwise-determinism contract of the solver.
+
+use crate::cycles::CycleBasis;
+
+/// One worker's contiguous share of a cycle basis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleShare {
+    /// Range of cycle indices (into `CycleBasis::cycles`) owned by this
+    /// share: `start..end`.
+    pub start: usize,
+    /// Exclusive end of the owned range.
+    pub end: usize,
+    /// Total chain weight (edge count) of the owned cycles.
+    pub weight: usize,
+}
+
+impl CycleShare {
+    /// Number of cycles in the share.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the share owns no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A deterministic, weight-balanced partition of a cycle basis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CyclePartition {
+    /// The shares, in basis order; every cycle belongs to exactly one.
+    pub shares: Vec<CycleShare>,
+    /// Total chain weight across the basis.
+    pub total_weight: usize,
+}
+
+impl CyclePartition {
+    /// Number of non-empty shares — the effective parallel width.
+    pub fn effective_workers(&self) -> usize {
+        self.shares.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// The heaviest share's weight (the parallel critical path).
+    pub fn max_weight(&self) -> usize {
+        self.shares.iter().map(|s| s.weight).max().unwrap_or(0)
+    }
+}
+
+/// Splits `basis` into at most `workers` contiguous shares balanced by
+/// chain weight.
+///
+/// The split points are chosen against the ideal per-share weight
+/// `total / workers`: each share greedily extends while it is below the
+/// ideal boundary for its position, which keeps every share within one
+/// cycle of the ideal. With fewer cycles than workers the trailing shares
+/// come back empty (the parallel width of a solve is capped by β₁ — the
+/// paper's bound — not by the thread count).
+pub fn partition_cycles(basis: &CycleBasis, workers: usize) -> CyclePartition {
+    let workers = workers.max(1);
+    let weights: Vec<usize> = basis.cycles.iter().map(|c| c.chain.weight()).collect();
+    let total_weight: usize = weights.iter().sum();
+    let mut shares = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut acc_before = 0usize; // weight of all shares already emitted
+    for s in 0..workers {
+        let remaining_shares = workers - s;
+        // Ideal cumulative weight at the end of this share: a fair split of
+        // what is left over the shares that are left.
+        let remaining_weight = total_weight - acc_before;
+        let ideal_end = acc_before + remaining_weight.div_ceil(remaining_shares);
+        let mut end = start;
+        let mut w = 0usize;
+        // Leave at least one cycle for each later share when possible —
+        // but never reserve more than actually remains, so scarcity
+        // empties the *trailing* shares, not the leading ones.
+        let remaining_cycles = weights.len() - start;
+        let reserve = (remaining_shares - 1).min(remaining_cycles.saturating_sub(1));
+        while end < weights.len().saturating_sub(reserve) && (w == 0 || acc_before + w < ideal_end)
+        {
+            // Stop *before* overshooting the ideal unless the share is
+            // still empty (every non-empty prefix must make progress).
+            if w > 0 && acc_before + w + weights[end] > ideal_end {
+                break;
+            }
+            w += weights[end];
+            end += 1;
+        }
+        shares.push(CycleShare {
+            start,
+            end,
+            weight: w,
+        });
+        start = end;
+        acc_before += w;
+    }
+    // Any trailing cycles (possible when reservations pushed work right)
+    // belong to the last share.
+    if start < weights.len() {
+        let last = shares.last_mut().expect("workers >= 1");
+        for &w in &weights[start..] {
+            last.weight += w;
+        }
+        last.end = weights.len();
+    }
+    CyclePartition {
+        shares,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::fundamental_cycles;
+    use crate::simplex::Simplex;
+    use crate::SimplicialComplex;
+
+    /// An r×c grid graph: β₁ = (r−1)(c−1).
+    fn grid(r: u32, c: u32) -> CycleBasis {
+        let mut edges = Vec::new();
+        let id = |i: u32, j: u32| i * c + j;
+        for i in 0..r {
+            for j in 0..c {
+                if j + 1 < c {
+                    edges.push(Simplex::edge(id(i, j), id(i, j + 1)));
+                }
+                if i + 1 < r {
+                    edges.push(Simplex::edge(id(i, j), id(i + 1, j)));
+                }
+            }
+        }
+        let complex = SimplicialComplex::from_maximal_simplices(edges).unwrap();
+        fundamental_cycles(&complex)
+    }
+
+    fn check_invariants(basis: &CycleBasis, workers: usize) -> CyclePartition {
+        let p = partition_cycles(basis, workers);
+        assert_eq!(p.shares.len(), workers.max(1));
+        // Shares are contiguous, ordered, and cover the basis exactly.
+        let mut cursor = 0usize;
+        let mut weight = 0usize;
+        for s in &p.shares {
+            assert_eq!(s.start, cursor);
+            assert!(s.end >= s.start);
+            cursor = s.end;
+            weight += s.weight;
+            let expect: usize = basis.cycles[s.start..s.end]
+                .iter()
+                .map(|c| c.chain.weight())
+                .sum();
+            assert_eq!(s.weight, expect);
+        }
+        assert_eq!(cursor, basis.cycles.len());
+        assert_eq!(weight, p.total_weight);
+        p
+    }
+
+    #[test]
+    fn partition_covers_and_balances_grid() {
+        let basis = grid(5, 6); // β₁ = 20
+        assert_eq!(basis.rank(), 20);
+        for workers in [1, 2, 3, 4, 7, 20, 33] {
+            let p = check_invariants(&basis, workers);
+            assert!(p.effective_workers() <= basis.rank().max(1));
+            if workers <= basis.rank() {
+                assert_eq!(p.effective_workers(), workers);
+                // Balance: the critical path is within one cycle's weight
+                // of the ideal share.
+                let ideal = p.total_weight.div_ceil(workers);
+                let max_cycle = basis.cycles.iter().map(|c| c.chain.weight()).max().unwrap();
+                assert!(
+                    p.max_weight() <= ideal + max_cycle,
+                    "workers {workers}: max {} vs ideal {ideal} (+{max_cycle})",
+                    p.max_weight()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cycles_leaves_trailing_shares_empty() {
+        let basis = grid(2, 2); // β₁ = 1
+        let p = check_invariants(&basis, 4);
+        assert_eq!(p.effective_workers(), 1);
+        assert_eq!(p.shares[0].len(), 1);
+        assert!(p.shares[1..].iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn acyclic_basis_partitions_to_empty_shares() {
+        let complex =
+            SimplicialComplex::from_maximal_simplices([Simplex::edge(0, 1), Simplex::edge(1, 2)])
+                .unwrap();
+        let basis = fundamental_cycles(&complex);
+        assert_eq!(basis.rank(), 0);
+        let p = check_invariants(&basis, 3);
+        assert_eq!(p.effective_workers(), 0);
+        assert_eq!(p.total_weight, 0);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let basis = grid(4, 4);
+        let a = partition_cycles(&basis, 3);
+        let b = partition_cycles(&basis, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let basis = grid(3, 3);
+        let p = partition_cycles(&basis, 0);
+        assert_eq!(p.shares.len(), 1);
+        assert_eq!(p.shares[0].len(), basis.rank());
+    }
+}
