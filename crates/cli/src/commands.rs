@@ -17,11 +17,24 @@ use std::time::Duration;
 /// This build's version, stamped into traces, journals and snapshots.
 const VERSION: &str = env!("CARGO_PKG_VERSION");
 
+/// Publishes a bound listener address atomically: write a sibling temp
+/// file, then rename over the target. Readers polling the file to
+/// discover a port-0 bind either see nothing or the complete address —
+/// never a prefix. (Plain `fs::write` is truncate-then-write, so a racing
+/// reader could see e.g. `127.0.0.1:51` of `127.0.0.1:51234`, which
+/// *parses* and sends the client to the wrong port. This was the flaky
+/// ephemeral-port race in the live-metrics tests.)
+pub(crate) fn write_addr_file(path: &str, addr: std::net::SocketAddr) -> Result<(), String> {
+    let tmp = format!("{path}.{}.tmp", std::process::id());
+    std::fs::write(&tmp, addr.to_string()).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {path:?}: {e}"))
+}
+
 /// Provenance hash of everything that shapes a run's numeric output:
 /// FNV-1a-64 over the `Debug` rendering of the solver configuration plus
 /// any run-level knobs the caller appends. Identical config → identical
 /// hash, so journals and traces from the same setup stamp identically.
-fn config_fingerprint(config: &ParmaConfig, extras: &[(&str, String)]) -> String {
+pub(crate) fn config_fingerprint(config: &ParmaConfig, extras: &[(&str, String)]) -> String {
     let mut text = format!("{config:?}");
     for (k, v) in extras {
         text.push_str(&format!("|{k}={v}"));
@@ -172,7 +185,7 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 }
 
 /// Optional `--key SECS` duration flag (fractional seconds).
-fn deadline_arg(args: &Args, key: &str) -> Result<Option<Duration>, String> {
+pub(crate) fn deadline_arg(args: &Args, key: &str) -> Result<Option<Duration>, String> {
     let Some(s) = args.get(key) else {
         return Ok(None);
     };
@@ -366,8 +379,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             ];
             let srv = mea_obs::serve::MetricsServer::start(addr, meta).map_err(CliError::from)?;
             if let Some(f) = metrics_addr_file {
-                std::fs::write(f, srv.addr().to_string())
-                    .map_err(|e| format!("cannot write {f:?}: {e}"))?;
+                write_addr_file(f, srv.addr())?;
             }
             if !quiet {
                 eprintln!(
@@ -623,8 +635,7 @@ pub fn serve_metrics<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     ];
     let mut server = mea_obs::serve::MetricsServer::start(addr, meta)?;
     if let Some(f) = args.get("addr-file") {
-        std::fs::write(f, server.addr().to_string())
-            .map_err(|e| format!("cannot write {f:?}: {e}"))?;
+        write_addr_file(f, server.addr())?;
     }
     writeln!(
         out,

@@ -37,8 +37,10 @@ pub fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a 64 over the IEEE-754 bit patterns of a value slice: changes iff
-/// any output bit changes.
-fn fnv1a64(values: &[f64]) -> u64 {
+/// any output bit changes. Public because the serve result endpoint pins
+/// solution bits with the same hash the journal uses, so a journal line
+/// and an HTTP result for the same solve always agree.
+pub fn fnv1a64(values: &[f64]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for v in values {
         for b in v.to_bits().to_le_bytes() {
@@ -63,8 +65,12 @@ pub fn entry_header(config_hash: &str) -> String {
     out
 }
 
-/// The journal line for a dataset whose every time point solved.
-pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
+/// The JSON array of per-time-point records shared by journal `ok`
+/// entries and the serve result endpoint: each element pins the solve's
+/// exact bits (`residual_bits`, `resistors_fnv1a`), which is what makes
+/// "cache-hit results are bitwise identical to cold results" a testable
+/// claim over plain HTTP.
+pub fn time_points_json(time_points: &[TimePointResult]) -> String {
     let mut tps = String::from("[");
     for (k, tp) in time_points.iter().enumerate() {
         if k > 0 {
@@ -85,6 +91,12 @@ pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
         rec.end();
     }
     tps.push(']');
+    tps
+}
+
+/// The journal line for a dataset whose every time point solved.
+pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
+    let tps = time_points_json(time_points);
     let mut out = String::with_capacity(tps.len() + 80);
     let mut obj = json::Object::begin(&mut out);
     obj.field_str("schema", SCHEMA);

@@ -5,6 +5,7 @@
 pub mod args;
 pub mod commands;
 pub mod journal;
+pub mod serve;
 
 pub use args::{ArgError, Args};
 
@@ -63,6 +64,7 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
         "solve" => commands::solve(&args, out).map_err(CliError::from),
         "batch" => commands::batch(&args, out),
         "serve-metrics" => commands::serve_metrics(&args, out).map_err(CliError::from),
+        "serve" => serve::serve(&args, out),
         "bench" => commands::bench(&args, out),
         "topology" => commands::topology(&args, out).map_err(CliError::from),
         "equations" => commands::equations(&args, out).map_err(CliError::from),
@@ -92,6 +94,10 @@ USAGE:
                   [--metrics-addr HOST:PORT] [--metrics-addr-file <file>]
                   [--metrics-linger S] [--quiet]
   parma serve-metrics [--addr HOST:PORT] [--addr-file <file>] [--for S]
+  parma serve     [--addr HOST:PORT] [--addr-file <file>] [--threads T]
+                  [--queue N] [--tol E] [--detect F] [--max-retries N]
+                  [--solve-deadline S] [--backoff-ms MS] [--journal <file>]
+                  [--hold-ms MS] [--for S]
   parma bench     diff <old.json> <new.json> [--tolerance F]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
@@ -118,6 +124,16 @@ COMMANDS:
   serve-metrics
              stand-alone metrics listener over the process-global registry
              (--for S exits after S seconds; default serves until killed)
+  serve      long-lived solve daemon: POST a dataset body to /jobs (append
+             ?session=ID to warm-start a device from its previous solution),
+             poll GET /jobs/<id>, fetch GET /jobs/<id>/result; jobs run
+             under the batch supervisor (retries, deadlines, quarantine)
+             over a topology-keyed plan cache, a full queue answers 429 +
+             Retry-After, and /metrics, /snapshot and /events stay live on
+             the same listener; POST /shutdown (or --for S) drains queued
+             jobs and exits 0; --journal appends the batch journal format
+             keyed job-<id>; --addr-file publishes the bound address
+             atomically once ready, so --addr with port 0 is discoverable
   bench      diff two `parma-bench/kernels-v1` files (see `figures kernels`)
              kernel by kernel; exits with status 4 when any kernel slowed
              down by more than --tolerance (default 0.25 = 25%)

@@ -7,56 +7,11 @@
 //! telemetry is process-global state: running it in-process would race
 //! with every other trace-producing test.
 
-use std::net::SocketAddr;
-use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+mod common;
+
+use common::{fresh_dir, generate, parma, wait_for_addr};
+use std::process::Stdio;
 use std::time::{Duration, Instant};
-
-fn parma() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_parma"))
-}
-
-fn generate(dir: &Path, name: &str, n: usize, seed: u64) {
-    let status = parma()
-        .args([
-            "generate",
-            "--n",
-            &n.to_string(),
-            "--seed",
-            &seed.to_string(),
-            "--out",
-            dir.join(name).to_str().unwrap(),
-        ])
-        .stdout(Stdio::null())
-        .status()
-        .expect("spawn parma generate");
-    assert!(status.success(), "generate {name} failed");
-}
-
-fn fresh_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("parma-{tag}-{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// Polls the `--metrics-addr-file` until the child publishes its bound
-/// address (port 0 binds are only knowable this way).
-fn wait_for_addr(file: &Path, deadline: Duration) -> SocketAddr {
-    let t0 = Instant::now();
-    loop {
-        if let Ok(text) = std::fs::read_to_string(file) {
-            if let Ok(addr) = text.trim().parse() {
-                return addr;
-            }
-        }
-        assert!(
-            t0.elapsed() < deadline,
-            "metrics address file never appeared at {file:?}"
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
-}
 
 #[test]
 fn batch_metrics_endpoint_serves_exposition_and_snapshot() {

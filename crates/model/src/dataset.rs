@@ -249,6 +249,15 @@ impl WetLabDataset {
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, DatasetError> {
         Self::read_text(std::fs::File::open(path)?)
     }
+
+    /// Parses a dataset from an in-memory buffer — the ingest path for
+    /// HTTP request bodies (`parma serve`), where the text format arrives
+    /// without ever touching a file. Identical validation to
+    /// [`Self::load`]: malformed text is a typed [`DatasetError::Parse`],
+    /// non-physical values a [`DatasetError::NonPhysical`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DatasetError> {
+        Self::read_text(bytes)
+    }
 }
 
 fn parse_kv(
@@ -336,6 +345,22 @@ mod tests {
                 "text format carries no ground truth"
             );
         }
+    }
+
+    #[test]
+    fn from_bytes_matches_the_reader_and_rejects_garbage() {
+        let ds = small_session();
+        let mut buf = Vec::new();
+        ds.write_text(&mut buf).unwrap();
+        let loaded = WetLabDataset::from_bytes(&buf).unwrap();
+        assert_eq!(loaded.grid, ds.grid);
+        assert_eq!(loaded.measurements.len(), ds.measurements.len());
+        assert!(matches!(
+            WetLabDataset::from_bytes(b"not a dataset"),
+            Err(DatasetError::Parse(_))
+        ));
+        let poisoned = String::from_utf8(buf).unwrap().replace("measurement", "m");
+        assert!(WetLabDataset::from_bytes(poisoned.as_bytes()).is_err());
     }
 
     #[test]

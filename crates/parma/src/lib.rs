@@ -50,6 +50,9 @@ pub mod newton;
 pub mod path_solver;
 pub mod persistence;
 pub mod pipeline;
+pub mod plan_cache;
+pub mod service;
+pub mod session;
 pub mod solver;
 pub mod supervisor;
 
@@ -59,6 +62,9 @@ pub use config::ParmaConfig;
 pub use detect::{detect_anomalies, DetectionReport};
 pub use error::ParmaError;
 pub use formation::form_equations_parallel;
+pub use plan_cache::{PlanCache, TopologyCache};
+pub use service::{AdmissionError, JobState, JobView, ServiceConfig, ServiceStats, SolveService};
+pub use session::SessionStore;
 pub use solver::{
     ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
 };
@@ -72,6 +78,9 @@ pub mod prelude {
     pub use crate::detect::{detect_anomalies, DetectionReport};
     pub use crate::error::ParmaError;
     pub use crate::pipeline::{Pipeline, TimePointResult};
+    pub use crate::plan_cache::PlanCache;
+    pub use crate::service::{AdmissionError, JobState, JobView, ServiceConfig, SolveService};
+    pub use crate::session::SessionStore;
     pub use crate::solver::{
         ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
     };

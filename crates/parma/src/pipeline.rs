@@ -11,9 +11,12 @@
 use crate::config::ParmaConfig;
 use crate::detect::{detect_anomalies, DetectionReport};
 use crate::error::ParmaError;
+use crate::plan_cache::PlanCache;
+use crate::session::ratio_extrapolate;
 use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
 use mea_model::WetLabDataset;
 use mea_parallel::CancelToken;
+use std::sync::Arc;
 
 /// One time point's outcome.
 #[derive(Clone, Debug)]
@@ -80,13 +83,33 @@ impl Pipeline {
         token: &CancelToken,
         solve_budget: Option<std::time::Duration>,
     ) -> Result<Vec<TimePointResult>, ParmaError> {
+        // A transient unnamed cache: same plan reuse as before, without
+        // touching the service-level cache counters.
+        self.run_cached(dataset, token, solve_budget, &PlanCache::unnamed(), None)
+    }
+
+    /// Like [`Self::run_supervised`], but pulls [`SolvePlan`]s from a
+    /// shared cross-request [`PlanCache`] and optionally seeds hour 0
+    /// from a previous session's `(resistors, impedances)` pair — the
+    /// same ratio extrapolation used between in-session time points,
+    /// lifted across requests. A seed whose geometry does not match the
+    /// dataset is ignored (cold start). With a fresh cache and no seed
+    /// this is bitwise identical to [`Self::run`].
+    pub fn run_cached(
+        &self,
+        dataset: &WetLabDataset,
+        token: &CancelToken,
+        solve_budget: Option<std::time::Duration>,
+        plans: &PlanCache,
+        warm_seed: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)>,
+    ) -> Result<Vec<TimePointResult>, ParmaError> {
         let _span = mea_obs::span("pipeline/run");
         let mut out: Vec<TimePointResult> = Vec::with_capacity(dataset.measurements.len());
-        let mut warm: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)> = None;
+        let mut warm: Option<(mea_model::ResistorGrid, mea_model::ZMatrix)> = warm_seed;
         // One plan and one scratch shared across the session's time points
         // (they all use the same geometry); bitwise identical to fresh
         // per-point solves, just without the rebuild cost.
-        let mut plan: Option<SolvePlan> = None;
+        let mut plan: Option<Arc<SolvePlan>> = None;
         let mut scratch = SolveScratch::new();
         for m in &dataset.measurements {
             let _tp = mea_obs::span("time_point");
@@ -95,17 +118,13 @@ impl Pipeline {
                 ..self.config
             });
             if plan.as_ref().map(|p| p.grid()) != Some(m.z.grid()) {
-                plan = Some(SolvePlan::new(m.z.grid()));
+                plan = Some(plans.get_or_analyze(m.z.grid()));
             }
-            let plan_ref = plan.as_ref().expect("plan installed above");
+            let plan_ref = plan.as_deref().expect("plan installed above");
             let solve_token = token.child(solve_budget);
             let solution = match &warm {
-                Some((prev_r, prev_z)) => {
-                    let mut init = prev_r.clone();
-                    for (i, j) in init.grid().pair_iter() {
-                        let ratio = m.z.get(i, j) / prev_z.get(i, j);
-                        init.set(i, j, init.get(i, j) * ratio);
-                    }
+                Some((prev_r, prev_z)) if prev_r.grid() == m.z.grid() => {
+                    let init = ratio_extrapolate(prev_r, prev_z, &m.z);
                     solver.solve_supervised(
                         plan_ref,
                         &m.z,
@@ -114,9 +133,7 @@ impl Pipeline {
                         &solve_token,
                     )?
                 }
-                None => {
-                    solver.solve_supervised(plan_ref, &m.z, None, &mut scratch, &solve_token)?
-                }
+                _ => solver.solve_supervised(plan_ref, &m.z, None, &mut scratch, &solve_token)?,
             };
             let detection = {
                 let _d = mea_obs::span("detect");
@@ -233,6 +250,75 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn shared_plan_cache_keeps_runs_bitwise_identical() {
+        let ds = session(6, 91);
+        let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+        let plain = pipeline.run(&ds).unwrap();
+        let cache = PlanCache::unnamed();
+        let token = CancelToken::unbounded();
+        let first = pipeline
+            .run_cached(&ds, &token, None, &cache, None)
+            .unwrap();
+        let second = pipeline
+            .run_cached(&ds, &token, None, &cache, None)
+            .unwrap();
+        // One analysis total: the first run misses, the second hits.
+        assert_eq!(cache.stats(), (1, 1));
+        for variant in [&first, &second] {
+            assert_eq!(plain.len(), variant.len());
+            for (a, b) in plain.iter().zip(variant) {
+                assert_eq!(a.solution.iterations, b.solution.iterations);
+                for (x, y) in a
+                    .solution
+                    .resistors
+                    .as_slice()
+                    .iter()
+                    .zip(b.solution.resistors.as_slice())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_seed_cuts_iterations_and_mismatched_seed_is_ignored() {
+        let ds = session(8, 55);
+        let pipeline = Pipeline::new(ParmaConfig::default(), 1.5).unwrap();
+        let cold = pipeline.run(&ds).unwrap();
+        // Seed with the exact hour-0 answer: the transported start is the
+        // fixed point itself, so hour 0 must converge in strictly fewer
+        // iterations than the cold solve.
+        let seed = (
+            cold[0].solution.resistors.clone(),
+            ds.measurements[0].z.clone(),
+        );
+        let cache = PlanCache::unnamed();
+        let warm = pipeline
+            .run_cached(&ds, &CancelToken::unbounded(), None, &cache, Some(seed))
+            .unwrap();
+        assert!(
+            warm[0].solution.iterations < cold[0].solution.iterations,
+            "seeded hour 0 must save iterations: {} vs {}",
+            warm[0].solution.iterations,
+            cold[0].solution.iterations
+        );
+        // A seed of the wrong geometry silently cold-starts.
+        let wrong_grid = MeaGrid::square(5);
+        let bogus = (
+            mea_model::CrossingMatrix::filled(wrong_grid, 1.0),
+            mea_model::CrossingMatrix::filled(wrong_grid, 1.0),
+        );
+        let ignored = pipeline
+            .run_cached(&ds, &CancelToken::unbounded(), None, &cache, Some(bogus))
+            .unwrap();
+        assert_eq!(
+            ignored[0].solution.iterations, cold[0].solution.iterations,
+            "mismatched seed must behave exactly like a cold start"
+        );
     }
 
     #[test]

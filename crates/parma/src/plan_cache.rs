@@ -1,0 +1,174 @@
+//! Topology-keyed caching of symbolic solve structure.
+//!
+//! The expensive symbolic phase — building a [`SolvePlan`]'s work-item
+//! schedule, or a `JacobianTemplate`'s sparsity pattern — depends only on
+//! the device *geometry*, never on measured data. A long-lived process
+//! (`parma serve`) therefore analyzes each geometry once and reuses the
+//! result for every subsequent request of that shape.
+//!
+//! # Key invariants (DESIGN.md §16)
+//!
+//! * The key is the exact `(rows, cols)` pair. Topologies that are equal
+//!   up to relabeling — a 3×4 and a 4×3 device share every topological
+//!   invariant — still have distinct row/column structure in the solve,
+//!   so they must **not** collide; keying on derived invariants (joint
+//!   count, β₁) would alias them.
+//! * A cached value is shared immutably ([`Arc`]); plans carry no
+//!   data-dependent state, so a cache hit is *bitwise* equivalent to a
+//!   fresh analysis (pinned by `plan_cache_properties` and the serve
+//!   end-to-end harness).
+//! * Hit/miss counts are observable both per-cache ([`TopologyCache::stats`])
+//!   and — for named caches — on the process-global registry as
+//!   `<name>.hits` / `<name>.misses`, which is how the end-to-end test
+//!   proves the second same-geometry request skipped symbolic analysis.
+
+use crate::solver::SolvePlan;
+use mea_model::MeaGrid;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache entries: the exact `(rows, cols)` key and the shared artifact.
+type Entries<T> = Vec<((usize, usize), Arc<T>)>;
+
+/// A geometry-keyed cache of immutable symbolic artifacts.
+pub struct TopologyCache<T> {
+    /// Counter prefix on the global registry; `None` keeps the cache
+    /// silent (used by transient per-run caches so they don't pollute
+    /// service-level counters).
+    name: Option<&'static str>,
+    entries: Mutex<Entries<T>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> TopologyCache<T> {
+    /// A cache that reports `<name>.hits` / `<name>.misses` on the
+    /// process-global registry.
+    pub fn named(name: &'static str) -> Self {
+        TopologyCache {
+            name: Some(name),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with local statistics only.
+    pub fn unnamed() -> Self {
+        TopologyCache {
+            name: None,
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `grid`'s geometry, building it with
+    /// `build` on first sight. The build runs outside the cache lock —
+    /// symbolic analysis can take milliseconds and must not block
+    /// concurrent lookups of other geometries — so two racing first
+    /// requests may both build; the first to insert wins and both get the
+    /// winning [`Arc`] (the loser's build is dropped, keeping the
+    /// "one shared value per geometry" invariant).
+    pub fn get_or_build(&self, grid: MeaGrid, build: impl FnOnce(MeaGrid) -> T) -> Arc<T> {
+        let key = (grid.rows(), grid.cols());
+        if let Some(found) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(name) = self.name {
+                mea_obs::counter_add(&format!("{name}.hits"), 1);
+            }
+            return found;
+        }
+        let built = Arc::new(build(grid));
+        let mut entries = self.entries.lock().expect("topology cache lock");
+        let value = match entries.iter().find(|(k, _)| *k == key) {
+            Some((_, existing)) => Arc::clone(existing),
+            None => {
+                entries.push((key, Arc::clone(&built)));
+                built
+            }
+        };
+        drop(entries);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(name) = self.name {
+            mea_obs::counter_add(&format!("{name}.misses"), 1);
+        }
+        value
+    }
+
+    fn lookup(&self, key: (usize, usize)) -> Option<Arc<T>> {
+        self.entries
+            .lock()
+            .expect("topology cache lock")
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct geometries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("topology cache lock").len()
+    }
+
+    /// Whether the cache has seen no geometry yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The service's cache of [`SolvePlan`]s — "analyze once, serve every
+/// array of that geometry".
+pub type PlanCache = TopologyCache<SolvePlan>;
+
+impl PlanCache {
+    /// The shared plan for `grid`, analyzed on first request.
+    pub fn get_or_analyze(&self, grid: MeaGrid) -> Arc<SolvePlan> {
+        self.get_or_build(grid, SolvePlan::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted_per_geometry() {
+        let cache = PlanCache::unnamed();
+        let a = cache.get_or_analyze(MeaGrid::square(4));
+        let b = cache.get_or_analyze(MeaGrid::square(4));
+        let c = cache.get_or_analyze(MeaGrid::square(5));
+        assert!(Arc::ptr_eq(&a, &b), "same geometry shares one plan");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn relabeling_equal_geometries_do_not_collide() {
+        let cache = PlanCache::unnamed();
+        let a = cache.get_or_analyze(MeaGrid::new(3, 4));
+        let b = cache.get_or_analyze(MeaGrid::new(4, 3));
+        assert!(!Arc::ptr_eq(&a, &b), "3×4 and 4×3 must cache separately");
+        assert_eq!(a.grid().rows(), 3);
+        assert_eq!(b.grid().rows(), 4);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn cached_plan_is_the_fresh_plan() {
+        let cache = PlanCache::unnamed();
+        let grid = MeaGrid::square(6);
+        let cached = cache.get_or_analyze(grid);
+        let fresh = SolvePlan::new(grid);
+        assert_eq!(cached.grid(), fresh.grid());
+        assert_eq!(cached.kappa().to_bits(), fresh.kappa().to_bits());
+    }
+}

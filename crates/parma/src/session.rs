@@ -1,0 +1,142 @@
+//! Per-device *sessions*: warm-start state that survives across requests.
+//!
+//! The paper's wet-lab protocol re-measures the same device at 0/6/12/24
+//! hours. A long-lived service therefore keeps, per device id, the last
+//! recovered resistor map together with the impedance matrix it answered —
+//! and seeds the next solve of that device from the previous solution,
+//! transported onto the new measurement by the per-pair impedance ratio
+//! (exactly the in-session warm start [`crate::pipeline::Pipeline::run`]
+//! performs between time points, lifted across process requests).
+//!
+//! # Invariants (DESIGN.md §16)
+//!
+//! * A warm pair is only ever handed out for a *matching geometry*; a
+//!   device id re-used with a different grid silently cold-starts (and
+//!   the commit replaces the stored state).
+//! * Warm starting changes the iteration count, never the fixed point:
+//!   convergence still runs to the same tolerance on the same equations.
+//! * The store is a plain mutex map — session commits happen once per
+//!   job, far off any hot path.
+
+use mea_model::{MeaGrid, ResistorGrid, ZMatrix};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Transports `prev_r` onto the new measurement: crossing `(i,j)` starts
+/// at `R_prev(i,j) · Z_new(i,j)/Z_prev(i,j)`. Impedance is locally
+/// near-proportional to direct resistance, so the ratio lands far closer
+/// than the raw previous map when the device drifts between measurements.
+/// (Shared by the in-session pipeline warm start and the cross-request
+/// session store; op order is pinned so both produce identical bits.)
+pub fn ratio_extrapolate(prev_r: &ResistorGrid, prev_z: &ZMatrix, z_new: &ZMatrix) -> ResistorGrid {
+    let mut init = prev_r.clone();
+    for (i, j) in init.grid().pair_iter() {
+        let ratio = z_new.get(i, j) / prev_z.get(i, j);
+        init.set(i, j, init.get(i, j) * ratio);
+    }
+    init
+}
+
+/// The last decided state of one device session.
+#[derive(Clone)]
+struct SessionState {
+    prev_r: ResistorGrid,
+    prev_z: ZMatrix,
+}
+
+/// Cross-request warm-start state, keyed by caller-chosen device id.
+#[derive(Default)]
+pub struct SessionStore {
+    sessions: Mutex<HashMap<String, SessionState>>,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stored `(previous resistors, previous impedances)` pair for
+    /// `id`, provided its geometry matches `grid`. Counts a
+    /// `parma.serve.session_warm` on the global registry when it hands a
+    /// pair out.
+    pub fn warm_pair(&self, id: &str, grid: MeaGrid) -> Option<(ResistorGrid, ZMatrix)> {
+        let sessions = self.sessions.lock().expect("session store lock");
+        let state = sessions.get(id)?;
+        if state.prev_r.grid() != grid {
+            return None;
+        }
+        let pair = (state.prev_r.clone(), state.prev_z.clone());
+        drop(sessions);
+        mea_obs::counter_add("parma.serve.session_warm", 1);
+        Some(pair)
+    }
+
+    /// Records the session's newest decided solve: the recovered map and
+    /// the measurement it answered. Replaces any previous state for `id`.
+    pub fn commit(&self, id: &str, prev_r: ResistorGrid, prev_z: ZMatrix) {
+        self.sessions
+            .lock()
+            .expect("session store lock")
+            .insert(id.to_string(), SessionState { prev_r, prev_z });
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session store lock").len()
+    }
+
+    /// Whether no session has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::CrossingMatrix;
+
+    fn filled(grid: MeaGrid, v: f64) -> CrossingMatrix {
+        CrossingMatrix::filled(grid, v)
+    }
+
+    #[test]
+    fn warm_pair_round_trips_only_on_matching_geometry() {
+        let store = SessionStore::new();
+        let grid = MeaGrid::square(3);
+        assert!(store.warm_pair("dev1", grid).is_none(), "empty store");
+        store.commit("dev1", filled(grid, 10.0), filled(grid, 2.0));
+        let (r, z) = store.warm_pair("dev1", grid).expect("committed session");
+        assert_eq!(r.get(0, 0), 10.0);
+        assert_eq!(z.get(0, 0), 2.0);
+        // A different geometry under the same id cold-starts.
+        assert!(store.warm_pair("dev1", MeaGrid::square(4)).is_none());
+        assert!(store.warm_pair("other", grid).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn commit_replaces_previous_state() {
+        let store = SessionStore::new();
+        let grid = MeaGrid::square(2);
+        store.commit("d", filled(grid, 1.0), filled(grid, 1.0));
+        store.commit("d", filled(grid, 5.0), filled(grid, 7.0));
+        let (r, z) = store.warm_pair("d", grid).unwrap();
+        assert_eq!(r.get(1, 1), 5.0);
+        assert_eq!(z.get(1, 1), 7.0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn ratio_extrapolation_transports_by_impedance_ratio() {
+        let grid = MeaGrid::square(2);
+        let prev_r = filled(grid, 100.0);
+        let prev_z = filled(grid, 4.0);
+        let mut z_new = filled(grid, 4.0);
+        z_new.set(0, 1, 8.0); // one crossing doubled its impedance
+        let init = ratio_extrapolate(&prev_r, &prev_z, &z_new);
+        assert_eq!(init.get(0, 0), 100.0);
+        assert_eq!(init.get(0, 1), 200.0);
+    }
+}
