@@ -51,6 +51,7 @@ fn main() {
         "fig7" => fig7(full),
         "fig8" => fig8(full),
         "fig9" => fig9(full),
+        "fig9-io" => fig9_io(quick),
         "fig10" => fig10(full),
         "throughput" => throughput(full),
         "kernels" => kernels(quick),
@@ -65,7 +66,7 @@ fn main() {
         other => {
             eprintln!("unknown figure {other:?}");
             eprintln!(
-                "usage: figures <fig6|fig7|fig8|fig9|fig10|throughput|kernels|all> \
+                "usage: figures <fig6|fig7|fig8|fig9|fig9-io|fig10|throughput|kernels|all> \
                  [--full] [--quick] [--trace <file>]"
             );
             std::process::exit(2);
@@ -218,6 +219,237 @@ fn fig9(full: bool) {
             .collect();
         println!("{}", row(&n.to_string(), &cells));
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The PR8 I/O ladder (`fig9-io`): dataset ingest time per container —
+/// the naive per-line-allocating text reader, the buffered text reader,
+/// the `parma-bin/v1` binary container through a plain read, and the
+/// binary container through the zero-copy mmap path — at wet-lab scales,
+/// plus the streamed-batch overlap demo: solving ≥ 8 sessions through
+/// `BatchSolver::run_streamed_supervised` against the status-quo
+/// sequential load-then-solve loop. Writes `BENCH_PR8.json`
+/// (`parma-bench/kernels-v1`, so `parma bench diff` gates it in CI);
+/// `--quick` keeps the n = 32 rows and a smaller overlap batch.
+fn fig9_io(quick: bool) {
+    use mea_model::{AnomalyConfig, MeaGrid, WetLabDataset};
+    use parma::prelude::*;
+    use std::hint::black_box;
+
+    let dir = std::env::temp_dir().join("parma-fig9-io");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    println!("\n=== PR8 ingest ladder: text vs parma-bin/v1 (ms per load) ===");
+    println!(
+        "{}",
+        row(
+            "kernel",
+            ["n", "bytes", "baseline", "this", "speedup"]
+                .map(String::from)
+                .as_ref()
+        )
+    );
+    let sizes: &[usize] = if quick { &[32] } else { &[32, 64, 100] };
+    let outer = if quick { 3 } else { 5 };
+    let mut cells: Vec<KernelCell> = Vec::new();
+    for &n in sizes {
+        let session = WetLabDataset::generate(MeaGrid::square(n), &AnomalyConfig::default(), 0xF19)
+            .expect("generation is physical");
+        let text_path = dir.join(format!("fig9io-{n}.txt"));
+        let bin_path = dir.join(format!("fig9io-{n}.pbin"));
+        session.save(&text_path).expect("write text");
+        session.save_binary(&bin_path).expect("write binary");
+        let text_bytes = std::fs::metadata(&text_path).expect("stat").len() as usize;
+        let bin_bytes = std::fs::metadata(&bin_path).expect("stat").len() as usize;
+        // Repetitions sized to the work: parsing n = 100 text is ~10⁴×
+        // slower than mapping its binary, so each rung gets its own count.
+        let reps_text = if n >= 100 { 20 } else { 60 };
+        let reps_bin = reps_text * 10;
+
+        // The reader rung compares the two parsers on the same in-memory
+        // bytes: the satellite fixed per-line allocation churn, and file
+        // open/read syscalls would otherwise drown the few percent the
+        // reused buffer wins back. The container rungs below measure the
+        // full path from the filesystem, which is what they replace.
+        let text_blob = std::fs::read(&text_path).expect("read text");
+        let naive_text_ms = per_call_ms(outer.max(7), reps_text, || {
+            black_box(WetLabDataset::read_text_naive(&text_blob[..]).expect("parse"));
+        });
+        let text_parse_ms = per_call_ms(outer.max(7), reps_text, || {
+            black_box(WetLabDataset::read_text(&text_blob[..]).expect("parse"));
+        });
+        let text_ms = per_call_ms(outer, reps_text, || {
+            black_box(WetLabDataset::load(&text_path).expect("parse"));
+        });
+        let bin_read_ms = per_call_ms(outer, reps_bin, || {
+            let bytes = std::fs::read(&bin_path).expect("read binary");
+            black_box(WetLabDataset::from_bytes(&bytes).expect("parse"));
+        });
+        let bin_mmap_ms = per_call_ms(outer, reps_bin, || {
+            black_box(WetLabDataset::load(&bin_path).expect("parse"));
+        });
+        // Ladder rows: each rung's baseline is the status quo it replaces
+        // — naive text → buffered text (the reader satellite), buffered
+        // text → binary (the container), read → mmap (the zero-copy path).
+        cells.push(KernelCell {
+            name: "text parse (buffered)",
+            n,
+            dim: text_bytes,
+            naive_ms: naive_text_ms,
+            opt_ms: text_parse_ms,
+        });
+        cells.push(KernelCell {
+            name: "binary load (read)",
+            n,
+            dim: bin_bytes,
+            naive_ms: text_ms,
+            opt_ms: bin_read_ms,
+        });
+        cells.push(KernelCell {
+            name: "binary load (mmap)",
+            n,
+            dim: bin_bytes,
+            naive_ms: text_ms,
+            opt_ms: bin_mmap_ms,
+        });
+    }
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                c.name,
+                &[
+                    c.n.to_string(),
+                    c.dim.to_string(),
+                    format!("{:.4}", c.naive_ms),
+                    format!("{:.4}", c.opt_ms),
+                    format!("{:.2}x", c.speedup()),
+                ]
+            )
+        );
+    }
+
+    // Streamed-batch overlap: ≥ 8 sessions, solved three ways. The
+    // sequential baselines load every dataset up front (text, then
+    // binary) before solving; the streamed run hands the same binary
+    // files to `run_streamed_supervised`, whose I/O slots prefetch and
+    // validate while the solves run. On a single hardware thread the
+    // overlap win degenerates to the cheaper ingest; with real cores the
+    // prefetch also hides the load latency itself.
+    // n = 16 keeps the ingest share of each session as large as it gets
+    // (solve cost grows ~n³ against the parser's ~n²), so the overlap
+    // comparison resolves above timer noise even on one hardware thread.
+    let count = 12usize;
+    let n_overlap = 16;
+    println!(
+        "\n=== PR8 streamed batch: {count} sessions at n = {n_overlap}, \
+         {} hardware thread(s) ===",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    let mut text_paths = Vec::new();
+    let mut bin_paths = Vec::new();
+    for k in 0..count {
+        let session = WetLabDataset::generate(
+            MeaGrid::square(n_overlap),
+            &AnomalyConfig::default(),
+            0xF19 + 1 + k as u64,
+        )
+        .expect("generation is physical");
+        let t = dir.join(format!("stream-{k}.txt"));
+        let b = dir.join(format!("stream-{k}.pbin"));
+        session.save(&t).expect("write text");
+        session.save_binary(&b).expect("write binary");
+        text_paths.push(t);
+        bin_paths.push(b);
+    }
+    let threads = 2usize;
+    let batch = BatchSolver::new(ParmaConfig::default(), threads).expect("valid config");
+    let sup = SupervisorConfig {
+        max_retries: 0,
+        ..Default::default()
+    };
+    let detection = 1.5f64;
+    let seq = |paths: &[std::path::PathBuf]| {
+        let sessions: Vec<WetLabDataset> = paths
+            .iter()
+            .map(|p| WetLabDataset::load(p).expect("load"))
+            .collect();
+        let out = batch
+            .run_sessions_supervised(&sessions, detection, &sup, &|_, _| {})
+            .expect("batch runs");
+        assert!(out.iter().all(|r| r.is_ok()));
+        black_box(out);
+    };
+    let streamed = || {
+        let out = batch
+            .run_streamed_supervised(&bin_paths, detection, &sup, &|_, _| {})
+            .expect("streamed batch runs");
+        assert!(out.iter().all(|r| r.is_ok()));
+        black_box(out);
+    };
+    // The three modes differ by a few percent of a solve-dominated total,
+    // so back-to-back blocks would let machine drift between blocks drown
+    // the signal. Interleave them round-robin and keep per-mode minima.
+    let (mut seq_text_secs, mut seq_bin_secs, mut streamed_secs) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..outer.max(5) {
+        let ((), t) = time_secs(|| seq(&text_paths));
+        seq_text_secs = seq_text_secs.min(t);
+        let ((), t) = time_secs(|| seq(&bin_paths));
+        seq_bin_secs = seq_bin_secs.min(t);
+        let ((), t) = time_secs(streamed);
+        streamed_secs = streamed_secs.min(t);
+    }
+    println!("{}", row("mode", &["total ms".into(), "vs text".into()]));
+    for (label, secs) in [
+        ("sequential text", seq_text_secs),
+        ("sequential binary", seq_bin_secs),
+        ("streamed binary", streamed_secs),
+    ] {
+        println!(
+            "{}",
+            row(label, &[ms(secs), format!("{:.2}x", seq_text_secs / secs)])
+        );
+    }
+    cells.push(KernelCell {
+        name: "streamed batch (vs text load+solve)",
+        n: n_overlap,
+        dim: count,
+        naive_ms: seq_text_secs * 1e3,
+        opt_ms: streamed_secs * 1e3,
+    });
+    cells.push(KernelCell {
+        name: "streamed batch (vs binary load+solve)",
+        n: n_overlap,
+        dim: count,
+        naive_ms: seq_bin_secs * 1e3,
+        opt_ms: streamed_secs * 1e3,
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"parma-bench/kernels-v1\",\n");
+    json.push_str("  \"pr\": 8,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"dim\": {}, \"naive_ms\": {:.6}, \
+             \"opt_ms\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.n,
+            c.dim,
+            c.naive_ms,
+            c.opt_ms,
+            c.speedup(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_PR8.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {path}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

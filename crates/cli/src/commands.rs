@@ -184,6 +184,49 @@ pub fn solve<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// `parma convert`: translate a dataset between the text container and
+/// `parma-bin/v1`. The direction defaults to the *opposite* of the input
+/// (sniffed by the magic bytes); `--to text|binary` forces one. Both
+/// writers emit shortest-round-trip values, so conversion is lossless:
+/// text → binary → text is byte-identical and the parsed measurements
+/// are bitwise equal whichever container they travel through.
+pub fn convert<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let (Some(input), Some(output)) = (args.positional(0), args.positional(1)) else {
+        return Err("usage: parma convert <in> <out> [--to text|binary]".into());
+    };
+    if let Some(extra) = args.positional(2) {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+    let input_is_binary = bytes.starts_with(&mea_model::binfmt::MAGIC);
+    let to_binary = match args.get("to") {
+        Some("text") => false,
+        Some("binary") => true,
+        Some(other) => return Err(format!("unknown --to {other:?} (text|binary)")),
+        None => !input_is_binary,
+    };
+    let session =
+        WetLabDataset::from_bytes(&bytes).map_err(|e| format!("cannot parse {input:?}: {e}"))?;
+    if to_binary {
+        session.save_binary(output)
+    } else {
+        session.save(output)
+    }
+    .map_err(|e| format!("cannot write {output:?}: {e}"))?;
+    let written = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    writeln!(
+        out,
+        "converted {input} ({}) -> {output} ({}): {}×{} array, {} measurements, {} bytes",
+        if input_is_binary { "binary" } else { "text" },
+        if to_binary { "binary" } else { "text" },
+        session.grid.rows(),
+        session.grid.cols(),
+        session.measurements.len(),
+        written
+    )
+    .map_err(|e| e.to_string())
+}
+
 /// Optional `--key SECS` duration flag (fractional seconds).
 pub(crate) fn deadline_arg(args: &Args, key: &str) -> Result<Option<Duration>, String> {
     let Some(s) = args.get(key) else {
@@ -211,9 +254,13 @@ enum BatchEntry {
 /// `parma batch`: solve every dataset file in a directory concurrently
 /// under the retry/quarantine supervisor. `--journal` appends one fsync'd
 /// JSON line per decided item; `--resume` skips items the journal already
-/// records as solved, bitwise-identically to an uninterrupted run. Any
-/// quarantined item makes the command exit with status
-/// [`EXIT_QUARANTINED`] after a per-taxonomy failure summary.
+/// records as solved, bitwise-identically to an uninterrupted run. With
+/// `--stream`, datasets are not preloaded: dedicated I/O slots carved from
+/// the thread budget ([`mea_parallel::IoBudget`]) prefetch and validate
+/// the next files while solves run, so ingest overlaps compute; results
+/// (and failures) are identical to the preloaded path. Any quarantined
+/// item makes the command exit with status [`EXIT_QUARANTINED`] after a
+/// per-taxonomy failure summary.
 pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let dir = args
         .positional(0)
@@ -241,6 +288,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         );
     }
     let quiet = args.flag("quiet");
+    let stream = args.flag("stream");
     let metrics_addr = args.get("metrics-addr");
     let metrics_addr_file = args.get("metrics-addr-file");
     let metrics_linger: f64 = args.get_or("metrics-linger", 0.0)?;
@@ -281,6 +329,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let mut names: Vec<String> = Vec::with_capacity(paths.len());
     let mut entries: Vec<BatchEntry> = Vec::with_capacity(paths.len());
     let mut sessions: Vec<WetLabDataset> = Vec::new();
+    let mut work_paths: Vec<std::path::PathBuf> = Vec::new();
     let mut work_names: Vec<String> = Vec::new();
     for p in &paths {
         let name = p
@@ -290,6 +339,12 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             .to_string();
         if already_done.get(&name).map(String::as_str) == Some("ok") {
             entries.push(BatchEntry::Skipped);
+        } else if stream {
+            // Streamed runs defer loading to the I/O slots; ingest
+            // failures come back as quarantined items from the runner.
+            entries.push(BatchEntry::Work(work_paths.len()));
+            work_paths.push(p.clone());
+            work_names.push(name.clone());
         } else {
             match WetLabDataset::load(p) {
                 Ok(session) => {
@@ -415,13 +470,17 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let reporter_stop = Arc::new(AtomicBool::new(false));
     let reporter = (live && !quiet).then(|| {
         progress_reporter(
-            sessions.len(),
+            work_names.len(),
             Arc::clone(&done_items),
             Arc::clone(&failed_items),
             Arc::clone(&reporter_stop),
         )
     });
-    let run_result = solver.run_sessions_supervised(&sessions, detect_factor, &sup, &on_done);
+    let run_result = if stream {
+        solver.run_streamed_supervised(&work_paths, detect_factor, &sup, &on_done)
+    } else {
+        solver.run_sessions_supervised(&sessions, detect_factor, &sup, &on_done)
+    };
     let elapsed = t0.elapsed();
     reporter_stop.store(true, Ordering::Relaxed);
     if let Some(handle) = reporter {

@@ -54,14 +54,15 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
     // subcommand with file operands; every other command is pure
     // `--key value`.
     let args = match command {
-        "batch" => Args::parse_with_switches(&raw[1..], &["resume", "quiet"]),
-        "bench" => Args::parse_with_positionals(&raw[1..]),
+        "batch" => Args::parse_with_switches(&raw[1..], &["resume", "quiet", "stream"]),
+        "bench" | "convert" => Args::parse_with_positionals(&raw[1..]),
         _ => Args::parse(&raw[1..]),
     }
     .map_err(|e| CliError::from(format!("{e}\n\n{}", usage())))?;
     match command {
         "generate" => commands::generate(&args, out).map_err(CliError::from),
         "solve" => commands::solve(&args, out).map_err(CliError::from),
+        "convert" => commands::convert(&args, out).map_err(CliError::from),
         "batch" => commands::batch(&args, out),
         "serve-metrics" => commands::serve_metrics(&args, out).map_err(CliError::from),
         "serve" => serve::serve(&args, out),
@@ -88,8 +89,9 @@ USAGE:
                   [--threads T] [--tol E] [--detect F] [--prominence P]
                   [--trace <file>]   write a JSON trace (stage timings, solver
                                      residual curves, scheduler stats)
+  parma convert   <in> <out> [--to text|binary]
   parma batch     <dir> [--threads T] [--tol E] [--detect F] [--trace <file>|-]
-                  [--journal <file>] [--resume] [--max-retries N]
+                  [--stream] [--journal <file>] [--resume] [--max-retries N]
                   [--deadline S] [--solve-deadline S] [--backoff-ms MS]
                   [--metrics-addr HOST:PORT] [--metrics-addr-file <file>]
                   [--metrics-linger S] [--quiet]
@@ -106,11 +108,20 @@ USAGE:
 COMMANDS:
   generate   synthesize a wet-lab session (0/6/12/24 h) and write the text dataset
   solve      recover resistor maps from a dataset file and report anomalies
+             (text or parma-bin/v1 binary — the reader sniffs the format)
+  convert    translate a dataset between the text container and the
+             checksummed parma-bin/v1 binary container; the direction
+             defaults to the opposite of the (sniffed) input format and
+             --to text|binary forces one; conversions are lossless, so
+             text -> binary -> text is byte-identical
   batch      solve every dataset in a directory concurrently (one session per
              worker; results are deterministic and in filename order), with
              panic isolation, per-item retries (--max-retries, --backoff-ms)
-             and deadlines (--deadline, --solve-deadline, in seconds); with
-             --journal every finished item is fsync'd to an append-only
+             and deadlines (--deadline, --solve-deadline, in seconds);
+             --stream skips preloading: dedicated I/O slots carved from the
+             thread budget prefetch + validate the next datasets (text or
+             binary) while solves run, with identical results and failures;
+             with --journal every finished item is fsync'd to an append-only
              JSON-lines sidecar and --resume skips already-journaled items;
              exits with status 3 when any item is quarantined; with
              --metrics-addr a live HTTP listener serves Prometheus text at
@@ -322,6 +333,99 @@ mod tests {
         // Filename order, regardless of scheduling.
         let (a, b) = (out.find("a.txt").unwrap(), out.find("b.txt").unwrap());
         assert!(a < b && b < out.find("c.txt").unwrap(), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_round_trips_text_to_binary_and_back_byte_identically() {
+        let dir = std::env::temp_dir().join("parma-cli-convert-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("session.txt");
+        let bin = dir.join("session.pbin");
+        let back = dir.join("back.txt");
+        run_str(&[
+            "generate",
+            "--n",
+            "5",
+            "--seed",
+            "21",
+            "--out",
+            text.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Direction is sniffed: text input converts to binary…
+        let out = run_str(&["convert", text.to_str().unwrap(), bin.to_str().unwrap()]).unwrap();
+        assert!(out.contains("(text) ->"), "{out}");
+        assert!(out.contains("(binary)"), "{out}");
+        // …and the binary converts back to the *same bytes* of text.
+        let out = run_str(&["convert", bin.to_str().unwrap(), back.to_str().unwrap()]).unwrap();
+        assert!(out.contains("(binary) ->"), "{out}");
+        assert_eq!(
+            std::fs::read(&text).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "text -> binary -> text must be byte-identical"
+        );
+        // Solving either container gives the same report.
+        let a = run_str(&["solve", "--input", text.to_str().unwrap()]).unwrap();
+        let b = run_str(&["solve", "--input", bin.to_str().unwrap()]).unwrap();
+        assert_eq!(
+            a.lines().skip(1).collect::<Vec<_>>(),
+            b.lines().skip(1).collect::<Vec<_>>(),
+            "text and binary solves must report identically"
+        );
+        // Bad inputs are rejected with usage or typed messages.
+        assert!(run_str(&["convert"]).unwrap_err().contains("usage"));
+        let err = run_str(&[
+            "convert",
+            text.to_str().unwrap(),
+            bin.to_str().unwrap(),
+            "--to",
+            "xml",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --to"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_stream_matches_the_preloaded_path() {
+        let dir = std::env::temp_dir().join("parma-cli-batch-stream");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, seed) in [("a.txt", 31u64), ("b.txt", 32), ("c.txt", 33)] {
+            run_str(&[
+                "generate",
+                "--n",
+                "4",
+                "--seed",
+                &seed.to_string(),
+                "--out",
+                dir.join(name).to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        // Convert one file to binary so the stream crosses both formats.
+        run_str(&[
+            "convert",
+            dir.join("b.txt").to_str().unwrap(),
+            dir.join("b.pbin").to_str().unwrap(),
+        ])
+        .unwrap();
+        std::fs::remove_file(dir.join("b.txt")).unwrap();
+        let plain = run_str(&["batch", dir.to_str().unwrap(), "--threads", "2"]).unwrap();
+        let streamed =
+            run_str(&["batch", dir.to_str().unwrap(), "--threads", "2", "--stream"]).unwrap();
+        assert!(streamed.contains("12 solves"), "{streamed}");
+        assert!(streamed.contains("0 failure(s)"), "{streamed}");
+        // The per-item report lines (iterations, residuals, anomalies)
+        // must agree exactly; only the timing line may differ.
+        let items = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.contains("time points"))
+                .map(|l| l.to_string())
+                .collect()
+        };
+        assert_eq!(items(&plain), items(&streamed));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -117,6 +117,68 @@ fn malformed_and_truncated_uploads_get_typed_errors_not_panics() {
 }
 
 #[test]
+fn binary_uploads_solve_and_corrupt_binary_gets_typed_errors() {
+    let daemon = ServeDaemon::spawn("serve-binary", &[]);
+    common::generate(&daemon.dir, "session.txt", 4, 77);
+    let ds = mea_model::WetLabDataset::load(daemon.dir.join("session.txt")).unwrap();
+    let mut bin = Vec::new();
+    ds.write_binary(&mut bin).unwrap();
+
+    // A parma-bin/v1 POST body is sniffed and solves end-to-end…
+    let id = submit_job(daemon.addr, "/jobs", &bin);
+    assert_eq!(
+        wait_for_job(daemon.addr, id, Duration::from_secs(120)),
+        "done"
+    );
+    // …to the same result document as the text body of the same session.
+    let text_body = std::fs::read(daemon.dir.join("session.txt")).unwrap();
+    let id2 = submit_job(daemon.addr, "/jobs", &text_body);
+    assert_eq!(
+        wait_for_job(daemon.addr, id2, Duration::from_secs(120)),
+        "done"
+    );
+    let tail = |body: &str| body[body.find("\"time_points\":").unwrap()..].to_string();
+    let a = get(daemon.addr, &format!("/jobs/{id}/result"));
+    let b = get(daemon.addr, &format!("/jobs/{id2}/result"));
+    assert_eq!(a.status, 200);
+    assert_eq!(
+        tail(&a.body),
+        tail(&b.body),
+        "binary and text bodies must solve identically"
+    );
+
+    // A flipped payload byte fails the integrity pass: typed 400 from the
+    // failure taxonomy, never a wrong-value solve or a panic.
+    let mut corrupt = bin.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x80;
+    let reply = post(daemon.addr, "/jobs", &corrupt);
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"schema\":\"parma-serve-error/v1\""),
+        "{}",
+        reply.body
+    );
+    assert!(
+        reply.body.contains("\"kind\":\"non_finite_input\""),
+        "{}",
+        reply.body
+    );
+
+    // So does a truncated binary body.
+    let reply = post(daemon.addr, "/jobs", &bin[..bin.len() / 3]);
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"schema\":\"parma-serve-error/v1\""),
+        "{}",
+        reply.body
+    );
+
+    let dir = daemon.shutdown_gracefully();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn full_queue_answers_429_with_retry_after_and_unfinished_results_409() {
     // One worker, a one-slot queue, and a 300 ms artificial hold per job:
     // a burst must overflow into 429s while the daemon stays healthy.

@@ -16,22 +16,31 @@
 //!   anomaly regions in the paper's wet-lab range (2,000–11,000 kΩ),
 //! * [`dataset`] — the wet-lab dataset substitute: 0/6/12/24-hour time
 //!   series with text import/export mirroring the paper's Excel→text
-//!   pipeline.
+//!   pipeline,
+//! * [`binfmt`] — the `parma-bin/v1` production container: checksummed
+//!   little-endian `f64` blocks with a zero-copy reader and the
+//!   physicality gate run at ingest,
+//! * [`mapped`] — read-only file mapping (raw `mmap` on Linux, aligned
+//!   owned read elsewhere) backing the zero-copy reader.
 
 pub mod anomaly;
+pub mod binfmt;
 pub mod dataset;
 pub mod faults;
 pub mod forward;
 pub mod graph;
 pub mod grid;
+pub mod mapped;
 pub mod noise;
 pub mod paths;
 pub mod rng;
 
 pub use anomaly::{AnomalyConfig, AnomalyRegion};
+pub use binfmt::{BinFile, BinSection};
 pub use dataset::{DatasetError, Measurement, WetLabDataset};
 pub use forward::{ForwardSolver, ForwardWorkspace, PairPotentials};
 pub use graph::{CircuitGraph, WireId};
 pub use grid::{CrossingMatrix, MeaGrid, ResistorGrid, ZMatrix};
+pub use mapped::MappedFile;
 pub use noise::NoiseModel;
 pub use paths::{enumerate_paths, exact_path_count, paper_path_count, WirePath};

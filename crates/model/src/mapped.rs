@@ -1,0 +1,271 @@
+//! Read-only file mapping for the zero-copy dataset reader.
+//!
+//! The workspace is dependency-free, so there is no `memmap2` to lean
+//! on; on Linux (x86_64/aarch64) [`MappedFile`] issues the `mmap`/`munmap`
+//! syscalls directly, and everywhere else — or when the kernel refuses
+//! the mapping — it falls back to reading the file into an 8-aligned
+//! owned buffer. Either way [`MappedFile::bytes`] hands out a slice whose
+//! base is at least 8-aligned, which is what lets `binfmt::BinFile`
+//! serve its `f64` blocks by reinterpretation instead of a parse.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: nothing this process does
+//! can write through it. The one caveat of any file mapping applies: if
+//! another process truncates the file while it is mapped, touching the
+//! vanished pages raises `SIGBUS`. Parma's own artifacts are written via
+//! create-then-rename, so the supported workflows never hit this.
+
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Maps `len` bytes of `fd` read-only. Returns the raw `-errno` on
+    /// failure so the caller can fall back.
+    ///
+    /// # Safety
+    /// `fd` must be a readable open file descriptor and `len` non-zero.
+    pub unsafe fn mmap_readonly(fd: i32, len: usize) -> Result<*const u8, i32> {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // __NR_mmap
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0isize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            in("x8") 222usize, // __NR_mmap
+            options(nostack)
+        );
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as *const u8)
+        }
+    }
+
+    /// Unmaps a region obtained from [`mmap_readonly`].
+    ///
+    /// # Safety
+    /// `(ptr, len)` must be exactly what `mmap_readonly` returned.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => _ret, // __NR_munmap
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") ptr => _ret,
+            in("x1") len,
+            in("x8") 215usize, // __NR_munmap
+            options(nostack)
+        );
+    }
+}
+
+enum Backing {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Map { ptr: *const u8, len: usize },
+    /// 8-aligned owned fallback; `len` is the file's byte length (the
+    /// backing store is padded up to whole words).
+    Owned { words: Vec<u64>, len: usize },
+}
+
+/// A read-only view of a whole file, 8-aligned either way it was
+/// obtained.
+pub struct MappedFile {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is read-only and private; the pointer is owned by
+// this value for its whole lifetime and only ever read.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Opens and maps (or reads) `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<MappedFile> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: `file` is open for reading and len > 0; on failure
+            // the -errno result routes us to the owned fallback.
+            if let Ok(ptr) = unsafe { sys::mmap_readonly(file.as_raw_fd(), len) } {
+                return Ok(MappedFile {
+                    backing: Backing::Map { ptr, len },
+                });
+            }
+        }
+        Self::read_owned(file, len)
+    }
+
+    /// The fallback: read the file into a word-aligned buffer.
+    fn read_owned(mut file: std::fs::File, len: usize) -> std::io::Result<MappedFile> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: a u64 buffer reinterpreted as bytes is plain memory;
+        // the view covers exactly the allocation's initialized length.
+        let view = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+        };
+        let mut filled = 0;
+        while filled < len {
+            let n = file.read(&mut view[filled..len])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "file shrank while reading",
+                ));
+            }
+            filled += n;
+        }
+        Ok(MappedFile {
+            backing: Backing::Owned { words, len },
+        })
+    }
+
+    /// The file's bytes. The base pointer is 8-aligned (page-aligned on
+    /// the mmap path).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Map { ptr, len } => {
+                // SAFETY: the mapping is live for &self's lifetime and
+                // spans exactly `len` readable bytes.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned { words, len } => {
+                // SAFETY: initialized u64 storage viewed as bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Whether this view is an actual kernel mapping (vs the owned read
+    /// fallback) — surfaced so benches can label what they measured.
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Map { .. } => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Map { ptr, len } = self.backing {
+            // SAFETY: exactly the region mmap_readonly returned.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("parma-mapped-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_a_file_and_reads_it_back() {
+        let path = temp_path("payload.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(12_345).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), &payload[..]);
+        assert_eq!(mapped.bytes().as_ptr() as usize % 8, 0, "8-aligned base");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = temp_path("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert!(mapped.bytes().is_empty());
+        assert!(!mapped.is_mmap(), "zero-length files take the owned path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        assert!(MappedFile::open(temp_path("does-not-exist")).is_err());
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn linux_uses_a_real_mapping() {
+        let path = temp_path("real-map.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"0123456789abcdef")
+            .unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert!(mapped.is_mmap());
+        assert_eq!(mapped.bytes(), b"0123456789abcdef");
+        assert_eq!(
+            mapped.bytes().as_ptr() as usize % 4096,
+            0,
+            "mappings are page-aligned"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -50,6 +50,13 @@ pub enum EventKind {
     Steal,
     /// A worker caught a panic.
     Panic,
+    /// The streaming loader ingested a dataset (`value` = load ms,
+    /// `info` = 1 when the consumer found it prefetched, 0 when it had
+    /// to load it itself).
+    Ingest,
+    /// The streaming loader failed to ingest a dataset (`value` = ms
+    /// spent before the failure).
+    IngestFailed,
 }
 
 impl EventKind {
@@ -65,6 +72,8 @@ impl EventKind {
             EventKind::Quarantine => "quarantine",
             EventKind::Steal => "steal",
             EventKind::Panic => "panic",
+            EventKind::Ingest => "ingest",
+            EventKind::IngestFailed => "ingest_failed",
         }
     }
 }

@@ -31,7 +31,7 @@ mod strategy;
 pub mod supervise;
 
 pub use balanced::partition_lpt;
-pub use budget::ThreadBudget;
+pub use budget::{IoBudget, ThreadBudget};
 pub use hetero::{simulate_hetero, HeteroClusterModel, HeteroPartition};
 pub use metrics::ExecutionReport;
 pub use mpi_sim::{ClusterModel, CommModel, MpiSimReport};

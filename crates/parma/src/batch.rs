@@ -32,11 +32,13 @@ use crate::config::ParmaConfig;
 use crate::error::ParmaError;
 use crate::pipeline::{Pipeline, TimePointResult};
 use crate::solver::{ParmaSolution, ParmaSolver, SolvePlan, SolveScratch};
+use crate::stream::{IngestError, StreamingLoader};
 use crate::supervisor::{supervise, FailureReport, SupervisorConfig};
 use mea_model::{MeaGrid, WetLabDataset, ZMatrix};
-use mea_parallel::{Strategy, ThreadBudget, WorkStealingPool};
+use mea_parallel::{Interrupt, IoBudget, Strategy, ThreadBudget, WorkStealingPool};
 use std::cell::RefCell;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Wall-clock per batch item (ms), attempts beyond the first included.
@@ -223,6 +225,91 @@ impl BatchSolver {
                 };
                 let t0 = Instant::now();
                 let res = pipeline.run_supervised(&datasets[i], token, sup.solve_deadline);
+                times
+                    .lock()
+                    .expect("batch timing lock")
+                    .push((i, t0.elapsed().as_secs_f64() * 1e3));
+                res
+            },
+            on_done,
+        );
+        record_supervised_obs(&times, &out, |r| r.is_err());
+        Ok(out)
+    }
+
+    /// Streamed supervised session runs: like
+    /// [`Self::run_sessions_supervised`], but datasets are *paths* —
+    /// loading and validation overlap the solves. [`IoBudget::carve`]
+    /// splits the thread budget, a [`StreamingLoader`] prefetches on the
+    /// I/O side, and each compute worker rendezvouses with its dataset as
+    /// its work item comes up.
+    ///
+    /// Per-item semantics match the preloaded path exactly: a file that
+    /// fails ingest (unreadable, corrupt, non-physical values) is
+    /// quarantined as `non_finite_input` with no retries, without
+    /// disturbing the rest of the batch, and solve results over streamed
+    /// inputs are bitwise identical to preloading. The loaded dataset is
+    /// cached per item across retry attempts, so escalation never re-reads
+    /// the file; a take interrupted by cancellation or a deadline is
+    /// classified as such (never as bad input) and is *not* cached, so a
+    /// later attempt retries the load.
+    #[allow(clippy::type_complexity)]
+    pub fn run_streamed_supervised(
+        &self,
+        paths: &[PathBuf],
+        detection_factor: f64,
+        sup: &SupervisorConfig,
+        on_done: &(dyn Fn(usize, &Result<Vec<TimePointResult>, FailureReport>) + Sync),
+    ) -> Result<Vec<Result<Vec<TimePointResult>, FailureReport>>, ParmaError> {
+        let base_pipeline = Pipeline::new(self.config, detection_factor)?;
+        let _span = mea_obs::span("parma/batch");
+        let budget = IoBudget::carve(self.threads);
+        let pool = WorkStealingPool::new(budget.compute);
+        // Window: every compute worker can have one item in flight plus a
+        // full I/O side of lookahead — bounded memory, never gates takes.
+        let loader =
+            StreamingLoader::start(paths.to_vec(), budget.io, budget.compute + budget.io + 1);
+        let cache: Vec<OnceLock<Result<Arc<WetLabDataset>, IngestError>>> =
+            paths.iter().map(|_| OnceLock::new()).collect();
+        let times: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+        let out = supervise(
+            &pool,
+            paths.len(),
+            sup,
+            &|i, escalation, token| {
+                let _item = mea_obs::span("parma/batch/item");
+                let dataset =
+                    loop {
+                        if let Some(cached) = cache[i].get() {
+                            break Arc::clone(cached.as_ref().map_err(|e| {
+                                ParmaError::Dataset(e.clone().into_dataset_error())
+                            })?);
+                        }
+                        let res = loader.take(i, token);
+                        if let Err(IngestError::Interrupted(interrupt)) = &res {
+                            // The attempt was stopped, not the file — report
+                            // the interrupt and leave the slot uncached so a
+                            // retry reloads.
+                            return Err(match interrupt {
+                                Interrupt::Cancelled => ParmaError::Cancelled { iterations: 0 },
+                                Interrupt::TimedOut => ParmaError::Timeout {
+                                    iterations: 0,
+                                    partial: None,
+                                },
+                            });
+                        }
+                        let _ = cache[i].set(res);
+                    };
+                let pipeline = if escalation == 0 {
+                    base_pipeline.clone()
+                } else {
+                    Pipeline::new(
+                        crate::supervisor::escalated(&self.config, escalation),
+                        detection_factor,
+                    )?
+                };
+                let t0 = Instant::now();
+                let res = pipeline.run_supervised(&dataset, token, sup.solve_deadline);
                 times
                     .lock()
                     .expect("batch timing lock")
@@ -627,6 +714,98 @@ mod tests {
             assert_eq!(report.kind, crate::supervisor::FailureKind::Timeout);
             assert_eq!(report.attempts.len(), 2, "timeout retries then quarantines");
         }
+    }
+
+    #[test]
+    fn streamed_sessions_match_preloaded_sessions_bitwise() {
+        // The tentpole's determinism gate: solving from a mixed
+        // text/binary directory through the streaming loader is bitwise
+        // identical to preloading every dataset first.
+        let dir = std::env::temp_dir().join("parma-batch-streamed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        let mut datasets = Vec::new();
+        for k in 0..6u64 {
+            let ds = WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 30 + k)
+                .unwrap();
+            let path = if k % 2 == 0 {
+                let p = dir.join(format!("s{k}.pbin"));
+                ds.save_binary(&p).unwrap();
+                p
+            } else {
+                let p = dir.join(format!("s{k}.txt"));
+                ds.save(&p).unwrap();
+                p
+            };
+            paths.push(path);
+            datasets.push(ds);
+        }
+        let batch = BatchSolver::new(ParmaConfig::default(), 3).unwrap();
+        let sup = SupervisorConfig {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let preloaded = batch
+            .run_sessions_supervised(&datasets, 1.5, &sup, &|_, _| {})
+            .unwrap();
+        let streamed = batch
+            .run_streamed_supervised(&paths, 1.5, &sup, &|_, r| assert!(r.is_ok()))
+            .unwrap();
+        assert_eq!(preloaded.len(), streamed.len());
+        for (p, s) in preloaded.iter().zip(&streamed) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.len(), s.len());
+            for (a, b) in p.iter().zip(s) {
+                assert_eq!(a.solution.iterations, b.solution.iterations);
+                for (x, y) in a
+                    .solution
+                    .resistors
+                    .as_slice()
+                    .iter()
+                    .zip(b.solution.resistors.as_slice())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_ingest_failures_quarantine_without_retries_or_spread() {
+        let dir = std::env::temp_dir().join("parma-batch-streamed-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for k in 0..3u64 {
+            let ds = WetLabDataset::generate(MeaGrid::square(4), &AnomalyConfig::default(), 40 + k)
+                .unwrap();
+            let p = dir.join(format!("s{k}.pbin"));
+            ds.save_binary(&p).unwrap();
+            paths.push(p);
+        }
+        // Item 1: flip a payload byte — the checksum pass must catch it.
+        let corrupt = dir.join("corrupt.pbin");
+        let mut bytes = std::fs::read(&paths[1]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        std::fs::write(&corrupt, &bytes).unwrap();
+        paths[1] = corrupt;
+        // Item 3: missing file.
+        paths.push(dir.join("missing.pbin"));
+        let batch = BatchSolver::new(ParmaConfig::default(), 2).unwrap();
+        let out = batch
+            .run_streamed_supervised(&paths, 1.5, &SupervisorConfig::default(), &|_, _| {})
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        for i in [1usize, 3] {
+            let report = out[i].as_ref().unwrap_err();
+            assert_eq!(report.kind, crate::supervisor::FailureKind::NonFiniteInput);
+            assert_eq!(report.attempts.len(), 1, "ingest failures get no retries");
+        }
+        for i in [0usize, 2] {
+            assert!(out[i].is_ok(), "healthy item {i} must complete");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

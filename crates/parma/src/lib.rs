@@ -54,6 +54,7 @@ pub mod plan_cache;
 pub mod service;
 pub mod session;
 pub mod solver;
+pub mod stream;
 pub mod supervisor;
 
 pub use batch::BatchSolver;
@@ -68,6 +69,7 @@ pub use session::SessionStore;
 pub use solver::{
     ParmaSolution, ParmaSolver, RecoveryAction, RecoveryEvent, SolvePlan, SolveScratch,
 };
+pub use stream::{IngestError, StreamingLoader};
 pub use supervisor::{AttemptFailure, FailureKind, FailureReport, SupervisorConfig};
 
 /// Everything a typical caller needs.

@@ -18,6 +18,8 @@ use mea_model::WetLabDataset;
 use mea_parallel::CancelToken;
 use std::sync::Arc;
 
+pub use crate::stream::{IngestError, StreamingLoader};
+
 /// One time point's outcome.
 #[derive(Clone, Debug)]
 pub struct TimePointResult {

@@ -1,0 +1,504 @@
+//! Streaming dataset ingestion: prefetch + validate the next sessions on
+//! dedicated I/O slots while the pool solves the current ones.
+//!
+//! `parma batch` historically loaded every dataset up front on the main
+//! thread, serializing ingest before the first solve started. The
+//! [`StreamingLoader`] overlaps the two: [`mea_parallel::IoBudget`]
+//! carves the thread budget, the I/O slots walk the path list in order
+//! loading into a bounded ready-buffer, and solve workers take datasets
+//! as their work items come up. Loading goes through the `parma-bin/v1`
+//! fast path when the file is binary (`WetLabDataset::load` sniffs), so
+//! validation — checksums plus the non-finite/non-physical gate — runs
+//! on the I/O slots too; a corrupt file surfaces as a typed ingest error
+//! that the supervisor journals through the ordinary failure taxonomy
+//! (`non_finite_input`, no retries) without disturbing the rest of the
+//! batch.
+//!
+//! # Deadlock freedom
+//!
+//! A blocking rendezvous against a *bounded* buffer would deadlock if
+//! the pool dispatched indices in an order the prefetch window cannot
+//! reach (work stealing makes no ordering promise). Consumers therefore
+//! never wait for an unclaimed item: [`StreamingLoader::take`] *helps* —
+//! if index `i` is not loaded and nobody is loading it, the consumer
+//! claims and loads it itself. Waiting only ever happens on an item
+//! some thread is actively loading, and loads never block on takes, so
+//! there is no cycle. The prefetch window (claims may run at most
+//! `depth` items past the lowest untaken index) bounds buffered memory
+//! at `depth + workers` sessions without ever gating progress.
+//!
+//! # Determinism
+//!
+//! The loader hands out immutable `Arc<WetLabDataset>`s; which thread
+//! loaded a dataset, and whether it was prefetched or help-loaded,
+//! cannot change a single bit of it. Solve results over streamed inputs
+//! are bitwise identical to preloading (pinned by
+//! `tests/stream_equivalence.rs`).
+
+use mea_model::{DatasetError, WetLabDataset};
+use mea_obs::events::EventKind;
+use mea_obs::hist::Hist;
+use mea_parallel::CancelToken;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wall time of one dataset ingest (open + parse + validate), ms.
+static LOAD_MS: Hist = Hist::new("parma.ingest.load_ms");
+/// The parse + checksum + physicality-scan portion of an ingest, ms.
+static VALIDATE_MS: Hist = Hist::new("parma.ingest.validate_ms");
+/// Ingest throughput per dataset, MB/s.
+static MBYTES_PER_S: Hist = Hist::new("parma.ingest.mbytes_per_s");
+/// How long consumers waited on in-flight loads, ms.
+static WAIT_MS: Hist = Hist::new("parma.ingest.wait_ms");
+
+/// How often sleeping threads re-check for shutdown/cancellation.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A cloneable ingest failure. [`DatasetError`] owns `std::io::Error`
+/// and so cannot be cloned across retry attempts; this preserves the
+/// typed non-physical location exactly (the taxonomy's
+/// `non_finite_input` contract) and renders everything else to its
+/// display string.
+#[derive(Clone, Debug)]
+pub enum IngestError {
+    /// The validation pass found a non-finite/non-positive value.
+    NonPhysical {
+        /// Hour stamp of the offending measurement.
+        hours: u32,
+        /// Zero-based matrix row.
+        row: usize,
+        /// Zero-based matrix column.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// I/O, parse, or integrity failure, already rendered.
+    Failed(String),
+    /// The take was interrupted by its cancel token while waiting — a
+    /// property of the *attempt*, not the file, so the batch runner
+    /// classifies it as cancellation/timeout and never caches it.
+    Interrupted(mea_parallel::Interrupt),
+}
+
+impl IngestError {
+    fn of(e: DatasetError) -> IngestError {
+        match e {
+            DatasetError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            } => IngestError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            },
+            other => IngestError::Failed(other.to_string()),
+        }
+    }
+
+    /// Back to a [`DatasetError`] so `ParmaError::Dataset` classifies it
+    /// exactly as the direct-load path would.
+    pub fn into_dataset_error(self) -> DatasetError {
+        match self {
+            IngestError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            } => DatasetError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            },
+            IngestError::Failed(msg) => DatasetError::Parse(msg),
+            IngestError::Interrupted(i) => {
+                DatasetError::Parse(format!("ingest interrupted: {i:?}"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            } => write!(
+                f,
+                "non-physical measured impedance {value} at hour {hours}, row {row}, col {col}"
+            ),
+            IngestError::Failed(msg) => f.write_str(msg),
+            IngestError::Interrupted(i) => write!(f, "ingest interrupted: {i:?}"),
+        }
+    }
+}
+
+struct State {
+    /// Loaded (or failed) items awaiting their consumer.
+    ready: HashMap<usize, Result<Arc<WetLabDataset>, IngestError>>,
+    /// Which items have been claimed for loading (by an I/O slot or a
+    /// helping consumer).
+    claimed: Vec<bool>,
+    /// Which items have been taken by their consumer.
+    taken: Vec<bool>,
+    /// Smallest untaken index — the prefetch window's anchor.
+    floor: usize,
+    /// Next index the sequential prefetchers will consider.
+    next_seq: usize,
+    /// Set on drop; parks the I/O slots.
+    shutdown: bool,
+}
+
+struct Shared {
+    paths: Vec<PathBuf>,
+    depth: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The streaming prefetcher. Construction spawns the I/O threads;
+/// dropping it parks and joins them.
+pub struct StreamingLoader {
+    shared: Arc<Shared>,
+    io_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl StreamingLoader {
+    /// Starts `io_slots` prefetch threads over `paths` with a prefetch
+    /// window of `depth` items past the lowest untaken index.
+    pub fn start(paths: Vec<PathBuf>, io_slots: usize, depth: usize) -> StreamingLoader {
+        let n = paths.len();
+        let shared = Arc::new(Shared {
+            paths,
+            depth: depth.max(1),
+            state: Mutex::new(State {
+                ready: HashMap::new(),
+                claimed: vec![false; n],
+                taken: vec![false; n],
+                floor: 0,
+                next_seq: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let io_threads = (0..io_slots.max(1).min(n.max(1)))
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parma-ingest-{slot}"))
+                    .spawn(move || io_loop(&shared))
+                    .expect("spawn ingest thread")
+            })
+            .collect();
+        StreamingLoader { shared, io_threads }
+    }
+
+    /// Takes item `i`, blocking only while another thread is actively
+    /// loading it; unclaimed items are loaded by the caller (see the
+    /// module docs' deadlock-freedom argument). Polls `token` while
+    /// waiting so cancellation interrupts the rendezvous.
+    ///
+    /// Each item may be taken once; the supervised batch runner caches
+    /// the result across retry attempts. A second take is a programming
+    /// error reported as [`IngestError::Failed`], never a hang.
+    pub fn take(&self, i: usize, token: &CancelToken) -> Result<Arc<WetLabDataset>, IngestError> {
+        let t0 = Instant::now();
+        let mut prefetched = true;
+        let mut st = self.shared.state.lock().expect("ingest state lock");
+        loop {
+            if let Some(res) = st.ready.remove(&i) {
+                if st.taken[i] {
+                    return Err(IngestError::Failed(format!("item {i} taken twice")));
+                }
+                st.taken[i] = true;
+                while st.floor < st.taken.len() && st.taken[st.floor] {
+                    st.floor += 1;
+                }
+                drop(st);
+                self.shared.cv.notify_all();
+                mea_obs::counter_add(
+                    if prefetched {
+                        "parma.ingest.prefetch_hits"
+                    } else {
+                        "parma.ingest.prefetch_misses"
+                    },
+                    1,
+                );
+                let waited_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if !prefetched {
+                    WAIT_MS.record(waited_ms);
+                }
+                mea_obs::events::emit_for(
+                    EventKind::Ingest,
+                    i as u64,
+                    prefetched as u64,
+                    waited_ms,
+                );
+                return res;
+            }
+            if st.taken[i] {
+                return Err(IngestError::Failed(format!("item {i} taken twice")));
+            }
+            prefetched = false;
+            if !st.claimed[i] {
+                // Help: load it ourselves rather than wait on the window.
+                st.claimed[i] = true;
+                drop(st);
+                let res = load_one(&self.shared.paths[i]);
+                st = self.shared.state.lock().expect("ingest state lock");
+                st.ready.insert(i, res);
+                self.shared.cv.notify_all();
+                continue;
+            }
+            if let Some(interrupt) = token.check() {
+                return Err(IngestError::Interrupted(interrupt));
+            }
+            st = self
+                .shared
+                .cv
+                .wait_timeout(st, POLL)
+                .expect("ingest state lock")
+                .0;
+        }
+    }
+
+    /// The path list this loader serves.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.shared.paths
+    }
+}
+
+impl Drop for StreamingLoader {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("ingest state lock");
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for t in self.io_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One prefetch thread: claim the next unclaimed index inside the
+/// window, load it outside the lock, publish, repeat.
+fn io_loop(shared: &Shared) {
+    let n = shared.paths.len();
+    loop {
+        let idx = {
+            let mut st = shared.state.lock().expect("ingest state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                while st.next_seq < n && st.claimed[st.next_seq] {
+                    st.next_seq += 1;
+                }
+                if st.next_seq >= n {
+                    return;
+                }
+                if st.next_seq < st.floor.saturating_add(shared.depth) {
+                    break;
+                }
+                st = shared
+                    .cv
+                    .wait_timeout(st, POLL)
+                    .expect("ingest state lock")
+                    .0;
+            }
+            let idx = st.next_seq;
+            st.claimed[idx] = true;
+            st.next_seq += 1;
+            idx
+        };
+        let res = load_one(&shared.paths[idx]);
+        let mut st = shared.state.lock().expect("ingest state lock");
+        st.ready.insert(idx, res);
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+/// Loads and validates one dataset, recording the ingest telemetry.
+fn load_one(path: &Path) -> Result<Arc<WetLabDataset>, IngestError> {
+    let t0 = Instant::now();
+    let mapped = match mea_model::MappedFile::open(path) {
+        Ok(m) => m,
+        Err(e) => {
+            mea_obs::counter_add("parma.ingest.failures", 1);
+            mea_obs::events::emit(EventKind::IngestFailed, 0, t0.elapsed().as_secs_f64() * 1e3);
+            return Err(IngestError::Failed(format!(
+                "cannot open {}: {e}",
+                path.display()
+            )));
+        }
+    };
+    let bytes = mapped.bytes().len();
+    let tv = Instant::now();
+    let parsed = WetLabDataset::from_mapped(&mapped);
+    let validate_s = tv.elapsed().as_secs_f64();
+    let total_s = t0.elapsed().as_secs_f64();
+    VALIDATE_MS.record(validate_s * 1e3);
+    LOAD_MS.record(total_s * 1e3);
+    mea_obs::counter_add("parma.ingest.files", 1);
+    mea_obs::counter_add("parma.ingest.bytes", bytes as u64);
+    if total_s > 0.0 {
+        MBYTES_PER_S.record(bytes as f64 / 1e6 / total_s);
+    }
+    match parsed {
+        Ok(ds) => Ok(Arc::new(ds)),
+        Err(e) => {
+            mea_obs::counter_add("parma.ingest.failures", 1);
+            mea_obs::events::emit(EventKind::IngestFailed, 0, total_s * 1e3);
+            Err(IngestError::of(e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_model::{AnomalyConfig, MeaGrid};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("parma-stream-test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_sessions(dir: &Path, count: usize, binary: bool) -> Vec<PathBuf> {
+        (0..count)
+            .map(|k| {
+                let ds = WetLabDataset::generate(
+                    MeaGrid::square(4),
+                    &AnomalyConfig::default(),
+                    500 + k as u64,
+                )
+                .unwrap();
+                let path = dir.join(format!("s{k:02}.{}", if binary { "pbin" } else { "txt" }));
+                if binary {
+                    ds.save_binary(&path).unwrap();
+                } else {
+                    ds.save(&path).unwrap();
+                }
+                path
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streams_match_direct_loads_in_any_take_order() {
+        let dir = temp_dir("order");
+        let paths = write_sessions(&dir, 6, true);
+        let loader = StreamingLoader::start(paths.clone(), 1, 2);
+        let token = CancelToken::unbounded();
+        // Take in a scrambled order: later items exercise the helping
+        // path (outside the window), early ones the prefetch path.
+        for &i in &[5usize, 0, 3, 1, 4, 2] {
+            let streamed = loader.take(i, &token).unwrap();
+            let direct = WetLabDataset::load(&paths[i]).unwrap();
+            assert_eq!(*streamed, direct, "item {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn double_take_is_an_error_not_a_hang() {
+        let dir = temp_dir("double");
+        let paths = write_sessions(&dir, 2, false);
+        let loader = StreamingLoader::start(paths, 1, 4);
+        let token = CancelToken::unbounded();
+        assert!(loader.take(0, &token).is_ok());
+        assert!(matches!(
+            loader.take(0, &token),
+            Err(IngestError::Failed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_failures_are_typed_and_isolated() {
+        let dir = temp_dir("failures");
+        let mut paths = write_sessions(&dir, 3, true);
+        // Item 1: corrupt binary. Item 2: missing file.
+        let corrupt = dir.join("corrupt.pbin");
+        let mut bytes = std::fs::read(&paths[1]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&corrupt, &bytes).unwrap();
+        paths[1] = corrupt;
+        paths.push(dir.join("missing.pbin"));
+        let loader = StreamingLoader::start(paths, 2, 8);
+        let token = CancelToken::unbounded();
+        assert!(loader.take(0, &token).is_ok());
+        assert!(matches!(
+            loader.take(1, &token),
+            Err(IngestError::Failed(_))
+        ));
+        assert!(loader.take(2, &token).is_ok());
+        assert!(matches!(
+            loader.take(3, &token),
+            Err(IngestError::Failed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nonphysical_values_keep_their_typed_location_through_streaming() {
+        let dir = temp_dir("nonphysical");
+        let ds = WetLabDataset::generate(MeaGrid::square(3), &AnomalyConfig::default(), 9).unwrap();
+        let mut poisoned = ds.clone();
+        poisoned.measurements[0].z.set(1, 2, -4.0);
+        let path = dir.join("bad.pbin");
+        poisoned.save_binary(&path).unwrap();
+        let loader = StreamingLoader::start(vec![path], 1, 1);
+        let token = CancelToken::unbounded();
+        match loader.take(0, &token) {
+            Err(IngestError::NonPhysical {
+                hours,
+                row,
+                col,
+                value,
+            }) => {
+                assert_eq!((hours, row, col, value), (0, 1, 2, -4.0));
+            }
+            other => panic!("expected NonPhysical, got {other:?}"),
+        }
+        // The round trip back to DatasetError keeps the variant.
+        let e = IngestError::NonPhysical {
+            hours: 6,
+            row: 1,
+            col: 2,
+            value: -4.0,
+        };
+        assert!(matches!(
+            e.into_dataset_error(),
+            DatasetError::NonPhysical {
+                hours: 6,
+                row: 1,
+                col: 2,
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropping_an_unused_loader_parks_cleanly() {
+        let dir = temp_dir("drop");
+        let paths = write_sessions(&dir, 4, false);
+        let loader = StreamingLoader::start(paths, 2, 1);
+        assert_eq!(loader.paths().len(), 4);
+        drop(loader); // must join without consuming anything
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
