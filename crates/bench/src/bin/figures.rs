@@ -53,6 +53,9 @@ fn main() {
         "fig9" => fig9(full),
         "fig9-io" => fig9_io(quick),
         "fig10" => fig10(full),
+        "fig10-real" => fig10_real(quick),
+        // Hidden: a self-spawned bench worker process for fig10-real.
+        "dist-worker" => dist_worker(&args),
         "throughput" => throughput(full),
         "kernels" => kernels(quick),
         "all" => {
@@ -66,8 +69,8 @@ fn main() {
         other => {
             eprintln!("unknown figure {other:?}");
             eprintln!(
-                "usage: figures <fig6|fig7|fig8|fig9|fig9-io|fig10|throughput|kernels|all> \
-                 [--full] [--quick] [--trace <file>]"
+                "usage: figures <fig6|fig7|fig8|fig9|fig9-io|fig10|fig10-real|throughput|kernels|\
+                 all> [--full] [--quick] [--trace <file>]"
             );
             std::process::exit(2);
         }
@@ -611,6 +614,288 @@ fn fig10(full: bool) {
             rep.efficiency() * 100.0
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10, measured: the same pair-formation workload sharded across real
+// `parma`-protocol worker processes, next to the mpi_sim prediction.
+// ---------------------------------------------------------------------------
+
+/// Per-shard work: form the pair equations for pairs `[lo, hi)` of the
+/// scale-`n` workload, `rounds` times over. Returns the shard's first-round
+/// equation count, which is round-invariant, so the coordinator can assert
+/// a sharded run covered exactly the serial work.
+fn form_pair_range(w: &Workload, lo: usize, hi: usize, rounds: usize) -> u64 {
+    let grid = w.grid;
+    let mut eqs_once = 0u64;
+    for round in 0..rounds {
+        for p in lo..hi {
+            let (i, j) = (p / grid.cols(), p % grid.cols());
+            let eqs = std::hint::black_box(mea_equations::form_pair_equations(
+                grid,
+                i,
+                j,
+                5.0,
+                w.z.get(i, j),
+            ));
+            if round == 0 {
+                eqs_once += eqs.len() as u64;
+            }
+        }
+    }
+    eqs_once
+}
+
+/// Hidden mode behind `figures dist-worker --connect <host:port>`: joins a
+/// fig10-real coordinator over the parma-wire protocol. Tasks are
+/// `{n, lo, hi, rounds}`; results are `{equations, compute_ns}`. The
+/// workload is cached per scale so the timed window measures formation
+/// only — an MPI rank's input is likewise resident before the timed region.
+fn dist_worker(args: &[String]) {
+    use mea_parallel::{PayloadReader, PayloadWriter};
+    let addr = args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1))
+        .unwrap_or_else(|| {
+            eprintln!("dist-worker needs --connect <host:port>");
+            std::process::exit(2);
+        });
+    let cache: std::sync::Mutex<Option<(usize, Workload)>> = std::sync::Mutex::new(None);
+    let handler = move |_ticket: u64, blob: &[u8]| -> Result<Vec<u8>, Vec<u8>> {
+        let mut r = PayloadReader::new(blob);
+        let fields = (|| {
+            Ok::<_, mea_parallel::dist::DecodeError>((
+                r.take_u64()? as usize,
+                r.take_u64()? as usize,
+                r.take_u64()? as usize,
+                r.take_u64()? as usize,
+            ))
+        })();
+        let (n, lo, hi, rounds) = match fields {
+            Ok(t) => t,
+            Err(e) => return Err(format!("bad bench task: {e}").into_bytes()),
+        };
+        let mut slot = cache.lock().expect("workload cache");
+        if slot.as_ref().map(|(m, _)| *m) != Some(n) {
+            *slot = Some((n, Workload::new(n)));
+        }
+        let w = &slot.as_ref().expect("cached workload").1;
+        let t0 = std::time::Instant::now();
+        let eqs = form_pair_range(w, lo, hi, rounds);
+        let ns = t0.elapsed().as_nanos() as u64;
+        let mut out = PayloadWriter::new();
+        out.put_u64(eqs);
+        out.put_u64(ns);
+        Ok(out.into_bytes())
+    };
+    let name = format!("bench-{}", std::process::id());
+    if let Err(e) = parma::dist::worker::run_worker(addr, &name, &handler) {
+        eprintln!("dist-worker: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Submits one task per shard, drains the decisions, and returns the total
+/// equation count, the slowest shard's compute nanoseconds, and the set of
+/// worker ids that did the work.
+fn run_shards(
+    coord: &parma::dist::Coordinator,
+    n: usize,
+    shards: &[std::ops::Range<usize>],
+    rounds: usize,
+) -> (u64, u64, std::collections::BTreeSet<u64>) {
+    use mea_parallel::{PayloadReader, PayloadWriter};
+    let p = shards.len();
+    let mut tickets = std::collections::BTreeSet::new();
+    for (k, r) in shards.iter().enumerate() {
+        let mut task = PayloadWriter::new();
+        task.put_u64(n as u64);
+        task.put_u64(r.start as u64);
+        task.put_u64(r.end as u64);
+        task.put_u64(rounds as u64);
+        tickets.insert(coord.submit(task.into_bytes(), (k, p)));
+    }
+    let (mut eqs, mut max_ns) = (0u64, 0u64);
+    let mut seen = std::collections::BTreeSet::new();
+    while !tickets.is_empty() {
+        let (_ticket, outcome) = coord.take_decided(&mut tickets);
+        match outcome {
+            parma::dist::TaskOutcome::Ok { worker, blob } => {
+                let mut r = PayloadReader::new(&blob);
+                eqs += r.take_u64().expect("shard equation count");
+                max_ns = max_ns.max(r.take_u64().expect("shard nanoseconds"));
+                seen.insert(worker);
+            }
+            other => panic!("bench shard did not complete remotely: {other:?}"),
+        }
+    }
+    (eqs, max_ns, seen)
+}
+
+/// Figure 10, for real: strong scaling of pair-equation formation across
+/// actual worker *processes* (the `parma worker` protocol, self-spawned),
+/// alongside the mpi_sim prediction at matching rank counts. The shards are
+/// the exact `block_range` partition mpi_sim charges, so the two columns
+/// disagree only where reality disagrees with the model. Writes
+/// BENCH_PR9.json.
+fn fig10_real(quick: bool) {
+    use mea_parallel::shard_ranges;
+    use parma::dist::{Coordinator, DistPolicy};
+    use std::process::{Command, Stdio};
+    use std::time::Instant;
+
+    let sizes: Vec<usize> = if quick { vec![12] } else { vec![16, 24] };
+    let ranks = [1usize, 2, 4];
+    let rounds = 10usize;
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("\n=== Figure 10 (real): multi-process strong scaling vs mpi_sim ===");
+    println!(
+        "(host has {host_cores} core(s); real speedups are bounded by physical parallelism, \
+         sim speedups model the paper's cluster)"
+    );
+    println!(
+        "{}",
+        row(
+            "workload",
+            &[
+                "p".into(),
+                "real ms".into(),
+                "shard ms".into(),
+                "sim ms".into(),
+                "real speedup".into(),
+                "sim speedup".into(),
+            ]
+        )
+    );
+
+    struct RealCell {
+        name: String,
+        n: usize,
+        dim: usize,
+        naive_ms: f64,
+        opt_ms: f64,
+        sim_ms: f64,
+    }
+    let exe = std::env::current_exe().expect("own binary path");
+    let cluster = ClusterModel::paper_hpc();
+    let mut cells: Vec<RealCell> = Vec::new();
+    for &n in &sizes {
+        let w = Workload::new(n);
+        let grid = w.grid;
+        let pairs = grid.pairs();
+        let mut expect_eqs = 0u64;
+        let (_, serial_secs) = time_secs_best_of(3, || {
+            expect_eqs = form_pair_range(&w, 0, pairs, rounds);
+        });
+        let costs = measure_costs(pairs, |p| {
+            let (i, j) = (p / grid.cols(), p % grid.cols());
+            std::hint::black_box(mea_equations::form_pair_equations(
+                grid,
+                i,
+                j,
+                5.0,
+                w.z.get(i, j),
+            ));
+        });
+        for &p in &ranks {
+            let coord =
+                Coordinator::bind("127.0.0.1:0", DistPolicy::default()).expect("bind coordinator");
+            let addr = coord.addr().to_string();
+            let children: Vec<_> = (0..p)
+                .map(|_| {
+                    Command::new(&exe)
+                        .args(["dist-worker", "--connect", &addr])
+                        .stdout(Stdio::null())
+                        .stdin(Stdio::null())
+                        .spawn()
+                        .expect("spawn bench worker")
+                })
+                .collect();
+            assert!(
+                coord.wait_for_workers(p, Duration::from_secs(30)),
+                "bench workers failed to connect"
+            );
+            // Warm-up until every worker has built (and cached) the scale-n
+            // workload, so the timed window holds formation work only. Empty
+            // shards are nearly free; only a first task per worker is not.
+            let mut warm = std::collections::BTreeSet::new();
+            for _ in 0..20 {
+                let (_, _, seen) = run_shards(&coord, n, &vec![0..0; p], 1);
+                warm.extend(seen);
+                if warm.len() >= p {
+                    break;
+                }
+            }
+            let (mut real_secs, mut max_shard_ns) = (f64::INFINITY, u64::MAX);
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let (got_eqs, shard_ns, _) = run_shards(&coord, n, &shard_ranges(pairs, p), rounds);
+                real_secs = real_secs.min(t0.elapsed().as_secs_f64());
+                max_shard_ns = max_shard_ns.min(shard_ns);
+                assert_eq!(
+                    got_eqs, expect_eqs,
+                    "sharded run must cover exactly the serial work"
+                );
+            }
+            coord.shutdown();
+            for mut child in children {
+                child.kill().ok();
+                child.wait().ok();
+            }
+            let sim = simulate(&cluster, p, &costs, rounds, 8 * pairs);
+            println!(
+                "{}",
+                row(
+                    &format!("{n}x{n}"),
+                    &[
+                        p.to_string(),
+                        ms(real_secs),
+                        ms(max_shard_ns as f64 / 1e9),
+                        ms(sim.total_secs),
+                        format!("{:.2}x", serial_secs / real_secs),
+                        format!("{:.2}x", serial_secs / sim.total_secs),
+                    ]
+                )
+            );
+            cells.push(RealCell {
+                name: format!("fig10-real p={p}"),
+                n,
+                dim: pairs,
+                naive_ms: serial_secs * 1e3,
+                opt_ms: real_secs * 1e3,
+                sim_ms: sim.total_secs * 1e3,
+            });
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"parma-bench/kernels-v1\",\n");
+    json.push_str("  \"pr\": 9,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"dim\": {}, \"naive_ms\": {:.6}, \
+             \"opt_ms\": {:.6}, \"speedup\": {:.3}, \"sim_ms\": {:.6}}}{}\n",
+            c.name,
+            c.n,
+            c.dim,
+            c.naive_ms,
+            c.opt_ms,
+            c.naive_ms / c.opt_ms,
+            c.sim_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_PR9.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {path}");
 }
 
 // ---------------------------------------------------------------------------

@@ -289,6 +289,18 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
     let quiet = args.flag("quiet");
     let stream = args.flag("stream");
+    let workers: usize = args.get_or("workers", 0)?;
+    let heartbeat_ms: u64 = args.get_or("heartbeat-ms", 200)?;
+    if workers > 0 && stream {
+        return Err(
+            "--workers ships preloaded datasets to worker processes; drop --stream"
+                .to_string()
+                .into(),
+        );
+    }
+    if heartbeat_ms == 0 {
+        return Err("--heartbeat-ms must be positive".to_string().into());
+    }
     let metrics_addr = args.get("metrics-addr");
     let metrics_addr_file = args.get("metrics-addr-file");
     let metrics_linger: f64 = args.get_or("metrics-linger", 0.0)?;
@@ -476,10 +488,31 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             Arc::clone(&reporter_stop),
         )
     });
-    let run_result = if stream {
-        solver.run_streamed_supervised(&work_paths, detect_factor, &sup, &on_done)
+    let run_result = if workers > 0 {
+        // Multi-process sharding: the dist driver journals completions
+        // itself (tagging lines with the solving worker) and degrades to
+        // in-process solving on worker loss — same code path, same bits.
+        crate::dist_cmd::run_distributed(&crate::dist_cmd::DistBatch {
+            sessions: &sessions,
+            work_names: &work_names,
+            config: solver.config(),
+            detect: detect_factor,
+            sup: &sup,
+            workers,
+            heartbeat_ms,
+            journal: journal.as_ref(),
+            quiet,
+            done_items: &done_items,
+            failed_items: &failed_items,
+        })
+    } else if stream {
+        solver
+            .run_streamed_supervised(&work_paths, detect_factor, &sup, &on_done)
+            .map_err(|e| format!("batch failed: {e}"))
     } else {
-        solver.run_sessions_supervised(&sessions, detect_factor, &sup, &on_done)
+        solver
+            .run_sessions_supervised(&sessions, detect_factor, &sup, &on_done)
+            .map_err(|e| format!("batch failed: {e}"))
     };
     let elapsed = t0.elapsed();
     reporter_stop.store(true, Ordering::Relaxed);
@@ -495,7 +528,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         ]);
         write_trace(trace, &json, out)?;
     }
-    let results = run_result.map_err(|e| format!("batch failed: {e}"))?;
+    let results = run_result?;
     if let Some(e) = journal_errors
         .lock()
         .expect("journal error log")

@@ -1,0 +1,339 @@
+//! Multi-process sharding for the CLI: the `parma worker` command and
+//! the coordinator-side driver behind `parma batch --workers N`.
+//!
+//! The unit of distribution is one whole dataset (one batch item): per
+//! the paper's §V parallelization ladder, sessions are independent, so
+//! whole-array sharding never splits a warm-start chain and the remote
+//! solve runs **the exact same supervised code path** the in-process
+//! batch runs (`BatchSolver::run_sessions_supervised` over a
+//! single-session slice). That is the whole bitwise-identity argument:
+//! there is no "distributed solver", only the local solver running in
+//! more processes.
+//!
+//! Shards are placed with the same deterministic block partition
+//! `mpi_sim` ranks use (`block_range` over the sorted live-worker set),
+//! so a run at `p` workers is comparable with the Figure-10 simulated
+//! rank `p` — and when a worker dies, the reassignment steal order is
+//! the ascending ticket order, which keeps placement deterministic for
+//! a given death sequence.
+
+use crate::args::Args;
+use crate::{journal, CliError};
+use parma::dist::codec::{self, SolveTask};
+use parma::dist::worker::run_worker;
+use parma::dist::{Coordinator, DistPolicy, TaskOutcome};
+use parma::prelude::*;
+use parma::supervisor::FailureKind;
+use parma::AttemptFailure;
+use std::collections::{BTreeSet, HashMap};
+use std::io::Write;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// `parma worker --connect <host:port> [--name N]`: join a coordinator
+/// and solve assigned datasets until released. The handler is
+/// deliberately thin — decode, run the supervised batch path on one
+/// session, encode — so remote and local solves share every numeric
+/// code path.
+pub fn worker<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let addr = args
+        .get("connect")
+        .ok_or_else(|| "missing --connect: parma worker --connect <host:port>".to_string())?;
+    let name = args
+        .get("name")
+        .map(String::from)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let handler = |_ticket: u64, blob: &[u8]| solve_blob(blob);
+    let summary = run_worker(addr, &name, &handler).map_err(CliError::from)?;
+    writeln!(
+        out,
+        "worker {name}: {} task(s) processed",
+        summary.processed
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// A failure the *worker runtime* decided (undecodable task, bad
+/// configuration) — as opposed to one the solver quarantined.
+fn internal_failure(detail: String) -> Vec<u8> {
+    codec::encode_failure(&FailureReport {
+        item: 0,
+        kind: FailureKind::Internal,
+        detail: detail.clone(),
+        attempts: vec![AttemptFailure {
+            attempt: 0,
+            kind: FailureKind::Internal,
+            detail,
+        }],
+        events: Vec::new(),
+    })
+}
+
+/// Decode → solve → encode for one assigned dataset.
+fn solve_blob(blob: &[u8]) -> Result<Vec<u8>, Vec<u8>> {
+    let task = match SolveTask::decode(blob) {
+        Ok(t) => t,
+        Err(e) => return Err(internal_failure(format!("undecodable task: {e:?}"))),
+    };
+    let dataset = match WetLabDataset::from_bytes(&task.dataset) {
+        Ok(d) => d,
+        Err(e) => return Err(internal_failure(format!("undecodable dataset: {e}"))),
+    };
+    let config = ParmaConfig {
+        tol: task.tol,
+        ..Default::default()
+    };
+    let sup = SupervisorConfig {
+        max_retries: task.max_retries as usize,
+        solve_deadline: (task.solve_deadline_ms > 0)
+            .then(|| Duration::from_millis(task.solve_deadline_ms)),
+        batch_deadline: None,
+        backoff: Duration::from_millis(task.backoff_ms),
+    };
+    let solver = match BatchSolver::new(config, 1) {
+        Ok(s) => s,
+        Err(e) => return Err(internal_failure(format!("bad configuration: {e}"))),
+    };
+    let mut results =
+        match solver.run_sessions_supervised(&[dataset], task.detect, &sup, &|_, _| {}) {
+            Ok(r) => r,
+            Err(e) => return Err(internal_failure(format!("supervisor error: {e}"))),
+        };
+    match results.pop().expect("one session in, one result out") {
+        Ok(tps) => Ok(codec::encode_time_points(&tps)),
+        Err(report) => Err(codec::encode_failure(&report)),
+    }
+}
+
+/// Everything `batch` hands the distributed driver.
+pub struct DistBatch<'a> {
+    pub sessions: &'a [WetLabDataset],
+    pub work_names: &'a [String],
+    pub config: &'a ParmaConfig,
+    pub detect: f64,
+    pub sup: &'a SupervisorConfig,
+    pub workers: usize,
+    pub heartbeat_ms: u64,
+    pub journal: Option<&'a journal::Journal>,
+    pub quiet: bool,
+    pub done_items: &'a AtomicUsize,
+    pub failed_items: &'a AtomicUsize,
+}
+
+/// Runs the work set across `workers` self-spawned `parma worker`
+/// processes. Returns results in work-set order, exactly shaped like
+/// `run_sessions_supervised`'s return — the caller's reporting code
+/// cannot tell the paths apart.
+///
+/// Fault handling, in order of escalation:
+/// * a worker death mid-shard → the shard is redispatched to a survivor
+///   (dedup'd by the coordinator's single decide transition);
+/// * the last worker dies, or a shard exhausts its dispatch budget, or a
+///   result blob fails to decode → the shard **falls back to in-process
+///   solving**, same code path, same bits;
+/// * no worker ever connects → the whole set falls back.
+pub fn run_distributed(
+    spec: &DistBatch,
+) -> Result<Vec<Result<Vec<TimePointResult>, FailureReport>>, String> {
+    let n = spec.sessions.len();
+    let interval = Duration::from_millis(spec.heartbeat_ms.max(10));
+    let policy = DistPolicy {
+        heartbeat: mea_parallel::HeartbeatPolicy {
+            interval,
+            deadline: interval * 10,
+        },
+        max_dispatches: 3,
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", policy)
+        .map_err(|e| format!("cannot bind coordinator: {e}"))?;
+    let addr = coord.addr().to_string();
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut children: Vec<Child> = Vec::with_capacity(spec.workers);
+    for k in 0..spec.workers {
+        match Command::new(&exe)
+            .args(["worker", "--connect", &addr, "--name", &format!("w{k}")])
+            .stdout(Stdio::null())
+            .stdin(Stdio::null())
+            .spawn()
+        {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                if !spec.quiet {
+                    eprintln!("dist: cannot spawn worker w{k}: {e}");
+                }
+            }
+        }
+    }
+
+    let mut results: Vec<Option<Result<Vec<TimePointResult>, FailureReport>>> =
+        (0..n).map(|_| None).collect();
+    let mut fallback: Vec<usize> = Vec::new();
+
+    if children.is_empty() || !coord.wait_for_workers(1, Duration::from_secs(30)) {
+        if !spec.quiet {
+            eprintln!("dist: no workers connected — solving in-process");
+        }
+        fallback.extend(0..n);
+    } else {
+        // Give the rest of the complement a moment to join before the
+        // first dispatch, so placement follows the full block partition
+        // instead of funneling early shards to whoever connected first.
+        // Best-effort: a straggler past the grace period just joins the
+        // steal pool late.
+        coord.wait_for_workers(children.len(), Duration::from_secs(10));
+        let mut by_ticket: HashMap<u64, usize> = HashMap::with_capacity(n);
+        let mut tickets: BTreeSet<u64> = BTreeSet::new();
+        for (i, (session, name)) in spec.sessions.iter().zip(spec.work_names).enumerate() {
+            let mut bytes = Vec::new();
+            session
+                .write_binary(&mut bytes)
+                .map_err(|e| format!("cannot encode {name}: {e}"))?;
+            let task = SolveTask {
+                name: name.clone(),
+                dataset: bytes,
+                tol: spec.config.tol,
+                detect: spec.detect,
+                max_retries: spec.sup.max_retries as u64,
+                solve_deadline_ms: spec.sup.solve_deadline.map_or(0, |d| d.as_millis() as u64),
+                backoff_ms: spec.sup.backoff.as_millis() as u64,
+            };
+            let ticket = coord.submit(task.encode(), (i, n));
+            by_ticket.insert(ticket, i);
+            tickets.insert(ticket);
+        }
+        while !tickets.is_empty() {
+            let (ticket, outcome) = coord.take_decided(&mut tickets);
+            let i = by_ticket[&ticket];
+            match outcome {
+                TaskOutcome::Ok { worker, blob } => match codec::decode_time_points(&blob) {
+                    Ok(tps) => {
+                        if let Some(j) = spec.journal {
+                            j.record(&journal::entry_ok_with_worker(
+                                &spec.work_names[i],
+                                &tps,
+                                Some(worker),
+                            ))?;
+                        }
+                        spec.done_items.fetch_add(1, Ordering::Relaxed);
+                        results[i] = Some(Ok(tps));
+                    }
+                    Err(e) => {
+                        if !spec.quiet {
+                            eprintln!(
+                                "dist: undecodable result for {} from worker {worker}: {e:?} — \
+                                 re-solving in-process",
+                                spec.work_names[i]
+                            );
+                        }
+                        fallback.push(i);
+                    }
+                },
+                TaskOutcome::Failed { worker, blob } => match codec::decode_failure(&blob) {
+                    Ok(mut report) => {
+                        // Remote reports carry the worker's item index (0:
+                        // it solves one-session slices); re-key to ours so
+                        // the journal line matches the in-process run's.
+                        report.item = i;
+                        if let Some(j) = spec.journal {
+                            j.record(&journal::entry_failed_with_worker(
+                                &spec.work_names[i],
+                                &report,
+                                Some(worker),
+                            ))?;
+                        }
+                        spec.failed_items.fetch_add(1, Ordering::Relaxed);
+                        results[i] = Some(Err(report));
+                    }
+                    Err(e) => {
+                        if !spec.quiet {
+                            eprintln!(
+                                "dist: undecodable failure for {} from worker {worker}: {e:?} — \
+                                 re-solving in-process",
+                                spec.work_names[i]
+                            );
+                        }
+                        fallback.push(i);
+                    }
+                },
+                TaskOutcome::NoWorkers => fallback.push(i),
+                TaskOutcome::WorkerLost { dispatches } => {
+                    if !spec.quiet {
+                        eprintln!(
+                            "dist: {} lost {dispatches} worker(s) mid-solve — re-solving \
+                             in-process",
+                            spec.work_names[i]
+                        );
+                    }
+                    fallback.push(i);
+                }
+            }
+        }
+    }
+    coord.shutdown();
+    for mut child in children {
+        child.kill().ok();
+        child.wait().ok();
+    }
+
+    if !fallback.is_empty() {
+        if !spec.quiet {
+            eprintln!(
+                "dist: solving {} shard(s) in-process (graceful degradation)",
+                fallback.len()
+            );
+        }
+        fallback.sort_unstable();
+        let sessions: Vec<WetLabDataset> =
+            fallback.iter().map(|&i| spec.sessions[i].clone()).collect();
+        let solver =
+            BatchSolver::new(*spec.config, 1).map_err(|e| format!("bad configuration: {e}"))?;
+        let journal_errors: std::sync::Mutex<Vec<String>> = Default::default();
+        let on_done = |k: usize, res: &Result<Vec<TimePointResult>, FailureReport>| {
+            let i = fallback[k];
+            match res {
+                Ok(_) => spec.done_items.fetch_add(1, Ordering::Relaxed),
+                Err(_) => spec.failed_items.fetch_add(1, Ordering::Relaxed),
+            };
+            if let Some(j) = spec.journal {
+                let line = match res {
+                    Ok(tps) => journal::entry_ok(&spec.work_names[i], tps),
+                    Err(report) => {
+                        let mut report = report.clone();
+                        report.item = i;
+                        journal::entry_failed(&spec.work_names[i], &report)
+                    }
+                };
+                if let Err(e) = j.record(&line) {
+                    journal_errors.lock().expect("journal error log").push(e);
+                }
+            }
+        };
+        let local = solver
+            .run_sessions_supervised(&sessions, spec.detect, spec.sup, &on_done)
+            .map_err(|e| format!("batch failed: {e}"))?;
+        if let Some(e) = journal_errors
+            .lock()
+            .expect("journal error log")
+            .first()
+            .cloned()
+        {
+            return Err(e);
+        }
+        for (k, res) in local.into_iter().enumerate() {
+            let i = fallback[k];
+            results[i] = Some(match res {
+                Ok(tps) => Ok(tps),
+                Err(mut report) => {
+                    report.item = i;
+                    Err(report)
+                }
+            });
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every shard decided exactly once"))
+        .collect())
+}

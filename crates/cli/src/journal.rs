@@ -13,7 +13,7 @@ use mea_obs::json;
 use parma::prelude::*;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -96,6 +96,19 @@ pub fn time_points_json(time_points: &[TimePointResult]) -> String {
 
 /// The journal line for a dataset whose every time point solved.
 pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
+    entry_ok_with_worker(name, time_points, None)
+}
+
+/// [`entry_ok`] with the solving worker's id appended as a trailing
+/// `worker` field. The field is *provenance, not payload*: the
+/// resharding-stability contract compares journals with worker fields
+/// stripped, because which worker solved a shard legitimately varies
+/// across topologies while the solution bits may not.
+pub fn entry_ok_with_worker(
+    name: &str,
+    time_points: &[TimePointResult],
+    worker: Option<u64>,
+) -> String {
     let tps = time_points_json(time_points);
     let mut out = String::with_capacity(tps.len() + 80);
     let mut obj = json::Object::begin(&mut out);
@@ -103,6 +116,9 @@ pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
     obj.field_str("path", name);
     obj.field_str("status", "ok");
     obj.field_raw("time_points", &tps);
+    if let Some(w) = worker {
+        obj.field_u64("worker", w);
+    }
     obj.end();
     out
 }
@@ -110,12 +126,21 @@ pub fn entry_ok(name: &str, time_points: &[TimePointResult]) -> String {
 /// The journal line for a quarantined dataset, embedding the full
 /// `parma-failure/v1` report.
 pub fn entry_failed(name: &str, report: &FailureReport) -> String {
+    entry_failed_with_worker(name, report, None)
+}
+
+/// [`entry_failed`] with the worker id as a trailing provenance field —
+/// see [`entry_ok_with_worker`].
+pub fn entry_failed_with_worker(name: &str, report: &FailureReport, worker: Option<u64>) -> String {
     let mut out = String::with_capacity(192);
     let mut obj = json::Object::begin(&mut out);
     obj.field_str("schema", SCHEMA);
     obj.field_str("path", name);
     obj.field_str("status", "failed");
     obj.field_raw("report", &report.to_json());
+    if let Some(w) = worker {
+        obj.field_u64("worker", w);
+    }
     obj.end();
     out
 }
@@ -154,20 +179,46 @@ impl Journal {
 }
 
 /// Reads a journal back as `file name → status` ("ok" | "failed") over
-/// every *complete* entry. Incomplete lines — the torn tail of a killed
-/// run — are skipped, not errors: their items simply re-solve.
+/// every *complete* entry.
+///
+/// Robustness policy, and why it is this strict:
+///
+/// * **Only the final line may be torn.** Our writer fsyncs each line
+///   before appending the next, so the one write a crash can interrupt
+///   is the last. A torn (or otherwise incomplete) *final* line is
+///   tolerated — its item simply re-solves. An incomplete line anywhere
+///   *earlier* cannot be our own crash artifact; it means the file was
+///   edited or corrupted, and silently skipping it could mark a decided
+///   item undone (double-solve) or worse — so it is a load error.
+/// * **Same-key entries dedup last-complete-wins.** Reassignment after a
+///   worker death is at-least-once dispatch; if a redispatched shard
+///   lands twice (e.g. a resumed run re-journals a quarantine that later
+///   succeeds), the latest complete entry is the decided one.
 pub fn load(path: &Path) -> Result<BTreeMap<String, String>, String> {
-    let file = File::open(path).map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
+    let lines: Vec<&str> = text.lines().collect();
     let mut done = BTreeMap::new();
-    for line in BufReader::new(file).lines() {
-        let line = line.map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
-        if !entry_is_complete(&line) {
-            continue;
+    for (idx, line) in lines.iter().enumerate() {
+        if !entry_is_complete(line) {
+            // Blank lines and header/foreign-schema lines are not entries;
+            // only a *broken entry* line trips the corruption check.
+            let trimmed = line.trim();
+            if trimmed.is_empty() || !trimmed.starts_with("{\"schema\":\"parma-journal/v1\"") {
+                continue;
+            }
+            if idx + 1 == lines.len() {
+                continue; // torn tail of a killed run: tolerated
+            }
+            return Err(format!(
+                "journal {path:?}: corrupt entry at line {} (only the final line may be torn)",
+                idx + 1
+            ));
         }
         if let (Some(name), Some(status)) =
-            (string_field(&line, "path"), string_field(&line, "status"))
+            (string_field(line, "path"), string_field(line, "status"))
         {
-            done.insert(name, status);
+            done.insert(name, status); // last complete entry wins
         }
     }
     Ok(done)
@@ -344,6 +395,69 @@ mod tests {
         let done = load(&path).unwrap();
         assert_eq!(done.len(), 1, "header must not load as an item: {done:?}");
         assert_eq!(done.get("done.txt").map(String::as_str), Some("ok"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dedups_same_key_entries_last_complete_wins() {
+        let dir = std::env::temp_dir().join("parma-journal-dedup");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.jsonl");
+        let failed = entry_failed("x.txt", &sample_report());
+        let ok = failed.replace("\"status\":\"failed\"", "\"status\":\"ok\"");
+        // A quarantine journaled, then the redispatched shard succeeds:
+        // the later complete entry decides the item.
+        std::fs::write(&path, format!("{failed}\n{ok}\n")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done.get("x.txt").map(String::as_str), Some("ok"));
+        // And symmetrically, a torn duplicate at the tail never demotes
+        // the complete entry before it.
+        let torn = &failed[..failed.len() - 10];
+        std::fs::write(&path, format!("{ok}\n{torn}")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.get("x.txt").map(String::as_str), Some("ok"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_a_torn_line_that_is_not_final() {
+        let dir = std::env::temp_dir().join("parma-journal-midtorn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let ok = entry_failed("a.txt", &sample_report()).replace("failed", "ok");
+        let torn = &ok[..ok.len() - 5];
+        std::fs::write(&path, format!("{torn}\n{ok}\n")).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("corrupt entry at line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_field_is_trailing_provenance_and_round_trips() {
+        let dataset =
+            WetLabDataset::generate(MeaGrid::square(3), &AnomalyConfig::default(), 7).unwrap();
+        let tps = Pipeline::new(ParmaConfig::default(), 1.5)
+            .unwrap()
+            .run(&dataset)
+            .unwrap();
+        let plain = entry_ok("a.txt", &tps);
+        let tagged = entry_ok_with_worker("a.txt", &tps, Some(2));
+        assert!(entry_is_complete(&tagged), "{tagged}");
+        assert!(tagged.ends_with(",\"worker\":2}"), "{tagged}");
+        // Stripping the trailing worker field recovers the plain line —
+        // the invariant the resharding-stability test relies on.
+        assert_eq!(tagged.replace(",\"worker\":2", ""), plain);
+        let failed = entry_failed_with_worker("b.txt", &sample_report(), Some(7));
+        assert!(entry_is_complete(&failed), "{failed}");
+        assert!(failed.ends_with(",\"worker\":7}"), "{failed}");
+        let dir = std::env::temp_dir().join("parma-journal-worker");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.jsonl");
+        std::fs::write(&path, format!("{tagged}\n{failed}\n")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.get("a.txt").map(String::as_str), Some("ok"));
+        assert_eq!(done.get("b.txt").map(String::as_str), Some("failed"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,6 +4,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod dist_cmd;
 pub mod journal;
 pub mod serve;
 
@@ -66,6 +67,7 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
         "batch" => commands::batch(&args, out),
         "serve-metrics" => commands::serve_metrics(&args, out).map_err(CliError::from),
         "serve" => serve::serve(&args, out),
+        "worker" => dist_cmd::worker(&args, out),
         "bench" => commands::bench(&args, out),
         "topology" => commands::topology(&args, out).map_err(CliError::from),
         "equations" => commands::equations(&args, out).map_err(CliError::from),
@@ -95,11 +97,14 @@ USAGE:
                   [--deadline S] [--solve-deadline S] [--backoff-ms MS]
                   [--metrics-addr HOST:PORT] [--metrics-addr-file <file>]
                   [--metrics-linger S] [--quiet]
+                  [--workers N] [--heartbeat-ms MS]
   parma serve-metrics [--addr HOST:PORT] [--addr-file <file>] [--for S]
   parma serve     [--addr HOST:PORT] [--addr-file <file>] [--threads T]
                   [--queue N] [--tol E] [--detect F] [--max-retries N]
                   [--solve-deadline S] [--backoff-ms MS] [--journal <file>]
                   [--hold-ms MS] [--for S]
+                  [--workers-addr HOST:PORT] [--workers-addr-file <file>]
+  parma worker    --connect HOST:PORT [--name N]
   parma bench     diff <old.json> <new.json> [--tolerance F]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
@@ -131,7 +136,12 @@ COMMANDS:
              --metrics-linger keeps the listener up after the run;
              --metrics-addr-file writes the bound address, so --metrics-addr
              with port 0 is discoverable); --trace - streams the trace to
-             standard output
+             standard output; --workers N shards whole datasets across N
+             self-spawned `parma worker` processes (same deterministic
+             block partition as the mpi_sim ranks, bitwise-identical
+             output) with heartbeat death detection (--heartbeat-ms),
+             automatic shard reassignment and in-process fallback when
+             the last worker dies
   serve-metrics
              stand-alone metrics listener over the process-global registry
              (--for S exits after S seconds; default serves until killed)
@@ -144,7 +154,14 @@ COMMANDS:
              the same listener; POST /shutdown (or --for S) drains queued
              jobs and exits 0; --journal appends the batch journal format
              keyed job-<id>; --addr-file publishes the bound address
-             atomically once ready, so --addr with port 0 is discoverable
+             atomically once ready, so --addr with port 0 is discoverable;
+             --workers-addr opens a second listener for `parma worker`
+             processes and offloads session-less jobs to them (worker
+             death falls back to in-process solving, bitwise identical)
+  worker     join a coordinator (`parma batch --workers` or `parma serve
+             --workers-addr`) over the checksummed parma-wire/v1 protocol
+             and solve assigned datasets until released; a worker is
+             stateless between tasks, so any shard can run on any worker
   bench      diff two `parma-bench/kernels-v1` files (see `figures kernels`)
              kernel by kernel; exits with status 4 when any kernel slowed
              down by more than --tolerance (default 0.25 = 25%)

@@ -94,10 +94,72 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     mea_obs::reset();
     mea_obs::set_live(true);
 
+    // Optional remote-worker listener: `parma worker --connect` processes
+    // register here and session-less jobs offload to them, with the
+    // coordinator's heartbeat/reassignment machinery between us and any
+    // worker death. Session jobs always solve in-process (warm-start
+    // state is local), and a declined offload falls back locally too.
+    let coordinator = match args.get("workers-addr") {
+        Some(waddr) => {
+            let coord = Arc::new(
+                parma::dist::Coordinator::bind(waddr, parma::dist::DistPolicy::default())
+                    .map_err(|e| format!("cannot bind worker listener {waddr:?}: {e}"))?,
+            );
+            if let Some(f) = args.get("workers-addr-file") {
+                write_addr_file(f, coord.addr())?;
+            }
+            Some(coord)
+        }
+        None => {
+            if args.get("workers-addr-file").is_some() {
+                return Err("--workers-addr-file needs --workers-addr <host:port>"
+                    .to_string()
+                    .into());
+            }
+            None
+        }
+    };
+    let offload: Option<Box<parma::service::OffloadHook>> = coordinator.as_ref().map(|coord| {
+        let coord = Arc::clone(coord);
+        Box::new(move |id: u64, ds: &WetLabDataset| {
+            if coord.worker_count() == 0 {
+                return None; // no fleet — solve in-process
+            }
+            let mut bytes = Vec::new();
+            ds.write_binary(&mut bytes).ok()?;
+            let task = parma::dist::codec::SolveTask {
+                name: format!("job-{id}"),
+                dataset: bytes,
+                tol,
+                detect,
+                max_retries: sup.max_retries as u64,
+                solve_deadline_ms: sup.solve_deadline.map_or(0, |d| d.as_millis() as u64),
+                backoff_ms: sup.backoff.as_millis() as u64,
+            };
+            let ticket = coord.submit(task.encode(), (0, 1));
+            let mut tickets: std::collections::BTreeSet<u64> = [ticket].into_iter().collect();
+            let (_, outcome) = coord.take_decided(&mut tickets);
+            match outcome {
+                parma::dist::TaskOutcome::Ok { blob, .. } => {
+                    parma::dist::codec::decode_time_points(&blob).ok().map(Ok)
+                }
+                parma::dist::TaskOutcome::Failed { blob, .. } => {
+                    let mut report = parma::dist::codec::decode_failure(&blob).ok()?;
+                    report.item = id as usize;
+                    Some(Err(report))
+                }
+                // Worker died (possibly repeatedly) — degrade to the
+                // in-process path, which produces the same bits.
+                parma::dist::TaskOutcome::NoWorkers
+                | parma::dist::TaskOutcome::WorkerLost { .. } => None,
+            }
+        }) as Box<parma::service::OffloadHook>
+    });
+
     let hook_journal = journal.clone();
     let hook_errors = Arc::clone(&journal_errors);
     let service = Arc::new(
-        parma::service::SolveService::start_with_hook(
+        parma::service::SolveService::start_with_hooks(
             parma::service::ServiceConfig {
                 solver: config,
                 detection_factor: detect,
@@ -119,6 +181,7 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                     hook_errors.lock().expect("journal error log").push(e);
                 }
             })),
+            offload,
         )
         .map_err(|e| format!("cannot start service: {e}"))?,
     );
@@ -150,6 +213,15 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         queue
     )
     .map_err(|e| e.to_string())?;
+    if let Some(coord) = &coordinator {
+        writeln!(
+            out,
+            "accepting parma workers on {} (parma worker --connect {})",
+            coord.addr(),
+            coord.addr()
+        )
+        .map_err(|e| e.to_string())?;
+    }
 
     // Sleep until drained or the --for alarm fires.
     {
@@ -175,8 +247,15 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
 
     // Graceful drain: finish queued + in-flight jobs (journal lines and
-    // all), then stop the listener and report.
+    // all), then stop the listener and report. `service.shutdown()` joins
+    // the workers, and offloaded jobs are synchronous inside them — so
+    // joining also waits out every dispatched-but-unacked remote shard
+    // (or its reassignment/fallback). Only then is the worker fleet
+    // released.
     let decided = service.shutdown();
+    if let Some(coord) = &coordinator {
+        coord.begin_shutdown();
+    }
     server.shutdown();
     mea_obs::set_live(false);
     let stats = service.stats();
@@ -211,6 +290,14 @@ fn route(
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/jobs") => Some(submit(req, service)),
         ("POST", "/shutdown") => {
+            // Close the admission door BEFORE answering: if the flag were
+            // only relayed to the main thread, there would be a window
+            // between this 200 and `service.shutdown()` in which a racing
+            // POST /jobs is admitted (202) — and then lost when the
+            // process exits. With the door shut here, every submit after
+            // this line answers 503, so "accepted" can never mean "will
+            // be dropped". Queued and in-flight jobs still drain fully.
+            service.begin_drain();
             let (flag, condvar) = drain;
             *flag.lock().expect("drain flag lock") = true;
             condvar.notify_all();

@@ -1,0 +1,152 @@
+//! Chaos harness for the multi-process batch path: workers die abruptly
+//! (`std::process::abort`, the in-process stand-in for SIGKILL) at the
+//! three nastiest protocol moments — on dispatch, mid-solve, and after
+//! writing *half* a result frame — and the journal must come out
+//! bitwise-identical to the single-process run anyway, every dataset
+//! decided exactly once.
+//!
+//! That is the PR's acceptance bar: reassignment is at-least-once
+//! dispatch, the coordinator's single decide transition plus the
+//! journal's last-complete-wins dedup make the *effects* exactly-once,
+//! and the remote solve is the same code path as the local one, so the
+//! bits cannot differ.
+
+mod common;
+
+use common::{fresh_dir, generate, parma};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Stdio;
+
+/// Runs `parma batch` over `data`, journaling to `journal`, optionally
+/// sharded across self-spawned workers with a chaos plan in effect.
+fn run_batch(data: &Path, journal: &Path, workers: usize, chaos: Option<&str>) {
+    let mut cmd = parma();
+    cmd.args([
+        "batch",
+        data.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "--quiet",
+    ]);
+    if workers > 0 {
+        // A short heartbeat keeps death detection (deadline = 10x the
+        // interval) well under the test timeout.
+        cmd.args(["--workers", &workers.to_string(), "--heartbeat-ms", "25"]);
+    }
+    match chaos {
+        Some(plan) => cmd.env("PARMA_DIST_CHAOS", plan),
+        None => cmd.env_remove("PARMA_DIST_CHAOS"),
+    };
+    let out = cmd
+        .stdout(Stdio::null())
+        .output()
+        .expect("spawn parma batch");
+    assert!(
+        out.status.success(),
+        "batch (workers={workers}, chaos={chaos:?}) exited {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Drops the trailing `,"worker":N` provenance field a distributed run
+/// appends to each entry; everything else in the line is solver output
+/// and must be bitwise-stable across sharding layouts.
+fn strip_worker(line: &str) -> String {
+    let Some(i) = line.find(",\"worker\":") else {
+        return line.to_string();
+    };
+    let tail = &line[i + ",\"worker\":".len()..];
+    let digits = tail.chars().take_while(char::is_ascii_digit).count();
+    assert!(digits > 0, "malformed worker field in {line:?}");
+    format!("{}{}", &line[..i], &tail[digits..])
+}
+
+/// The worker ids credited in the journal, one per remotely solved
+/// entry (the in-process fallback writes no worker field).
+fn crediting_workers(journal: &Path) -> Vec<u64> {
+    std::fs::read_to_string(journal)
+        .expect("read journal")
+        .lines()
+        .filter(|l| l.contains("\"schema\":\"parma-journal/v1\""))
+        .filter_map(|l| {
+            let i = l.find(",\"worker\":")?;
+            let tail = &l[i + ",\"worker\":".len()..];
+            let digits = tail.chars().take_while(char::is_ascii_digit).count();
+            tail[..digits].parse().ok()
+        })
+        .collect()
+}
+
+/// The journal as `dataset key -> canonical entry line`, asserting every
+/// key appears exactly once (no lost shard, no double-applied shard).
+fn canonical_entries(journal: &Path) -> BTreeMap<String, String> {
+    let text = std::fs::read_to_string(journal).expect("read journal");
+    let mut by_key = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if !line.contains("\"schema\":\"parma-journal/v1\"") {
+            continue; // provenance header
+        }
+        let canonical = strip_worker(line);
+        let key_at = canonical.find("\"path\":\"").expect("entry has a path key");
+        let rest = &canonical[key_at + "\"path\":\"".len()..];
+        let key = rest[..rest.find('"').expect("closing quote")].to_string();
+        let clash = by_key.insert(key.clone(), canonical);
+        assert!(clash.is_none(), "dataset {key:?} journaled more than once");
+    }
+    by_key
+}
+
+#[test]
+fn worker_kills_at_every_phase_leave_the_journal_bitwise_identical() {
+    let dir = fresh_dir("dist-chaos");
+    let data = dir.join("data");
+    std::fs::create_dir_all(&data).unwrap();
+    // n = 16 keeps each solve around tens of milliseconds — long enough
+    // that the mid-solve killer (which fires 8 ms into the handler)
+    // reliably lands *inside* the solve, not after the ack.
+    for k in 0..4 {
+        generate(&data, &format!("s{k}.txt"), 16, 0x5EED + k);
+    }
+
+    let baseline_journal = dir.join("baseline.jsonl");
+    run_batch(&data, &baseline_journal, 0, None);
+    let baseline = canonical_entries(&baseline_journal);
+    assert_eq!(baseline.len(), 4, "baseline decided all four datasets");
+
+    // `*` kills w1 on its first assignment, whichever ticket routing
+    // hands it — and the driver waits for the full complement before
+    // dispatching, so with four shards and four workers w1 *will* be
+    // assigned one: the strike is guaranteed, not scheduling-dependent.
+    for phase in ["dispatch", "mid-solve", "pre-ack"] {
+        let journal = dir.join(format!("chaos-{phase}.jsonl"));
+        run_batch(&data, &journal, 4, Some(&format!("{phase}:*:w1")));
+        assert_eq!(
+            canonical_entries(&journal),
+            baseline,
+            "journal after a {phase} kill diverged from the single-process run"
+        );
+        // All four shards must still have been solved *remotely* — the
+        // killed worker's shard is reassigned to a survivor, not quietly
+        // degraded to the in-process path — and the victim can never be
+        // credited (it dies before any ack), so exactly three distinct
+        // worker ids cover the four entries. Four distinct ids would mean
+        // the kill never struck and the run proved nothing.
+        let credits = crediting_workers(&journal);
+        assert_eq!(
+            credits.len(),
+            4,
+            "a shard fell back in-process after a {phase} kill"
+        );
+        let distinct: std::collections::BTreeSet<u64> = credits.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            3,
+            "expected one dead worker and one reassigned shard after a {phase} kill, \
+             got credits {credits:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,103 @@
+//! `parma serve --workers-addr`: the daemon embeds the shard coordinator
+//! and offloads non-session jobs to connected `parma worker` processes.
+//! The contract under test: a worker-solved job answers the exact bits an
+//! in-process solve answers, and the offload really happened (the
+//! `parma.dist.*` counters on `/metrics` prove it — they only move when
+//! frames cross the wire).
+
+mod common;
+
+use common::{get, parma, submit_job, wait_for_addr, wait_for_job, ServeDaemon};
+use std::process::Stdio;
+use std::time::{Duration, Instant};
+
+/// The solver-output part of a result document (everything from
+/// `"time_points"` on) — identical across daemons iff the bits are.
+fn result_bits(addr: std::net::SocketAddr, id: u64) -> String {
+    let reply = get(addr, &format!("/jobs/{id}/result"));
+    assert_eq!(reply.status, 200, "result: {}", reply.body);
+    let start = reply
+        .body
+        .find("\"time_points\"")
+        .expect("result carries time_points");
+    reply.body[start..].to_string()
+}
+
+/// Polls `/metrics` until `needle` shows up (worker joins propagate
+/// through a handshake, not the submit path, so there is a window).
+fn wait_for_metric(addr: std::net::SocketAddr, needle: &str, deadline: Duration) {
+    let t0 = Instant::now();
+    loop {
+        let reply = get(addr, "/metrics");
+        if reply.status == 200 && reply.body.contains(needle) {
+            return;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "metric {needle:?} never appeared; last exposition:\n{}",
+            reply.body
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn offloaded_jobs_answer_the_same_bits_as_in_process_solves() {
+    // Reference bits from a plain daemon (no workers, in-process solve).
+    let plain = ServeDaemon::spawn("dist-serve-plain", &[]);
+    common::generate(&plain.dir, "session.txt", 6, 99);
+    let body = std::fs::read(plain.dir.join("session.txt")).unwrap();
+    let id = submit_job(plain.addr, "/jobs", &body);
+    assert_eq!(
+        wait_for_job(plain.addr, id, Duration::from_secs(60)),
+        "done"
+    );
+    let want = result_bits(plain.addr, id);
+    drop(plain);
+
+    // Worker-backed daemon: same dataset, but the solve crosses the wire.
+    let daemon = ServeDaemon::spawn_with(
+        "dist-serve-workers",
+        &["--workers-addr", "127.0.0.1:0"],
+        |dir| {
+            vec![
+                "--workers-addr-file".into(),
+                dir.join("workers.txt").display().to_string(),
+            ]
+        },
+    );
+    let waddr = wait_for_addr(&daemon.dir.join("workers.txt"), Duration::from_secs(30));
+    let mut worker = parma()
+        .args(["worker", "--connect", &waddr.to_string(), "--name", "wtest"])
+        .stdout(Stdio::null())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn parma worker");
+
+    // Submit only after the handshake lands, so the offload hook sees a
+    // live worker instead of degrading to the in-process path.
+    wait_for_metric(
+        daemon.addr,
+        "parma_dist_worker_joins_total 1",
+        Duration::from_secs(30),
+    );
+    let id = submit_job(daemon.addr, "/jobs", &body);
+    assert_eq!(
+        wait_for_job(daemon.addr, id, Duration::from_secs(60)),
+        "done"
+    );
+    assert_eq!(
+        result_bits(daemon.addr, id),
+        want,
+        "worker-solved bits diverged from the in-process solve"
+    );
+    // The dispatch counter moving is the proof the job went remote.
+    wait_for_metric(
+        daemon.addr,
+        "parma_dist_dispatched_total 1",
+        Duration::from_secs(5),
+    );
+
+    worker.kill().ok();
+    worker.wait().ok();
+}

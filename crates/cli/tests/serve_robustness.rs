@@ -307,3 +307,58 @@ fn draining_daemon_rejects_new_work_with_503_and_finishes_queued_jobs() {
         );
     }
 }
+
+#[test]
+fn shutdown_flips_the_admit_gate_before_answering_200() {
+    // The /shutdown handler must close admission *before* replying, so a
+    // client that serializes "200 received, then submit" can never be
+    // admitted — no 202-after-shutdown race, not even a benign one. One
+    // held job keeps the drain (and therefore the listener) alive while
+    // the post-shutdown submits probe the gate.
+    let daemon = ServeDaemon::spawn_with(
+        "serve-admit-gate",
+        &["--threads", "1", "--hold-ms", "800"],
+        |dir| {
+            vec![
+                "--journal".into(),
+                dir.join("journal.jsonl").display().to_string(),
+            ]
+        },
+    );
+    common::generate(&daemon.dir, "session.txt", 4, 77);
+    let body = std::fs::read(daemon.dir.join("session.txt")).unwrap();
+    let held = submit_job(daemon.addr, "/jobs", &body);
+
+    let reply = post(daemon.addr, "/shutdown", b"");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    for attempt in 0..5 {
+        let reply = post(daemon.addr, "/jobs", &body);
+        assert_eq!(
+            reply.status, 503,
+            "submit #{attempt} was admitted after /shutdown answered: {}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"kind\":\"shutting_down\""),
+            "{}",
+            reply.body
+        );
+    }
+
+    let mut daemon = daemon;
+    let mut child = daemon.take_child();
+    let status = child.wait().expect("wait on draining serve");
+    assert!(status.success(), "drain exited {status:?}");
+    let text = std::fs::read_to_string(daemon.dir.join("journal.jsonl")).unwrap();
+    assert!(
+        text.contains(&format!("\"path\":\"job-{held}\"")),
+        "the pre-shutdown job was abandoned:\n{text}"
+    );
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.contains("\"schema\":\"parma-journal/v1\""))
+            .count(),
+        1,
+        "exactly the one admitted job may be journaled:\n{text}"
+    );
+}

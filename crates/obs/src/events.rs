@@ -57,6 +57,20 @@ pub enum EventKind {
     /// The streaming loader failed to ingest a dataset (`value` = ms
     /// spent before the failure).
     IngestFailed,
+    /// The coordinator dispatched a shard (`item` = ticket, `info` =
+    /// worker id).
+    DistDispatch,
+    /// A dead worker's shard was requeued (`item` = ticket, `info` = the
+    /// dead worker, `value` = dispatches so far).
+    DistReassign,
+    /// A worker registered with the coordinator (`item` = worker id).
+    DistWorkerJoin,
+    /// A worker missed its heartbeat deadline or dropped the connection
+    /// (`item` = worker id).
+    DistWorkerDead,
+    /// A late result arrived for an already-decided shard and was
+    /// discarded (`item` = ticket, `info` = worker id).
+    DistDuplicate,
 }
 
 impl EventKind {
@@ -74,6 +88,11 @@ impl EventKind {
             EventKind::Panic => "panic",
             EventKind::Ingest => "ingest",
             EventKind::IngestFailed => "ingest_failed",
+            EventKind::DistDispatch => "dist_dispatch",
+            EventKind::DistReassign => "dist_reassign",
+            EventKind::DistWorkerJoin => "dist_worker_join",
+            EventKind::DistWorkerDead => "dist_worker_dead",
+            EventKind::DistDuplicate => "dist_duplicate",
         }
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod balanced;
 pub mod budget;
+pub mod dist;
 pub mod hetero;
 pub mod metrics;
 pub mod mpi_sim;
@@ -32,6 +33,10 @@ pub mod supervise;
 
 pub use balanced::partition_lpt;
 pub use budget::{IoBudget, ThreadBudget};
+pub use dist::{
+    read_frame, shard_ranges, write_frame, Frame, FrameError, HeartbeatPolicy, MsgKind,
+    PayloadReader, PayloadWriter, PROTOCOL_VERSION,
+};
 pub use hetero::{simulate_hetero, HeteroClusterModel, HeteroPartition};
 pub use metrics::ExecutionReport;
 pub use mpi_sim::{ClusterModel, CommModel, MpiSimReport};

@@ -1,0 +1,223 @@
+//! Worker side of the `parma-wire/v1` protocol.
+//!
+//! [`run_worker`] connects to a coordinator, handshakes, then loops:
+//! solve `Assign` frames through a caller-supplied handler and stream
+//! `Heartbeat` frames from a side thread at the coordinator-negotiated
+//! cadence. The worker is deliberately stateless between tasks — any
+//! task can run on any worker, which is what makes reassignment after a
+//! death bitwise-safe.
+//!
+//! # Chaos injection
+//!
+//! `PARMA_DIST_CHAOS="<phase>:<ticket>:<name>"` makes the worker named
+//! `<name>` die abruptly around ticket `<ticket>` (`*` strikes on the
+//! worker's first assignment, whatever its ticket — useful when task
+//! routing is racy):
+//!
+//! * `dispatch` — dies the instant the `Assign` frame is decoded,
+//! * `mid-solve` — a killer thread fires while the handler runs,
+//! * `pre-ack` — computes the result, writes *half* the `Result` frame,
+//!   then dies (the torn frame must read as an I/O error upstream).
+//!
+//! Death is `std::process::abort()`: no unwinding, no flushes — the
+//! closest in-process stand-in for SIGKILL, and the CI chaos matrix
+//! additionally kills real worker processes with signals.
+
+use mea_parallel::dist::{
+    encode_frame, read_frame, write_frame, FrameError, MsgKind, PayloadReader, PayloadWriter,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Maps an `Assign` payload blob to a result blob: `Ok` for a solved
+/// task, `Err` for a task the worker decided to fail (both are shipped
+/// back; transport errors are signalled by dying instead).
+pub type TaskHandler = dyn Fn(u64, &[u8]) -> Result<Vec<u8>, Vec<u8>> + Sync;
+
+/// What a worker did before the coordinator released it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerSummary {
+    /// Tasks solved and acknowledged.
+    pub processed: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ChaosPhase {
+    Dispatch,
+    MidSolve,
+    PreAck,
+}
+
+struct Chaos {
+    phase: ChaosPhase,
+    /// `None` strikes on any assignment (the `*` spec).
+    ticket: Option<u64>,
+}
+
+/// Parses `PARMA_DIST_CHAOS` for this worker's name; `None` means the
+/// plan targets another worker (or is absent/malformed).
+fn chaos_plan(name: &str) -> Option<Chaos> {
+    let spec = std::env::var("PARMA_DIST_CHAOS").ok()?;
+    let mut parts = spec.splitn(3, ':');
+    let phase = match parts.next()? {
+        "dispatch" => ChaosPhase::Dispatch,
+        "mid-solve" => ChaosPhase::MidSolve,
+        "pre-ack" => ChaosPhase::PreAck,
+        _ => return None,
+    };
+    let ticket: Option<u64> = match parts.next()? {
+        "*" => None,
+        t => Some(t.parse().ok()?),
+    };
+    if parts.next()? != name {
+        return None;
+    }
+    Some(Chaos { phase, ticket })
+}
+
+/// Connects to `addr`, registers as `name`, and processes assignments
+/// until the coordinator says `Shutdown` (clean exit) or disappears
+/// (EOF / read deadline — also a clean worker exit: the coordinator owns
+/// the work, the worker just stops).
+pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<WorkerSummary, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("worker: connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+
+    let mut hello = PayloadWriter::new();
+    hello.put_str(name);
+    write_frame(&mut stream, MsgKind::Hello, &hello.into_bytes())
+        .map_err(|e| format!("worker: hello: {e}"))?;
+    let ack = read_frame(&mut stream).map_err(|e| format!("worker: handshake: {e}"))?;
+    if ack.kind != MsgKind::HelloAck {
+        return Err(format!("worker: expected HelloAck, got {:?}", ack.kind));
+    }
+    let mut r = PayloadReader::new(&ack.payload);
+    let worker_id = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
+    let interval_ms = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
+    let interval = Duration::from_millis(interval_ms.max(10));
+    // Tolerate a coordinator busy under load: our read deadline is far
+    // looser than the coordinator's death deadline for us.
+    stream
+        .set_read_timeout(Some(interval * 50))
+        .map_err(|e| format!("worker: deadline: {e}"))?;
+
+    let writer = Arc::new(Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("worker: clone stream: {e}"))?,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_writer = Arc::clone(&writer);
+    let beat_stop = Arc::clone(&stop);
+    let heartbeat = std::thread::Builder::new()
+        .name(format!("parma-worker-hb-{worker_id}"))
+        .spawn(move || {
+            while !beat_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                let mut w = beat_writer.lock().expect("worker writer");
+                if write_frame(&mut *w, MsgKind::Heartbeat, &[]).is_err() {
+                    return; // coordinator gone; main loop will see EOF too
+                }
+            }
+        })
+        .map_err(|e| format!("worker: spawn heartbeat: {e}"))?;
+
+    let chaos = chaos_plan(name);
+    let mut summary = WorkerSummary::default();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // Coordinator gone (EOF, deadline, or a torn frame): stop.
+            Err(FrameError::Io(_)) => break,
+            Err(e) => {
+                stop.store(true, Ordering::Relaxed);
+                heartbeat.join().ok();
+                return Err(format!("worker: protocol error: {e}"));
+            }
+        };
+        match frame.kind {
+            MsgKind::Heartbeat => {} // coordinator keepalive
+            MsgKind::Shutdown => break,
+            MsgKind::Assign => {
+                let mut r = PayloadReader::new(&frame.payload);
+                let parsed = r
+                    .take_u64()
+                    .and_then(|t| r.take_bytes().map(|b| (t, b.to_vec())));
+                let Ok((ticket, blob)) = parsed else {
+                    stop.store(true, Ordering::Relaxed);
+                    heartbeat.join().ok();
+                    return Err("worker: malformed Assign payload".into());
+                };
+                let struck = chaos
+                    .as_ref()
+                    .is_some_and(|c| c.ticket.is_none_or(|t| t == ticket));
+                if struck && chaos.as_ref().unwrap().phase == ChaosPhase::Dispatch {
+                    std::process::abort();
+                }
+                if struck && chaos.as_ref().unwrap().phase == ChaosPhase::MidSolve {
+                    std::thread::spawn(|| {
+                        std::thread::sleep(Duration::from_millis(8));
+                        std::process::abort();
+                    });
+                }
+                let (status, body) = match handler(ticket, &blob) {
+                    Ok(b) => (0u8, b),
+                    Err(b) => (1u8, b),
+                };
+                let mut payload = PayloadWriter::new();
+                payload.put_u64(ticket);
+                payload.put_u8(status);
+                payload.put_bytes(&body);
+                let result = encode_frame(MsgKind::Result, &payload.into_bytes());
+                if struck && chaos.as_ref().unwrap().phase == ChaosPhase::PreAck {
+                    let mut w = writer.lock().expect("worker writer");
+                    let _ = w.write_all(&result[..result.len() / 2]);
+                    let _ = w.flush();
+                    std::process::abort();
+                }
+                let sent = {
+                    let mut w = writer.lock().expect("worker writer");
+                    w.write_all(&result).and_then(|_| w.flush())
+                };
+                if sent.is_err() {
+                    break; // coordinator gone mid-ack
+                }
+                summary.processed += 1;
+            }
+            other => {
+                stop.store(true, Ordering::Relaxed);
+                heartbeat.join().ok();
+                return Err(format!("worker: unexpected frame {other:?}"));
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    heartbeat.join().ok();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_plan_parses_and_filters_by_name() {
+        // Set/unset is process-global; run the sub-cases in one test to
+        // avoid racing parallel tests over the env var.
+        std::env::set_var("PARMA_DIST_CHAOS", "mid-solve:3:w1");
+        let hit = chaos_plan("w1").expect("matching name parses");
+        assert!(hit.phase == ChaosPhase::MidSolve && hit.ticket == Some(3));
+        assert!(chaos_plan("w2").is_none(), "other workers are untouched");
+        std::env::set_var("PARMA_DIST_CHAOS", "pre-ack:*:w1");
+        let any = chaos_plan("w1").expect("wildcard ticket parses");
+        assert!(any.phase == ChaosPhase::PreAck && any.ticket.is_none());
+        std::env::set_var("PARMA_DIST_CHAOS", "sideways:3:w1");
+        assert!(chaos_plan("w1").is_none(), "unknown phases are ignored");
+        std::env::remove_var("PARMA_DIST_CHAOS");
+        assert!(chaos_plan("w1").is_none());
+    }
+}

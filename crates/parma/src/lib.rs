@@ -42,6 +42,7 @@ pub mod classical;
 pub mod config;
 pub mod detect;
 pub mod diagnostics;
+pub mod dist;
 pub mod error;
 pub mod formation;
 pub mod full_newton;

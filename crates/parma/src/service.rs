@@ -167,6 +167,14 @@ struct JobRecord {
 
 type DoneHook = dyn Fn(u64, &Result<Vec<TimePointResult>, FailureReport>) + Send + Sync;
 
+/// Optional remote-execution seam: given a job and its dataset, either
+/// solve it elsewhere (`Some(result)`) or decline (`None`) — in which
+/// case the job runs in-process as if no offloader existed. Declining is
+/// how worker loss degrades gracefully: the local path is always there.
+pub type OffloadHook = dyn Fn(u64, &WetLabDataset) -> Option<Result<Vec<TimePointResult>, FailureReport>>
+    + Send
+    + Sync;
+
 struct Inner {
     cfg: ServiceConfig,
     queue: Mutex<VecDeque<u64>>,
@@ -181,6 +189,7 @@ struct Inner {
     failed: AtomicU64,
     rejected: AtomicU64,
     on_done: Option<Box<DoneHook>>,
+    offload: Option<Box<OffloadHook>>,
 }
 
 /// A running solve service. Dropping it drains and joins the workers.
@@ -201,6 +210,19 @@ impl SolveService {
     pub fn start_with_hook(
         cfg: ServiceConfig,
         on_done: Option<Box<DoneHook>>,
+    ) -> Result<SolveService, ParmaError> {
+        Self::start_with_hooks(cfg, on_done, None)
+    }
+
+    /// Like [`Self::start_with_hook`] with a remote-execution seam:
+    /// session-less jobs are offered to `offload` first (device-session
+    /// jobs never are — warm-start state lives in this process and must
+    /// not be split across machines). An offloader that declines, or is
+    /// absent, leaves the job on the in-process path.
+    pub fn start_with_hooks(
+        cfg: ServiceConfig,
+        on_done: Option<Box<DoneHook>>,
+        offload: Option<Box<OffloadHook>>,
     ) -> Result<SolveService, ParmaError> {
         // Surface bad numeric configuration now, not on the first job.
         Pipeline::new(cfg.solver, cfg.detection_factor)?;
@@ -227,6 +249,7 @@ impl SolveService {
             failed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             on_done,
+            offload,
         });
         let mut handles = Vec::with_capacity(workers);
         for k in 0..workers {
@@ -321,12 +344,24 @@ impl SolveService {
         }
     }
 
+    /// Closes the admission door *now*: every submit from this point on
+    /// answers [`AdmissionError::ShuttingDown`], while queued and
+    /// in-flight jobs keep draining. This is the first half of
+    /// [`Self::shutdown`], split out so an HTTP shutdown endpoint can
+    /// stop admissions before it even answers — otherwise there is a
+    /// window between "shutdown accepted" and the drain actually
+    /// starting in which a racing submit is accepted and then lost to
+    /// the dying process.
+    pub fn begin_drain(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+    }
+
     /// Graceful drain: stops admitting, lets the workers finish every
     /// queued and in-flight job, and joins them. Idempotent; returns the
     /// number of jobs decided over the service's lifetime.
     pub fn shutdown(&self) -> u64 {
-        self.inner.stopping.store(true, Ordering::Release);
-        self.inner.available.notify_all();
+        self.begin_drain();
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.workers.lock().expect("service worker lock"));
         for handle in handles {
@@ -388,24 +423,38 @@ fn run_job(inner: &Inner, pool: &WorkStealingPool, id: u64) {
     if let Some(hold) = inner.cfg.hold {
         std::thread::sleep(hold);
     }
-    let warm = session
-        .as_deref()
-        .and_then(|sid| inner.sessions.warm_pair(sid, dataset.grid));
-    let sup = inner.cfg.supervisor;
-    let attempt = |_item: usize, escalation: usize, token: &mea_parallel::CancelToken| {
-        let config = crate::supervisor::escalated(&inner.cfg.solver, escalation);
-        let pipeline = Pipeline::new(config, inner.cfg.detection_factor)?;
-        pipeline.run_cached(
-            &dataset,
-            token,
-            sup.solve_deadline,
-            &inner.plans,
-            warm.clone(),
-        )
+    // Session-less jobs may run on a remote worker; the solve there is
+    // the same supervised pipeline, so the result bits are identical.
+    // A declined offload (no workers, worker died, undecodable reply)
+    // falls through to the in-process path below.
+    let offloaded = if session.is_none() {
+        inner.offload.as_ref().and_then(|off| off(id, &dataset))
+    } else {
+        None
     };
-    let mut outcome = supervise(pool, 1, &sup, &attempt, &|_, _| {})
-        .pop()
-        .expect("one supervised item yields one outcome");
+    let mut outcome = match offloaded {
+        Some(result) => result,
+        None => {
+            let warm = session
+                .as_deref()
+                .and_then(|sid| inner.sessions.warm_pair(sid, dataset.grid));
+            let sup = inner.cfg.supervisor;
+            let attempt = |_item: usize, escalation: usize, token: &mea_parallel::CancelToken| {
+                let config = crate::supervisor::escalated(&inner.cfg.solver, escalation);
+                let pipeline = Pipeline::new(config, inner.cfg.detection_factor)?;
+                pipeline.run_cached(
+                    &dataset,
+                    token,
+                    sup.solve_deadline,
+                    &inner.plans,
+                    warm.clone(),
+                )
+            };
+            supervise(pool, 1, &sup, &attempt, &|_, _| {})
+                .pop()
+                .expect("one supervised item yields one outcome")
+        }
+    };
     if let Err(report) = &mut outcome {
         // The supervisor numbers items within its (single-item) batch;
         // re-key the report to the service-wide job id.
