@@ -437,14 +437,44 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     if live {
         mea_obs::set_live(true);
     }
+    // When the batch shards across workers the coordinator's /metrics
+    // additionally exposes the fleet-merged per-worker series. The store
+    // is only bound once the dist driver is up, so the handler reads it
+    // through a slot: scrapes before (or without) a distributed run just
+    // fall through to the built-in exposition.
+    let fleet_slot: Arc<std::sync::OnceLock<Arc<mea_obs::fleet::FleetStore>>> =
+        Arc::new(std::sync::OnceLock::new());
     let server = match metrics_addr {
         Some(addr) => {
+            let role = if workers > 0 { "coordinator" } else { "batch" };
             let meta = vec![
                 ("schema".to_string(), "parma-snapshot/v1".to_string()),
                 ("version".to_string(), VERSION.to_string()),
                 ("config_hash".to_string(), cfg_hash.clone()),
+                ("role".to_string(), role.to_string()),
             ];
-            let srv = mea_obs::serve::MetricsServer::start(addr, meta).map_err(CliError::from)?;
+            let srv = if workers > 0 {
+                let slot = Arc::clone(&fleet_slot);
+                let handler: Arc<mea_obs::serve::Handler> =
+                    Arc::new(move |req: &mea_obs::serve::Request| {
+                        if req.method != "GET" || req.path != "/metrics" {
+                            return None;
+                        }
+                        let fleet = slot.get()?;
+                        let mut body = mea_obs::expo::prometheus(&mea_obs::snapshot());
+                        body.push_str(&fleet.render_prometheus());
+                        Some(mea_obs::serve::Response {
+                            status: 200,
+                            content_type: mea_obs::expo::CONTENT_TYPE,
+                            body,
+                            retry_after: None,
+                        })
+                    });
+                mea_obs::serve::MetricsServer::start_with_handler(addr, meta, handler)
+                    .map_err(CliError::from)?
+            } else {
+                mea_obs::serve::MetricsServer::start(addr, meta).map_err(CliError::from)?
+            };
             if let Some(f) = metrics_addr_file {
                 write_addr_file(f, srv.addr())?;
             }
@@ -504,6 +534,7 @@ pub fn batch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             quiet,
             done_items: &done_items,
             failed_items: &failed_items,
+            fleet_slot: Some(&fleet_slot),
         })
     } else if stream {
         solver
@@ -724,6 +755,7 @@ pub fn serve_metrics<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let meta = vec![
         ("schema".to_string(), "parma-snapshot/v1".to_string()),
         ("version".to_string(), VERSION.to_string()),
+        ("role".to_string(), "serve-metrics".to_string()),
     ];
     let mut server = mea_obs::serve::MetricsServer::start(addr, meta)?;
     if let Some(f) = args.get("addr-file") {

@@ -20,7 +20,7 @@
 use crate::args::Args;
 use crate::{journal, CliError};
 use parma::dist::codec::{self, SolveTask};
-use parma::dist::worker::run_worker;
+use parma::dist::worker::run_worker_with;
 use parma::dist::{Coordinator, DistPolicy, TaskOutcome};
 use parma::prelude::*;
 use parma::supervisor::FailureKind;
@@ -45,7 +45,40 @@ pub fn worker<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .map(String::from)
         .unwrap_or_else(|| format!("worker-{}", std::process::id()));
     let handler = |_ticket: u64, blob: &[u8]| solve_blob(blob);
-    let summary = run_worker(addr, &name, &handler).map_err(CliError::from)?;
+    // --metrics-addr starts this worker's own telemetry listener once the
+    // handshake has assigned an id, so the /snapshot meta names exactly
+    // who this process is within the fleet.
+    let metrics_addr = args.get("metrics-addr").map(String::from);
+    let metrics_addr_file = args.get("metrics-addr-file").map(String::from);
+    let mut server: Option<mea_obs::serve::MetricsServer> = None;
+    let mut server_err: Option<String> = None;
+    let mut on_registered = |worker_id: u64| {
+        let Some(ma) = &metrics_addr else { return };
+        let meta = vec![
+            ("schema".to_string(), "parma-snapshot/v1".to_string()),
+            ("role".to_string(), "worker".to_string()),
+            ("worker_id".to_string(), worker_id.to_string()),
+            ("worker_name".to_string(), name.clone()),
+        ];
+        match mea_obs::serve::MetricsServer::start(ma, meta) {
+            Ok(srv) => {
+                if let Some(f) = &metrics_addr_file {
+                    if let Err(e) = crate::commands::write_addr_file(f, srv.addr()) {
+                        server_err = Some(e);
+                        return;
+                    }
+                }
+                server = Some(srv);
+            }
+            Err(e) => server_err = Some(e),
+        }
+    };
+    let summary =
+        run_worker_with(addr, &name, &handler, &mut on_registered).map_err(CliError::from)?;
+    if let Some(e) = server_err {
+        return Err(e.into());
+    }
+    drop(server);
     writeln!(
         out,
         "worker {name}: {} task(s) processed",
@@ -120,6 +153,10 @@ pub struct DistBatch<'a> {
     pub quiet: bool,
     pub done_items: &'a AtomicUsize,
     pub failed_items: &'a AtomicUsize,
+    /// Where to publish the coordinator's fleet-telemetry store once the
+    /// coordinator is bound, so an already-running /metrics listener can
+    /// append the per-worker series to its exposition.
+    pub fleet_slot: Option<&'a std::sync::OnceLock<std::sync::Arc<mea_obs::fleet::FleetStore>>>,
 }
 
 /// Runs the work set across `workers` self-spawned `parma worker`
@@ -148,6 +185,9 @@ pub fn run_distributed(
     };
     let coord = Coordinator::bind("127.0.0.1:0", policy)
         .map_err(|e| format!("cannot bind coordinator: {e}"))?;
+    if let Some(slot) = spec.fleet_slot {
+        let _ = slot.set(coord.fleet());
+    }
     let addr = coord.addr().to_string();
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
     let mut children: Vec<Child> = Vec::with_capacity(spec.workers);
@@ -206,6 +246,21 @@ pub fn run_distributed(
         while !tickets.is_empty() {
             let (ticket, outcome) = coord.take_decided(&mut tickets);
             let i = by_ticket[&ticket];
+            // Journal the shard's dispatch history as trace sidecar lines
+            // *before* its entry line, whatever the outcome — so even a
+            // shard that degrades to in-process keeps its remote lineage.
+            if let Some(j) = spec.journal {
+                let trace_id = coord.trace_id();
+                for (attempt, d) in coord.job_trace(ticket).iter().enumerate() {
+                    j.record(&journal::entry_trace(
+                        &spec.work_names[i],
+                        trace_id,
+                        ticket,
+                        attempt as u64,
+                        d,
+                    ))?;
+                }
+            }
             match outcome {
                 TaskOutcome::Ok { worker, blob } => match codec::decode_time_points(&blob) {
                     Ok(tps) => {
@@ -268,6 +323,23 @@ pub fn run_distributed(
                     }
                     fallback.push(i);
                 }
+            }
+        }
+    }
+    // A SIGKILL'd worker never ships a final report; its forensics are
+    // whatever flight-recorder tail it already piggybacked on heartbeats,
+    // which the coordinator retains past death. Surface them with the
+    // run's failure reporting.
+    if !spec.quiet {
+        for (id, w) in coord.fleet().workers() {
+            if !w.alive && !w.events.is_empty() {
+                eprintln!(
+                    "dist: worker {} (id {id}) died; retained flight-recorder tail \
+                     ({} event(s)):",
+                    w.name,
+                    w.events.len()
+                );
+                eprint!("{}", mea_obs::events::events_to_jsonl(&w.events));
             }
         }
     }

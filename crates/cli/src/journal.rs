@@ -26,6 +26,15 @@ pub const SCHEMA: &str = "parma-journal/v1";
 /// prefix, skip it without special casing.
 pub const HEADER_SCHEMA: &str = "parma-journal-header/v1";
 
+/// Schema tag of dispatch-trace *sidecar* lines: one per dispatch attempt
+/// of a distributed shard, carrying trace/span ids, both clocks' stamps
+/// and the clock-offset estimate. Sidecar, not entry: the
+/// resharding-stability contract compares `parma-journal/v1` entry lines
+/// byte for byte across topologies, and dispatch history legitimately
+/// differs per run — so provenance that varies rides its own schema,
+/// which entry readers (and [`load`]) skip by prefix, untouched.
+pub const TRACE_SCHEMA: &str = "parma-journal-trace/v1";
+
 /// FNV-1a 64 over raw bytes: a cheap, dependency-free content hash.
 pub fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -143,6 +152,111 @@ pub fn entry_failed_with_worker(name: &str, report: &FailureReport, worker: Opti
     }
     obj.end();
     out
+}
+
+/// The sidecar line for one dispatch attempt of one distributed shard.
+/// Worker-clock stamps (`solve_start_us`, `solve_end_us`) are written
+/// raw, alongside the offset estimate — mapping to the coordinator clock
+/// happens at read time (`parma obs timeline`), so the journal keeps the
+/// evidence, not a conclusion.
+pub fn entry_trace(
+    path: &str,
+    trace_id: u64,
+    ticket: u64,
+    attempt: u64,
+    d: &mea_obs::timeline::DispatchTrace,
+) -> String {
+    use mea_obs::context::format_id;
+    let mut out = String::with_capacity(256);
+    let mut obj = json::Object::begin(&mut out);
+    obj.field_str("schema", TRACE_SCHEMA);
+    obj.field_str("path", path);
+    obj.field_str("trace", &format_id(trace_id));
+    obj.field_str("span", &format_id(d.span_id));
+    if d.parent_span == 0 {
+        obj.field_raw("parent_span", "null");
+    } else {
+        obj.field_str("parent_span", &format_id(d.parent_span));
+    }
+    obj.field_u64("ticket", ticket);
+    obj.field_u64("attempt", attempt);
+    // `worker_id`, not `worker`: entry lines reserve the bare key as
+    // their strippable trailing provenance field, and the resharding
+    // suite counts its occurrences across the whole journal file.
+    obj.field_u64("worker_id", d.worker);
+    obj.field_str("worker_name", &d.worker_name);
+    obj.field_u64("dispatch_us", d.dispatch_us);
+    obj.field_u64("ack_us", d.ack_us);
+    obj.field_u64("solve_start_us", d.solve_start_us);
+    obj.field_u64("solve_end_us", d.solve_end_us);
+    obj.field_raw("offset_us", &d.offset_us.to_string());
+    obj.field_str(
+        "outcome",
+        if d.outcome.is_empty() {
+            "unknown"
+        } else {
+            &d.outcome
+        },
+    );
+    obj.end();
+    out
+}
+
+/// Reads the dispatch-trace sidecar lines back as per-job dispatch
+/// histories, grouped by (trace, ticket) and sorted by attempt. Entry
+/// lines, headers and torn lines are skipped — the sidecar is forensic
+/// data, so a damaged line loses one record, never the load.
+pub fn load_traces(path: &Path) -> Result<Vec<mea_obs::timeline::JobTrace>, String> {
+    use mea_obs::context::parse_id;
+    use mea_obs::timeline::{DispatchTrace, JobTrace};
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read journal {path:?}: {e}"))?;
+    let mut jobs: BTreeMap<(u64, u64), JobTrace> = BTreeMap::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("{\"schema\":\"parma-journal-trace/v1\"") || !balanced(trimmed) {
+            continue;
+        }
+        let Ok(v) = json::parse(trimmed) else {
+            continue;
+        };
+        let str_of = |key: &str| v.get(key).and_then(|x| x.as_str().map(String::from));
+        let u64_of = |key: &str| v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        let Some(trace_id) = str_of("trace").as_deref().and_then(parse_id) else {
+            continue;
+        };
+        let ticket = u64_of("ticket");
+        let attempt = u64_of("attempt");
+        let d = DispatchTrace {
+            span_id: str_of("span").as_deref().and_then(parse_id).unwrap_or(0),
+            parent_span: str_of("parent_span")
+                .as_deref()
+                .and_then(parse_id)
+                .unwrap_or(0),
+            worker: u64_of("worker_id"),
+            worker_name: str_of("worker_name").unwrap_or_default(),
+            dispatch_us: u64_of("dispatch_us"),
+            ack_us: u64_of("ack_us"),
+            solve_start_us: u64_of("solve_start_us"),
+            solve_end_us: u64_of("solve_end_us"),
+            offset_us: v.get("offset_us").and_then(|x| x.as_f64()).unwrap_or(0.0) as i64,
+            outcome: str_of("outcome").unwrap_or_default(),
+        };
+        let job = jobs.entry((trace_id, ticket)).or_insert_with(|| JobTrace {
+            trace_id,
+            ticket,
+            path: str_of("path").unwrap_or_default(),
+            dispatches: Vec::new(),
+        });
+        // Attempts journal in dispatch order; tolerate rewrites by
+        // slotting on the attempt index.
+        let idx = attempt as usize;
+        if job.dispatches.len() <= idx {
+            job.dispatches.resize(idx + 1, DispatchTrace::default());
+        }
+        job.dispatches[idx] = d;
+    }
+    Ok(jobs.into_values().collect())
 }
 
 /// An open journal file. `record` serializes concurrent `on_done`
@@ -458,6 +572,63 @@ mod tests {
         let done = load(&path).unwrap();
         assert_eq!(done.get("a.txt").map(String::as_str), Some("ok"));
         assert_eq!(done.get("b.txt").map(String::as_str), Some("failed"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_sidecar_lines_round_trip_and_never_load_as_entries() {
+        let d = mea_obs::timeline::DispatchTrace {
+            span_id: 0xabc,
+            parent_span: 0x9,
+            worker: 2,
+            worker_name: "w2".into(),
+            dispatch_us: 1_000,
+            ack_us: 9_000,
+            solve_start_us: 55_000,
+            solve_end_us: 58_000,
+            offset_us: -52_000,
+            outcome: "ok".into(),
+        };
+        let line = entry_trace("s3.txt", 0xfeed, 7, 1, &d);
+        assert!(
+            line.starts_with("{\"schema\":\"parma-journal-trace/v1\""),
+            "{line}"
+        );
+        assert!(balanced(&line), "{line}");
+        // Sidecar lines are invisible to the entry reader...
+        assert!(!entry_is_complete(&line));
+        let dir = std::env::temp_dir().join("parma-journal-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let ok = entry_failed("s3.txt", &sample_report()).replace("failed", "ok");
+        let first = entry_trace(
+            "s3.txt",
+            0xfeed,
+            7,
+            0,
+            &mea_obs::timeline::DispatchTrace {
+                span_id: 0x9,
+                worker_name: "w0".into(),
+                dispatch_us: 10,
+                outcome: "lost".into(),
+                ..Default::default()
+            },
+        );
+        std::fs::write(&path, format!("{first}\n{ok}\n{line}\n")).unwrap();
+        let done = load(&path).unwrap();
+        assert_eq!(done.len(), 1, "sidecar lines must not load as items");
+        // ...and round-trip losslessly through the trace reader, grouped
+        // by job and ordered by attempt.
+        let jobs = load_traces(&path).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].trace_id, 0xfeed);
+        assert_eq!(jobs[0].ticket, 7);
+        assert_eq!(jobs[0].path, "s3.txt");
+        assert_eq!(jobs[0].dispatches.len(), 2);
+        assert_eq!(jobs[0].dispatches[0].outcome, "lost");
+        assert_eq!(jobs[0].dispatches[1].span_id, 0xabc);
+        assert_eq!(jobs[0].dispatches[1].parent_span, 0x9);
+        assert_eq!(jobs[0].dispatches[1].offset_us, -52_000);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,6 +6,7 @@ pub mod args;
 pub mod commands;
 pub mod dist_cmd;
 pub mod journal;
+pub mod obs_cmd;
 pub mod serve;
 
 pub use args::{ArgError, Args};
@@ -51,12 +52,12 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
     }
     let command = raw[0].as_str();
     // `batch` takes a positional operand (the dataset directory) plus the
-    // value-less `--resume`/`--quiet` switches, and `bench` takes a
+    // value-less `--resume`/`--quiet` switches; `bench` and `obs` take a
     // subcommand with file operands; every other command is pure
     // `--key value`.
     let args = match command {
         "batch" => Args::parse_with_switches(&raw[1..], &["resume", "quiet", "stream"]),
-        "bench" | "convert" => Args::parse_with_positionals(&raw[1..]),
+        "bench" | "convert" | "obs" => Args::parse_with_positionals(&raw[1..]),
         _ => Args::parse(&raw[1..]),
     }
     .map_err(|e| CliError::from(format!("{e}\n\n{}", usage())))?;
@@ -68,6 +69,7 @@ pub fn run<W: std::io::Write>(raw: &[String], out: &mut W) -> Result<(), CliErro
         "serve-metrics" => commands::serve_metrics(&args, out).map_err(CliError::from),
         "serve" => serve::serve(&args, out),
         "worker" => dist_cmd::worker(&args, out),
+        "obs" => obs_cmd::obs(&args, out),
         "bench" => commands::bench(&args, out),
         "topology" => commands::topology(&args, out).map_err(CliError::from),
         "equations" => commands::equations(&args, out).map_err(CliError::from),
@@ -105,6 +107,7 @@ USAGE:
                   [--hold-ms MS] [--for S]
                   [--workers-addr HOST:PORT] [--workers-addr-file <file>]
   parma worker    --connect HOST:PORT [--name N]
+  parma obs       timeline <journal> [trace-hex...]
   parma bench     diff <old.json> <new.json> [--tolerance F]
   parma topology  --n <N> [--rows R --cols C]
   parma equations --n <N> [--seed S] --out <file>
@@ -159,9 +162,20 @@ COMMANDS:
              processes and offloads session-less jobs to them (worker
              death falls back to in-process solving, bitwise identical)
   worker     join a coordinator (`parma batch --workers` or `parma serve
-             --workers-addr`) over the checksummed parma-wire/v1 protocol
+             --workers-addr`) over the checksummed parma-wire/v2 protocol
              and solve assigned datasets until released; a worker is
-             stateless between tasks, so any shard can run on any worker
+             stateless between tasks, so any shard can run on any worker;
+             each assignment carries the batch trace id and a per-dispatch
+             span id, and workers ship counters, latency histograms and
+             flight-recorder events back on heartbeats (never blocking a
+             solve; payloads are dropped, not queued, under contention)
+  obs        offline observability tooling; `obs timeline <journal>`
+             reconstructs the cross-process causal timeline of a
+             distributed run from its journal's trace sidecar lines
+             (clock-offset corrected, clamped into each dispatch's causal
+             window) and prints parma-timeline/v1 JSONL on stdout with a
+             per-worker straggler report on stderr; optional trace-id
+             operands narrow the view to those batches
   bench      diff two `parma-bench/kernels-v1` files (see `figures kernels`)
              kernel by kernel; exits with status 4 when any kernel slowed
              down by more than --tolerance (default 0.25 = 25%)

@@ -1,0 +1,184 @@
+//! `parma obs` — offline observability tooling over journal sidecars.
+//!
+//! `parma obs timeline <journal> [trace-hex...]` reads the
+//! `parma-journal-trace/v1` sidecar lines a distributed run appended,
+//! reconstructs the cross-process causal timeline on the coordinator
+//! clock, and prints it as `parma-timeline/v1` JSONL on standard output
+//! (one event per line, time-ordered). The straggler report — each
+//! worker's p99 solve latency against the fleet median — goes to
+//! standard error, keeping stdout pure for piping into `jq` or a CI
+//! assertion. The command exits non-zero if the reconstruction is not
+//! causally ordered, so the smoke job can gate on the exit status alone.
+
+use crate::args::Args;
+use crate::journal;
+use crate::CliError;
+use mea_obs::context::{format_id, parse_id};
+use mea_obs::timeline;
+
+/// Dispatch for the `obs` command family.
+pub fn obs<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("timeline") => timeline_cmd(args, out),
+        Some(other) => Err(format!(
+            "unknown obs subcommand {other:?}; try: parma obs timeline <journal> [trace...]"
+        )
+        .into()),
+        None => Err("usage: parma obs timeline <journal> [trace...]"
+            .to_string()
+            .into()),
+    }
+}
+
+fn timeline_cmd<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| "usage: parma obs timeline <journal> [trace...]".to_string())?;
+    let mut jobs = journal::load_traces(std::path::Path::new(path))?;
+    if jobs.is_empty() {
+        return Err(format!(
+            "no {} records in {path}; was the run distributed (--workers N)?",
+            journal::TRACE_SCHEMA
+        )
+        .into());
+    }
+    // Optional trace-id operands narrow the view to those batches.
+    let filters = &args.positionals()[2..];
+    if !filters.is_empty() {
+        let mut wanted = Vec::new();
+        for f in filters {
+            wanted.push(
+                parse_id(f)
+                    .ok_or_else(|| format!("invalid trace id {f:?} (want 12 hex digits)"))?,
+            );
+        }
+        jobs.retain(|j| wanted.contains(&j.trace_id));
+        if jobs.is_empty() {
+            return Err(format!("no records match the given trace id(s) in {path}").into());
+        }
+    }
+
+    let events = timeline::reconstruct(&jobs);
+    write!(out, "{}", timeline::to_jsonl(&events)).map_err(|e| e.to_string())?;
+
+    let mut traces: Vec<u64> = jobs.iter().map(|j| j.trace_id).collect();
+    traces.sort_unstable();
+    traces.dedup();
+    let trace_list = traces
+        .iter()
+        .map(|t| format_id(*t))
+        .collect::<Vec<_>>()
+        .join(", ");
+    eprintln!(
+        "timeline: {} event(s) across {} job(s), trace {trace_list}",
+        events.len(),
+        jobs.len()
+    );
+    for row in timeline::straggler_report(&jobs) {
+        eprintln!(
+            "timeline: worker {:<8} {:>4} solve(s)  p99 {:>9.2} ms  {:>5.2}x fleet median",
+            row.worker, row.solves, row.p99_ms, row.ratio
+        );
+    }
+
+    if !timeline::is_causally_ordered(&events) {
+        return Err(format!(
+            "reconstructed timeline is not causally ordered ({} events) — this is a bug, \
+             please report it with the journal file",
+            events.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mea_obs::timeline::DispatchTrace;
+
+    fn run_obs(argv: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let args = Args::parse_with_positionals(&raw).unwrap();
+        let mut out = Vec::new();
+        obs(&args, &mut out)
+            .map(|_| String::from_utf8(out).unwrap())
+            .map_err(|e| e.message)
+    }
+
+    #[test]
+    fn timeline_reconstructs_a_journal_with_sidecars() {
+        let dir = std::env::temp_dir().join("parma-obs-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let d0 = DispatchTrace {
+            span_id: 0x51,
+            worker: 3,
+            worker_name: "w3".into(),
+            dispatch_us: 100,
+            ack_us: 0,
+            outcome: "lost".into(),
+            ..Default::default()
+        };
+        let d1 = DispatchTrace {
+            span_id: 0x52,
+            parent_span: 0x51,
+            worker: 0,
+            worker_name: "w0".into(),
+            dispatch_us: 500,
+            ack_us: 900,
+            solve_start_us: 600,
+            solve_end_us: 800,
+            outcome: "ok".into(),
+            ..Default::default()
+        };
+        let lines = [
+            journal::entry_trace("a.txt", 0xbeef, 7, 0, &d0),
+            journal::entry_trace("a.txt", 0xbeef, 7, 1, &d1),
+        ];
+        std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[1])).unwrap();
+        let p = path.to_str().unwrap();
+
+        let jsonl = run_obs(&["timeline", p]).unwrap();
+        assert!(
+            jsonl
+                .lines()
+                .all(|l| l.starts_with("{\"schema\":\"parma-timeline/v1\"")),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"phase\":\"lost\""), "{jsonl}");
+        assert!(jsonl.contains("\"phase\":\"ack\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"parent_span\":\"000000000051\""),
+            "{jsonl}"
+        );
+
+        // A matching trace filter keeps the records; a bogus one errors.
+        assert!(run_obs(&["timeline", p, "00000000beef"]).is_ok());
+        let err = run_obs(&["timeline", p, "00000000dead"]).unwrap_err();
+        assert!(err.contains("no records match"), "{err}");
+        let err = run_obs(&["timeline", p, "xyz"]).unwrap_err();
+        assert!(err.contains("invalid trace id"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeline_rejects_journals_without_sidecars() {
+        let dir = std::env::temp_dir().join("parma-obs-cmd-plain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.jsonl");
+        std::fs::write(&path, "{\"schema\":\"parma-journal/v1\",\"path\":\"a\"}\n").unwrap();
+        let err = run_obs(&["timeline", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no parma-journal-trace/v1 records"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_usage_errors() {
+        assert!(run_obs(&[]).unwrap_err().contains("usage"));
+        assert!(run_obs(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown obs subcommand"));
+        assert!(run_obs(&["timeline"]).unwrap_err().contains("usage"));
+    }
+}

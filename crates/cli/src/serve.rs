@@ -197,6 +197,7 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         ("schema".to_string(), "parma-snapshot/v1".to_string()),
         ("version".to_string(), VERSION.to_string()),
         ("config_hash".to_string(), cfg_hash.clone()),
+        ("role".to_string(), "serve".to_string()),
     ];
     let mut server = MetricsServer::start_with_handler(addr, meta, handler)?;
     // Readiness: the address is published only once both the listener and

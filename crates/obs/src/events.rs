@@ -29,6 +29,38 @@ pub const RING_CAPACITY: usize = 1024;
 /// Sentinel for "no item associated with this event".
 pub const NO_ITEM: u64 = u64::MAX;
 
+/// Bit position of the scope-key namespace tag. Scope keys are bare
+/// `u64`s; the low 48 bits carry the index and the bits above carry a
+/// namespace so identifiers from different number spaces can never
+/// collide (local batch item 5 vs. dist ticket 5 vs. worker 5). 48 was
+/// chosen so every namespaced key is still exactly representable as an
+/// f64 / JSON number (|key| < 2^53). Namespace 0 is local batch items,
+/// which keeps plain small indices — and all pre-existing callers —
+/// byte-identical in the JSONL output.
+pub const SCOPE_NS_SHIFT: u32 = 48;
+
+/// Mask of the index bits below the namespace tag.
+pub const SCOPE_INDEX_MASK: u64 = (1 << SCOPE_NS_SHIFT) - 1;
+
+/// Namespace tag for distributed job tickets.
+pub const NS_DIST_JOB: u64 = 1 << SCOPE_NS_SHIFT;
+
+/// Namespace tag for distributed worker ids.
+pub const NS_DIST_WORKER: u64 = 2 << SCOPE_NS_SHIFT;
+
+/// The scope key for dist ticket `ticket` — disjoint from every local
+/// batch item index, so a coordinator running in-process fallback solves
+/// and remote dispatches at once keeps their flight-recorder trails
+/// separate in [`recent_events_for_item`].
+pub fn job_key(ticket: u64) -> u64 {
+    NS_DIST_JOB | (ticket & SCOPE_INDEX_MASK)
+}
+
+/// The scope key for dist worker `id` (join/death/duplicate events).
+pub fn worker_key(id: u64) -> u64 {
+    NS_DIST_WORKER | (id & SCOPE_INDEX_MASK)
+}
+
 /// What happened. Labels are the wire names in `parma-events/v1`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -71,6 +103,12 @@ pub enum EventKind {
     /// A late result arrived for an already-decided shard and was
     /// discarded (`item` = ticket, `info` = worker id).
     DistDuplicate,
+    /// A worker adopted the trace context a dispatch carried (`item` =
+    /// job key, `info` = span id, `value` = trace id).
+    DistTraceAdopt,
+    /// A worker dropped one telemetry heartbeat because the writer was
+    /// busy — dropped, never blocking (`info` = drops so far).
+    DistTelemetryDrop,
 }
 
 impl EventKind {
@@ -93,13 +131,65 @@ impl EventKind {
             EventKind::DistWorkerJoin => "dist_worker_join",
             EventKind::DistWorkerDead => "dist_worker_dead",
             EventKind::DistDuplicate => "dist_duplicate",
+            EventKind::DistTraceAdopt => "dist_trace_adopt",
+            EventKind::DistTelemetryDrop => "dist_telemetry_drop",
         }
+    }
+
+    /// Stable wire code — the byte the dist telemetry codec ships event
+    /// tails under. Codes are append-only, like the enum itself.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::SolveStart => 1,
+            EventKind::SolveOk => 2,
+            EventKind::SolveFailed => 3,
+            EventKind::Recovery => 4,
+            EventKind::Retry => 5,
+            EventKind::Backoff => 6,
+            EventKind::Quarantine => 7,
+            EventKind::Steal => 8,
+            EventKind::Panic => 9,
+            EventKind::Ingest => 10,
+            EventKind::IngestFailed => 11,
+            EventKind::DistDispatch => 12,
+            EventKind::DistReassign => 13,
+            EventKind::DistWorkerJoin => 14,
+            EventKind::DistWorkerDead => 15,
+            EventKind::DistDuplicate => 16,
+            EventKind::DistTraceAdopt => 17,
+            EventKind::DistTelemetryDrop => 18,
+        }
+    }
+
+    /// The kind for a wire code, or `None` for an unknown value.
+    pub fn from_code(b: u8) -> Option<EventKind> {
+        Some(match b {
+            1 => EventKind::SolveStart,
+            2 => EventKind::SolveOk,
+            3 => EventKind::SolveFailed,
+            4 => EventKind::Recovery,
+            5 => EventKind::Retry,
+            6 => EventKind::Backoff,
+            7 => EventKind::Quarantine,
+            8 => EventKind::Steal,
+            9 => EventKind::Panic,
+            10 => EventKind::Ingest,
+            11 => EventKind::IngestFailed,
+            12 => EventKind::DistDispatch,
+            13 => EventKind::DistReassign,
+            14 => EventKind::DistWorkerJoin,
+            15 => EventKind::DistWorkerDead,
+            16 => EventKind::DistDuplicate,
+            17 => EventKind::DistTraceAdopt,
+            18 => EventKind::DistTelemetryDrop,
+            _ => return None,
+        })
     }
 }
 
 /// One flight-recorder record. `Copy` so ring slots can be overwritten
 /// without drops.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Event {
     /// Global sequence number (ticket order).
     pub seq: u64,
@@ -155,6 +245,14 @@ fn ring() -> &'static Ring {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds on this process's monotonic event clock — the same clock
+/// every [`Event::t_us`] is stamped with. Clock-offset probes and solve
+/// timestamps on the dist wire use this, so a worker's shipped events and
+/// its offset estimate refer to one clock.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
 }
 
 thread_local! {
@@ -388,6 +486,55 @@ mod tests {
         assert_eq!(per_item.len(), 2);
         assert_eq!(per_item[0].kind, EventKind::SolveStart);
         assert_eq!(per_item[1].kind, EventKind::SolveOk);
+    }
+
+    #[test]
+    fn namespaced_scope_keys_never_collide_across_number_spaces() {
+        let _g = crate::test_guard();
+        crate::set_live(true);
+        crate::reset();
+        // Local batch item 5, dist ticket 5 and dist worker 5 all share
+        // the bare index — the regression this guards against is their
+        // flight-recorder trails bleeding into each other.
+        {
+            let _local = item_scope(5);
+            emit(EventKind::SolveStart, 0, 0.0);
+        }
+        emit_for(EventKind::DistDispatch, job_key(5), 1, 0.0);
+        emit_for(EventKind::DistWorkerJoin, worker_key(5), 0, 0.0);
+        let events = events_snapshot();
+        crate::set_live(false);
+
+        assert_eq!(events.len(), 3);
+        let keys: std::collections::BTreeSet<u64> = events.iter().map(|e| e.item).collect();
+        assert_eq!(keys.len(), 3, "the three number spaces must be disjoint");
+        let local = recent_events_for_item(5, 8);
+        assert_eq!(local.len(), 1, "dist events leaked into item 5's trail");
+        assert_eq!(local[0].kind, EventKind::SolveStart);
+        let job = recent_events_for_item(job_key(5), 8);
+        assert_eq!(job.len(), 1);
+        assert_eq!(job[0].kind, EventKind::DistDispatch);
+        // Every namespaced key must survive an f64 round trip exactly —
+        // event values and JSON numbers are f64.
+        for key in [job_key(5), worker_key(5), job_key(SCOPE_INDEX_MASK)] {
+            assert_eq!(key as f64 as u64, key, "key {key:#x} not f64-exact");
+        }
+        assert_ne!(job_key(5), worker_key(5));
+        assert_ne!(job_key(NO_ITEM), NO_ITEM, "job keys must not alias NO_ITEM");
+    }
+
+    #[test]
+    fn event_kind_wire_codes_round_trip() {
+        for code in 0..=u8::MAX {
+            if let Some(kind) = EventKind::from_code(code) {
+                assert_eq!(kind.code(), code);
+            }
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(
+            EventKind::from_code(EventKind::DistTelemetryDrop.code()),
+            Some(EventKind::DistTelemetryDrop)
+        );
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Fleet-wide telemetry: what the coordinator knows about each worker.
+//!
+//! Workers piggyback bounded telemetry on their heartbeat frames —
+//! cumulative counters, mergeable [`HistSnapshot`]s and a flight-recorder
+//! tail (see `parma::dist::telemetry` for the wire codec). The
+//! coordinator merges every beat into one [`FleetStore`], which
+//!
+//! * renders per-worker labeled Prometheus series
+//!   (`parma_worker_*{worker="w3"}`) plus fleet-level aggregate
+//!   percentiles, appended after the process-local exposition,
+//! * keeps each worker's **last-N flight-recorder events even after the
+//!   worker dies**, so a SIGKILL'd shard's forensics survive into the
+//!   coordinator's quarantine report,
+//! * tracks the per-worker monotonic-clock offset estimate the timeline
+//!   reconstruction needs.
+//!
+//! Locking: the store has its own mutex, deliberately separate from the
+//! coordinator's scheduling state — a `/metrics` scrape clones data out
+//! under this lock and renders outside it, and never touches the decide
+//! path's lock at all. Merges are bounded (the wire codec caps payload
+//! sizes), so the heartbeat path's hold time is bounded too.
+
+use crate::events::Event;
+use crate::hist::HistSnapshot;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// How many of each worker's most recent flight-recorder events the
+/// coordinator retains, alive or dead.
+pub const RETAIN_EVENTS: usize = 64;
+
+/// Everything the coordinator has merged for one worker.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerTelemetry {
+    /// The name the worker registered under (`w3`).
+    pub name: String,
+    /// False once the coordinator declared the worker dead. Dead
+    /// workers' series drop from the exposition; their events stay.
+    pub alive: bool,
+    /// Latest cumulative counter values, by name. Cumulative (not
+    /// deltas) so a dropped beat loses freshness, never correctness.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest cumulative histogram snapshots, by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// The retained tail of the worker's flight recorder, oldest first.
+    pub events: Vec<Event>,
+    /// Estimated `worker_clock − coordinator_clock` in µs (midpoint
+    /// method over the lowest-RTT probe echo seen so far).
+    pub offset_us: i64,
+    /// Round-trip time of the probe behind `offset_us`, µs. 0 means no
+    /// echo has landed yet (`offset_us` is then untrustworthy).
+    pub rtt_us: u64,
+    /// Telemetry beats merged so far.
+    pub beats: u64,
+}
+
+/// One decoded telemetry beat, ready to merge.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryUpdate {
+    /// Cumulative counters shipped in this beat.
+    pub counters: Vec<(String, u64)>,
+    /// Cumulative histogram snapshots shipped in this beat.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// The worker's most recent flight-recorder events (any already seen
+    /// are deduplicated by sequence number).
+    pub events: Vec<Event>,
+}
+
+/// The coordinator-side store of every worker's shipped telemetry.
+#[derive(Default)]
+pub struct FleetStore {
+    inner: Mutex<BTreeMap<u64, WorkerTelemetry>>,
+}
+
+impl FleetStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FleetStore::default()
+    }
+
+    /// Registers a worker at handshake time.
+    pub fn join(&self, id: u64, name: &str) {
+        let mut inner = self.inner.lock().expect("fleet store lock");
+        let w = inner.entry(id).or_default();
+        w.name = name.to_string();
+        w.alive = true;
+    }
+
+    /// Merges one telemetry beat. Counters and histograms are cumulative,
+    /// so merging keeps the larger (fresher) value — a beat lost to
+    /// backpressure or reordering costs freshness, never correctness.
+    pub fn merge(&self, id: u64, update: TelemetryUpdate) {
+        let mut inner = self.inner.lock().expect("fleet store lock");
+        let w = inner.entry(id).or_default();
+        w.beats += 1;
+        for (name, v) in update.counters {
+            let cur = w.counters.entry(name).or_insert(0);
+            *cur = (*cur).max(v);
+        }
+        for (name, h) in update.hists {
+            match w.hists.get_mut(&name) {
+                Some(cur) if cur.count > h.count => {}
+                _ => {
+                    w.hists.insert(name, h);
+                }
+            }
+        }
+        if !update.events.is_empty() {
+            let last_seen = w.events.last().map(|e| e.seq);
+            w.events.extend(
+                update
+                    .events
+                    .into_iter()
+                    .filter(|e| last_seen.is_none_or(|s| e.seq > s)),
+            );
+            if w.events.len() > RETAIN_EVENTS {
+                let drop = w.events.len() - RETAIN_EVENTS;
+                w.events.drain(..drop);
+            }
+        }
+    }
+
+    /// Records a clock-offset estimate, keeping the lowest-RTT probe's
+    /// answer (a delayed echo — e.g. one queued behind a solve — shows an
+    /// inflated RTT and a correspondingly unreliable midpoint).
+    pub fn update_clock(&self, id: u64, offset_us: i64, rtt_us: u64) {
+        let mut inner = self.inner.lock().expect("fleet store lock");
+        let w = inner.entry(id).or_default();
+        if w.rtt_us == 0 || rtt_us <= w.rtt_us {
+            w.offset_us = offset_us;
+            w.rtt_us = rtt_us.max(1);
+        }
+    }
+
+    /// Marks a worker dead. Its per-worker series drop from the
+    /// exposition; its retained events and clock estimate stay readable.
+    pub fn mark_dead(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("fleet store lock");
+        if let Some(w) = inner.get_mut(&id) {
+            w.alive = false;
+        }
+    }
+
+    /// A copy of one worker's state (alive or dead).
+    pub fn worker(&self, id: u64) -> Option<WorkerTelemetry> {
+        self.inner
+            .lock()
+            .expect("fleet store lock")
+            .get(&id)
+            .cloned()
+    }
+
+    /// A copy of every worker's state, by id.
+    pub fn workers(&self) -> Vec<(u64, WorkerTelemetry)> {
+        self.inner
+            .lock()
+            .expect("fleet store lock")
+            .iter()
+            .map(|(id, w)| (*id, w.clone()))
+            .collect()
+    }
+
+    /// The retained flight-recorder tail of a (possibly dead) worker,
+    /// optionally filtered to one scope key, oldest first.
+    pub fn retained_events(&self, id: u64, scope: Option<u64>) -> Vec<Event> {
+        let inner = self.inner.lock().expect("fleet store lock");
+        let Some(w) = inner.get(&id) else {
+            return Vec::new();
+        };
+        w.events
+            .iter()
+            .filter(|e| scope.is_none_or(|s| e.item == s))
+            .copied()
+            .collect()
+    }
+
+    /// Renders the fleet section of the Prometheus exposition: one
+    /// labeled series per live worker per shipped instrument, aggregate
+    /// fleet percentiles, and the straggler ratios (per-worker p99 over
+    /// the fleet median p99). Clones the data under the store lock and
+    /// formats outside it.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let workers = self.workers();
+        let mut out = String::new();
+        for (_, w) in workers.iter().filter(|(_, w)| w.alive) {
+            let label = escape_label(&w.name);
+            let _ = writeln!(out, "parma_worker_up{{worker=\"{label}\"}} 1");
+            let _ = writeln!(
+                out,
+                "parma_worker_clock_offset_us{{worker=\"{label}\"}} {}",
+                w.offset_us
+            );
+            for (name, v) in &w.counters {
+                let _ = writeln!(
+                    out,
+                    "parma_worker_{}{{worker=\"{label}\"}} {v}",
+                    metric_suffix(name)
+                );
+            }
+            for (name, h) in &w.hists {
+                for (q, tag) in [(0.5, "p50"), (0.99, "p99")] {
+                    let _ = writeln!(
+                        out,
+                        "parma_worker_{}_{tag}{{worker=\"{label}\"}} {}",
+                        metric_suffix(name),
+                        prom_f64(h.quantile(q))
+                    );
+                }
+            }
+        }
+
+        // Fleet aggregates: merge each histogram across live workers.
+        let mut merged: BTreeMap<&str, HistSnapshot> = BTreeMap::new();
+        for (_, w) in workers.iter().filter(|(_, w)| w.alive) {
+            for (name, h) in &w.hists {
+                let slot = merged.entry(name).or_default();
+                *slot = slot.merge(h);
+            }
+        }
+        for (name, h) in &merged {
+            for (q, tag) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+                let _ = writeln!(
+                    out,
+                    "parma_fleet_{}_{tag} {}",
+                    metric_suffix(name),
+                    prom_f64(h.quantile(q))
+                );
+            }
+        }
+
+        // Straggler report: each live worker's p99 solve latency against
+        // the fleet median of those p99s. Ratios >> 1 name the straggler.
+        for (hist_name, short) in [("parma.dist.worker.solve_ms", "solve_ms")] {
+            let mut p99s: Vec<(u64, f64)> = workers
+                .iter()
+                .filter(|(_, w)| w.alive)
+                .filter_map(|(id, w)| {
+                    let h = w.hists.get(hist_name)?;
+                    (!h.is_empty()).then(|| (*id, h.quantile(0.99)))
+                })
+                .collect();
+            if p99s.is_empty() {
+                continue;
+            }
+            let mut sorted: Vec<f64> = p99s.iter().map(|&(_, v)| v).collect();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            p99s.sort_by_key(|&(id, _)| id);
+            for (id, p99) in p99s {
+                let name = workers
+                    .iter()
+                    .find(|(wid, _)| *wid == id)
+                    .map(|(_, w)| w.name.as_str())
+                    .unwrap_or("?");
+                let ratio = if median > 0.0 { p99 / median } else { 1.0 };
+                let _ = writeln!(
+                    out,
+                    "parma_worker_straggle_{short}{{worker=\"{}\"}} {}",
+                    escape_label(name),
+                    prom_f64(ratio)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Maps an internal dotted instrument name to a metric-name suffix:
+/// drops the `parma.` prefix and sanitizes the rest.
+fn metric_suffix(name: &str) -> String {
+    crate::expo::sanitize(name.strip_prefix("parma.").unwrap_or(name))
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn ev(seq: u64, item: u64) -> Event {
+        Event {
+            seq,
+            t_us: seq * 10,
+            kind: EventKind::SolveStart,
+            item,
+            info: 0,
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn cumulative_merges_tolerate_dropped_and_stale_beats() {
+        let store = FleetStore::new();
+        store.join(3, "w3");
+        store.merge(
+            3,
+            TelemetryUpdate {
+                counters: vec![("parma.dist.acks".into(), 5)],
+                hists: vec![("parma.solve_ms".into(), HistSnapshot::from_values(&[1.0]))],
+                events: vec![ev(0, 9)],
+            },
+        );
+        // A stale (reordered) beat with smaller cumulative values must
+        // not roll anything back.
+        store.merge(
+            3,
+            TelemetryUpdate {
+                counters: vec![("parma.dist.acks".into(), 2)],
+                hists: vec![("parma.solve_ms".into(), HistSnapshot::default())],
+                events: vec![ev(0, 9)],
+            },
+        );
+        let w = store.worker(3).unwrap();
+        assert_eq!(w.counters["parma.dist.acks"], 5);
+        assert_eq!(w.hists["parma.solve_ms"].count, 1);
+        assert_eq!(w.events.len(), 1, "events dedupe by seq");
+    }
+
+    #[test]
+    fn event_tails_are_bounded_and_survive_death() {
+        let store = FleetStore::new();
+        store.join(1, "w1");
+        for seq in 0..(RETAIN_EVENTS as u64 + 40) {
+            store.merge(
+                1,
+                TelemetryUpdate {
+                    events: vec![ev(seq, 7)],
+                    ..Default::default()
+                },
+            );
+        }
+        store.mark_dead(1);
+        let tail = store.retained_events(1, None);
+        assert_eq!(tail.len(), RETAIN_EVENTS);
+        assert_eq!(tail.last().unwrap().seq, RETAIN_EVENTS as u64 + 39);
+        assert_eq!(store.retained_events(1, Some(7)).len(), RETAIN_EVENTS);
+        assert!(store.retained_events(1, Some(8)).is_empty());
+        let render = store.render_prometheus();
+        assert!(
+            !render.contains("worker=\"w1\""),
+            "dead worker's labels must drop from the exposition:\n{render}"
+        );
+    }
+
+    #[test]
+    fn lowest_rtt_probe_wins_the_clock_estimate() {
+        let store = FleetStore::new();
+        store.join(2, "w2");
+        store.update_clock(2, 500, 80);
+        store.update_clock(2, 9_000, 5_000); // delayed echo: ignored
+        store.update_clock(2, 450, 60); // tighter probe: adopted
+        let w = store.worker(2).unwrap();
+        assert_eq!(w.offset_us, 450);
+        assert_eq!(w.rtt_us, 60);
+    }
+
+    #[test]
+    fn exposition_labels_live_workers_and_aggregates_fleet_quantiles() {
+        let store = FleetStore::new();
+        store.join(0, "w0");
+        store.join(1, "w1");
+        for (id, ms) in [(0u64, 10.0), (1u64, 90.0)] {
+            store.merge(
+                id,
+                TelemetryUpdate {
+                    counters: vec![("parma.dist.worker.assignments".into(), id + 1)],
+                    hists: vec![(
+                        "parma.dist.worker.solve_ms".into(),
+                        HistSnapshot::from_values(&[ms, ms, ms]),
+                    )],
+                    ..Default::default()
+                },
+            );
+        }
+        let text = store.render_prometheus();
+        assert!(text.contains("parma_worker_up{worker=\"w0\"} 1"), "{text}");
+        assert!(
+            text.contains("parma_worker_dist_worker_assignments{worker=\"w1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("parma_fleet_dist_worker_solve_ms_p99"),
+            "{text}"
+        );
+        assert!(
+            text.contains("parma_worker_straggle_solve_ms{worker=\"w1\"}"),
+            "{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                crate::expo::looks_like_valid_exposition(&format!("{line}\n")),
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

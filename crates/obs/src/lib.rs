@@ -19,6 +19,12 @@
 //! * [`expo`] — Prometheus text-format 0.0.4 rendering of a snapshot,
 //! * [`serve`] — a std-only HTTP listener exposing `/metrics` and
 //!   `/snapshot` for live scraping during long batch runs,
+//! * [`context`] — the trace/span identifiers one distributed job carries
+//!   across processes,
+//! * [`fleet`] — the coordinator-side store of worker-shipped telemetry
+//!   (per-worker labeled series, retained flight-recorder tails),
+//! * [`timeline`] — clock-offset-corrected cross-process causal timeline
+//!   reconstruction (`parma-timeline/v1`),
 //! * [`snapshot`] / [`Snapshot::to_json`] — export to machine-readable
 //!   JSON for the CLI's `--trace <path>` flag and the bench harness.
 //!
@@ -38,11 +44,14 @@
 //! counter/series calls), never per loop iteration, so contention stays
 //! negligible; histograms and events bypass the registry mutex entirely.
 
+pub mod context;
 pub mod events;
 pub mod expo;
+pub mod fleet;
 pub mod hist;
 pub mod json;
 pub mod serve;
+pub mod timeline;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -1,0 +1,413 @@
+//! Cross-process causal timeline reconstruction (`parma-timeline/v1`).
+//!
+//! The coordinator and each worker run on *different monotonic clocks*
+//! with arbitrary origins. The handshake and every heartbeat round trip
+//! estimate each worker's offset by the midpoint method: the coordinator
+//! sends a probe at `t_c_send`, the worker echoes its own clock `t_w`,
+//! and at receipt `t_c_recv` the offset estimate is
+//!
+//! ```text
+//! offset ≈ t_w − (t_c_send + t_c_recv) / 2        (error ≤ RTT / 2)
+//! ```
+//!
+//! with the lowest-RTT echo winning (a probe queued behind a solve shows
+//! an inflated RTT and an unreliable midpoint). Worker timestamps map to
+//! the coordinator clock as `t_c = t_w − offset`.
+//!
+//! The residual error is still up to RTT/2, which can be larger than the
+//! true dispatch→solve gap on a fast LAN — so reconstruction additionally
+//! *clamps* each mapped worker time into the causal window the framing
+//! guarantees: a solve can only start after its `Assign` frame was sent
+//! and must end before its `Result` frame was received. (Trace systems
+//! call this a clock-skew adjuster; it turns "probably ordered" into
+//! "ordered by construction" without inventing events.) The ordering
+//! property test in `tests/timeline_properties.rs` drives this with
+//! adversarial offsets and jitter.
+
+use crate::context::format_id;
+use crate::hist::HistSnapshot;
+use std::fmt::Write as _;
+
+/// Schema tag stamped on every timeline JSONL line.
+pub const TIMELINE_SCHEMA: &str = "parma-timeline/v1";
+
+/// One dispatch attempt of one job, as recorded by the coordinator and
+/// (when the worker survived to report) the worker.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchTrace {
+    /// This attempt's span id.
+    pub span_id: u64,
+    /// The previous attempt's span id (redispatch lineage), 0 for the
+    /// first dispatch.
+    pub parent_span: u64,
+    /// The worker the attempt went to.
+    pub worker: u64,
+    /// That worker's registered name.
+    pub worker_name: String,
+    /// Coordinator clock, µs: when the `Assign` frame was written.
+    pub dispatch_us: u64,
+    /// Coordinator clock, µs: when the `Result` frame was read. 0 when
+    /// the attempt never acked (worker lost).
+    pub ack_us: u64,
+    /// Worker clock, µs: solve start as the worker stamped it (0 =
+    /// unknown).
+    pub solve_start_us: u64,
+    /// Worker clock, µs: solve end as the worker stamped it (0 =
+    /// unknown).
+    pub solve_end_us: u64,
+    /// Estimated `worker_clock − coordinator_clock`, µs.
+    pub offset_us: i64,
+    /// `"ok"`, `"failed"`, or `"lost"` (worker died before acking).
+    pub outcome: String,
+}
+
+/// One job's full dispatch history under a trace.
+#[derive(Clone, Debug, Default)]
+pub struct JobTrace {
+    /// The batch-wide trace id.
+    pub trace_id: u64,
+    /// The coordinator ticket.
+    pub ticket: u64,
+    /// The dataset key (journal `path`).
+    pub path: String,
+    /// Dispatch attempts in dispatch order; the last one decided the job.
+    pub dispatches: Vec<DispatchTrace>,
+}
+
+/// One reconstructed timeline edge, on the coordinator clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Coordinator clock, µs.
+    pub t_us: u64,
+    /// The trace this belongs to.
+    pub trace_id: u64,
+    /// The dispatch attempt's span.
+    pub span_id: u64,
+    /// Redispatch lineage (0 = first dispatch).
+    pub parent_span: u64,
+    /// The coordinator ticket.
+    pub ticket: u64,
+    /// The dataset key.
+    pub path: String,
+    /// The worker's registered name.
+    pub worker: String,
+    /// `dispatch`, `solve_start`, `solve_end`, `ack`, or `lost`.
+    pub phase: &'static str,
+    /// Attempt index within the job (0-based).
+    pub attempt: u64,
+}
+
+/// Phase rank for tie-breaking equal timestamps into causal order.
+fn phase_rank(phase: &str) -> u8 {
+    match phase {
+        "dispatch" => 0,
+        "solve_start" => 1,
+        "solve_end" => 2,
+        "ack" => 3,
+        "lost" => 4,
+        _ => 5,
+    }
+}
+
+/// Reconstructs the ordered timeline of every dispatch in `jobs`.
+///
+/// Worker-clock timestamps are mapped through the per-dispatch offset,
+/// then clamped into the `(dispatch, ack)` causal window. The result is
+/// sorted by time with phase rank breaking ties, so for every attempt
+/// `dispatch < solve_start ≤ solve_end < ack` holds positionally even
+/// when clock estimation error squeezes them onto the same microsecond.
+pub fn reconstruct(jobs: &[JobTrace]) -> Vec<TimelineEvent> {
+    let mut out = Vec::new();
+    for job in jobs {
+        for (attempt, d) in job.dispatches.iter().enumerate() {
+            let mut push = |t_us: u64, phase: &'static str| {
+                out.push(TimelineEvent {
+                    t_us,
+                    trace_id: job.trace_id,
+                    span_id: d.span_id,
+                    parent_span: d.parent_span,
+                    ticket: job.ticket,
+                    path: job.path.clone(),
+                    worker: d.worker_name.clone(),
+                    phase,
+                    attempt: attempt as u64,
+                });
+            };
+            push(d.dispatch_us, "dispatch");
+            let acked = d.ack_us != 0;
+            // The causal window framing guarantees: solving happened
+            // strictly inside (dispatch, ack). With no ack (lost worker)
+            // only the lower bound exists.
+            let lo = d.dispatch_us;
+            let hi = if acked { d.ack_us.max(lo) } else { u64::MAX };
+            let map = |t_w: u64| -> u64 {
+                let t_c = t_w as i64 - d.offset_us;
+                (t_c.max(0) as u64).clamp(lo, hi)
+            };
+            let mut solve_end = lo;
+            if d.solve_start_us != 0 && d.solve_end_us != 0 {
+                let start = map(d.solve_start_us);
+                let end = map(d.solve_end_us).max(start);
+                push(start, "solve_start");
+                push(end, "solve_end");
+                solve_end = end;
+            }
+            if acked {
+                push(d.ack_us, "ack");
+            } else {
+                // The loss was only *observed* after any solve evidence
+                // the record carries (normally there is none — stamps
+                // arrive with the Result — but a hand-fed journal may
+                // disagree, and the edge must still sort causally).
+                push(solve_end.max(d.dispatch_us.saturating_add(1)), "lost");
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.t_us
+            .cmp(&b.t_us)
+            .then_with(|| (a.ticket, a.attempt).cmp(&(b.ticket, b.attempt)))
+            .then_with(|| phase_rank(a.phase).cmp(&phase_rank(b.phase)))
+    });
+    out
+}
+
+/// Whether `events` is causally consistent: globally time-sorted, and
+/// within every (ticket, attempt) the phases appear in dispatch →
+/// solve_start → solve_end → ack/lost order. The ordering property test
+/// and the CI smoke job both gate on this.
+pub fn is_causally_ordered(events: &[TimelineEvent]) -> bool {
+    if events.windows(2).any(|w| w[0].t_us > w[1].t_us) {
+        return false;
+    }
+    let mut last_rank: std::collections::BTreeMap<(u64, u64), u8> = Default::default();
+    for e in events {
+        let rank = phase_rank(e.phase);
+        let slot = last_rank.entry((e.ticket, e.attempt)).or_insert(0);
+        if rank < *slot {
+            return false;
+        }
+        *slot = rank;
+    }
+    true
+}
+
+/// Serializes events as `parma-timeline/v1` JSONL, one object per line.
+pub fn to_jsonl(events: &[TimelineEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut obj = crate::json::Object::begin(&mut out);
+        obj.field_str("schema", TIMELINE_SCHEMA);
+        obj.field_u64("t_us", e.t_us);
+        obj.field_str("trace", &format_id(e.trace_id));
+        obj.field_str("span", &format_id(e.span_id));
+        if e.parent_span == 0 {
+            obj.field_raw("parent_span", "null");
+        } else {
+            obj.field_str("parent_span", &format_id(e.parent_span));
+        }
+        obj.field_u64("ticket", e.ticket);
+        obj.field_str("path", &e.path);
+        obj.field_str("worker", &e.worker);
+        obj.field_str("phase", e.phase);
+        obj.field_u64("attempt", e.attempt);
+        obj.end();
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One worker's row in the straggler report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StragglerRow {
+    /// The worker's registered name.
+    pub worker: String,
+    /// Acked solves measured.
+    pub solves: u64,
+    /// p99 of the worker's solve durations, ms.
+    pub p99_ms: f64,
+    /// `p99_ms` over the fleet median p99 (1.0 = typical; ≫ 1 = the
+    /// straggler the paper's per-rank accounting wants named).
+    pub ratio: f64,
+}
+
+/// Per-worker p99 solve latency against the fleet median, from the same
+/// dispatch records the timeline is built from. Rows sort by descending
+/// ratio so the straggler leads.
+pub fn straggler_report(jobs: &[JobTrace]) -> Vec<StragglerRow> {
+    let mut durations: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    for job in jobs {
+        for d in &job.dispatches {
+            if d.ack_us == 0 {
+                continue;
+            }
+            // Worker-stamped duration when available (immune to clock
+            // offset — both ends are the same clock), else the
+            // coordinator-observed dispatch→ack span.
+            let ms = if d.solve_end_us > d.solve_start_us && d.solve_start_us != 0 {
+                (d.solve_end_us - d.solve_start_us) as f64 / 1e3
+            } else {
+                d.ack_us.saturating_sub(d.dispatch_us) as f64 / 1e3
+            };
+            durations
+                .entry(d.worker_name.as_str())
+                .or_default()
+                .push(ms);
+        }
+    }
+    let mut rows: Vec<StragglerRow> = durations
+        .iter()
+        .map(|(worker, ms)| {
+            let h = HistSnapshot::from_values(ms);
+            StragglerRow {
+                worker: worker.to_string(),
+                solves: ms.len() as u64,
+                p99_ms: h.quantile(0.99),
+                ratio: 1.0,
+            }
+        })
+        .collect();
+    if rows.is_empty() {
+        return rows;
+    }
+    let mut p99s: Vec<f64> = rows.iter().map(|r| r.p99_ms).collect();
+    p99s.sort_by(f64::total_cmp);
+    let median = p99s[p99s.len() / 2];
+    for r in &mut rows {
+        r.ratio = if median > 0.0 { r.p99_ms / median } else { 1.0 };
+    }
+    rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio).then(a.worker.cmp(&b.worker)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(ticket: u64, dispatches: Vec<DispatchTrace>) -> JobTrace {
+        JobTrace {
+            trace_id: 0xabc,
+            ticket,
+            path: format!("s{ticket}.txt"),
+            dispatches,
+        }
+    }
+
+    #[test]
+    fn clean_clocks_reconstruct_in_natural_order() {
+        let jobs = vec![job(
+            1,
+            vec![DispatchTrace {
+                span_id: 0x11,
+                worker: 0,
+                worker_name: "w0".into(),
+                dispatch_us: 100,
+                ack_us: 900,
+                solve_start_us: 5_200, // worker clock, offset 5_000
+                solve_end_us: 5_800,
+                offset_us: 5_000,
+                outcome: "ok".into(),
+                ..Default::default()
+            }],
+        )];
+        let tl = reconstruct(&jobs);
+        let phases: Vec<&str> = tl.iter().map(|e| e.phase).collect();
+        assert_eq!(phases, vec!["dispatch", "solve_start", "solve_end", "ack"]);
+        assert_eq!(tl[1].t_us, 200);
+        assert_eq!(tl[2].t_us, 800);
+        assert!(is_causally_ordered(&tl));
+    }
+
+    #[test]
+    fn bad_offsets_are_clamped_into_the_causal_window() {
+        // Offset estimate off by a lot: raw mapping would put the solve
+        // before the dispatch and after the ack.
+        let jobs = vec![job(
+            2,
+            vec![DispatchTrace {
+                span_id: 0x22,
+                worker_name: "w1".into(),
+                dispatch_us: 1_000,
+                ack_us: 2_000,
+                solve_start_us: 10,
+                solve_end_us: 900_000,
+                offset_us: 0,
+                outcome: "ok".into(),
+                ..Default::default()
+            }],
+        )];
+        let tl = reconstruct(&jobs);
+        assert!(is_causally_ordered(&tl), "{tl:?}");
+        let phases: Vec<&str> = tl.iter().map(|e| e.phase).collect();
+        assert_eq!(phases, vec!["dispatch", "solve_start", "solve_end", "ack"]);
+    }
+
+    #[test]
+    fn redispatch_lineage_carries_parent_spans_and_lost_edges() {
+        let jobs = vec![job(
+            3,
+            vec![
+                DispatchTrace {
+                    span_id: 0x31,
+                    worker_name: "w2".into(),
+                    dispatch_us: 100,
+                    ack_us: 0, // never acked: the worker died
+                    outcome: "lost".into(),
+                    ..Default::default()
+                },
+                DispatchTrace {
+                    span_id: 0x32,
+                    parent_span: 0x31,
+                    worker_name: "w0".into(),
+                    dispatch_us: 500,
+                    ack_us: 700,
+                    outcome: "ok".into(),
+                    ..Default::default()
+                },
+            ],
+        )];
+        let tl = reconstruct(&jobs);
+        assert!(is_causally_ordered(&tl));
+        assert!(tl.iter().any(|e| e.phase == "lost" && e.span_id == 0x31));
+        let second = tl.iter().find(|e| e.span_id == 0x32).unwrap();
+        assert_eq!(second.parent_span, 0x31);
+        let jsonl = to_jsonl(&tl);
+        let first = jsonl.lines().next().unwrap();
+        assert!(
+            first.starts_with("{\"schema\":\"parma-timeline/v1\",\"t_us\":100,"),
+            "{first}"
+        );
+        assert!(
+            jsonl.contains("\"parent_span\":\"000000000031\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"parent_span\":null"), "{jsonl}");
+    }
+
+    #[test]
+    fn straggler_report_names_the_slow_worker() {
+        let mut dispatches = Vec::new();
+        for (w, ms) in [("w0", 10u64), ("w1", 11), ("w2", 95)] {
+            for k in 0..4 {
+                dispatches.push(job(
+                    k,
+                    vec![DispatchTrace {
+                        worker_name: w.into(),
+                        dispatch_us: 0,
+                        ack_us: 1,
+                        solve_start_us: 1_000,
+                        solve_end_us: 1_000 + ms * 1_000,
+                        outcome: "ok".into(),
+                        ..Default::default()
+                    }],
+                ));
+            }
+        }
+        let rows = straggler_report(&dispatches);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].worker, "w2", "{rows:?}");
+        assert!(rows[0].ratio > 4.0, "{rows:?}");
+        assert!((rows[1].ratio - 1.0).abs() < 0.5, "{rows:?}");
+        assert_eq!(rows[0].solves, 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for cross-process timeline reconstruction: whatever
+//! clock offsets the workers really had, and however wrong the midpoint
+//! estimates were (jitter up to whole seconds), the reconstructed
+//! timeline must be causally ordered — globally time-sorted, and every
+//! dispatch attempt's phases in dispatch → solve_start → solve_end →
+//! ack/lost order. This is the invariant `parma obs timeline` exits
+//! non-zero without and the CI smoke job gates on.
+
+use mea_obs::timeline::{
+    is_causally_ordered, reconstruct, to_jsonl, DispatchTrace, JobTrace, TIMELINE_SCHEMA,
+};
+use proptest::prelude::*;
+
+/// Raw generator material for one dispatch attempt: coordinator-side
+/// gaps, the worker's true clock offset, the estimation error injected
+/// into the recorded offset, and whether the attempt ever acked.
+/// (Nested pairs because the vendored proptest implements tuple
+/// strategies only up to arity four.)
+type AttemptSpec = ((u64, u64, u64, u64), (i64, i64, bool));
+
+fn attempt_spec() -> impl Strategy<Value = AttemptSpec> {
+    (
+        (
+            1u64..2_000_000, // gap from the previous event to this dispatch, µs
+            0u64..500_000,   // dispatch → solve start (true, coordinator clock)
+            0u64..5_000_000, // solve duration
+            1u64..500_000,   // solve end → ack
+        ),
+        (
+            -1_000_000_000i64..1_000_000_000, // true worker−coordinator offset
+            -2_000_000i64..2_000_000,         // offset-estimate error (RTT/2 jitter, scaled up)
+            any::<bool>(),                    // acked (false = worker died: lost)
+        ),
+    )
+}
+
+/// Builds the jobs a coordinator+workers would have recorded for the
+/// generated specs: worker stamps are on the *true*-offset clock, while
+/// the recorded `offset_us` carries the injected estimation error — the
+/// adversarial part reconstruction has to survive.
+fn build_jobs(specs: Vec<Vec<AttemptSpec>>) -> Vec<JobTrace> {
+    // Big epoch base so worker clocks stay positive under any offset.
+    let mut t_c: u64 = 4_000_000_000;
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(ticket, attempts)| {
+            let mut dispatches = Vec::new();
+            let mut parent_span = 0u64;
+            for (k, ((gap, to_start, len, to_ack), (offset, err, acked))) in
+                attempts.into_iter().enumerate()
+            {
+                t_c += gap;
+                let dispatch_us = t_c;
+                let start_c = dispatch_us + to_start;
+                let end_c = start_c + len;
+                let ack_us = if acked { end_c + to_ack } else { 0 };
+                let span_id = ((ticket as u64) << 8) | ((k as u64) + 1);
+                dispatches.push(DispatchTrace {
+                    span_id,
+                    parent_span,
+                    worker: k as u64,
+                    worker_name: format!("w{k}"),
+                    dispatch_us,
+                    ack_us,
+                    // The worker stamped its own clock: true offset.
+                    solve_start_us: (start_c as i64 + offset) as u64,
+                    solve_end_us: (end_c as i64 + offset) as u64,
+                    // The coordinator estimated the offset with error.
+                    offset_us: offset + err,
+                    outcome: if acked { "ok" } else { "lost" }.into(),
+                });
+                parent_span = span_id;
+                t_c = if acked { ack_us } else { t_c + 1 };
+            }
+            JobTrace {
+                trace_id: 0xfeed,
+                ticket: ticket as u64,
+                path: format!("s{ticket}.txt"),
+                dispatches,
+            }
+        })
+        .collect()
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline invariant: reconstruction is causally ordered under
+    /// any offsets and any estimation jitter.
+    #[test]
+    fn prop_reconstruction_is_causally_ordered(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(attempt_spec(), 1..4), 1..6)
+    ) {
+        let jobs = build_jobs(specs);
+        let tl = reconstruct(&jobs);
+        prop_assert!(is_causally_ordered(&tl), "unordered timeline: {tl:#?}");
+    }
+
+    /// Structural completeness: every attempt contributes exactly one
+    /// dispatch edge and exactly one terminal edge (ack or lost), solves
+    /// of acked attempts land inside the (dispatch, ack) causal window,
+    /// and every JSONL line carries the schema tag.
+    #[test]
+    fn prop_every_attempt_has_terminal_edges_in_window(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(attempt_spec(), 1..4), 1..6)
+    ) {
+        let jobs = build_jobs(specs);
+        let tl = reconstruct(&jobs);
+        for job in &jobs {
+            for (attempt, d) in job.dispatches.iter().enumerate() {
+                let mine: Vec<_> = tl
+                    .iter()
+                    .filter(|e| e.ticket == job.ticket && e.attempt == attempt as u64)
+                    .collect();
+                let count = |p: &str| mine.iter().filter(|e| e.phase == p).count();
+                prop_assert_eq!(count("dispatch"), 1);
+                prop_assert_eq!(count("ack") + count("lost"), 1);
+                prop_assert_eq!(count("solve_start"), 1);
+                prop_assert_eq!(count("solve_end"), 1);
+                if d.ack_us != 0 {
+                    for e in &mine {
+                        prop_assert!(
+                            (d.dispatch_us..=d.ack_us).contains(&e.t_us),
+                            "{} at {} outside [{}, {}]",
+                            e.phase, e.t_us, d.dispatch_us, d.ack_us
+                        );
+                    }
+                }
+            }
+        }
+        for line in to_jsonl(&tl).lines() {
+            prop_assert!(line.starts_with(&format!("{{\"schema\":\"{TIMELINE_SCHEMA}\"")));
+        }
+    }
+
+    /// Redispatch lineage survives reconstruction: attempt k's parent
+    /// span is attempt k−1's span, whatever the clocks did.
+    #[test]
+    fn prop_redispatch_lineage_is_preserved(
+        specs in proptest::collection::vec(
+            proptest::collection::vec(attempt_spec(), 2..4), 1..4)
+    ) {
+        let jobs = build_jobs(specs);
+        let tl = reconstruct(&jobs);
+        for job in &jobs {
+            for (attempt, d) in job.dispatches.iter().enumerate() {
+                let e = tl
+                    .iter()
+                    .find(|e| e.ticket == job.ticket
+                        && e.attempt == attempt as u64
+                        && e.phase == "dispatch")
+                    .expect("dispatch edge");
+                prop_assert_eq!(e.span_id, d.span_id);
+                if attempt > 0 {
+                    prop_assert_eq!(e.parent_span, job.dispatches[attempt - 1].span_id);
+                } else {
+                    prop_assert_eq!(e.parent_span, 0);
+                }
+            }
+        }
+    }
+}

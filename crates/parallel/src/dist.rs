@@ -16,10 +16,14 @@
 //! payload) so errors name the real problem instead of "checksum".
 //!
 //! Version negotiation is per-frame: every frame carries the writer's
-//! protocol version and [`read_frame`] rejects any version other than
-//! [`PROTOCOL_VERSION`] before trusting a byte of the rest. A v2 peer
-//! can therefore change the payload layout freely without v1 readers
-//! misparsing it.
+//! protocol version and [`read_frame`] accepts the compatibility window
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`], rejecting anything
+//! newer (or older) before trusting a byte of the rest. v2 extended v1
+//! by *appending* optional payload fields — trace context on `Assign`,
+//! telemetry and clock probes on `Heartbeat`, solve timestamps on
+//! `Result` — so a v2 reader handles a v1 frame by seeing the optional
+//! tail absent (`PayloadReader::remaining() == 0`), and a frame from a
+//! future v3 that might reshape payloads is still refused outright.
 //!
 //! This module is deliberately solver-agnostic: it knows frames, payload
 //! primitives, the deterministic shard partition (delegating to
@@ -32,8 +36,13 @@ use std::io::{Read, Write};
 use std::ops::Range;
 use std::time::Duration;
 
-/// The wire protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The wire protocol version this build speaks (and writes).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still reads. v1 frames differ
+/// from v2 only by the absence of the appended optional payload fields,
+/// so they decode cleanly under the v2 payload parsers.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Leading frame magic (`"pW"` — parma wire).
 pub const MAGIC: [u8; 2] = *b"pW";
@@ -112,11 +121,15 @@ impl std::fmt::Display for FrameError {
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
             FrameError::VersionMismatch { got } => write!(
                 f,
-                "protocol version mismatch: peer speaks v{got}, this build speaks v{PROTOCOL_VERSION}"
+                "protocol version mismatch: peer speaks v{got}, this build reads \
+                 v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}"
             ),
             FrameError::BadKind(b) => write!(f, "unknown frame kind {b}"),
             FrameError::TooLarge(n) => {
-                write!(f, "frame payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte cap")
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
             }
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
         }
@@ -193,7 +206,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
         return Err(FrameError::BadMagic([header[0], header[1]]));
     }
     let version = u16::from_le_bytes([header[2], header[3]]);
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(FrameError::VersionMismatch { got: version });
     }
     let kind = MsgKind::from_u8(header[4]).ok_or(FrameError::BadKind(header[4]))?;
@@ -430,11 +443,20 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected_before_anything_else() {
         let mut buf = Vec::new();
-        write_frame_with_version(&mut buf, 2, MsgKind::Hello, b"future worker").unwrap();
+        write_frame_with_version(&mut buf, 3, MsgKind::Hello, b"future worker").unwrap();
         match read_frame(&mut &buf[..]) {
-            Err(FrameError::VersionMismatch { got: 2 }) => {}
+            Err(FrameError::VersionMismatch { got: 3 }) => {}
             other => panic!("expected a version rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_frames_still_read_under_v2() {
+        let mut buf = Vec::new();
+        write_frame_with_version(&mut buf, 1, MsgKind::Result, b"legacy shard").unwrap();
+        let frame = read_frame(&mut &buf[..]).expect("v1 stays readable");
+        assert_eq!(frame.kind, MsgKind::Result);
+        assert_eq!(frame.payload, b"legacy shard");
     }
 
     #[test]

@@ -201,10 +201,11 @@ pub fn decode_time_points(bytes: &[u8]) -> Result<Vec<TimePointResult>, DecodeEr
     Ok(tps)
 }
 
-/// Serializes a quarantine. The flight-recorder event tail is *not*
-/// shipped (it describes the worker's process, not the item), so a remote
-/// quarantine journals with an empty `events` array — the attempts
-/// history, the part that matters for retry policy, travels intact.
+/// Serializes a quarantine, including the embedded flight-recorder tail —
+/// the worker-side forensics that would otherwise die with the worker's
+/// process. (Before `parma-wire/v2` the tail was dropped on the grounds
+/// that it described the worker's process; with trace-scoped events it
+/// describes the dispatch, so it ships.)
 pub fn encode_failure(report: &FailureReport) -> Vec<u8> {
     let mut w = PayloadWriter::new();
     w.put_u8(TAG_SOLVE_FAILED);
@@ -217,10 +218,21 @@ pub fn encode_failure(report: &FailureReport) -> Vec<u8> {
         w.put_u8(failure_kind_code(a.kind));
         w.put_str(&a.detail);
     }
+    // Optional tail (absent in pre-v2 blobs): the embedded events.
+    w.put_u64(report.events.len() as u64);
+    for e in &report.events {
+        w.put_u64(e.seq);
+        w.put_u64(e.t_us);
+        w.put_u8(e.kind.code());
+        w.put_u64(e.item);
+        w.put_u64(e.info);
+        w.put_f64(e.value);
+    }
     w.into_bytes()
 }
 
-/// Deserializes a quarantine result blob.
+/// Deserializes a quarantine result blob. A pre-v2 blob simply ends
+/// before the event tail and decodes with an empty `events` array.
 pub fn decode_failure(bytes: &[u8]) -> Result<FailureReport, DecodeError> {
     let mut r = PayloadReader::new(bytes);
     let tag = r.take_u8()?;
@@ -239,12 +251,35 @@ pub fn decode_failure(bytes: &[u8]) -> Result<FailureReport, DecodeError> {
             detail: r.take_str()?.to_string(),
         });
     }
+    let mut events = Vec::new();
+    if r.remaining() > 0 {
+        let ec = r.take_u64()? as usize;
+        if ec > 1 << 12 {
+            return Err(DecodeError::Truncated);
+        }
+        events.reserve(ec);
+        for _ in 0..ec {
+            let seq = r.take_u64()?;
+            let t_us = r.take_u64()?;
+            let code = r.take_u8()?;
+            let ekind =
+                mea_obs::events::EventKind::from_code(code).ok_or(DecodeError::BadTag(code))?;
+            events.push(mea_obs::events::Event {
+                seq,
+                t_us,
+                kind: ekind,
+                item: r.take_u64()?,
+                info: r.take_u64()?,
+                value: r.take_f64()?,
+            });
+        }
+    }
     Ok(FailureReport {
         item,
         kind,
         detail,
         attempts,
-        events: Vec::new(),
+        events,
     })
 }
 
@@ -374,7 +409,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_report_round_trips_without_events() {
+    fn failure_report_round_trips_with_the_event_tail() {
         let report = FailureReport {
             item: 4,
             kind: FailureKind::Timeout,
@@ -391,15 +426,34 @@ mod tests {
                     detail: "took too long".into(),
                 },
             ],
-            events: Vec::new(),
+            events: vec![mea_obs::events::Event {
+                seq: 41,
+                t_us: 1_234,
+                kind: mea_obs::events::EventKind::SolveFailed,
+                item: mea_obs::events::job_key(4),
+                info: 1,
+                value: 250.0,
+            }],
         };
-        let back = decode_failure(&encode_failure(&report)).unwrap();
+        let bytes = encode_failure(&report);
+        let back = decode_failure(&bytes).unwrap();
         assert_eq!(back.item, report.item);
         assert_eq!(back.kind, report.kind);
         assert_eq!(back.detail, report.detail);
         assert_eq!(back.attempts.len(), 2);
         assert_eq!(back.attempts[0].kind, FailureKind::Divergence);
         assert_eq!(back.attempts[1].attempt, 1);
+        assert_eq!(back.events.len(), 1, "the flight-recorder tail ships");
+        assert_eq!(back.events[0].seq, 41);
+        assert_eq!(back.events[0].item, mea_obs::events::job_key(4));
+
+        // A pre-v2 blob ends right after the attempts: still decodes,
+        // with an empty tail.
+        let tail_len = 8 + report.events.len() * (8 + 8 + 1 + 8 + 8 + 8);
+        let legacy = &bytes[..bytes.len() - tail_len];
+        let old = decode_failure(legacy).unwrap();
+        assert_eq!(old.attempts.len(), 2);
+        assert!(old.events.is_empty());
     }
 
     #[test]

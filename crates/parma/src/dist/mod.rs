@@ -28,15 +28,19 @@
 //! demand byte-identical journals under SIGKILL.
 
 pub mod codec;
+pub mod telemetry;
 pub mod worker;
 
-use mea_obs::events::{emit_for, EventKind};
+use mea_obs::events::{emit_for, now_us, EventKind};
+use mea_obs::fleet::FleetStore;
+use mea_obs::timeline::DispatchTrace;
 use mea_parallel::dist::{
     read_frame, write_frame, FrameError, HeartbeatPolicy, MsgKind, PayloadReader, PayloadWriter,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -116,10 +120,40 @@ struct State {
     shutting_down: bool,
 }
 
+/// Per-ticket dispatch history: the raw material of `parma obs timeline`.
+/// Its own mutex, never held together with the scheduling state — trace
+/// recording must not add contention to the decide path.
+#[derive(Default)]
+struct TraceLog {
+    jobs: HashMap<u64, Vec<DispatchTrace>>,
+}
+
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     policy: DistPolicy,
+    /// The batch-wide trace id, minted at bind.
+    trace_id: u64,
+    /// Everything workers have shipped back on heartbeats.
+    fleet: Arc<FleetStore>,
+    /// Dispatch/ack records per ticket.
+    trace: Mutex<TraceLog>,
+    /// Clock-probe sequence numbers (0 is the handshake probe).
+    probe_seq: AtomicU64,
+}
+
+impl Shared {
+    fn new(policy: DistPolicy) -> Shared {
+        Shared {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            policy,
+            trace_id: mea_obs::context::mint_id(),
+            fleet: Arc::new(FleetStore::new()),
+            trace: Mutex::new(TraceLog::default()),
+            probe_seq: AtomicU64::new(1),
+        }
+    }
 }
 
 /// The worker-facing coordinator: a TCP listener plus the shared task
@@ -136,11 +170,7 @@ impl Coordinator {
     pub fn bind(addr: &str, policy: DistPolicy) -> io::Result<Coordinator> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
-            policy,
-        });
+        let shared = Arc::new(Shared::new(policy));
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("parma-dist-accept".into())
@@ -156,6 +186,40 @@ impl Coordinator {
     /// The bound listener address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The batch-wide trace id every dispatch of this coordinator runs
+    /// under (minted at bind, nonzero, 48-bit).
+    pub fn trace_id(&self) -> u64 {
+        self.shared.trace_id
+    }
+
+    /// The fleet telemetry store: per-worker counters, histograms,
+    /// retained flight-recorder tails and clock offsets, merged from
+    /// heartbeat telemetry. Share it with a metrics exporter.
+    pub fn fleet(&self) -> Arc<FleetStore> {
+        Arc::clone(&self.shared.fleet)
+    }
+
+    /// The dispatch history of one ticket, with each record's clock
+    /// offset filled from the freshest per-worker estimate. Empty if the
+    /// ticket was never dispatched (e.g. decided `NoWorkers`).
+    pub fn job_trace(&self, ticket: u64) -> Vec<DispatchTrace> {
+        let mut records = self
+            .shared
+            .trace
+            .lock()
+            .expect("dist trace log")
+            .jobs
+            .get(&ticket)
+            .cloned()
+            .unwrap_or_default();
+        for d in &mut records {
+            if let Some(w) = self.shared.fleet.worker(d.worker) {
+                d.offset_us = w.offset_us;
+            }
+        }
+        records
     }
 
     /// Currently connected (live) workers.
@@ -282,38 +346,52 @@ fn decide(state: &mut State, ticket: u64, outcome: TaskOutcome) -> bool {
 /// task. Idempotent — the reader and dispatcher may both report the same
 /// death.
 fn worker_dead(shared: &Shared, id: u64) {
-    let mut state = shared.state.lock().expect("dist state");
-    if !state.live.remove(&id) {
-        return;
+    {
+        let mut state = shared.state.lock().expect("dist state");
+        if !state.live.remove(&id) {
+            return;
+        }
+        mea_obs::counter_add("parma.dist.worker_deaths", 1);
+        mea_obs::gauge_set("parma.dist.workers", state.live.len() as f64);
+        emit_for(EventKind::DistWorkerDead, id, 0, 0.0);
+        let lost: Vec<u64> = state
+            .in_flight
+            .iter()
+            .filter(|&(_, w)| *w == id)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in lost {
+            state.in_flight.remove(&t);
+            let dispatches = state.tasks.get(&t).map_or(0, |m| m.dispatches);
+            if dispatches >= shared.policy.max_dispatches {
+                decide(&mut state, t, TaskOutcome::WorkerLost { dispatches });
+            } else {
+                state.pending.insert(t);
+                mea_obs::counter_add("parma.dist.reassigned", 1);
+                emit_for(EventKind::DistReassign, t, id, dispatches as f64);
+            }
+        }
+        // Last worker gone: everything still pending degrades to in-process.
+        if state.live.is_empty() {
+            let pending: Vec<u64> = state.pending.iter().copied().collect();
+            for t in pending {
+                decide(&mut state, t, TaskOutcome::NoWorkers);
+            }
+        }
+        shared.cv.notify_all();
     }
-    mea_obs::counter_add("parma.dist.worker_deaths", 1);
-    mea_obs::gauge_set("parma.dist.workers", state.live.len() as f64);
-    emit_for(EventKind::DistWorkerDead, id, 0, 0.0);
-    let lost: Vec<u64> = state
-        .in_flight
-        .iter()
-        .filter(|&(_, w)| *w == id)
-        .map(|(&t, _)| t)
-        .collect();
-    for t in lost {
-        state.in_flight.remove(&t);
-        let dispatches = state.tasks.get(&t).map_or(0, |m| m.dispatches);
-        if dispatches >= shared.policy.max_dispatches {
-            decide(&mut state, t, TaskOutcome::WorkerLost { dispatches });
-        } else {
-            state.pending.insert(t);
-            mea_obs::counter_add("parma.dist.reassigned", 1);
-            emit_for(EventKind::DistReassign, t, id, dispatches as f64);
+    // Outside the scheduling lock: the worker's labels drop from the
+    // exposition (its retained flight-recorder tail stays readable), and
+    // every dispatch it never acked becomes a "lost" timeline edge.
+    shared.fleet.mark_dead(id);
+    let mut trace = shared.trace.lock().expect("dist trace log");
+    for records in trace.jobs.values_mut() {
+        for d in records.iter_mut() {
+            if d.worker == id && d.ack_us == 0 && d.outcome.is_empty() {
+                d.outcome = "lost".into();
+            }
         }
     }
-    // Last worker gone: everything still pending degrades to in-process.
-    if state.live.is_empty() {
-        let pending: Vec<u64> = state.pending.iter().copied().collect();
-        for t in pending {
-            decide(&mut state, t, TaskOutcome::NoWorkers);
-        }
-    }
-    shared.cv.notify_all();
 }
 
 /// Picks the next task for `worker`: its own deterministic block first
@@ -389,14 +467,19 @@ fn serve_worker(mut stream: TcpStream, shared: &Shared) -> Result<(), FrameError
         shared.cv.notify_all();
         id
     };
+    shared.fleet.join(id, &name);
     let mut ack = PayloadWriter::new();
     ack.put_u64(id);
     ack.put_u64(policy.heartbeat.interval.as_millis() as u64);
+    // v2 tail (a v1 worker never reads this far): telemetry flags and the
+    // handshake clock probe, echoed on the worker's first beat.
+    ack.put_u8(if mea_obs::is_live() { 1 } else { 0 });
+    ack.put_u64(0); // probe seq 0 = the handshake probe
+    ack.put_u64(now_us());
     if write_frame(&mut stream, MsgKind::HelloAck, &ack.into_bytes()).is_err() {
         worker_dead(shared, id);
         return Ok(());
     }
-    let _ = name; // recorded via the join event's worker id; names are worker-side
 
     // Dispatcher: waits for claimable work, writes Assign frames, sends
     // idle keepalives so the worker can detect a dead coordinator.
@@ -447,9 +530,15 @@ fn dispatch_loop(mut stream: TcpStream, shared: &Shared, id: u64) {
                 if timeout.timed_out() {
                     // Idle keepalive: lets the worker's read deadline see a
                     // live coordinator, and lets us notice a dead worker
-                    // even with no work to hand it.
+                    // even with no work to hand it. v2 keepalives double as
+                    // clock probes — the worker echoes them on its next
+                    // beat, re-estimating its offset each round trip.
                     drop(state);
-                    if write_frame(&mut stream, MsgKind::Heartbeat, &[]).is_err() {
+                    let probe = telemetry::encode_probe(telemetry::Probe {
+                        seq: shared.probe_seq.fetch_add(1, Ordering::Relaxed),
+                        t_c_send_us: now_us(),
+                    });
+                    if write_frame(&mut stream, MsgKind::Heartbeat, &probe).is_err() {
                         worker_dead(shared, id);
                         return;
                     }
@@ -460,9 +549,35 @@ fn dispatch_loop(mut stream: TcpStream, shared: &Shared, id: u64) {
         let Some((ticket, blob, _)) = assignment else {
             return;
         };
+        // Mint this attempt's span; a redispatch chains to the previous
+        // attempt's span so `parma obs timeline` can follow the lineage.
+        let span_id = mea_obs::context::mint_id();
+        let worker_name = shared
+            .fleet
+            .worker(id)
+            .map(|w| w.name)
+            .unwrap_or_else(|| format!("w?{id}"));
+        let parent_span = {
+            let mut trace = shared.trace.lock().expect("dist trace log");
+            let records = trace.jobs.entry(ticket).or_default();
+            let parent = records.last().map_or(0, |d| d.span_id);
+            records.push(DispatchTrace {
+                span_id,
+                parent_span: parent,
+                worker: id,
+                worker_name,
+                dispatch_us: now_us(),
+                ..Default::default()
+            });
+            parent
+        };
         let mut payload = PayloadWriter::new();
         payload.put_u64(ticket);
         payload.put_bytes(&blob);
+        // v2 tail: the trace context this dispatch runs under.
+        payload.put_u64(shared.trace_id);
+        payload.put_u64(span_id);
+        payload.put_u64(parent_span);
         mea_obs::counter_add("parma.dist.dispatched", 1);
         emit_for(EventKind::DistDispatch, ticket, id, 0.0);
         if write_frame(&mut stream, MsgKind::Assign, &payload.into_bytes()).is_err() {
@@ -482,19 +597,64 @@ fn reader_loop(stream: &mut TcpStream, shared: &Shared, id: u64) {
             Ok(frame) => match frame.kind {
                 MsgKind::Heartbeat => {
                     mea_obs::counter_add("parma.dist.heartbeats", 1);
+                    // v2 beats ship telemetry; v1 beats (empty payload)
+                    // are plain keepalives. A beat that fails to decode is
+                    // dropped — telemetry is best-effort, liveness is what
+                    // the frame itself proved.
+                    if !frame.payload.is_empty() {
+                        if let Ok(beat) = telemetry::TelemetryBeat::decode(&frame.payload) {
+                            if let Some(echo) = beat.echo {
+                                let t_c_recv = now_us();
+                                let rtt = t_c_recv.saturating_sub(echo.t_c_send_us);
+                                let mid = echo.t_c_send_us + rtt / 2;
+                                let offset = echo.t_w_recv_us as i64 - mid as i64;
+                                shared.fleet.update_clock(id, offset, rtt);
+                            }
+                            let drops = beat.drops;
+                            let mut update = beat.into_update();
+                            if drops > 0 {
+                                update
+                                    .counters
+                                    .push(("parma.dist.worker.telemetry_drops".into(), drops));
+                            }
+                            shared.fleet.merge(id, update);
+                        }
+                    }
                 }
                 MsgKind::Result => {
+                    let t_c_recv = now_us();
                     let mut r = PayloadReader::new(&frame.payload);
                     let parsed = (|| {
                         let ticket = r.take_u64()?;
                         let status = r.take_u8()?;
                         let blob = r.take_bytes()?.to_vec();
-                        Ok::<_, mea_parallel::dist::DecodeError>((ticket, status, blob))
+                        // v2 tail: the worker's own solve timestamps.
+                        let stamps = if r.remaining() >= 16 {
+                            Some((r.take_u64()?, r.take_u64()?))
+                        } else {
+                            None
+                        };
+                        Ok::<_, mea_parallel::dist::DecodeError>((ticket, status, blob, stamps))
                     })();
-                    let Ok((ticket, status, blob)) = parsed else {
+                    let Ok((ticket, status, blob, stamps)) = parsed else {
                         worker_dead(shared, id);
                         return;
                     };
+                    {
+                        let mut trace = shared.trace.lock().expect("dist trace log");
+                        if let Some(d) = trace
+                            .jobs
+                            .get_mut(&ticket)
+                            .and_then(|r| r.iter_mut().rev().find(|d| d.worker == id))
+                        {
+                            d.ack_us = t_c_recv;
+                            if let Some((start, end)) = stamps {
+                                d.solve_start_us = start;
+                                d.solve_end_us = end;
+                            }
+                            d.outcome = if status == 0 { "ok" } else { "failed" }.into();
+                        }
+                    }
                     let outcome = if status == 0 {
                         TaskOutcome::Ok { worker: id, blob }
                     } else {
@@ -595,14 +755,10 @@ mod tests {
 
     #[test]
     fn worker_death_requeues_then_quarantines_at_the_cap() {
-        let shared = Shared {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
-            policy: DistPolicy {
-                max_dispatches: 2,
-                ..Default::default()
-            },
-        };
+        let shared = Shared::new(DistPolicy {
+            max_dispatches: 2,
+            ..Default::default()
+        });
         {
             let mut state = shared.state.lock().unwrap();
             state.ever_joined = true;
@@ -641,11 +797,7 @@ mod tests {
 
     #[test]
     fn last_death_degrades_pending_tasks_to_no_workers() {
-        let shared = Shared {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
-            policy: DistPolicy::default(),
-        };
+        let shared = Shared::new(DistPolicy::default());
         {
             let mut state = shared.state.lock().unwrap();
             state.ever_joined = true;

@@ -1,4 +1,4 @@
-//! Worker side of the `parma-wire/v1` protocol.
+//! Worker side of the `parma-wire/v2` protocol.
 //!
 //! [`run_worker`] connects to a coordinator, handshakes, then loops:
 //! solve `Assign` frames through a caller-supplied handler and stream
@@ -6,6 +6,19 @@
 //! cadence. The worker is deliberately stateless between tasks — any
 //! task can run on any worker, which is what makes reassignment after a
 //! death bitwise-safe.
+//!
+//! # Tracing and telemetry (v2)
+//!
+//! Each `Assign` carries the coordinator's trace context; the worker
+//! adopts it (thread-local) for the handler's duration and stamps solve
+//! start/end on its own monotonic clock into the `Result` tail. Clock
+//! probes arriving on coordinator keepalives are echoed immediately from
+//! the read loop, so the round trip stays tight. When the coordinator
+//! asked for live telemetry (HelloAck flag), the cadence beats carry a
+//! bounded snapshot of this process's counters, histograms and newest
+//! flight-recorder events; if the writer is busy the payload is
+//! **dropped, never waited for** — the beat degrades to the plain v1
+//! keepalive and `parma.dist.worker.telemetry_drops` counts the loss.
 //!
 //! # Chaos injection
 //!
@@ -23,12 +36,15 @@
 //! closest in-process stand-in for SIGKILL, and the CI chaos matrix
 //! additionally kills real worker processes with signals.
 
+use super::telemetry::{self, ProbeEcho, TelemetryBeat};
+use mea_obs::context::TraceContext;
+use mea_obs::events::{emit_for, job_key, now_us, EventKind};
 use mea_parallel::dist::{
     encode_frame, read_frame, write_frame, FrameError, MsgKind, PayloadReader, PayloadWriter,
 };
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -83,6 +99,19 @@ fn chaos_plan(name: &str) -> Option<Chaos> {
 /// (EOF / read deadline — also a clean worker exit: the coordinator owns
 /// the work, the worker just stops).
 pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<WorkerSummary, String> {
+    run_worker_with(addr, name, handler, &mut |_| {})
+}
+
+/// [`run_worker`] with a post-handshake hook: `on_registered` runs once
+/// with the coordinator-assigned worker id, before the first assignment.
+/// The CLI uses it to start this process's metrics listener with the id
+/// stamped into `/snapshot` meta, so scraped fleet JSON is attributable.
+pub fn run_worker_with(
+    addr: &str,
+    name: &str,
+    handler: &TaskHandler,
+    on_registered: &mut dyn FnMut(u64),
+) -> Result<WorkerSummary, String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("worker: connect {addr}: {e}"))?;
     stream.set_nodelay(true).ok();
@@ -98,6 +127,27 @@ pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<Worke
     let mut r = PayloadReader::new(&ack.payload);
     let worker_id = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
     let interval_ms = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
+    // v2 tail: telemetry flags plus the handshake clock probe. A v1
+    // coordinator's ack ends right here (`remaining() == 0`).
+    let mut live_telemetry = false;
+    let mut handshake_echo = None;
+    if r.remaining() >= 17 {
+        let flags = r.take_u8().map_err(|e| format!("worker: ack: {e:?}"))?;
+        let seq = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
+        let t_c_send_us = r.take_u64().map_err(|e| format!("worker: ack: {e:?}"))?;
+        live_telemetry = flags & 1 != 0;
+        handshake_echo = Some(ProbeEcho {
+            seq,
+            t_c_send_us,
+            t_w_recv_us: now_us(),
+        });
+    }
+    if live_telemetry {
+        // The coordinator wants telemetry beats: turn the local live
+        // instruments on so there is something to ship.
+        mea_obs::set_live(true);
+    }
+    on_registered(worker_id);
     let interval = Duration::from_millis(interval_ms.max(10));
     // Tolerate a coordinator busy under load: our read deadline is far
     // looser than the coordinator's death deadline for us.
@@ -111,13 +161,45 @@ pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<Worke
             .map_err(|e| format!("worker: clone stream: {e}"))?,
     ));
     let stop = Arc::new(AtomicBool::new(false));
+    let drops = Arc::new(AtomicU64::new(0));
+    // Answer the handshake probe at once: this is the offset estimate
+    // every dispatch before the first keepalive round trip relies on.
+    if let Some(echo) = handshake_echo {
+        let beat = TelemetryBeat {
+            echo: Some(echo),
+            ..Default::default()
+        };
+        let mut w = writer.lock().expect("worker writer");
+        let _ = write_frame(&mut *w, MsgKind::Heartbeat, &beat.encode());
+    }
     let beat_writer = Arc::clone(&writer);
     let beat_stop = Arc::clone(&stop);
+    let beat_drops = Arc::clone(&drops);
     let heartbeat = std::thread::Builder::new()
         .name(format!("parma-worker-hb-{worker_id}"))
         .spawn(move || {
             while !beat_stop.load(Ordering::Relaxed) {
                 std::thread::sleep(interval);
+                if live_telemetry {
+                    // Build the payload before touching the writer, then
+                    // only *try* the lock: a beat never waits on telemetry.
+                    let beat = TelemetryBeat::from_local(None, beat_drops.load(Ordering::Relaxed));
+                    if let Ok(mut w) = beat_writer.try_lock() {
+                        if write_frame(&mut *w, MsgKind::Heartbeat, &beat.encode()).is_err() {
+                            return; // coordinator gone; main loop sees EOF too
+                        }
+                        continue;
+                    }
+                    // Writer busy (a Result or probe echo in flight): drop
+                    // the payload and degrade to the plain v1 keepalive.
+                    let n = beat_drops.fetch_add(1, Ordering::Relaxed) + 1;
+                    emit_for(
+                        EventKind::DistTelemetryDrop,
+                        mea_obs::events::worker_key(worker_id),
+                        n,
+                        0.0,
+                    );
+                }
                 let mut w = beat_writer.lock().expect("worker writer");
                 if write_frame(&mut *w, MsgKind::Heartbeat, &[]).is_err() {
                     return; // coordinator gone; main loop will see EOF too
@@ -140,7 +222,27 @@ pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<Worke
             }
         };
         match frame.kind {
-            MsgKind::Heartbeat => {} // coordinator keepalive
+            MsgKind::Heartbeat => {
+                // Coordinator keepalive; in v2 it may carry a clock probe,
+                // echoed immediately so the round trip stays tight. (An
+                // echo during a solve waits for the read loop anyway — the
+                // coordinator filters those by their inflated RTT.)
+                if let Some(p) = telemetry::decode_probe(&frame.payload) {
+                    let beat = TelemetryBeat {
+                        echo: Some(ProbeEcho {
+                            seq: p.seq,
+                            t_c_send_us: p.t_c_send_us,
+                            t_w_recv_us: now_us(),
+                        }),
+                        drops: drops.load(Ordering::Relaxed),
+                        ..Default::default()
+                    };
+                    let mut w = writer.lock().expect("worker writer");
+                    if write_frame(&mut *w, MsgKind::Heartbeat, &beat.encode()).is_err() {
+                        break; // coordinator gone mid-echo
+                    }
+                }
+            }
             MsgKind::Shutdown => break,
             MsgKind::Assign => {
                 let mut r = PayloadReader::new(&frame.payload);
@@ -151,6 +253,17 @@ pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<Worke
                     stop.store(true, Ordering::Relaxed);
                     heartbeat.join().ok();
                     return Err("worker: malformed Assign payload".into());
+                };
+                // v2 tail: the trace context this dispatch runs under
+                // (absent from a v1 coordinator's frames).
+                let ctx = if r.remaining() >= 24 {
+                    TraceContext {
+                        trace_id: r.take_u64().unwrap_or(0),
+                        span_id: r.take_u64().unwrap_or(0),
+                        parent_span: r.take_u64().unwrap_or(0),
+                    }
+                } else {
+                    TraceContext::default()
                 };
                 let struck = chaos
                     .as_ref()
@@ -164,14 +277,54 @@ pub fn run_worker(addr: &str, name: &str, handler: &TaskHandler) -> Result<Worke
                         std::process::abort();
                     });
                 }
-                let (status, body) = match handler(ticket, &blob) {
-                    Ok(b) => (0u8, b),
-                    Err(b) => (1u8, b),
+                let (status, body, t_start, t_end) = {
+                    // Adopt the dispatch's trace context and the job's
+                    // namespaced item scope for the handler's duration, so
+                    // every event the solve emits is attributable to this
+                    // exact dispatch attempt.
+                    let _ctx = mea_obs::context::context_scope(ctx);
+                    let _item = mea_obs::events::item_scope(job_key(ticket));
+                    if ctx.is_set() {
+                        emit_for(
+                            EventKind::DistTraceAdopt,
+                            job_key(ticket),
+                            ctx.span_id,
+                            ctx.trace_id as f64,
+                        );
+                    }
+                    mea_obs::counter_add("parma.dist.worker.assignments", 1);
+                    // Ship the adoption before solving: a worker killed
+                    // mid-solve must already have delivered the events
+                    // naming the dispatch it died holding, or the
+                    // coordinator's retained forensics start empty. Same
+                    // dropped-not-blocking rule as the cadence beats.
+                    if live_telemetry {
+                        let beat = TelemetryBeat::from_local(None, drops.load(Ordering::Relaxed));
+                        if let Ok(mut w) = writer.try_lock() {
+                            let _ = write_frame(&mut *w, MsgKind::Heartbeat, &beat.encode());
+                        } else {
+                            drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let t_start = now_us();
+                    let (status, body) = match handler(ticket, &blob) {
+                        Ok(b) => (0u8, b),
+                        Err(b) => (1u8, b),
+                    };
+                    let t_end = now_us();
+                    mea_obs::hist::record(
+                        "parma.dist.worker.solve_ms",
+                        (t_end.saturating_sub(t_start)) as f64 / 1e3,
+                    );
+                    (status, body, t_start, t_end)
                 };
                 let mut payload = PayloadWriter::new();
                 payload.put_u64(ticket);
                 payload.put_u8(status);
                 payload.put_bytes(&body);
+                // v2 tail: solve start/end on this worker's clock.
+                payload.put_u64(t_start);
+                payload.put_u64(t_end);
                 let result = encode_frame(MsgKind::Result, &payload.into_bytes());
                 if struck && chaos.as_ref().unwrap().phase == ChaosPhase::PreAck {
                     let mut w = writer.lock().expect("worker writer");
